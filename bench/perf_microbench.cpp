@@ -1,0 +1,161 @@
+// Performance micro-benchmarks (google-benchmark).
+//
+// Not part of the paper's evaluation — the paper measures feasibility, not
+// speed — but a production injector cares about the cost of its building
+// blocks: MMU walks, validated page-table updates, exchange grooming vs.
+// one injector hypercall (the paper's "easier to induce a representative
+// erroneous state than effectively attack the system", quantified), audits,
+// and full platform construction.
+#include <benchmark/benchmark.h>
+
+#include "core/campaign.hpp"
+#include "core/injector.hpp"
+#include "guest/platform.hpp"
+#include "hv/audit.hpp"
+#include "xsa/exchange_primitive.hpp"
+#include "xsa/usecases.hpp"
+
+namespace {
+
+using namespace ii;  // NOLINT: bench-local convenience
+
+guest::PlatformConfig bench_config(hv::XenVersion version = hv::kXen46) {
+  guest::PlatformConfig pc{};
+  pc.version = version;
+  pc.machine_frames = 16384;
+  pc.dom0_pages = 256;
+  pc.guest_pages = 128;
+  return pc;
+}
+
+void BM_MmuWalk(benchmark::State& state) {
+  auto pc = bench_config();
+  guest::VirtualPlatform p{pc};
+  const sim::Mfn root = p.hv().domain(p.guest(0).id()).cr3();
+  const sim::Vaddr va{hv::kGuestKernelBase + 5 * sim::kPageSize};
+  for (auto _ : state) {
+    auto walk = p.hv().mmu().walk(root, va);
+    benchmark::DoNotOptimize(walk);
+  }
+}
+BENCHMARK(BM_MmuWalk);
+
+void BM_GuestRead64(benchmark::State& state) {
+  auto pc = bench_config();
+  guest::VirtualPlatform p{pc};
+  guest::GuestKernel& g = p.guest(0);
+  const sim::Vaddr va = g.pfn_va(sim::Pfn{5});
+  for (auto _ : state) {
+    auto v = g.read_u64(va);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_GuestRead64);
+
+void BM_MmuUpdateRemap(benchmark::State& state) {
+  auto pc = bench_config();
+  guest::VirtualPlatform p{pc};
+  guest::GuestKernel& g = p.guest(0);
+  const sim::Paddr slot = g.l1_slot_paddr(sim::Pfn{5});
+  const std::uint64_t a =
+      sim::Pte::make(*g.pfn_to_mfn(sim::Pfn{5}),
+                     sim::Pte::kPresent | sim::Pte::kWritable |
+                         sim::Pte::kUser)
+          .raw();
+  const std::uint64_t b =
+      sim::Pte::make(*g.pfn_to_mfn(sim::Pfn{6}),
+                     sim::Pte::kPresent | sim::Pte::kWritable |
+                         sim::Pte::kUser)
+          .raw();
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.mmu_update_one(slot, flip ? a : b));
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_MmuUpdateRemap);
+
+void BM_MemoryExchange(benchmark::State& state) {
+  auto pc = bench_config();
+  guest::VirtualPlatform p{pc};
+  guest::GuestKernel& g = p.guest(0);
+  const auto pfn = g.alloc_pfn();
+  (void)g.unmap_pfn(*pfn);
+  const sim::Vaddr out = g.pfn_va(sim::Pfn{5});
+  for (auto _ : state) {
+    hv::MemoryExchange exch{};
+    exch.in_extents = {*pfn};
+    exch.out_extent_start = out;
+    benchmark::DoNotOptimize(g.memory_exchange(exch));
+  }
+}
+BENCHMARK(BM_MemoryExchange);
+
+void BM_InjectorWrite64(benchmark::State& state) {
+  auto pc = bench_config();
+  guest::VirtualPlatform p{pc};
+  core::ArbitraryAccessInjector injector{p.guest(0)};
+  const std::uint64_t target =
+      sim::mfn_to_paddr(p.hv().domain(hv::kDom0).start_info_mfn()).raw() +
+      0x200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        injector.write_u64(target, 0xFEED, core::AddressMode::Physical));
+  }
+}
+BENCHMARK(BM_InjectorWrite64);
+
+/// The asymmetry the paper argues for: one controlled 8-byte write through
+/// the real XSA-212 exploit primitive (allocator grooming and all) vs. the
+/// single-hypercall injector write above.
+void BM_ExploitGroomedWrite64(benchmark::State& state) {
+  auto pc = bench_config(hv::kXen46);
+  pc.injector_enabled = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    guest::VirtualPlatform p{pc};  // grooming consumes frames: fresh machine
+    xsa::ExchangeWritePrimitive prim{p.guest(0)};
+    const auto target = hv::directmap_vaddr(
+        sim::mfn_to_paddr(p.hv().domain(hv::kDom0).start_info_mfn()) + 0x200);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(prim.write_u64(target, 0xFEEDFACECAFEBEEF));
+    state.counters["exchanges"] = prim.exchanges_used();
+  }
+}
+BENCHMARK(BM_ExploitGroomedWrite64)->Unit(benchmark::kMillisecond);
+
+void BM_AuditSystem(benchmark::State& state) {
+  auto pc = bench_config();
+  guest::VirtualPlatform p{pc};
+  for (auto _ : state) {
+    auto report = hv::audit_system(p.hv());
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_AuditSystem)->Unit(benchmark::kMicrosecond);
+
+void BM_PlatformBoot(benchmark::State& state) {
+  const auto pc = bench_config();
+  for (auto _ : state) {
+    guest::VirtualPlatform p{pc};
+    benchmark::DoNotOptimize(p.hv().crashed());
+  }
+}
+BENCHMARK(BM_PlatformBoot)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignCellInjection(benchmark::State& state) {
+  const auto cases = xsa::make_paper_use_cases();
+  core::CampaignConfig config{};
+  config.platform = bench_config(hv::kXen413);
+  const core::Campaign campaign{config};
+  for (auto _ : state) {
+    auto cell = campaign.run_cell(*cases[0], hv::kXen413,
+                                  core::Mode::Injection);
+    benchmark::DoNotOptimize(cell);
+  }
+}
+BENCHMARK(BM_CampaignCellInjection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Regenerates Table I: "Example of abusive functionalities that can be
+// obtained from activating Xen vulnerabilities" (paper §IV-D).
+//
+// Classifies the 100-advisory study dataset and prints the per-
+// functionality counts with the four class sections. Expected shape:
+// Memory Access = 35, Memory Management = 40, Exceptional Conditions = 11,
+// Non-Memory Related = 22, total assignments 108 > 100 advisories.
+#include <cstdio>
+
+#include "cvedb/advisories.hpp"
+
+int main() {
+  const auto& records = ii::cvedb::study_records();
+  const auto table = ii::cvedb::classify(records);
+  std::puts("== Table I =====================================================");
+  std::fputs(ii::cvedb::render_table1(table).c_str(), stdout);
+
+  std::puts("\nDerived intrusion models (grouping by component x functionality):");
+  std::fputs(
+      ii::cvedb::render_model_catalogue(
+          ii::cvedb::derive_intrusion_models(records))
+          .c_str(),
+      stdout);
+
+  std::puts("\nAnchor advisories discussed in the paper:");
+  for (const auto& rec : records) {
+    if (rec.xsa_id.rfind("XSA-S", 0) == 0) continue;  // synthesized
+    std::printf("  %-8s %-14s %s\n", rec.xsa_id.c_str(), rec.cve_id.c_str(),
+                rec.summary.substr(0, 70).c_str());
+  }
+  return 0;
+}

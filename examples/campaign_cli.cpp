@@ -1,0 +1,123 @@
+// Command-line campaign runner — the shape of the "open-source list of
+// tests and experiments covering various Intrusion Models" the paper's
+// conclusion calls for.
+//
+// Usage:
+//   campaign_cli [--version 4.6|4.8|4.13] [--mode exploit|injection]
+//                [--case NAME] [--csv] [--list]
+//
+// With no arguments it runs the full paper matrix and prints the RQ1 and
+// Table III reports.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/report.hpp"
+#include "xsa/usecases.hpp"
+
+namespace {
+
+using namespace ii;
+
+std::vector<std::unique_ptr<core::UseCase>> all_cases() {
+  auto cases = xsa::make_paper_use_cases();
+  for (auto& extension : xsa::make_extension_use_cases()) {
+    cases.push_back(std::move(extension));
+  }
+  return cases;
+}
+
+int usage() {
+  std::puts(
+      "usage: campaign_cli [--version 4.6|4.8|4.13] [--mode "
+      "exploit|injection] [--case NAME] [--csv] [--list]");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::CampaignConfig config{};
+  std::string only_case;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      for (const auto& use_case : all_cases()) {
+        std::printf("%-14s %s\n", use_case->name().c_str(),
+                    use_case->model().describe().c_str());
+      }
+      return 0;
+    }
+    if (arg == "--version") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      if (std::strcmp(v, "4.6") == 0) {
+        config.versions = {hv::kXen46};
+      } else if (std::strcmp(v, "4.8") == 0) {
+        config.versions = {hv::kXen48};
+      } else if (std::strcmp(v, "4.13") == 0) {
+        config.versions = {hv::kXen413};
+      } else {
+        return usage();
+      }
+    } else if (arg == "--mode") {
+      const char* m = next();
+      if (m == nullptr) return usage();
+      if (std::strcmp(m, "exploit") == 0) {
+        config.modes = {core::Mode::Exploit};
+      } else if (std::strcmp(m, "injection") == 0) {
+        config.modes = {core::Mode::Injection};
+      } else {
+        return usage();
+      }
+    } else if (arg == "--case") {
+      const char* c = next();
+      if (c == nullptr) return usage();
+      only_case = c;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      return usage();
+    }
+  }
+
+  auto cases = all_cases();
+  if (!only_case.empty()) {
+    std::vector<std::unique_ptr<core::UseCase>> filtered;
+    for (auto& use_case : cases) {
+      if (use_case->name() == only_case) filtered.push_back(std::move(use_case));
+    }
+    if (filtered.empty()) {
+      std::fprintf(stderr, "unknown use case '%s' (try --list)\n",
+                   only_case.c_str());
+      return 2;
+    }
+    cases = std::move(filtered);
+  }
+
+  const core::Campaign campaign{config};
+  const auto results = campaign.run(cases);
+
+  if (csv) {
+    std::fputs(core::render_csv(results).c_str(), stdout);
+    return 0;
+  }
+  std::fputs(core::render_rq1_table(results).c_str(), stdout);
+  std::fputs(core::render_table3(results).c_str(), stdout);
+  std::puts("\nper-cell notes:");
+  for (const auto& cell : results) {
+    std::printf("%-14s %-9s xen %-5s err=%d viol=%d%s\n",
+                cell.use_case.c_str(), to_string(cell.mode).c_str(),
+                cell.version.to_string().c_str(), cell.err_state,
+                cell.violation, cell.handled() ? " (handled)" : "");
+    for (const auto& note : cell.outcome.notes) {
+      std::printf("    | %s\n", note.c_str());
+    }
+  }
+  return 0;
+}

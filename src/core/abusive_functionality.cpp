@@ -1,0 +1,80 @@
+#include "core/abusive_functionality.hpp"
+
+namespace ii::core {
+
+FunctionalityClass class_of(AbusiveFunctionality af) {
+  switch (af) {
+    case AbusiveFunctionality::ReadUnauthorizedMemory:
+    case AbusiveFunctionality::WriteUnauthorizedMemory:
+    case AbusiveFunctionality::WriteUnauthorizedArbitraryMemory:
+    case AbusiveFunctionality::ReadWriteUnauthorizedMemory:
+    case AbusiveFunctionality::FailMemoryAccess:
+      return FunctionalityClass::MemoryAccess;
+    case AbusiveFunctionality::CorruptVirtualMemoryMapping:
+    case AbusiveFunctionality::CorruptPageReference:
+    case AbusiveFunctionality::DecreasePageMappingAvailability:
+    case AbusiveFunctionality::GuestWritablePageTableEntry:
+    case AbusiveFunctionality::FailMemoryMapping:
+    case AbusiveFunctionality::UncontrolledMemoryAllocation:
+    case AbusiveFunctionality::KeepPageAccess:
+      return FunctionalityClass::MemoryManagement;
+    case AbusiveFunctionality::InduceFatalException:
+    case AbusiveFunctionality::InduceMemoryException:
+      return FunctionalityClass::ExceptionalConditions;
+    case AbusiveFunctionality::InduceHangState:
+    case AbusiveFunctionality::UncontrolledArbitraryInterruptRequests:
+      return FunctionalityClass::NonMemoryRelated;
+  }
+  return FunctionalityClass::NonMemoryRelated;
+}
+
+std::string to_string(AbusiveFunctionality af) {
+  switch (af) {
+    case AbusiveFunctionality::ReadUnauthorizedMemory:
+      return "Read Unauthorized Memory";
+    case AbusiveFunctionality::WriteUnauthorizedMemory:
+      return "Write Unauthorized Memory";
+    case AbusiveFunctionality::WriteUnauthorizedArbitraryMemory:
+      return "Write Unauthorized Arbitrary Memory";
+    case AbusiveFunctionality::ReadWriteUnauthorizedMemory:
+      return "R/W Unauthorized Memory";
+    case AbusiveFunctionality::FailMemoryAccess:
+      return "Fail a Memory Access";
+    case AbusiveFunctionality::CorruptVirtualMemoryMapping:
+      return "Corrupt Virtual Memory Mapping";
+    case AbusiveFunctionality::CorruptPageReference:
+      return "Corrupt a Page Reference";
+    case AbusiveFunctionality::DecreasePageMappingAvailability:
+      return "Decrease Page Mapping Availability";
+    case AbusiveFunctionality::GuestWritablePageTableEntry:
+      return "Guest-Writable Page Table Entry";
+    case AbusiveFunctionality::FailMemoryMapping:
+      return "Fail a memory mapping";
+    case AbusiveFunctionality::UncontrolledMemoryAllocation:
+      return "Uncontrolled Memory Allocation";
+    case AbusiveFunctionality::KeepPageAccess:
+      return "Keep Page Access";
+    case AbusiveFunctionality::InduceFatalException:
+      return "Induce a Fatal Exception";
+    case AbusiveFunctionality::InduceMemoryException:
+      return "Induce a Memory Exception";
+    case AbusiveFunctionality::InduceHangState:
+      return "Induce a Hang State";
+    case AbusiveFunctionality::UncontrolledArbitraryInterruptRequests:
+      return "Uncontrolled Arbitrary Interrupts Requests";
+  }
+  return "unknown";
+}
+
+std::string to_string(FunctionalityClass fc) {
+  switch (fc) {
+    case FunctionalityClass::MemoryAccess: return "Memory Access";
+    case FunctionalityClass::MemoryManagement: return "Memory Management";
+    case FunctionalityClass::ExceptionalConditions:
+      return "Exceptional Conditions";
+    case FunctionalityClass::NonMemoryRelated: return "Non-Memory Related";
+  }
+  return "unknown";
+}
+
+}  // namespace ii::core

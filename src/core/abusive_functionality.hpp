@@ -1,0 +1,74 @@
+// The abusive-functionality taxonomy (paper §IV-D, Table I).
+//
+// An abusive functionality is "the essential characteristic that can be
+// generalized from a collection of exploits": the unintended capability an
+// attacker gains when a vulnerability is activated, abstracted away from the
+// specific bug. The paper's preliminary study classifies 100 memory-related
+// Xen advisories into the sixteen functionalities below, grouped in four
+// classes. ii::cvedb carries the study's records; this header is the shared
+// vocabulary.
+#pragma once
+
+#include <string>
+
+namespace ii::core {
+
+/// Table I's grouping classes.
+enum class FunctionalityClass {
+  MemoryAccess,
+  MemoryManagement,
+  ExceptionalConditions,
+  NonMemoryRelated,
+};
+
+/// Table I's abusive functionalities.
+enum class AbusiveFunctionality {
+  // Memory Access
+  ReadUnauthorizedMemory,
+  WriteUnauthorizedMemory,
+  WriteUnauthorizedArbitraryMemory,
+  ReadWriteUnauthorizedMemory,
+  FailMemoryAccess,
+  // Memory Management
+  CorruptVirtualMemoryMapping,
+  CorruptPageReference,
+  DecreasePageMappingAvailability,
+  GuestWritablePageTableEntry,
+  FailMemoryMapping,
+  UncontrolledMemoryAllocation,
+  KeepPageAccess,
+  // Exceptional Conditions
+  InduceFatalException,
+  InduceMemoryException,
+  // Non-Memory Related
+  InduceHangState,
+  UncontrolledArbitraryInterruptRequests,
+};
+
+inline constexpr AbusiveFunctionality kAllAbusiveFunctionalities[] = {
+    AbusiveFunctionality::ReadUnauthorizedMemory,
+    AbusiveFunctionality::WriteUnauthorizedMemory,
+    AbusiveFunctionality::WriteUnauthorizedArbitraryMemory,
+    AbusiveFunctionality::ReadWriteUnauthorizedMemory,
+    AbusiveFunctionality::FailMemoryAccess,
+    AbusiveFunctionality::CorruptVirtualMemoryMapping,
+    AbusiveFunctionality::CorruptPageReference,
+    AbusiveFunctionality::DecreasePageMappingAvailability,
+    AbusiveFunctionality::GuestWritablePageTableEntry,
+    AbusiveFunctionality::FailMemoryMapping,
+    AbusiveFunctionality::UncontrolledMemoryAllocation,
+    AbusiveFunctionality::KeepPageAccess,
+    AbusiveFunctionality::InduceFatalException,
+    AbusiveFunctionality::InduceMemoryException,
+    AbusiveFunctionality::InduceHangState,
+    AbusiveFunctionality::UncontrolledArbitraryInterruptRequests,
+};
+
+/// Class a functionality belongs to (Table I's section headers).
+[[nodiscard]] FunctionalityClass class_of(AbusiveFunctionality af);
+
+/// Human-readable names, matching Table I's row labels.
+[[nodiscard]] std::string to_string(AbusiveFunctionality af);
+[[nodiscard]] std::string to_string(FunctionalityClass fc);
+
+}  // namespace ii::core

@@ -1,0 +1,86 @@
+#include "core/campaign.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace ii::core {
+
+std::string to_string(Mode mode) {
+  return mode == Mode::Exploit ? "exploit" : "injection";
+}
+
+CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
+                              Mode mode) const {
+  guest::PlatformConfig pc = config_.platform;
+  pc.version = version;
+  // The exploit runs against a stock hypervisor; the injection against the
+  // patched build — keeping each mode's environment honest.
+  pc.injector_enabled = mode == Mode::Injection;
+  guest::VirtualPlatform platform{pc};
+
+  CellResult cell;
+  cell.use_case = use_case.name();
+  cell.version = version;
+  cell.mode = mode;
+  cell.outcome = mode == Mode::Exploit ? use_case.run_exploit(platform)
+                                       : use_case.run_injection(platform);
+  cell.err_state = use_case.erroneous_state_present(platform);
+  cell.violation = use_case.security_violation(platform);
+  return cell;
+}
+
+std::vector<CellResult> Campaign::run(
+    const std::vector<std::unique_ptr<UseCase>>& cases) const {
+  std::vector<CellResult> results;
+  for (const auto& use_case : cases) {
+    for (const hv::XenVersion version : config_.versions) {
+      for (const Mode mode : config_.modes) {
+        results.push_back(run_cell(*use_case, version, mode));
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<CellResult> Campaign::run_parallel(
+    const std::function<std::vector<std::unique_ptr<UseCase>>()>& factory,
+    unsigned threads) const {
+  // Materialize the cell list once (indices into the per-worker case set).
+  struct Cell {
+    std::size_t case_index;
+    hv::XenVersion version;
+    Mode mode;
+  };
+  std::vector<Cell> cells;
+  const std::size_t n_cases = factory().size();
+  for (std::size_t c = 0; c < n_cases; ++c) {
+    for (const hv::XenVersion version : config_.versions) {
+      for (const Mode mode : config_.modes) {
+        cells.push_back({c, version, mode});
+      }
+    }
+  }
+
+  std::vector<CellResult> results(cells.size());
+  std::atomic<std::size_t> next{0};
+  const unsigned n_workers =
+      std::max(1u, std::min<unsigned>(threads, cells.size()));
+  std::vector<std::thread> workers;
+  workers.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) {
+    workers.emplace_back([&] {
+      // Private UseCase instances: per-run state must not be shared.
+      auto cases = factory();
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= cells.size()) return;
+        results[i] = run_cell(*cases[cells[i].case_index], cells[i].version,
+                              cells[i].mode);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return results;
+}
+
+}  // namespace ii::core

@@ -1,0 +1,71 @@
+// Campaign engine: runs use cases across Xen versions and collects the
+// per-cell verdicts that make up the paper's tables.
+//
+// One cell = (use case, version, mode). Each cell gets a *fresh*
+// VirtualPlatform, the attempt is executed, and the monitor/auditor decide:
+//   err_state  — the erroneous state is observably present afterwards;
+//   violation  — the use case's security violation materialized;
+//   handled    — err_state && !violation (Table III's shield cells).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/usecase.hpp"
+#include "guest/platform.hpp"
+#include "hv/version.hpp"
+
+namespace ii::core {
+
+/// How the erroneous state is driven into the system.
+enum class Mode {
+  Exploit,    ///< original third-party PoC against the stock hypervisor
+  Injection,  ///< injector script against the patched hypervisor
+};
+
+[[nodiscard]] std::string to_string(Mode mode);
+
+struct CellResult {
+  std::string use_case;
+  hv::XenVersion version{};
+  Mode mode{};
+  CaseOutcome outcome;          ///< what the attempt reported
+  bool err_state = false;       ///< audited after the attempt
+  bool violation = false;       ///< observed after the attempt
+  [[nodiscard]] bool handled() const { return err_state && !violation; }
+};
+
+struct CampaignConfig {
+  std::vector<hv::XenVersion> versions{hv::kXen46, hv::kXen48, hv::kXen413};
+  std::vector<Mode> modes{Mode::Exploit, Mode::Injection};
+  /// Base platform shape; version/injector fields are overridden per cell.
+  guest::PlatformConfig platform{};
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config) : config_{std::move(config)} {}
+
+  /// Run every (use case × version × mode) cell.
+  [[nodiscard]] std::vector<CellResult> run(
+      const std::vector<std::unique_ptr<UseCase>>& cases) const;
+
+  /// Same matrix, cells distributed over `threads` workers. Each cell owns
+  /// a private platform, so cells are embarrassingly parallel — but a
+  /// UseCase instance is stateful across a run (per-run members), so every
+  /// worker gets its own instances via `factory`. Results come back in the
+  /// same deterministic order as run().
+  [[nodiscard]] std::vector<CellResult> run_parallel(
+      const std::function<std::vector<std::unique_ptr<UseCase>>()>& factory,
+      unsigned threads) const;
+
+  /// Run a single cell on a fresh platform.
+  [[nodiscard]] CellResult run_cell(UseCase& use_case, hv::XenVersion version,
+                                    Mode mode) const;
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace ii::core

@@ -1,0 +1,46 @@
+#include "core/coverage.hpp"
+
+#include <sstream>
+
+namespace ii::core {
+
+std::vector<ModelCoverage> compute_model_coverage(
+    std::span<const IntrusionModel> catalogue,
+    const std::vector<std::unique_ptr<UseCase>>& cases) {
+  std::vector<ModelCoverage> out;
+  out.reserve(catalogue.size());
+  for (const IntrusionModel& model : catalogue) {
+    ModelCoverage entry{};
+    entry.model = model;
+    for (const auto& use_case : cases) {
+      const IntrusionModel implemented = use_case->model();
+      if (implemented.component == model.component &&
+          implemented.functionality == model.functionality) {
+        entry.covered_by.push_back(use_case->name());
+      }
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string render_coverage(const std::vector<ModelCoverage>& coverage) {
+  std::ostringstream os;
+  std::size_t covered = 0;
+  for (const ModelCoverage& entry : coverage) covered += entry.covered();
+  os << "intrusion-model coverage: " << covered << "/" << coverage.size()
+     << " models have an executable injector\n";
+  for (const ModelCoverage& entry : coverage) {
+    os << "  " << (entry.covered() ? "[x] " : "[ ] ")
+       << to_string(entry.model.component) << " / "
+       << to_string(entry.model.functionality);
+    if (entry.covered()) {
+      os << "  <-";
+      for (const std::string& name : entry.covered_by) os << ' ' << name;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ii::core

@@ -1,0 +1,38 @@
+// Intrusion-model coverage accounting.
+//
+// The paper's conclusion plans "an open-source list of tests and
+// experiments covering various Intrusion Models". Coverage accounting is
+// what makes that list auditable: given a catalogue of intrusion models
+// (e.g. derived from the §IV-D advisory study) and the executable use
+// cases, report which models have an injector script behind them and which
+// are still open. A model is covered by a use case when they agree on the
+// two dimensions that determine the injection mechanics: target component
+// and abusive functionality.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/usecase.hpp"
+
+namespace ii::core {
+
+struct ModelCoverage {
+  IntrusionModel model;
+  /// Names of the executable use cases whose model matches.
+  std::vector<std::string> covered_by;
+  [[nodiscard]] bool covered() const { return !covered_by.empty(); }
+};
+
+/// Match every catalogue model against the executable use cases.
+[[nodiscard]] std::vector<ModelCoverage> compute_model_coverage(
+    std::span<const IntrusionModel> catalogue,
+    const std::vector<std::unique_ptr<UseCase>>& cases);
+
+/// Summary renderer: per-model coverage plus the covered/total ratio.
+[[nodiscard]] std::string render_coverage(
+    const std::vector<ModelCoverage>& coverage);
+
+}  // namespace ii::core

@@ -1,0 +1,157 @@
+#include "core/fuzz.hpp"
+
+#include <random>
+#include <sstream>
+
+#include "core/injector.hpp"
+#include "core/monitor.hpp"
+#include "hv/audit.hpp"
+
+namespace ii::core {
+
+std::string to_string(FuzzOutcome outcome) {
+  switch (outcome) {
+    case FuzzOutcome::NoObservableEffect: return "no observable effect";
+    case FuzzOutcome::DetectedByAudit: return "detected by audit";
+    case FuzzOutcome::IsolationViolation: return "ISOLATION VIOLATION";
+    case FuzzOutcome::HostCrash: return "HOST CRASH";
+    case FuzzOutcome::CpuHang: return "CPU HANG";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string target_name(FuzzTarget target) {
+  switch (target) {
+    case FuzzTarget::OwnL1Slot: return "own L1 slot";
+    case FuzzTarget::OwnL4Slot: return "own L4 slot";
+    case FuzzTarget::IdtBytes: return "IDT gate bytes";
+    case FuzzTarget::XenL3Slot: return "shared Xen L3 slot";
+    case FuzzTarget::WildPhysical: return "wild physical address";
+  }
+  return "unknown";
+}
+
+/// A plausible-but-random PTE value: a frame somewhere in the machine plus
+/// a random flag cocktail (biased towards present entries — non-present
+/// injections are overwhelmingly inert).
+std::uint64_t random_pte(std::mt19937& rng, std::uint64_t frames) {
+  // Bias towards the low, populated frame region (hypervisor image, dom0,
+  // guests all live there): a uniform draw over a mostly-empty machine
+  // would make almost every injected entry point at free frames and tell
+  // us nothing.
+  const std::uint64_t frame = rng() % 4 == 0
+                                  ? rng() % frames
+                                  : rng() % std::max<std::uint64_t>(
+                                                frames / 32, 1);
+  std::uint64_t flags = 0;
+  if (rng() % 8 != 0) flags |= sim::Pte::kPresent;
+  if (rng() % 2) flags |= sim::Pte::kWritable;
+  if (rng() % 4 != 0) flags |= sim::Pte::kUser;
+  if (rng() % 8 == 0) flags |= sim::Pte::kPageSize;
+  if (rng() % 16 == 0) flags |= sim::Pte::kNoExecute;
+  return sim::Pte::make(sim::Mfn{frame}, flags).raw();
+}
+
+/// One iteration: inject, activate, classify.
+FuzzOutcome run_one(const FuzzConfig& config, unsigned iteration,
+                    FuzzTarget* chosen, bool* refused) {
+  std::mt19937 rng{config.seed * 2654435761u + iteration};
+  guest::PlatformConfig pc = config.platform;
+  pc.version = config.version;
+  pc.injector_enabled = true;
+  guest::VirtualPlatform platform{pc};
+  guest::GuestKernel& attacker = platform.guest(0);
+  ArbitraryAccessInjector injector{attacker};
+  const std::uint64_t frames = platform.memory().frame_count();
+
+  const auto target = static_cast<FuzzTarget>(rng() % 5);
+  *chosen = target;
+  std::uint64_t address = 0;
+  std::uint64_t value = random_pte(rng, frames);
+  switch (target) {
+    case FuzzTarget::OwnL1Slot:
+      address = sim::mfn_to_paddr(attacker.l1_mfn(0)).raw() +
+                (rng() % sim::kPtEntries) * 8;
+      break;
+    case FuzzTarget::OwnL4Slot:
+      address = sim::mfn_to_paddr(attacker.l4_mfn()).raw() +
+                (rng() % sim::kPtEntries) * 8;
+      break;
+    case FuzzTarget::IdtBytes:
+      address = platform.hv().idt_base().raw() +
+                rng() % (sim::kIdtVectors * sim::Idt::kGateBytes - 8);
+      value = rng() | (std::uint64_t{rng()} << 32);
+      break;
+    case FuzzTarget::XenL3Slot:
+      address = sim::mfn_to_paddr(platform.hv().xen_l3()).raw() +
+                (rng() % sim::kPtEntries) * 8;
+      break;
+    case FuzzTarget::WildPhysical:
+      address = rng() % (platform.memory().byte_size() - 8);
+      value = rng() | (std::uint64_t{rng()} << 32);
+      break;
+  }
+
+  if (!injector.write_u64(address, value, AddressMode::Physical)) {
+    *refused = true;
+    return FuzzOutcome::NoObservableEffect;
+  }
+
+  // Activation workload: ordinary guest behaviour that would trip over the
+  // injected state — touch own memory, take a page fault, raise a couple of
+  // interrupt vectors, run the event loop.
+  std::array<std::uint8_t, 8> buf{};
+  for (unsigned i = 0; i < 4; ++i) {
+    const sim::Pfn pfn{guest::kFirstFreePfn.raw() + rng() % 8};
+    (void)attacker.read_virt(attacker.pfn_va(pfn), buf);
+  }
+  (void)attacker.read_virt(sim::Vaddr{0xDEAD000000ULL}, buf);  // page fault
+  (void)attacker.software_interrupt(static_cast<unsigned>(rng() % 256));
+  (void)attacker.handle_events();
+
+  // Classification, most severe first.
+  if (platform.hv().crashed()) return FuzzOutcome::HostCrash;
+  if (platform.hv().cpu_hung()) return FuzzOutcome::CpuHang;
+  const hv::AuditReport report = hv::audit_system(platform.hv());
+  const bool isolation =
+      report.has(hv::FindingKind::GuestWritablePageTable) ||
+      report.has(hv::FindingKind::GuestWritableXenFrame) ||
+      report.has(hv::FindingKind::GuestMapsForeignFrame);
+  if (isolation) return FuzzOutcome::IsolationViolation;
+  if (!report.clean()) return FuzzOutcome::DetectedByAudit;
+  return FuzzOutcome::NoObservableEffect;
+}
+
+}  // namespace
+
+std::string FuzzStats::render() const {
+  std::ostringstream os;
+  os << "randomized injections: " << iterations << " (refused: "
+     << injections_refused << ")\n";
+  for (const auto& [outcome, count] : outcomes) {
+    os << "  " << to_string(outcome) << ": " << count << "\n";
+  }
+  os << "targets drawn:\n";
+  for (const auto& [target, count] : targets) {
+    os << "  " << target_name(target) << ": " << count << "\n";
+  }
+  return os.str();
+}
+
+FuzzStats run_random_injection_campaign(const FuzzConfig& config) {
+  FuzzStats stats;
+  stats.iterations = config.iterations;
+  for (unsigned i = 0; i < config.iterations; ++i) {
+    FuzzTarget target{};
+    bool refused = false;
+    const FuzzOutcome outcome = run_one(config, i, &target, &refused);
+    ++stats.outcomes[outcome];
+    ++stats.targets[target];
+    if (refused) ++stats.injections_refused;
+  }
+  return stats;
+}
+
+}  // namespace ii::core

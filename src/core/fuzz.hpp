@@ -1,0 +1,69 @@
+// Randomized erroneous-state injection (paper §IV-C):
+//
+//   "Relevant erroneous states can be difficult to be designed by a tester.
+//    ... One possibility is to randomize inputs to an injector, creating an
+//    approach that resembles fuzzing testing but in another level of
+//    interaction, in a post-attack phase."
+//
+// This module implements that suggestion for the memory-corruption intrusion
+// model family: each iteration boots a fresh platform, drives one randomized
+// write-what-where erroneous state through the arbitrary-access injector
+// (targets drawn from the paging structures, the IDT, the shared Xen L3, or
+// wild machine addresses), attempts to activate it with ordinary guest
+// behaviour, and classifies what the system did with it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "guest/platform.hpp"
+
+namespace ii::core {
+
+/// Classified consequence of one randomized injection.
+enum class FuzzOutcome {
+  NoObservableEffect,   ///< nothing the monitor can see changed
+  DetectedByAudit,      ///< audit findings, but no violation materialized
+  IsolationViolation,   ///< guest-writable PT / Xen frame / foreign mapping
+  HostCrash,            ///< hypervisor panic
+  CpuHang,              ///< wedged delivery/event loop
+};
+
+[[nodiscard]] std::string to_string(FuzzOutcome outcome);
+
+/// Target classes the generator draws from. Exposed so campaigns can
+/// restrict the state space to one intrusion model.
+enum class FuzzTarget {
+  OwnL1Slot,      ///< random slot of the attacker's leaf table
+  OwnL4Slot,      ///< random slot of the attacker's top-level table
+  IdtBytes,       ///< random bytes over a random IDT gate
+  XenL3Slot,      ///< random slot of the shared Xen L3
+  WildPhysical,   ///< random 8 bytes anywhere in machine memory
+};
+
+struct FuzzConfig {
+  hv::XenVersion version = hv::kXen46;
+  unsigned iterations = 50;
+  unsigned seed = 1;
+  /// Platform shape per iteration (version/injector overridden).
+  guest::PlatformConfig platform{};
+};
+
+struct FuzzStats {
+  std::map<FuzzOutcome, unsigned> outcomes;
+  std::map<FuzzTarget, unsigned> targets;
+  unsigned iterations = 0;
+  unsigned injections_refused = 0;
+
+  [[nodiscard]] unsigned count(FuzzOutcome outcome) const {
+    auto it = outcomes.find(outcome);
+    return it == outcomes.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::string render() const;
+};
+
+/// Run the randomized campaign. Deterministic for a given config.
+[[nodiscard]] FuzzStats run_random_injection_campaign(const FuzzConfig& config);
+
+}  // namespace ii::core

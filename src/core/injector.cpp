@@ -1,0 +1,47 @@
+#include "core/injector.hpp"
+
+namespace ii::core {
+
+std::optional<std::uint64_t> Injector::read_u64(std::uint64_t addr,
+                                                AddressMode mode) {
+  std::uint64_t v = 0;
+  if (!read(addr, {reinterpret_cast<std::uint8_t*>(&v), sizeof v}, mode)) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+bool Injector::write_u64(std::uint64_t addr, std::uint64_t value,
+                         AddressMode mode) {
+  return write(addr,
+               {reinterpret_cast<const std::uint8_t*>(&value), sizeof value},
+               mode);
+}
+
+bool ArbitraryAccessInjector::read(std::uint64_t addr,
+                                   std::span<std::uint8_t> out,
+                                   AddressMode mode) {
+  hv::ArbitraryAccess req{};
+  req.addr = addr;
+  req.buffer = out;
+  req.action = mode == AddressMode::Linear ? hv::AccessAction::ReadLinear
+                                           : hv::AccessAction::ReadPhysical;
+  last_rc_ = guest_->arbitrary_access(req);
+  return last_rc_ == hv::kOk;
+}
+
+bool ArbitraryAccessInjector::write(std::uint64_t addr,
+                                    std::span<const std::uint8_t> in,
+                                    AddressMode mode) {
+  // The hypercall ABI takes one buffer pointer for both directions; the
+  // const_cast reflects the guest->hypervisor copy direction for writes.
+  hv::ArbitraryAccess req{};
+  req.addr = addr;
+  req.buffer = {const_cast<std::uint8_t*>(in.data()), in.size()};
+  req.action = mode == AddressMode::Linear ? hv::AccessAction::WriteLinear
+                                           : hv::AccessAction::WritePhysical;
+  last_rc_ = guest_->arbitrary_access(req);
+  return last_rc_ == hv::kOk;
+}
+
+}  // namespace ii::core

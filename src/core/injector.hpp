@@ -1,0 +1,61 @@
+// The intrusion-injector interface and its arbitrary-access implementation.
+//
+// The paper's prototype exposes one new hypercall that lets a guest kernel
+// read/write n bytes at an arbitrary linear or physical address (§V-B).
+// Injector is the abstract component of Fig. 2 ("the component that injects
+// the erroneous state into the hypervisor, based on the IM"); different
+// erroneous states may need different injector implementations, so scripts
+// program against the interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "guest/kernel.hpp"
+
+namespace ii::core {
+
+/// Address interpretation, matching the hypercall's action modes.
+enum class AddressMode { Linear, Physical };
+
+/// Abstract erroneous-state injector.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+
+  /// Read/write `buffer.size()` bytes at `addr`. Returns false on refusal
+  /// (unmapped address, disabled injector, ...); last_rc() has the code.
+  virtual bool read(std::uint64_t addr, std::span<std::uint8_t> out,
+                    AddressMode mode) = 0;
+  virtual bool write(std::uint64_t addr, std::span<const std::uint8_t> in,
+                     AddressMode mode) = 0;
+
+  /// Status of the most recent operation (hypercall errno convention).
+  [[nodiscard]] virtual long last_rc() const = 0;
+
+  // Convenience accessors used throughout the injection scripts.
+  [[nodiscard]] std::optional<std::uint64_t> read_u64(std::uint64_t addr,
+                                                      AddressMode mode);
+  bool write_u64(std::uint64_t addr, std::uint64_t value, AddressMode mode);
+};
+
+/// Injector backed by the HYPERVISOR_arbitrary_access hypercall, issued
+/// from a given guest kernel (the paper's "interface with the guest OS").
+class ArbitraryAccessInjector final : public Injector {
+ public:
+  explicit ArbitraryAccessInjector(guest::GuestKernel& guest)
+      : guest_{&guest} {}
+
+  bool read(std::uint64_t addr, std::span<std::uint8_t> out,
+            AddressMode mode) override;
+  bool write(std::uint64_t addr, std::span<const std::uint8_t> in,
+             AddressMode mode) override;
+  [[nodiscard]] long last_rc() const override { return last_rc_; }
+
+ private:
+  guest::GuestKernel* guest_;
+  long last_rc_ = 0;
+};
+
+}  // namespace ii::core

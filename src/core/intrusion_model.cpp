@@ -1,0 +1,43 @@
+#include "core/intrusion_model.hpp"
+
+namespace ii::core {
+
+std::string to_string(TriggeringSource s) {
+  switch (s) {
+    case TriggeringSource::UnprivilegedGuest: return "unprivileged guest";
+    case TriggeringSource::PrivilegedGuest: return "privileged guest (dom0)";
+    case TriggeringSource::ManagementInterface: return "management interface";
+    case TriggeringSource::DeviceDriver: return "device driver";
+  }
+  return "unknown";
+}
+
+std::string to_string(TargetComponent c) {
+  switch (c) {
+    case TargetComponent::MemoryManagement: return "memory management";
+    case TargetComponent::InterruptHandling: return "interrupt handling";
+    case TargetComponent::GrantTables: return "grant tables";
+    case TargetComponent::Scheduler: return "scheduler";
+    case TargetComponent::IoEmulation: return "I/O emulation";
+  }
+  return "unknown";
+}
+
+std::string to_string(InteractionInterface i) {
+  switch (i) {
+    case InteractionInterface::Hypercall: return "hypercall";
+    case InteractionInterface::IoRequest: return "I/O request";
+    case InteractionInterface::SharedMemory: return "shared memory";
+    case InteractionInterface::EventChannel: return "event channel";
+  }
+  return "unknown";
+}
+
+std::string IntrusionModel::describe() const {
+  return to_string(source) + " abusing a " + to_string(interface) +
+         " against " + to_string(component) + " to obtain '" +
+         to_string(functionality) + "' (erroneous state: " + erroneous_state +
+         ")";
+}
+
+}  // namespace ii::core

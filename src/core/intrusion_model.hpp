@@ -1,0 +1,60 @@
+// Intrusion Models (paper §IV-B/§IV-C).
+//
+// An Intrusion Model abstracts *how an erroneous state is achieved when
+// using an abusive functionality through a given interface*. Instantiating
+// one fixes the triggering source (who attacks), the target component, the
+// interaction interface, and the abusive functionality gained. The model is
+// deliberately implementation-agnostic — that is what makes test cases
+// portable across hypervisor versions and vendors (paper §IX-B).
+#pragma once
+
+#include <string>
+
+#include "core/abusive_functionality.hpp"
+
+namespace ii::core {
+
+/// Who drives the intrusion (the threat-model actor).
+enum class TriggeringSource {
+  UnprivilegedGuest,    ///< kernel-privileged user in a domU
+  PrivilegedGuest,      ///< dom0 / control domain
+  ManagementInterface,  ///< toolstack / admin API
+  DeviceDriver,         ///< emulated or passthrough device path
+};
+
+/// Hypervisor component whose state the intrusion corrupts.
+enum class TargetComponent {
+  MemoryManagement,
+  InterruptHandling,
+  GrantTables,
+  Scheduler,
+  IoEmulation,
+};
+
+/// Channel through which the abusive functionality is exercised.
+enum class InteractionInterface {
+  Hypercall,
+  IoRequest,
+  SharedMemory,
+  EventChannel,
+};
+
+[[nodiscard]] std::string to_string(TriggeringSource s);
+[[nodiscard]] std::string to_string(TargetComponent c);
+[[nodiscard]] std::string to_string(InteractionInterface i);
+
+/// A fully instantiated Intrusion Model.
+struct IntrusionModel {
+  TriggeringSource source = TriggeringSource::UnprivilegedGuest;
+  TargetComponent component = TargetComponent::MemoryManagement;
+  InteractionInterface interface = InteractionInterface::Hypercall;
+  AbusiveFunctionality functionality =
+      AbusiveFunctionality::WriteUnauthorizedArbitraryMemory;
+  /// Free-text description of the erroneous state the model targets
+  /// (e.g. "IDT page-fault gate overwritten").
+  std::string erroneous_state;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace ii::core

@@ -1,0 +1,43 @@
+#include "core/monitor.hpp"
+
+namespace ii::core {
+
+Observation SystemMonitor::observe(std::size_t console_tail) const {
+  Observation obs;
+  obs.hypervisor_crashed = platform_->hv().crashed();
+  obs.audit = hv::audit_system(platform_->hv());
+  const auto& console = platform_->hv().console();
+  const std::size_t start =
+      console.size() > console_tail ? console.size() - console_tail : 0;
+  obs.console_tail.assign(console.begin() + static_cast<long>(start),
+                          console.end());
+  return obs;
+}
+
+bool SystemMonitor::file_in_all_domains(
+    const std::string& path, const std::string& required_substring) const {
+  for (guest::GuestKernel* kernel : platform_->kernels()) {
+    const auto content = kernel->fs().read(path, /*uid=*/0);
+    if (!content) return false;
+    if (!required_substring.empty() &&
+        content->find(required_substring) == std::string::npos) {
+      return false;
+    }
+  }
+  return !platform_->kernels().empty();
+}
+
+bool SystemMonitor::attacker_root_shell(std::uint16_t port) const {
+  const auto conns = platform_->attacker().accepted(port);
+  if (conns.empty()) return false;
+  for (const auto& conn : conns) {
+    conn->send(net::Endpoint::Client, "whoami");
+    platform_->pump();
+    if (auto reply = conn->poll(net::Endpoint::Client)) {
+      if (*reply == "root") return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ii::core

@@ -1,0 +1,60 @@
+// System monitoring (Fig. 2's final stage).
+//
+// "System monitoring is needed to evaluate how the system behaves in the
+// presence of the erroneous state." The monitor is read-only: it inspects
+// the hypervisor console, the frame-table/page-table audit, guest
+// filesystems, and the attacker's network foothold, and condenses them into
+// the two verdicts the paper's tables report — was the erroneous state
+// present, and did a security violation occur.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "guest/platform.hpp"
+#include "hv/audit.hpp"
+
+namespace ii::core {
+
+/// Snapshot of everything the monitor can see.
+struct Observation {
+  bool hypervisor_crashed = false;
+  hv::AuditReport audit;
+  std::vector<std::string> console_tail;
+};
+
+class SystemMonitor {
+ public:
+  explicit SystemMonitor(guest::VirtualPlatform& platform)
+      : platform_{&platform} {}
+
+  [[nodiscard]] Observation observe(std::size_t console_tail = 10) const;
+
+  // ---- specific detectors -------------------------------------------------
+  /// Host crash (Xen panic) detector.
+  [[nodiscard]] bool crash_detected() const {
+    return platform_->hv().crashed();
+  }
+
+  /// True when every domain's filesystem holds `path` and, if non-empty,
+  /// its content contains `required_substring` — the XSA-212-priv
+  /// "/tmp/injector_log appears in every domain" observable.
+  [[nodiscard]] bool file_in_all_domains(
+      const std::string& path, const std::string& required_substring = "") const;
+
+  /// True when the attacker host holds a live reverse shell on `port` that
+  /// answers `whoami` with root — the XSA-148 observable. Actively pumps
+  /// the session once.
+  [[nodiscard]] bool attacker_root_shell(std::uint16_t port) const;
+
+  /// Full page-table/IDT audit.
+  [[nodiscard]] hv::AuditReport audit() const {
+    return hv::audit_system(platform_->hv());
+  }
+
+ private:
+  guest::VirtualPlatform* platform_;
+};
+
+}  // namespace ii::core

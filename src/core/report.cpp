@@ -1,0 +1,151 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ii::core {
+
+namespace {
+
+/// Width of a UTF-8 string in code points (good enough for our check marks
+/// and box-drawing-free tables).
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++w;  // count non-continuation bytes
+  }
+  return w;
+}
+
+std::string pad(const std::string& s, std::size_t width) {
+  std::string out = s;
+  const std::size_t w = display_width(s);
+  if (w < width) out.append(width - w, ' ');
+  return out;
+}
+
+constexpr const char* kCheck = "✓";          // ✓
+constexpr const char* kShield = "[shield]";       // handled by the system
+
+const CellResult* find_cell(const std::vector<CellResult>& results,
+                            const std::string& name, hv::XenVersion version,
+                            Mode mode) {
+  for (const CellResult& r : results) {
+    if (r.use_case == name && r.version == version && r.mode == mode) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> case_names(const std::vector<CellResult>& results) {
+  std::vector<std::string> names;
+  for (const CellResult& r : results) {
+    if (std::find(names.begin(), names.end(), r.use_case) == names.end()) {
+      names.push_back(r.use_case);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string render_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    widths[c] = display_width(headers[c]);
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], display_width(row[c]));
+    }
+  }
+  std::ostringstream os;
+  auto line = [&] {
+    os << '+';
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << ' ' << pad(c < row.size() ? row[c] : "", widths[c]) << " |";
+    }
+    os << '\n';
+  };
+  line();
+  emit(headers);
+  line();
+  for (const auto& row : rows) emit(row);
+  line();
+  return os.str();
+}
+
+std::string render_use_case_table(
+    const std::vector<std::unique_ptr<UseCase>>& cases) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& use_case : cases) {
+    rows.push_back(
+        {use_case->name(), to_string(use_case->model().functionality)});
+  }
+  return render_table({"Use Case", "Abusive Functionality"}, rows);
+}
+
+std::string render_rq1_table(const std::vector<CellResult>& results) {
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& name : case_names(results)) {
+    std::vector<std::string> row{name};
+    for (const Mode mode : {Mode::Exploit, Mode::Injection}) {
+      const CellResult* cell = find_cell(results, name, hv::kXen46, mode);
+      if (cell == nullptr) {
+        row.insert(row.end(), {"-", "-"});
+        continue;
+      }
+      row.push_back(cell->err_state ? kCheck : "x");
+      row.push_back(cell->violation ? kCheck : "x");
+    }
+    rows.push_back(std::move(row));
+  }
+  return render_table({"Use Case (Xen 4.6)", "Exploit Err.St.",
+                       "Exploit Sec.Viol.", "Inject Err.St.",
+                       "Inject Sec.Viol."},
+                      rows);
+}
+
+std::string render_table3(const std::vector<CellResult>& results) {
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& name : case_names(results)) {
+    std::vector<std::string> row{name};
+    for (const hv::XenVersion version : {hv::kXen48, hv::kXen413}) {
+      const CellResult* cell =
+          find_cell(results, name, version, Mode::Injection);
+      if (cell == nullptr) {
+        row.insert(row.end(), {"-", "-"});
+        continue;
+      }
+      row.push_back(cell->err_state ? kCheck : "x");
+      row.push_back(cell->violation ? kCheck
+                                    : (cell->handled() ? kShield : "x"));
+    }
+    rows.push_back(std::move(row));
+  }
+  return render_table({"Use Case", "4.8 Err.State", "4.8 Sec.Viol.",
+                       "4.13 Err.State", "4.13 Sec.Viol."},
+                      rows);
+}
+
+std::string render_csv(const std::vector<CellResult>& results) {
+  std::ostringstream os;
+  os << "use_case,version,mode,completed,rc,err_state,violation,handled\n";
+  for (const CellResult& cell : results) {
+    os << cell.use_case << ',' << cell.version.to_string() << ','
+       << to_string(cell.mode) << ',' << (cell.outcome.completed ? 1 : 0)
+       << ',' << cell.outcome.rc << ',' << (cell.err_state ? 1 : 0) << ','
+       << (cell.violation ? 1 : 0) << ',' << (cell.handled() ? 1 : 0)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ii::core

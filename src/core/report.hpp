@@ -1,0 +1,36 @@
+// Report rendering: the ASCII equivalents of the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/usecase.hpp"
+
+namespace ii::core {
+
+/// Generic fixed-width table renderer (header row + body rows).
+[[nodiscard]] std::string render_table(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows);
+
+/// Table II: use case -> abusive functionality.
+[[nodiscard]] std::string render_use_case_table(
+    const std::vector<std::unique_ptr<UseCase>>& cases);
+
+/// Fig. 4 / RQ1 matrix: per use case and version, whether the exploit and
+/// the injection induced the erroneous state and the violation.
+[[nodiscard]] std::string render_rq1_table(
+    const std::vector<CellResult>& results);
+
+/// Table III: injection campaign on the non-vulnerable versions. A check
+/// mark means the property was induced; a blank Sec.Viol. cell with a
+/// shield marker means the system handled the injected state.
+[[nodiscard]] std::string render_table3(
+    const std::vector<CellResult>& results);
+
+/// Machine-readable export of raw campaign cells (one row per cell, header
+/// included) for downstream analysis pipelines.
+[[nodiscard]] std::string render_csv(const std::vector<CellResult>& results);
+
+}  // namespace ii::core

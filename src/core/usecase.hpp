@@ -1,0 +1,70 @@
+// Use-case abstraction tying together an intrusion model, the original
+// exploit PoC, and the equivalent injection script.
+//
+// The paper's validation strategy (Fig. 4) runs, for each use case, (a) the
+// third-party exploit and (b) the injection of the same erroneous state,
+// then compares the erroneous states and the security violations observed.
+// A UseCase packages those four capabilities; ii::xsa provides the four
+// concrete ones from Table II.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/intrusion_model.hpp"
+#include "guest/platform.hpp"
+
+namespace ii::core {
+
+/// What one attempt (exploit or injection) reported about itself.
+struct CaseOutcome {
+  /// Did the scripted steps all run to completion? (An exploit aborting
+  /// with -EFAULT on a fixed version reports false here.)
+  bool completed = false;
+  /// Last hypercall status observed (errno convention).
+  long rc = 0;
+  /// Free-form step log, mirroring the PoCs' printk output.
+  std::vector<std::string> notes;
+};
+
+class UseCase {
+ public:
+  virtual ~UseCase() = default;
+
+  /// Short identifier as used in the paper, e.g. "XSA-212-crash".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The instantiated intrusion model (Table II row).
+  [[nodiscard]] virtual IntrusionModel model() const = 0;
+
+  /// Run the original third-party exploit PoC from an unprivileged guest.
+  virtual CaseOutcome run_exploit(guest::VirtualPlatform& platform) = 0;
+
+  /// Inject the equivalent erroneous state with the injector prototype.
+  virtual CaseOutcome run_injection(guest::VirtualPlatform& platform) = 0;
+
+  /// Audit whether the use case's erroneous state is present in `platform`
+  /// (page-table walks, IDT inspection, ... — paper §VI-C's per-case
+  /// evidence).
+  [[nodiscard]] virtual bool erroneous_state_present(
+      guest::VirtualPlatform& platform) const = 0;
+
+  /// Check whether the use case's security violation materialized.
+  [[nodiscard]] virtual bool security_violation(
+      guest::VirtualPlatform& platform) const = 0;
+
+  /// Canonical, allocation-independent description of the erroneous state
+  /// as audited on `platform` — empty when absent. Two runs (e.g. the
+  /// exploit and the injection) produced "the same erroneous state" in the
+  /// paper's §VI-C sense exactly when their descriptions match: same
+  /// corrupted structures, same flags, same payloads — with machine frame
+  /// numbers (which legitimately differ run to run) abstracted away.
+  [[nodiscard]] virtual std::string erroneous_state_description(
+      guest::VirtualPlatform& platform) const {
+    (void)platform;
+    return {};
+  }
+};
+
+}  // namespace ii::core

@@ -1,0 +1,80 @@
+// The §IV-D field study: 100 memory-related Xen security advisories
+// classified by the abusive functionalities an attacker can obtain.
+//
+// The paper randomly selected 100 CVEs from the Xen Security Advisory list
+// and assessed each against all available metadata (advisory text, NVD/CVE
+// records, patches, mailing lists). This module carries that study as a
+// machine-readable dataset: the anchor records are real, well-documented
+// advisories (XSA-148, XSA-182, XSA-212, XSA-133/VENOM, XSA-387, XSA-393,
+// CVE-2019-17343, CVE-2020-27672, ...); the remainder are synthesized
+// records representative of the advisory corpus, constructed so the
+// aggregate counts reproduce Table I (see EXPERIMENTS.md for which Table I
+// cells were unreadable in the source text and how they were filled).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/abusive_functionality.hpp"
+#include "core/intrusion_model.hpp"
+
+namespace ii::cvedb {
+
+struct AdvisoryRecord {
+  std::string xsa_id;      ///< "XSA-212" (empty when only a CVE id exists)
+  std::string cve_id;      ///< "CVE-2017-7228"
+  int year = 0;
+  std::string component;   ///< hypervisor subsystem the fault lives in
+  std::string summary;     ///< one-line advisory digest
+  /// One or more functionalities: "some CVEs can have more than one abusive
+  /// functionality depending on how they are exploited" (§IV-D).
+  std::vector<core::AbusiveFunctionality> functionalities;
+};
+
+/// The 100 records of the study.
+[[nodiscard]] const std::vector<AdvisoryRecord>& study_records();
+
+/// Aggregated classification (Table I's content).
+struct FunctionalityCount {
+  core::AbusiveFunctionality functionality{};
+  int count = 0;
+};
+
+struct TableOne {
+  /// Per-functionality counts, in Table I row order.
+  std::vector<FunctionalityCount> rows;
+  /// Assignment totals per class (the "— N CVEs" section headers).
+  [[nodiscard]] int class_total(core::FunctionalityClass fc) const;
+  /// Total functionality assignments (> number of records; §IV-D).
+  [[nodiscard]] int total_assignments() const;
+};
+
+/// Classify a record set into Table I form.
+[[nodiscard]] TableOne classify(const std::vector<AdvisoryRecord>& records);
+
+/// ASCII rendering in the paper's layout (class headers + rows).
+[[nodiscard]] std::string render_table1(const TableOne& table);
+
+// ------------------------------------------------- intrusion-model derivation
+
+/// One intrusion model generalized from the study: "the essential
+/// characteristics that can be generalized from a collection of exploits"
+/// (§III-B). Grouping key: (target component, abusive functionality).
+struct DerivedModel {
+  core::IntrusionModel model;
+  int supporting_advisories = 0;
+  /// Up to three representative advisory ids behind the model.
+  std::vector<std::string> examples;
+};
+
+/// Abstract the record set into deduplicated intrusion models with support
+/// counts — the "continuous modeling of new knowledge on vulnerabilities"
+/// step the paper's §III-B calls for.
+[[nodiscard]] std::vector<DerivedModel> derive_intrusion_models(
+    const std::vector<AdvisoryRecord>& records);
+
+[[nodiscard]] std::string render_model_catalogue(
+    const std::vector<DerivedModel>& models);
+
+}  // namespace ii::cvedb

@@ -1,0 +1,170 @@
+#include "dm/device_model.hpp"
+
+#include <stdexcept>
+
+#include "guest/payload.hpp"
+
+namespace ii::dm {
+
+DeviceModel::DeviceModel(guest::GuestKernel& host, guest::GuestKernel& guest)
+    : host_{&host}, guest_{&guest} {
+  const auto pfn = host.alloc_pfn();
+  if (!pfn) throw std::runtime_error{"device model: dom0 out of pages"};
+  arena_pfn_ = *pfn;
+  reset_controller();
+}
+
+sim::Paddr DeviceModel::arena_paddr() const {
+  return sim::mfn_to_paddr(*host_->pfn_to_mfn(arena_pfn_));
+}
+
+std::uint8_t DeviceModel::arena_u8(std::uint64_t offset) const {
+  std::uint8_t v = 0;
+  host_->hv().memory().read(arena_paddr() + offset, {&v, 1});
+  return v;
+}
+
+void DeviceModel::arena_set_u8(std::uint64_t offset, std::uint8_t value) {
+  host_->hv().memory().write(arena_paddr() + offset, {&value, 1});
+}
+
+std::uint64_t DeviceModel::arena_u64(std::uint64_t offset) const {
+  return host_->hv().memory().read_u64(arena_paddr() + offset);
+}
+
+void DeviceModel::arena_set_u64(std::uint64_t offset, std::uint64_t value) {
+  host_->hv().memory().write_u64(arena_paddr() + offset, value);
+}
+
+void DeviceModel::reset_controller() {
+  for (std::uint64_t i = 0; i < sim::kPageSize; i += 8) arena_set_u64(i, 0);
+  for (unsigned s = 0; s < FdcLayout::kHandlerSlots; ++s) {
+    // Populate the dispatch table with the opcodes that hash to each slot.
+    arena_set_u64(FdcLayout::kHandlerTableOffset + s * 8,
+                  FdcLayout::handler_value(static_cast<std::uint8_t>(s)));
+  }
+  // The commands the model serves get their proper entries.
+  for (const std::uint8_t op : {kCmdSpecify, kCmdReadId, kCmdConfigure,
+                                kCmdDriveSpecification}) {
+    arena_set_u64(FdcLayout::kHandlerTableOffset + FdcLayout::slot_of(op) * 8,
+                  FdcLayout::handler_value(op));
+  }
+  phase_ = Phase::Idle;
+  data_pos_ = 0;
+}
+
+bool DeviceModel::handler_table_corrupted() const {
+  for (unsigned s = 0; s < FdcLayout::kHandlerSlots; ++s) {
+    const std::uint64_t v = arena_u64(FdcLayout::kHandlerTableOffset + s * 8);
+    if ((v & ~0xFFULL) != FdcLayout::kHandlerMagic) return true;
+  }
+  return false;
+}
+
+void DeviceModel::abort_device(const std::string& reason) {
+  alive_ = false;
+  host_->printk("qemu-dm[" + std::to_string(guest_->id()) +
+                "]: ABORT: " + reason);
+}
+
+IoResult DeviceModel::outb(std::uint16_t port, std::uint8_t value) {
+  if (!alive_) return IoResult::DeviceAborted;
+  switch (port) {
+    case kFdcDorPort:
+      return IoResult::Ok;  // motor/reset bits: accepted, not modelled
+    case kFdcFifoPort:
+      return write_fifo(value);
+    default:
+      return IoResult::Ignored;
+  }
+}
+
+std::optional<std::uint8_t> DeviceModel::inb(std::uint16_t port) {
+  if (!alive_) return std::nullopt;
+  if (port == kFdcMsrPort) {
+    // RQM | DIO clear: "ready for your bytes" — all the driver checks.
+    return 0x80;
+  }
+  return std::nullopt;
+}
+
+IoResult DeviceModel::write_fifo(std::uint8_t value) {
+  if (phase_ == Phase::Idle) {
+    command_ = value;
+    data_pos_ = 0;
+    switch (value) {
+      case kCmdSpecify: expected_params_ = 2; break;
+      case kCmdConfigure: expected_params_ = 3; break;
+      case kCmdReadId: expected_params_ = 1; break;
+      case kCmdDriveSpecification:
+        expected_params_ = 0xFFFFFFFF;  // until the DONE bit — see below
+        break;
+      default:
+        // Unknown command: dispatch immediately (invalid-command path).
+        return dispatch(value);
+    }
+    phase_ = Phase::Parameters;
+    return IoResult::Ok;
+  }
+
+  // Parameter phase: accumulate into the FIFO at data_pos_.
+  const std::uint64_t offset = FdcLayout::kFifoOffset + data_pos_;
+  const bool in_bounds = data_pos_ < FdcLayout::kFifoSize;
+  if (in_bounds || host_->hv().policy().fdc_unbounded_fifo) {
+    // CVE-2015-3456: the vulnerable controller trusts data_pos_ and writes
+    // past the FIFO's end — straight into the dispatch table.
+    arena_set_u8(offset, value);
+  }
+  if (!in_bounds && !host_->hv().policy().fdc_unbounded_fifo) {
+    // The fix: out-of-range bytes reset the controller.
+    phase_ = Phase::Idle;
+    data_pos_ = 0;
+    return IoResult::Ok;
+  }
+  ++data_pos_;
+
+  const bool done =
+      command_ == kCmdDriveSpecification
+          ? (value & 0x80) != 0            // DONE bit terminates the list
+          : data_pos_ >= expected_params_;  // fixed-length commands
+  if (done) {
+    phase_ = Phase::Idle;
+    return dispatch(command_);
+  }
+  return IoResult::Ok;
+}
+
+IoResult DeviceModel::dispatch(std::uint8_t opcode) {
+  if (host_->hv().policy().dm_handler_integrity_check &&
+      handler_table_corrupted()) {
+    abort_device("dispatch-table integrity check failed");
+    return IoResult::DeviceAborted;
+  }
+  const std::uint64_t slot =
+      arena_u64(FdcLayout::kHandlerTableOffset +
+                FdcLayout::slot_of(opcode) * 8);
+  if ((slot & ~0xFFULL) == FdcLayout::kHandlerMagic) {
+    return IoResult::Ok;  // legitimate handler: emulate and return
+  }
+
+  // Corrupted entry: control flow leaves the dispatch table. The attacker
+  // parks a payload in the FIFO region (at kPayloadFifoOffset, clear of the
+  // bytes trigger commands scribble); "jumping" to it means decoding and
+  // running it with the device model's privilege — root in dom0.
+  std::array<std::uint8_t, FdcLayout::kFifoSize - FdcLayout::kPayloadFifoOffset>
+      fifo{};
+  host_->hv().memory().read(
+      arena_paddr() + FdcLayout::kFifoOffset + FdcLayout::kPayloadFifoOffset,
+      fifo);
+  if (const auto payload = guest::Payload::decode(fifo)) {
+    ++hijacked_;
+    host_->printk("qemu-dm[" + std::to_string(guest_->id()) +
+                  "]: executing attacker payload (host privilege)");
+    (void)host_->run_command(payload->command, /*uid=*/0);
+    return IoResult::Ok;
+  }
+  abort_device("jump through corrupt dispatch entry into garbage");
+  return IoResult::DeviceAborted;
+}
+
+}  // namespace ii::dm

@@ -1,0 +1,133 @@
+// Device model: the QEMU-like emulator process behind a guest's devices.
+//
+// This substrate exists because the paper's §III-A walks through XSA-133
+// (VENOM, CVE-2015-3456) as *the* motivating example of an intrusion: "a
+// fault in the floppy disk controller (FDC) of the QEMU hypervisor ...
+// an internal buffer of the FDC overflows, and the hypervisor enters an
+// erroneous state where memory that should be inaccessible is corrupted",
+// and §III-B describes the corresponding injection: "the intrusion
+// injection tool could change the QEMU process to allow the injection of
+// the corresponding error, e.g., by overwriting the FDC request handler
+// method".
+//
+// Model: one DeviceModel per served guest, its process memory held in a
+// page of dom0 (where the real QEMU runs), laid out as
+//
+//   [ 0x000 .. 0x040 )  controller state (phase, command, counters)
+//   [ 0x040 .. 0x240 )  the 512-byte command FIFO
+//   [ 0x240 .. 0x2C0 )  the command-dispatch table (16 u64 slots)
+//
+// so that (a) the VENOM overflow — FIFO writes without a bounds check —
+// naturally runs into the dispatch table, and (b) the injector can
+// reproduce the same erroneous state with one physical write into dom0's
+// memory. A corrupted dispatch slot is "executed" on the next matching
+// command: attacker bytes in the FIFO are decoded as a guest::Payload and
+// run with the device model's privilege (root in dom0). The hardened
+// device model checksums the table before every dispatch and aborts on
+// mismatch instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "guest/kernel.hpp"
+
+namespace ii::dm {
+
+/// FDC I/O ports (the classic ISA assignments).
+inline constexpr std::uint16_t kFdcDorPort = 0x3F2;   ///< digital output
+inline constexpr std::uint16_t kFdcMsrPort = 0x3F4;   ///< main status (read)
+inline constexpr std::uint16_t kFdcFifoPort = 0x3F5;  ///< data FIFO
+
+/// FDC commands the model implements (subset of the real controller).
+inline constexpr std::uint8_t kCmdSpecify = 0x03;
+inline constexpr std::uint8_t kCmdReadId = 0x0A;
+inline constexpr std::uint8_t kCmdConfigure = 0x13;
+/// The VENOM vector: DRIVE SPECIFICATION accepts parameter bytes until a
+/// terminator with the DONE bit (0x80) arrives.
+inline constexpr std::uint8_t kCmdDriveSpecification = 0x8E;
+
+/// Process-memory layout of the controller (offsets into the arena page).
+struct FdcLayout {
+  static constexpr std::uint64_t kStateOffset = 0x000;
+  static constexpr std::uint64_t kFifoOffset = 0x040;
+  static constexpr std::uint64_t kFifoSize = 512;
+  /// Where attacks park their payload inside the FIFO: past the first few
+  /// bytes, which later (trigger) commands overwrite with parameters.
+  static constexpr std::uint64_t kPayloadFifoOffset = 16;
+  static constexpr std::uint64_t kHandlerTableOffset =
+      kFifoOffset + kFifoSize;  // directly after the FIFO — VENOM's victim
+  static constexpr unsigned kHandlerSlots = 16;
+  /// A legitimate dispatch-table entry: magic | command opcode.
+  static constexpr std::uint64_t kHandlerMagic = 0xD15A7C4000000000ULL;
+  [[nodiscard]] static constexpr std::uint64_t handler_value(
+      std::uint8_t opcode) {
+    return kHandlerMagic | opcode;
+  }
+  [[nodiscard]] static constexpr unsigned slot_of(std::uint8_t opcode) {
+    return opcode % kHandlerSlots;
+  }
+};
+
+/// Result of one guest I/O operation against the device model.
+enum class IoResult {
+  Ok,
+  Ignored,        ///< port not handled
+  DeviceAborted,  ///< the DM killed itself (integrity check fired)
+};
+
+class DeviceModel {
+ public:
+  /// Serve `guest`, with the emulator process living in `host` (dom0):
+  /// allocates one host page as the process arena and initializes the
+  /// controller.
+  DeviceModel(guest::GuestKernel& host, guest::GuestKernel& guest);
+
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] guest::GuestKernel& served_guest() { return *guest_; }
+
+  /// Machine address of the emulator's process arena (what the injector
+  /// targets) and of the dispatch table inside it.
+  [[nodiscard]] sim::Paddr arena_paddr() const;
+  [[nodiscard]] sim::Paddr handler_table_paddr() const {
+    return arena_paddr() + FdcLayout::kHandlerTableOffset;
+  }
+
+  /// Guest port I/O (in HVM, these trap to the device model).
+  IoResult outb(std::uint16_t port, std::uint8_t value);
+  [[nodiscard]] std::optional<std::uint8_t> inb(std::uint16_t port);
+
+  /// Number of payloads the DM executed through corrupted dispatch slots.
+  [[nodiscard]] unsigned hijacked_dispatches() const { return hijacked_; }
+
+  /// True when the dispatch table deviates from its pristine contents —
+  /// the XSA-133 erroneous state.
+  [[nodiscard]] bool handler_table_corrupted() const;
+
+ private:
+  // Arena accessors (the "process memory" of the emulator).
+  [[nodiscard]] std::uint8_t arena_u8(std::uint64_t offset) const;
+  void arena_set_u8(std::uint64_t offset, std::uint8_t value);
+  [[nodiscard]] std::uint64_t arena_u64(std::uint64_t offset) const;
+  void arena_set_u64(std::uint64_t offset, std::uint64_t value);
+
+  void reset_controller();
+  IoResult write_fifo(std::uint8_t value);
+  IoResult dispatch(std::uint8_t opcode);
+  void abort_device(const std::string& reason);
+
+  guest::GuestKernel* host_;
+  guest::GuestKernel* guest_;
+  sim::Pfn arena_pfn_{};
+  bool alive_ = true;
+  unsigned hijacked_ = 0;
+
+  // Controller phase (kept in C++ for clarity; counters live in the arena).
+  enum class Phase { Idle, Parameters } phase_ = Phase::Idle;
+  std::uint8_t command_ = 0;
+  std::uint32_t expected_params_ = 0;
+  std::uint32_t data_pos_ = 0;  ///< FIFO write index — VENOM's variable
+};
+
+}  // namespace ii::dm

@@ -1,0 +1,271 @@
+#include "guest/kernel.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ii::guest {
+
+namespace {
+
+/// Copy a NUL-terminated string into a fixed-size field.
+void put_cstr(std::span<std::uint8_t> field, const std::string& s) {
+  const std::size_t n = std::min(field.size() - 1, s.size());
+  std::memcpy(field.data(), s.data(), n);
+  field[n] = 0;
+}
+
+}  // namespace
+
+GuestKernel::GuestKernel(hv::Hypervisor& hv, hv::DomainId id,
+                         std::string hostname)
+    : hv_{&hv},
+      id_{id},
+      hostname_{std::move(hostname)},
+      nr_pages_{hv.domain(id).nr_pages()},
+      l1_count_{(nr_pages_ + sim::kPtEntries - 1) / sim::kPtEntries} {
+  // Publish start_info: the fingerprintable page the XSA-148 scan hunts.
+  std::vector<std::uint8_t> page(sim::kPageSize, 0);
+  put_cstr({page.data() + StartInfoLayout::kMagicOffset, 24},
+           StartInfoLayout::kMagic);
+  const std::uint16_t domid = id_;
+  std::memcpy(page.data() + StartInfoLayout::kDomIdOffset, &domid,
+              sizeof domid);
+  std::memcpy(page.data() + StartInfoLayout::kNrPagesOffset, &nr_pages_,
+              sizeof nr_pages_);
+  put_cstr({page.data() + StartInfoLayout::kHostnameOffset, 64}, hostname_);
+  if (!write_virt(pfn_va(kStartInfoPfn), page)) {
+    throw std::runtime_error{"guest boot: cannot write start_info"};
+  }
+
+  // Publish the vDSO page.
+  std::fill(page.begin(), page.end(), 0);
+  std::memcpy(page.data(), VdsoLayout::kElfMagic, 4);
+  put_cstr({page.data() + VdsoLayout::kSignatureOffset, 32},
+           VdsoLayout::kSignature);
+  if (!write_virt(pfn_va(kVdsoPfn), page)) {
+    throw std::runtime_error{"guest boot: cannot write vDSO"};
+  }
+}
+
+// ------------------------------------------------------------- guest memory
+
+void GuestKernel::kernel_oops(sim::Vaddr va, const char* what) {
+  ++oops_count_;
+  // Mirror the Linux oops line the paper's transcripts show; rate-limit so
+  // scanning workloads do not flood the ring.
+  if (oops_count_ <= 8) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "BUG: unable to handle page %s at %016llx", what,
+                  static_cast<unsigned long long>(va.raw()));
+    printk(buf);
+  }
+}
+
+bool GuestKernel::read_virt(sim::Vaddr va, std::span<std::uint8_t> out) {
+  if (hv_->guest_read(id_, va, out).has_value()) return true;
+  kernel_oops(va, "request");
+  return false;
+}
+
+bool GuestKernel::write_virt(sim::Vaddr va,
+                             std::span<const std::uint8_t> in) {
+  if (hv_->guest_write(id_, va, in).has_value()) return true;
+  kernel_oops(va, "write request");
+  return false;
+}
+
+std::optional<std::uint64_t> GuestKernel::read_u64(sim::Vaddr va) {
+  std::uint64_t v = 0;
+  if (!read_virt(va, {reinterpret_cast<std::uint8_t*>(&v), sizeof v})) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+bool GuestKernel::write_u64(sim::Vaddr va, std::uint64_t value) {
+  return write_virt(va,
+                    {reinterpret_cast<const std::uint8_t*>(&value),
+                     sizeof value});
+}
+
+std::optional<sim::Mfn> GuestKernel::pfn_to_mfn(sim::Pfn pfn) const {
+  return hv_->domain(id_).p2m(pfn);
+}
+
+std::optional<sim::Pfn> GuestKernel::alloc_pfn() {
+  if (next_free_.raw() >= first_table_pfn().raw()) return std::nullopt;
+  const sim::Pfn out = next_free_;
+  next_free_ = sim::Pfn{next_free_.raw() + 1};
+  return out;
+}
+
+// ------------------------------------------------------ page-table knowledge
+
+sim::Pfn GuestKernel::first_table_pfn() const {
+  return sim::Pfn{nr_pages_ - (l1_count_ + 3)};
+}
+
+sim::Mfn GuestKernel::l4_mfn() const {
+  return *pfn_to_mfn(sim::Pfn{nr_pages_ - 1});
+}
+
+sim::Mfn GuestKernel::l2_mfn() const {
+  return *pfn_to_mfn(sim::Pfn{nr_pages_ - 3});
+}
+
+sim::Mfn GuestKernel::l1_mfn(std::uint64_t index) const {
+  return *pfn_to_mfn(sim::Pfn{first_table_pfn().raw() + index});
+}
+
+sim::Paddr GuestKernel::l1_slot_paddr(sim::Pfn pfn) const {
+  const sim::Mfn table = l1_mfn(pfn.raw() / sim::kPtEntries);
+  return sim::mfn_to_paddr(table) + (pfn.raw() % sim::kPtEntries) * 8;
+}
+
+// ---------------------------------------------------------------- hypercalls
+
+long GuestKernel::mmu_update(std::span<const hv::MmuUpdate> reqs) {
+  return hv_->hypercall_mmu_update(id_, reqs);
+}
+
+long GuestKernel::mmu_update_one(sim::Paddr slot, std::uint64_t value) {
+  const hv::MmuUpdate req{slot.raw() | hv::kMmuNormalPtUpdate, value};
+  return hv_->hypercall_mmu_update(id_, {&req, 1});
+}
+
+long GuestKernel::memory_exchange(hv::MemoryExchange& exch) {
+  return hv_->hypercall_memory_exchange(id_, exch);
+}
+
+long GuestKernel::arbitrary_access(const hv::ArbitraryAccess& req) {
+  // Issued through the numbered hypercall table: the injection hypercall
+  // sits in a different vacant slot on every patched release (paper §V-B),
+  // so the guest resolves the number from the hypervisor version first.
+  hv::HypercallPayload payload = hv::ArbitraryAccessCall{req};
+  return hv::dispatch_hypercall(*hv_, id_,
+                                hv::arbitrary_access_nr(hv_->version()),
+                                payload);
+}
+
+long GuestKernel::console_write(const std::string& line) {
+  return hv_->hypercall_console_io(id_, line);
+}
+
+long GuestKernel::software_interrupt(unsigned vector) {
+  return hv_->software_interrupt(id_, vector);
+}
+
+long GuestKernel::unmap_pfn(sim::Pfn pfn) {
+  return mmu_update_one(l1_slot_paddr(pfn), 0);
+}
+
+long GuestKernel::map_pfn(sim::Pfn pfn) {
+  const auto mfn = pfn_to_mfn(pfn);
+  if (!mfn) return hv::kEINVAL;
+  return mmu_update_one(
+      l1_slot_paddr(pfn),
+      sim::Pte::make(*mfn, sim::Pte::kPresent | sim::Pte::kWritable |
+                               sim::Pte::kUser)
+          .raw());
+}
+
+long GuestKernel::decrease_reservation(sim::Pfn pfn) {
+  return hv_->hypercall_decrease_reservation(id_, pfn);
+}
+
+long GuestKernel::populate_physmap(sim::Pfn pfn) {
+  return hv_->hypercall_populate_physmap(id_, pfn);
+}
+
+long GuestKernel::domctl_destroy(hv::DomainId victim) {
+  return hv_->hypercall_domctl_destroy(id_, victim);
+}
+
+long GuestKernel::grant_access(hv::GrantRef ref, hv::DomainId peer,
+                               sim::Pfn pfn, bool readonly) {
+  return hv_->grants().grant_access(id_, ref, peer, pfn, readonly);
+}
+
+long GuestKernel::grant_end_access(hv::GrantRef ref) {
+  return hv_->grants().end_access(id_, ref);
+}
+
+long GuestKernel::grant_map(hv::DomainId granter, hv::GrantRef ref,
+                            hv::GrantHandle* handle, sim::Mfn* frame) {
+  return hv_->grants().map_grant(id_, granter, ref, handle, frame);
+}
+
+long GuestKernel::grant_unmap(hv::GrantHandle handle) {
+  return hv_->grants().unmap_grant(id_, handle);
+}
+
+long GuestKernel::grant_set_version(unsigned version) {
+  return hv_->grants().set_version(id_, version);
+}
+
+long GuestKernel::evtchn_alloc_unbound(hv::DomainId remote, unsigned* port) {
+  return hv_->events().alloc_unbound(id_, remote, port);
+}
+
+long GuestKernel::evtchn_bind(hv::DomainId remote, unsigned remote_port,
+                              unsigned* local_port) {
+  return hv_->events().bind_interdomain(id_, remote, remote_port, local_port);
+}
+
+long GuestKernel::evtchn_send(unsigned port) {
+  return hv_->events().send(id_, port);
+}
+
+long GuestKernel::evtchn_register_handler(unsigned port) {
+  return hv_->events().register_handler(id_, port);
+}
+
+long GuestKernel::evtchn_mask(unsigned port, bool masked) {
+  return hv_->events().set_mask(id_, port, masked);
+}
+
+hv::EventChannelOps::DispatchResult GuestKernel::handle_events() {
+  return hv_->events().dispatch(id_);
+}
+
+void GuestKernel::printk(const std::string& msg) {
+  const std::string line =
+      "[" + std::to_string(dmesg_.size()) + "] " + msg;
+  dmesg_.push_back(line);
+  (void)console_write(line);
+}
+
+// ------------------------------------------------------------------ userland
+
+std::string GuestKernel::run_command(const std::string& line, int uid) {
+  return run_shell(fs_, hostname_, uid, line);
+}
+
+void GuestKernel::invoke_vdso(int uid) {
+  (void)uid;  // the backdoor escalates regardless of who entered the vDSO
+  // Read the patch area through the MMU, as executing user code would.
+  VdsoBackdoor bd{};
+  if (!read_virt(pfn_va(kVdsoPfn, VdsoLayout::kBackdoorOffset),
+                 {reinterpret_cast<std::uint8_t*>(&bd), sizeof bd})) {
+    return;
+  }
+  if (bd.magic != VdsoLayout::kBackdoorMagic || network_ == nullptr) return;
+  bd.host[sizeof bd.host - 1] = 0;
+  auto conn = network_->connect(hostname_, bd.host, bd.port);
+  if (!conn) return;
+  // The implant runs inside the vDSO of a root process: the shell it binds
+  // answers with uid 0.
+  shells_.push_back(std::make_shared<net::ShellSession>(
+      conn, 0, [this](const std::string& cmd, int shell_uid) {
+        return run_command(cmd, shell_uid);
+      }));
+  printk("vdso backdoor: reverse shell to " + std::string{bd.host} + ":" +
+         std::to_string(bd.port));
+}
+
+void GuestKernel::pump_shells() {
+  for (auto& shell : shells_) shell->pump();
+}
+
+}  // namespace ii::guest

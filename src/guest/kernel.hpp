@@ -1,0 +1,193 @@
+// Paravirtualized guest kernel model.
+//
+// A GuestKernel is the code that runs *inside* a domain: it knows its own
+// pseudo-physical layout, performs data accesses through the MMU via the
+// hypervisor's guest-access path (so every read/write honours — or trips
+// over — the page tables), wraps the hypercall ABI, and hosts the userland
+// observables the experiments check: an in-memory filesystem, a tiny shell,
+// a fingerprintable start_info page, and a vDSO page whose patching is the
+// XSA-148 backdoor vector.
+//
+// Exploit PoCs and injection scripts are "kernel modules": they run at
+// guest-kernel privilege by calling methods of this class.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "guest/shell.hpp"
+#include "hv/hypercall_table.hpp"
+#include "hv/hypervisor.hpp"
+#include "net/network.hpp"
+
+namespace ii::guest {
+
+/// Fingerprint structures. Offsets are part of the "ABI" the XSA-148 scan
+/// relies on, mirroring how the real PoC fingerprints dom0 pages.
+struct StartInfoLayout {
+  static constexpr const char* kMagic = "xen-3.0-x86_64";
+  static constexpr std::uint64_t kMagicOffset = 0x00;
+  static constexpr std::uint64_t kDomIdOffset = 0x20;
+  static constexpr std::uint64_t kNrPagesOffset = 0x28;
+  static constexpr std::uint64_t kHostnameOffset = 0x40;
+};
+
+struct VdsoLayout {
+  static constexpr std::uint8_t kElfMagic[4] = {0x7F, 'E', 'L', 'F'};
+  static constexpr const char* kSignature = "vdso:gettimeofday";
+  static constexpr std::uint64_t kSignatureOffset = 0x10;
+  /// Backdoor patch area offset within the vDSO page.
+  static constexpr std::uint64_t kBackdoorOffset = 0x800;
+  static constexpr std::uint64_t kBackdoorMagic = 0xBADC0DEBACD00E5FULL;
+};
+
+/// Wire format of the implant the XSA-148 attack patches into the vDSO.
+struct VdsoBackdoor {
+  std::uint64_t magic = 0;
+  char host[64] = {};
+  std::uint16_t port = 0;
+} __attribute__((packed));
+
+/// Well-known guest pseudo-physical pages (defined by the domain-builder
+/// contract in hv/layout.hpp).
+inline constexpr sim::Pfn kStartInfoPfn = hv::kStartInfoPfn;
+inline constexpr sim::Pfn kVdsoPfn = hv::kVdsoPfn;
+inline constexpr sim::Pfn kSharedInfoPfn = hv::kSharedInfoPfn;
+inline constexpr sim::Pfn kGrantStatusPfn = hv::kGrantStatusPfn;
+inline constexpr sim::Pfn kFirstFreePfn = hv::kFirstFreePfn;
+
+class GuestKernel {
+ public:
+  /// Attach a kernel to an already-built domain and publish the start_info
+  /// and vDSO fingerprint pages.
+  GuestKernel(hv::Hypervisor& hv, hv::DomainId id, std::string hostname);
+
+  [[nodiscard]] hv::DomainId id() const { return id_; }
+  [[nodiscard]] const std::string& hostname() const { return hostname_; }
+  [[nodiscard]] hv::Hypervisor& hv() { return *hv_; }
+  [[nodiscard]] FileSystem& fs() { return fs_; }
+  [[nodiscard]] const FileSystem& fs() const { return fs_; }
+
+  // ---------------------------------------------------------- guest memory
+  /// Guest-virtual data access through the MMU (faults are delivered to the
+  /// hypervisor exactly like a hardware access would).
+  [[nodiscard]] bool read_virt(sim::Vaddr va, std::span<std::uint8_t> out);
+  [[nodiscard]] bool write_virt(sim::Vaddr va,
+                                std::span<const std::uint8_t> in);
+  [[nodiscard]] std::optional<std::uint64_t> read_u64(sim::Vaddr va);
+  [[nodiscard]] bool write_u64(sim::Vaddr va, std::uint64_t value);
+
+  /// Kernel directmap address of a pseudo-physical page.
+  [[nodiscard]] sim::Vaddr pfn_va(sim::Pfn pfn,
+                                  std::uint64_t offset = 0) const {
+    return hv::guest_directmap_vaddr(pfn, offset);
+  }
+  [[nodiscard]] std::optional<sim::Mfn> pfn_to_mfn(sim::Pfn pfn) const;
+
+  /// Allocate a free data page from the boot pool (never reuses).
+  [[nodiscard]] std::optional<sim::Pfn> alloc_pfn();
+
+  // -------------------------------------------------- page-table knowledge
+  /// The kernel knows where the domain builder put its page tables.
+  [[nodiscard]] std::uint64_t nr_pages() const { return nr_pages_; }
+  [[nodiscard]] sim::Pfn first_table_pfn() const;
+  [[nodiscard]] std::uint64_t l1_table_count() const { return l1_count_; }
+  [[nodiscard]] sim::Mfn l4_mfn() const;
+  [[nodiscard]] sim::Mfn l2_mfn() const;
+  [[nodiscard]] sim::Mfn l1_mfn(std::uint64_t index) const;
+  /// Machine address of the L1 slot that maps `pfn`'s directmap address.
+  [[nodiscard]] sim::Paddr l1_slot_paddr(sim::Pfn pfn) const;
+
+  // ------------------------------------------------------------ hypercalls
+  long mmu_update(std::span<const hv::MmuUpdate> reqs);
+  long mmu_update_one(sim::Paddr slot, std::uint64_t value);
+  long memory_exchange(hv::MemoryExchange& exch);
+  long arbitrary_access(const hv::ArbitraryAccess& req);
+  long console_write(const std::string& line);
+  long software_interrupt(unsigned vector);
+
+  /// Clear the directmap L1 entry of `pfn` (required before exchanging it).
+  long unmap_pfn(sim::Pfn pfn);
+
+  /// Re-point the directmap L1 entry of `pfn` at its current P2M frame
+  /// (used after ballooning a page back in).
+  long map_pfn(sim::Pfn pfn);
+
+  // -------------------------------------------------------------- ballooning
+  long decrease_reservation(sim::Pfn pfn);
+  long populate_physmap(sim::Pfn pfn);
+
+  /// XEN_DOMCTL_destroydomain wrapper (dom0 only).
+  long domctl_destroy(hv::DomainId victim);
+
+  // ------------------------------------------------------- grant tables
+  long grant_access(hv::GrantRef ref, hv::DomainId peer, sim::Pfn pfn,
+                    bool readonly);
+  long grant_end_access(hv::GrantRef ref);
+  long grant_map(hv::DomainId granter, hv::GrantRef ref,
+                 hv::GrantHandle* handle, sim::Mfn* frame);
+  long grant_unmap(hv::GrantHandle handle);
+  long grant_set_version(unsigned version);
+  /// VA of the grant-v2 status window inside the kernel directmap.
+  [[nodiscard]] sim::Vaddr grant_status_va(std::uint64_t offset = 0) const {
+    return pfn_va(kGrantStatusPfn, offset);
+  }
+
+  // ------------------------------------------------------ event channels
+  long evtchn_alloc_unbound(hv::DomainId remote, unsigned* port);
+  long evtchn_bind(hv::DomainId remote, unsigned remote_port,
+                   unsigned* local_port);
+  long evtchn_send(unsigned port);
+  long evtchn_register_handler(unsigned port);
+  long evtchn_mask(unsigned port, bool masked);
+  /// Run the event loop once (the guest's upcall entry).
+  hv::EventChannelOps::DispatchResult handle_events();
+
+  /// Kernel log (also mirrored to the Xen console ring).
+  void printk(const std::string& msg);
+  [[nodiscard]] const std::vector<std::string>& dmesg() const {
+    return dmesg_;
+  }
+
+  /// Number of kernel-level access faults ("BUG: unable to handle page
+  /// request") this kernel has taken — the paper's §VII observable for
+  /// exploits failing on fixed versions.
+  [[nodiscard]] std::uint64_t oops_count() const { return oops_count_; }
+
+  // -------------------------------------------------------------- userland
+  /// Run a shell line as `uid`.
+  std::string run_command(const std::string& line, int uid);
+
+  /// A user process enters the vDSO (e.g. gettimeofday). If the page has
+  /// been backdoored, the implant connects out and binds a root shell.
+  void invoke_vdso(int uid);
+
+  void set_network(net::Network* network) { network_ = network; }
+  [[nodiscard]] const std::vector<std::shared_ptr<net::ShellSession>>&
+  shell_sessions() const {
+    return shells_;
+  }
+  /// Service any pending remote-shell commands.
+  void pump_shells();
+
+ private:
+  /// Record a kernel access fault with the canonical oops line.
+  void kernel_oops(sim::Vaddr va, const char* what);
+
+  hv::Hypervisor* hv_;
+  hv::DomainId id_;
+  std::string hostname_;
+  std::uint64_t nr_pages_;
+  std::uint64_t l1_count_;
+  std::uint64_t oops_count_ = 0;
+  sim::Pfn next_free_{kFirstFreePfn.raw()};
+  FileSystem fs_;
+  std::vector<std::string> dmesg_;
+  net::Network* network_ = nullptr;
+  std::vector<std::shared_ptr<net::ShellSession>> shells_;
+};
+
+}  // namespace ii::guest

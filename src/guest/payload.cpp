@@ -1,0 +1,40 @@
+#include "guest/payload.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ii::guest {
+
+namespace {
+struct Header {
+  std::uint64_t magic;
+  std::uint32_t op;
+  std::uint32_t command_len;
+} __attribute__((packed));
+}  // namespace
+
+std::size_t Payload::encode(std::span<std::uint8_t> out) const {
+  const Header h{kMagic, static_cast<std::uint32_t>(op),
+                 static_cast<std::uint32_t>(command.size())};
+  if (out.size() < sizeof h + command.size()) {
+    throw std::length_error{"payload does not fit"};
+  }
+  std::memcpy(out.data(), &h, sizeof h);
+  std::memcpy(out.data() + sizeof h, command.data(), command.size());
+  return sizeof h + command.size();
+}
+
+std::optional<Payload> Payload::decode(std::span<const std::uint8_t> in) {
+  Header h{};
+  if (in.size() < sizeof h) return std::nullopt;
+  std::memcpy(&h, in.data(), sizeof h);
+  if (h.magic != kMagic) return std::nullopt;
+  if (in.size() < sizeof h + h.command_len) return std::nullopt;
+  Payload p{};
+  p.op = static_cast<PayloadOp>(h.op);
+  p.command.assign(reinterpret_cast<const char*>(in.data() + sizeof h),
+                   h.command_len);
+  return p;
+}
+
+}  // namespace ii::guest

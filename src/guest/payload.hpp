@@ -1,0 +1,37 @@
+// Attack payload encoding and the platform's "CPU" for executing it.
+//
+// Real exploits place machine code in memory and get the CPU to jump there
+// with hypervisor privilege. The simulator models injected code as a small
+// self-describing structure; the PayloadInterpreter — registered with the
+// hypervisor as its code executor — is the stand-in for ring-0 execution.
+// The only operation the paper's use cases need is XSA-212-priv's "run a
+// shell command as root in every domain", but the encoding leaves room for
+// more ops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace ii::guest {
+
+enum class PayloadOp : std::uint32_t {
+  RunCommandAllDomains = 1,  ///< execute `command` as uid 0 in every domain
+};
+
+/// Wire format at the start of the payload frame.
+struct Payload {
+  static constexpr std::uint64_t kMagic = 0x50574E454445ULL;  // "PWNED"
+  PayloadOp op = PayloadOp::RunCommandAllDomains;
+  std::string command;
+
+  /// Serialize into page-sized storage. Returns bytes written.
+  std::size_t encode(std::span<std::uint8_t> out) const;
+
+  /// Decode from frame bytes; nullopt when the magic is absent.
+  [[nodiscard]] static std::optional<Payload> decode(
+      std::span<const std::uint8_t> in);
+};
+
+}  // namespace ii::guest

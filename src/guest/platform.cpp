@@ -1,0 +1,84 @@
+#include "guest/platform.hpp"
+
+namespace ii::guest {
+
+VirtualPlatform::VirtualPlatform(const PlatformConfig& config)
+    : config_{config} {
+  mem_ = std::make_unique<sim::PhysicalMemory>(config.machine_frames);
+  hv::HvConfig hv_cfg{};
+  hv_cfg.injector_enabled = config.injector_enabled;
+  hv_ = std::make_unique<hv::Hypervisor>(
+      *mem_,
+      config.policy_override.value_or(
+          hv::VersionPolicy::for_version(config.version)),
+      hv_cfg);
+
+  const auto boot = [&](const std::string& name, bool privileged,
+                        std::uint64_t pages) {
+    const hv::DomainId id = hv_->create_domain(name, privileged, pages);
+    auto kernel = std::make_unique<GuestKernel>(*hv_, id, name);
+    kernel->set_network(&network_);
+    network_.add_host(name);
+    kernels_.push_back(std::move(kernel));
+  };
+
+  boot("xen-dom0", true, config.dom0_pages);
+  for (unsigned g = 0; g < config.n_guests; ++g) {
+    boot("guest0" + std::to_string(g + 1), false, config.guest_pages);
+  }
+
+  attacker_ = &network_.add_host(config.attacker_host);
+
+  hv_->set_code_executor(
+      [this](const hv::ExecutionContext& ctx) { execute_payload(ctx); });
+}
+
+std::vector<GuestKernel*> VirtualPlatform::kernels() {
+  std::vector<GuestKernel*> out;
+  out.reserve(kernels_.size());
+  for (auto& k : kernels_) out.push_back(k.get());
+  return out;
+}
+
+GuestKernel* VirtualPlatform::kernel_of(hv::DomainId id) {
+  for (auto& k : kernels_) {
+    if (k->id() == id) return k.get();
+  }
+  return nullptr;
+}
+
+void VirtualPlatform::execute_payload(const hv::ExecutionContext& ctx) {
+  // The "CPU" landed in attacker-mapped memory with hypervisor privilege:
+  // decode the payload structure at the handler's frame and act on it.
+  const auto bytes = mem_->frame_bytes(ctx.code_frame);
+  const auto payload = Payload::decode({bytes.data() + ctx.offset,
+                                        bytes.size() - ctx.offset});
+  if (!payload) {
+    hv_->panic("FATAL TRAP: invalid opcode at injected handler (vector " +
+               std::to_string(ctx.vector) + ")");
+    return;
+  }
+  switch (payload->op) {
+    case PayloadOp::RunCommandAllDomains:
+      hv_->log("(XEN) [payload] executing with host privilege: " +
+               payload->command);
+      for (auto& kernel : kernels_) {
+        (void)kernel->run_command(payload->command, /*uid=*/0);
+      }
+      break;
+  }
+}
+
+void VirtualPlatform::pump() {
+  for (auto& kernel : kernels_) kernel->pump_shells();
+}
+
+long VirtualPlatform::destroy_guest(std::size_t index) {
+  GuestKernel& victim = guest(index);
+  const long rc = dom0().domctl_destroy(victim.id());
+  if (rc != hv::kOk) return rc;
+  kernels_.erase(kernels_.begin() + static_cast<long>(index) + 1);
+  return rc;
+}
+
+}  // namespace ii::guest

@@ -1,0 +1,81 @@
+// VirtualPlatform: one complete experimental testbed.
+//
+// The paper's §VI setup is: one physical host running a given Xen version,
+// dom0 plus unprivileged guests, and an external attacker machine on the
+// LAN (for the XSA-148 reverse shell). VirtualPlatform assembles exactly
+// that — machine memory, hypervisor, booted guest kernels, the network —
+// and wires the hypervisor's code-execution hook to the payload
+// interpreter. Every experiment run constructs a fresh platform so that
+// campaigns are independent, mirroring the paper's "build and experimental
+// environment kept the same" discipline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "guest/kernel.hpp"
+#include "guest/payload.hpp"
+#include "hv/hypervisor.hpp"
+#include "hv/version.hpp"
+#include "net/network.hpp"
+#include "sim/phys_mem.hpp"
+
+namespace ii::guest {
+
+struct PlatformConfig {
+  hv::XenVersion version = hv::kXen46;
+  /// When set, overrides the policy derived from `version` — used by the
+  /// hardening-ablation experiments to toggle individual checks.
+  std::optional<hv::VersionPolicy> policy_override;
+  bool injector_enabled = true;  ///< build the patched (injection) hypervisor
+  std::uint64_t machine_frames = 32768;  ///< 128 MiB machine
+  std::uint64_t dom0_pages = 512;
+  std::uint64_t guest_pages = 256;
+  unsigned n_guests = 2;                 ///< unprivileged domains
+  std::string attacker_host = "attacker";
+};
+
+class VirtualPlatform {
+ public:
+  explicit VirtualPlatform(const PlatformConfig& config = {});
+
+  [[nodiscard]] hv::Hypervisor& hv() { return *hv_; }
+  [[nodiscard]] const hv::Hypervisor& hv() const { return *hv_; }
+  [[nodiscard]] sim::PhysicalMemory& memory() { return *mem_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] const PlatformConfig& config() const { return config_; }
+
+  [[nodiscard]] GuestKernel& dom0() { return *kernels_.front(); }
+  /// Unprivileged guest by index (0-based).
+  [[nodiscard]] GuestKernel& guest(std::size_t index) {
+    return *kernels_.at(index + 1);
+  }
+  [[nodiscard]] std::vector<GuestKernel*> kernels();
+  [[nodiscard]] GuestKernel* kernel_of(hv::DomainId id);
+
+  /// The attacker's machine (outside the virtualized host).
+  [[nodiscard]] net::Host& attacker() { return *attacker_; }
+
+  /// Give every guest a chance to serve pending remote-shell commands.
+  void pump();
+
+  /// Tear down an unprivileged guest through the management interface
+  /// (dom0's XEN_DOMCTL_destroydomain) and drop its kernel object. Returns
+  /// the hypercall status; on success later guest(i) indices shift down.
+  long destroy_guest(std::size_t index);
+
+ private:
+  void execute_payload(const hv::ExecutionContext& ctx);
+
+  PlatformConfig config_;
+  std::unique_ptr<sim::PhysicalMemory> mem_;
+  std::unique_ptr<hv::Hypervisor> hv_;
+  std::vector<std::unique_ptr<GuestKernel>> kernels_;
+  net::Network network_;
+  net::Host* attacker_ = nullptr;
+};
+
+}  // namespace ii::guest

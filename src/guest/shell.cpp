@@ -1,0 +1,147 @@
+#include "guest/shell.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace ii::guest {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_on(const std::string& s,
+                                  const std::string& sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const auto next = s.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(s.substr(pos));
+      return out;
+    }
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + sep.size();
+  }
+}
+
+std::string id_string(int uid) {
+  if (uid == 0) return "uid=0(root) gid=0(root) groups=0(root)";
+  std::ostringstream os;
+  os << "uid=" << uid << "(xen) gid=" << uid << "(xen) groups=" << uid
+     << "(xen)";
+  return os.str();
+}
+
+struct ShellCtx {
+  FileSystem* fs;
+  const std::string* hostname;
+  int uid;
+};
+
+std::string eval_simple(const ShellCtx& ctx, const std::string& cmd);
+
+/// Expand $(...) substitutions, innermost-first (single level is all the
+/// paper's transcripts need, but nesting works by recursion).
+std::string expand(const ShellCtx& ctx, const std::string& text) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '$' && i + 1 < text.size() && text[i + 1] == '(') {
+      int depth = 1;
+      std::size_t j = i + 2;
+      while (j < text.size() && depth > 0) {
+        if (text[j] == '(') ++depth;
+        if (text[j] == ')') --depth;
+        ++j;
+      }
+      const std::string inner = text.substr(i + 2, j - i - 3);
+      out += eval_simple(ctx, expand(ctx, inner));
+      i = j;
+    } else {
+      out += text[i++];
+    }
+  }
+  return out;
+}
+
+std::string strip_quotes(const std::string& s) {
+  if (s.size() >= 2 && ((s.front() == '"' && s.back() == '"') ||
+                        (s.front() == '\'' && s.back() == '\''))) {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+/// Evaluate a single command with no `&&` and no redirection.
+std::string eval_simple(const ShellCtx& ctx, const std::string& raw) {
+  const std::string cmd = trim(raw);
+  if (cmd.empty()) return "";
+  if (cmd == "id") return id_string(ctx.uid);
+  if (cmd == "whoami") return ctx.uid == 0 ? "root" : "xen";
+  if (cmd == "hostname") return *ctx.hostname;
+  if (cmd.rfind("echo", 0) == 0 &&
+      (cmd.size() == 4 || cmd[4] == ' ')) {
+    return strip_quotes(trim(expand(ctx, cmd.substr(4))));
+  }
+  if (cmd.rfind("cat ", 0) == 0) {
+    const std::string path = trim(cmd.substr(4));
+    if (auto content = ctx.fs->read(path, ctx.uid)) return *content;
+    return "cat: " + path + ": No such file or directory";
+  }
+  return "sh: " + cmd + ": command not found";
+}
+
+/// Evaluate one pipeline-free command, honouring `> path` redirection.
+std::string eval_with_redirect(const ShellCtx& ctx, const std::string& raw) {
+  const auto gt = raw.find('>');
+  if (gt == std::string::npos) return eval_simple(ctx, raw);
+  const std::string cmd = raw.substr(0, gt);
+  const std::string path = trim(raw.substr(gt + 1));
+  const std::string output = eval_simple(ctx, cmd);
+  if (!ctx.fs->write(path, ctx.uid, output)) {
+    return "sh: " + path + ": Permission denied";
+  }
+  return "";
+}
+
+}  // namespace
+
+bool FileSystem::root_only(const std::string& path) {
+  return path.rfind("/root/", 0) == 0;
+}
+
+bool FileSystem::write(const std::string& path, int uid,
+                       std::string content) {
+  if (root_only(path) && uid != 0) return false;
+  files_[path] = File{uid, std::move(content)};
+  return true;
+}
+
+std::optional<std::string> FileSystem::read(const std::string& path,
+                                            int uid) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  if (root_only(path) && uid != 0) return std::nullopt;
+  return it->second.content;
+}
+
+std::string run_shell(FileSystem& fs, const std::string& hostname, int uid,
+                      const std::string& line) {
+  const ShellCtx ctx{&fs, &hostname, uid};
+  std::string out;
+  for (const std::string& part : split_on(line, "&&")) {
+    const std::string result = eval_with_redirect(ctx, trim(part));
+    if (!result.empty()) {
+      if (!out.empty()) out += "\n";
+      out += result;
+    }
+  }
+  return out;
+}
+
+}  // namespace ii::guest

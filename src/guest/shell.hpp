@@ -1,0 +1,50 @@
+// Minimal in-guest shell: just enough POSIX-flavoured behaviour to
+// reproduce the observables in the paper's experiment transcripts —
+// `whoami && hostname`, `cat /root/root_msg`, and the XSA-212-priv payload
+// `echo "|$(id)|@$(hostname)" > /tmp/injector_log`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ii::guest {
+
+/// A file in the guest's in-memory filesystem.
+struct File {
+  int uid = 0;          ///< owner
+  std::string content;  ///< bytes (no trailing-newline games)
+};
+
+/// Path-keyed in-memory filesystem with one access rule: paths under
+/// /root/ are readable and writable by uid 0 only.
+class FileSystem {
+ public:
+  /// Create or overwrite `path`. Returns false when `uid` may not write it.
+  bool write(const std::string& path, int uid, std::string content);
+
+  /// Read `path` as `uid`. nullopt when missing or not readable.
+  [[nodiscard]] std::optional<std::string> read(const std::string& path,
+                                                int uid) const;
+
+  [[nodiscard]] bool exists(const std::string& path) const {
+    return files_.contains(path);
+  }
+  [[nodiscard]] const std::map<std::string, File>& files() const {
+    return files_;
+  }
+
+ private:
+  static bool root_only(const std::string& path);
+  std::map<std::string, File> files_;
+};
+
+/// Execute one shell line as `uid` against `fs`, on a host named
+/// `hostname`. Supports: id, whoami, hostname, echo (with "..." quoting and
+/// $(cmd) substitution), cat <path>, `&&` chaining and `> path` redirection.
+/// Returns the combined stdout/stderr text.
+[[nodiscard]] std::string run_shell(FileSystem& fs,
+                                    const std::string& hostname, int uid,
+                                    const std::string& line);
+
+}  // namespace ii::guest

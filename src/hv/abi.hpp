@@ -1,0 +1,118 @@
+// Guest-visible hypercall ABI structures.
+//
+// Shapes follow the real Xen PV interface closely enough that the paper's
+// exploit strategies translate step for step:
+//  - mmu_update takes (machine pointer, value) pairs whose pointer low bits
+//    encode the update command;
+//  - memory_exchange returns the replacement frames by *writing them through
+//    a guest-supplied pointer* — the exact field (out.extent_start) whose
+//    missing validation is XSA-212;
+//  - arbitrary_access is the paper's §V-B injector hypercall, verbatim:
+//    (addr, buffer, n, action ∈ {read,write} × {linear,physical}).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/pte.hpp"
+#include "sim/types.hpp"
+
+namespace ii::hv {
+
+// ---------------------------------------------------------------- mmu_update
+
+/// Commands encoded in the low 2 bits of MmuUpdate::ptr.
+inline constexpr std::uint64_t kMmuNormalPtUpdate = 0;   ///< validate & write PTE
+inline constexpr std::uint64_t kMmuMachphysUpdate = 1;   ///< update M2P entry
+inline constexpr std::uint64_t kMmuPtUpdatePreserveAd = 2;
+
+/// One request of a HYPERVISOR_mmu_update batch.
+struct MmuUpdate {
+  /// Machine byte address of the 8-byte slot to update, OR'ed with a
+  /// command in the low 2 bits.
+  std::uint64_t ptr = 0;
+  /// New raw entry value.
+  std::uint64_t val = 0;
+
+  [[nodiscard]] std::uint64_t command() const { return ptr & 0x3; }
+  [[nodiscard]] sim::Paddr target() const { return sim::Paddr{ptr & ~0x3ULL}; }
+};
+
+// ------------------------------------------------------------------ mmuext_op
+
+enum class MmuExtCmd {
+  PinL1Table,
+  PinL2Table,
+  PinL3Table,
+  PinL4Table,
+  UnpinTable,
+  NewBaseptr,      ///< switch the calling vCPU's CR3
+  TlbFlushLocal,   ///< accepted, no-op (the simulator has no TLB)
+  InvlpgLocal,     ///< accepted, no-op
+};
+
+struct MmuExtOp {
+  MmuExtCmd cmd{};
+  sim::Mfn mfn{};  ///< table to pin/unpin or new base pointer
+};
+
+// ------------------------------------------------------------ memory_exchange
+
+/// HYPERVISOR_memory_op(XENMEM_exchange). The guest trades `in_extents`
+/// (its own pseudo-physical pages) for freshly allocated machine pages; the
+/// hypervisor reports each replacement MFN by storing a 64-bit value at
+/// `out_extent_start + 8*i`.
+struct MemoryExchange {
+  std::vector<sim::Pfn> in_extents;
+  /// Guest-provided destination for the replacement MFNs. Byte-granular,
+  /// exactly like a real guest handle. XSA-212 is the absence of the
+  /// access_ok() range check on this field.
+  sim::Vaddr out_extent_start{};
+  /// Progress counter, updated by the hypervisor as extents complete
+  /// (also where the real exploit's `+ 8 * exch.nr_exchanged` offset
+  /// comes from).
+  std::uint64_t nr_exchanged = 0;
+};
+
+// ------------------------------------------------------------ set_trap_table
+
+/// One registered guest exception handler.
+struct TrapInfo {
+  std::uint8_t vector = 0;
+  sim::Vaddr address{};  ///< guest-space handler address
+};
+
+// --------------------------------------------------------- arbitrary_access
+
+/// Injector hypercall actions (paper §V-B). Linear addresses resolve through
+/// the hypervisor's own address space; physical addresses are mapped into it
+/// first (our directmap models Xen's map_domain_page()).
+enum class AccessAction {
+  ReadLinear,
+  WriteLinear,
+  ReadPhysical,
+  WritePhysical,
+};
+
+[[nodiscard]] constexpr bool is_write(AccessAction a) {
+  return a == AccessAction::WriteLinear || a == AccessAction::WritePhysical;
+}
+[[nodiscard]] constexpr bool is_linear(AccessAction a) {
+  return a == AccessAction::ReadLinear || a == AccessAction::WriteLinear;
+}
+
+/// HYPERVISOR_arbitrary_access(addr, buff, n, action): `buffer` plays the
+/// role of the guest buffer `buff` of length n.
+struct ArbitraryAccess {
+  std::uint64_t addr = 0;
+  std::span<std::uint8_t> buffer{};
+  AccessAction action = AccessAction::ReadLinear;
+};
+
+// -------------------------------------------------------------------- sched_op
+
+enum class ShutdownReason { Poweroff, Reboot, Crash };
+
+}  // namespace ii::hv

@@ -1,0 +1,34 @@
+// Hypercall status codes, mirroring Xen's errno-style returns.
+//
+// The experiments key on these: the paper reports the real exploits failing
+// on fixed versions "with a return code of -EFAULT (bad address return
+// code)", so tests assert exact codes.
+#pragma once
+
+namespace ii::hv {
+
+inline constexpr long kOk = 0;
+inline constexpr long kEPERM = -1;    ///< operation not permitted
+inline constexpr long kENOENT = -2;   ///< no such object
+inline constexpr long kEFAULT = -14;  ///< bad address
+inline constexpr long kEBUSY = -16;   ///< object in use (type/ref conflict)
+inline constexpr long kEINVAL = -22;  ///< invalid argument
+inline constexpr long kENOMEM = -12;  ///< out of memory
+inline constexpr long kENOSYS = -38;  ///< hypercall not implemented
+
+/// Short symbolic name ("-EFAULT") for logs and reports.
+[[nodiscard]] constexpr const char* errno_name(long code) {
+  switch (code) {
+    case kOk: return "0";
+    case kEPERM: return "-EPERM";
+    case kENOENT: return "-ENOENT";
+    case kEFAULT: return "-EFAULT";
+    case kEBUSY: return "-EBUSY";
+    case kEINVAL: return "-EINVAL";
+    case kENOMEM: return "-ENOMEM";
+    case kENOSYS: return "-ENOSYS";
+    default: return "-E?";
+  }
+}
+
+}  // namespace ii::hv

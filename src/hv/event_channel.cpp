@@ -1,0 +1,174 @@
+#include "hv/event_channel.hpp"
+
+#include "hv/errors.hpp"
+#include "hv/hypervisor.hpp"
+#include "hv/layout.hpp"
+
+namespace ii::hv {
+
+sim::Paddr EventChannelOps::shared_info_of(DomainId domain) const {
+  const auto mfn = hv_->domain(domain).p2m(kSharedInfoPfn);
+  return sim::mfn_to_paddr(*mfn);
+}
+
+long EventChannelOps::alloc_unbound(DomainId owner, DomainId remote,
+                                    unsigned* port) {
+  (void)hv_->domain(owner);
+  unsigned& next = next_port_[owner];
+  if (next >= SharedInfoLayout::kPorts) return kENOMEM;
+  const unsigned p = next++;
+  ports_[owner][p] = Port{.allocated = true,
+                          .remote = remote,
+                          .bound = false,
+                          .peer_domain = kDomInvalid,
+                          .peer_port = 0};
+  if (port) *port = p;
+  return kOk;
+}
+
+long EventChannelOps::bind_interdomain(DomainId caller, DomainId remote,
+                                       unsigned remote_port,
+                                       unsigned* local_port) {
+  auto remote_ports = ports_.find(remote);
+  if (remote_ports == ports_.end()) return kENOENT;
+  auto it = remote_ports->second.find(remote_port);
+  if (it == remote_ports->second.end() || !it->second.allocated) {
+    return kENOENT;
+  }
+  Port& rport = it->second;
+  if (rport.bound || rport.remote != caller) return kEPERM;
+
+  unsigned& next = next_port_[caller];
+  if (next >= SharedInfoLayout::kPorts) return kENOMEM;
+  const unsigned local = next++;
+  ports_[caller][local] = Port{.allocated = true,
+                               .remote = remote,
+                               .bound = true,
+                               .peer_domain = remote,
+                               .peer_port = remote_port};
+  rport.bound = true;
+  rport.peer_domain = caller;
+  rport.peer_port = local;
+  if (local_port) *local_port = local;
+  return kOk;
+}
+
+void EventChannelOps::set_pending_bit(DomainId domain, unsigned port) {
+  const sim::Paddr base = shared_info_of(domain);
+  const sim::Paddr word =
+      base + SharedInfoLayout::kPendingOffset + (port / 64) * 8;
+  hv_->memory().write_u64(word,
+                          hv_->memory().read_u64(word) | (1ULL << (port % 64)));
+}
+
+long EventChannelOps::send(DomainId caller, unsigned port) {
+  auto own = ports_.find(caller);
+  if (own == ports_.end()) return kENOENT;
+  auto it = own->second.find(port);
+  if (it == own->second.end() || !it->second.bound) return kENOENT;
+  set_pending_bit(it->second.peer_domain, it->second.peer_port);
+  ++total_sent_;
+  return kOk;
+}
+
+long EventChannelOps::register_handler(DomainId domain, unsigned port) {
+  if (port >= SharedInfoLayout::kPorts) return kEINVAL;
+  handlers_.insert({domain, port});
+  return kOk;
+}
+
+long EventChannelOps::set_mask(DomainId domain, unsigned port, bool masked) {
+  if (port >= SharedInfoLayout::kPorts) return kEINVAL;
+  const sim::Paddr word = shared_info_of(domain) +
+                          SharedInfoLayout::kMaskOffset + (port / 64) * 8;
+  std::uint64_t bits = hv_->memory().read_u64(word);
+  if (masked) {
+    bits |= 1ULL << (port % 64);
+  } else {
+    bits &= ~(1ULL << (port % 64));
+  }
+  hv_->memory().write_u64(word, bits);
+  return kOk;
+}
+
+bool EventChannelOps::pending(DomainId domain, unsigned port) const {
+  const sim::Paddr word = shared_info_of(domain) +
+                          SharedInfoLayout::kPendingOffset + (port / 64) * 8;
+  return hv_->memory().read_u64(word) & (1ULL << (port % 64));
+}
+
+void EventChannelOps::domain_destroyed(DomainId domain) {
+  ports_.erase(domain);
+  next_port_.erase(domain);
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    it = it->first == domain ? handlers_.erase(it) : std::next(it);
+  }
+  // Unbind any peer ports that pointed at the dead domain.
+  for (auto& [owner, ports] : ports_) {
+    for (auto& [number, port] : ports) {
+      if (port.bound && port.peer_domain == domain) {
+        port.bound = false;
+        port.peer_domain = kDomInvalid;
+        port.peer_port = 0;
+      }
+    }
+  }
+}
+
+EventChannelOps::DispatchResult EventChannelOps::dispatch(DomainId domain,
+                                                          unsigned max_passes) {
+  DispatchResult result{};
+  const sim::Paddr base = shared_info_of(domain);
+  for (unsigned pass = 0; pass < max_passes; ++pass) {
+    bool any_pending = false;
+    bool progress = false;
+    for (unsigned word = 0; word < SharedInfoLayout::kPorts / 64; ++word) {
+      const sim::Paddr pending_at =
+          base + SharedInfoLayout::kPendingOffset + word * 8;
+      const std::uint64_t mask = hv_->memory().read_u64(
+          base + SharedInfoLayout::kMaskOffset + word * 8);
+      std::uint64_t bits = hv_->memory().read_u64(pending_at) & ~mask;
+      if (bits == 0) continue;
+      any_pending = true;
+      for (unsigned b = 0; b < 64; ++b) {
+        if (!(bits & (1ULL << b))) continue;
+        const unsigned port = word * 64 + b;
+        if (handlers_.contains({domain, port})) {
+          // Deliver: clear the bit, count the upcall.
+          std::uint64_t raw = hv_->memory().read_u64(pending_at);
+          hv_->memory().write_u64(pending_at, raw & ~(1ULL << b));
+          ++result.delivered;
+          progress = true;
+        } else if (!hv_->policy().evtchn_requeue_unbound) {
+          // Hardened behaviour: events for unbound/handler-less ports are
+          // dropped instead of spinning the delivery loop.
+          std::uint64_t raw = hv_->memory().read_u64(pending_at);
+          hv_->memory().write_u64(pending_at, raw & ~(1ULL << b));
+          ++result.dropped;
+          progress = true;
+        }
+        // else: re-queued — the bit stays set and the loop comes back.
+      }
+    }
+    if (!any_pending) {
+      if (result.dropped > 0) {
+        hv_->log("(XEN) d" + std::to_string(domain) + ": dropped " +
+                 std::to_string(result.dropped) +
+                 " events raised on unbound ports");
+      }
+      return result;
+    }
+    if (!progress) {
+      // Pending work that can never drain: the pre-hardening delivery loop
+      // spins on it forever. Model the wedged CPU.
+      result.livelocked = true;
+      hv_->report_cpu_hang(
+          "CPU0: stuck in event delivery loop (d" + std::to_string(domain) +
+          ", " + std::to_string(result.delivered) + " delivered)");
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ii::hv

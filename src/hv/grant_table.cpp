@@ -1,0 +1,142 @@
+#include "hv/grant_table.hpp"
+
+#include <cstring>
+
+#include "hv/errors.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace ii::hv {
+
+const GrantTable* GrantOps::find_table(DomainId domain) const {
+  auto it = tables_.find(domain);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+long GrantOps::grant_access(DomainId caller, GrantRef ref, DomainId peer,
+                            sim::Pfn pfn, bool readonly) {
+  if (ref >= GrantTable::kMaxEntries) return kEINVAL;
+  Domain& dom = hv_->domain(caller);
+  const auto mfn = dom.p2m(pfn);
+  if (!mfn) return kEINVAL;
+  GrantTable& table = table_of(caller);
+  GrantEntry& entry = table.entries_[ref];
+  if (entry.in_use) return kEBUSY;
+  entry = GrantEntry{peer, pfn, readonly, /*in_use=*/true, /*maps=*/0};
+  return kOk;
+}
+
+long GrantOps::end_access(DomainId caller, GrantRef ref) {
+  if (ref >= GrantTable::kMaxEntries) return kEINVAL;
+  GrantTable& table = table_of(caller);
+  GrantEntry& entry = table.entries_[ref];
+  if (!entry.in_use) return kENOENT;
+  if (entry.maps != 0) return kEBUSY;  // peer still holds mappings
+  entry = GrantEntry{};
+  return kOk;
+}
+
+long GrantOps::map_grant(DomainId caller, DomainId granter, GrantRef ref,
+                         GrantHandle* handle, sim::Mfn* frame) {
+  if (ref >= GrantTable::kMaxEntries) return kEINVAL;
+  auto it = tables_.find(granter);
+  if (it == tables_.end()) return kENOENT;
+  GrantEntry& entry = it->second.entries_[ref];
+  if (!entry.in_use || entry.peer != caller) return kEPERM;
+  const auto mfn = hv_->domain(granter).p2m(entry.pfn);
+  if (!mfn) return kEINVAL;
+
+  ++entry.maps;
+  ++hv_->frames().info(*mfn).ref_count;  // existence ref for the mapping
+  const GrantHandle h = next_handle_++;
+  mappings_.emplace(
+      h, GrantMapping{caller, granter, ref, *mfn, entry.readonly});
+  if (handle) *handle = h;
+  if (frame) *frame = *mfn;
+  return kOk;
+}
+
+long GrantOps::unmap_grant(DomainId caller, GrantHandle handle) {
+  auto it = mappings_.find(handle);
+  if (it == mappings_.end()) return kENOENT;
+  if (it->second.mapper != caller) return kEPERM;
+  const GrantMapping mapping = it->second;
+  mappings_.erase(it);
+
+  auto granter_table = tables_.find(mapping.granter);
+  if (granter_table != tables_.end()) {
+    GrantEntry& entry = granter_table->second.entries_[mapping.ref];
+    if (entry.maps > 0) --entry.maps;
+  }
+  PageInfo& pi = hv_->frames().info(mapping.frame);
+  if (pi.ref_count > 1) --pi.ref_count;
+  return kOk;
+}
+
+long GrantOps::set_version(DomainId caller, unsigned version) {
+  if (version != 1 && version != 2) return kEINVAL;
+  GrantTable& table = table_of(caller);
+  if (table.version_ == version) return kOk;
+
+  if (version == 2) {
+    // Upgrade: allocate a Xen-owned status frame (once) and expose it to
+    // the guest — our stand-in for mapping the v2 status pages.
+    if (table.status_frames_.empty()) {
+      const auto frame = hv_->frames().alloc(kDomXen);
+      if (!frame) return kENOMEM;
+      hv_->frames().info(*frame).type = PageType::GrantStatus;
+      hv_->memory().zero_frame(*frame);
+      // Identifiable Xen-internal content, so a retained mapping is a
+      // demonstrable confidentiality breach.
+      const char secret[] = "XEN-INTERNAL grant status";
+      hv_->memory().write(sim::mfn_to_paddr(*frame),
+                          {reinterpret_cast<const std::uint8_t*>(secret),
+                           sizeof secret});
+      table.status_frames_.push_back(*frame);
+    }
+    const long rc = hv_->map_grant_status_page(caller,
+                                               table.status_frames_[0]);
+    if (rc != kOk) return rc;
+    table.version_ = 2;
+    return kOk;
+  }
+
+  // Downgrade to v1: the status pages "should be released to Xen when a
+  // guest switches from grant table v2 to v1" (paper §IV-B, XSA-387).
+  table.version_ = 1;
+  if (hv_->policy().grant_v2_status_leak) {
+    // The modelled bug: skip the release; the guest keeps its mapping of a
+    // Xen-owned page (abusive functionality: Keep Page Access).
+    return kOk;
+  }
+  return hv_->unmap_grant_status_page(caller);
+}
+
+bool GrantOps::has_foreign_mappings_of(DomainId granter) const {
+  for (const auto& [handle, mapping] : mappings_) {
+    if (mapping.granter == granter && mapping.mapper != granter) return true;
+  }
+  return false;
+}
+
+void GrantOps::domain_destroyed(DomainId domain) {
+  for (auto it = mappings_.begin(); it != mappings_.end();) {
+    if (it->second.mapper == domain) {
+      const GrantHandle handle = it->first;
+      ++it;  // unmap_grant erases; keep the iterator valid
+      (void)unmap_grant(domain, handle);
+    } else {
+      ++it;
+    }
+  }
+  tables_.erase(domain);
+}
+
+std::vector<sim::Mfn> GrantOps::reachable_frames(DomainId domain) const {
+  std::vector<sim::Mfn> out;
+  for (const auto& [handle, mapping] : mappings_) {
+    if (mapping.mapper == domain) out.push_back(mapping.frame);
+  }
+  return out;
+}
+
+}  // namespace ii::hv

@@ -1,0 +1,116 @@
+#include "hv/hypercall_table.hpp"
+
+#include "hv/hypervisor.hpp"
+
+namespace ii::hv {
+
+unsigned arbitrary_access_nr(XenVersion version) {
+  // Vacant slots differ between the three patched trees.
+  if (version <= kXen46) return 41;
+  if (version < kXen413) return 42;
+  return 44;
+}
+
+namespace {
+
+/// Fetch the payload as T, or nullptr on a number/payload mismatch.
+template <typename T>
+T* expect(HypercallPayload& payload) {
+  return std::get_if<T>(&payload);
+}
+
+}  // namespace
+
+long dispatch_hypercall(Hypervisor& hv, DomainId caller, unsigned nr,
+                        HypercallPayload& payload) {
+  switch (nr) {
+    case kHcSetTrapTable: {
+      auto* call = expect<SetTrapTableCall>(payload);
+      if (call == nullptr) return kENOSYS;
+      return hv.hypercall_set_trap_table(caller, call->traps);
+    }
+    case kHcMmuUpdate: {
+      auto* call = expect<MmuUpdateCall>(payload);
+      if (call == nullptr) return kENOSYS;
+      return hv.hypercall_mmu_update(caller, call->requests, call->done);
+    }
+    case kHcMemoryOp: {
+      auto* call = expect<MemoryOpCall>(payload);
+      if (call == nullptr) return kENOSYS;
+      switch (call->cmd) {
+        case MemoryOpCmd::Exchange:
+          if (call->exchange == nullptr) return kEINVAL;
+          return hv.hypercall_memory_exchange(caller, *call->exchange);
+        case MemoryOpCmd::DecreaseReservation:
+          return hv.hypercall_decrease_reservation(caller, call->pfn);
+        case MemoryOpCmd::PopulatePhysmap:
+          return hv.hypercall_populate_physmap(caller, call->pfn);
+      }
+      return kEINVAL;
+    }
+    case kHcConsoleIo: {
+      auto* call = expect<ConsoleIoCall>(payload);
+      if (call == nullptr) return kENOSYS;
+      return hv.hypercall_console_io(caller, call->line);
+    }
+    case kHcGrantTableOp: {
+      auto* call = expect<GrantTableOpCall>(payload);
+      if (call == nullptr) return kENOSYS;
+      switch (call->op) {
+        case GrantTableOpCall::Op::SetVersion:
+          return hv.grants().set_version(caller, call->version);
+        case GrantTableOpCall::Op::GrantAccess:
+          return hv.grants().grant_access(caller, call->ref, call->peer,
+                                          call->pfn, call->readonly);
+        case GrantTableOpCall::Op::EndAccess:
+          return hv.grants().end_access(caller, call->ref);
+        case GrantTableOpCall::Op::Map:
+          return hv.grants().map_grant(caller, call->peer, call->ref,
+                                       call->out_handle, call->out_frame);
+        case GrantTableOpCall::Op::Unmap:
+          return hv.grants().unmap_grant(caller, call->handle);
+      }
+      return kEINVAL;
+    }
+    case kHcMmuExtOp: {
+      auto* call = expect<MmuExtOp>(payload);
+      if (call == nullptr) return kENOSYS;
+      return hv.hypercall_mmuext_op(caller, *call);
+    }
+    case kHcSchedOp: {
+      auto* call = expect<SchedOpCall>(payload);
+      if (call == nullptr) return kENOSYS;
+      return hv.hypercall_sched_op_shutdown(caller, call->reason);
+    }
+    case kHcEventChannelOp: {
+      auto* call = expect<EventChannelOpCall>(payload);
+      if (call == nullptr) return kENOSYS;
+      switch (call->op) {
+        case EventChannelOpCall::Op::AllocUnbound:
+          return hv.events().alloc_unbound(caller, call->remote,
+                                           call->out_port);
+        case EventChannelOpCall::Op::BindInterdomain:
+          return hv.events().bind_interdomain(caller, call->remote,
+                                              call->port, call->out_port);
+        case EventChannelOpCall::Op::Send:
+          return hv.events().send(caller, call->port);
+      }
+      return kEINVAL;
+    }
+    case kHcDomctl: {
+      auto* call = expect<DomctlCall>(payload);
+      if (call == nullptr) return kENOSYS;
+      return hv.hypercall_domctl_destroy(caller, call->victim);
+    }
+    default: {
+      if (nr == arbitrary_access_nr(hv.version())) {
+        auto* call = expect<ArbitraryAccessCall>(payload);
+        if (call == nullptr) return kENOSYS;
+        return hv.hypercall_arbitrary_access(caller, call->request);
+      }
+      return kENOSYS;  // vacant slot
+    }
+  }
+}
+
+}  // namespace ii::hv

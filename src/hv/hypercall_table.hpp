@@ -1,0 +1,108 @@
+// Numbered hypercall dispatch — the "hypercalls table".
+//
+// Paper §V-B: "Although the core of the injector is the same, small changes
+// in the hypercalls table had to be done to add the new hypercall into the
+// code base for each version (due to small architectural differences
+// between versions)." This layer models that surface: Xen's classic
+// hypercall numbers dispatch through a per-version table, and the
+// HYPERVISOR_arbitrary_access patch occupies a *different vacant slot on
+// each release* — so injection tooling must resolve the number per version,
+// exactly as the real prototype had to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "hv/abi.hpp"
+#include "hv/grant_table.hpp"
+#include "hv/version.hpp"
+
+namespace ii::hv {
+
+class Hypervisor;
+
+// Classic Xen hypercall numbers (the stable subset this model serves).
+inline constexpr unsigned kHcSetTrapTable = 0;
+inline constexpr unsigned kHcMmuUpdate = 1;
+inline constexpr unsigned kHcMemoryOp = 12;      // exchange/balloon sub-ops
+inline constexpr unsigned kHcConsoleIo = 18;
+inline constexpr unsigned kHcGrantTableOp = 20;
+inline constexpr unsigned kHcMmuExtOp = 23;
+inline constexpr unsigned kHcSchedOp = 26;
+inline constexpr unsigned kHcEventChannelOp = 29;
+inline constexpr unsigned kHcDomctl = 36;
+
+/// XENMEM_* sub-commands of kHcMemoryOp.
+enum class MemoryOpCmd { Exchange, DecreaseReservation, PopulatePhysmap };
+
+/// Where each release's patched build parks HYPERVISOR_arbitrary_access
+/// (a vacant table slot; the "small architectural differences").
+[[nodiscard]] unsigned arbitrary_access_nr(XenVersion version);
+
+// ---------------------------------------------------------------- payloads
+
+struct MmuUpdateCall {
+  std::span<const MmuUpdate> requests;
+  unsigned* done = nullptr;
+};
+
+struct MemoryOpCall {
+  MemoryOpCmd cmd{};
+  MemoryExchange* exchange = nullptr;  // Exchange
+  sim::Pfn pfn{};                      // balloon ops
+};
+
+struct SetTrapTableCall {
+  std::span<const TrapInfo> traps;
+};
+
+struct ConsoleIoCall {
+  std::string line;
+};
+
+struct SchedOpCall {
+  ShutdownReason reason{};
+};
+
+struct DomctlCall {
+  DomainId victim{};
+};
+
+struct GrantTableOpCall {
+  enum class Op { SetVersion, GrantAccess, EndAccess, Map, Unmap } op{};
+  unsigned version = 1;
+  GrantRef ref = 0;
+  DomainId peer = kDomInvalid;
+  sim::Pfn pfn{};
+  bool readonly = false;
+  GrantHandle handle = 0;
+  GrantHandle* out_handle = nullptr;
+  sim::Mfn* out_frame = nullptr;
+};
+
+struct EventChannelOpCall {
+  enum class Op { AllocUnbound, BindInterdomain, Send } op{};
+  DomainId remote = kDomInvalid;
+  unsigned port = 0;
+  unsigned* out_port = nullptr;
+};
+
+struct ArbitraryAccessCall {
+  ArbitraryAccess request;
+};
+
+/// The union of everything a numbered hypercall can carry.
+using HypercallPayload =
+    std::variant<MmuUpdateCall, MemoryOpCall, SetTrapTableCall, ConsoleIoCall,
+                 SchedOpCall, DomctlCall, GrantTableOpCall, MmuExtOp,
+                 EventChannelOpCall, ArbitraryAccessCall>;
+
+/// Dispatch `payload` through `hv`'s hypercall table at slot `nr`.
+/// Returns -ENOSYS for vacant slots and for number/payload mismatches
+/// (calling a slot with the wrong structure is a guest bug, reported the
+/// way real Xen reports bad hypercalls rather than asserted).
+[[nodiscard]] long dispatch_hypercall(Hypervisor& hv, DomainId caller,
+                                      unsigned nr, HypercallPayload& payload);
+
+}  // namespace ii::hv

@@ -1,0 +1,283 @@
+// The simulated Xen PV hypervisor.
+//
+// One Hypervisor instance owns the machine: it reserves frames for its own
+// text/data/IDT, builds its address space (directmap + guest-visible area +
+// the version-dependent linear alias), builds PV domains with direct-paging
+// page tables, and services hypercalls with the validation behaviour of the
+// configured VersionPolicy. Everything an intrusion can corrupt is in the
+// shared sim::PhysicalMemory, so exploits and the injector act on the same
+// substrate the legitimate paths use.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hv/abi.hpp"
+#include "hv/domain.hpp"
+#include "hv/errors.hpp"
+#include "hv/event_channel.hpp"
+#include "hv/frame_table.hpp"
+#include "hv/grant_table.hpp"
+#include "hv/layout.hpp"
+#include "hv/version.hpp"
+#include "sim/expected.hpp"
+#include "sim/idt.hpp"
+#include "sim/mmu.hpp"
+#include "sim/phys_mem.hpp"
+
+namespace ii::hv {
+
+/// Construction parameters.
+struct HvConfig {
+  /// Frames reserved at boot for hypervisor text/data (frame 0 holds the
+  /// guest-readable XenInfoPage; the IDT gets its own frame).
+  std::uint64_t xen_frames = 16;
+  /// Whether the HYPERVISOR_arbitrary_access injector hypercall is compiled
+  /// in (the paper's prototype is a patched build; stock builds refuse it
+  /// with -ENOSYS).
+  bool injector_enabled = false;
+};
+
+/// Guest-readable identification block at the start of Xen's text mapping
+/// (stand-in for the layout knowledge a real attacker gets from the Xen
+/// binary and its symbol table).
+struct XenInfoPage {
+  static constexpr std::uint64_t kMagic = 0x58454E5F494E464FULL;  // "XEN_INFO"
+  std::uint64_t magic = kMagic;
+  std::uint32_t version_major = 0;
+  std::uint32_t version_minor = 0;
+  std::uint64_t xen_l3_paddr = 0;  ///< machine address of the shared Xen L3
+  std::uint64_t idt_paddr = 0;     ///< machine address of the IDT
+};
+
+/// What the hypervisor passes to the registered code executor when an IDT
+/// gate dispatches into attacker-mapped memory.
+struct ExecutionContext {
+  unsigned vector = 0;
+  sim::Vaddr handler{};    ///< gate target (hypervisor linear address)
+  sim::Mfn code_frame{};   ///< machine frame the handler resolved to
+  std::uint64_t offset = 0;  ///< handler offset within the frame
+};
+
+/// Outcome of a guest-virtual-address access attempt.
+struct GuestAccessFault {
+  sim::FaultReason reason{};
+  std::string detail;
+};
+
+class Hypervisor {
+ public:
+  Hypervisor(sim::PhysicalMemory& mem, VersionPolicy policy,
+             HvConfig config = {});
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  // ------------------------------------------------------------- identity
+  [[nodiscard]] const VersionPolicy& policy() const { return policy_; }
+  [[nodiscard]] XenVersion version() const { return policy_.version; }
+  [[nodiscard]] bool injector_enabled() const { return config_.injector_enabled; }
+
+  // ------------------------------------------------------------- lifecycle
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  /// Fatal error: logs the Xen panic banner and halts the machine. Public
+  /// because the platform glue reports guest-triggered fatal states too.
+  void panic(const std::string& reason);
+
+  /// Per-line hypervisor console ring ("(XEN) ..." lines).
+  [[nodiscard]] const std::vector<std::string>& console() const {
+    return console_;
+  }
+  void log(const std::string& line);
+
+  // ------------------------------------------------------------- domains
+  /// Build a PV domain: allocates `nr_pages` machine-contiguous frames,
+  /// constructs its initial direct-paging tables (kernel directmap at
+  /// kGuestKernelBase), pins the L4 and loads CR3. The first domain created
+  /// must be dom0 (privileged).
+  DomainId create_domain(const std::string& name, bool privileged,
+                         std::uint64_t nr_pages);
+
+  [[nodiscard]] Domain& domain(DomainId id);
+  [[nodiscard]] const Domain& domain(DomainId id) const;
+  [[nodiscard]] std::vector<DomainId> domain_ids() const;
+
+  // ------------------------------------------------------------- hypercalls
+  /// HYPERVISOR_mmu_update: validated page-table writes. `done` (optional)
+  /// receives the number of requests completed.
+  long hypercall_mmu_update(DomainId caller, std::span<const MmuUpdate> reqs,
+                            unsigned* done = nullptr);
+
+  /// HYPERVISOR_update_va_mapping: update the L1 entry mapping `va` in the
+  /// caller's current address space.
+  long hypercall_update_va_mapping(DomainId caller, sim::Vaddr va,
+                                   sim::Pte val);
+
+  /// HYPERVISOR_mmuext_op: pin/unpin/baseptr operations.
+  long hypercall_mmuext_op(DomainId caller, const MmuExtOp& op);
+
+  /// HYPERVISOR_memory_op(XENMEM_exchange). Carries XSA-212 when the policy
+  /// says so.
+  long hypercall_memory_exchange(DomainId caller, MemoryExchange& exch);
+
+  /// HYPERVISOR_memory_op(XENMEM_decrease_reservation): balloon one page
+  /// out. The page must be unmapped and type-free; its P2M slot empties.
+  long hypercall_decrease_reservation(DomainId caller, sim::Pfn pfn);
+
+  /// HYPERVISOR_memory_op(XENMEM_populate_physmap): balloon one page back
+  /// into an empty P2M slot. Deliberately does NOT scrub the frame — a
+  /// recycled frame carries whatever the scrub-on-destroy policy left in it.
+  long hypercall_populate_physmap(DomainId caller, sim::Pfn pfn);
+
+  /// XEN_DOMCTL_destroydomain, dom0-only: tear a domain down — unpin its
+  /// tables, release every frame (scrubbed per policy), drop it from the
+  /// domain list. Refused with -EBUSY while foreign grant mappings of its
+  /// pages exist.
+  long hypercall_domctl_destroy(DomainId caller, DomainId victim);
+
+  /// HYPERVISOR_set_trap_table.
+  long hypercall_set_trap_table(DomainId caller, std::span<const TrapInfo> traps);
+
+  /// HYPERVISOR_console_io: append a guest line to the console ring.
+  long hypercall_console_io(DomainId caller, const std::string& line);
+
+  /// HYPERVISOR_sched_op(shutdown).
+  long hypercall_sched_op_shutdown(DomainId caller, ShutdownReason reason);
+
+  /// HYPERVISOR_arbitrary_access — the intrusion-injection interface
+  /// (paper §V-B). Refused with -ENOSYS unless built with the injector.
+  long hypercall_arbitrary_access(DomainId caller, const ArbitraryAccess& req);
+
+  /// HYPERVISOR_grant_table_op surface (see GrantOps for the sub-ops).
+  [[nodiscard]] GrantOps& grants() { return grants_; }
+  [[nodiscard]] const GrantOps& grants() const { return grants_; }
+
+  /// HYPERVISOR_event_channel_op surface (see EventChannelOps).
+  [[nodiscard]] EventChannelOps& events() { return events_; }
+  [[nodiscard]] const EventChannelOps& events() const { return events_; }
+
+  /// Grant-v2 plumbing used by GrantOps: expose/remove the Xen-owned grant
+  /// status frame through the guest's kGrantStatusPfn window.
+  long map_grant_status_page(DomainId domain, sim::Mfn status_frame);
+  long unmap_grant_status_page(DomainId domain);
+
+  /// Availability state: a wedged (livelocked) CPU, distinct from a panic.
+  [[nodiscard]] bool cpu_hung() const { return cpu_hung_; }
+  void report_cpu_hang(const std::string& reason);
+
+  // ----------------------------------------------------- guest memory access
+  /// Perform a data access at guest virtual address `va` on behalf of
+  /// domain `caller` (guest kernel or user code; both are "user" to the
+  /// MMU in this PV model). On fault the hypervisor first dispatches the
+  /// page-fault vector through the IDT — which is how a corrupted IDT turns
+  /// the *next* fault into a host crash — and then reports the fault.
+  [[nodiscard]] Expected<std::monostate, GuestAccessFault> guest_read(
+      DomainId caller, sim::Vaddr va, std::span<std::uint8_t> out);
+  [[nodiscard]] Expected<std::monostate, GuestAccessFault> guest_write(
+      DomainId caller, sim::Vaddr va, std::span<const std::uint8_t> in);
+
+  /// Resolve a guest VA without performing an access (no fault delivery).
+  [[nodiscard]] Expected<sim::Walk, sim::PageFault> guest_walk(
+      DomainId caller, sim::Vaddr va) const;
+
+  // -------------------------------------------------------------- interrupts
+  /// `int $vector` executed by a guest. Dispatches through the (corruptible)
+  /// in-memory IDT: a malformed gate double-faults the host; a gate whose
+  /// handler resolves into mapped executable memory outside Xen's text runs
+  /// through the registered code executor with hypervisor privilege.
+  long software_interrupt(DomainId caller, unsigned vector);
+
+  using CodeExecutor = std::function<void(const ExecutionContext&)>;
+  void set_code_executor(CodeExecutor exec) { executor_ = std::move(exec); }
+
+  /// `sidt`: linear address of the IDT as the hypervisor sees it.
+  [[nodiscard]] sim::Vaddr sidt() const;
+
+  // ------------------------------------------------------------ introspection
+  [[nodiscard]] sim::PhysicalMemory& memory() { return *mem_; }
+  [[nodiscard]] const sim::PhysicalMemory& memory() const { return *mem_; }
+  [[nodiscard]] FrameTable& frames() { return frames_; }
+  [[nodiscard]] const FrameTable& frames() const { return frames_; }
+  [[nodiscard]] const sim::Mmu& mmu() const { return mmu_; }
+
+  [[nodiscard]] sim::Mfn xen_root() const { return xen_l4_; }
+  [[nodiscard]] sim::Mfn xen_l3() const { return xen_l3_; }
+  [[nodiscard]] sim::Paddr idt_base() const { return idt_base_; }
+  [[nodiscard]] sim::Idt idt() { return sim::Idt{*mem_, idt_base_}; }
+
+  /// Legitimate handler address installed at boot for `vector`.
+  [[nodiscard]] std::uint64_t default_handler(unsigned vector) const;
+
+  /// Hypervisor-privilege translation (through Xen's own tables).
+  [[nodiscard]] Expected<sim::Walk, sim::PageFault> hv_translate(
+      sim::Vaddr va, sim::AccessType access) const;
+
+  /// True when the 4.9+ policy forbids guest data access to `va` outside
+  /// the explicitly exposed Xen ranges. Exposed for tests.
+  [[nodiscard]] bool guest_range_blocked(sim::Vaddr va) const;
+
+ private:
+  // boot helpers
+  void build_xen_address_space();
+  void install_default_idt();
+  sim::Mfn alloc_xen_table();
+
+  // domain-builder helpers
+  sim::Mfn build_guest_tables(Domain& dom, sim::Mfn first_frame,
+                              std::uint64_t nr_pages);
+  void install_reserved_slots(sim::Mfn l4);
+  /// Machine address of the L1 slot backing `pfn`'s directmap address.
+  [[nodiscard]] sim::Paddr guest_l1_slot(const Domain& dom,
+                                         sim::Pfn pfn) const;
+
+  // validation engine (memory.cpp)
+  long validate_and_write_entry(Domain& caller, sim::Mfn table, unsigned index,
+                                sim::Pte entry);
+  long validate_entry_target(Domain& caller, sim::PtLevel level, sim::Pte entry);
+  long get_page_type(Domain& caller, sim::Mfn mfn, PageType wanted);
+  void put_page_type(sim::Mfn mfn);
+  long validate_table(Domain& caller, sim::Mfn mfn, sim::PtLevel level);
+  void invalidate_table(sim::Mfn mfn);
+  [[nodiscard]] PageType table_type_of(sim::PtLevel level) const;
+  [[nodiscard]] std::optional<sim::PtLevel> level_of_type(PageType t) const;
+
+  // copy engine
+  long copy_to_guest(Domain& caller, sim::Vaddr va,
+                     std::span<const std::uint8_t> bytes, bool checked);
+
+  // fault plumbing
+  void dispatch_exception(unsigned vector);
+
+  sim::PhysicalMemory* mem_;
+  VersionPolicy policy_;
+  HvConfig config_;
+  sim::Mmu mmu_;
+  FrameTable frames_;
+
+  // Xen's own address space.
+  sim::Mfn xen_l4_{};
+  sim::Mfn xen_l3_{};        ///< shared L3 installed at L4 slot 256
+  sim::Mfn directmap_l3_{};  ///< supervisor directmap at L4 slot 262
+  sim::Paddr idt_base_{};
+  std::uint64_t xen_text_bytes_ = 0;
+  std::vector<std::uint64_t> default_handlers_;
+
+  std::map<DomainId, std::unique_ptr<Domain>> domains_;
+  DomainId next_domid_ = kDom0;
+
+  GrantOps grants_{*this};
+  EventChannelOps events_{*this};
+
+  bool crashed_ = false;
+  bool cpu_hung_ = false;
+  std::vector<std::string> console_;
+  CodeExecutor executor_;
+};
+
+}  // namespace ii::hv

@@ -1,0 +1,97 @@
+// Simulated Xen x86-64 virtual-memory layout.
+//
+// Mirrors the shape of the real PV layout the paper relies on:
+//
+//   L4 slots 256..271 (0xffff8000'00000000 .. 0xffff87ff'ffffffff) are
+//   Xen-reserved. Inside them:
+//     - Xen text/data is mapped guest-readable (the paper: "the range
+//       0xffff800000000000-0xffff807fffffffff is read-only for guest
+//       domains");
+//     - pre-4.9 only: a guest-reachable RWX alias of all machine memory at
+//       0xffff8040'00000000 (the "512GB RWX mapping of the linear page
+//       table" whose removal §VIII credits for Xen 4.13's resilience);
+//     - a hypervisor-private directmap of all machine memory at
+//       0xffff8300'00000000 (supervisor-only, present in every version —
+//       this is what keeps the *injector* fully functional on 4.13).
+//
+//   L4 slots >= 272 (0xffff8800'00000000 ..) belong to the guest kernel,
+//   matching where the XSA-148 PoC's logged addresses (ffff880078000000)
+//   live; the low canonical half is guest user space.
+#pragma once
+
+#include "sim/pte.hpp"
+#include "sim/types.hpp"
+
+namespace ii::hv {
+
+/// First and last L4 slots reserved for the hypervisor.
+inline constexpr unsigned kXenFirstReservedSlot = 256;
+inline constexpr unsigned kXenLastReservedSlot = 271;
+
+/// Base of the Xen-reserved area (L4 slot 256).
+inline constexpr std::uint64_t kXenAreaBase = 0xFFFF800000000000ULL;
+
+/// Guest-readable mapping of Xen text/data (L4 slot 256, L3 slots 0..255).
+inline constexpr std::uint64_t kXenTextBase = kXenAreaBase;
+
+/// Guest-reachable RWX alias of machine memory, pre-4.9 only
+/// (L4 slot 256, L3 slots 256..511).
+inline constexpr std::uint64_t kLinearAliasBase = 0xFFFF804000000000ULL;
+
+/// Hypervisor-private directmap of machine memory (L4 slot 262).
+inline constexpr std::uint64_t kDirectmapBase = 0xFFFF830000000000ULL;
+
+/// Base of the guest kernel's own area (first non-reserved high slot, 272).
+inline constexpr std::uint64_t kGuestKernelBase = 0xFFFF880000000000ULL;
+
+/// Historical "linear page table" L4 slot: pre-4.9 Xen let PV guests install
+/// a read-only same-level (self) mapping here — the facility the XSA-182
+/// use case abuses. 4.9+ rejects guest entries in every reserved slot.
+inline constexpr unsigned kLinearPtSlot = 258;
+
+// --- Well-known guest pseudo-physical pages (domain-builder contract) ------
+
+/// start_info page (fingerprintable; scanned by the XSA-148 PoC).
+inline constexpr sim::Pfn kStartInfoPfn{0};
+/// vDSO page (the XSA-148 backdoor patch target).
+inline constexpr sim::Pfn kVdsoPfn{1};
+/// shared_info page: event-channel pending/mask bitmaps live here.
+inline constexpr sim::Pfn kSharedInfoPfn{2};
+/// Window left unmapped by the builder; grant-v2 status pages appear here.
+inline constexpr sim::Pfn kGrantStatusPfn{3};
+/// First page of the guest kernel's free pool.
+inline constexpr sim::Pfn kFirstFreePfn{4};
+
+[[nodiscard]] constexpr bool in_xen_reserved_slots(sim::Vaddr va) {
+  const unsigned l4 = sim::level_index_of(va, sim::PtLevel::L4);
+  return sim::is_canonical(va) && l4 >= kXenFirstReservedSlot &&
+         l4 <= kXenLastReservedSlot;
+}
+
+/// Size of the alias window: the upper 256 GiB of L4 slot 256
+/// (L3 slots 256..511).
+inline constexpr std::uint64_t kLinearAliasBytes = std::uint64_t{1} << 38;
+
+[[nodiscard]] constexpr bool in_linear_alias(sim::Vaddr va) {
+  return va.raw() >= kLinearAliasBase &&
+         va.raw() - kLinearAliasBase < kLinearAliasBytes;
+}
+
+/// Linear address at which the hypervisor sees a physical byte address.
+[[nodiscard]] constexpr sim::Vaddr directmap_vaddr(sim::Paddr pa) {
+  return sim::Vaddr{kDirectmapBase + pa.raw()};
+}
+
+/// Guest-reachable alias address of a physical byte address (pre-4.9).
+[[nodiscard]] constexpr sim::Vaddr alias_vaddr(sim::Paddr pa) {
+  return sim::Vaddr{kLinearAliasBase + pa.raw()};
+}
+
+/// Guest-kernel directmap address of the n-th byte of guest pseudo-physical
+/// memory (the guest maps pfn p at kGuestKernelBase + p * 4K).
+[[nodiscard]] constexpr sim::Vaddr guest_directmap_vaddr(sim::Pfn pfn,
+                                                         std::uint64_t off = 0) {
+  return sim::Vaddr{kGuestKernelBase + (pfn.raw() << sim::kPageShift) + off};
+}
+
+}  // namespace ii::hv

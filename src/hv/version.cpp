@@ -1,0 +1,25 @@
+#include "hv/version.hpp"
+
+namespace ii::hv {
+
+VersionPolicy VersionPolicy::for_version(XenVersion v) {
+  VersionPolicy p{};
+  p.version = v;
+  const bool is46 = v <= kXen46;
+  const bool pre49 = v < XenVersion{4, 9};
+  const bool pre413 = v < kXen413;
+
+  p.xsa212_unchecked_exchange_output = is46;
+  p.xsa148_l2_pse_unvalidated = is46;
+  p.xsa182_l4_fastpath_unvalidated = is46;
+  p.guest_linear_alias_present = pre49;
+  p.strict_reserved_slot_check = !pre49;
+  p.grant_v2_status_leak = pre413;
+  p.evtchn_requeue_unbound = pre413;
+  p.scrub_on_destroy = !pre413;
+  p.fdc_unbounded_fifo = is46;
+  p.dm_handler_integrity_check = !pre413;
+  return p;
+}
+
+}  // namespace ii::hv

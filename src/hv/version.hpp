@@ -1,0 +1,97 @@
+// Version policy: which checks each simulated Xen release performs.
+//
+// The paper's whole experimental design rests on running the *same*
+// erroneous-state injections against Xen 4.6 (vulnerable), 4.8 (fixed) and
+// 4.13 (fixed + hardened after the XSA-213..215 follow-ups, which removed a
+// guest-reachable 512 GiB RWX linear-pagetable alias). This struct is the
+// single point where those differences live; every validation site in the
+// hypervisor consults it, so a version is exactly "a set of checks".
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace ii::hv {
+
+/// A Xen release identifier (major.minor).
+struct XenVersion {
+  int major = 4;
+  int minor = 6;
+
+  friend constexpr auto operator<=>(const XenVersion&, const XenVersion&) =
+      default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(major) + "." + std::to_string(minor);
+  }
+};
+
+inline constexpr XenVersion kXen46{4, 6};
+inline constexpr XenVersion kXen48{4, 8};
+inline constexpr XenVersion kXen413{4, 13};
+
+/// The behavioural knobs that distinguish the simulated releases.
+struct VersionPolicy {
+  XenVersion version{};
+
+  /// XSA-212: `memory_exchange` fails to range-check the guest-supplied
+  /// output pointer before copying results back, yielding an arbitrary
+  /// hypervisor-space write primitive. Fixed in 4.8.2 / 4.9.
+  bool xsa212_unchecked_exchange_output = false;
+
+  /// XSA-148: L2 page-table-entry validation misses the PSE (superpage)
+  /// bit, letting a PV guest map a 2 MiB machine-contiguous region —
+  /// including its own page-table frames — writable. Fixed after 4.6.
+  bool xsa148_l2_pse_unvalidated = false;
+
+  /// XSA-182: the `mod_l4_entry` fast path skips re-validation when an
+  /// update only changes flag bits of an existing entry, so a read-only
+  /// L4 "linear" self-map can be flipped to writable. Fixed after 4.6.
+  bool xsa182_l4_fastpath_unvalidated = false;
+
+  /// Pre-4.9 layout: machine memory is aliased RWX at a guest-reachable
+  /// range (0xffff8040'00000000). Its removal is the hardening that makes
+  /// Xen 4.13 *handle* two of the paper's four injected states (Table III).
+  bool guest_linear_alias_present = false;
+
+  /// Post-XSA-213-era strictness: guest accesses whose L4 slot lies in the
+  /// Xen-reserved range are cross-checked against the hypervisor-installed
+  /// entry before use; a corrupted reserved slot faults instead of being
+  /// followed. Models the 4.9+ reserved-area hardening.
+  bool strict_reserved_slot_check = false;
+
+  /// Extension (paper §IV-B): grant-table v2→v1 downgrade leaks status
+  /// frames, leaving the guest with access to pages returned to Xen
+  /// (XSA-387 family, "Keep Page Access"). Modelled as fixed in 4.13.
+  bool grant_v2_status_leak = false;
+
+  /// Extension (paper §IX-C, Table I's non-memory class): the event-channel
+  /// delivery loop re-queues events raised on ports with no registered
+  /// handler, so an injected pending-bit storm livelocks the CPU ("Induce a
+  /// Hang State"). Hardened (dropping) behaviour modelled from 4.13.
+  bool evtchn_requeue_unbound = false;
+
+  /// Extension (management-interface IMs, §IX-C): whether frames of a
+  /// destroyed domain are scrubbed before returning to the heap. Without
+  /// it, recycled frames leak the dead tenant's data ("Read Unauthorized
+  /// Memory"). Modelled as eager from 4.13.
+  bool scrub_on_destroy = false;
+
+  /// The paper's §III-A motivating example, XSA-133/VENOM (CVE-2015-3456):
+  /// the device model's floppy controller accepts FIFO bytes without a
+  /// bounds check, overflowing into adjacent device-model state. Modelled
+  /// as present in the 4.6-era platform only.
+  bool fdc_unbounded_fifo = false;
+
+  /// Hardened device model: verify the command-dispatch table's integrity
+  /// before every dispatch and abort the device model on mismatch (a CFI-
+  /// style mitigation). Turns a corrupted handler into a contained DM
+  /// crash instead of code execution. Modelled from 4.13.
+  bool dm_handler_integrity_check = false;
+
+  /// Build the policy for a release. Unknown versions get the most
+  /// hardened behaviour.
+  [[nodiscard]] static VersionPolicy for_version(XenVersion v);
+};
+
+}  // namespace ii::hv

@@ -1,0 +1,73 @@
+#include "net/network.hpp"
+
+namespace ii::net {
+
+void Connection::send(Endpoint from, std::string line) {
+  if (closed_) return;
+  inbox(peer_of(from)).push_back(std::move(line));
+}
+
+std::optional<std::string> Connection::poll(Endpoint to) {
+  auto& box = inbox(to);
+  if (box.empty()) return std::nullopt;
+  std::string line = std::move(box.front());
+  box.pop_front();
+  return line;
+}
+
+std::size_t Connection::pending(Endpoint to) const {
+  return to == Endpoint::Client ? to_client_.size() : to_server_.size();
+}
+
+std::size_t ShellSession::pump() {
+  std::size_t handled = 0;
+  while (auto cmd = conn_->poll(Endpoint::Server)) {
+    conn_->send(Endpoint::Server, handler_(*cmd, uid_));
+    ++handled;
+  }
+  return handled;
+}
+
+void Host::listen(std::uint16_t port) { ports_.try_emplace(port); }
+
+bool Host::listening(std::uint16_t port) const {
+  return ports_.contains(port);
+}
+
+std::vector<std::shared_ptr<Connection>> Host::accepted(
+    std::uint16_t port) const {
+  if (auto it = ports_.find(port); it != ports_.end()) return it->second;
+  return {};
+}
+
+void Host::deliver(std::uint16_t port, std::shared_ptr<Connection> conn) {
+  ports_.at(port).push_back(std::move(conn));
+}
+
+Host& Network::add_host(const std::string& name) {
+  auto [it, inserted] = hosts_.try_emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Host>(name);
+  return *it->second;
+}
+
+Host* Network::find_host(const std::string& name) {
+  auto it = hosts_.find(name);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+const Host* Network::find_host(const std::string& name) const {
+  auto it = hosts_.find(name);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<Connection> Network::connect(const std::string& from,
+                                             const std::string& to,
+                                             std::uint16_t port) {
+  Host* target = find_host(to);
+  if (target == nullptr || !target->listening(port)) return nullptr;
+  auto conn = std::make_shared<Connection>(from, to, port);
+  target->deliver(port, conn);
+  return conn;
+}
+
+}  // namespace ii::net

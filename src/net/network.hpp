@@ -1,0 +1,143 @@
+// In-process network simulator.
+//
+// The XSA-148 privilege-escalation PoC ends with a *reverse shell*: the
+// backdoored dom0 connects out to the attacker's machine, which had run
+// `nc -l -p 1234`, and the attacker types commands that execute as root.
+// That observable — "attacker host holds an interactive uid-0 session on
+// dom0" — is the security violation the paper's Table III records, so the
+// simulator reproduces the same handshake: hosts, listeners, line-oriented
+// connections, and shell sessions bound to a uid and a command handler.
+//
+// The model is deliberately synchronous and single-threaded: send() enqueues
+// a line, poll() dequeues, ShellSession::pump() turns pending commands into
+// responses. No timing or loss is modelled; none of the paper's experiments
+// depends on it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ii::net {
+
+/// Identifies one end of a connection.
+enum class Endpoint { Client, Server };
+
+[[nodiscard]] constexpr Endpoint peer_of(Endpoint e) {
+  return e == Endpoint::Client ? Endpoint::Server : Endpoint::Client;
+}
+
+/// A bidirectional, line-oriented byte channel between two hosts.
+class Connection {
+ public:
+  Connection(std::string client_host, std::string server_host,
+             std::uint16_t port)
+      : client_host_{std::move(client_host)},
+        server_host_{std::move(server_host)},
+        port_{port} {}
+
+  [[nodiscard]] const std::string& client_host() const { return client_host_; }
+  [[nodiscard]] const std::string& server_host() const { return server_host_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool closed() const { return closed_; }
+
+  /// Enqueue a line from `from` towards its peer.
+  void send(Endpoint from, std::string line);
+
+  /// Dequeue the next line addressed to `to`, if any.
+  [[nodiscard]] std::optional<std::string> poll(Endpoint to);
+
+  /// Lines currently queued towards `to`.
+  [[nodiscard]] std::size_t pending(Endpoint to) const;
+
+  void close() { closed_ = true; }
+
+ private:
+  std::deque<std::string>& inbox(Endpoint to) {
+    return to == Endpoint::Client ? to_client_ : to_server_;
+  }
+
+  std::string client_host_;
+  std::string server_host_;
+  std::uint16_t port_;
+  std::deque<std::string> to_client_;
+  std::deque<std::string> to_server_;
+  bool closed_ = false;
+};
+
+/// An interactive remote shell attached to the server side of a connection:
+/// the `nc -l` + backdoor pairing from the XSA-148 PoC. Commands arriving
+/// from the client run through `handler` with the session's uid.
+class ShellSession {
+ public:
+  using CommandHandler =
+      std::function<std::string(const std::string& command, int uid)>;
+
+  ShellSession(std::shared_ptr<Connection> conn, int uid,
+               CommandHandler handler)
+      : conn_{std::move(conn)}, uid_{uid}, handler_{std::move(handler)} {}
+
+  [[nodiscard]] int uid() const { return uid_; }
+  [[nodiscard]] const std::shared_ptr<Connection>& connection() const {
+    return conn_;
+  }
+
+  /// Execute every command the client has queued; returns the number of
+  /// commands processed. Output lines are queued back to the client.
+  std::size_t pump();
+
+ private:
+  std::shared_ptr<Connection> conn_;
+  int uid_;
+  CommandHandler handler_;
+};
+
+/// A machine on the simulated network.
+class Host {
+ public:
+  explicit Host(std::string name) : name_{std::move(name)} {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Start listening on `port` (the `nc -l -vvv -p <port>` step).
+  void listen(std::uint16_t port);
+  [[nodiscard]] bool listening(std::uint16_t port) const;
+
+  /// Connections accepted on `port`, in arrival order.
+  [[nodiscard]] std::vector<std::shared_ptr<Connection>> accepted(
+      std::uint16_t port) const;
+
+ private:
+  friend class Network;
+  void deliver(std::uint16_t port, std::shared_ptr<Connection> conn);
+
+  std::string name_;
+  std::map<std::uint16_t, std::vector<std::shared_ptr<Connection>>> ports_;
+};
+
+/// Registry of hosts plus the connect operation.
+class Network {
+ public:
+  /// Create (or return the existing) host named `name`.
+  Host& add_host(const std::string& name);
+
+  [[nodiscard]] Host* find_host(const std::string& name);
+  [[nodiscard]] const Host* find_host(const std::string& name) const;
+
+  /// Attempt a client connection from `from` to `to`:`port`. Returns the
+  /// established connection, or nullptr when the peer is unknown or not
+  /// listening (connection refused).
+  std::shared_ptr<Connection> connect(const std::string& from,
+                                      const std::string& to,
+                                      std::uint16_t port);
+
+ private:
+  std::map<std::string, std::unique_ptr<Host>> hosts_;
+};
+
+}  // namespace ii::net

@@ -1,0 +1,57 @@
+// Minimal expected<T, E> for C++20 (std::expected is C++23).
+//
+// Only the operations the codebase needs are provided: construction from a
+// value or an error, has_value/operator bool, value(), error(). value() on an
+// error (or error() on a value) terminates via assert-like std::abort, which
+// is the behaviour we want in a simulator: such a mix-up is a programming
+// bug, never a recoverable runtime condition.
+#pragma once
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+namespace ii {
+
+/// Tag wrapper distinguishing the error alternative of Expected.
+template <typename E>
+struct Unexpected {
+  E value;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+/// A value of type T or an error of type E.
+template <typename T, typename E>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_{std::in_place_index<0>, std::move(value)} {}
+  Expected(Unexpected<E> err)
+      : storage_{std::in_place_index<1>, std::move(err.value)} {}
+
+  [[nodiscard]] bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!has_value()) std::abort();
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!has_value()) std::abort();
+    return std::get<0>(storage_);
+  }
+
+  [[nodiscard]] const E& error() const& {
+    if (has_value()) std::abort();
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace ii

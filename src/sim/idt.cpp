@@ -1,0 +1,71 @@
+#include "sim/idt.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace ii::sim {
+
+bool IdtGate::well_formed() const {
+  if (!present()) return false;
+  const unsigned type = gate_type();
+  if (type != kInterruptGateType && type != kTrapGateType) return false;
+  return is_canonical(Vaddr{handler});
+}
+
+IdtGate IdtGate::interrupt_gate(std::uint64_t handler, std::uint16_t selector) {
+  return IdtGate{
+      .handler = handler,
+      .selector = selector,
+      .ist = 0,
+      .type_attr = static_cast<std::uint8_t>(kPresentBit | kInterruptGateType),
+  };
+}
+
+Paddr Idt::gate_address(unsigned vector) const {
+  if (vector >= kIdtVectors) throw std::out_of_range{"IDT vector"};
+  return base_ + vector * kGateBytes;
+}
+
+IdtGate Idt::decode(std::span<const std::uint8_t, kGateBytes> raw) {
+  IdtGate g{};
+  const std::uint64_t lo = std::uint64_t{raw[0]} | std::uint64_t{raw[1]} << 8;
+  const std::uint64_t mid = std::uint64_t{raw[6]} | std::uint64_t{raw[7]} << 8;
+  const std::uint64_t hi = std::uint64_t{raw[8]} | std::uint64_t{raw[9]} << 8 |
+                           std::uint64_t{raw[10]} << 16 |
+                           std::uint64_t{raw[11]} << 24;
+  g.handler = lo | mid << 16 | hi << 32;
+  g.selector = static_cast<std::uint16_t>(raw[2] | raw[3] << 8);
+  g.ist = static_cast<std::uint8_t>(raw[4] & 0x7);
+  g.type_attr = raw[5];
+  return g;
+}
+
+IdtGate Idt::read(unsigned vector) const {
+  std::array<std::uint8_t, kGateBytes> raw{};
+  mem_->read(gate_address(vector), raw);
+  return decode(raw);
+}
+
+std::array<std::uint8_t, Idt::kGateBytes> Idt::encode(const IdtGate& gate) {
+  std::array<std::uint8_t, kGateBytes> raw{};
+  raw[0] = static_cast<std::uint8_t>(gate.handler);
+  raw[1] = static_cast<std::uint8_t>(gate.handler >> 8);
+  raw[2] = static_cast<std::uint8_t>(gate.selector);
+  raw[3] = static_cast<std::uint8_t>(gate.selector >> 8);
+  raw[4] = gate.ist;
+  raw[5] = gate.type_attr;
+  raw[6] = static_cast<std::uint8_t>(gate.handler >> 16);
+  raw[7] = static_cast<std::uint8_t>(gate.handler >> 24);
+  raw[8] = static_cast<std::uint8_t>(gate.handler >> 32);
+  raw[9] = static_cast<std::uint8_t>(gate.handler >> 40);
+  raw[10] = static_cast<std::uint8_t>(gate.handler >> 48);
+  raw[11] = static_cast<std::uint8_t>(gate.handler >> 56);
+  // raw[12..15]: reserved, kept zero.
+  return raw;
+}
+
+void Idt::write(unsigned vector, const IdtGate& gate) {
+  mem_->write(gate_address(vector), encode(gate));
+}
+
+}  // namespace ii::sim

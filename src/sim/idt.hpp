@@ -1,0 +1,83 @@
+// Interrupt Descriptor Table model (x86-64 16-byte gate descriptors).
+//
+// The IDT is stored *in physical memory*, exactly like on real hardware.
+// That detail is load-bearing for this reproduction: the XSA-212-crash use
+// case overwrites the page-fault gate bytes in the IDT frame, and the crash
+// materializes when the hypervisor next dispatches vector 14 through the
+// corrupted descriptor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "sim/phys_mem.hpp"
+#include "sim/types.hpp"
+
+namespace ii::sim {
+
+/// Exception vectors used by the platform.
+inline constexpr unsigned kDivideErrorVector = 0;
+inline constexpr unsigned kInvalidOpcodeVector = 6;
+inline constexpr unsigned kDoubleFaultVector = 8;
+inline constexpr unsigned kGeneralProtectionVector = 13;
+inline constexpr unsigned kPageFaultVector = 14;
+inline constexpr unsigned kIdtVectors = 256;
+
+/// Decoded 16-byte interrupt/trap gate.
+struct IdtGate {
+  std::uint64_t handler = 0;   ///< linear address of the handler
+  std::uint16_t selector = 0;  ///< code-segment selector
+  std::uint8_t ist = 0;        ///< interrupt-stack-table slot (0 = none)
+  std::uint8_t type_attr = 0;  ///< P | DPL | gate type
+
+  static constexpr std::uint8_t kPresentBit = 0x80;
+  static constexpr std::uint8_t kInterruptGateType = 0x0E;
+  static constexpr std::uint8_t kTrapGateType = 0x0F;
+
+  [[nodiscard]] bool present() const { return type_attr & kPresentBit; }
+  [[nodiscard]] unsigned dpl() const { return (type_attr >> 5) & 0x3; }
+  [[nodiscard]] unsigned gate_type() const { return type_attr & 0xF; }
+
+  /// A gate the dispatcher accepts: present, interrupt/trap type, canonical
+  /// handler. Anything else triple-faults real hardware; the hypervisor
+  /// models that as a fatal double fault.
+  [[nodiscard]] bool well_formed() const;
+
+  /// Conventional present supervisor interrupt gate at `handler`.
+  [[nodiscard]] static IdtGate interrupt_gate(std::uint64_t handler,
+                                              std::uint16_t selector = 0x08);
+
+  friend bool operator==(const IdtGate&, const IdtGate&) = default;
+};
+
+/// View of an IDT resident at a physical base address. The view owns no
+/// memory; it encodes/decodes gate descriptors in place so that arbitrary
+/// memory writes (exploits, injector) naturally corrupt it.
+class Idt {
+ public:
+  Idt(PhysicalMemory& mem, Paddr base) : mem_{&mem}, base_{base} {}
+
+  static constexpr std::uint64_t kGateBytes = 16;
+
+  /// Raw descriptor codec, exposed so attack code can forge gate bytes and
+  /// feed them through an arbitrary-write primitive.
+  [[nodiscard]] static std::array<std::uint8_t, kGateBytes> encode(
+      const IdtGate& gate);
+  [[nodiscard]] static IdtGate decode(
+      std::span<const std::uint8_t, kGateBytes> raw);
+
+  [[nodiscard]] Paddr base() const { return base_; }
+  /// Physical address of a vector's descriptor (what `sidt` + arithmetic
+  /// yields for an attacker).
+  [[nodiscard]] Paddr gate_address(unsigned vector) const;
+
+  [[nodiscard]] IdtGate read(unsigned vector) const;
+  void write(unsigned vector, const IdtGate& gate);
+
+ private:
+  PhysicalMemory* mem_;
+  Paddr base_;
+};
+
+}  // namespace ii::sim

@@ -1,0 +1,132 @@
+#include "sim/mmu.hpp"
+
+#include <array>
+
+namespace ii::sim {
+
+std::string to_string(FaultReason reason) {
+  switch (reason) {
+    case FaultReason::NonCanonical: return "non-canonical address";
+    case FaultReason::NotPresent: return "entry not present";
+    case FaultReason::WriteProtected: return "write to read-only mapping";
+    case FaultReason::UserProtected: return "user access to supervisor mapping";
+    case FaultReason::NoExecute: return "fetch from no-execute mapping";
+    case FaultReason::ReservedBit: return "reserved bit set in entry";
+    case FaultReason::BadFrame: return "entry references frame beyond RAM";
+  }
+  return "unknown fault";
+}
+
+std::string PageFault::describe() const {
+  std::string s = "page fault at 0x";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(address.raw()));
+  s += buf;
+  s += ": " + to_string(reason);
+  if (level) s += " at " + to_string(*level);
+  return s;
+}
+
+namespace {
+
+constexpr std::array<PtLevel, 4> kWalkOrder{PtLevel::L4, PtLevel::L3,
+                                            PtLevel::L2, PtLevel::L1};
+
+/// Size of the region one leaf at `level` maps.
+constexpr std::uint64_t leaf_bytes(PtLevel level) {
+  switch (level) {
+    case PtLevel::L1: return kPageSize;
+    case PtLevel::L2: return kPageSize * kPtEntries;              // 2 MiB
+    case PtLevel::L3: return kPageSize * kPtEntries * kPtEntries; // 1 GiB
+    case PtLevel::L4: return 0;  // PSE invalid at L4
+  }
+  return 0;
+}
+
+}  // namespace
+
+Expected<Walk, PageFault> Mmu::walk(Mfn root, Vaddr va) const {
+  if (!is_canonical(va)) {
+    return Unexpected{PageFault{va, FaultReason::NonCanonical, std::nullopt,
+                                AccessType::Read}};
+  }
+  Walk result{};
+  result.writable = true;
+  result.user = true;
+  result.executable = true;
+
+  Mfn table = root;
+  for (PtLevel level : kWalkOrder) {
+    if (!mem_->contains(table)) {
+      return Unexpected{
+          PageFault{va, FaultReason::BadFrame, level, AccessType::Read}};
+    }
+    const unsigned index = level_index_of(va, level);
+    const Pte entry{mem_->read_slot(table, index)};
+    result.steps.push_back(WalkStep{level, table, index, entry});
+
+    if (!entry.present()) {
+      return Unexpected{
+          PageFault{va, FaultReason::NotPresent, level, AccessType::Read}};
+    }
+    if (entry.has_reserved_bits()) {
+      return Unexpected{
+          PageFault{va, FaultReason::ReservedBit, level, AccessType::Read}};
+    }
+    result.writable = result.writable && entry.writable();
+    result.user = result.user && entry.user();
+    result.executable = result.executable && !entry.no_execute();
+
+    const bool is_leaf =
+        level == PtLevel::L1 ||
+        (entry.large_page() && (level == PtLevel::L2 || level == PtLevel::L3));
+    if (entry.large_page() && level == PtLevel::L4) {
+      return Unexpected{
+          PageFault{va, FaultReason::ReservedBit, level, AccessType::Read}};
+    }
+    if (is_leaf) {
+      const std::uint64_t span = level == PtLevel::L1 ? kPageSize : leaf_bytes(level);
+      const std::uint64_t offset = va.raw() & (span - 1);
+      const Paddr base = mfn_to_paddr(entry.frame());
+      const Paddr pa = base + offset;
+      if (!mem_->contains(pa)) {
+        return Unexpected{
+            PageFault{va, FaultReason::BadFrame, level, AccessType::Read}};
+      }
+      result.physical = pa;
+      result.page_bytes = span;
+      return result;
+    }
+    table = entry.frame();
+  }
+  // Unreachable: L1 always terminates above.
+  return Unexpected{PageFault{va, FaultReason::NotPresent, PtLevel::L1,
+                              AccessType::Read}};
+}
+
+Expected<Walk, PageFault> Mmu::translate(Mfn root, Vaddr va, AccessType access,
+                                         AccessMode mode) const {
+  auto walked = walk(root, va);
+  if (!walked) {
+    PageFault f = walked.error();
+    f.access = access;
+    return Unexpected{f};
+  }
+  const Walk& w = walked.value();
+  if (access == AccessType::Write && !w.writable) {
+    return Unexpected{PageFault{va, FaultReason::WriteProtected,
+                                w.steps.back().level, access}};
+  }
+  if (mode == AccessMode::User && !w.user) {
+    return Unexpected{PageFault{va, FaultReason::UserProtected,
+                                w.steps.back().level, access}};
+  }
+  if (access == AccessType::Execute && !w.executable) {
+    return Unexpected{PageFault{va, FaultReason::NoExecute,
+                                w.steps.back().level, access}};
+  }
+  return walked;
+}
+
+}  // namespace ii::sim

@@ -1,0 +1,92 @@
+// Software MMU: 4-level page-table walk with permission accumulation.
+//
+// This is the component through which every virtual-address access in the
+// simulator is resolved — guest kernel accesses, hypervisor linear-address
+// accesses, and the exploits' crafted mappings. It implements the same
+// semantics the paper's erroneous states live in: present/RW/US bits are
+// AND-accumulated down the walk, PSE entries terminate the walk early with a
+// large page, non-canonical and reserved-bit entries fault.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/expected.hpp"
+#include "sim/phys_mem.hpp"
+#include "sim/pte.hpp"
+#include "sim/types.hpp"
+
+namespace ii::sim {
+
+/// What an access wants to do; used for the permission check.
+enum class AccessType { Read, Write, Execute };
+
+/// Who performs the access. Supervisor accesses ignore the US bit;
+/// user accesses require US to be set along the whole walk.
+enum class AccessMode { User, Supervisor };
+
+/// Why a walk failed.
+enum class FaultReason {
+  NonCanonical,     ///< address bits 63..47 not sign-extended
+  NotPresent,       ///< an entry on the walk had P=0
+  WriteProtected,   ///< write attempted but some entry had RW=0
+  UserProtected,    ///< user access but some entry had US=0
+  NoExecute,        ///< instruction fetch from an NX mapping
+  ReservedBit,      ///< an entry had reserved bits set
+  BadFrame,         ///< an entry pointed outside installed RAM
+};
+
+[[nodiscard]] std::string to_string(FaultReason reason);
+
+/// A page fault raised by the walker. `level` is the level whose entry
+/// caused the fault (nullopt for NonCanonical).
+struct PageFault {
+  Vaddr address;
+  FaultReason reason;
+  std::optional<PtLevel> level;
+  AccessType access;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One visited entry of a successful or partial walk.
+struct WalkStep {
+  PtLevel level;
+  Mfn table;       ///< frame holding the table
+  unsigned index;  ///< slot index used at this level
+  Pte entry;       ///< entry value read
+};
+
+/// Full result of a page-table walk that reached a leaf.
+struct Walk {
+  std::vector<WalkStep> steps;  ///< L4 first
+  Paddr physical;               ///< translated byte address
+  bool writable;                ///< AND of RW along the walk
+  bool user;                    ///< AND of US along the walk
+  bool executable;              ///< no NX bit along the walk
+  std::uint64_t page_bytes;     ///< 4 KiB, 2 MiB or 1 GiB
+};
+
+/// Stateless translator over a PhysicalMemory. Holds no TLB: every call
+/// re-walks, so corruption of in-memory tables is visible immediately (the
+/// behaviour the injection experiments depend on).
+class Mmu {
+ public:
+  explicit Mmu(const PhysicalMemory& mem) : mem_{&mem} {}
+
+  /// Walk `va` starting from the L4 table in frame `root`, without any
+  /// permission check (the "audit" walk used by monitors and exploits).
+  [[nodiscard]] Expected<Walk, PageFault> walk(Mfn root, Vaddr va) const;
+
+  /// Walk and enforce permissions for `access` performed in `mode`.
+  [[nodiscard]] Expected<Walk, PageFault> translate(Mfn root, Vaddr va,
+                                                    AccessType access,
+                                                    AccessMode mode) const;
+
+ private:
+  const PhysicalMemory* mem_;
+};
+
+}  // namespace ii::sim

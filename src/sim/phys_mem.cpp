@@ -1,0 +1,72 @@
+#include "sim/phys_mem.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ii::sim {
+
+PhysicalMemory::PhysicalMemory(std::uint64_t frames)
+    : frames_{frames}, bytes_(frames * kPageSize, 0) {
+  if (frames == 0) throw std::invalid_argument{"PhysicalMemory: zero frames"};
+}
+
+bool PhysicalMemory::contains(Paddr pa, std::uint64_t len) const {
+  return len != 0 && pa.raw() < byte_size() && byte_size() - pa.raw() >= len;
+}
+
+void PhysicalMemory::check_range(Paddr pa, std::uint64_t len) const {
+  if (!contains(pa, len)) {
+    throw std::out_of_range{"physical access beyond installed RAM at 0x" +
+                            std::to_string(pa.raw())};
+  }
+}
+
+void PhysicalMemory::read(Paddr pa, std::span<std::uint8_t> out) const {
+  check_range(pa, out.size());
+  std::memcpy(out.data(), bytes_.data() + pa.raw(), out.size());
+}
+
+void PhysicalMemory::write(Paddr pa, std::span<const std::uint8_t> in) {
+  check_range(pa, in.size());
+  std::memcpy(bytes_.data() + pa.raw(), in.data(), in.size());
+}
+
+std::uint64_t PhysicalMemory::read_u64(Paddr pa) const {
+  check_range(pa, sizeof(std::uint64_t));
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes_.data() + pa.raw(), sizeof v);
+  return v;
+}
+
+void PhysicalMemory::write_u64(Paddr pa, std::uint64_t value) {
+  check_range(pa, sizeof value);
+  std::memcpy(bytes_.data() + pa.raw(), &value, sizeof value);
+}
+
+std::uint64_t PhysicalMemory::read_slot(Mfn table, unsigned index) const {
+  if (index >= kPtEntries) throw std::out_of_range{"page-table slot index"};
+  return read_u64(mfn_to_paddr(table) + index * sizeof(std::uint64_t));
+}
+
+void PhysicalMemory::write_slot(Mfn table, unsigned index,
+                                std::uint64_t value) {
+  if (index >= kPtEntries) throw std::out_of_range{"page-table slot index"};
+  write_u64(mfn_to_paddr(table) + index * sizeof(std::uint64_t), value);
+}
+
+void PhysicalMemory::zero_frame(Mfn mfn) {
+  check_range(mfn_to_paddr(mfn), kPageSize);
+  std::memset(bytes_.data() + mfn_to_paddr(mfn).raw(), 0, kPageSize);
+}
+
+std::span<std::uint8_t> PhysicalMemory::frame_bytes(Mfn mfn) {
+  check_range(mfn_to_paddr(mfn), kPageSize);
+  return {bytes_.data() + mfn_to_paddr(mfn).raw(), kPageSize};
+}
+
+std::span<const std::uint8_t> PhysicalMemory::frame_bytes(Mfn mfn) const {
+  check_range(mfn_to_paddr(mfn), kPageSize);
+  return {bytes_.data() + mfn_to_paddr(mfn).raw(), kPageSize};
+}
+
+}  // namespace ii::sim

@@ -1,0 +1,58 @@
+// Machine physical memory: a flat array of 4 KiB frames.
+//
+// All state that the simulated platform can corrupt lives here — page
+// tables, the IDT, guest kernel pages, the vDSO, exploit payloads. The
+// hypervisor, the guests, the exploits and the injector all read and write
+// the same PhysicalMemory instance, which is what makes cross-privilege
+// memory corruption observable end to end.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ii::sim {
+
+class PhysicalMemory {
+ public:
+  /// Create a machine with `frames` frames of 4 KiB, zero-initialized.
+  explicit PhysicalMemory(std::uint64_t frames);
+
+  [[nodiscard]] std::uint64_t frame_count() const { return frames_; }
+  [[nodiscard]] std::uint64_t byte_size() const { return frames_ * kPageSize; }
+
+  /// True when `pa .. pa+len` lies entirely inside installed memory.
+  [[nodiscard]] bool contains(Paddr pa, std::uint64_t len = 1) const;
+  [[nodiscard]] bool contains(Mfn mfn) const { return mfn.raw() < frames_; }
+
+  /// Raw byte access. Out-of-range accesses throw std::out_of_range — in
+  /// this simulator that models the machine check you would get for a
+  /// physical access beyond installed RAM, and tests rely on it.
+  void read(Paddr pa, std::span<std::uint8_t> out) const;
+  void write(Paddr pa, std::span<const std::uint8_t> in);
+
+  [[nodiscard]] std::uint64_t read_u64(Paddr pa) const;
+  void write_u64(Paddr pa, std::uint64_t value);
+
+  /// Read/write one 8-byte page-table slot of a table page.
+  [[nodiscard]] std::uint64_t read_slot(Mfn table, unsigned index) const;
+  void write_slot(Mfn table, unsigned index, std::uint64_t value);
+
+  /// Zero an entire frame (what the hypervisor does when scrubbing).
+  void zero_frame(Mfn mfn);
+
+  /// Mutable view of one frame's 4096 bytes.
+  [[nodiscard]] std::span<std::uint8_t> frame_bytes(Mfn mfn);
+  [[nodiscard]] std::span<const std::uint8_t> frame_bytes(Mfn mfn) const;
+
+ private:
+  void check_range(Paddr pa, std::uint64_t len) const;
+
+  std::uint64_t frames_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace ii::sim

@@ -1,0 +1,15 @@
+#include "sim/pte.hpp"
+
+namespace ii::sim {
+
+std::string to_string(PtLevel level) {
+  switch (level) {
+    case PtLevel::L1: return "L1 (PTE)";
+    case PtLevel::L2: return "L2 (PMD)";
+    case PtLevel::L3: return "L3 (PUD)";
+    case PtLevel::L4: return "L4 (PGD)";
+  }
+  return "L? (invalid)";
+}
+
+}  // namespace ii::sim

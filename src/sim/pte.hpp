@@ -1,0 +1,153 @@
+// x86-64-style page-table entry codec.
+//
+// Entries at every level of the 4-level hierarchy share one 64-bit layout:
+//
+//   bit  0      P    present
+//   bit  1      RW   writable
+//   bit  2      US   user-accessible
+//   bit  3      PWT  (modelled, unused by the walker)
+//   bit  4      PCD  (modelled, unused by the walker)
+//   bit  5      A    accessed
+//   bit  6      D    dirty
+//   bit  7      PSE  page-size: at L2 maps a 2 MiB page, at L3 a 1 GiB page
+//   bit  8      G    global
+//   bits 12..51 frame number of the next-level table (or of the large page)
+//   bit  63     NX   no-execute
+//
+// The codec is shared by the hypervisor's validation logic, the guest kernel
+// that authors entries, the MMU walker, and the exploits that forge entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace ii::sim {
+
+/// Paging hierarchy levels. Xen/Linux naming used in the paper:
+/// L4 = PML4/PGD, L3 = PUD, L2 = PMD, L1 = PTE page.
+enum class PtLevel : int { L1 = 1, L2 = 2, L3 = 3, L4 = 4 };
+
+[[nodiscard]] constexpr int level_index(PtLevel l) { return static_cast<int>(l); }
+
+/// Human-readable level name ("L2 (PMD)" etc.), used in audit reports.
+[[nodiscard]] std::string to_string(PtLevel level);
+
+/// One 64-bit page-table entry. A thin value wrapper: constructing or
+/// mutating a Pte never touches memory; callers read/write the raw word
+/// through PhysicalMemory.
+class Pte {
+ public:
+  static constexpr std::uint64_t kPresent = 1ULL << 0;
+  static constexpr std::uint64_t kWritable = 1ULL << 1;
+  static constexpr std::uint64_t kUser = 1ULL << 2;
+  static constexpr std::uint64_t kWriteThrough = 1ULL << 3;
+  static constexpr std::uint64_t kCacheDisable = 1ULL << 4;
+  static constexpr std::uint64_t kAccessed = 1ULL << 5;
+  static constexpr std::uint64_t kDirty = 1ULL << 6;
+  static constexpr std::uint64_t kPageSize = 1ULL << 7;  // PSE
+  static constexpr std::uint64_t kGlobal = 1ULL << 8;
+  static constexpr std::uint64_t kNoExecute = 1ULL << 63;
+
+  /// Mask of the frame-number field (bits 12..51).
+  static constexpr std::uint64_t kFrameMask = 0x000FFFFFFFFFF000ULL;
+  /// All bits that carry meaning in this model; the rest are reserved.
+  static constexpr std::uint64_t kFlagMask = kPresent | kWritable | kUser |
+                                             kWriteThrough | kCacheDisable |
+                                             kAccessed | kDirty | kPageSize |
+                                             kGlobal | kNoExecute;
+
+  constexpr Pte() = default;
+  constexpr explicit Pte(std::uint64_t raw) : raw_{raw} {}
+
+  /// Build an entry pointing at `frame` with `flags` (a combination of the
+  /// bit constants above).
+  [[nodiscard]] static constexpr Pte make(Mfn frame, std::uint64_t flags) {
+    return Pte{((frame.raw() << kPageShift) & kFrameMask) | (flags & kFlagMask)};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t raw() const { return raw_; }
+
+  [[nodiscard]] constexpr bool present() const { return raw_ & kPresent; }
+  [[nodiscard]] constexpr bool writable() const { return raw_ & kWritable; }
+  [[nodiscard]] constexpr bool user() const { return raw_ & kUser; }
+  [[nodiscard]] constexpr bool accessed() const { return raw_ & kAccessed; }
+  [[nodiscard]] constexpr bool dirty() const { return raw_ & kDirty; }
+  [[nodiscard]] constexpr bool large_page() const { return raw_ & kPageSize; }
+  [[nodiscard]] constexpr bool global() const { return raw_ & kGlobal; }
+  [[nodiscard]] constexpr bool no_execute() const { return raw_ & kNoExecute; }
+
+  [[nodiscard]] constexpr Mfn frame() const {
+    return Mfn{(raw_ & kFrameMask) >> kPageShift};
+  }
+
+  /// All flag bits (everything outside the frame field).
+  [[nodiscard]] constexpr std::uint64_t flags() const {
+    return raw_ & ~kFrameMask;
+  }
+
+  /// True when a reserved (unmodelled) bit is set; the hypervisor's
+  /// validation rejects such entries and the walker faults on them.
+  [[nodiscard]] constexpr bool has_reserved_bits() const {
+    return (raw_ & ~(kFrameMask | kFlagMask)) != 0;
+  }
+
+  [[nodiscard]] constexpr Pte with_flags(std::uint64_t extra) const {
+    return Pte{raw_ | (extra & kFlagMask)};
+  }
+  [[nodiscard]] constexpr Pte without_flags(std::uint64_t removed) const {
+    return Pte{raw_ & ~(removed & kFlagMask)};
+  }
+
+  friend constexpr bool operator==(Pte, Pte) = default;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+/// Decomposed 4-level indices of a canonical virtual address.
+struct VaddrIndices {
+  unsigned l4;  ///< bits 39..47
+  unsigned l3;  ///< bits 30..38
+  unsigned l2;  ///< bits 21..29
+  unsigned l1;  ///< bits 12..20
+};
+
+[[nodiscard]] constexpr VaddrIndices decompose(Vaddr va) {
+  const auto raw = va.raw();
+  return VaddrIndices{
+      .l4 = static_cast<unsigned>((raw >> 39) & 0x1FF),
+      .l3 = static_cast<unsigned>((raw >> 30) & 0x1FF),
+      .l2 = static_cast<unsigned>((raw >> 21) & 0x1FF),
+      .l1 = static_cast<unsigned>((raw >> 12) & 0x1FF),
+  };
+}
+
+/// Index of `va` at a given level.
+[[nodiscard]] constexpr unsigned level_index_of(Vaddr va, PtLevel level) {
+  const auto idx = decompose(va);
+  switch (level) {
+    case PtLevel::L4: return idx.l4;
+    case PtLevel::L3: return idx.l3;
+    case PtLevel::L2: return idx.l2;
+    case PtLevel::L1: return idx.l1;
+  }
+  return 0;  // unreachable
+}
+
+/// Recompose a canonical virtual address from 4-level indices plus an
+/// in-page offset. Exploits use this to craft addresses that resolve through
+/// attacker-chosen table slots.
+[[nodiscard]] constexpr Vaddr compose_vaddr(unsigned l4, unsigned l3,
+                                            unsigned l2, unsigned l1,
+                                            std::uint64_t offset = 0) {
+  std::uint64_t raw = (std::uint64_t{l4 & 0x1FF} << 39) |
+                      (std::uint64_t{l3 & 0x1FF} << 30) |
+                      (std::uint64_t{l2 & 0x1FF} << 21) |
+                      (std::uint64_t{l1 & 0x1FF} << 12) | (offset & kPageMask);
+  if (raw & (std::uint64_t{1} << 47)) raw |= 0xFFFF000000000000ULL;  // sign-extend
+  return Vaddr{raw};
+}
+
+}  // namespace ii::sim

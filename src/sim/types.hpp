@@ -1,0 +1,89 @@
+// Fundamental machine-level types for the simulated x86-64-style platform.
+//
+// Strong types are used for the three address spaces that coexist in a
+// paravirtualized system so that they cannot be confused at compile time:
+//
+//   Vaddr  - a virtual (a.k.a. linear) address, resolved through page tables.
+//   Paddr  - a machine physical address (byte granularity).
+//   Mfn    - a machine frame number (Paddr >> PAGE_SHIFT).
+//   Pfn    - a guest pseudo-physical frame number, translated to an Mfn
+//            through the per-domain P2M table (see ii::hv::Domain).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+
+namespace ii::sim {
+
+inline constexpr std::uint64_t kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = std::uint64_t{1} << kPageShift;
+inline constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+/// Number of 8-byte page-table entries per page-table page.
+inline constexpr std::uint64_t kPtEntries = 512;
+
+/// CRTP-free strong integer wrapper. Each alias below is a distinct type.
+template <typename Tag>
+class StrongU64 {
+ public:
+  constexpr StrongU64() = default;
+  constexpr explicit StrongU64(std::uint64_t raw) : raw_{raw} {}
+
+  [[nodiscard]] constexpr std::uint64_t raw() const { return raw_; }
+
+  friend constexpr auto operator<=>(StrongU64, StrongU64) = default;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+struct VaddrTag {};
+struct PaddrTag {};
+struct MfnTag {};
+struct PfnTag {};
+
+/// A virtual (linear) address.
+using Vaddr = StrongU64<VaddrTag>;
+/// A machine physical byte address.
+using Paddr = StrongU64<PaddrTag>;
+/// A machine frame number.
+using Mfn = StrongU64<MfnTag>;
+/// A guest pseudo-physical frame number.
+using Pfn = StrongU64<PfnTag>;
+
+/// Byte offset of an address within its 4 KiB page.
+[[nodiscard]] constexpr std::uint64_t page_offset(Vaddr va) {
+  return va.raw() & kPageMask;
+}
+[[nodiscard]] constexpr std::uint64_t page_offset(Paddr pa) {
+  return pa.raw() & kPageMask;
+}
+
+/// Frame containing a physical byte address.
+[[nodiscard]] constexpr Mfn paddr_to_mfn(Paddr pa) {
+  return Mfn{pa.raw() >> kPageShift};
+}
+
+/// First byte of a machine frame.
+[[nodiscard]] constexpr Paddr mfn_to_paddr(Mfn mfn) {
+  return Paddr{mfn.raw() << kPageShift};
+}
+
+/// Advance an address by a byte delta.
+[[nodiscard]] constexpr Vaddr operator+(Vaddr va, std::uint64_t delta) {
+  return Vaddr{va.raw() + delta};
+}
+[[nodiscard]] constexpr Paddr operator+(Paddr pa, std::uint64_t delta) {
+  return Paddr{pa.raw() + delta};
+}
+
+/// True when `va` is canonical for 48-bit virtual addressing (bits 63..47
+/// are all equal). Non-canonical accesses raise a general-protection-style
+/// fault on real hardware; the MMU walker refuses them.
+[[nodiscard]] constexpr bool is_canonical(Vaddr va) {
+  const auto upper = va.raw() >> 47;
+  return upper == 0 || upper == 0x1FFFF;
+}
+
+}  // namespace ii::sim

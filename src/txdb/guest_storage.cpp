@@ -1,0 +1,53 @@
+#include "txdb/guest_storage.hpp"
+
+#include <stdexcept>
+
+namespace ii::txdb {
+
+GuestMemoryStorage::GuestMemoryStorage(guest::GuestKernel& guest,
+                                       std::uint64_t pages)
+    : guest_{&guest} {
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    const auto pfn = guest.alloc_pfn();
+    if (!pfn) throw std::runtime_error{"guest storage: out of guest pages"};
+    pfns_.push_back(*pfn);
+  }
+}
+
+bool GuestMemoryStorage::read(std::uint64_t offset,
+                              std::span<std::uint8_t> out) const {
+  if (offset > size() || size() - offset < out.size()) return false;
+  std::uint64_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t at = offset + done;
+    const sim::Pfn pfn = pfns_[at / sim::kPageSize];
+    const std::uint64_t in_page = sim::kPageSize - at % sim::kPageSize;
+    const std::uint64_t chunk = std::min(out.size() - done, in_page);
+    if (!guest_->read_virt(guest_->pfn_va(pfn, at % sim::kPageSize),
+                           out.subspan(done, chunk))) {
+      return false;
+    }
+    done += chunk;
+  }
+  return true;
+}
+
+bool GuestMemoryStorage::write(std::uint64_t offset,
+                               std::span<const std::uint8_t> in) {
+  if (offset > size() || size() - offset < in.size()) return false;
+  std::uint64_t done = 0;
+  while (done < in.size()) {
+    const std::uint64_t at = offset + done;
+    const sim::Pfn pfn = pfns_[at / sim::kPageSize];
+    const std::uint64_t in_page = sim::kPageSize - at % sim::kPageSize;
+    const std::uint64_t chunk = std::min(in.size() - done, in_page);
+    if (!guest_->write_virt(guest_->pfn_va(pfn, at % sim::kPageSize),
+                            in.subspan(done, chunk))) {
+      return false;
+    }
+    done += chunk;
+  }
+  return true;
+}
+
+}  // namespace ii::txdb

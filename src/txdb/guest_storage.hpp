@@ -1,0 +1,37 @@
+// Storage backed by guest memory, accessed through the MMU.
+//
+// Every read/write translates through the domain's page tables via the
+// hypervisor's guest-access path, so a hypervisor-level intrusion (remapped
+// pages, corrupted PTEs, direct frame writes) hits the database exactly
+// where it would hit a real guest's buffer cache.
+#pragma once
+
+#include <vector>
+
+#include "guest/kernel.hpp"
+#include "txdb/txdb.hpp"
+
+namespace ii::txdb {
+
+class GuestMemoryStorage final : public Storage {
+ public:
+  /// Allocates `pages` fresh guest pages to hold the store.
+  GuestMemoryStorage(guest::GuestKernel& guest, std::uint64_t pages);
+
+  [[nodiscard]] std::uint64_t size() const override {
+    return pfns_.size() * sim::kPageSize;
+  }
+  [[nodiscard]] bool read(std::uint64_t offset,
+                          std::span<std::uint8_t> out) const override;
+  [[nodiscard]] bool write(std::uint64_t offset,
+                           std::span<const std::uint8_t> in) override;
+
+  /// Backing pages (an intrusion-injection campaign targets these).
+  [[nodiscard]] const std::vector<sim::Pfn>& pfns() const { return pfns_; }
+
+ private:
+  guest::GuestKernel* guest_;
+  std::vector<sim::Pfn> pfns_;
+};
+
+}  // namespace ii::txdb

@@ -1,0 +1,210 @@
+#include "txdb/txdb.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ii::txdb {
+
+bool VectorStorage::read(std::uint64_t offset,
+                         std::span<std::uint8_t> out) const {
+  if (offset > bytes_.size() || bytes_.size() - offset < out.size()) {
+    return false;
+  }
+  std::memcpy(out.data(), bytes_.data() + offset, out.size());
+  return true;
+}
+
+bool VectorStorage::write(std::uint64_t offset,
+                          std::span<const std::uint8_t> in) {
+  if (offset > bytes_.size() || bytes_.size() - offset < in.size()) {
+    return false;
+  }
+  std::memcpy(bytes_.data() + offset, in.data(), in.size());
+  return true;
+}
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+/// Log record layout:
+///   u32 payload_len  (0 terminates the log)
+///   u64 seq
+///   u64 checksum     (fnv1a of the payload)
+///   payload: u16 n_writes, then per write: u16 klen, u16 vlen, bytes.
+struct RecordHeader {
+  std::uint32_t payload_len;
+  std::uint64_t seq;
+  std::uint64_t checksum;
+} __attribute__((packed));
+
+std::vector<std::uint8_t> encode_payload(const Transaction& tx) {
+  std::vector<std::uint8_t> out;
+  const auto put_u16 = [&](std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  put_u16(static_cast<std::uint16_t>(tx.writes().size()));
+  for (const auto& [key, value] : tx.writes()) {
+    put_u16(static_cast<std::uint16_t>(key.size()));
+    put_u16(static_cast<std::uint16_t>(value.size()));
+    out.insert(out.end(), key.begin(), key.end());
+    out.insert(out.end(), value.begin(), value.end());
+  }
+  return out;
+}
+
+bool decode_payload(std::span<const std::uint8_t> in,
+                    std::map<std::string, std::string>* state) {
+  std::size_t pos = 0;
+  const auto get_u16 = [&](std::uint16_t* v) {
+    if (pos + 2 > in.size()) return false;
+    *v = static_cast<std::uint16_t>(in[pos] | in[pos + 1] << 8);
+    pos += 2;
+    return true;
+  };
+  std::uint16_t n = 0;
+  if (!get_u16(&n)) return false;
+  for (std::uint16_t i = 0; i < n; ++i) {
+    std::uint16_t klen = 0, vlen = 0;
+    if (!get_u16(&klen) || !get_u16(&vlen)) return false;
+    if (pos + klen + vlen > in.size()) return false;
+    std::string key{reinterpret_cast<const char*>(in.data() + pos), klen};
+    pos += klen;
+    std::string value{reinterpret_cast<const char*>(in.data() + pos), vlen};
+    pos += vlen;
+    (*state)[std::move(key)] = std::move(value);
+  }
+  return pos == in.size();
+}
+
+}  // namespace
+
+TransactionalKV::TransactionalKV(Storage& storage, bool format)
+    : storage_{&storage} {
+  if (format) {
+    std::uint8_t super[16] = {};
+    const std::uint64_t magic = kMagic;
+    std::memcpy(super, &magic, sizeof magic);
+    if (!storage_->write(0, super)) {
+      throw std::runtime_error{"txdb: cannot format storage"};
+    }
+    // Terminate the empty log.
+    const std::uint32_t zero = 0;
+    (void)storage_->write(kLogStart,
+                          {reinterpret_cast<const std::uint8_t*>(&zero),
+                           sizeof zero});
+  } else {
+    (void)recover();
+  }
+}
+
+bool TransactionalKV::commit(const Transaction& tx) {
+  const std::vector<std::uint8_t> payload = encode_payload(tx);
+  RecordHeader header{};
+  header.payload_len = static_cast<std::uint32_t>(payload.size());
+  header.seq = next_seq_;
+  header.checksum = fnv1a(payload);
+
+  // Append record + a zero terminator for the next slot, then flush-before-
+  // ack: only after both writes land does the transaction become visible.
+  const std::uint64_t record_at = log_head_;
+  const std::uint64_t next_at = record_at + sizeof header + payload.size();
+  const std::uint32_t zero = 0;
+  if (!storage_->write(record_at,
+                       {reinterpret_cast<const std::uint8_t*>(&header),
+                        sizeof header}) ||
+      !storage_->write(record_at + sizeof header, payload) ||
+      !storage_->write(next_at, {reinterpret_cast<const std::uint8_t*>(&zero),
+                                 sizeof zero})) {
+    return false;  // atomic abort: volatile state untouched
+  }
+  for (const auto& [key, value] : tx.writes()) state_[key] = value;
+  log_head_ = next_at;
+  ++committed_;
+  ++next_seq_;
+  return true;
+}
+
+std::optional<std::string> TransactionalKV::get(
+    const std::string& key) const {
+  auto it = state_.find(key);
+  return it == state_.end() ? std::nullopt
+                            : std::optional<std::string>{it->second};
+}
+
+TransactionalKV::ScanResult TransactionalKV::scan() const {
+  ScanResult result{};
+  std::uint64_t magic = 0;
+  if (!storage_->read(0, {reinterpret_cast<std::uint8_t*>(&magic),
+                          sizeof magic}) ||
+      magic != kMagic) {
+    result.report.log_unreadable = true;
+    result.report.notes.push_back("superblock corrupt or unreadable");
+    return result;
+  }
+  std::uint64_t pos = kLogStart;
+  std::uint64_t expected_seq = 1;
+  while (true) {
+    RecordHeader header{};
+    if (!storage_->read(pos, {reinterpret_cast<std::uint8_t*>(&header),
+                              sizeof header})) {
+      result.report.log_unreadable = true;
+      result.report.notes.push_back("log unreadable at offset " +
+                                    std::to_string(pos));
+      break;
+    }
+    if (header.payload_len == 0) break;  // clean end of log
+    std::vector<std::uint8_t> payload(header.payload_len);
+    if (header.payload_len > storage_->size() ||
+        !storage_->read(pos + sizeof header, payload)) {
+      result.report.torn_record_found = true;
+      result.report.notes.push_back("record body unreadable at offset " +
+                                    std::to_string(pos));
+      break;
+    }
+    // Decode into a scratch map first so a record that fails mid-payload
+    // can never leak partial writes into the recovered state (atomicity).
+    std::map<std::string, std::string> staged;
+    if (fnv1a(payload) != header.checksum ||
+        !decode_payload(payload, &staged)) {
+      result.report.torn_record_found = true;
+      result.report.notes.push_back("checksum mismatch at offset " +
+                                    std::to_string(pos) + " (seq " +
+                                    std::to_string(header.seq) + ")");
+      break;
+    }
+    if (header.seq != expected_seq) {
+      result.report.torn_record_found = true;
+      result.report.notes.push_back("sequence gap at offset " +
+                                    std::to_string(pos));
+      break;
+    }
+    for (auto& [key, value] : staged) result.state[key] = std::move(value);
+    ++result.report.committed_transactions;
+    ++expected_seq;
+    pos += sizeof header + header.payload_len;
+  }
+  result.log_end = pos;
+  return result;
+}
+
+RecoveryReport TransactionalKV::recover() {
+  ScanResult result = scan();
+  state_ = std::move(result.state);
+  log_head_ = result.log_end;
+  committed_ = result.report.committed_transactions;
+  next_seq_ = committed_ + 1;
+  return result.report;
+}
+
+RecoveryReport TransactionalKV::verify() const { return scan().report; }
+
+}  // namespace ii::txdb

@@ -1,0 +1,121 @@
+// A small write-ahead-logged transactional key-value store.
+//
+// Motivation (paper §III-C): "imagine a transactional business-critical
+// system that runs on a public cloud — how can one assess the impact of
+// successful intrusions on the hypervisor in the ability of the
+// transactional system to ensure the ACID properties?" This module is that
+// system: a guest-hosted KV store whose durable medium is guest memory
+// accessed *through the MMU*, so hypervisor-level erroneous states (injected
+// with the ii::core injector) corrupt it exactly the way a compromised
+// hypervisor would corrupt a database's buffers.
+//
+// Design: an append-only redo log of whole-transaction records, each
+// carrying a checksum and a commit marker. Commit = append + flush; recovery
+// = scan and replay every intact committed record, stopping at the first
+// torn or corrupt one. Atomicity comes from whole-transaction records,
+// durability from the flush-before-ack discipline, consistency from the
+// checksums, and isolation from strictly serial transactions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ii::txdb {
+
+/// Abstract durable byte store (the "disk").
+class Storage {
+ public:
+  virtual ~Storage() = default;
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+  /// Both return false on an I/O fault (e.g. the backing page faulted).
+  [[nodiscard]] virtual bool read(std::uint64_t offset,
+                                  std::span<std::uint8_t> out) const = 0;
+  [[nodiscard]] virtual bool write(std::uint64_t offset,
+                                   std::span<const std::uint8_t> in) = 0;
+};
+
+/// Plain in-process storage for unit tests and baselines.
+class VectorStorage final : public Storage {
+ public:
+  explicit VectorStorage(std::uint64_t bytes) : bytes_(bytes, 0) {}
+  [[nodiscard]] std::uint64_t size() const override { return bytes_.size(); }
+  [[nodiscard]] bool read(std::uint64_t offset,
+                          std::span<std::uint8_t> out) const override;
+  [[nodiscard]] bool write(std::uint64_t offset,
+                           std::span<const std::uint8_t> in) override;
+  /// Direct corruption hook for fault-injection tests.
+  [[nodiscard]] std::vector<std::uint8_t>& bytes() { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// 64-bit FNV-1a, the log's integrity checksum.
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::uint8_t> bytes);
+
+/// One staged transaction. Writes become visible (and durable) only when
+/// commit() succeeds.
+class Transaction {
+ public:
+  void put(std::string key, std::string value) {
+    writes_[std::move(key)] = std::move(value);
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& writes() const {
+    return writes_;
+  }
+
+ private:
+  std::map<std::string, std::string> writes_;
+};
+
+/// Recovery/integrity verdict.
+struct RecoveryReport {
+  std::uint64_t committed_transactions = 0;  ///< intact records replayed
+  bool torn_record_found = false;   ///< a record failed its checksum
+  bool log_unreadable = false;      ///< storage faulted during the scan
+  std::vector<std::string> notes;
+};
+
+class TransactionalKV {
+ public:
+  /// Format `storage` (writes the superblock) or attach to an existing log
+  /// when `format` is false.
+  explicit TransactionalKV(Storage& storage, bool format = true);
+
+  /// Apply and durably log a transaction. False when storage failed — in
+  /// which case the transaction is NOT visible (atomic abort).
+  [[nodiscard]] bool commit(const Transaction& tx);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::uint64_t committed_count() const { return committed_; }
+
+  /// Drop volatile state and rebuild from the log (crash recovery).
+  RecoveryReport recover();
+
+  /// Scan the log without mutating state: the integrity check a
+  /// post-injection audit runs.
+  [[nodiscard]] RecoveryReport verify() const;
+
+ private:
+  static constexpr std::uint64_t kMagic = 0x4949545844423031ULL;  // IITXDB01
+  static constexpr std::uint64_t kLogStart = 64;
+
+  struct ScanResult {
+    RecoveryReport report;
+    std::map<std::string, std::string> state;
+    std::uint64_t log_end = kLogStart;
+  };
+  [[nodiscard]] ScanResult scan() const;
+
+  Storage* storage_;
+  std::map<std::string, std::string> state_;
+  std::uint64_t log_head_ = kLogStart;
+  std::uint64_t committed_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace ii::txdb

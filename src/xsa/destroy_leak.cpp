@@ -1,0 +1,173 @@
+// Recycled-frame disclosure use case (extension): "Read Unauthorized
+// Memory" through unscrubbed domain teardown, driven from the management
+// interface — the second future-work direction §IX-C names ("activities
+// originating from the management interface").
+//
+// Scenario: tenant B writes confidential data, the operator destroys B's
+// domain, and tenant A balloons pages out and back in. Without eager
+// scrubbing the recycled frames still carry B's bytes. The injection
+// variant reads the freed frames directly with the injector (the Read
+// Unauthorized Memory interface), which reproduces the erroneous state on
+// every version — and shows the 4.13 scrubbing policy *handling* it, since
+// the readable bytes are zeros.
+#include <cstring>
+
+#include "core/injector.hpp"
+#include "xsa/detail.hpp"
+#include "xsa/usecases.hpp"
+
+namespace ii::xsa {
+
+namespace {
+
+constexpr const char* kSecret = "TENANT-B CONFIDENTIAL LEDGER 9914";
+
+/// Victim workload: scatter the secret through the soon-to-die domain.
+void stage_victim(guest::GuestKernel& victim) {
+  const std::span<const std::uint8_t> bytes{
+      reinterpret_cast<const std::uint8_t*>(kSecret), std::strlen(kSecret)};
+  for (int i = 0; i < 8; ++i) {
+    const auto pfn = victim.alloc_pfn();
+    if (!pfn) break;
+    (void)victim.write_virt(victim.pfn_va(*pfn, 0x100), bytes);
+  }
+  victim.fs().write("/root/ledger", 0, kSecret);
+}
+
+bool contains_secret(std::span<const std::uint8_t> haystack) {
+  const std::size_t n = std::strlen(kSecret);
+  if (haystack.size() < n) return false;
+  for (std::size_t i = 0; i + n <= haystack.size(); ++i) {
+    if (std::memcmp(haystack.data() + i, kSecret, n) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+core::IntrusionModel DestroyLeak::model() const {
+  return core::IntrusionModel{
+      .source = core::TriggeringSource::ManagementInterface,
+      .component = core::TargetComponent::MemoryManagement,
+      .interface = core::InteractionInterface::Hypercall,
+      .functionality = core::AbusiveFunctionality::ReadUnauthorizedMemory,
+      .erroneous_state =
+          "destroyed tenant's frames reachable with residual contents",
+  };
+}
+
+core::CaseOutcome DestroyLeak::run_exploit(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& attacker = p.guest(0);
+  stage_victim(p.guest(1));
+  victim_range_ = {p.hv().domain(p.guest(1).id()).p2m(sim::Pfn{0})->raw(),
+                   p.guest(1).nr_pages()};
+
+  detail::note(out, attacker, "operator destroys tenant-B domain");
+  out.rc = p.destroy_guest(1);
+  if (out.rc != hv::kOk) return out;
+
+  // Balloon dance: give pages back, repopulate — the heap hands out the
+  // victim's recycled frames first.
+  detail::note(out, attacker, "ballooning to harvest recycled frames");
+  bool found = false;
+  for (int round = 0; round < 32 && !found; ++round) {
+    const auto pfn = attacker.alloc_pfn();
+    if (!pfn) break;
+    if (attacker.unmap_pfn(*pfn) != hv::kOk ||
+        attacker.decrease_reservation(*pfn) != hv::kOk ||
+        attacker.populate_physmap(*pfn) != hv::kOk ||
+        attacker.map_pfn(*pfn) != hv::kOk) {
+      out.rc = hv::kEINVAL;
+      return out;
+    }
+    std::array<std::uint8_t, sim::kPageSize> page{};
+    if (!attacker.read_virt(attacker.pfn_va(*pfn), page)) continue;
+    if (contains_secret(page)) {
+      detail::note(out, attacker,
+                   "recycled frame mfn " +
+                       detail::hex(attacker.pfn_to_mfn(*pfn)->raw()) +
+                       " still holds tenant-B data");
+      found = true;
+    }
+  }
+  if (!found) {
+    detail::note(out, attacker,
+                 "recycled frames are clean (eager scrubbing in effect)");
+    return out;
+  }
+  out.completed = true;
+  return out;
+}
+
+core::CaseOutcome DestroyLeak::run_injection(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& attacker = p.guest(0);
+  stage_victim(p.guest(1));
+  const std::uint64_t first = p.hv()
+                                  .domain(p.guest(1).id())
+                                  .p2m(sim::Pfn{0})
+                                  ->raw();
+  const std::uint64_t pages = p.guest(1).nr_pages();
+  victim_range_ = {first, pages};
+
+  detail::note(out, attacker, "operator destroys tenant-B domain");
+  out.rc = p.destroy_guest(1);
+  if (out.rc != hv::kOk) return out;
+
+  // Inject the Read Unauthorized Memory state directly: scan the dead
+  // tenant's (now free) frame range with the injector.
+  detail::note(out, attacker, "injector scans the freed frame range");
+  core::ArbitraryAccessInjector injector{attacker};
+  bool found = false;
+  std::array<std::uint8_t, sim::kPageSize> page{};
+  for (std::uint64_t f = first; f < first + pages; ++f) {
+    if (!injector.read(sim::mfn_to_paddr(sim::Mfn{f}).raw(), page,
+                       core::AddressMode::Physical)) {
+      out.rc = injector.last_rc();
+      return out;
+    }
+    if (contains_secret(page)) {
+      detail::note(out, attacker,
+                   "freed frame mfn " + detail::hex(f) +
+                       " still holds tenant-B data");
+      found = true;
+      break;
+    }
+  }
+  out.rc = hv::kOk;
+  if (!found) {
+    detail::note(out, attacker,
+                 "freed frames read as zeros (eager scrubbing in effect)");
+  }
+  out.completed = true;  // the unauthorized reads themselves all succeeded
+  return out;
+}
+
+bool DestroyLeak::erroneous_state_present(guest::VirtualPlatform& p) const {
+  // The erroneous state is "the dead tenant's frames are reachable":
+  // either recycled into the attacker or readable via the injector. After
+  // destruction the frames are free or attacker-owned — both reachable.
+  const auto [first, pages] = victim_range_;
+  if (pages == 0) return false;
+  for (std::uint64_t f = first; f < first + pages; ++f) {
+    const auto& pi = p.hv().frames().info(sim::Mfn{f});
+    if (pi.owner == hv::kDomInvalid || pi.owner == p.guest(0).id()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DestroyLeak::security_violation(guest::VirtualPlatform& p) const {
+  // Confidentiality violation: the secret is still present anywhere in the
+  // dead tenant's former frames.
+  const auto [first, pages] = victim_range_;
+  for (std::uint64_t f = first; f < first + pages; ++f) {
+    if (!p.memory().contains(sim::Mfn{f})) break;
+    if (contains_secret(p.memory().frame_bytes(sim::Mfn{f}))) return true;
+  }
+  return false;
+}
+
+}  // namespace ii::xsa

@@ -1,0 +1,42 @@
+// Shared helpers for the use-case implementations.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/usecase.hpp"
+
+namespace ii::xsa::detail {
+
+inline std::string hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Canonical flag rendering for erroneous-state descriptions ("P|RW|US").
+inline std::string flags_str(sim::Pte entry) {
+  std::string out;
+  const auto add = [&](bool on, const char* name) {
+    if (!on) return;
+    if (!out.empty()) out += '|';
+    out += name;
+  };
+  add(entry.present(), "P");
+  add(entry.writable(), "RW");
+  add(entry.user(), "US");
+  add(entry.large_page(), "PSE");
+  add(entry.no_execute(), "NX");
+  return out.empty() ? "-" : out;
+}
+
+/// Record a step both in the outcome notes and the attacking guest's dmesg
+/// (the paper's transcripts come from the guest kernel log).
+inline void note(core::CaseOutcome& out, guest::GuestKernel& guest,
+                 const std::string& msg) {
+  out.notes.push_back(msg);
+  guest.printk(msg);
+}
+
+}  // namespace ii::xsa::detail

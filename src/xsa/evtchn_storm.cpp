@@ -1,0 +1,124 @@
+// Interrupt-storm use case (extension): "Induce a Hang State" through
+// uncontrolled event-channel pending bits (paper Table I's non-memory
+// class; §IX-C: "memory corruption bugs on the hypervisor may translate
+// into non-memory components ... interruptions are implemented using event
+// channel data structures in Xen").
+//
+// There is no public exploit for this family in the paper's corpus, so
+// run_exploit() reports exactly that — the situation the intrusion-
+// injection approach exists for. The injection writes the erroneous state
+// (pending bits raised for ports with no handler) straight into the
+// victim's shared_info page, then lets the hypervisor's delivery loop run:
+// pre-hardening versions re-queue the undeliverable events forever and the
+// watchdog reports a wedged CPU; the hardened version drops them.
+#include "core/injector.hpp"
+#include "xsa/detail.hpp"
+#include "xsa/usecases.hpp"
+
+namespace ii::xsa {
+
+namespace {
+
+/// Physical address of the victim's shared_info pending bitmap.
+sim::Paddr pending_words(guest::VirtualPlatform& p, guest::GuestKernel& victim) {
+  const auto mfn = victim.pfn_to_mfn(guest::kSharedInfoPfn);
+  (void)p;
+  return sim::mfn_to_paddr(*mfn) + hv::SharedInfoLayout::kPendingOffset;
+}
+
+/// After injection, normal platform activity services events; model one
+/// scheduler pass over the victim.
+hv::EventChannelOps::DispatchResult service(guest::GuestKernel& victim) {
+  return victim.handle_events();
+}
+
+}  // namespace
+
+core::IntrusionModel EvtchnStorm::model() const {
+  return core::IntrusionModel{
+      .source = core::TriggeringSource::UnprivilegedGuest,
+      .component = core::TargetComponent::InterruptHandling,
+      .interface = core::InteractionInterface::EventChannel,
+      .functionality = core::AbusiveFunctionality::InduceHangState,
+      .erroneous_state =
+          "pending bits raised for unbound event ports in shared_info",
+  };
+}
+
+core::CaseOutcome EvtchnStorm::run_exploit(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  detail::note(out, guest,
+               "no public exploit available for this intrusion model; "
+               "assessment possible through injection only (paper "
+               "capability ii)");
+  out.rc = hv::kENOSYS;
+  return out;
+}
+
+core::CaseOutcome EvtchnStorm::run_injection(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& attacker = p.guest(0);
+  guest::GuestKernel& victim = *p.kernel_of(hv::kDom0);  // dom0 is the victim
+
+  // Benign baseline traffic so the model reflects a live system: one bound
+  // channel with a registered handler.
+  unsigned dom0_port = 0, attacker_port = 0;
+  (void)victim.evtchn_alloc_unbound(attacker.id(), &dom0_port);
+  (void)attacker.evtchn_bind(victim.id(), dom0_port, &attacker_port);
+  (void)victim.evtchn_register_handler(dom0_port);
+  (void)attacker.evtchn_send(attacker_port);
+  const auto baseline = service(victim);
+  detail::note(out, attacker,
+               "baseline event delivered: " +
+                   std::to_string(baseline.delivered));
+
+  // The injection: raise pending bits for a block of ports nobody bound.
+  core::ArbitraryAccessInjector injector{attacker};
+  const sim::Paddr words = pending_words(p, victim);
+  detail::note(out, attacker,
+               "injecting uncontrolled pending bits into dom0 shared_info");
+  for (unsigned w = 2; w < 8; ++w) {  // ports 128..511: all unbound
+    if (!injector.write_u64(words.raw() + w * 8, ~0ULL,
+                            core::AddressMode::Physical)) {
+      out.rc = injector.last_rc();
+      detail::note(out, attacker,
+                   std::string{"arbitrary_access failed: "} +
+                       hv::errno_name(out.rc));
+      return out;
+    }
+  }
+  out.rc = hv::kOk;
+
+  // Let the hypervisor's delivery loop meet the storm.
+  const auto result = service(victim);
+  detail::note(out, attacker,
+               "delivery loop: delivered=" + std::to_string(result.delivered) +
+                   " dropped=" + std::to_string(result.dropped) +
+                   (result.livelocked ? " LIVELOCK" : ""));
+  out.completed = true;
+  return out;
+}
+
+bool EvtchnStorm::erroneous_state_present(guest::VirtualPlatform& p) const {
+  // The injected state is pending bits on handler-less high ports. A wedged
+  // loop leaves them set; a hardened loop has drained them but left the
+  // drop record on the console — either way the state observably existed.
+  for (unsigned port = 128; port < 512; ++port) {
+    if (p.hv().events().pending(hv::kDom0, port)) return true;
+  }
+  for (const auto& line : p.hv().console()) {
+    if (line.find("stuck in event delivery loop") != std::string::npos ||
+        line.find("events raised on unbound ports") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EvtchnStorm::security_violation(guest::VirtualPlatform& p) const {
+  // Availability violation: a wedged CPU.
+  return p.hv().cpu_hung();
+}
+
+}  // namespace ii::xsa

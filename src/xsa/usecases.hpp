@@ -1,0 +1,195 @@
+// The four Table II use cases: public Xen exploits and their
+// intrusion-injection equivalents (paper §VI).
+//
+// Conventions shared by all four:
+//  - the attacking / injecting domain is the first unprivileged guest,
+//    platform.guest(0), matching the paper's "compromised guest";
+//  - run_exploit() re-implements the third-party PoC step by step against
+//    the simulated hypercall ABI; run_injection() induces the same
+//    erroneous state through HYPERVISOR_arbitrary_access;
+//  - erroneous_state_present() audits the state exactly as §VI-C/§VII
+//    describe (IDT gate inspection, page-table walks, vDSO bytes);
+//  - security_violation() checks the use case's end-to-end observable
+//    (host crash, /tmp/injector_log in every domain, attacker root shell,
+//    unauthorized page-directory write).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/usecase.hpp"
+
+namespace ii::dm {
+class DeviceModel;
+}
+
+namespace ii::xsa {
+
+/// XSA-212 PoC #1: overwrite the IDT page-fault gate via the broken
+/// memory_exchange() check, then take a page fault -> host double fault.
+class Xsa212Crash final : public core::UseCase {
+ public:
+  [[nodiscard]] std::string name() const override { return "XSA-212-crash"; }
+  [[nodiscard]] core::IntrusionModel model() const override;
+  core::CaseOutcome run_exploit(guest::VirtualPlatform& p) override;
+  core::CaseOutcome run_injection(guest::VirtualPlatform& p) override;
+  [[nodiscard]] bool erroneous_state_present(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] bool security_violation(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] std::string erroneous_state_description(
+      guest::VirtualPlatform& p) const override;
+};
+
+/// XSA-212 PoC #2: link an attacker PMD into a PUD of the shared Xen area,
+/// install a payload visible in every address space, register an IDT gate
+/// onto it and fire it -> run a root command in every domain.
+class Xsa212Priv final : public core::UseCase {
+ public:
+  /// Xen-L3 slot the attack links its PMD into (inside the pre-4.9
+  /// linear-page-table window).
+  static constexpr unsigned kTargetPudSlot = 300;
+  /// IDT vector the attack registers for its payload.
+  static constexpr unsigned kPayloadVector = 0x80;
+  /// The command the payload runs as root in every domain.
+  static constexpr const char* kPayloadCommand =
+      "echo \"|$(id)|@$(hostname)\" > /tmp/injector_log";
+
+  [[nodiscard]] std::string name() const override { return "XSA-212-priv"; }
+  [[nodiscard]] core::IntrusionModel model() const override;
+  core::CaseOutcome run_exploit(guest::VirtualPlatform& p) override;
+  core::CaseOutcome run_injection(guest::VirtualPlatform& p) override;
+  [[nodiscard]] bool erroneous_state_present(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] bool security_violation(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] std::string erroneous_state_description(
+      guest::VirtualPlatform& p) const override;
+};
+
+/// XSA-148: set the PSE bit on an own L2 entry (missing validation), gain a
+/// writable window over the own page tables, scan physical memory for dom0,
+/// patch a reverse-shell backdoor into its vDSO.
+class Xsa148Priv final : public core::UseCase {
+ public:
+  static constexpr std::uint16_t kShellPort = 1234;
+
+  [[nodiscard]] std::string name() const override { return "XSA-148-priv"; }
+  [[nodiscard]] core::IntrusionModel model() const override;
+  core::CaseOutcome run_exploit(guest::VirtualPlatform& p) override;
+  core::CaseOutcome run_injection(guest::VirtualPlatform& p) override;
+  [[nodiscard]] bool erroneous_state_present(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] bool security_violation(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] std::string erroneous_state_description(
+      guest::VirtualPlatform& p) const override;
+};
+
+/// XSA-182: create a read-only L4 self map (linear page table), flip its RW
+/// bit through the unvalidated fast path, then prove writability by storing
+/// a test entry into the own page directory through the self map.
+class Xsa182Test final : public core::UseCase {
+ public:
+  /// Slot of the self-map test write ("page_directory[42]" in the PoC log).
+  static constexpr unsigned kProbeSlot = 42;
+
+  [[nodiscard]] std::string name() const override { return "XSA-182-test"; }
+  [[nodiscard]] core::IntrusionModel model() const override;
+  core::CaseOutcome run_exploit(guest::VirtualPlatform& p) override;
+  core::CaseOutcome run_injection(guest::VirtualPlatform& p) override;
+  [[nodiscard]] bool erroneous_state_present(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] bool security_violation(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] std::string erroneous_state_description(
+      guest::VirtualPlatform& p) const override;
+};
+
+/// All four, in Table II order.
+std::vector<std::unique_ptr<core::UseCase>> make_paper_use_cases();
+
+// ---------------------------------------------------------------- extensions
+// Intrusion models beyond the paper's four use cases, exercising the
+// future-work directions the paper names: the grant-table Keep-Page-Access
+// family (§IV-B) and malicious-interrupt availability states (§IX-C).
+
+/// XSA-387 family: a guest upgrades to grant table v2, downgrades to v1,
+/// and retains access to the Xen-owned status page ("Keep Page Access").
+class Xsa387Keep final : public core::UseCase {
+ public:
+  [[nodiscard]] std::string name() const override { return "XSA-387-keep"; }
+  [[nodiscard]] core::IntrusionModel model() const override;
+  core::CaseOutcome run_exploit(guest::VirtualPlatform& p) override;
+  core::CaseOutcome run_injection(guest::VirtualPlatform& p) override;
+  [[nodiscard]] bool erroneous_state_present(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] bool security_violation(
+      guest::VirtualPlatform& p) const override;
+};
+
+/// Interrupt-storm intrusion model: pending bits raised for handler-less
+/// event ports wedge the pre-hardening delivery loop ("Induce a Hang
+/// State" / "Uncontrolled Arbitrary Interrupts Requests"). There is no
+/// public exploit for this family — which is exactly the situation
+/// intrusion injection is designed for (paper capability ii).
+class EvtchnStorm final : public core::UseCase {
+ public:
+  [[nodiscard]] std::string name() const override { return "EVTCHN-storm"; }
+  [[nodiscard]] core::IntrusionModel model() const override;
+  core::CaseOutcome run_exploit(guest::VirtualPlatform& p) override;
+  core::CaseOutcome run_injection(guest::VirtualPlatform& p) override;
+  [[nodiscard]] bool erroneous_state_present(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] bool security_violation(
+      guest::VirtualPlatform& p) const override;
+};
+
+/// Recycled-frame disclosure: the operator destroys a tenant and its
+/// frames return to the heap; without eager scrubbing a co-tenant that
+/// balloons pages back in reads the dead tenant's data ("Read Unauthorized
+/// Memory" from the management interface, §IX-C's second direction).
+class DestroyLeak final : public core::UseCase {
+ public:
+  [[nodiscard]] std::string name() const override { return "DESTROY-leak"; }
+  [[nodiscard]] core::IntrusionModel model() const override;
+  core::CaseOutcome run_exploit(guest::VirtualPlatform& p) override;
+  core::CaseOutcome run_injection(guest::VirtualPlatform& p) override;
+  [[nodiscard]] bool erroneous_state_present(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] bool security_violation(
+      guest::VirtualPlatform& p) const override;
+
+ private:
+  /// First MFN and page count of the victim's allocation, captured per run
+  /// (the platform is gone-by-inspection once the domain is destroyed).
+  std::pair<std::uint64_t, std::uint64_t> victim_range_{0, 0};
+};
+
+/// XSA-133 / VENOM (the paper's §III-A motivating example): a guest
+/// overflows the device model's FDC command FIFO into its dispatch table
+/// and gains code execution in the emulator process (root in dom0). The
+/// injection variant follows §III-B: overwrite the FDC request handler in
+/// the emulator's process memory, then issue an ordinary I/O request.
+class Xsa133Venom final : public core::UseCase {
+ public:
+  Xsa133Venom();
+  ~Xsa133Venom() override;  // out of line: DeviceModel is incomplete here
+  [[nodiscard]] std::string name() const override { return "XSA-133-venom"; }
+  [[nodiscard]] core::IntrusionModel model() const override;
+  core::CaseOutcome run_exploit(guest::VirtualPlatform& p) override;
+  core::CaseOutcome run_injection(guest::VirtualPlatform& p) override;
+  [[nodiscard]] bool erroneous_state_present(
+      guest::VirtualPlatform& p) const override;
+  [[nodiscard]] bool security_violation(
+      guest::VirtualPlatform& p) const override;
+
+ private:
+  /// Per-run device model (lives only as long as the run's platform).
+  std::unique_ptr<dm::DeviceModel> device_;
+};
+
+/// The extension use cases above.
+std::vector<std::unique_ptr<core::UseCase>> make_extension_use_cases();
+
+}  // namespace ii::xsa

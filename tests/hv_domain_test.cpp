@@ -1,0 +1,164 @@
+// Domain building and the guest memory-access path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hv/audit.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace ii::hv {
+namespace {
+
+class DomainFixture : public ::testing::Test {
+ protected:
+  DomainFixture()
+      : mem{8192}, hv{mem, VersionPolicy::for_version(kXen46)} {
+    dom0 = hv.create_domain("dom0", true, 128);
+    guest = hv.create_domain("guest01", false, 64);
+  }
+
+  sim::PhysicalMemory mem;
+  Hypervisor hv;
+  DomainId dom0{};
+  DomainId guest{};
+};
+
+TEST_F(DomainFixture, FirstDomainMustBePrivileged) {
+  sim::PhysicalMemory m{4096};
+  Hypervisor h{m, VersionPolicy::for_version(kXen46)};
+  EXPECT_THROW(h.create_domain("guest", false, 64), std::logic_error);
+}
+
+TEST_F(DomainFixture, P2mIsPopulatedAndContiguous) {
+  const Domain& dom = hv.domain(guest);
+  EXPECT_EQ(dom.nr_pages(), 64u);
+  const auto first = dom.p2m(sim::Pfn{0});
+  ASSERT_TRUE(first.has_value());
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    const auto mfn = dom.p2m(sim::Pfn{p});
+    ASSERT_TRUE(mfn.has_value());
+    EXPECT_EQ(mfn->raw(), first->raw() + p);
+    EXPECT_EQ(hv.frames().info(*mfn).owner, guest);
+  }
+  EXPECT_FALSE(dom.p2m(sim::Pfn{64}).has_value());
+}
+
+TEST_F(DomainFixture, TopLevelTableIsValidatedL4) {
+  const Domain& dom = hv.domain(guest);
+  const PageInfo& pi = hv.frames().info(dom.cr3());
+  EXPECT_EQ(pi.type, PageType::L4);
+  EXPECT_TRUE(pi.validated);
+  EXPECT_GE(pi.type_count, 1u);
+  ASSERT_EQ(dom.pinned_tables().size(), 1u);
+  EXPECT_EQ(dom.pinned_tables()[0], dom.cr3());
+}
+
+TEST_F(DomainFixture, TableFramesHavePageTableTypes) {
+  // The builder puts L1..L4 at the top of the allocation; all must carry
+  // page-table types, and data pages the Writable type.
+  const Domain& dom = hv.domain(guest);
+  int pt_frames = 0, writable_frames = 0;
+  for (std::uint64_t p = 0; p < dom.nr_pages(); ++p) {
+    const PageInfo& pi = hv.frames().info(*dom.p2m(sim::Pfn{p}));
+    if (is_pagetable_type(pi.type)) {
+      ++pt_frames;
+      EXPECT_TRUE(pi.validated);
+    } else if (pi.type == PageType::Writable) {
+      ++writable_frames;
+    }
+  }
+  EXPECT_EQ(pt_frames, 4);  // 1×L1 + L2 + L3 + L4 for a 64-page domain
+  // Data pages minus the (unmapped) grant-status window.
+  EXPECT_EQ(writable_frames, 59);
+}
+
+TEST_F(DomainFixture, StartInfoIsPublished) {
+  const Domain& dom = hv.domain(dom0);
+  EXPECT_EQ(dom.start_info_mfn(), *dom.p2m(sim::Pfn{0}));
+}
+
+TEST_F(DomainFixture, FreshDomainsAuditClean) {
+  EXPECT_TRUE(audit_system(hv).clean());
+}
+
+TEST_F(DomainFixture, GuestReadWriteThroughDirectmap) {
+  const sim::Vaddr va{kGuestKernelBase + 5 * sim::kPageSize + 100};
+  const std::array<std::uint8_t, 4> in{1, 2, 3, 4};
+  ASSERT_TRUE(hv.guest_write(guest, va, in).has_value());
+  std::array<std::uint8_t, 4> out{};
+  ASSERT_TRUE(hv.guest_read(guest, va, out).has_value());
+  EXPECT_EQ(in, out);
+  // And the bytes really landed in the backing machine frame.
+  const auto mfn = hv.domain(guest).p2m(sim::Pfn{5});
+  EXPECT_EQ(mem.frame_bytes(*mfn)[100], 1);
+}
+
+TEST_F(DomainFixture, GuestCannotWritePageTablePages) {
+  const Domain& dom = hv.domain(guest);
+  const std::uint64_t table_pfn = dom.nr_pages() - 1;  // the L4
+  const sim::Vaddr va{kGuestKernelBase + table_pfn * sim::kPageSize};
+  std::array<std::uint8_t, 1> byte{0xFF};
+  const auto res = hv.guest_write(guest, va, byte);
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().reason, sim::FaultReason::WriteProtected);
+  // Reading them is fine (mapped read-only).
+  EXPECT_TRUE(hv.guest_read(guest, va, byte).has_value());
+}
+
+TEST_F(DomainFixture, GuestCannotTouchOtherDomainsMappings) {
+  // The guest's directmap only covers its own pages; beyond it faults.
+  const sim::Vaddr beyond{kGuestKernelBase + 64 * sim::kPageSize};
+  std::array<std::uint8_t, 1> byte{};
+  const auto res = hv.guest_read(guest, beyond, byte);
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().reason, sim::FaultReason::NotPresent);
+}
+
+TEST_F(DomainFixture, GuestCanReadXenTextButNotWrite) {
+  std::array<std::uint8_t, 8> buf{};
+  EXPECT_TRUE(hv.guest_read(guest, sim::Vaddr{kXenTextBase}, buf).has_value());
+  // That's the XenInfoPage magic.
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, buf.data(), sizeof magic);
+  EXPECT_EQ(magic, XenInfoPage::kMagic);
+  const auto res = hv.guest_write(guest, sim::Vaddr{kXenTextBase}, buf);
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().reason, sim::FaultReason::WriteProtected);
+}
+
+TEST_F(DomainFixture, GuestCannotReachDirectmap) {
+  std::array<std::uint8_t, 1> byte{};
+  const auto res =
+      hv.guest_read(guest, directmap_vaddr(sim::Paddr{0}), byte);
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().reason, sim::FaultReason::UserProtected);
+}
+
+TEST_F(DomainFixture, TooSmallDomainRejected) {
+  EXPECT_THROW(hv.create_domain("tiny", false, 4), std::invalid_argument);
+  // The smallest viable domain: 4 table frames + start_info/vDSO + slack.
+  EXPECT_NO_THROW(hv.create_domain("small", false, 8));
+}
+
+TEST_F(DomainFixture, DomainLookup) {
+  EXPECT_EQ(hv.domain(guest).name(), "guest01");
+  EXPECT_TRUE(hv.domain(dom0).privileged());
+  EXPECT_FALSE(hv.domain(guest).privileged());
+  EXPECT_THROW((void)hv.domain(DomainId{99}), std::out_of_range);
+  const auto ids = hv.domain_ids();
+  ASSERT_EQ(ids.size(), 2u);
+}
+
+TEST_F(DomainFixture, CrossPageGuestAccess) {
+  // A write spanning two directmap pages lands in two machine frames.
+  std::vector<std::uint8_t> in(64, 0xCD);
+  const sim::Vaddr va{kGuestKernelBase + 6 * sim::kPageSize - 32};
+  ASSERT_TRUE(hv.guest_write(guest, va, in).has_value());
+  const auto m5 = hv.domain(guest).p2m(sim::Pfn{5});
+  const auto m6 = hv.domain(guest).p2m(sim::Pfn{6});
+  EXPECT_EQ(mem.frame_bytes(*m5)[sim::kPageSize - 1], 0xCD);
+  EXPECT_EQ(mem.frame_bytes(*m6)[31], 0xCD);
+}
+
+}  // namespace
+}  // namespace ii::hv

@@ -1,0 +1,163 @@
+// memory_exchange semantics and the XSA-212 validation site.
+#include <gtest/gtest.h>
+
+#include "hv/hypervisor.hpp"
+
+namespace ii::hv {
+namespace {
+
+struct Fixture {
+  explicit Fixture(XenVersion version)
+      : mem{8192}, hv{mem, VersionPolicy::for_version(version)} {
+    dom0 = hv.create_domain("dom0", true, 64);
+    guest = hv.create_domain("guest01", false, 64);
+  }
+
+  sim::Mfn guest_mfn(std::uint64_t pfn) {
+    return *hv.domain(guest).p2m(sim::Pfn{pfn});
+  }
+  long unmap(std::uint64_t pfn) {
+    const sim::Mfn l1 = guest_mfn(60);
+    const MmuUpdate req{(sim::mfn_to_paddr(l1) + pfn * 8).raw(), 0};
+    return hv.hypercall_mmu_update(guest, {&req, 1});
+  }
+  /// A guest-writable buffer VA (pfn 20's directmap address).
+  sim::Vaddr buffer_va() {
+    return sim::Vaddr{kGuestKernelBase + 20 * sim::kPageSize};
+  }
+
+  sim::PhysicalMemory mem;
+  Hypervisor hv;
+  DomainId dom0{}, guest{};
+};
+
+TEST(MemoryExchange, HappyPathReplacesFrameAndReportsMfn) {
+  Fixture f{kXen48};
+  ASSERT_EQ(f.unmap(5), kOk);
+  const sim::Mfn before = f.guest_mfn(5);
+
+  MemoryExchange exch{};
+  exch.in_extents = {sim::Pfn{5}};
+  exch.out_extent_start = f.buffer_va();
+  ASSERT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kOk);
+  EXPECT_EQ(exch.nr_exchanged, 1u);
+
+  const sim::Mfn after = f.guest_mfn(5);
+  EXPECT_NE(after, before);
+  EXPECT_EQ(f.hv.frames().info(after).owner, f.guest);
+  EXPECT_EQ(f.hv.frames().info(before).owner, kDomInvalid);  // freed
+
+  // The replacement MFN was written through the guest pointer.
+  const auto mfn20 = f.guest_mfn(20);
+  std::uint64_t reported = 0;
+  std::memcpy(&reported, f.mem.frame_bytes(mfn20).data(), 8);
+  EXPECT_EQ(reported, after.raw());
+}
+
+TEST(MemoryExchange, ProgressCounterOffsetsOutput) {
+  Fixture f{kXen48};
+  ASSERT_EQ(f.unmap(5), kOk);
+  ASSERT_EQ(f.unmap(6), kOk);
+  MemoryExchange exch{};
+  exch.in_extents = {sim::Pfn{5}, sim::Pfn{6}};
+  exch.out_extent_start = f.buffer_va();
+  ASSERT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kOk);
+  EXPECT_EQ(exch.nr_exchanged, 2u);
+  const auto bytes = f.mem.frame_bytes(f.guest_mfn(20));
+  std::uint64_t r0 = 0, r1 = 0;
+  std::memcpy(&r0, bytes.data(), 8);
+  std::memcpy(&r1, bytes.data() + 8, 8);
+  EXPECT_EQ(r0, f.guest_mfn(5).raw());
+  EXPECT_EQ(r1, f.guest_mfn(6).raw());
+}
+
+TEST(MemoryExchange, MappedPageIsBusy) {
+  Fixture f{kXen48};
+  MemoryExchange exch{};
+  exch.in_extents = {sim::Pfn{5}};  // still mapped writable
+  exch.out_extent_start = f.buffer_va();
+  EXPECT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kEBUSY);
+  EXPECT_EQ(exch.nr_exchanged, 0u);
+}
+
+TEST(MemoryExchange, PageTablePageIsBusy) {
+  Fixture f{kXen48};
+  MemoryExchange exch{};
+  exch.in_extents = {sim::Pfn{63}};  // the L4
+  exch.out_extent_start = f.buffer_va();
+  EXPECT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kEBUSY);
+}
+
+TEST(MemoryExchange, UnknownPfnRejected) {
+  Fixture f{kXen48};
+  MemoryExchange exch{};
+  exch.in_extents = {sim::Pfn{999}};
+  exch.out_extent_start = f.buffer_va();
+  EXPECT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kEINVAL);
+}
+
+TEST(MemoryExchange, Xsa212FixedRejectsHypervisorPointer) {
+  for (const auto version : {kXen48, kXen413}) {
+    Fixture f{version};
+    ASSERT_EQ(f.unmap(5), kOk);
+    MemoryExchange exch{};
+    exch.in_extents = {sim::Pfn{5}};
+    exch.out_extent_start = f.hv.sidt();  // IDT linear address
+    EXPECT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kEFAULT)
+        << version.to_string();
+    EXPECT_EQ(exch.nr_exchanged, 0u);
+    // The IDT is untouched.
+    EXPECT_TRUE(f.hv.idt().read(0).well_formed());
+  }
+}
+
+TEST(MemoryExchange, Xsa212VulnerableWritesThroughHypervisorPointer) {
+  Fixture f{kXen46};
+  ASSERT_EQ(f.unmap(5), kOk);
+  MemoryExchange exch{};
+  exch.in_extents = {sim::Pfn{5}};
+  exch.out_extent_start =
+      sim::Vaddr{f.hv.sidt().raw() + 14 * sim::Idt::kGateBytes};
+  EXPECT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kOk);
+  // The page-fault gate got clobbered with an MFN value.
+  EXPECT_FALSE(f.hv.idt().read(14).well_formed());
+}
+
+TEST(MemoryExchange, Xsa212FixedRejectsReadOnlyGuestPointer) {
+  // Even a guest-range pointer must be guest-writable: aiming at the own
+  // (read-only) L4 mapping fails on fixed versions.
+  Fixture f{kXen48};
+  ASSERT_EQ(f.unmap(5), kOk);
+  MemoryExchange exch{};
+  exch.in_extents = {sim::Pfn{5}};
+  exch.out_extent_start = sim::Vaddr{kGuestKernelBase + 63 * sim::kPageSize};
+  EXPECT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kEFAULT);
+}
+
+TEST(MemoryExchange, VulnerableStillFaultsOnUnmappedPointer) {
+  Fixture f{kXen46};
+  ASSERT_EQ(f.unmap(5), kOk);
+  MemoryExchange exch{};
+  exch.in_extents = {sim::Pfn{5}};
+  exch.out_extent_start = sim::Vaddr{0xDEAD00000000ULL};
+  EXPECT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kEFAULT);
+}
+
+TEST(MemoryExchange, RepeatedExchangeCyclesMfnLowBytes) {
+  // The allocator predictability the grooming loop depends on: across 256
+  // exchanges the low byte of the fresh MFN takes every value.
+  Fixture f{kXen48};
+  ASSERT_EQ(f.unmap(5), kOk);
+  std::set<std::uint8_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    MemoryExchange exch{};
+    exch.in_extents = {sim::Pfn{5}};
+    exch.out_extent_start = f.buffer_va();
+    ASSERT_EQ(f.hv.hypercall_memory_exchange(f.guest, exch), kOk);
+    seen.insert(static_cast<std::uint8_t>(f.guest_mfn(5).raw() & 0xFF));
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+}  // namespace
+}  // namespace ii::hv

@@ -1,0 +1,213 @@
+// Grant tables (incl. the XSA-387 downgrade leak) and event channels
+// (incl. the pre-hardening delivery-loop livelock).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "guest/platform.hpp"
+#include "hv/audit.hpp"
+
+namespace ii::hv {
+namespace {
+
+guest::PlatformConfig small_config(XenVersion version) {
+  guest::PlatformConfig pc{};
+  pc.version = version;
+  pc.machine_frames = 8192;
+  pc.dom0_pages = 128;
+  pc.guest_pages = 64;
+  return pc;
+}
+
+// ------------------------------------------------------------- grant basics
+
+TEST(GrantTables, GrantMapUnmapLifecycle) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& granter = p.guest(0);
+  guest::GuestKernel& mapper = p.guest(1);
+  const auto pfn = granter.alloc_pfn();
+  ASSERT_TRUE(granter.write_u64(granter.pfn_va(*pfn), 0x5EC2E7));
+
+  ASSERT_EQ(granter.grant_access(3, mapper.id(), *pfn, /*readonly=*/true),
+            kOk);
+  GrantHandle handle = 0;
+  sim::Mfn frame{};
+  ASSERT_EQ(mapper.grant_map(granter.id(), 3, &handle, &frame), kOk);
+  EXPECT_EQ(frame, *granter.pfn_to_mfn(*pfn));
+  // Shared content visible through machine memory.
+  EXPECT_EQ(p.memory().read_u64(sim::mfn_to_paddr(frame)), 0x5EC2E7u);
+
+  // Revoking while mapped is refused; after unmap it succeeds.
+  EXPECT_EQ(granter.grant_end_access(3), kEBUSY);
+  ASSERT_EQ(mapper.grant_unmap(handle), kOk);
+  EXPECT_EQ(granter.grant_end_access(3), kOk);
+}
+
+TEST(GrantTables, OnlyTheNamedPeerMayMap) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& granter = p.guest(0);
+  const auto pfn = granter.alloc_pfn();
+  ASSERT_EQ(granter.grant_access(0, p.guest(1).id(), *pfn, false), kOk);
+  GrantHandle handle = 0;
+  // dom0 is not the named peer.
+  EXPECT_EQ(p.dom0().grant_map(granter.id(), 0, &handle, nullptr), kEPERM);
+}
+
+TEST(GrantTables, ErrorPaths) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& g = p.guest(0);
+  EXPECT_EQ(g.grant_access(GrantTable::kMaxEntries, 0, sim::Pfn{5}, false),
+            kEINVAL);
+  EXPECT_EQ(g.grant_access(0, 0, sim::Pfn{9999}, false), kEINVAL);
+  ASSERT_EQ(g.grant_access(0, p.dom0().id(), sim::Pfn{5}, false), kOk);
+  EXPECT_EQ(g.grant_access(0, p.dom0().id(), sim::Pfn{6}, false), kEBUSY);
+  EXPECT_EQ(g.grant_end_access(1), kENOENT);
+  EXPECT_EQ(g.grant_unmap(GrantHandle{777}), kENOENT);
+  EXPECT_EQ(g.grant_map(p.dom0().id(), 50, nullptr, nullptr), kENOENT);
+  EXPECT_EQ(g.grant_set_version(3), kEINVAL);
+}
+
+// -------------------------------------------------- XSA-387 downgrade leak
+
+TEST(GrantV2Downgrade, StatusPageMappedOnUpgrade) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& g = p.guest(0);
+  ASSERT_EQ(g.grant_set_version(2), kOk);
+  std::array<std::uint8_t, 16> buf{};
+  ASSERT_TRUE(g.read_virt(g.grant_status_va(), buf));
+  EXPECT_EQ(std::memcmp(buf.data(), "XEN-INTERNAL", 12), 0);
+  // While v2 is active the mapping is legitimate: audit stays clean.
+  EXPECT_FALSE(audit_system(p.hv()).has(FindingKind::StaleGrantMapping));
+}
+
+TEST(GrantV2Downgrade, LeakyVersionsKeepAccess) {
+  for (const auto version : {kXen46, kXen48}) {
+    guest::VirtualPlatform p{small_config(version)};
+    guest::GuestKernel& g = p.guest(0);
+    ASSERT_EQ(g.grant_set_version(2), kOk);
+    ASSERT_EQ(g.grant_set_version(1), kOk);
+    std::array<std::uint8_t, 16> buf{};
+    EXPECT_TRUE(g.read_virt(g.grant_status_va(), buf))
+        << version.to_string();
+    EXPECT_TRUE(audit_system(p.hv()).has(FindingKind::StaleGrantMapping))
+        << version.to_string();
+  }
+}
+
+TEST(GrantV2Downgrade, FixedVersionReleases) {
+  guest::VirtualPlatform p{small_config(kXen413)};
+  guest::GuestKernel& g = p.guest(0);
+  ASSERT_EQ(g.grant_set_version(2), kOk);
+  ASSERT_EQ(g.grant_set_version(1), kOk);
+  std::array<std::uint8_t, 16> buf{};
+  EXPECT_FALSE(g.read_virt(g.grant_status_va(), buf));
+  EXPECT_FALSE(audit_system(p.hv()).has(FindingKind::StaleGrantMapping));
+}
+
+TEST(GrantV2Downgrade, RepeatedCyclesAreStable) {
+  guest::VirtualPlatform p{small_config(kXen413)};
+  guest::GuestKernel& g = p.guest(0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(g.grant_set_version(2), kOk) << i;
+    ASSERT_EQ(g.grant_set_version(1), kOk) << i;
+  }
+  EXPECT_EQ(g.grant_set_version(1), kOk);  // idempotent
+}
+
+// ------------------------------------------------------------ event channels
+
+TEST(EventChannels, BindSendDeliver) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& a = p.guest(0);
+  guest::GuestKernel& b = p.guest(1);
+  unsigned b_port = 0, a_port = 0;
+  ASSERT_EQ(b.evtchn_alloc_unbound(a.id(), &b_port), kOk);
+  ASSERT_EQ(a.evtchn_bind(b.id(), b_port, &a_port), kOk);
+  ASSERT_EQ(b.evtchn_register_handler(b_port), kOk);
+
+  ASSERT_EQ(a.evtchn_send(a_port), kOk);
+  EXPECT_TRUE(p.hv().events().pending(b.id(), b_port));
+  const auto result = b.handle_events();
+  EXPECT_EQ(result.delivered, 1u);
+  EXPECT_FALSE(result.livelocked);
+  EXPECT_FALSE(p.hv().events().pending(b.id(), b_port));
+}
+
+TEST(EventChannels, SendRequiresBoundPort) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& a = p.guest(0);
+  EXPECT_EQ(a.evtchn_send(0), kENOENT);
+  unsigned port = 0;
+  ASSERT_EQ(a.evtchn_alloc_unbound(p.guest(1).id(), &port), kOk);
+  EXPECT_EQ(a.evtchn_send(port), kENOENT);  // allocated but unbound
+}
+
+TEST(EventChannels, BindChecksRemoteGrant) {
+  guest::VirtualPlatform p{small_config(kXen48)};
+  guest::GuestKernel& a = p.guest(0);
+  guest::GuestKernel& b = p.guest(1);
+  unsigned b_port = 0;
+  ASSERT_EQ(b.evtchn_alloc_unbound(a.id(), &b_port), kOk);
+  unsigned dummy = 0;
+  // dom0 was not named as the remote.
+  EXPECT_EQ(p.dom0().evtchn_bind(b.id(), b_port, &dummy), kEPERM);
+  // Nonexistent remote port.
+  EXPECT_EQ(a.evtchn_bind(b.id(), 77, &dummy), kENOENT);
+}
+
+TEST(EventChannels, MaskedPortsAreSkippedNotLivelocked) {
+  guest::VirtualPlatform p{small_config(kXen46)};
+  guest::GuestKernel& victim = p.guest(0);
+  // Raise pending bits directly (as the injector would) but masked.
+  const auto mfn = victim.pfn_to_mfn(guest::kSharedInfoPfn);
+  p.memory().write_u64(
+      sim::mfn_to_paddr(*mfn) + SharedInfoLayout::kPendingOffset + 16, ~0ULL);
+  p.memory().write_u64(
+      sim::mfn_to_paddr(*mfn) + SharedInfoLayout::kMaskOffset + 16, ~0ULL);
+  const auto result = victim.handle_events();
+  EXPECT_FALSE(result.livelocked);
+  EXPECT_FALSE(p.hv().cpu_hung());
+}
+
+TEST(EventChannels, UnboundStormLivelocksPre413) {
+  guest::VirtualPlatform p{small_config(kXen46)};
+  guest::GuestKernel& victim = p.guest(0);
+  const auto mfn = victim.pfn_to_mfn(guest::kSharedInfoPfn);
+  p.memory().write_u64(
+      sim::mfn_to_paddr(*mfn) + SharedInfoLayout::kPendingOffset + 24, ~0ULL);
+  const auto result = victim.handle_events();
+  EXPECT_TRUE(result.livelocked);
+  EXPECT_TRUE(p.hv().cpu_hung());
+  EXPECT_FALSE(p.hv().crashed());  // hang, not panic
+}
+
+TEST(EventChannels, UnboundStormDroppedOn413) {
+  guest::VirtualPlatform p{small_config(kXen413)};
+  guest::GuestKernel& victim = p.guest(0);
+  const auto mfn = victim.pfn_to_mfn(guest::kSharedInfoPfn);
+  p.memory().write_u64(
+      sim::mfn_to_paddr(*mfn) + SharedInfoLayout::kPendingOffset + 24, ~0ULL);
+  const auto result = victim.handle_events();
+  EXPECT_FALSE(result.livelocked);
+  EXPECT_EQ(result.dropped, 64u);
+  EXPECT_FALSE(p.hv().cpu_hung());
+}
+
+TEST(EventChannels, DeliveredEventsDoNotWedgeAnyVersion) {
+  for (const auto version : {kXen46, kXen48, kXen413}) {
+    guest::VirtualPlatform p{small_config(version)};
+    guest::GuestKernel& a = p.guest(0);
+    guest::GuestKernel& b = p.guest(1);
+    unsigned b_port = 0, a_port = 0;
+    ASSERT_EQ(b.evtchn_alloc_unbound(a.id(), &b_port), kOk);
+    ASSERT_EQ(a.evtchn_bind(b.id(), b_port, &a_port), kOk);
+    ASSERT_EQ(b.evtchn_register_handler(b_port), kOk);
+    for (int i = 0; i < 100; ++i) ASSERT_EQ(a.evtchn_send(a_port), kOk);
+    const auto result = b.handle_events();
+    EXPECT_GE(result.delivered, 1u) << version.to_string();
+    EXPECT_FALSE(p.hv().cpu_hung()) << version.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ii::hv

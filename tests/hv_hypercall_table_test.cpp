@@ -1,0 +1,139 @@
+// The numbered hypercall table: classic slots, vacant slots, the
+// per-version placement of the injection hypercall, and number/payload
+// mismatches.
+#include <gtest/gtest.h>
+
+#include "guest/platform.hpp"
+#include "hv/hypercall_table.hpp"
+
+namespace ii::hv {
+namespace {
+
+guest::VirtualPlatform make_platform(XenVersion version,
+                                     bool injector = true) {
+  guest::PlatformConfig pc{};
+  pc.version = version;
+  pc.injector_enabled = injector;
+  pc.machine_frames = 8192;
+  pc.dom0_pages = 128;
+  pc.guest_pages = 64;
+  return guest::VirtualPlatform{pc};
+}
+
+TEST(HypercallTable, ConsoleIoThroughNumberedSlot) {
+  auto p = make_platform(kXen48);
+  HypercallPayload payload = ConsoleIoCall{"hello from slot 18"};
+  EXPECT_EQ(dispatch_hypercall(p.hv(), p.guest(0).id(), kHcConsoleIo,
+                               payload),
+            kOk);
+  EXPECT_NE(p.hv().console().back().find("hello from slot 18"),
+            std::string::npos);
+}
+
+TEST(HypercallTable, MmuUpdateThroughNumberedSlot) {
+  auto p = make_platform(kXen48);
+  guest::GuestKernel& g = p.guest(0);
+  const MmuUpdate req{g.l1_slot_paddr(sim::Pfn{5}).raw(), 0};  // unmap pfn 5
+  HypercallPayload payload = MmuUpdateCall{{&req, 1}, nullptr};
+  EXPECT_EQ(dispatch_hypercall(p.hv(), g.id(), kHcMmuUpdate, payload), kOk);
+  EXPECT_FALSE(g.read_u64(g.pfn_va(sim::Pfn{5})).has_value());
+}
+
+TEST(HypercallTable, MemoryOpSubCommands) {
+  auto p = make_platform(kXen48);
+  guest::GuestKernel& g = p.guest(0);
+  const auto pfn = g.alloc_pfn();
+  ASSERT_EQ(g.unmap_pfn(*pfn), kOk);
+  HypercallPayload dec = MemoryOpCall{MemoryOpCmd::DecreaseReservation,
+                                      nullptr, *pfn};
+  EXPECT_EQ(dispatch_hypercall(p.hv(), g.id(), kHcMemoryOp, dec), kOk);
+  HypercallPayload pop = MemoryOpCall{MemoryOpCmd::PopulatePhysmap, nullptr,
+                                      *pfn};
+  EXPECT_EQ(dispatch_hypercall(p.hv(), g.id(), kHcMemoryOp, pop), kOk);
+
+  MemoryExchange exch{};
+  exch.in_extents = {*pfn};
+  exch.out_extent_start = g.pfn_va(sim::Pfn{5});
+  HypercallPayload ex = MemoryOpCall{MemoryOpCmd::Exchange, &exch, {}};
+  EXPECT_EQ(dispatch_hypercall(p.hv(), g.id(), kHcMemoryOp, ex), kOk);
+  EXPECT_EQ(exch.nr_exchanged, 1u);
+}
+
+TEST(HypercallTable, GrantAndEventSlots) {
+  auto p = make_platform(kXen48);
+  guest::GuestKernel& a = p.guest(0);
+  guest::GuestKernel& b = p.guest(1);
+
+  const auto pfn = a.alloc_pfn();
+  GrantTableOpCall grant{};
+  grant.op = GrantTableOpCall::Op::GrantAccess;
+  grant.ref = 2;
+  grant.peer = b.id();
+  grant.pfn = *pfn;
+  grant.readonly = true;
+  HypercallPayload gp = grant;
+  EXPECT_EQ(dispatch_hypercall(p.hv(), a.id(), kHcGrantTableOp, gp), kOk);
+
+  EventChannelOpCall alloc{};
+  alloc.op = EventChannelOpCall::Op::AllocUnbound;
+  alloc.remote = b.id();
+  unsigned port = 99;
+  alloc.out_port = &port;
+  HypercallPayload ep = alloc;
+  EXPECT_EQ(dispatch_hypercall(p.hv(), a.id(), kHcEventChannelOp, ep), kOk);
+  EXPECT_NE(port, 99u);
+}
+
+TEST(HypercallTable, VacantSlotsReturnEnosys) {
+  auto p = make_platform(kXen48);
+  HypercallPayload payload = ConsoleIoCall{"x"};
+  for (const unsigned nr : {2u, 3u, 7u, 55u, 99u}) {
+    EXPECT_EQ(dispatch_hypercall(p.hv(), p.guest(0).id(), nr, payload),
+              kENOSYS)
+        << nr;
+  }
+}
+
+TEST(HypercallTable, NumberPayloadMismatchIsEnosys) {
+  auto p = make_platform(kXen48);
+  HypercallPayload payload = ConsoleIoCall{"x"};
+  EXPECT_EQ(dispatch_hypercall(p.hv(), p.guest(0).id(), kHcMmuUpdate,
+                               payload),
+            kENOSYS);
+}
+
+TEST(HypercallTable, ArbitraryAccessSlotMovesAcrossVersions) {
+  EXPECT_EQ(arbitrary_access_nr(kXen46), 41u);
+  EXPECT_EQ(arbitrary_access_nr(kXen48), 42u);
+  EXPECT_EQ(arbitrary_access_nr(kXen413), 44u);
+
+  // The right number on the right version works...
+  auto p = make_platform(kXen413);
+  std::array<std::uint8_t, 8> buf{};
+  ArbitraryAccessCall call{};
+  call.request.addr = 0;
+  call.request.buffer = buf;
+  call.request.action = AccessAction::ReadPhysical;
+  HypercallPayload payload = call;
+  EXPECT_EQ(dispatch_hypercall(p.hv(), p.guest(0).id(),
+                               arbitrary_access_nr(kXen413), payload),
+            kOk);
+  // ...but a script hard-coding 4.6's slot breaks on 4.13 — the paper's
+  // "small changes in the hypercalls table" in action.
+  HypercallPayload payload46 = call;
+  EXPECT_EQ(dispatch_hypercall(p.hv(), p.guest(0).id(),
+                               arbitrary_access_nr(kXen46), payload46),
+            kENOSYS);
+}
+
+TEST(HypercallTable, DomctlSlotEnforcesPrivilege) {
+  auto p = make_platform(kXen48);
+  HypercallPayload payload = DomctlCall{p.guest(1).id()};
+  EXPECT_EQ(dispatch_hypercall(p.hv(), p.guest(0).id(), kHcDomctl, payload),
+            kEPERM);
+  HypercallPayload again = DomctlCall{p.guest(1).id()};
+  EXPECT_EQ(dispatch_hypercall(p.hv(), p.dom0().id(), kHcDomctl, again), kOk);
+}
+
+}  // namespace
+}  // namespace ii::hv

@@ -1,0 +1,302 @@
+// The direct-paging validation engine: mmu_update, mmuext_op,
+// update_va_mapping, and the three per-version vulnerability sites.
+#include <gtest/gtest.h>
+
+#include "hv/audit.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace ii::hv {
+namespace {
+
+constexpr std::uint64_t kPUW =
+    sim::Pte::kPresent | sim::Pte::kUser | sim::Pte::kWritable;
+constexpr std::uint64_t kPU = sim::Pte::kPresent | sim::Pte::kUser;
+
+struct Fixture {
+  explicit Fixture(XenVersion version)
+      : mem{8192}, hv{mem, VersionPolicy::for_version(version)} {
+    dom0 = hv.create_domain("dom0", true, 64);
+    guest = hv.create_domain("guest01", false, 64);
+    other = hv.create_domain("guest02", false, 64);
+  }
+
+  /// Machine address of L1 slot `i` of the guest's (single) L1 table.
+  sim::Paddr l1_slot(std::uint64_t i) {
+    const Domain& dom = hv.domain(guest);
+    const sim::Mfn l1 = *dom.p2m(sim::Pfn{60});  // 64-page layout: L1 at 60
+    return sim::mfn_to_paddr(l1) + i * 8;
+  }
+  sim::Paddr l4_slot(std::uint64_t i) {
+    return sim::mfn_to_paddr(hv.domain(guest).cr3()) + i * 8;
+  }
+  sim::Mfn guest_mfn(std::uint64_t pfn) {
+    return *hv.domain(guest).p2m(sim::Pfn{pfn});
+  }
+  long update(sim::Paddr slot, std::uint64_t val) {
+    const MmuUpdate req{slot.raw(), val};
+    return hv.hypercall_mmu_update(guest, {&req, 1});
+  }
+
+  sim::PhysicalMemory mem;
+  Hypervisor hv;
+  DomainId dom0{}, guest{}, other{};
+};
+
+TEST(MmuUpdate, RemapOwnDataPageSucceeds) {
+  Fixture f{kXen48};
+  // Point the slot of pfn 5 at pfn 6's frame, writable.
+  const long rc =
+      f.update(f.l1_slot(5), sim::Pte::make(f.guest_mfn(6), kPUW).raw());
+  EXPECT_EQ(rc, kOk);
+  // pfn 6's frame now carries two writable references.
+  EXPECT_EQ(f.hv.frames().info(f.guest_mfn(6)).type_count, 2u);
+  // The VA of pfn 5 reads pfn 6's content.
+  std::array<std::uint8_t, 1> probe{0x5A};
+  ASSERT_TRUE(f.hv
+                  .guest_write(f.guest,
+                               sim::Vaddr{kGuestKernelBase +
+                                          5 * sim::kPageSize},
+                               probe)
+                  .has_value());
+  EXPECT_EQ(f.mem.frame_bytes(f.guest_mfn(6))[0], 0x5A);
+}
+
+TEST(MmuUpdate, UnmapReleasesWritableType) {
+  Fixture f{kXen48};
+  EXPECT_EQ(f.hv.frames().info(f.guest_mfn(5)).type, PageType::Writable);
+  EXPECT_EQ(f.update(f.l1_slot(5), 0), kOk);
+  EXPECT_EQ(f.hv.frames().info(f.guest_mfn(5)).type, PageType::None);
+  EXPECT_EQ(f.hv.frames().info(f.guest_mfn(5)).type_count, 0u);
+}
+
+TEST(MmuUpdate, ForeignFrameRejected) {
+  Fixture f{kXen48};
+  const sim::Mfn foreign = *f.hv.domain(f.other).p2m(sim::Pfn{5});
+  EXPECT_EQ(f.update(f.l1_slot(5), sim::Pte::make(foreign, kPUW).raw()),
+            kEPERM);
+  EXPECT_EQ(f.update(f.l1_slot(5), sim::Pte::make(foreign, kPU).raw()),
+            kEPERM);
+}
+
+TEST(MmuUpdate, XenFrameRejected) {
+  Fixture f{kXen48};
+  EXPECT_EQ(f.update(f.l1_slot(5), sim::Pte::make(sim::Mfn{1}, kPUW).raw()),
+            kEPERM);  // frame 1 is the IDT
+}
+
+TEST(MmuUpdate, WritableMappingOfPageTableRejected) {
+  Fixture f{kXen48};
+  const sim::Mfn own_l1 = f.guest_mfn(60);
+  EXPECT_EQ(f.update(f.l1_slot(5), sim::Pte::make(own_l1, kPUW).raw()),
+            kEBUSY);
+  // Read-only mapping of the same table is legitimate.
+  EXPECT_EQ(f.update(f.l1_slot(5), sim::Pte::make(own_l1, kPU).raw()), kOk);
+}
+
+TEST(MmuUpdate, ReservedBitsRejected) {
+  Fixture f{kXen48};
+  EXPECT_EQ(f.update(f.l1_slot(5),
+                     sim::Pte::make(f.guest_mfn(6), kPUW).raw() | 1ULL << 9),
+            kEINVAL);
+}
+
+TEST(MmuUpdate, OutOfRamFrameRejected) {
+  Fixture f{kXen48};
+  EXPECT_EQ(f.update(f.l1_slot(5),
+                     sim::Pte::make(sim::Mfn{1 << 20}, kPUW).raw()),
+            kEINVAL);
+}
+
+TEST(MmuUpdate, MisalignedOrForeignPointerRejected) {
+  Fixture f{kXen48};
+  EXPECT_EQ(f.update(sim::Paddr{f.l1_slot(5).raw() + 4}, 0), kEINVAL);
+  // A slot inside another domain's table: not ours -> -EPERM.
+  const sim::Paddr foreign_slot =
+      sim::mfn_to_paddr(f.hv.domain(f.other).cr3());
+  EXPECT_EQ(f.update(foreign_slot, 0), kEPERM);
+  // A plain data frame is not a page table.
+  EXPECT_EQ(f.update(sim::mfn_to_paddr(f.guest_mfn(5)), 0), kEINVAL);
+}
+
+TEST(MmuUpdate, BatchStopsAtFirstError) {
+  Fixture f{kXen48};
+  const MmuUpdate reqs[] = {
+      {f.l1_slot(5).raw(), 0},
+      {f.l1_slot(5).raw() + 4, 0},  // misaligned
+      {f.l1_slot(6).raw(), 0},
+  };
+  unsigned done = 0;
+  EXPECT_EQ(f.hv.hypercall_mmu_update(f.guest, reqs, &done), kEINVAL);
+  EXPECT_EQ(done, 1u);
+  // Third request untouched: pfn 6 still mapped.
+  EXPECT_EQ(f.hv.frames().info(f.guest_mfn(6)).type, PageType::Writable);
+}
+
+TEST(MmuUpdate, MachphysUpdateAccepted) {
+  Fixture f{kXen48};
+  const MmuUpdate req{f.l1_slot(5).raw() | kMmuMachphysUpdate, 0};
+  EXPECT_EQ(f.hv.hypercall_mmu_update(f.guest, {&req, 1}), kOk);
+}
+
+// ----------------------------------------------------------- XSA-148 site
+
+TEST(Xsa148Site, PseAcceptedOnlyOn46) {
+  for (const auto& [version, expected] :
+       {std::pair{kXen46, kOk}, {kXen48, kEINVAL}, {kXen413, kEINVAL}}) {
+    Fixture f{version};
+    const sim::Mfn l2 = f.guest_mfn(61);
+    const sim::Pte pse = sim::Pte::make(sim::Mfn{0},
+                                        kPUW | sim::Pte::kPageSize);
+    const long rc = f.update(sim::mfn_to_paddr(l2) + 9 * 8, pse.raw());
+    EXPECT_EQ(rc, expected) << version.to_string();
+    if (rc == kOk) {
+      // The vulnerable path took no references and the audit flags the
+      // resulting guest-writable window over page tables.
+      EXPECT_TRUE(audit_system(f.hv).has(
+          FindingKind::GuestWritablePageTable));
+    }
+  }
+}
+
+TEST(Xsa148Site, OneGbPseAlwaysRejected) {
+  Fixture f{kXen46};
+  const sim::Mfn l3 = f.guest_mfn(62);
+  EXPECT_EQ(f.update(sim::mfn_to_paddr(l3) + 8,
+                     sim::Pte::make(sim::Mfn{0}, kPUW | sim::Pte::kPageSize)
+                         .raw()),
+            kEINVAL);
+}
+
+// ----------------------------------------------------------- XSA-182 site
+
+TEST(Xsa182Site, ReadOnlySelfMapAllowedPre49) {
+  for (const auto version : {kXen46, kXen48}) {
+    Fixture f{version};
+    const sim::Mfn l4 = f.hv.domain(f.guest).cr3();
+    EXPECT_EQ(f.update(f.l4_slot(kLinearPtSlot),
+                       sim::Pte::make(l4, kPU).raw()),
+              kOk)
+        << version.to_string();
+  }
+}
+
+TEST(Xsa182Site, SelfMapRejectedOn413) {
+  Fixture f{kXen413};
+  const sim::Mfn l4 = f.hv.domain(f.guest).cr3();
+  EXPECT_EQ(f.update(f.l4_slot(kLinearPtSlot),
+                     sim::Pte::make(l4, kPU).raw()),
+            kEPERM);
+}
+
+TEST(Xsa182Site, RwFlipOnlyOn46) {
+  for (const auto& [version, expected] :
+       {std::pair{kXen46, kOk}, {kXen48, kEPERM}}) {
+    Fixture f{version};
+    const sim::Mfn l4 = f.hv.domain(f.guest).cr3();
+    ASSERT_EQ(f.update(f.l4_slot(kLinearPtSlot),
+                       sim::Pte::make(l4, kPU).raw()),
+              kOk);
+    EXPECT_EQ(f.update(f.l4_slot(kLinearPtSlot),
+                       sim::Pte::make(l4, kPUW).raw()),
+              expected)
+        << version.to_string();
+  }
+}
+
+TEST(Xsa182Site, DirectWritableSelfMapRefusedEvenOn46) {
+  // Without a pre-existing RO entry the fast path does not apply.
+  Fixture f{kXen46};
+  const sim::Mfn l4 = f.hv.domain(f.guest).cr3();
+  EXPECT_EQ(f.update(f.l4_slot(kLinearPtSlot),
+                     sim::Pte::make(l4, kPUW).raw()),
+            kEPERM);
+}
+
+TEST(Xsa182Site, OtherReservedSlotsAlwaysRefused) {
+  for (const auto version : {kXen46, kXen48, kXen413}) {
+    Fixture f{version};
+    const sim::Mfn l4 = f.hv.domain(f.guest).cr3();
+    EXPECT_EQ(f.update(f.l4_slot(257), sim::Pte::make(l4, kPU).raw()),
+              kEPERM)
+        << version.to_string();
+    EXPECT_EQ(f.update(f.l4_slot(262), 0), kEPERM) << version.to_string();
+  }
+}
+
+TEST(Xsa182Site, ClearingLinearSlotAllowedPre49) {
+  Fixture f{kXen46};
+  const sim::Mfn l4 = f.hv.domain(f.guest).cr3();
+  ASSERT_EQ(f.update(f.l4_slot(kLinearPtSlot),
+                     sim::Pte::make(l4, kPU).raw()),
+            kOk);
+  EXPECT_EQ(f.update(f.l4_slot(kLinearPtSlot), 0), kOk);
+}
+
+// ------------------------------------------------------------- mmuext_op
+
+TEST(MmuExt, PinAndUnpinFreshL1) {
+  Fixture f{kXen48};
+  // Build a fresh L1 in an own data page: first unmap it so it is free of
+  // writable references, then fill and pin.
+  ASSERT_EQ(f.update(f.l1_slot(10), 0), kOk);
+  const sim::Mfn fresh = f.guest_mfn(10);
+  // It must be empty (zeroed at domain build; unmapping left it intact).
+  MmuExtOp pin{MmuExtCmd::PinL1Table, fresh};
+  EXPECT_EQ(f.hv.hypercall_mmuext_op(f.guest, pin), kOk);
+  EXPECT_EQ(f.hv.frames().info(fresh).type, PageType::L1);
+  MmuExtOp unpin{MmuExtCmd::UnpinTable, fresh};
+  EXPECT_EQ(f.hv.hypercall_mmuext_op(f.guest, unpin), kOk);
+  EXPECT_EQ(f.hv.frames().info(fresh).type, PageType::None);
+  // Unpinning something not pinned fails.
+  EXPECT_EQ(f.hv.hypercall_mmuext_op(f.guest, unpin), kEINVAL);
+}
+
+TEST(MmuExt, PinWritablePageRefused) {
+  Fixture f{kXen48};
+  MmuExtOp pin{MmuExtCmd::PinL1Table, f.guest_mfn(5)};
+  EXPECT_EQ(f.hv.hypercall_mmuext_op(f.guest, pin), kEBUSY);
+}
+
+TEST(MmuExt, NewBaseptrRequiresOwnValidatedL4) {
+  Fixture f{kXen48};
+  MmuExtOp to_data{MmuExtCmd::NewBaseptr, f.guest_mfn(5)};
+  EXPECT_EQ(f.hv.hypercall_mmuext_op(f.guest, to_data), kEINVAL);
+  MmuExtOp to_foreign{MmuExtCmd::NewBaseptr, f.hv.domain(f.other).cr3()};
+  EXPECT_EQ(f.hv.hypercall_mmuext_op(f.guest, to_foreign), kEINVAL);
+  MmuExtOp to_own{MmuExtCmd::NewBaseptr, f.hv.domain(f.guest).cr3()};
+  EXPECT_EQ(f.hv.hypercall_mmuext_op(f.guest, to_own), kOk);
+}
+
+TEST(MmuExt, TlbOpsAreAcceptedNoOps) {
+  Fixture f{kXen48};
+  EXPECT_EQ(f.hv.hypercall_mmuext_op(f.guest,
+                                     {MmuExtCmd::TlbFlushLocal, sim::Mfn{}}),
+            kOk);
+  EXPECT_EQ(f.hv.hypercall_mmuext_op(f.guest,
+                                     {MmuExtCmd::InvlpgLocal, sim::Mfn{}}),
+            kOk);
+}
+
+// ------------------------------------------------------ update_va_mapping
+
+TEST(UpdateVaMapping, UpdatesLeafSlot) {
+  Fixture f{kXen48};
+  const sim::Vaddr va{kGuestKernelBase + 5 * sim::kPageSize};
+  EXPECT_EQ(f.hv.hypercall_update_va_mapping(
+                f.guest, va, sim::Pte::make(f.guest_mfn(6), kPUW)),
+            kOk);
+  const auto walk = f.hv.guest_walk(f.guest, va);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(sim::paddr_to_mfn(walk->physical), f.guest_mfn(6));
+}
+
+TEST(UpdateVaMapping, UnmappedVaFaults) {
+  Fixture f{kXen48};
+  EXPECT_EQ(f.hv.hypercall_update_va_mapping(
+                f.guest, sim::Vaddr{0x400000},
+                sim::Pte::make(f.guest_mfn(6), kPUW)),
+            kEFAULT);
+}
+
+}  // namespace
+}  // namespace ii::hv

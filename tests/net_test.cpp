@@ -1,0 +1,91 @@
+// Unit tests for the network simulator.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace ii::net {
+namespace {
+
+TEST(Network, ConnectRequiresListener) {
+  Network net;
+  net.add_host("a");
+  net.add_host("b");
+  EXPECT_EQ(net.connect("a", "b", 80), nullptr);  // refused
+  net.find_host("b")->listen(80);
+  EXPECT_NE(net.connect("a", "b", 80), nullptr);
+}
+
+TEST(Network, ConnectToUnknownHostFails) {
+  Network net;
+  net.add_host("a");
+  EXPECT_EQ(net.connect("a", "ghost", 80), nullptr);
+}
+
+TEST(Network, AddHostIsIdempotent) {
+  Network net;
+  Host& first = net.add_host("a");
+  Host& again = net.add_host("a");
+  EXPECT_EQ(&first, &again);
+}
+
+TEST(Network, AcceptedConnectionsArriveInOrder) {
+  Network net;
+  net.add_host("server").listen(22);
+  net.add_host("c1");
+  net.add_host("c2");
+  auto conn1 = net.connect("c1", "server", 22);
+  auto conn2 = net.connect("c2", "server", 22);
+  const auto accepted = net.find_host("server")->accepted(22);
+  ASSERT_EQ(accepted.size(), 2u);
+  EXPECT_EQ(accepted[0], conn1);
+  EXPECT_EQ(accepted[1], conn2);
+  EXPECT_EQ(accepted[0]->client_host(), "c1");
+  EXPECT_EQ(accepted[0]->server_host(), "server");
+  EXPECT_EQ(accepted[0]->port(), 22);
+}
+
+TEST(Connection, LinesFlowBothWaysFifo) {
+  Connection conn{"c", "s", 1};
+  conn.send(Endpoint::Client, "one");
+  conn.send(Endpoint::Client, "two");
+  conn.send(Endpoint::Server, "reply");
+  EXPECT_EQ(conn.pending(Endpoint::Server), 2u);
+  EXPECT_EQ(conn.poll(Endpoint::Server), "one");
+  EXPECT_EQ(conn.poll(Endpoint::Server), "two");
+  EXPECT_FALSE(conn.poll(Endpoint::Server).has_value());
+  EXPECT_EQ(conn.poll(Endpoint::Client), "reply");
+}
+
+TEST(Connection, CloseDropsSends) {
+  Connection conn{"c", "s", 1};
+  conn.close();
+  EXPECT_TRUE(conn.closed());
+  conn.send(Endpoint::Client, "late");
+  EXPECT_EQ(conn.pending(Endpoint::Server), 0u);
+}
+
+TEST(ShellSession, PumpExecutesPendingCommands) {
+  auto conn = std::make_shared<Connection>("attacker", "victim", 1234);
+  ShellSession shell{conn, 0, [](const std::string& cmd, int uid) {
+                       return cmd + "/uid=" + std::to_string(uid);
+                     }};
+  conn->send(Endpoint::Client, "whoami");
+  conn->send(Endpoint::Client, "id");
+  EXPECT_EQ(shell.pump(), 2u);
+  EXPECT_EQ(conn->poll(Endpoint::Client), "whoami/uid=0");
+  EXPECT_EQ(conn->poll(Endpoint::Client), "id/uid=0");
+  EXPECT_EQ(shell.pump(), 0u);  // nothing pending
+}
+
+TEST(ShellSession, UidIsBoundAtCreation) {
+  auto conn = std::make_shared<Connection>("a", "v", 1);
+  ShellSession shell{conn, 1000, [](const std::string&, int uid) {
+                       return std::to_string(uid);
+                     }};
+  conn->send(Endpoint::Client, "x");
+  shell.pump();
+  EXPECT_EQ(conn->poll(Endpoint::Client), "1000");
+}
+
+}  // namespace
+}  // namespace ii::net

@@ -1,0 +1,167 @@
+// Unit tests for the software MMU: walks, faults, permission accumulation,
+// superpages and self-referencing tables.
+#include <gtest/gtest.h>
+
+#include "sim/mmu.hpp"
+
+namespace ii::sim {
+namespace {
+
+constexpr std::uint64_t kPUW = Pte::kPresent | Pte::kUser | Pte::kWritable;
+
+/// Hand-built 4-level hierarchy: frames 0..3 are L4..L1, frame 4 is data.
+class MmuFixture : public ::testing::Test {
+ protected:
+  MmuFixture() : mem{16}, mmu{mem} {
+    mem.write_slot(l4, 0, Pte::make(l3, kPUW).raw());
+    mem.write_slot(l3, 0, Pte::make(l2, kPUW).raw());
+    mem.write_slot(l2, 0, Pte::make(l1, kPUW).raw());
+    mem.write_slot(l1, 0, Pte::make(data, kPUW).raw());
+  }
+
+  PhysicalMemory mem;
+  Mmu mmu;
+  Mfn l4{0}, l3{1}, l2{2}, l1{3}, data{4};
+};
+
+TEST_F(MmuFixture, WalksToLeaf) {
+  const auto walk = mmu.walk(l4, Vaddr{0x123});
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->physical.raw(), data.raw() * kPageSize + 0x123);
+  EXPECT_EQ(walk->page_bytes, kPageSize);
+  EXPECT_TRUE(walk->writable);
+  EXPECT_TRUE(walk->user);
+  ASSERT_EQ(walk->steps.size(), 4u);
+  EXPECT_EQ(walk->steps.front().level, PtLevel::L4);
+  EXPECT_EQ(walk->steps.back().level, PtLevel::L1);
+  EXPECT_EQ(walk->steps.back().table, l1);
+}
+
+TEST_F(MmuFixture, NotPresentFaultReportsLevel) {
+  const auto walk = mmu.walk(l4, compose_vaddr(0, 1, 0, 0));
+  ASSERT_FALSE(walk.has_value());
+  EXPECT_EQ(walk.error().reason, FaultReason::NotPresent);
+  EXPECT_EQ(walk.error().level, PtLevel::L3);
+}
+
+TEST_F(MmuFixture, NonCanonicalFault) {
+  const auto walk = mmu.walk(l4, Vaddr{0x0000900000000000ULL});
+  ASSERT_FALSE(walk.has_value());
+  EXPECT_EQ(walk.error().reason, FaultReason::NonCanonical);
+  EXPECT_FALSE(walk.error().level.has_value());
+}
+
+TEST_F(MmuFixture, ReservedBitFault) {
+  mem.write_slot(l1, 0, Pte::make(data, kPUW).raw() | (1ULL << 9));
+  const auto walk = mmu.walk(l4, Vaddr{0});
+  ASSERT_FALSE(walk.has_value());
+  EXPECT_EQ(walk.error().reason, FaultReason::ReservedBit);
+}
+
+TEST_F(MmuFixture, BadFrameFault) {
+  mem.write_slot(l1, 0, Pte::make(Mfn{999}, kPUW).raw());
+  const auto walk = mmu.walk(l4, Vaddr{0});
+  ASSERT_FALSE(walk.has_value());
+  EXPECT_EQ(walk.error().reason, FaultReason::BadFrame);
+}
+
+TEST_F(MmuFixture, PermissionAccumulatesAcrossLevels) {
+  // Clearing RW at L3 makes the whole path read-only even though the leaf
+  // says writable.
+  mem.write_slot(l3, 0, Pte::make(l2, Pte::kPresent | Pte::kUser).raw());
+  const auto walk = mmu.walk(l4, Vaddr{0});
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_FALSE(walk->writable);
+  EXPECT_TRUE(walk->user);
+
+  const auto write = mmu.translate(l4, Vaddr{0}, AccessType::Write,
+                                   AccessMode::User);
+  ASSERT_FALSE(write.has_value());
+  EXPECT_EQ(write.error().reason, FaultReason::WriteProtected);
+  EXPECT_EQ(write.error().access, AccessType::Write);
+}
+
+TEST_F(MmuFixture, UserBitAccumulates) {
+  mem.write_slot(l2, 0, Pte::make(l1, Pte::kPresent | Pte::kWritable).raw());
+  const auto user = mmu.translate(l4, Vaddr{0}, AccessType::Read,
+                                  AccessMode::User);
+  ASSERT_FALSE(user.has_value());
+  EXPECT_EQ(user.error().reason, FaultReason::UserProtected);
+  // Supervisor ignores US.
+  const auto sup = mmu.translate(l4, Vaddr{0}, AccessType::Read,
+                                 AccessMode::Supervisor);
+  EXPECT_TRUE(sup.has_value());
+}
+
+TEST_F(MmuFixture, SupervisorStillHonoursReadOnly) {
+  mem.write_slot(l1, 0, Pte::make(data, Pte::kPresent | Pte::kUser).raw());
+  const auto sup = mmu.translate(l4, Vaddr{0}, AccessType::Write,
+                                 AccessMode::Supervisor);
+  ASSERT_FALSE(sup.has_value());
+  EXPECT_EQ(sup.error().reason, FaultReason::WriteProtected);
+}
+
+TEST_F(MmuFixture, NoExecuteBlocksFetch) {
+  mem.write_slot(l1, 0, Pte::make(data, kPUW | Pte::kNoExecute).raw());
+  const auto fetch = mmu.translate(l4, Vaddr{0}, AccessType::Execute,
+                                   AccessMode::User);
+  ASSERT_FALSE(fetch.has_value());
+  EXPECT_EQ(fetch.error().reason, FaultReason::NoExecute);
+  EXPECT_TRUE(mmu.translate(l4, Vaddr{0}, AccessType::Read,
+                            AccessMode::User)
+                  .has_value());
+}
+
+TEST_F(MmuFixture, TwoMbSuperpage) {
+  mem.write_slot(l2, 1, Pte::make(Mfn{0}, kPUW | Pte::kPageSize).raw());
+  const Vaddr va = compose_vaddr(0, 0, 1, 7, 0x10);  // within the 2MiB leaf
+  const auto walk = mmu.walk(l4, va);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->page_bytes, kPageSize * kPtEntries);
+  EXPECT_EQ(walk->physical.raw(), 7 * kPageSize + 0x10);
+  EXPECT_EQ(walk->steps.size(), 3u);  // stops at L2
+}
+
+TEST_F(MmuFixture, OneGbSuperpageAtL3) {
+  PhysicalMemory big{kPtEntries * kPtEntries + 8};
+  Mmu bmmu{big};
+  const Mfn bl4{0}, bl3{1};
+  big.write_slot(bl4, 0, Pte::make(bl3, kPUW).raw());
+  big.write_slot(bl3, 0, Pte::make(Mfn{0}, kPUW | Pte::kPageSize).raw());
+  const auto walk = bmmu.walk(bl4, compose_vaddr(0, 0, 3, 5, 9));
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->page_bytes, kPageSize * kPtEntries * kPtEntries);
+  EXPECT_EQ(walk->physical.raw(),
+            (3 * kPtEntries + 5) * kPageSize + 9);
+}
+
+TEST_F(MmuFixture, PseAtL4IsRejected) {
+  mem.write_slot(l4, 1, Pte::make(data, kPUW | Pte::kPageSize).raw());
+  const auto walk = mmu.walk(l4, compose_vaddr(1, 0, 0, 0));
+  ASSERT_FALSE(walk.has_value());
+  EXPECT_EQ(walk.error().reason, FaultReason::ReservedBit);
+}
+
+TEST_F(MmuFixture, SelfReferencingL4ResolvesToTableItself) {
+  // The classic recursive mapping the XSA-182 use case relies on: an L4
+  // slot pointing at the L4 itself turns the walk into a data view of the
+  // page-table hierarchy.
+  mem.write_slot(l4, 5, Pte::make(l4, kPUW).raw());
+  const Vaddr va = compose_vaddr(5, 5, 5, 5, 42 * 8);
+  const auto walk = mmu.walk(l4, va);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(paddr_to_mfn(walk->physical), l4);
+  EXPECT_EQ(page_offset(walk->physical), 42 * 8);
+}
+
+TEST_F(MmuFixture, FaultDescribesItself) {
+  const auto walk = mmu.walk(l4, compose_vaddr(0, 1, 0, 0));
+  ASSERT_FALSE(walk.has_value());
+  const std::string desc = walk.error().describe();
+  EXPECT_NE(desc.find("page fault"), std::string::npos);
+  EXPECT_NE(desc.find("not present"), std::string::npos);
+  EXPECT_NE(desc.find("L3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ii::sim

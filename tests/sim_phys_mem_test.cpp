@@ -1,0 +1,94 @@
+// Unit tests for the physical-memory substrate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/phys_mem.hpp"
+
+namespace ii::sim {
+namespace {
+
+TEST(PhysicalMemory, SizesAndZeroInit) {
+  PhysicalMemory mem{4};
+  EXPECT_EQ(mem.frame_count(), 4u);
+  EXPECT_EQ(mem.byte_size(), 4 * kPageSize);
+  EXPECT_EQ(mem.read_u64(Paddr{0}), 0u);
+  EXPECT_EQ(mem.read_u64(Paddr{4 * kPageSize - 8}), 0u);
+}
+
+TEST(PhysicalMemory, ZeroFramesRejected) {
+  EXPECT_THROW(PhysicalMemory{0}, std::invalid_argument);
+}
+
+TEST(PhysicalMemory, U64RoundTrip) {
+  PhysicalMemory mem{2};
+  mem.write_u64(Paddr{16}, 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(mem.read_u64(Paddr{16}), 0xDEADBEEFCAFEBABEULL);
+}
+
+TEST(PhysicalMemory, ByteSpansRoundTripAcrossFrameBoundary) {
+  PhysicalMemory mem{2};
+  std::array<std::uint8_t, 16> in{};
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = std::uint8_t(i + 1);
+  mem.write(Paddr{kPageSize - 8}, in);
+  std::array<std::uint8_t, 16> out{};
+  mem.read(Paddr{kPageSize - 8}, out);
+  EXPECT_EQ(in, out);
+}
+
+TEST(PhysicalMemory, ContainsSemantics) {
+  PhysicalMemory mem{1};
+  EXPECT_TRUE(mem.contains(Paddr{0}));
+  EXPECT_TRUE(mem.contains(Paddr{kPageSize - 1}));
+  EXPECT_FALSE(mem.contains(Paddr{kPageSize}));
+  EXPECT_TRUE(mem.contains(Paddr{0}, kPageSize));
+  EXPECT_FALSE(mem.contains(Paddr{1}, kPageSize));
+  EXPECT_FALSE(mem.contains(Paddr{0}, 0));  // empty ranges are invalid
+  EXPECT_TRUE(mem.contains(Mfn{0}));
+  EXPECT_FALSE(mem.contains(Mfn{1}));
+}
+
+TEST(PhysicalMemory, OutOfRangeThrows) {
+  PhysicalMemory mem{1};
+  std::array<std::uint8_t, 8> buf{};
+  EXPECT_THROW(mem.read(Paddr{kPageSize}, buf), std::out_of_range);
+  EXPECT_THROW(mem.write(Paddr{kPageSize - 4}, buf), std::out_of_range);
+  EXPECT_THROW((void)mem.read_u64(Paddr{kPageSize - 7}), std::out_of_range);
+}
+
+TEST(PhysicalMemory, OverflowingRangeRejected) {
+  PhysicalMemory mem{1};
+  // len so large that pa + len wraps; contains() must not overflow.
+  EXPECT_FALSE(mem.contains(Paddr{8}, ~0ULL));
+}
+
+TEST(PhysicalMemory, SlotAccess) {
+  PhysicalMemory mem{2};
+  mem.write_slot(Mfn{1}, 511, 0x77);
+  EXPECT_EQ(mem.read_slot(Mfn{1}, 511), 0x77u);
+  EXPECT_EQ(mem.read_u64(Paddr{kPageSize + 511 * 8}), 0x77u);
+  EXPECT_THROW((void)mem.read_slot(Mfn{1}, 512), std::out_of_range);
+  EXPECT_THROW(mem.write_slot(Mfn{1}, 512, 0), std::out_of_range);
+}
+
+TEST(PhysicalMemory, ZeroFrameClearsOnlyThatFrame) {
+  PhysicalMemory mem{2};
+  mem.write_u64(Paddr{0}, 1);
+  mem.write_u64(Paddr{kPageSize}, 2);
+  mem.zero_frame(Mfn{0});
+  EXPECT_EQ(mem.read_u64(Paddr{0}), 0u);
+  EXPECT_EQ(mem.read_u64(Paddr{kPageSize}), 2u);
+}
+
+TEST(PhysicalMemory, FrameBytesView) {
+  PhysicalMemory mem{2};
+  auto view = mem.frame_bytes(Mfn{1});
+  ASSERT_EQ(view.size(), kPageSize);
+  view[0] = 0xAB;
+  EXPECT_EQ(mem.read_slot(Mfn{1}, 0) & 0xFF, 0xABu);
+  const auto& cmem = mem;
+  EXPECT_EQ(cmem.frame_bytes(Mfn{1})[0], 0xAB);
+}
+
+}  // namespace
+}  // namespace ii::sim

@@ -1,0 +1,139 @@
+// Unit tests for the page-table-entry codec and address decomposition.
+#include <gtest/gtest.h>
+
+#include "sim/pte.hpp"
+
+namespace ii::sim {
+namespace {
+
+TEST(Pte, DefaultIsNotPresent) {
+  const Pte e{};
+  EXPECT_FALSE(e.present());
+  EXPECT_EQ(e.raw(), 0u);
+}
+
+TEST(Pte, MakeSetsFrameAndFlags) {
+  const Pte e = Pte::make(Mfn{0x1234}, Pte::kPresent | Pte::kWritable);
+  EXPECT_TRUE(e.present());
+  EXPECT_TRUE(e.writable());
+  EXPECT_FALSE(e.user());
+  EXPECT_EQ(e.frame(), Mfn{0x1234});
+}
+
+TEST(Pte, FlagAccessorsMatchBits) {
+  const Pte e{Pte::kPresent | Pte::kUser | Pte::kPageSize | Pte::kGlobal |
+              Pte::kAccessed | Pte::kDirty | Pte::kNoExecute};
+  EXPECT_TRUE(e.present());
+  EXPECT_TRUE(e.user());
+  EXPECT_TRUE(e.large_page());
+  EXPECT_TRUE(e.global());
+  EXPECT_TRUE(e.accessed());
+  EXPECT_TRUE(e.dirty());
+  EXPECT_TRUE(e.no_execute());
+  EXPECT_FALSE(e.writable());
+}
+
+TEST(Pte, FrameFieldDoesNotBleedIntoFlags) {
+  const Pte e = Pte::make(Mfn{0xFFFFFFFFFF}, 0);
+  EXPECT_FALSE(e.present());
+  EXPECT_EQ(e.frame().raw(), 0xFFFFFFFFFFull);
+}
+
+TEST(Pte, MakeMasksOverlongFrame) {
+  // Frames beyond bit 51-12 are truncated into the frame field.
+  const Pte e = Pte::make(Mfn{~0ULL}, Pte::kPresent);
+  EXPECT_EQ((e.raw() & ~Pte::kFrameMask) & ~Pte::kFlagMask, 0u);
+}
+
+TEST(Pte, ReservedBitsDetected) {
+  EXPECT_FALSE(Pte{Pte::kPresent}.has_reserved_bits());
+  EXPECT_TRUE(Pte{Pte::kPresent | (1ULL << 9)}.has_reserved_bits());
+  EXPECT_TRUE(Pte{1ULL << 62}.has_reserved_bits());
+}
+
+TEST(Pte, WithWithoutFlags) {
+  const Pte base = Pte::make(Mfn{5}, Pte::kPresent);
+  const Pte rw = base.with_flags(Pte::kWritable);
+  EXPECT_TRUE(rw.writable());
+  EXPECT_EQ(rw.frame(), base.frame());
+  const Pte back = rw.without_flags(Pte::kWritable);
+  EXPECT_EQ(back, base);
+}
+
+TEST(Decompose, KnownAddress) {
+  // 0xffff880000200000: L4=272, L3=0, L2=1, L1=0 (guest kernel area).
+  const auto idx = decompose(Vaddr{0xFFFF880000200000ULL});
+  EXPECT_EQ(idx.l4, 272u);
+  EXPECT_EQ(idx.l3, 0u);
+  EXPECT_EQ(idx.l2, 1u);
+  EXPECT_EQ(idx.l1, 0u);
+}
+
+TEST(Decompose, LevelIndexOfAgrees) {
+  const Vaddr va{0xFFFF804012345678ULL};
+  const auto idx = decompose(va);
+  EXPECT_EQ(level_index_of(va, PtLevel::L4), idx.l4);
+  EXPECT_EQ(level_index_of(va, PtLevel::L3), idx.l3);
+  EXPECT_EQ(level_index_of(va, PtLevel::L2), idx.l2);
+  EXPECT_EQ(level_index_of(va, PtLevel::L1), idx.l1);
+}
+
+TEST(Compose, SignExtendsHighHalf) {
+  const Vaddr va = compose_vaddr(256, 0, 0, 0);
+  EXPECT_EQ(va.raw(), 0xFFFF800000000000ULL);
+  EXPECT_TRUE(is_canonical(va));
+}
+
+TEST(Compose, LowHalfStaysLow) {
+  const Vaddr va = compose_vaddr(1, 2, 3, 4, 5);
+  EXPECT_EQ(va.raw() >> 47, 0u);
+  EXPECT_TRUE(is_canonical(va));
+}
+
+TEST(Canonical, Boundaries) {
+  EXPECT_TRUE(is_canonical(Vaddr{0}));
+  EXPECT_TRUE(is_canonical(Vaddr{0x00007FFFFFFFFFFFULL}));
+  EXPECT_FALSE(is_canonical(Vaddr{0x0000800000000000ULL}));
+  EXPECT_FALSE(is_canonical(Vaddr{0xFFFE800000000000ULL}));
+  EXPECT_TRUE(is_canonical(Vaddr{0xFFFF800000000000ULL}));
+  EXPECT_TRUE(is_canonical(Vaddr{~0ULL}));
+}
+
+TEST(Types, PageArithmetic) {
+  EXPECT_EQ(paddr_to_mfn(Paddr{0x5432}), Mfn{5});
+  EXPECT_EQ(mfn_to_paddr(Mfn{5}).raw(), 0x5000u);
+  EXPECT_EQ(page_offset(Paddr{0x5432}), 0x432u);
+  EXPECT_EQ(page_offset(Vaddr{0xFFFF800000000FFFULL}), 0xFFFu);
+}
+
+/// Property: compose/decompose round-trip over a sweep of index patterns.
+class ComposeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ComposeRoundTrip, RoundTrips) {
+  const unsigned seed = GetParam();
+  // Derive distinct indices deterministically from the seed.
+  const unsigned l4 = (seed * 7) % 512;
+  const unsigned l3 = (seed * 13 + 1) % 512;
+  const unsigned l2 = (seed * 31 + 2) % 512;
+  const unsigned l1 = (seed * 101 + 3) % 512;
+  const std::uint64_t off = (seed * 29) % kPageSize;
+  const Vaddr va = compose_vaddr(l4, l3, l2, l1, off);
+  const auto idx = decompose(va);
+  EXPECT_EQ(idx.l4, l4);
+  EXPECT_EQ(idx.l3, l3);
+  EXPECT_EQ(idx.l2, l2);
+  EXPECT_EQ(idx.l1, l1);
+  EXPECT_EQ(page_offset(va), off);
+  EXPECT_TRUE(is_canonical(va));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ComposeRoundTrip,
+                         ::testing::Range(0u, 64u));
+
+TEST(Level, ToString) {
+  EXPECT_EQ(to_string(PtLevel::L2), "L2 (PMD)");
+  EXPECT_EQ(to_string(PtLevel::L4), "L4 (PGD)");
+}
+
+}  // namespace
+}  // namespace ii::sim

@@ -1,0 +1,75 @@
+// RQ1's strongest claim, executable: "the erroneous states injected are the
+// same" as the ones the exploits induce (§VI-C). Each use case renders a
+// canonical, allocation-independent description of its erroneous state; the
+// exploit run and the injection run on Xen 4.6 must produce identical
+// descriptions.
+#include <gtest/gtest.h>
+
+#include "xsa/usecases.hpp"
+
+namespace ii::xsa {
+namespace {
+
+guest::VirtualPlatform make_platform(bool injector) {
+  guest::PlatformConfig pc{};
+  pc.version = hv::kXen46;
+  pc.injector_enabled = injector;
+  return guest::VirtualPlatform{pc};
+}
+
+class StateEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(StateEquivalence, ExploitAndInjectionProduceTheSameState) {
+  const auto cases = make_paper_use_cases();
+  core::UseCase& use_case = *cases[static_cast<std::size_t>(GetParam())];
+
+  auto exploit_platform = make_platform(false);
+  ASSERT_TRUE(use_case.run_exploit(exploit_platform).completed)
+      << use_case.name();
+  const std::string from_exploit =
+      use_case.erroneous_state_description(exploit_platform);
+
+  auto injection_platform = make_platform(true);
+  ASSERT_TRUE(use_case.run_injection(injection_platform).completed)
+      << use_case.name();
+  const std::string from_injection =
+      use_case.erroneous_state_description(injection_platform);
+
+  EXPECT_FALSE(from_exploit.empty()) << use_case.name();
+  EXPECT_EQ(from_exploit, from_injection) << use_case.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperUseCases, StateEquivalence,
+                         ::testing::Range(0, 4));
+
+TEST(StateDescriptions, EmptyOnFreshPlatform) {
+  auto platform = make_platform(true);
+  for (const auto& use_case : make_paper_use_cases()) {
+    EXPECT_TRUE(use_case->erroneous_state_description(platform).empty())
+        << use_case->name();
+  }
+}
+
+TEST(StateDescriptions, MentionTheCorruptedStructure) {
+  auto platform = make_platform(true);
+  const auto cases = make_paper_use_cases();
+  (void)cases[1]->run_injection(platform);  // XSA-212-priv
+  const std::string desc = cases[1]->erroneous_state_description(platform);
+  EXPECT_NE(desc.find("xen_l3[300]"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("P|RW|US"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("injector_log"), std::string::npos) << desc;
+}
+
+TEST(StateDescriptions, On413ThePudLinkShowsButThePayloadIsAbsent) {
+  guest::PlatformConfig pc{};
+  pc.version = hv::kXen413;
+  guest::VirtualPlatform platform{pc};
+  const auto cases = make_paper_use_cases();
+  (void)cases[1]->run_injection(platform);
+  const std::string desc = cases[1]->erroneous_state_description(platform);
+  EXPECT_NE(desc.find("xen_l3[300]"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("payload: absent"), std::string::npos) << desc;
+}
+
+}  // namespace
+}  // namespace ii::xsa
