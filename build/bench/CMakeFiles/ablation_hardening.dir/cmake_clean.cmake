@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hardening.dir/ablation_hardening.cpp.o"
+  "CMakeFiles/ablation_hardening.dir/ablation_hardening.cpp.o.d"
+  "ablation_hardening"
+  "ablation_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rq1_validation.dir/fig4_rq1_validation.cpp.o"
+  "CMakeFiles/fig4_rq1_validation.dir/fig4_rq1_validation.cpp.o.d"
+  "fig4_rq1_validation"
+  "fig4_rq1_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rq1_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_abusive_functionality.dir/table1_abusive_functionality.cpp.o"
+  "CMakeFiles/table1_abusive_functionality.dir/table1_abusive_functionality.cpp.o.d"
+  "table1_abusive_functionality"
+  "table1_abusive_functionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_abusive_functionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_use_cases.dir/table2_use_cases.cpp.o"
+  "CMakeFiles/table2_use_cases.dir/table2_use_cases.cpp.o.d"
+  "table2_use_cases"
+  "table2_use_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_use_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

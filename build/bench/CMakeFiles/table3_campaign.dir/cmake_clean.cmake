@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_campaign.dir/table3_campaign.cpp.o"
+  "CMakeFiles/table3_campaign.dir/table3_campaign.cpp.o.d"
+  "table3_campaign"
+  "table3_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

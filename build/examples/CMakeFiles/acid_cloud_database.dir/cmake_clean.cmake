@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acid_cloud_database.dir/acid_cloud_database.cpp.o"
+  "CMakeFiles/acid_cloud_database.dir/acid_cloud_database.cpp.o.d"
+  "acid_cloud_database"
+  "acid_cloud_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acid_cloud_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_emulation.dir/apt_emulation.cpp.o"
+  "CMakeFiles/apt_emulation.dir/apt_emulation.cpp.o.d"
+  "apt_emulation"
+  "apt_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

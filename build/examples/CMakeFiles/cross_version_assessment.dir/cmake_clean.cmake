@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_version_assessment.dir/cross_version_assessment.cpp.o"
+  "CMakeFiles/cross_version_assessment.dir/cross_version_assessment.cpp.o.d"
+  "cross_version_assessment"
+  "cross_version_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_version_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_table_protection.dir/page_table_protection.cpp.o"
+  "CMakeFiles/page_table_protection.dir/page_table_protection.cpp.o.d"
+  "page_table_protection"
+  "page_table_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_table_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

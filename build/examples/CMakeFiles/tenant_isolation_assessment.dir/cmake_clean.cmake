@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenant_isolation_assessment.dir/tenant_isolation_assessment.cpp.o"
+  "CMakeFiles/tenant_isolation_assessment.dir/tenant_isolation_assessment.cpp.o.d"
+  "tenant_isolation_assessment"
+  "tenant_isolation_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenant_isolation_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

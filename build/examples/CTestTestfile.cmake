@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cross_version "/root/repo/build/examples/cross_version_assessment")
+set_tests_properties(example_cross_version PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_page_table_protection "/root/repo/build/examples/page_table_protection")
+set_tests_properties(example_page_table_protection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_acid_cloud_database "/root/repo/build/examples/acid_cloud_database")
+set_tests_properties(example_acid_cloud_database PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tenant_isolation "/root/repo/build/examples/tenant_isolation_assessment")
+set_tests_properties(example_tenant_isolation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_campaign_cli_list "/root/repo/build/examples/campaign_cli" "--list")
+set_tests_properties(example_campaign_cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_campaign_cli_case "/root/repo/build/examples/campaign_cli" "--version" "4.13" "--mode" "injection" "--case" "XSA-182-test" "--csv")
+set_tests_properties(example_campaign_cli_case PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_apt_emulation "/root/repo/build/examples/apt_emulation")
+set_tests_properties(example_apt_emulation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

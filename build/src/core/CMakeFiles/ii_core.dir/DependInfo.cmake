@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abusive_functionality.cpp" "src/core/CMakeFiles/ii_core.dir/abusive_functionality.cpp.o" "gcc" "src/core/CMakeFiles/ii_core.dir/abusive_functionality.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/ii_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/ii_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/ii_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/ii_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/fuzz.cpp" "src/core/CMakeFiles/ii_core.dir/fuzz.cpp.o" "gcc" "src/core/CMakeFiles/ii_core.dir/fuzz.cpp.o.d"
+  "/root/repo/src/core/injector.cpp" "src/core/CMakeFiles/ii_core.dir/injector.cpp.o" "gcc" "src/core/CMakeFiles/ii_core.dir/injector.cpp.o.d"
+  "/root/repo/src/core/intrusion_model.cpp" "src/core/CMakeFiles/ii_core.dir/intrusion_model.cpp.o" "gcc" "src/core/CMakeFiles/ii_core.dir/intrusion_model.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/ii_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/ii_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ii_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ii_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/ii_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/ii_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ii_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ii_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_core.dir/abusive_functionality.cpp.o"
+  "CMakeFiles/ii_core.dir/abusive_functionality.cpp.o.d"
+  "CMakeFiles/ii_core.dir/campaign.cpp.o"
+  "CMakeFiles/ii_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/ii_core.dir/coverage.cpp.o"
+  "CMakeFiles/ii_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/ii_core.dir/fuzz.cpp.o"
+  "CMakeFiles/ii_core.dir/fuzz.cpp.o.d"
+  "CMakeFiles/ii_core.dir/injector.cpp.o"
+  "CMakeFiles/ii_core.dir/injector.cpp.o.d"
+  "CMakeFiles/ii_core.dir/intrusion_model.cpp.o"
+  "CMakeFiles/ii_core.dir/intrusion_model.cpp.o.d"
+  "CMakeFiles/ii_core.dir/monitor.cpp.o"
+  "CMakeFiles/ii_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/ii_core.dir/report.cpp.o"
+  "CMakeFiles/ii_core.dir/report.cpp.o.d"
+  "libii_core.a"
+  "libii_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_cvedb.dir/advisories.cpp.o"
+  "CMakeFiles/ii_cvedb.dir/advisories.cpp.o.d"
+  "libii_cvedb.a"
+  "libii_cvedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_cvedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ii_cvedb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dm/device_model.cpp" "src/dm/CMakeFiles/ii_dm.dir/device_model.cpp.o" "gcc" "src/dm/CMakeFiles/ii_dm.dir/device_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/ii_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/ii_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ii_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ii_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

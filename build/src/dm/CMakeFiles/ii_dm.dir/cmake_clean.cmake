@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_dm.dir/device_model.cpp.o"
+  "CMakeFiles/ii_dm.dir/device_model.cpp.o.d"
+  "libii_dm.a"
+  "libii_dm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

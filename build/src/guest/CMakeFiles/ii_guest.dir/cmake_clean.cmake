@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_guest.dir/kernel.cpp.o"
+  "CMakeFiles/ii_guest.dir/kernel.cpp.o.d"
+  "CMakeFiles/ii_guest.dir/payload.cpp.o"
+  "CMakeFiles/ii_guest.dir/payload.cpp.o.d"
+  "CMakeFiles/ii_guest.dir/platform.cpp.o"
+  "CMakeFiles/ii_guest.dir/platform.cpp.o.d"
+  "CMakeFiles/ii_guest.dir/shell.cpp.o"
+  "CMakeFiles/ii_guest.dir/shell.cpp.o.d"
+  "libii_guest.a"
+  "libii_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

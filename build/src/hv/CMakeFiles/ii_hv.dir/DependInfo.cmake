@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/audit.cpp" "src/hv/CMakeFiles/ii_hv.dir/audit.cpp.o" "gcc" "src/hv/CMakeFiles/ii_hv.dir/audit.cpp.o.d"
+  "/root/repo/src/hv/event_channel.cpp" "src/hv/CMakeFiles/ii_hv.dir/event_channel.cpp.o" "gcc" "src/hv/CMakeFiles/ii_hv.dir/event_channel.cpp.o.d"
+  "/root/repo/src/hv/frame_table.cpp" "src/hv/CMakeFiles/ii_hv.dir/frame_table.cpp.o" "gcc" "src/hv/CMakeFiles/ii_hv.dir/frame_table.cpp.o.d"
+  "/root/repo/src/hv/grant_table.cpp" "src/hv/CMakeFiles/ii_hv.dir/grant_table.cpp.o" "gcc" "src/hv/CMakeFiles/ii_hv.dir/grant_table.cpp.o.d"
+  "/root/repo/src/hv/hypercall_table.cpp" "src/hv/CMakeFiles/ii_hv.dir/hypercall_table.cpp.o" "gcc" "src/hv/CMakeFiles/ii_hv.dir/hypercall_table.cpp.o.d"
+  "/root/repo/src/hv/hypervisor.cpp" "src/hv/CMakeFiles/ii_hv.dir/hypervisor.cpp.o" "gcc" "src/hv/CMakeFiles/ii_hv.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/hv/memory.cpp" "src/hv/CMakeFiles/ii_hv.dir/memory.cpp.o" "gcc" "src/hv/CMakeFiles/ii_hv.dir/memory.cpp.o.d"
+  "/root/repo/src/hv/version.cpp" "src/hv/CMakeFiles/ii_hv.dir/version.cpp.o" "gcc" "src/hv/CMakeFiles/ii_hv.dir/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ii_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_hv.dir/audit.cpp.o"
+  "CMakeFiles/ii_hv.dir/audit.cpp.o.d"
+  "CMakeFiles/ii_hv.dir/event_channel.cpp.o"
+  "CMakeFiles/ii_hv.dir/event_channel.cpp.o.d"
+  "CMakeFiles/ii_hv.dir/frame_table.cpp.o"
+  "CMakeFiles/ii_hv.dir/frame_table.cpp.o.d"
+  "CMakeFiles/ii_hv.dir/grant_table.cpp.o"
+  "CMakeFiles/ii_hv.dir/grant_table.cpp.o.d"
+  "CMakeFiles/ii_hv.dir/hypercall_table.cpp.o"
+  "CMakeFiles/ii_hv.dir/hypercall_table.cpp.o.d"
+  "CMakeFiles/ii_hv.dir/hypervisor.cpp.o"
+  "CMakeFiles/ii_hv.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/ii_hv.dir/memory.cpp.o"
+  "CMakeFiles/ii_hv.dir/memory.cpp.o.d"
+  "CMakeFiles/ii_hv.dir/version.cpp.o"
+  "CMakeFiles/ii_hv.dir/version.cpp.o.d"
+  "libii_hv.a"
+  "libii_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libii_hv.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_net.dir/network.cpp.o"
+  "CMakeFiles/ii_net.dir/network.cpp.o.d"
+  "libii_net.a"
+  "libii_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/idt.cpp" "src/sim/CMakeFiles/ii_sim.dir/idt.cpp.o" "gcc" "src/sim/CMakeFiles/ii_sim.dir/idt.cpp.o.d"
+  "/root/repo/src/sim/mmu.cpp" "src/sim/CMakeFiles/ii_sim.dir/mmu.cpp.o" "gcc" "src/sim/CMakeFiles/ii_sim.dir/mmu.cpp.o.d"
+  "/root/repo/src/sim/phys_mem.cpp" "src/sim/CMakeFiles/ii_sim.dir/phys_mem.cpp.o" "gcc" "src/sim/CMakeFiles/ii_sim.dir/phys_mem.cpp.o.d"
+  "/root/repo/src/sim/pte.cpp" "src/sim/CMakeFiles/ii_sim.dir/pte.cpp.o" "gcc" "src/sim/CMakeFiles/ii_sim.dir/pte.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_sim.dir/idt.cpp.o"
+  "CMakeFiles/ii_sim.dir/idt.cpp.o.d"
+  "CMakeFiles/ii_sim.dir/mmu.cpp.o"
+  "CMakeFiles/ii_sim.dir/mmu.cpp.o.d"
+  "CMakeFiles/ii_sim.dir/phys_mem.cpp.o"
+  "CMakeFiles/ii_sim.dir/phys_mem.cpp.o.d"
+  "CMakeFiles/ii_sim.dir/pte.cpp.o"
+  "CMakeFiles/ii_sim.dir/pte.cpp.o.d"
+  "libii_sim.a"
+  "libii_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

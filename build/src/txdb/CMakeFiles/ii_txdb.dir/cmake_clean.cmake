@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_txdb.dir/guest_storage.cpp.o"
+  "CMakeFiles/ii_txdb.dir/guest_storage.cpp.o.d"
+  "CMakeFiles/ii_txdb.dir/txdb.cpp.o"
+  "CMakeFiles/ii_txdb.dir/txdb.cpp.o.d"
+  "libii_txdb.a"
+  "libii_txdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_txdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

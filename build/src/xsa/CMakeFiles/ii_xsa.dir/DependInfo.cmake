@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsa/destroy_leak.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/destroy_leak.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/destroy_leak.cpp.o.d"
+  "/root/repo/src/xsa/evtchn_storm.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/evtchn_storm.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/evtchn_storm.cpp.o.d"
+  "/root/repo/src/xsa/exchange_primitive.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/exchange_primitive.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/exchange_primitive.cpp.o.d"
+  "/root/repo/src/xsa/usecases.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/usecases.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/usecases.cpp.o.d"
+  "/root/repo/src/xsa/vuln_backed_injector.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/vuln_backed_injector.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/vuln_backed_injector.cpp.o.d"
+  "/root/repo/src/xsa/xsa133_venom.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/xsa133_venom.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/xsa133_venom.cpp.o.d"
+  "/root/repo/src/xsa/xsa148_priv.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/xsa148_priv.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/xsa148_priv.cpp.o.d"
+  "/root/repo/src/xsa/xsa182_test.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/xsa182_test.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/xsa182_test.cpp.o.d"
+  "/root/repo/src/xsa/xsa212_crash.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/xsa212_crash.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/xsa212_crash.cpp.o.d"
+  "/root/repo/src/xsa/xsa212_priv.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/xsa212_priv.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/xsa212_priv.cpp.o.d"
+  "/root/repo/src/xsa/xsa387_keep.cpp" "src/xsa/CMakeFiles/ii_xsa.dir/xsa387_keep.cpp.o" "gcc" "src/xsa/CMakeFiles/ii_xsa.dir/xsa387_keep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ii_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/ii_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dm/CMakeFiles/ii_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/ii_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ii_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ii_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

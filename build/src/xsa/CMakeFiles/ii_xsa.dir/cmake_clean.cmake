@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_xsa.dir/destroy_leak.cpp.o"
+  "CMakeFiles/ii_xsa.dir/destroy_leak.cpp.o.d"
+  "CMakeFiles/ii_xsa.dir/evtchn_storm.cpp.o"
+  "CMakeFiles/ii_xsa.dir/evtchn_storm.cpp.o.d"
+  "CMakeFiles/ii_xsa.dir/exchange_primitive.cpp.o"
+  "CMakeFiles/ii_xsa.dir/exchange_primitive.cpp.o.d"
+  "CMakeFiles/ii_xsa.dir/usecases.cpp.o"
+  "CMakeFiles/ii_xsa.dir/usecases.cpp.o.d"
+  "CMakeFiles/ii_xsa.dir/vuln_backed_injector.cpp.o"
+  "CMakeFiles/ii_xsa.dir/vuln_backed_injector.cpp.o.d"
+  "CMakeFiles/ii_xsa.dir/xsa133_venom.cpp.o"
+  "CMakeFiles/ii_xsa.dir/xsa133_venom.cpp.o.d"
+  "CMakeFiles/ii_xsa.dir/xsa148_priv.cpp.o"
+  "CMakeFiles/ii_xsa.dir/xsa148_priv.cpp.o.d"
+  "CMakeFiles/ii_xsa.dir/xsa182_test.cpp.o"
+  "CMakeFiles/ii_xsa.dir/xsa182_test.cpp.o.d"
+  "CMakeFiles/ii_xsa.dir/xsa212_crash.cpp.o"
+  "CMakeFiles/ii_xsa.dir/xsa212_crash.cpp.o.d"
+  "CMakeFiles/ii_xsa.dir/xsa212_priv.cpp.o"
+  "CMakeFiles/ii_xsa.dir/xsa212_priv.cpp.o.d"
+  "CMakeFiles/ii_xsa.dir/xsa387_keep.cpp.o"
+  "CMakeFiles/ii_xsa.dir/xsa387_keep.cpp.o.d"
+  "libii_xsa.a"
+  "libii_xsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_xsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ii_xsa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coverage_parallel_test.dir/core_coverage_parallel_test.cpp.o"
+  "CMakeFiles/core_coverage_parallel_test.dir/core_coverage_parallel_test.cpp.o.d"
+  "core_coverage_parallel_test"
+  "core_coverage_parallel_test.pdb"
+  "core_coverage_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coverage_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/core_test.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xsa/CMakeFiles/ii_xsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dm/CMakeFiles/ii_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cvedb/CMakeFiles/ii_cvedb.dir/DependInfo.cmake"
+  "/root/repo/build/src/txdb/CMakeFiles/ii_txdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ii_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/ii_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/ii_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ii_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ii_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

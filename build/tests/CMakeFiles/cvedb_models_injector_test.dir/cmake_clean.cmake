@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvedb_models_injector_test.dir/cvedb_models_injector_test.cpp.o"
+  "CMakeFiles/cvedb_models_injector_test.dir/cvedb_models_injector_test.cpp.o.d"
+  "cvedb_models_injector_test"
+  "cvedb_models_injector_test.pdb"
+  "cvedb_models_injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvedb_models_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

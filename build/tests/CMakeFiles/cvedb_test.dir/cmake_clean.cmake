@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvedb_test.dir/cvedb_test.cpp.o"
+  "CMakeFiles/cvedb_test.dir/cvedb_test.cpp.o.d"
+  "cvedb_test"
+  "cvedb_test.pdb"
+  "cvedb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvedb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_device_model_test.dir/dm_device_model_test.cpp.o"
+  "CMakeFiles/dm_device_model_test.dir/dm_device_model_test.cpp.o.d"
+  "dm_device_model_test"
+  "dm_device_model_test.pdb"
+  "dm_device_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_device_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

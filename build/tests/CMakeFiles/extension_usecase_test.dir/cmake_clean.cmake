@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_usecase_test.dir/extension_usecase_test.cpp.o"
+  "CMakeFiles/extension_usecase_test.dir/extension_usecase_test.cpp.o.d"
+  "extension_usecase_test"
+  "extension_usecase_test.pdb"
+  "extension_usecase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_usecase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

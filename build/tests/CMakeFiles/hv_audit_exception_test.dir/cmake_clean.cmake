@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_audit_exception_test.dir/hv_audit_exception_test.cpp.o"
+  "CMakeFiles/hv_audit_exception_test.dir/hv_audit_exception_test.cpp.o.d"
+  "hv_audit_exception_test"
+  "hv_audit_exception_test.pdb"
+  "hv_audit_exception_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_audit_exception_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

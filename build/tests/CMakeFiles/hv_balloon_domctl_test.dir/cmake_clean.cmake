@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_balloon_domctl_test.dir/hv_balloon_domctl_test.cpp.o"
+  "CMakeFiles/hv_balloon_domctl_test.dir/hv_balloon_domctl_test.cpp.o.d"
+  "hv_balloon_domctl_test"
+  "hv_balloon_domctl_test.pdb"
+  "hv_balloon_domctl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_balloon_domctl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_boot_test.dir/hv_boot_test.cpp.o"
+  "CMakeFiles/hv_boot_test.dir/hv_boot_test.cpp.o.d"
+  "hv_boot_test"
+  "hv_boot_test.pdb"
+  "hv_boot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_boot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_domain_test.dir/hv_domain_test.cpp.o"
+  "CMakeFiles/hv_domain_test.dir/hv_domain_test.cpp.o.d"
+  "hv_domain_test"
+  "hv_domain_test.pdb"
+  "hv_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

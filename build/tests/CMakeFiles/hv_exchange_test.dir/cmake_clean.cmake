@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_exchange_test.dir/hv_exchange_test.cpp.o"
+  "CMakeFiles/hv_exchange_test.dir/hv_exchange_test.cpp.o.d"
+  "hv_exchange_test"
+  "hv_exchange_test.pdb"
+  "hv_exchange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

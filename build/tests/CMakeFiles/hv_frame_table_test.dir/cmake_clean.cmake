@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_frame_table_test.dir/hv_frame_table_test.cpp.o"
+  "CMakeFiles/hv_frame_table_test.dir/hv_frame_table_test.cpp.o.d"
+  "hv_frame_table_test"
+  "hv_frame_table_test.pdb"
+  "hv_frame_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_frame_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

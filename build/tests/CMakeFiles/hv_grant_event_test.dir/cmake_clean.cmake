@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_grant_event_test.dir/hv_grant_event_test.cpp.o"
+  "CMakeFiles/hv_grant_event_test.dir/hv_grant_event_test.cpp.o.d"
+  "hv_grant_event_test"
+  "hv_grant_event_test.pdb"
+  "hv_grant_event_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_grant_event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

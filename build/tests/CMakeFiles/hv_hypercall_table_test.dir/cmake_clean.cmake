@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_hypercall_table_test.dir/hv_hypercall_table_test.cpp.o"
+  "CMakeFiles/hv_hypercall_table_test.dir/hv_hypercall_table_test.cpp.o.d"
+  "hv_hypercall_table_test"
+  "hv_hypercall_table_test.pdb"
+  "hv_hypercall_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_hypercall_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_injector_test.dir/hv_injector_test.cpp.o"
+  "CMakeFiles/hv_injector_test.dir/hv_injector_test.cpp.o.d"
+  "hv_injector_test"
+  "hv_injector_test.pdb"
+  "hv_injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_mmu_update_test.dir/hv_mmu_update_test.cpp.o"
+  "CMakeFiles/hv_mmu_update_test.dir/hv_mmu_update_test.cpp.o.d"
+  "hv_mmu_update_test"
+  "hv_mmu_update_test.pdb"
+  "hv_mmu_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_mmu_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

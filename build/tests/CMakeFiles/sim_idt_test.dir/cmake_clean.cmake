@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_idt_test.dir/sim_idt_test.cpp.o"
+  "CMakeFiles/sim_idt_test.dir/sim_idt_test.cpp.o.d"
+  "sim_idt_test"
+  "sim_idt_test.pdb"
+  "sim_idt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_idt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_mmu_differential_test.dir/sim_mmu_differential_test.cpp.o"
+  "CMakeFiles/sim_mmu_differential_test.dir/sim_mmu_differential_test.cpp.o.d"
+  "sim_mmu_differential_test"
+  "sim_mmu_differential_test.pdb"
+  "sim_mmu_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_mmu_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

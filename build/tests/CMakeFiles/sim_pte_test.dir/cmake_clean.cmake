@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pte_test.dir/sim_pte_test.cpp.o"
+  "CMakeFiles/sim_pte_test.dir/sim_pte_test.cpp.o.d"
+  "sim_pte_test"
+  "sim_pte_test.pdb"
+  "sim_pte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

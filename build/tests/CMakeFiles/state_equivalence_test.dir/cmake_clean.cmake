@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_equivalence_test.dir/state_equivalence_test.cpp.o"
+  "CMakeFiles/state_equivalence_test.dir/state_equivalence_test.cpp.o.d"
+  "state_equivalence_test"
+  "state_equivalence_test.pdb"
+  "state_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

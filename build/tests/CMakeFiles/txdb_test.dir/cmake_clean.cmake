@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txdb_test.dir/txdb_test.cpp.o"
+  "CMakeFiles/txdb_test.dir/txdb_test.cpp.o.d"
+  "txdb_test"
+  "txdb_test.pdb"
+  "txdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsa_unit_test.dir/xsa_unit_test.cpp.o"
+  "CMakeFiles/xsa_unit_test.dir/xsa_unit_test.cpp.o.d"
+  "xsa_unit_test"
+  "xsa_unit_test.pdb"
+  "xsa_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsa_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
