@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the parallel campaign engine and the per-cell
+# trace sinks: builds the tree with -DII_SANITIZE=thread and runs the
+# concurrency-sensitive test binaries under TSan.
+#
+# Usage: bench/run_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DII_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
+  core_coverage_parallel_test obs_trace_test core_campaign_trace_test
+
+status=0
+for test_bin in core_coverage_parallel_test obs_trace_test \
+                core_campaign_trace_test; do
+  echo "== TSan: $test_bin"
+  if ! "$BUILD_DIR/tests/$test_bin"; then
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "TSan run FAILED"
+else
+  echo "TSan run OK"
+fi
+exit "$status"

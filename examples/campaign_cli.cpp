@@ -4,15 +4,19 @@
 //
 // Usage:
 //   campaign_cli [--version 4.6|4.8|4.13] [--mode exploit|injection]
-//                [--case NAME] [--csv] [--list]
+//                [--case NAME] [--csv] [--trace FILE.jsonl] [--list]
 //
 // With no arguments it runs the full paper matrix and prints the RQ1 and
-// Table III reports.
+// Table III reports. --trace captures the full per-cell event stream and
+// writes it as JSONL (one {"type":"trace",...} line per event, tagged with
+// its cell, then one final {"type":"metrics",...} aggregate line).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/report.hpp"
+#include "obs/jsonl.hpp"
 #include "xsa/usecases.hpp"
 
 namespace {
@@ -30,8 +34,15 @@ std::vector<std::unique_ptr<core::UseCase>> all_cases() {
 int usage() {
   std::puts(
       "usage: campaign_cli [--version 4.6|4.8|4.13] [--mode "
-      "exploit|injection] [--case NAME] [--csv] [--list]");
+      "exploit|injection] [--case NAME] [--csv] [--trace FILE.jsonl] "
+      "[--list]");
   return 2;
+}
+
+/// Stable cell tag for trace lines: "<use_case>@<version>/<mode>".
+std::string cell_tag(const core::CellResult& cell) {
+  return cell.use_case + "@" + cell.version.to_string() + "/" +
+         to_string(cell.mode);
 }
 
 }  // namespace
@@ -39,6 +50,7 @@ int usage() {
 int main(int argc, char** argv) {
   core::CampaignConfig config{};
   std::string only_case;
+  std::string trace_path;
   bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +93,11 @@ int main(int argc, char** argv) {
       only_case = c;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--trace") {
+      const char* t = next();
+      if (t == nullptr) return usage();
+      trace_path = t;
+      config.capture_trace = true;
     } else {
       return usage();
     }
@@ -100,8 +117,32 @@ int main(int argc, char** argv) {
     cases = std::move(filtered);
   }
 
+  // Open the trace file up front so a bad path fails before the campaign
+  // burns minutes running every cell.
+  std::ofstream trace_out;
+  if (!trace_path.empty()) {
+    trace_out.open(trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot open trace file '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+  }
+
   const core::Campaign campaign{config};
   const auto results = campaign.run(cases);
+
+  // Campaign-wide aggregate: the deterministic merge of every cell's
+  // metrics snapshot, in cell order.
+  obs::MetricsRegistry aggregate;
+  for (const auto& cell : results) aggregate.merge(cell.metrics);
+
+  if (trace_out.is_open()) {
+    for (const auto& cell : results) {
+      obs::write_events(trace_out, cell.trace, cell_tag(cell));
+    }
+    obs::write_metrics(trace_out, aggregate.snapshot());
+  }
 
   if (csv) {
     std::fputs(core::render_csv(results).c_str(), stdout);
@@ -109,6 +150,9 @@ int main(int argc, char** argv) {
   }
   std::fputs(core::render_rq1_table(results).c_str(), stdout);
   std::fputs(core::render_table3(results).c_str(), stdout);
+  std::puts("\ncampaign metrics:");
+  std::fputs(core::render_metrics_summary(aggregate.snapshot()).c_str(),
+             stdout);
   std::puts("\nper-cell notes:");
   for (const auto& cell : results) {
     std::printf("%-14s %-9s xen %-5s err=%d viol=%d%s\n",

@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 namespace ii::core {
@@ -11,21 +12,40 @@ std::string to_string(Mode mode) {
 
 CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
                               Mode mode) const {
+  // One sink per cell: each platform is private to the cell, so the sink
+  // needs no locking, and seq numbers restart at 0 — traces are identical
+  // no matter which worker thread ran the cell. With capture_trace off the
+  // ring mask is 0: only the cheap aggregate counters advance.
+  obs::TraceSink sink{config_.trace_capacity,
+                      config_.capture_trace ? obs::kAllCategories : 0u};
+
   guest::PlatformConfig pc = config_.platform;
   pc.version = version;
   // The exploit runs against a stock hypervisor; the injection against the
   // patched build — keeping each mode's environment honest.
   pc.injector_enabled = mode == Mode::Injection;
-  guest::VirtualPlatform platform{pc};
+  pc.trace_sink = &sink;
 
   CellResult cell;
   cell.use_case = use_case.name();
   cell.version = version;
   cell.mode = mode;
-  cell.outcome = mode == Mode::Exploit ? use_case.run_exploit(platform)
-                                       : use_case.run_injection(platform);
-  cell.err_state = use_case.erroneous_state_present(platform);
-  cell.violation = use_case.security_violation(platform);
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    guest::VirtualPlatform platform{pc};
+    cell.outcome = mode == Mode::Exploit ? use_case.run_exploit(platform)
+                                         : use_case.run_injection(platform);
+    cell.err_state = use_case.erroneous_state_present(platform);
+    cell.violation = use_case.security_violation(platform);
+  }
+  cell.wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  cell.hypercalls = sink.count(obs::TraceCategory::HypercallEnter);
+  cell.metrics = obs::sink_metrics(sink);
+  if (config_.capture_trace) cell.trace = sink.ring().snapshot();
   return cell;
 }
 

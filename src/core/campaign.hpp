@@ -15,6 +15,8 @@
 #include "core/usecase.hpp"
 #include "guest/platform.hpp"
 #include "hv/version.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ii::core {
 
@@ -33,6 +35,14 @@ struct CellResult {
   CaseOutcome outcome;          ///< what the attempt reported
   bool err_state = false;       ///< audited after the attempt
   bool violation = false;       ///< observed after the attempt
+  std::uint64_t wall_us = 0;    ///< wall-clock time for the cell
+  std::uint64_t hypercalls = 0;  ///< HypercallEnter events during the cell
+  /// Per-cell observability snapshot (trace/hypercall counters). The cell's
+  /// sink starts at seq 0, so metrics and trace depend only on the cell's
+  /// own execution — identical under run() and run_parallel().
+  obs::MetricsSnapshot metrics;
+  /// Captured ring contents, only when CampaignConfig::capture_trace.
+  std::vector<obs::TraceEvent> trace;
   [[nodiscard]] bool handled() const { return err_state && !violation; }
 };
 
@@ -41,6 +51,11 @@ struct CampaignConfig {
   std::vector<Mode> modes{Mode::Exploit, Mode::Injection};
   /// Base platform shape; version/injector fields are overridden per cell.
   guest::PlatformConfig platform{};
+  /// Record full event traces per cell (counters are always collected).
+  bool capture_trace = false;
+  /// Ring size when capturing. Sized for the busiest paper cell (the
+  /// XSA-212 grooming exploit emits ~20k events); ~32 B/event, per cell.
+  std::size_t trace_capacity = 65536;
 };
 
 class Campaign {

@@ -137,13 +137,43 @@ std::string render_table3(const std::vector<CellResult>& results) {
 
 std::string render_csv(const std::vector<CellResult>& results) {
   std::ostringstream os;
-  os << "use_case,version,mode,completed,rc,err_state,violation,handled\n";
+  os << "use_case,version,mode,completed,rc,err_state,violation,handled,"
+        "wall_us,hypercalls\n";
   for (const CellResult& cell : results) {
     os << cell.use_case << ',' << cell.version.to_string() << ','
        << to_string(cell.mode) << ',' << (cell.outcome.completed ? 1 : 0)
        << ',' << cell.outcome.rc << ',' << (cell.err_state ? 1 : 0) << ','
-       << (cell.violation ? 1 : 0) << ',' << (cell.handled() ? 1 : 0)
-       << '\n';
+       << (cell.violation ? 1 : 0) << ',' << (cell.handled() ? 1 : 0) << ','
+       << cell.wall_us << ',' << cell.hypercalls << '\n';
+  }
+  return os.str();
+}
+
+std::string render_metrics_summary(const obs::MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  std::vector<std::vector<std::string>> counter_rows;
+  for (const auto& [name, value] : snapshot.counters) {
+    counter_rows.push_back({name, std::to_string(value)});
+  }
+  os << render_table({"Counter", "Value"}, counter_rows);
+  if (!snapshot.histograms.empty()) {
+    auto fmt = [](double v) {
+      std::ostringstream s;
+      s.precision(1);
+      s << std::fixed << v;
+      return s.str();
+    };
+    std::vector<std::vector<std::string>> histo_rows;
+    for (const auto& [name, data] : snapshot.histograms) {
+      const double mean =
+          data.count ? static_cast<double>(data.sum) /
+                           static_cast<double>(data.count)
+                     : 0.0;
+      histo_rows.push_back({name, std::to_string(data.count), fmt(mean),
+                            fmt(data.p50), fmt(data.p95), fmt(data.p99)});
+    }
+    os << render_table({"Histogram", "Count", "Mean", "p50", "p95", "p99"},
+                       histo_rows);
   }
   return os.str();
 }

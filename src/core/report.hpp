@@ -30,7 +30,14 @@ namespace ii::core {
     const std::vector<CellResult>& results);
 
 /// Machine-readable export of raw campaign cells (one row per cell, header
-/// included) for downstream analysis pipelines.
+/// included) for downstream analysis pipelines. Observability columns
+/// (wall_us, hypercalls) ride at the end so existing consumers that index
+/// by position keep working.
 [[nodiscard]] std::string render_csv(const std::vector<CellResult>& results);
+
+/// Human-readable dump of a metrics snapshot: a counters table followed by
+/// a histogram table (count/mean/p50/p95/p99).
+[[nodiscard]] std::string render_metrics_summary(
+    const obs::MetricsSnapshot& snapshot);
 
 }  // namespace ii::core

@@ -124,32 +124,40 @@ sim::Paddr GuestKernel::l1_slot_paddr(sim::Pfn pfn) const {
 }
 
 // ---------------------------------------------------------------- hypercalls
+//
+// Every wrapper issues its call through the numbered hypercall table
+// (dispatch_hypercall) rather than the Hypervisor methods directly, so an
+// attached trace sink sees one HypercallEnter/Exit pair per guest call —
+// the same boundary real xentrace instruments.
+
+long GuestKernel::hypercall(unsigned nr, hv::HypercallPayload payload) {
+  return hv::dispatch_hypercall(*hv_, id_, nr, payload);
+}
 
 long GuestKernel::mmu_update(std::span<const hv::MmuUpdate> reqs) {
-  return hv_->hypercall_mmu_update(id_, reqs);
+  return hypercall(hv::kHcMmuUpdate, hv::MmuUpdateCall{reqs});
 }
 
 long GuestKernel::mmu_update_one(sim::Paddr slot, std::uint64_t value) {
   const hv::MmuUpdate req{slot.raw() | hv::kMmuNormalPtUpdate, value};
-  return hv_->hypercall_mmu_update(id_, {&req, 1});
+  return hypercall(hv::kHcMmuUpdate, hv::MmuUpdateCall{{&req, 1}});
 }
 
 long GuestKernel::memory_exchange(hv::MemoryExchange& exch) {
-  return hv_->hypercall_memory_exchange(id_, exch);
+  return hypercall(hv::kHcMemoryOp,
+                   hv::MemoryOpCall{hv::MemoryOpCmd::Exchange, &exch});
 }
 
 long GuestKernel::arbitrary_access(const hv::ArbitraryAccess& req) {
-  // Issued through the numbered hypercall table: the injection hypercall
-  // sits in a different vacant slot on every patched release (paper §V-B),
-  // so the guest resolves the number from the hypervisor version first.
-  hv::HypercallPayload payload = hv::ArbitraryAccessCall{req};
-  return hv::dispatch_hypercall(*hv_, id_,
-                                hv::arbitrary_access_nr(hv_->version()),
-                                payload);
+  // The injection hypercall sits in a different vacant slot on every
+  // patched release (paper §V-B), so the guest resolves the number from
+  // the hypervisor version first.
+  return hypercall(hv::arbitrary_access_nr(hv_->version()),
+                   hv::ArbitraryAccessCall{req});
 }
 
 long GuestKernel::console_write(const std::string& line) {
-  return hv_->hypercall_console_io(id_, line);
+  return hypercall(hv::kHcConsoleIo, hv::ConsoleIoCall{line});
 }
 
 long GuestKernel::software_interrupt(unsigned vector) {
@@ -171,50 +179,87 @@ long GuestKernel::map_pfn(sim::Pfn pfn) {
 }
 
 long GuestKernel::decrease_reservation(sim::Pfn pfn) {
-  return hv_->hypercall_decrease_reservation(id_, pfn);
+  return hypercall(
+      hv::kHcMemoryOp,
+      hv::MemoryOpCall{hv::MemoryOpCmd::DecreaseReservation, nullptr, pfn});
 }
 
 long GuestKernel::populate_physmap(sim::Pfn pfn) {
-  return hv_->hypercall_populate_physmap(id_, pfn);
+  return hypercall(
+      hv::kHcMemoryOp,
+      hv::MemoryOpCall{hv::MemoryOpCmd::PopulatePhysmap, nullptr, pfn});
 }
 
 long GuestKernel::domctl_destroy(hv::DomainId victim) {
-  return hv_->hypercall_domctl_destroy(id_, victim);
+  return hypercall(hv::kHcDomctl, hv::DomctlCall{victim});
 }
 
 long GuestKernel::grant_access(hv::GrantRef ref, hv::DomainId peer,
                                sim::Pfn pfn, bool readonly) {
-  return hv_->grants().grant_access(id_, ref, peer, pfn, readonly);
+  hv::GrantTableOpCall call{};
+  call.op = hv::GrantTableOpCall::Op::GrantAccess;
+  call.ref = ref;
+  call.peer = peer;
+  call.pfn = pfn;
+  call.readonly = readonly;
+  return hypercall(hv::kHcGrantTableOp, call);
 }
 
 long GuestKernel::grant_end_access(hv::GrantRef ref) {
-  return hv_->grants().end_access(id_, ref);
+  hv::GrantTableOpCall call{};
+  call.op = hv::GrantTableOpCall::Op::EndAccess;
+  call.ref = ref;
+  return hypercall(hv::kHcGrantTableOp, call);
 }
 
 long GuestKernel::grant_map(hv::DomainId granter, hv::GrantRef ref,
                             hv::GrantHandle* handle, sim::Mfn* frame) {
-  return hv_->grants().map_grant(id_, granter, ref, handle, frame);
+  hv::GrantTableOpCall call{};
+  call.op = hv::GrantTableOpCall::Op::Map;
+  call.peer = granter;
+  call.ref = ref;
+  call.out_handle = handle;
+  call.out_frame = frame;
+  return hypercall(hv::kHcGrantTableOp, call);
 }
 
 long GuestKernel::grant_unmap(hv::GrantHandle handle) {
-  return hv_->grants().unmap_grant(id_, handle);
+  hv::GrantTableOpCall call{};
+  call.op = hv::GrantTableOpCall::Op::Unmap;
+  call.handle = handle;
+  return hypercall(hv::kHcGrantTableOp, call);
 }
 
 long GuestKernel::grant_set_version(unsigned version) {
-  return hv_->grants().set_version(id_, version);
+  hv::GrantTableOpCall call{};
+  call.op = hv::GrantTableOpCall::Op::SetVersion;
+  call.version = version;
+  return hypercall(hv::kHcGrantTableOp, call);
 }
 
 long GuestKernel::evtchn_alloc_unbound(hv::DomainId remote, unsigned* port) {
-  return hv_->events().alloc_unbound(id_, remote, port);
+  hv::EventChannelOpCall call{};
+  call.op = hv::EventChannelOpCall::Op::AllocUnbound;
+  call.remote = remote;
+  call.out_port = port;
+  return hypercall(hv::kHcEventChannelOp, call);
 }
 
 long GuestKernel::evtchn_bind(hv::DomainId remote, unsigned remote_port,
                               unsigned* local_port) {
-  return hv_->events().bind_interdomain(id_, remote, remote_port, local_port);
+  hv::EventChannelOpCall call{};
+  call.op = hv::EventChannelOpCall::Op::BindInterdomain;
+  call.remote = remote;
+  call.port = remote_port;
+  call.out_port = local_port;
+  return hypercall(hv::kHcEventChannelOp, call);
 }
 
 long GuestKernel::evtchn_send(unsigned port) {
-  return hv_->events().send(id_, port);
+  hv::EventChannelOpCall call{};
+  call.op = hv::EventChannelOpCall::Op::Send;
+  call.port = port;
+  return hypercall(hv::kHcEventChannelOp, call);
 }
 
 long GuestKernel::evtchn_register_handler(unsigned port) {
@@ -230,8 +275,10 @@ hv::EventChannelOps::DispatchResult GuestKernel::handle_events() {
 }
 
 void GuestKernel::printk(const std::string& msg) {
-  const std::string line =
-      "[" + std::to_string(dmesg_.size()) + "] " + msg;
+  std::string line = "[";
+  line += std::to_string(dmesg_.size());
+  line += "] ";
+  line += msg;
   dmesg_.push_back(line);
   (void)console_write(line);
 }

@@ -102,6 +102,10 @@ class GuestKernel {
   [[nodiscard]] sim::Paddr l1_slot_paddr(sim::Pfn pfn) const;
 
   // ------------------------------------------------------------ hypercalls
+  /// Issue a raw numbered hypercall through the dispatch table — the
+  /// tracing boundary. All wrappers below funnel through this.
+  long hypercall(unsigned nr, hv::HypercallPayload payload);
+
   long mmu_update(std::span<const hv::MmuUpdate> reqs);
   long mmu_update_one(sim::Paddr slot, std::uint64_t value);
   long memory_exchange(hv::MemoryExchange& exch);

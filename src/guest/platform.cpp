@@ -12,6 +12,7 @@ VirtualPlatform::VirtualPlatform(const PlatformConfig& config)
       config.policy_override.value_or(
           hv::VersionPolicy::for_version(config.version)),
       hv_cfg);
+  if (config.trace_sink != nullptr) hv_->set_trace_sink(config.trace_sink);
 
   const auto boot = [&](const std::string& name, bool privileged,
                         std::uint64_t pages) {

@@ -21,6 +21,7 @@
 #include "hv/hypervisor.hpp"
 #include "hv/version.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "sim/phys_mem.hpp"
 
 namespace ii::guest {
@@ -36,6 +37,10 @@ struct PlatformConfig {
   std::uint64_t guest_pages = 256;
   unsigned n_guests = 2;                 ///< unprivileged domains
   std::string attacker_host = "attacker";
+  /// Optional trace sink, attached to the hypervisor before any domain is
+  /// built so boot-time page-type transitions are captured. Not owned; must
+  /// outlive the platform.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 class VirtualPlatform {

@@ -19,10 +19,8 @@ T* expect(HypercallPayload& payload) {
   return std::get_if<T>(&payload);
 }
 
-}  // namespace
-
-long dispatch_hypercall(Hypervisor& hv, DomainId caller, unsigned nr,
-                        HypercallPayload& payload) {
+long dispatch_impl(Hypervisor& hv, DomainId caller, unsigned nr,
+                   HypercallPayload& payload) {
   switch (nr) {
     case kHcSetTrapTable: {
       auto* call = expect<SetTrapTableCall>(payload);
@@ -33,6 +31,11 @@ long dispatch_hypercall(Hypervisor& hv, DomainId caller, unsigned nr,
       auto* call = expect<MmuUpdateCall>(payload);
       if (call == nullptr) return kENOSYS;
       return hv.hypercall_mmu_update(caller, call->requests, call->done);
+    }
+    case kHcUpdateVaMapping: {
+      auto* call = expect<UpdateVaMappingCall>(payload);
+      if (call == nullptr) return kENOSYS;
+      return hv.hypercall_update_va_mapping(caller, call->va, call->val);
     }
     case kHcMemoryOp: {
       auto* call = expect<MemoryOpCall>(payload);
@@ -56,21 +59,28 @@ long dispatch_hypercall(Hypervisor& hv, DomainId caller, unsigned nr,
     case kHcGrantTableOp: {
       auto* call = expect<GrantTableOpCall>(payload);
       if (call == nullptr) return kENOSYS;
-      switch (call->op) {
-        case GrantTableOpCall::Op::SetVersion:
-          return hv.grants().set_version(caller, call->version);
-        case GrantTableOpCall::Op::GrantAccess:
-          return hv.grants().grant_access(caller, call->ref, call->peer,
-                                          call->pfn, call->readonly);
-        case GrantTableOpCall::Op::EndAccess:
-          return hv.grants().end_access(caller, call->ref);
-        case GrantTableOpCall::Op::Map:
-          return hv.grants().map_grant(caller, call->peer, call->ref,
-                                       call->out_handle, call->out_frame);
-        case GrantTableOpCall::Op::Unmap:
-          return hv.grants().unmap_grant(caller, call->handle);
+      const long rc = [&]() -> long {
+        switch (call->op) {
+          case GrantTableOpCall::Op::SetVersion:
+            return hv.grants().set_version(caller, call->version);
+          case GrantTableOpCall::Op::GrantAccess:
+            return hv.grants().grant_access(caller, call->ref, call->peer,
+                                            call->pfn, call->readonly);
+          case GrantTableOpCall::Op::EndAccess:
+            return hv.grants().end_access(caller, call->ref);
+          case GrantTableOpCall::Op::Map:
+            return hv.grants().map_grant(caller, call->peer, call->ref,
+                                         call->out_handle, call->out_frame);
+          case GrantTableOpCall::Op::Unmap:
+            return hv.grants().unmap_grant(caller, call->handle);
+        }
+        return kEINVAL;
+      }();
+      if (obs::TraceSink* sink = hv.trace_sink()) {
+        sink->emit(obs::TraceCategory::GrantOp, caller,
+                   static_cast<std::uint32_t>(call->op), rc, call->ref);
       }
-      return kEINVAL;
+      return rc;
     }
     case kHcMmuExtOp: {
       auto* call = expect<MmuExtOp>(payload);
@@ -85,17 +95,24 @@ long dispatch_hypercall(Hypervisor& hv, DomainId caller, unsigned nr,
     case kHcEventChannelOp: {
       auto* call = expect<EventChannelOpCall>(payload);
       if (call == nullptr) return kENOSYS;
-      switch (call->op) {
-        case EventChannelOpCall::Op::AllocUnbound:
-          return hv.events().alloc_unbound(caller, call->remote,
-                                           call->out_port);
-        case EventChannelOpCall::Op::BindInterdomain:
-          return hv.events().bind_interdomain(caller, call->remote,
-                                              call->port, call->out_port);
-        case EventChannelOpCall::Op::Send:
-          return hv.events().send(caller, call->port);
+      const long rc = [&]() -> long {
+        switch (call->op) {
+          case EventChannelOpCall::Op::AllocUnbound:
+            return hv.events().alloc_unbound(caller, call->remote,
+                                             call->out_port);
+          case EventChannelOpCall::Op::BindInterdomain:
+            return hv.events().bind_interdomain(caller, call->remote,
+                                                call->port, call->out_port);
+          case EventChannelOpCall::Op::Send:
+            return hv.events().send(caller, call->port);
+        }
+        return kEINVAL;
+      }();
+      if (obs::TraceSink* sink = hv.trace_sink()) {
+        sink->emit(obs::TraceCategory::EventChannel, caller,
+                   static_cast<std::uint32_t>(call->op), rc, call->port);
       }
-      return kEINVAL;
+      return rc;
     }
     case kHcDomctl: {
       auto* call = expect<DomctlCall>(payload);
@@ -111,6 +128,21 @@ long dispatch_hypercall(Hypervisor& hv, DomainId caller, unsigned nr,
       return kENOSYS;  // vacant slot
     }
   }
+}
+
+}  // namespace
+
+long dispatch_hypercall(Hypervisor& hv, DomainId caller, unsigned nr,
+                        HypercallPayload& payload) {
+  obs::TraceSink* sink = hv.trace_sink();
+  if (sink != nullptr) {
+    sink->emit(obs::TraceCategory::HypercallEnter, caller, nr);
+  }
+  const long rc = dispatch_impl(hv, caller, nr, payload);
+  if (sink != nullptr) {
+    sink->emit(obs::TraceCategory::HypercallExit, caller, nr, rc);
+  }
+  return rc;
 }
 
 }  // namespace ii::hv

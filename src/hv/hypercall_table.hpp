@@ -25,6 +25,7 @@ class Hypervisor;
 // Classic Xen hypercall numbers (the stable subset this model serves).
 inline constexpr unsigned kHcSetTrapTable = 0;
 inline constexpr unsigned kHcMmuUpdate = 1;
+inline constexpr unsigned kHcUpdateVaMapping = 3;
 inline constexpr unsigned kHcMemoryOp = 12;      // exchange/balloon sub-ops
 inline constexpr unsigned kHcConsoleIo = 18;
 inline constexpr unsigned kHcGrantTableOp = 20;
@@ -45,6 +46,11 @@ enum class MemoryOpCmd { Exchange, DecreaseReservation, PopulatePhysmap };
 struct MmuUpdateCall {
   std::span<const MmuUpdate> requests;
   unsigned* done = nullptr;
+};
+
+struct UpdateVaMappingCall {
+  sim::Vaddr va{};
+  sim::Pte val{};
 };
 
 struct MemoryOpCall {
@@ -94,14 +100,20 @@ struct ArbitraryAccessCall {
 
 /// The union of everything a numbered hypercall can carry.
 using HypercallPayload =
-    std::variant<MmuUpdateCall, MemoryOpCall, SetTrapTableCall, ConsoleIoCall,
-                 SchedOpCall, DomctlCall, GrantTableOpCall, MmuExtOp,
-                 EventChannelOpCall, ArbitraryAccessCall>;
+    std::variant<MmuUpdateCall, UpdateVaMappingCall, MemoryOpCall,
+                 SetTrapTableCall, ConsoleIoCall, SchedOpCall, DomctlCall,
+                 GrantTableOpCall, MmuExtOp, EventChannelOpCall,
+                 ArbitraryAccessCall>;
 
 /// Dispatch `payload` through `hv`'s hypercall table at slot `nr`.
 /// Returns -ENOSYS for vacant slots and for number/payload mismatches
 /// (calling a slot with the wrong structure is a guest bug, reported the
 /// way real Xen reports bad hypercalls rather than asserted).
+///
+/// This is the tracing boundary: when a sink is attached to `hv`, every
+/// dispatch emits exactly one HypercallEnter and one HypercallExit (with
+/// the return status) around the table lookup, and bumps the sink's per-nr
+/// counter — the xentrace TRC_HYPERCALL analogue.
 [[nodiscard]] long dispatch_hypercall(Hypervisor& hv, DomainId caller,
                                       unsigned nr, HypercallPayload& payload);
 

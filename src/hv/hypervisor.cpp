@@ -162,6 +162,7 @@ void Hypervisor::log(const std::string& line) { console_.push_back(line); }
 void Hypervisor::panic(const std::string& reason) {
   if (crashed_) return;
   crashed_ = true;
+  if (trace_) trace_->emit(obs::TraceCategory::Panic, obs::kNoDomain);
   log("(XEN) ****************************************");
   log("(XEN) Panic on CPU 0:");
   log("(XEN) " + reason);
@@ -431,6 +432,9 @@ Expected<std::monostate, GuestAccessFault> Hypervisor::guest_write(
 
 void Hypervisor::dispatch_exception(unsigned vector) {
   if (crashed_) return;
+  if (trace_) {
+    trace_->emit(obs::TraceCategory::PageFault, obs::kNoDomain, vector);
+  }
   const sim::IdtGate gate = idt().read(vector);
   if (!gate.well_formed()) {
     panic("DOUBLE FAULT -- corrupt IDT gate for vector " +
@@ -513,6 +517,7 @@ long Hypervisor::unmap_grant_status_page(DomainId domain) {
 void Hypervisor::report_cpu_hang(const std::string& reason) {
   if (cpu_hung_) return;
   cpu_hung_ = true;
+  if (trace_) trace_->emit(obs::TraceCategory::CpuHang, obs::kNoDomain);
   log("(XEN) " + reason);
   log("(XEN) Watchdog timer detects that CPU0 is stuck!");
 }

@@ -26,6 +26,7 @@
 #include "hv/grant_table.hpp"
 #include "hv/layout.hpp"
 #include "hv/version.hpp"
+#include "obs/trace.hpp"
 #include "sim/expected.hpp"
 #include "sim/idt.hpp"
 #include "sim/mmu.hpp"
@@ -171,6 +172,18 @@ class Hypervisor {
   [[nodiscard]] bool cpu_hung() const { return cpu_hung_; }
   void report_cpu_hang(const std::string& reason);
 
+  // ---------------------------------------------------------- observability
+  /// Attach (or detach with nullptr) a trace sink. The same sink is wired
+  /// into the software MMU so walk faults carry through. The hypervisor
+  /// never owns the sink; campaigns attach a per-cell sink, tools a
+  /// process-wide one. With no sink attached every instrumentation site is
+  /// one predicted-not-taken branch.
+  void set_trace_sink(obs::TraceSink* sink) {
+    trace_ = sink;
+    mmu_.set_trace_sink(sink);
+  }
+  [[nodiscard]] obs::TraceSink* trace_sink() const { return trace_; }
+
   // ----------------------------------------------------- guest memory access
   /// Perform a data access at guest virtual address `va` on behalf of
   /// domain `caller` (guest kernel or user code; both are "user" to the
@@ -241,6 +254,7 @@ class Hypervisor {
                                 sim::Pte entry);
   long validate_entry_target(Domain& caller, sim::PtLevel level, sim::Pte entry);
   long get_page_type(Domain& caller, sim::Mfn mfn, PageType wanted);
+  long get_page_type_impl(Domain& caller, sim::Mfn mfn, PageType wanted);
   void put_page_type(sim::Mfn mfn);
   long validate_table(Domain& caller, sim::Mfn mfn, sim::PtLevel level);
   void invalidate_table(sim::Mfn mfn);
@@ -278,6 +292,7 @@ class Hypervisor {
   bool cpu_hung_ = false;
   std::vector<std::string> console_;
   CodeExecutor executor_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ii::hv

@@ -50,6 +50,16 @@ std::optional<sim::PtLevel> Hypervisor::level_of_type(PageType t) const {
 // ----------------------------------------------------------- type machinery
 
 long Hypervisor::get_page_type(Domain& caller, sim::Mfn mfn, PageType wanted) {
+  const long rc = get_page_type_impl(caller, mfn, wanted);
+  if (trace_) {
+    trace_->emit(obs::TraceCategory::PageTypeGet, caller.id(),
+                 static_cast<std::uint32_t>(wanted), rc, mfn.raw());
+  }
+  return rc;
+}
+
+long Hypervisor::get_page_type_impl(Domain& caller, sim::Mfn mfn,
+                                    PageType wanted) {
   if (!mem_->contains(mfn)) return kEINVAL;
   PageInfo& pi = frames_.info(mfn);
   if (pi.owner != caller.id()) return kEPERM;
@@ -89,6 +99,10 @@ long Hypervisor::get_page_type(Domain& caller, sim::Mfn mfn, PageType wanted) {
 void Hypervisor::put_page_type(sim::Mfn mfn) {
   PageInfo& pi = frames_.info(mfn);
   if (pi.type_count == 0) return;  // defensive: never underflow
+  if (trace_) {
+    trace_->emit(obs::TraceCategory::PageTypePut, obs::kNoDomain,
+                 static_cast<std::uint32_t>(pi.type), 0, mfn.raw());
+  }
   if (--pi.type_count == 0) {
     if (is_pagetable_type(pi.type)) invalidate_table(mfn);
     pi.type = PageType::None;
@@ -450,6 +464,11 @@ long Hypervisor::hypercall_arbitrary_access(DomainId caller,
   if (crashed_) return kEINVAL;
   if (!config_.injector_enabled) return kENOSYS;
   Domain& dom = domain(caller);
+  if (trace_) {
+    trace_->emit(obs::TraceCategory::Injection, caller,
+                 static_cast<std::uint32_t>(req.action),
+                 static_cast<std::int64_t>(req.buffer.size()), req.addr);
+  }
 
   if (is_linear(req.action)) {
     // Linear addresses are already mapped in the hypervisor and are used

@@ -1,0 +1,87 @@
+#include "obs/jsonl.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace ii::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string event_jsonl(const TraceEvent& event, const std::string& cell) {
+  std::ostringstream os;
+  os << "{\"type\":\"trace\"";
+  if (!cell.empty()) os << ",\"cell\":\"" << json_escape(cell) << '"';
+  os << ",\"seq\":" << event.seq << ",\"cat\":\""
+     << to_string(event.category) << '"';
+  if (event.domain != kNoDomain) os << ",\"dom\":" << event.domain;
+  os << ",\"code\":" << event.code << ",\"rc\":" << event.rc;
+  if (event.addr != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llx",
+                  static_cast<unsigned long long>(event.addr));
+    os << ",\"addr\":\"0x" << buf << '"';
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string metrics_jsonl(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"type\":\"metrics\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":" << h.max
+       << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99
+       << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+void write_event(std::ostream& os, const TraceEvent& event,
+                 const std::string& cell) {
+  os << event_jsonl(event, cell) << '\n';
+}
+
+void write_events(std::ostream& os, std::span<const TraceEvent> events,
+                  const std::string& cell) {
+  for (const TraceEvent& event : events) write_event(os, event, cell);
+}
+
+void write_metrics(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << metrics_jsonl(snapshot) << '\n';
+}
+
+}  // namespace ii::obs

@@ -1,0 +1,36 @@
+// JSONL export of traces and metric snapshots.
+//
+// One JSON object per line, so downstream analysis can stream a campaign
+// trace with `jq`/pandas without loading it whole. Two record types:
+//   {"type":"trace", ...}    one per TraceEvent (optionally cell-tagged)
+//   {"type":"metrics", ...}  one per MetricsSnapshot
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ii::obs {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// One trace record as a single JSON line (no trailing newline). When
+/// `cell` is non-empty it is attached as the event's campaign-cell tag.
+[[nodiscard]] std::string event_jsonl(const TraceEvent& event,
+                                      const std::string& cell = {});
+
+/// One metrics snapshot as a single JSON line (no trailing newline).
+[[nodiscard]] std::string metrics_jsonl(const MetricsSnapshot& snapshot);
+
+/// Stream helpers: newline-terminated record(s).
+void write_event(std::ostream& os, const TraceEvent& event,
+                 const std::string& cell = {});
+void write_events(std::ostream& os, std::span<const TraceEvent> events,
+                  const std::string& cell = {});
+void write_metrics(std::ostream& os, const MetricsSnapshot& snapshot);
+
+}  // namespace ii::obs

@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ii::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_{std::move(bounds)}, buckets_(bounds_.size() + 1, 0) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument{"Histogram bounds must be strictly ascending"};
+  }
+}
+
+std::vector<std::uint64_t> Histogram::exponential_bounds(std::uint64_t first,
+                                                         std::uint64_t factor,
+                                                         std::size_t count) {
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(count);
+  std::uint64_t b = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+void Histogram::record(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += buckets_[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Interpolate within [lo, hi] of the containing bucket, clamped to the
+    // observed extremes so estimates never leave [min, max].
+    const double lo =
+        std::max(i == 0 ? static_cast<double>(min_)
+                        : static_cast<double>(bounds_[i - 1]),
+                 static_cast<double>(min_));
+    const double hi =
+        std::min(i < bounds_.size() ? static_cast<double>(bounds_[i])
+                                    : static_cast<double>(max_),
+                 static_cast<double>(max_));
+    const double frac =
+        (target - static_cast<double>(prev)) / static_cast<double>(buckets_[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return static_cast<double>(max_);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram{std::move(bounds)}).first;
+  }
+  return it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h.bounds();
+    data.buckets = h.buckets();
+    data.count = h.count();
+    data.sum = h.sum();
+    data.min = h.min();
+    data.max = h.max();
+    data.p50 = h.percentile(0.50);
+    data.p95 = h.percentile(0.95);
+    data.p99 = h.percentile(0.99);
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters_[name].inc(value);
+  }
+  for (const auto& [name, data] : other.histograms) {
+    Histogram& h = histogram(name, data.bounds);
+    if (h.bounds() == data.bounds) {
+      // Replay bucket midpoints so counts, sums and percentile estimates
+      // stay faithful to the source histogram's resolution.
+      for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+        if (data.buckets[i] == 0) continue;
+        const std::uint64_t lo = i == 0 ? data.min : data.bounds[i - 1];
+        const std::uint64_t hi =
+            i < data.bounds.size() ? data.bounds[i] : data.max;
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        for (std::uint64_t n = 0; n < data.buckets[i]; ++n) h.record(mid);
+      }
+    } else {
+      // Bounds mismatch: fold everything into the mean as a best effort.
+      for (std::uint64_t n = 0; n < data.count; ++n) {
+        h.record(data.count ? data.sum / data.count : 0);
+      }
+    }
+  }
+}
+
+MetricsSnapshot sink_metrics(const TraceSink& sink) {
+  MetricsSnapshot snap;
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    const auto cat = static_cast<TraceCategory>(c);
+    if (sink.count(cat) != 0) {
+      snap.counters["trace." + to_string(cat)] = sink.count(cat);
+    }
+  }
+  for (unsigned nr = 0; nr < TraceSink::kMaxHypercallNr; ++nr) {
+    if (sink.hypercall_count(nr) != 0) {
+      snap.counters["hypercall.nr" + std::to_string(nr)] =
+          sink.hypercall_count(nr);
+    }
+  }
+  return snap;
+}
+
+}  // namespace ii::obs

@@ -1,0 +1,122 @@
+// Metrics registry: named counters and fixed-bucket latency histograms.
+//
+// The registry is the aggregation side of the observability layer: trace
+// sinks hold cheap per-category/per-nr arrays, and this module turns those
+// (plus explicit measurements like per-cell wall time or benchmark
+// latencies) into named, snapshot-able, mergeable values. std::map keeps
+// iteration — and therefore every rendered table and JSONL line —
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ii::obs {
+
+/// Monotonic named counter.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram. Buckets are [0, b0], (b0, b1], ..., (bn, inf);
+/// bounds are chosen at construction and never reallocated on record(), so
+/// the record path is a binary search plus two increments.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending upper bounds.
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  /// Geometric bucket ladder: first, first*factor, ... (`count` bounds).
+  [[nodiscard]] static std::vector<std::uint64_t> exponential_bounds(
+      std::uint64_t first, std::uint64_t factor, std::size_t count);
+
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  /// Estimated p-th percentile (p in [0,1]), linearly interpolated within
+  /// the containing bucket. Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
+    return bounds_;
+  }
+  /// bounds().size() + 1 buckets; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Value-type copy of a registry (or sink) at one instant: cheap to take,
+/// cheap to ship across threads, mergeable.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramData> histograms;
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. References stay valid for the registry's lifetime
+  /// (node-based map), so hot paths can hold them across iterations.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds =
+                           Histogram::exponential_bounds(16, 2, 26));
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Add `other`'s counters into this registry and fold its histograms
+  /// bucket-by-bucket (histograms with mismatched bounds are summed into
+  /// count/sum only, keeping the merge total-preserving).
+  void merge(const MetricsSnapshot& other);
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Flatten a sink's aggregate counters into a snapshot: one
+/// "trace.<category>" counter per nonzero category and one
+/// "hypercall.nr<N>" counter per nonzero hypercall number.
+[[nodiscard]] MetricsSnapshot sink_metrics(const TraceSink& sink);
+
+}  // namespace ii::obs

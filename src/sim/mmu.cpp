@@ -46,7 +46,19 @@ constexpr std::uint64_t leaf_bytes(PtLevel level) {
 
 }  // namespace
 
+void Mmu::trace_fault(const PageFault& fault) const {
+  trace_->emit(obs::TraceCategory::MmuWalk, obs::kNoDomain,
+               static_cast<std::uint32_t>(fault.reason), 0,
+               fault.address.raw());
+}
+
 Expected<Walk, PageFault> Mmu::walk(Mfn root, Vaddr va) const {
+  auto walked = walk_impl(root, va);
+  if (!walked && trace_ != nullptr) trace_fault(walked.error());
+  return walked;
+}
+
+Expected<Walk, PageFault> Mmu::walk_impl(Mfn root, Vaddr va) const {
   if (!is_canonical(va)) {
     return Unexpected{PageFault{va, FaultReason::NonCanonical, std::nullopt,
                                 AccessType::Read}};
@@ -114,17 +126,19 @@ Expected<Walk, PageFault> Mmu::translate(Mfn root, Vaddr va, AccessType access,
     return Unexpected{f};
   }
   const Walk& w = walked.value();
+  auto permission_fault = [&](FaultReason reason) {
+    const PageFault f{va, reason, w.steps.back().level, access};
+    if (trace_ != nullptr) trace_fault(f);
+    return Unexpected{f};
+  };
   if (access == AccessType::Write && !w.writable) {
-    return Unexpected{PageFault{va, FaultReason::WriteProtected,
-                                w.steps.back().level, access}};
+    return permission_fault(FaultReason::WriteProtected);
   }
   if (mode == AccessMode::User && !w.user) {
-    return Unexpected{PageFault{va, FaultReason::UserProtected,
-                                w.steps.back().level, access}};
+    return permission_fault(FaultReason::UserProtected);
   }
   if (access == AccessType::Execute && !w.executable) {
-    return Unexpected{PageFault{va, FaultReason::NoExecute,
-                                w.steps.back().level, access}};
+    return permission_fault(FaultReason::NoExecute);
   }
   return walked;
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/expected.hpp"
 #include "sim/phys_mem.hpp"
 #include "sim/pte.hpp"
@@ -85,8 +86,18 @@ class Mmu {
                                                     AccessType access,
                                                     AccessMode mode) const;
 
+  /// Attach (or detach with nullptr) a trace sink. Faulting walks emit one
+  /// obs::TraceCategory::MmuWalk event each; successful walks stay
+  /// unobserved, keeping the hot path at a single branch.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace_sink() const { return trace_; }
+
  private:
+  [[nodiscard]] Expected<Walk, PageFault> walk_impl(Mfn root, Vaddr va) const;
+  void trace_fault(const PageFault& fault) const;
+
   const PhysicalMemory* mem_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ii::sim

@@ -1,0 +1,184 @@
+// Campaign-level observability: per-cell traces, hypercall pairing,
+// deterministic sequence numbers under run_parallel, and the CSV columns.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+
+namespace ii::core {
+namespace {
+
+/// Deterministic probe: a fixed little hypercall workload per attempt so
+/// traces are predictable — a console write, a grant cycle, an event send,
+/// and a balloon round-trip.
+class TraceProbeCase : public UseCase {
+ public:
+  [[nodiscard]] std::string name() const override { return "trace-probe"; }
+  [[nodiscard]] IntrusionModel model() const override { return {}; }
+
+  CaseOutcome run_exploit(guest::VirtualPlatform& platform) override {
+    return drive(platform);
+  }
+  CaseOutcome run_injection(guest::VirtualPlatform& platform) override {
+    return drive(platform);
+  }
+  [[nodiscard]] bool erroneous_state_present(
+      guest::VirtualPlatform&) const override {
+    return false;
+  }
+  [[nodiscard]] bool security_violation(
+      guest::VirtualPlatform&) const override {
+    return false;
+  }
+
+ private:
+  static CaseOutcome drive(guest::VirtualPlatform& platform) {
+    guest::GuestKernel& g = platform.guest(0);
+    CaseOutcome outcome;
+    outcome.rc = g.console_write("probe");
+    (void)g.grant_set_version(2);
+    (void)g.grant_set_version(1);
+    unsigned port = 0;
+    (void)g.evtchn_alloc_unbound(hv::kDom0, &port);
+    const auto pfn = g.alloc_pfn();
+    (void)g.unmap_pfn(*pfn);
+    (void)g.decrease_reservation(*pfn);
+    (void)g.populate_physmap(*pfn);
+    outcome.completed = true;
+    return outcome;
+  }
+};
+
+CampaignConfig small_config(bool capture) {
+  CampaignConfig config;
+  config.versions = {hv::kXen46, hv::kXen413};
+  config.modes = {Mode::Exploit, Mode::Injection};
+  config.platform.machine_frames = 8192;
+  config.platform.dom0_pages = 128;
+  config.platform.guest_pages = 64;
+  config.platform.n_guests = 1;
+  config.capture_trace = capture;
+  return config;
+}
+
+std::vector<std::unique_ptr<UseCase>> probe_cases() {
+  std::vector<std::unique_ptr<UseCase>> cases;
+  cases.push_back(std::make_unique<TraceProbeCase>());
+  return cases;
+}
+
+TEST(CampaignTrace, EveryCellPairsEnterAndExitInOrder) {
+  const Campaign campaign{small_config(/*capture=*/true)};
+  const auto results = campaign.run(probe_cases());
+  ASSERT_EQ(results.size(), 4u);
+  for (const CellResult& cell : results) {
+    ASSERT_FALSE(cell.trace.empty());
+    std::uint64_t enters = 0;
+    std::uint64_t exits = 0;
+    std::uint64_t last_seq = 0;
+    bool first = true;
+    int depth = 0;
+    for (const obs::TraceEvent& event : cell.trace) {
+      if (!first) {
+        EXPECT_GT(event.seq, last_seq);
+      }
+      first = false;
+      last_seq = event.seq;
+      if (event.category == obs::TraceCategory::HypercallEnter) {
+        // Hypercalls never nest in this model: each Enter is closed by an
+        // Exit before the next dispatch.
+        EXPECT_EQ(depth, 0);
+        ++depth;
+        ++enters;
+      } else if (event.category == obs::TraceCategory::HypercallExit) {
+        EXPECT_EQ(depth, 1);
+        --depth;
+        ++exits;
+      }
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_GE(enters, 1u);
+    EXPECT_EQ(enters, exits);
+    EXPECT_EQ(enters, cell.hypercalls);
+  }
+}
+
+TEST(CampaignTrace, PerNrCountersSumToEnterEvents) {
+  const Campaign campaign{small_config(/*capture=*/false)};
+  const auto results = campaign.run(probe_cases());
+  for (const CellResult& cell : results) {
+    // capture off: counters still collected, ring stays empty.
+    EXPECT_TRUE(cell.trace.empty());
+    EXPECT_GE(cell.hypercalls, 1u);
+    std::uint64_t per_nr = 0;
+    for (const auto& [name, value] : cell.metrics.counters) {
+      if (name.rfind("hypercall.nr", 0) == 0) per_nr += value;
+    }
+    EXPECT_EQ(per_nr, cell.metrics.counter("trace.hypercall_enter"));
+    EXPECT_EQ(per_nr, cell.hypercalls);
+  }
+}
+
+TEST(CampaignTrace, ParallelTracesMatchSerialByCell) {
+  const Campaign campaign{small_config(/*capture=*/true)};
+  const auto serial = campaign.run(probe_cases());
+  const auto parallel1 = campaign.run_parallel(probe_cases, 1);
+  const auto parallel4 = campaign.run_parallel(probe_cases, 4);
+
+  ASSERT_EQ(serial.size(), parallel1.size());
+  ASSERT_EQ(serial.size(), parallel4.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    for (const auto* run : {&parallel1[i], &parallel4[i]}) {
+      EXPECT_EQ(serial[i].use_case, run->use_case);
+      EXPECT_EQ(serial[i].version, run->version);
+      EXPECT_EQ(serial[i].mode, run->mode);
+      EXPECT_EQ(serial[i].hypercalls, run->hypercalls);
+      EXPECT_EQ(serial[i].metrics.counters, run->metrics.counters);
+      // Per-cell sinks restart seq at 0, so the trace is byte-identical
+      // regardless of worker count and scheduling.
+      ASSERT_EQ(serial[i].trace.size(), run->trace.size());
+      for (std::size_t e = 0; e < serial[i].trace.size(); ++e) {
+        EXPECT_EQ(serial[i].trace[e].seq, run->trace[e].seq);
+        EXPECT_EQ(serial[i].trace[e].category, run->trace[e].category);
+        EXPECT_EQ(serial[i].trace[e].domain, run->trace[e].domain);
+        EXPECT_EQ(serial[i].trace[e].code, run->trace[e].code);
+        EXPECT_EQ(serial[i].trace[e].rc, run->trace[e].rc);
+      }
+    }
+  }
+}
+
+TEST(CampaignTrace, CsvCarriesTimingColumns) {
+  const Campaign campaign{small_config(/*capture=*/false)};
+  const auto results = campaign.run(probe_cases());
+  const std::string csv = render_csv(results);
+  EXPECT_NE(csv.find(",wall_us,hypercalls\n"), std::string::npos);
+  // Each data row ends with the cell's hypercall count (nonzero).
+  std::istringstream lines{csv};
+  std::string line;
+  std::getline(lines, line);  // header
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    const auto last_comma = line.rfind(',');
+    ASSERT_NE(last_comma, std::string::npos);
+    EXPECT_GE(std::stoull(line.substr(last_comma + 1)), 1u);
+    ++rows;
+  }
+  EXPECT_EQ(rows, results.size());
+}
+
+TEST(CampaignTrace, MetricsSummaryRendersCounters) {
+  const Campaign campaign{small_config(/*capture=*/false)};
+  const auto results = campaign.run(probe_cases());
+  obs::MetricsRegistry aggregate;
+  for (const auto& cell : results) aggregate.merge(cell.metrics);
+  const std::string summary = render_metrics_summary(aggregate.snapshot());
+  EXPECT_NE(summary.find("trace.hypercall_enter"), std::string::npos);
+  EXPECT_NE(summary.find("Counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ii::core

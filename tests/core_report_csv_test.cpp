@@ -17,19 +17,23 @@ TEST(CsvExport, HeaderAndRows) {
   cell.outcome.rc = 0;
   cell.err_state = true;
   cell.violation = true;
+  cell.wall_us = 1234;
+  cell.hypercalls = 17;
   results.push_back(cell);
   cell.use_case = "XSA-182-test";
   cell.violation = false;
   cell.outcome.rc = hv::kEPERM;
+  cell.wall_us = 56;
+  cell.hypercalls = 0;
   results.push_back(cell);
 
   const std::string csv = core::render_csv(results);
   EXPECT_NE(csv.find("use_case,version,mode,completed,rc,err_state,"
-                     "violation,handled\n"),
+                     "violation,handled,wall_us,hypercalls\n"),
             std::string::npos);
-  EXPECT_NE(csv.find("XSA-212-crash,4.13,injection,1,0,1,1,0\n"),
+  EXPECT_NE(csv.find("XSA-212-crash,4.13,injection,1,0,1,1,0,1234,17\n"),
             std::string::npos);
-  EXPECT_NE(csv.find("XSA-182-test,4.13,injection,1,-1,1,0,1\n"),
+  EXPECT_NE(csv.find("XSA-182-test,4.13,injection,1,-1,1,0,1,56,0\n"),
             std::string::npos);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
 }

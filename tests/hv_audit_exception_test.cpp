@@ -1,9 +1,11 @@
-// Auditing (page tables, IDT, reserved slots) and exception dispatch
-// (double faults, hijacked gates, code execution).
+// Auditing (page tables, IDT, reserved slots), exception dispatch
+// (double faults, hijacked gates, code execution), and the trace/console
+// behaviour of the panic and CPU-hang paths.
 #include <gtest/gtest.h>
 
 #include "hv/audit.hpp"
 #include "hv/hypervisor.hpp"
+#include "obs/trace.hpp"
 
 namespace ii::hv {
 namespace {
@@ -179,6 +181,74 @@ TEST(Exceptions, HypercallsRefusedAfterCrash) {
   std::array<std::uint8_t, 1> byte{};
   EXPECT_FALSE(f.hv.guest_read(f.guest, sim::Vaddr{kGuestKernelBase}, byte)
                    .has_value());
+}
+
+// ------------------------------------------------ panic / hang observability
+
+TEST(TraceObservability, PanicEmitsEventAndKeepsConsoleBanner) {
+  Fixture f;
+  obs::TraceSink sink;
+  f.hv.set_trace_sink(&sink);
+  f.hv.panic("FATAL PAGE FAULT");
+  EXPECT_EQ(sink.count(obs::TraceCategory::Panic), 1u);
+
+  bool banner = false;
+  bool reason = false;
+  for (const auto& line : f.hv.console()) {
+    if (line.find("Panic on CPU 0:") != std::string::npos) banner = true;
+    if (line.find("FATAL PAGE FAULT") != std::string::npos) reason = true;
+  }
+  EXPECT_TRUE(banner);
+  EXPECT_TRUE(reason);
+
+  // Repeated panics stay idempotent, on the trace side too.
+  f.hv.panic("again");
+  EXPECT_EQ(sink.count(obs::TraceCategory::Panic), 1u);
+}
+
+TEST(TraceObservability, CpuHangPathEmitsEventAndConsoleLines) {
+  // Drive the real livelock: 4.8 re-queues events raised on handler-less
+  // ports, so one pending bit wedges the delivery loop.
+  Fixture f{kXen48};
+  obs::TraceSink sink;
+  f.hv.set_trace_sink(&sink);
+
+  unsigned gport = 0;
+  unsigned dport = 0;
+  ASSERT_EQ(f.hv.events().alloc_unbound(f.guest, f.dom0, &gport), kOk);
+  ASSERT_EQ(f.hv.events().bind_interdomain(f.dom0, f.guest, gport, &dport),
+            kOk);
+  ASSERT_EQ(f.hv.events().send(f.dom0, dport), kOk);
+
+  const auto result = f.hv.events().dispatch(f.guest);
+  EXPECT_TRUE(result.livelocked);
+  EXPECT_TRUE(f.hv.cpu_hung());
+  EXPECT_EQ(sink.count(obs::TraceCategory::CpuHang), 1u);
+
+  bool stuck = false;
+  bool watchdog = false;
+  for (const auto& line : f.hv.console()) {
+    if (line.find("stuck in event delivery loop") != std::string::npos) {
+      stuck = true;
+    }
+    if (line.find("Watchdog timer detects that CPU0 is stuck!") !=
+        std::string::npos) {
+      watchdog = true;
+    }
+  }
+  EXPECT_TRUE(stuck);
+  EXPECT_TRUE(watchdog);
+}
+
+TEST(TraceObservability, HangWithoutSinkStillLogs) {
+  Fixture f;
+  f.hv.report_cpu_hang("CPU0: wedged");
+  EXPECT_TRUE(f.hv.cpu_hung());
+  bool watchdog = false;
+  for (const auto& line : f.hv.console()) {
+    if (line.find("Watchdog timer") != std::string::npos) watchdog = true;
+  }
+  EXPECT_TRUE(watchdog);
 }
 
 // ------------------------------------------- 4.13 hardened access checks

@@ -1,0 +1,175 @@
+// Metrics registry (counters, histograms, snapshot/merge) and the JSONL
+// export formats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+
+namespace ii::obs {
+namespace {
+
+TEST(Counter, AccumulatesDeltas) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Histogram, RecordsBasicStatistics) {
+  Histogram h{{10, 100, 1000}};
+  for (const std::uint64_t v : {5u, 50u, 500u, 5000u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 5555u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 5000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5555.0 / 4.0);
+  ASSERT_EQ(h.buckets().size(), 4u);
+  for (const std::uint64_t b : h.buckets()) EXPECT_EQ(b, 1u);
+}
+
+TEST(Histogram, EmptyIsZeroEverywhere) {
+  Histogram h{{10}};
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, PercentilesAreMonotonicAndBounded) {
+  Histogram h{Histogram::exponential_bounds(16, 2, 20)};
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Bucketed estimate: p50 of 1..1000 must land in the right ballpark.
+  EXPECT_NEAR(p50, 500.0, 260.0);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({10, 5}), std::invalid_argument);
+  EXPECT_THROW(Histogram({10, 10}), std::invalid_argument);
+}
+
+TEST(Histogram, ExponentialBoundsAreGeometric) {
+  const auto bounds = Histogram::exponential_bounds(16, 2, 4);
+  EXPECT_EQ(bounds, (std::vector<std::uint64_t>{16, 32, 64, 128}));
+}
+
+TEST(MetricsRegistry, SnapshotIsDeterministic) {
+  MetricsRegistry reg;
+  reg.counter("b").inc(2);
+  reg.counter("a").inc(1);
+  reg.histogram("h", {10, 100}).record(7);
+  const MetricsSnapshot s1 = reg.snapshot();
+  const MetricsSnapshot s2 = reg.snapshot();
+  EXPECT_EQ(s1.counters, s2.counters);
+  EXPECT_EQ(metrics_jsonl(s1), metrics_jsonl(s2));
+  // std::map ordering: "a" serializes before "b".
+  const std::string json = metrics_jsonl(s1);
+  EXPECT_LT(json.find("\"a\":1"), json.find("\"b\":2"));
+  EXPECT_EQ(s1.counter("a"), 1u);
+  EXPECT_EQ(s1.counter("missing"), 0u);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndFoldsHistograms) {
+  MetricsRegistry worker1;
+  worker1.counter("cells").inc(3);
+  worker1.histogram("wall_us", {10, 100, 1000}).record(50);
+  MetricsRegistry worker2;
+  worker2.counter("cells").inc(4);
+  worker2.histogram("wall_us", {10, 100, 1000}).record(500);
+
+  MetricsRegistry total;
+  total.merge(worker1.snapshot());
+  total.merge(worker2.snapshot());
+  const MetricsSnapshot merged = total.snapshot();
+  EXPECT_EQ(merged.counter("cells"), 7u);
+  EXPECT_EQ(merged.histograms.at("wall_us").count, 2u);
+}
+
+TEST(MetricsRegistry, MergeWithMismatchedBoundsPreservesCount) {
+  MetricsRegistry reg;
+  reg.histogram("h", {10, 100}).record(50);
+  MetricsSnapshot other;
+  MetricsSnapshot::HistogramData data;
+  data.bounds = {7, 77};  // different ladder
+  data.buckets = {1, 1, 0};
+  data.count = 2;
+  data.sum = 60;
+  data.min = 10;
+  data.max = 50;
+  other.histograms["h"] = data;
+  reg.merge(other);
+  EXPECT_EQ(reg.snapshot().histograms.at("h").count, 3u);
+}
+
+TEST(SinkMetrics, FlattensNonzeroCountersOnly) {
+  TraceSink sink{16, 0};
+  sink.emit(TraceCategory::HypercallEnter, 1, 12);
+  sink.emit(TraceCategory::HypercallExit, 1, 12);
+  sink.emit(TraceCategory::HypercallEnter, 1, 12);
+  sink.emit(TraceCategory::HypercallExit, 1, 12);
+  sink.emit(TraceCategory::Injection, 1);
+
+  const MetricsSnapshot snap = sink_metrics(sink);
+  EXPECT_EQ(snap.counter("trace.hypercall_enter"), 2u);
+  EXPECT_EQ(snap.counter("trace.injection"), 1u);
+  EXPECT_EQ(snap.counter("hypercall.nr12"), 2u);
+  EXPECT_EQ(snap.counters.count("trace.panic"), 0u);
+
+  // Per-nr counters sum exactly to the traced enter events.
+  std::uint64_t per_nr = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("hypercall.nr", 0) == 0) per_nr += value;
+  }
+  EXPECT_EQ(per_nr, snap.counter("trace.hypercall_enter"));
+}
+
+TEST(Jsonl, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string{"\x01"}), "\\u0001");
+}
+
+TEST(Jsonl, EventLineFormat) {
+  const TraceEvent event{3, TraceCategory::HypercallExit, 1, 12, -22, 0xABC};
+  EXPECT_EQ(event_jsonl(event),
+            "{\"type\":\"trace\",\"seq\":3,\"cat\":\"hypercall_exit\","
+            "\"dom\":1,\"code\":12,\"rc\":-22,\"addr\":\"0xabc\"}");
+  // Cell tag, no-domain and zero-addr elision.
+  const TraceEvent bare{0, TraceCategory::Panic, kNoDomain, 0, 0, 0};
+  EXPECT_EQ(event_jsonl(bare, "XSA-212-crash@4.6/exploit"),
+            "{\"type\":\"trace\",\"cell\":\"XSA-212-crash@4.6/exploit\","
+            "\"seq\":0,\"cat\":\"panic\",\"code\":0,\"rc\":0}");
+}
+
+TEST(Jsonl, MetricsLineFormat) {
+  MetricsRegistry reg;
+  reg.counter("trace.panic").inc();
+  reg.histogram("ns", {10}).record(4);
+  const std::string json = metrics_jsonl(reg.snapshot());
+  EXPECT_EQ(json.rfind("{\"type\":\"metrics\",\"counters\":{\"trace.panic\""
+                       ":1},\"histograms\":{\"ns\":{\"count\":1,\"sum\":4,"
+                       "\"min\":4,\"max\":4,", 0),
+            0u);
+}
+
+TEST(Jsonl, StreamHelpersAreNewlineTerminated) {
+  std::ostringstream os;
+  write_event(os, TraceEvent{});
+  write_events(os, std::vector<TraceEvent>(2), "cell");
+  write_metrics(os, MetricsSnapshot{});
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+}  // namespace
+}  // namespace ii::obs
