@@ -13,11 +13,12 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DII_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
-  core_coverage_parallel_test obs_trace_test core_campaign_trace_test
+  core_coverage_parallel_test obs_trace_test core_campaign_trace_test \
+  core_supervisor_test
 
 status=0
 for test_bin in core_coverage_parallel_test obs_trace_test \
-                core_campaign_trace_test; do
+                core_campaign_trace_test core_supervisor_test; do
   echo "== TSan: $test_bin"
   if ! "$BUILD_DIR/tests/$test_bin"; then
     status=1

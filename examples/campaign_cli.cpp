@@ -5,17 +5,30 @@
 // Usage:
 //   campaign_cli [--version 4.6|4.8|4.13] [--mode exploit|injection]
 //                [--case NAME] [--csv] [--trace FILE.jsonl] [--list]
+//                [--threads N] [--retries N] [--quarantine N]
+//                [--budget N] [--steps N] [--recover] [--deterministic]
+//                [--journal FILE.jsonl] [--resume]
 //
 // With no arguments it runs the full paper matrix and prints the RQ1 and
 // Table III reports. --trace captures the full per-cell event stream and
 // writes it as JSONL (one {"type":"trace",...} line per event, tagged with
 // its cell, then one final {"type":"metrics",...} aggregate line).
+//
+// The robustness flags route the run through the CampaignSupervisor:
+// --retries re-runs failed cells, --quarantine skips a use case after N
+// consecutive failures, --budget/--steps bound each cell's hypercalls and
+// trace steps, --recover triggers ReHype-style hypervisor recovery after a
+// failed cell, and --journal/--resume make the campaign resumable — a
+// killed run picks up where it left off and reproduces the identical
+// report (byte-identical CSV with --deterministic).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "core/report.hpp"
+#include "core/supervisor.hpp"
 #include "obs/jsonl.hpp"
 #include "xsa/usecases.hpp"
 
@@ -35,7 +48,11 @@ int usage() {
   std::puts(
       "usage: campaign_cli [--version 4.6|4.8|4.13] [--mode "
       "exploit|injection] [--case NAME] [--csv] [--trace FILE.jsonl] "
-      "[--list]");
+      "[--list]\n"
+      "                    [--threads N] [--retries N] [--quarantine N] "
+      "[--budget N] [--steps N]\n"
+      "                    [--recover] [--deterministic] [--journal "
+      "FILE.jsonl] [--resume]");
   return 2;
 }
 
@@ -45,10 +62,19 @@ std::string cell_tag(const core::CellResult& cell) {
          to_string(cell.mode);
 }
 
+/// Parse a non-negative integer flag argument; returns false on garbage.
+bool parse_unsigned(const char* s, unsigned long& out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  out = std::strtoul(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   core::CampaignConfig config{};
+  core::SupervisorConfig supervision{};
   std::string only_case;
   std::string trace_path;
   bool csv = false;
@@ -98,23 +124,58 @@ int main(int argc, char** argv) {
       if (t == nullptr) return usage();
       trace_path = t;
       config.capture_trace = true;
+    } else if (arg == "--threads") {
+      unsigned long n = 0;
+      if (!parse_unsigned(next(), n) || n == 0) return usage();
+      supervision.threads = static_cast<unsigned>(n);
+    } else if (arg == "--retries") {
+      // --retries N means "N retries after the first attempt".
+      unsigned long n = 0;
+      if (!parse_unsigned(next(), n)) return usage();
+      supervision.max_attempts = static_cast<unsigned>(n) + 1;
+    } else if (arg == "--quarantine") {
+      unsigned long n = 0;
+      if (!parse_unsigned(next(), n)) return usage();
+      supervision.quarantine_after = static_cast<unsigned>(n);
+    } else if (arg == "--budget") {
+      unsigned long n = 0;
+      if (!parse_unsigned(next(), n)) return usage();
+      config.max_cell_hypercalls = n;
+    } else if (arg == "--steps") {
+      unsigned long n = 0;
+      if (!parse_unsigned(next(), n)) return usage();
+      config.max_cell_steps = n;
+    } else if (arg == "--recover") {
+      config.attempt_recovery = true;
+    } else if (arg == "--deterministic") {
+      config.logical_time = true;
+    } else if (arg == "--journal") {
+      const char* j = next();
+      if (j == nullptr) return usage();
+      supervision.journal_path = j;
+    } else if (arg == "--resume") {
+      supervision.resume = true;
     } else {
       return usage();
     }
   }
 
-  auto cases = all_cases();
+  if (supervision.resume && supervision.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal FILE\n");
+    return 2;
+  }
+
+  // Validate --case up front (and fail fast on typos) with one probe set.
   if (!only_case.empty()) {
-    std::vector<std::unique_ptr<core::UseCase>> filtered;
-    for (auto& use_case : cases) {
-      if (use_case->name() == only_case) filtered.push_back(std::move(use_case));
+    bool known = false;
+    for (const auto& use_case : all_cases()) {
+      if (use_case->name() == only_case) known = true;
     }
-    if (filtered.empty()) {
+    if (!known) {
       std::fprintf(stderr, "unknown use case '%s' (try --list)\n",
                    only_case.c_str());
       return 2;
     }
-    cases = std::move(filtered);
   }
 
   // Open the trace file up front so a bad path fails before the campaign
@@ -129,8 +190,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  const core::Campaign campaign{config};
-  const auto results = campaign.run(cases);
+  // Everything runs through the supervisor; with default supervision knobs
+  // it degenerates to the plain sequential campaign.
+  const auto factory = [&only_case] {
+    auto cases = all_cases();
+    if (only_case.empty()) return cases;
+    std::vector<std::unique_ptr<core::UseCase>> filtered;
+    for (auto& use_case : cases) {
+      if (use_case->name() == only_case) filtered.push_back(std::move(use_case));
+    }
+    return filtered;
+  };
+
+  const core::CampaignSupervisor supervisor{config, supervision};
+  std::vector<core::CellResult> results;
+  try {
+    results = supervisor.run(factory);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
 
   // Campaign-wide aggregate: the deterministic merge of every cell's
   // metrics snapshot, in cell order.
@@ -155,10 +234,16 @@ int main(int argc, char** argv) {
              stdout);
   std::puts("\nper-cell notes:");
   for (const auto& cell : results) {
-    std::printf("%-14s %-9s xen %-5s err=%d viol=%d%s\n",
+    std::printf("%-14s %-9s xen %-5s err=%d viol=%d attempts=%u%s%s%s\n",
                 cell.use_case.c_str(), to_string(cell.mode).c_str(),
                 cell.version.to_string().c_str(), cell.err_state,
-                cell.violation, cell.handled() ? " (handled)" : "");
+                cell.violation, cell.attempts,
+                cell.handled() ? " (handled)" : "",
+                cell.recovered ? " (recovered)" : "",
+                cell.quarantined ? " (quarantined)" : "");
+    if (cell.failed()) {
+      std::printf("    ! %s\n", cell.failure.c_str());
+    }
     for (const auto& note : cell.outcome.notes) {
       std::printf("    | %s\n", note.c_str());
     }

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "hv/recovery.hpp"
+
 namespace ii::core {
 
 std::string to_string(Mode mode) {
@@ -18,6 +20,7 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
   // ring mask is 0: only the cheap aggregate counters advance.
   obs::TraceSink sink{config_.trace_capacity,
                       config_.capture_trace ? obs::kAllCategories : 0u};
+  sink.set_budget(config_.max_cell_hypercalls, config_.max_cell_steps);
 
   guest::PlatformConfig pc = config_.platform;
   pc.version = version;
@@ -32,17 +35,50 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
   cell.mode = mode;
 
   const auto start = std::chrono::steady_clock::now();
-  {
+  try {
     guest::VirtualPlatform platform{pc};
-    cell.outcome = mode == Mode::Exploit ? use_case.run_exploit(platform)
-                                         : use_case.run_injection(platform);
-    cell.err_state = use_case.erroneous_state_present(platform);
-    cell.violation = use_case.security_violation(platform);
+    try {
+      cell.outcome = mode == Mode::Exploit ? use_case.run_exploit(platform)
+                                           : use_case.run_injection(platform);
+      cell.err_state = use_case.erroneous_state_present(platform);
+      cell.violation = use_case.security_violation(platform);
+    } catch (const std::exception& e) {
+      // Per-cell isolation: a throwing use case (or a tripped budget
+      // watchdog) fails this cell, never the campaign.
+      cell.failure = e.what();
+      cell.outcome.completed = false;
+      cell.outcome.notes.push_back("cell failed: " + cell.failure);
+    }
+    if (config_.attempt_recovery &&
+        (cell.failed() || platform.hv().crashed() || platform.hv().cpu_hung())) {
+      // Lift the budget before recovering: the watchdog's trip point is
+      // deterministic, so everything after it is too, and recovery must be
+      // able to emit its own events.
+      sink.set_budget(0, 0);
+      try {
+        const hv::RecoveryReport rec = platform.hv().recover();
+        cell.recovered = rec.succeeded();
+        // Re-audit on the recovered platform: the cell now measures whether
+        // the erroneous state survived the micro-reboot.
+        cell.err_state = use_case.erroneous_state_present(platform);
+        cell.violation = use_case.security_violation(platform);
+      } catch (const std::exception& e) {
+        cell.outcome.notes.push_back("recovery failed: " +
+                                     std::string{e.what()});
+      }
+    }
+  } catch (const std::exception& e) {
+    // Platform construction itself failed; there is nothing to audit.
+    cell.failure = e.what();
+    cell.outcome.completed = false;
   }
-  cell.wall_us = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
+  cell.wall_us =
+      config_.logical_time
+          ? sink.emitted()
+          : static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
   cell.hypercalls = sink.count(obs::TraceCategory::HypercallEnter);
   cell.metrics = obs::sink_metrics(sink);
   if (config_.capture_trace) cell.trace = sink.ring().snapshot();

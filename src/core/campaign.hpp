@@ -43,7 +43,20 @@ struct CellResult {
   obs::MetricsSnapshot metrics;
   /// Captured ring contents, only when CampaignConfig::capture_trace.
   std::vector<obs::TraceEvent> trace;
+  /// Execution attempts the supervisor made for this cell (0 when the cell
+  /// was quarantined without running, 1 for a plain Campaign::run).
+  unsigned attempts = 1;
+  /// ReHype recovery ran after a failure/crash and its post-audit was clean.
+  bool recovered = false;
+  /// The supervisor refused to run the cell after repeated failures of the
+  /// same use case.
+  bool quarantined = false;
+  /// Why the cell failed (escaped exception or budget overrun); empty on a
+  /// normally-completed cell. Distinct from outcome.rc, which reports what
+  /// the *attempt* observed.
+  std::string failure;
   [[nodiscard]] bool handled() const { return err_state && !violation; }
+  [[nodiscard]] bool failed() const { return !failure.empty(); }
 };
 
 struct CampaignConfig {
@@ -56,6 +69,21 @@ struct CampaignConfig {
   /// Ring size when capturing. Sized for the busiest paper cell (the
   /// XSA-212 grooming exploit emits ~20k events); ~32 B/event, per cell.
   std::size_t trace_capacity = 65536;
+  /// Report wall_us as the cell's emitted trace-event count instead of the
+  /// wall clock. Trace steps carry no time, so with this set the rendered
+  /// CSV is byte-identical across runs and thread counts — the property the
+  /// supervisor's resume machinery depends on.
+  bool logical_time = false;
+  /// After a failed cell — escaped exception, tripped budget, hypervisor
+  /// panic or wedged CPU — run Hypervisor::recover() and record whether the
+  /// post-recovery invariant audit came back clean (CellResult::recovered).
+  bool attempt_recovery = false;
+  /// Deterministic per-cell watchdog: fail the cell once it emits more than
+  /// this many HypercallEnter events (0 = unlimited). Counts the whole cell
+  /// including platform boot.
+  std::uint64_t max_cell_hypercalls = 0;
+  /// Same watchdog over total trace steps (0 = unlimited).
+  std::uint64_t max_cell_steps = 0;
 };
 
 class Campaign {

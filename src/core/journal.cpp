@@ -1,0 +1,206 @@
+#include "core/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/jsonl.hpp"
+
+namespace ii::core {
+
+namespace {
+
+/// Strictly left-to-right field scanner over one JSON line. Each lookup
+/// advances the cursor past the value it consumed, so a free-text value can
+/// never satisfy a *later* key lookup (and fields serialized before it are
+/// already behind the cursor).
+class FieldScanner {
+ public:
+  explicit FieldScanner(const std::string& line) : line_{&line} {}
+
+  std::optional<std::string> str(const std::string& key) {
+    const auto value = find(key);
+    if (!value) return std::nullopt;
+    std::size_t i = *value;
+    if (i >= line_->size() || (*line_)[i] != '"') return std::nullopt;
+    ++i;
+    std::string out;
+    while (i < line_->size() && (*line_)[i] != '"') {
+      char c = (*line_)[i];
+      if (c == '\\' && i + 1 < line_->size()) {
+        const char esc = (*line_)[i + 1];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            // json_escape only emits \u00XX for control bytes.
+            if (i + 5 < line_->size()) {
+              c = static_cast<char>(
+                  std::stoi(line_->substr(i + 2, 4), nullptr, 16));
+              i += 4;
+            }
+            break;
+          }
+          default: c = esc;
+        }
+        ++i;
+      }
+      out += c;
+      ++i;
+    }
+    if (i >= line_->size()) return std::nullopt;  // torn: unterminated string
+    pos_ = i + 1;
+    return out;
+  }
+
+  std::optional<std::int64_t> num(const std::string& key) {
+    const auto value = find(key);
+    if (!value) return std::nullopt;
+    std::size_t i = *value;
+    const std::size_t begin = i;
+    if (i < line_->size() && (*line_)[i] == '-') ++i;
+    while (i < line_->size() && (*line_)[i] >= '0' && (*line_)[i] <= '9') ++i;
+    if (i == begin) return std::nullopt;
+    pos_ = i;
+    return std::stoll(line_->substr(begin, i - begin));
+  }
+
+ private:
+  /// Position just past `"key":`, searching from the cursor only.
+  std::optional<std::size_t> find(const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = line_->find(needle, pos_);
+    if (at == std::string::npos) return std::nullopt;
+    return at + needle.size();
+  }
+
+  const std::string* line_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<hv::XenVersion> parse_version(const std::string& s) {
+  const std::size_t dot = s.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= s.size()) {
+    return std::nullopt;
+  }
+  try {
+    return hv::XenVersion{std::stoi(s.substr(0, dot)),
+                          std::stoi(s.substr(dot + 1))};
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::string journal_header(const CampaignConfig& config, unsigned max_attempts,
+                           unsigned quarantine_after) {
+  std::ostringstream os;
+  os << "{\"journal\":\"ii-campaign-cells\",\"schema\":1,\"versions\":\"";
+  for (std::size_t i = 0; i < config.versions.size(); ++i) {
+    if (i) os << ' ';
+    os << config.versions[i].to_string();
+  }
+  os << "\",\"modes\":\"";
+  for (std::size_t i = 0; i < config.modes.size(); ++i) {
+    if (i) os << ' ';
+    os << to_string(config.modes[i]);
+  }
+  os << "\",\"logical_time\":" << (config.logical_time ? 1 : 0)
+     << ",\"recovery\":" << (config.attempt_recovery ? 1 : 0)
+     << ",\"max_hypercalls\":" << config.max_cell_hypercalls
+     << ",\"max_steps\":" << config.max_cell_steps
+     << ",\"max_attempts\":" << max_attempts
+     << ",\"quarantine_after\":" << quarantine_after << "}";
+  return os.str();
+}
+
+std::string journal_entry(const CellResult& cell) {
+  std::ostringstream os;
+  // `failure` is free text and therefore serialized last (see file header).
+  // `use_case` is first but parsed first too, so the cursor is already past
+  // it before any other key is looked up.
+  os << "{\"use_case\":\"" << obs::json_escape(cell.use_case)
+     << "\",\"version\":\"" << cell.version.to_string() << "\",\"mode\":\""
+     << to_string(cell.mode) << "\",\"completed\":"
+     << (cell.outcome.completed ? 1 : 0) << ",\"rc\":" << cell.outcome.rc
+     << ",\"err_state\":" << (cell.err_state ? 1 : 0) << ",\"violation\":"
+     << (cell.violation ? 1 : 0) << ",\"wall_us\":" << cell.wall_us
+     << ",\"hypercalls\":" << cell.hypercalls << ",\"attempts\":"
+     << cell.attempts << ",\"recovered\":" << (cell.recovered ? 1 : 0)
+     << ",\"quarantined\":" << (cell.quarantined ? 1 : 0) << ",\"failure\":\""
+     << obs::json_escape(cell.failure) << "\"}";
+  return os.str();
+}
+
+std::optional<CellResult> parse_journal_entry(const std::string& line) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') {
+    return std::nullopt;  // torn write or foreign content
+  }
+  FieldScanner scan{line};
+  CellResult cell;
+
+  const auto use_case = scan.str("use_case");
+  const auto version_str = scan.str("version");
+  const auto mode_str = scan.str("mode");
+  if (!use_case || !version_str || !mode_str) return std::nullopt;
+  const auto version = parse_version(*version_str);
+  if (!version) return std::nullopt;
+  if (*mode_str != "exploit" && *mode_str != "injection") return std::nullopt;
+
+  const auto completed = scan.num("completed");
+  const auto rc = scan.num("rc");
+  const auto err_state = scan.num("err_state");
+  const auto violation = scan.num("violation");
+  const auto wall_us = scan.num("wall_us");
+  const auto hypercalls = scan.num("hypercalls");
+  const auto attempts = scan.num("attempts");
+  const auto recovered = scan.num("recovered");
+  const auto quarantined = scan.num("quarantined");
+  const auto failure = scan.str("failure");
+  if (!completed || !rc || !err_state || !violation || !wall_us ||
+      !hypercalls || !attempts || !recovered || !quarantined || !failure) {
+    return std::nullopt;
+  }
+
+  cell.use_case = *use_case;
+  cell.version = *version;
+  cell.mode = *mode_str == "exploit" ? Mode::Exploit : Mode::Injection;
+  cell.outcome.completed = *completed != 0;
+  cell.outcome.rc = static_cast<long>(*rc);
+  cell.err_state = *err_state != 0;
+  cell.violation = *violation != 0;
+  cell.wall_us = static_cast<std::uint64_t>(*wall_us);
+  cell.hypercalls = static_cast<std::uint64_t>(*hypercalls);
+  cell.attempts = static_cast<unsigned>(*attempts);
+  cell.recovered = *recovered != 0;
+  cell.quarantined = *quarantined != 0;
+  cell.failure = *failure;
+  return cell;
+}
+
+std::vector<CellResult> load_journal(const std::string& path,
+                                     const std::string& expected_header) {
+  std::ifstream in{path};
+  if (!in) return {};
+  std::string line;
+  if (!std::getline(in, line)) return {};
+  if (line != expected_header) {
+    throw std::runtime_error{
+        "campaign journal " + path +
+        " was recorded under a different campaign configuration; refusing "
+        "to resume from it"};
+  }
+  std::vector<CellResult> cells;
+  while (std::getline(in, line)) {
+    if (auto cell = parse_journal_entry(line)) {
+      cells.push_back(std::move(*cell));
+    }
+  }
+  return cells;
+}
+
+}  // namespace ii::core

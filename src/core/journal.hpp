@@ -1,0 +1,47 @@
+// JSONL cell journal: the persistence layer behind resumable campaigns.
+//
+// IRIS-style fault-injection frameworks journal every completed experiment
+// so a killed campaign can be resumed without re-running (or worse,
+// re-randomizing) finished work. This module is that journal for campaign
+// cells: line 1 is a header binding the file to the exact campaign shape it
+// was recorded under, and every further line is one completed cell with the
+// fields the reports need (metrics snapshots and raw traces are *not*
+// journaled — resume reproduces the report and CSV, not the event rings).
+//
+// Robustness contract: a campaign killed mid-write leaves a torn final
+// line; parsing skips it, and the supervisor rewrites the journal on resume
+// so the torn tail never accumulates. Free-text fields (failure) are
+// serialized last in each record, and parsing is a strictly left-to-right
+// field scan, so no value can masquerade as a later key.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace ii::core {
+
+/// The journal's first line: campaign shape plus the supervisor knobs that
+/// influence results. Resume validates this with *strict string equality* —
+/// a journal recorded under a different matrix, budget, or retry policy
+/// must not silently poison a resumed run.
+[[nodiscard]] std::string journal_header(const CampaignConfig& config,
+                                         unsigned max_attempts,
+                                         unsigned quarantine_after);
+
+/// One completed cell as a single JSON line (no trailing newline).
+[[nodiscard]] std::string journal_entry(const CellResult& cell);
+
+/// Parse one journal line; nullopt for a torn/foreign line.
+[[nodiscard]] std::optional<CellResult> parse_journal_entry(
+    const std::string& line);
+
+/// Load a journal for resume. Returns the parsed cells; torn lines are
+/// skipped. Throws std::runtime_error when the file exists but its header
+/// does not equal `expected_header`. A missing file yields an empty vector.
+[[nodiscard]] std::vector<CellResult> load_journal(
+    const std::string& path, const std::string& expected_header);
+
+}  // namespace ii::core

@@ -138,13 +138,15 @@ std::string render_table3(const std::vector<CellResult>& results) {
 std::string render_csv(const std::vector<CellResult>& results) {
   std::ostringstream os;
   os << "use_case,version,mode,completed,rc,err_state,violation,handled,"
-        "wall_us,hypercalls\n";
+        "wall_us,hypercalls,attempts,recovered,quarantined\n";
   for (const CellResult& cell : results) {
     os << cell.use_case << ',' << cell.version.to_string() << ','
        << to_string(cell.mode) << ',' << (cell.outcome.completed ? 1 : 0)
        << ',' << cell.outcome.rc << ',' << (cell.err_state ? 1 : 0) << ','
        << (cell.violation ? 1 : 0) << ',' << (cell.handled() ? 1 : 0) << ','
-       << cell.wall_us << ',' << cell.hypercalls << '\n';
+       << cell.wall_us << ',' << cell.hypercalls << ',' << cell.attempts
+       << ',' << (cell.recovered ? 1 : 0) << ','
+       << (cell.quarantined ? 1 : 0) << '\n';
   }
   return os.str();
 }

@@ -31,8 +31,9 @@ namespace ii::core {
 
 /// Machine-readable export of raw campaign cells (one row per cell, header
 /// included) for downstream analysis pipelines. Observability columns
-/// (wall_us, hypercalls) ride at the end so existing consumers that index
-/// by position keep working.
+/// (wall_us, hypercalls) and supervisor columns (attempts, recovered,
+/// quarantined) ride at the end so existing consumers that index by
+/// position keep working.
 [[nodiscard]] std::string render_csv(const std::vector<CellResult>& results);
 
 /// Human-readable dump of a metrics snapshot: a counters table followed by

@@ -1,0 +1,155 @@
+#include "core/supervisor.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "core/journal.hpp"
+
+namespace ii::core {
+
+namespace {
+
+std::string cell_key(const std::string& use_case, hv::XenVersion version,
+                     Mode mode) {
+  return use_case + "|" + version.to_string() + "|" + to_string(mode);
+}
+
+}  // namespace
+
+std::string CampaignSupervisor::header() const {
+  return journal_header(campaign_, config_.max_attempts,
+                        config_.quarantine_after);
+}
+
+std::vector<CellResult> CampaignSupervisor::run(
+    const std::function<std::vector<std::unique_ptr<UseCase>>()>& factory)
+    const {
+  const Campaign campaign{campaign_};
+  const std::string header_line = header();
+
+  // Resume: restore journaled cells, keyed so file order is irrelevant.
+  std::map<std::string, CellResult> journaled;
+  if (config_.resume && !config_.journal_path.empty()) {
+    for (CellResult& cell :
+         load_journal(config_.journal_path, header_line)) {
+      const std::string key = cell_key(cell.use_case, cell.version, cell.mode);
+      journaled.insert_or_assign(key, std::move(cell));
+    }
+  }
+
+  // (Re)write the journal: header plus the restored cells. Rewriting on
+  // resume drops any torn final line a killed run left behind, so appends
+  // always land on a well-formed file.
+  std::ofstream journal;
+  std::mutex journal_mu;
+  if (!config_.journal_path.empty()) {
+    journal.open(config_.journal_path, std::ios::trunc);
+    journal << header_line << '\n';
+    for (const auto& [key, cell] : journaled) {
+      journal << journal_entry(cell) << '\n';
+    }
+    journal.flush();
+  }
+
+  // Use-case names define the matrix rows; probe one factory instance.
+  std::vector<std::string> names;
+  for (const auto& use_case : factory()) names.push_back(use_case->name());
+
+  const std::size_t per_case =
+      campaign_.versions.size() * campaign_.modes.size();
+  std::vector<CellResult> results(names.size() * per_case);
+
+  // Workers claim whole use cases (see file header for why that — and only
+  // that — keeps retry/quarantine deterministic under parallelism).
+  std::atomic<std::size_t> next_case{0};
+  const unsigned n_workers = std::max(
+      1u, std::min<unsigned>(config_.threads,
+                             static_cast<unsigned>(names.size())));
+
+  auto worker_body = [&] {
+    auto cases = factory();
+    while (true) {
+      const std::size_t c = next_case.fetch_add(1);
+      if (c >= names.size()) return;
+
+      unsigned failure_streak = 0;
+      bool quarantined = false;
+      std::size_t slot = c * per_case;
+      for (const hv::XenVersion version : campaign_.versions) {
+        for (const Mode mode : campaign_.modes) {
+          const std::string key = cell_key(names[c], version, mode);
+          CellResult cell;
+          bool from_journal = false;
+
+          if (const auto it = journaled.find(key); it != journaled.end()) {
+            cell = it->second;
+            from_journal = true;
+          } else if (quarantined) {
+            cell.use_case = names[c];
+            cell.version = version;
+            cell.mode = mode;
+            cell.attempts = 0;
+            cell.quarantined = true;
+            cell.failure = "quarantined after " +
+                           std::to_string(failure_streak) +
+                           " consecutive cell failures";
+            cell.outcome.completed = false;
+          } else {
+            unsigned attempt = 0;
+            do {
+              ++attempt;
+              cell = campaign.run_cell(*cases[c], version, mode);
+            } while (cell.failed() && attempt < config_.max_attempts);
+            cell.attempts = attempt;
+          }
+
+          // Streak/quarantine bookkeeping applies identically to fresh and
+          // journaled cells: the journal holds the same results a live run
+          // would produce, so the replayed decisions match the original's.
+          if (!cell.quarantined) {
+            if (cell.failed()) {
+              ++failure_streak;
+            } else {
+              failure_streak = 0;
+            }
+            if (config_.quarantine_after != 0 &&
+                failure_streak >= config_.quarantine_after) {
+              quarantined = true;
+            }
+          }
+
+          // Surface the supervisor verdicts through the metrics snapshot so
+          // merged campaign summaries report them alongside trace counters.
+          cell.metrics.counters["supervisor.attempts"] = cell.attempts;
+          cell.metrics.counters["supervisor.failed"] = cell.failed() ? 1 : 0;
+          cell.metrics.counters["supervisor.recovered"] =
+              cell.recovered ? 1 : 0;
+          cell.metrics.counters["supervisor.quarantined"] =
+              cell.quarantined ? 1 : 0;
+
+          if (journal.is_open() && !from_journal) {
+            const std::lock_guard<std::mutex> lock{journal_mu};
+            journal << journal_entry(cell) << '\n';
+            journal.flush();  // each cell durable before the next one runs
+          }
+          results[slot++] = std::move(cell);
+        }
+      }
+    }
+  };
+
+  if (n_workers == 1) {
+    worker_body();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(n_workers);
+    for (unsigned w = 0; w < n_workers; ++w) workers.emplace_back(worker_body);
+    for (std::thread& worker : workers) worker.join();
+  }
+  return results;
+}
+
+}  // namespace ii::core

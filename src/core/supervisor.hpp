@@ -1,0 +1,68 @@
+// Fault-tolerant campaign supervisor.
+//
+// Campaign::run_cell already isolates each cell (exceptions become failed
+// CaseOutcomes, budgets bound runaway cells, recovery is optional per
+// config). The supervisor adds the *campaign-level* robustness on top:
+//
+//   retry      — a failed cell is re-run up to max_attempts times, with the
+//                attempt count recorded in the result;
+//   quarantine — after quarantine_after consecutive failed cells of one use
+//                case, its remaining cells are skipped (marked quarantined)
+//                instead of burning the rest of the campaign's budget;
+//   journal    — every finished cell is appended to a JSONL journal, and a
+//                resumed run skips journaled cells while reproducing the
+//                identical report (see journal.hpp).
+//
+// Determinism under parallelism: workers claim whole *use cases*, never
+// individual cells. All cells of one use case run sequentially in matrix
+// order on one worker, so retry and quarantine decisions depend only on
+// that ordered history — results are identical for any thread count (and,
+// with CampaignConfig::logical_time, byte-identical as CSV).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace ii::core {
+
+struct SupervisorConfig {
+  /// Worker threads; effective parallelism is min(threads, use cases).
+  unsigned threads = 1;
+  /// Total attempts per cell (1 = no retry). Failed means CellResult::failed().
+  unsigned max_attempts = 1;
+  /// Consecutive failed cells of one use case before the rest of that use
+  /// case is quarantined (0 = never quarantine). Retries that eventually
+  /// succeed reset the streak.
+  unsigned quarantine_after = 0;
+  /// JSONL cell journal path; empty disables journaling.
+  std::string journal_path;
+  /// Skip cells already present in the journal (header must match).
+  bool resume = false;
+};
+
+class CampaignSupervisor {
+ public:
+  CampaignSupervisor(CampaignConfig campaign, SupervisorConfig config)
+      : campaign_{std::move(campaign)}, config_{std::move(config)} {}
+
+  /// Run the full (use case x version x mode) matrix under supervision.
+  /// `factory` builds a private UseCase set per worker, exactly like
+  /// Campaign::run_parallel. Results come back in matrix order.
+  [[nodiscard]] std::vector<CellResult> run(
+      const std::function<std::vector<std::unique_ptr<UseCase>>()>& factory)
+      const;
+
+  /// The journal header this configuration writes/expects (for tests and
+  /// tooling that want to inspect a journal without a supervisor run).
+  [[nodiscard]] std::string header() const;
+
+ private:
+  CampaignConfig campaign_;
+  SupervisorConfig config_;
+};
+
+}  // namespace ii::core

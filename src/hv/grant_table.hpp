@@ -113,6 +113,12 @@ class GrantOps {
     return mappings_;
   }
 
+  /// Every per-domain grant table (recovery re-derives the status-page
+  /// windows and mapping refcounts from these).
+  [[nodiscard]] const std::map<DomainId, GrantTable>& tables() const {
+    return tables_;
+  }
+
  private:
   Hypervisor* hv_;
   std::map<DomainId, GrantTable> tables_;

@@ -486,21 +486,25 @@ long Hypervisor::hypercall_console_io(DomainId caller,
   return kOk;
 }
 
-sim::Paddr Hypervisor::guest_l1_slot(const Domain& dom, sim::Pfn pfn) const {
+std::optional<sim::Paddr> Hypervisor::guest_l1_slot(const Domain& dom,
+                                                    sim::Pfn pfn) const {
   const std::uint64_t nr = dom.nr_pages();
   const std::uint64_t l1_count = (nr + sim::kPtEntries - 1) / sim::kPtEntries;
   const std::uint64_t first_table_pfn = nr - (l1_count + 3);
   const auto l1 =
       dom.p2m(sim::Pfn{first_table_pfn + pfn.raw() / sim::kPtEntries});
+  if (!l1) return std::nullopt;
   return sim::mfn_to_paddr(*l1) + (pfn.raw() % sim::kPtEntries) * 8;
 }
 
 long Hypervisor::map_grant_status_page(DomainId domain, sim::Mfn status_frame) {
   const Domain& dom = this->domain(domain);
   if (kGrantStatusPfn.raw() >= dom.nr_pages()) return kEINVAL;
+  const auto slot = guest_l1_slot(dom, kGrantStatusPfn);
+  if (!slot) return kEINVAL;
   // Hypervisor-managed read-only mapping; deliberately outside the guest
   // page-type accounting, like real status-page sharing.
-  mem_->write_u64(guest_l1_slot(dom, kGrantStatusPfn),
+  mem_->write_u64(*slot,
                   sim::Pte::make(status_frame,
                                  sim::Pte::kPresent | sim::Pte::kUser)
                       .raw());
@@ -510,7 +514,9 @@ long Hypervisor::map_grant_status_page(DomainId domain, sim::Mfn status_frame) {
 long Hypervisor::unmap_grant_status_page(DomainId domain) {
   const Domain& dom = this->domain(domain);
   if (kGrantStatusPfn.raw() >= dom.nr_pages()) return kEINVAL;
-  mem_->write_u64(guest_l1_slot(dom, kGrantStatusPfn), 0);
+  const auto slot = guest_l1_slot(dom, kGrantStatusPfn);
+  if (!slot) return kEINVAL;
+  mem_->write_u64(*slot, 0);
   return kOk;
 }
 

@@ -34,6 +34,8 @@
 
 namespace ii::hv {
 
+struct RecoveryReport;  // recovery.hpp
+
 /// Construction parameters.
 struct HvConfig {
   /// Frames reserved at boot for hypervisor text/data (frame 0 holds the
@@ -90,6 +92,16 @@ class Hypervisor {
   /// Fatal error: logs the Xen panic banner and halts the machine. Public
   /// because the platform glue reports guest-triggered fatal states too.
   void panic(const std::string& reason);
+
+  /// ReHype-style micro-reboot (recovery.cpp): after a panic or a wedged
+  /// CPU, reconstruct the hypervisor's bookkeeping in place — IDT and
+  /// shared-L3 reset, frame types/refcounts re-derived by re-walking (and
+  /// sanitizing) every domain's page tables, P2M reconciliation, grant
+  /// reference re-derivation — while preserving guest memory contents.
+  /// Returns the invariant audits taken before and after. Domains whose
+  /// tables cannot be made safe again are marked crashed (ReHype's
+  /// "failed VM" outcome) rather than aborting recovery.
+  RecoveryReport recover();
 
   /// Per-line hypervisor console ring ("(XEN) ..." lines).
   [[nodiscard]] const std::vector<std::string>& console() const {
@@ -245,9 +257,11 @@ class Hypervisor {
   sim::Mfn build_guest_tables(Domain& dom, sim::Mfn first_frame,
                               std::uint64_t nr_pages);
   void install_reserved_slots(sim::Mfn l4);
-  /// Machine address of the L1 slot backing `pfn`'s directmap address.
-  [[nodiscard]] sim::Paddr guest_l1_slot(const Domain& dom,
-                                         sim::Pfn pfn) const;
+  /// Machine address of the L1 slot backing `pfn`'s directmap address, or
+  /// nullopt when the backing table's P2M entry is gone (possible after a
+  /// recovery dropped corrupted P2M slots).
+  [[nodiscard]] std::optional<sim::Paddr> guest_l1_slot(const Domain& dom,
+                                                        sim::Pfn pfn) const;
 
   // validation engine (memory.cpp)
   long validate_and_write_entry(Domain& caller, sim::Mfn table, unsigned index,
@@ -264,6 +278,12 @@ class Hypervisor {
   // copy engine
   long copy_to_guest(Domain& caller, sim::Vaddr va,
                      std::span<const std::uint8_t> bytes, bool checked);
+
+  // recovery helpers (recovery.cpp). `pins` carries the pre-crash (mfn,
+  // type) hints for the domain's pinned tables — the frame reset wipes the
+  // live types before the sanitizer runs.
+  std::uint64_t recover_sanitize_tables(
+      Domain& dom, const std::vector<std::pair<sim::Mfn, PageType>>& pins);
 
   // fault plumbing
   void dispatch_exception(unsigned vector);

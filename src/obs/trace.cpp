@@ -15,6 +15,9 @@ std::string to_string(TraceCategory category) {
     case TraceCategory::Injection: return "injection";
     case TraceCategory::GrantOp: return "grant_op";
     case TraceCategory::EventChannel: return "event_channel";
+    case TraceCategory::RecoverEnter: return "recover_enter";
+    case TraceCategory::RecoverExit: return "recover_exit";
+    case TraceCategory::InvariantViolation: return "invariant_violation";
   }
   return "unknown";
 }
@@ -60,8 +63,20 @@ void TraceSink::emit(TraceCategory category, std::uint16_t domain,
   if (category == TraceCategory::HypercallEnter && code < kMaxHypercallNr) {
     ++by_hypercall_[code];
   }
-  if ((mask_ & category_bit(category)) == 0) return;
-  ring_.push(TraceEvent{seq, category, domain, code, rc, addr});
+  if ((mask_ & category_bit(category)) != 0) {
+    ring_.push(TraceEvent{seq, category, domain, code, rc, addr});
+  }
+  if (step_budget_ != 0 && seq_ > step_budget_) {
+    throw BudgetExceededError{"cell step budget exceeded (" +
+                              std::to_string(step_budget_) + " trace steps)"};
+  }
+  if (hypercall_budget_ != 0 &&
+      by_category_[static_cast<std::size_t>(TraceCategory::HypercallEnter)] >
+          hypercall_budget_) {
+    throw BudgetExceededError{"cell hypercall budget exceeded (" +
+                              std::to_string(hypercall_budget_) +
+                              " hypercalls)"};
+  }
 }
 
 }  // namespace ii::obs

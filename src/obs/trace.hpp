@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -36,9 +37,12 @@ enum class TraceCategory : std::uint8_t {
   Injection,       ///< HYPERVISOR_arbitrary_access performed (addr = target)
   GrantOp,         ///< grant-table operation (code = sub-op)
   EventChannel,    ///< event-channel operation (code = sub-op)
+  RecoverEnter,    ///< ReHype-style recovery started (code = bit0 panic, bit1 hang)
+  RecoverExit,     ///< recovery finished (rc = 0 iff the post-audit is clean)
+  InvariantViolation,  ///< invariant auditor finding (code = hv::Invariant)
 };
 
-inline constexpr std::size_t kCategoryCount = 11;
+inline constexpr std::size_t kCategoryCount = 14;
 
 [[nodiscard]] std::string to_string(TraceCategory category);
 
@@ -64,6 +68,15 @@ struct TraceEvent {
   std::uint32_t code = 0;
   std::int64_t rc = 0;
   std::uint64_t addr = 0;
+};
+
+/// Thrown by TraceSink::emit when a cell budget is exhausted. The campaign
+/// supervisor's deterministic watchdog: budgets count trace steps, which
+/// carry no wall clock, so the same cell trips (or doesn't) identically on
+/// every run and every thread count.
+class BudgetExceededError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Bounded ring of TraceEvents. Overflow overwrites the oldest record, like
@@ -107,6 +120,15 @@ class TraceSink {
   void set_category_mask(std::uint32_t mask) { mask_ = mask; }
   [[nodiscard]] std::uint32_t category_mask() const { return mask_; }
 
+  /// Arm the deterministic watchdog: emit() throws BudgetExceededError once
+  /// more than `max_hypercalls` HypercallEnter events or `max_steps` total
+  /// events have been recorded (0 disables a cap). The budget is enforced
+  /// *after* the offending event is counted, so the trace still shows it.
+  void set_budget(std::uint64_t max_hypercalls, std::uint64_t max_steps) {
+    hypercall_budget_ = max_hypercalls;
+    step_budget_ = max_steps;
+  }
+
   /// Record one event: assigns the next sequence number, bumps the
   /// aggregate counters, and pushes into the ring iff the category is in
   /// the mask. The sequence counter advances for every emit (masked or
@@ -134,6 +156,8 @@ class TraceSink {
   TraceRing ring_;
   std::uint32_t mask_;
   std::uint64_t seq_ = 0;
+  std::uint64_t hypercall_budget_ = 0;
+  std::uint64_t step_budget_ = 0;
   std::array<std::uint64_t, kCategoryCount> by_category_{};
   std::array<std::uint64_t, kMaxHypercallNr> by_hypercall_{};
 };

@@ -155,16 +155,21 @@ TEST(CampaignTrace, CsvCarriesTimingColumns) {
   const Campaign campaign{small_config(/*capture=*/false)};
   const auto results = campaign.run(probe_cases());
   const std::string csv = render_csv(results);
-  EXPECT_NE(csv.find(",wall_us,hypercalls\n"), std::string::npos);
-  // Each data row ends with the cell's hypercall count (nonzero).
+  EXPECT_NE(csv.find(",wall_us,hypercalls,attempts,recovered,quarantined\n"),
+            std::string::npos);
+  // Each data row carries the cell's hypercall count (nonzero), now four
+  // columns from the end (before attempts,recovered,quarantined).
   std::istringstream lines{csv};
   std::string line;
   std::getline(lines, line);  // header
   std::size_t rows = 0;
   while (std::getline(lines, line)) {
-    const auto last_comma = line.rfind(',');
-    ASSERT_NE(last_comma, std::string::npos);
-    EXPECT_GE(std::stoull(line.substr(last_comma + 1)), 1u);
+    std::vector<std::string> fields;
+    std::istringstream row{line};
+    std::string field;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    ASSERT_GE(fields.size(), 4u);
+    EXPECT_GE(std::stoull(fields[fields.size() - 4]), 1u);
     ++rows;
   }
   EXPECT_EQ(rows, results.size());

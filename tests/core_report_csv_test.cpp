@@ -29,13 +29,28 @@ TEST(CsvExport, HeaderAndRows) {
 
   const std::string csv = core::render_csv(results);
   EXPECT_NE(csv.find("use_case,version,mode,completed,rc,err_state,"
-                     "violation,handled,wall_us,hypercalls\n"),
+                     "violation,handled,wall_us,hypercalls,attempts,"
+                     "recovered,quarantined\n"),
             std::string::npos);
-  EXPECT_NE(csv.find("XSA-212-crash,4.13,injection,1,0,1,1,0,1234,17\n"),
-            std::string::npos);
-  EXPECT_NE(csv.find("XSA-182-test,4.13,injection,1,-1,1,0,1,56,0\n"),
+  EXPECT_NE(
+      csv.find("XSA-212-crash,4.13,injection,1,0,1,1,0,1234,17,1,0,0\n"),
+      std::string::npos);
+  EXPECT_NE(csv.find("XSA-182-test,4.13,injection,1,-1,1,0,1,56,0,1,0,0\n"),
             std::string::npos);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(CsvExport, SupervisorColumnsRender) {
+  core::CellResult cell{};
+  cell.use_case = "XSA-148-priv";
+  cell.version = hv::kXen48;
+  cell.mode = core::Mode::Exploit;
+  cell.attempts = 3;
+  cell.recovered = true;
+  cell.quarantined = true;
+  const std::string csv = core::render_csv({cell});
+  EXPECT_NE(csv.find("XSA-148-priv,4.8,exploit,0,0,0,0,0,0,0,3,1,1\n"),
+            std::string::npos);
 }
 
 TEST(CsvExport, EmptyResultsGiveHeaderOnly) {
