@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Static-analysis gate: project lint (tools/ii-lint), clang-tidy over src/
+# with the curated .clang-tidy profile, and cppcheck. Mirrors the CI lint
+# jobs so the gate is reproducible locally.
+#
+# clang-tidy/cppcheck are optional locally (the dev container may not ship
+# them) — missing tools are reported and skipped, never failed. CI installs
+# both, so the real gate always runs there. ii-lint is plain grep and
+# always runs.
+#
+# Usage: bench/run_tidy.sh [build-dir]   (default: build)
+set -uo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+status=0
+
+echo "== ii-lint"
+if ! "$REPO_ROOT/tools/ii-lint" "$REPO_ROOT"; then
+  status=1
+fi
+
+# clang-tidy needs the exported compile database (CMAKE_EXPORT_COMPILE_COMMANDS
+# is ON in the top-level CMakeLists).
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "== configuring $BUILD_DIR for compile_commands.json"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null
+fi
+
+echo "== clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  # src/ only: tests/examples deliberately poke internals the checks flag.
+  mapfile -t sources < <(find "$REPO_ROOT/src" -name '*.cpp' | sort)
+  if ! clang-tidy -p "$BUILD_DIR" --quiet "${sources[@]}"; then
+    status=1
+  fi
+else
+  echo "clang-tidy not installed; skipping (CI runs it)"
+fi
+
+echo "== cppcheck"
+if command -v cppcheck > /dev/null 2>&1; then
+  # --error-exitcode makes findings fail the gate; the suppressions mirror
+  # what the compile database can't tell cppcheck (system headers, gtest).
+  if ! cppcheck --enable=warning,performance,portability \
+       --inline-suppr --error-exitcode=1 --quiet \
+       --suppress=missingIncludeSystem \
+       -I "$REPO_ROOT/src" "$REPO_ROOT/src"; then
+    status=1
+  fi
+else
+  echo "cppcheck not installed; skipping (CI runs it)"
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "lint gate FAILED"
+else
+  echo "lint gate OK"
+fi
+exit "$status"

@@ -52,7 +52,7 @@ int usage() {
       "                    [--threads N] [--retries N] [--quarantine N] "
       "[--budget N] [--steps N]\n"
       "                    [--recover] [--deterministic] [--journal "
-      "FILE.jsonl] [--resume]");
+      "FILE.jsonl] [--resume] [--preflight]");
   return 2;
 }
 
@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   std::string only_case;
   std::string trace_path;
   bool csv = false;
+  bool preflight = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -155,8 +156,33 @@ int main(int argc, char** argv) {
       supervision.journal_path = j;
     } else if (arg == "--resume") {
       supervision.resume = true;
+    } else if (arg == "--preflight") {
+      preflight = true;
     } else {
       return usage();
+    }
+  }
+
+  // Model-check every configured version policy (depth 2) before burning
+  // time on cells: a policy that disagrees with its expectation makes the
+  // campaign's verdicts meaningless, so refuse to start.
+  if (preflight) {
+    const core::PreflightReport report = core::Campaign{config}.preflight();
+    for (const auto& v : report.versions) {
+      std::printf(
+          "preflight xen %-5s depth %u: %llu states, %llu violation(s), "
+          "expected %s -> %s\n",
+          v.version.to_string().c_str(), report.depth,
+          static_cast<unsigned long long>(v.states_explored),
+          static_cast<unsigned long long>(v.violations_found),
+          v.expected_vulnerable ? "vulnerable" : "clean",
+          v.ok() ? "ok" : "MISMATCH");
+    }
+    if (!report.ok()) {
+      std::fprintf(stderr,
+                   "preflight failed: version policy and validation engine "
+                   "disagree; not running cells\n");
+      return 1;
     }
   }
 

@@ -1,0 +1,668 @@
+// Bounded model checking over the real validation engine (see
+// model_checker.hpp for the exploration model).
+//
+// Layout of this file:
+//   - machine construction for the bounded configuration
+//   - the operation alphabet (enumerated per state, deterministic order)
+//   - operation application through the public hypercall surface
+//   - state diffing (counterexample readability)
+//   - erroneous-state classification over the shared SystemWalk
+//   - the BFS driver
+#include "analysis/model_checker.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+#include "hv/audit.hpp"
+#include "hv/errors.hpp"
+#include "hv/layout.hpp"
+#include "hv/snapshot.hpp"
+
+namespace ii::analysis {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+int level_of(hv::PageType t) {
+  switch (t) {
+    case hv::PageType::L1: return 1;
+    case hv::PageType::L2: return 2;
+    case hv::PageType::L3: return 3;
+    case hv::PageType::L4: return 4;
+    default: return 0;
+  }
+}
+
+// ------------------------------------------------------------------ machine
+
+/// The bounded configuration under test: one machine, dom0, and the guests
+/// that issue every enumerated operation.
+struct Machine {
+  sim::PhysicalMemory mem;
+  hv::Hypervisor vmm;
+  std::vector<hv::DomainId> guests;
+
+  explicit Machine(const ModelCheckConfig& config)
+      : mem{config.machine_frames},
+        vmm{mem, hv::VersionPolicy::for_version(config.version)} {
+    (void)vmm.create_domain("dom0", /*privileged=*/true, config.dom0_pages);
+    for (unsigned i = 0; i < config.guest_domains; ++i) {
+      guests.push_back(vmm.create_domain("guest" + std::to_string(i + 1),
+                                         /*privileged=*/false,
+                                         config.domain_pages));
+    }
+  }
+};
+
+// ----------------------------------------------------------------- alphabet
+
+/// Enumerate the operation alphabet for the current state, in a fixed
+/// deterministic order. The palette is curated but adversarial: for every
+/// live page table it includes clears, remaps, read-only and writable
+/// (self-)maps, superpage attempts, reserved-slot writes, pin/unpin and
+/// baseptr switches, and exchange with benign and hostile output pointers —
+/// the full guest-issuable surface the paper's three memory XSAs sit on.
+std::vector<Op> enumerate_ops(const hv::Hypervisor& vmm,
+                              const ModelCheckConfig& config,
+                              const std::vector<hv::DomainId>& guests) {
+  using Kind = Op::Kind;
+  constexpr std::uint64_t kP = sim::Pte::kPresent;
+  constexpr std::uint64_t kW = sim::Pte::kWritable;
+  constexpr std::uint64_t kU = sim::Pte::kUser;
+  constexpr std::uint64_t kS = sim::Pte::kPageSize;
+
+  std::vector<Op> ops;
+  for (const hv::DomainId id : guests) {
+    const hv::Domain& dom = vmm.domain(id);
+    if (dom.crashed()) continue;
+    const std::string who = "d" + std::to_string(id);
+
+    const sim::Mfn cr3 = dom.cr3();
+    const auto base = dom.p2m(sim::Pfn{0});
+    const auto data = dom.p2m(hv::kFirstFreePfn);
+    const sim::Pfn data2_pfn{hv::kFirstFreePfn.raw() + 1};
+    const sim::Pfn l1_pfn{config.domain_pages - 4};
+
+    // Live page tables the domain owns, in MFN order.
+    struct Table {
+      sim::Mfn mfn;
+      int level;
+    };
+    std::vector<Table> tables;
+    for (std::uint64_t m = 0; m < vmm.frames().frame_count(); ++m) {
+      const hv::PageInfo& pi = vmm.frames().info(sim::Mfn{m});
+      if (pi.owner == id && hv::is_pagetable_type(pi.type) && pi.validated) {
+        tables.push_back(Table{sim::Mfn{m}, level_of(pi.type)});
+      }
+    }
+
+    const auto add_mmu = [&](const Table& t, unsigned slot, std::uint64_t val,
+                             const std::string& what) {
+      Op op;
+      op.kind = Kind::MmuUpdate;
+      op.caller = id;
+      op.ptr = sim::mfn_to_paddr(t.mfn).raw() + 8ULL * slot;
+      op.val = val;
+      op.label = who + ": mmu_update L" + std::to_string(t.level) + "[mfn " +
+                 hex(t.mfn.raw()) + "][" + std::to_string(slot) + "] <- " +
+                 what;
+      ops.push_back(std::move(op));
+    };
+    const auto pte = [](sim::Mfn f, std::uint64_t flags) {
+      return sim::Pte::make(f, flags).raw();
+    };
+
+    for (const Table& t : tables) {
+      switch (t.level) {
+        case 1:
+          for (const unsigned slot :
+               {static_cast<unsigned>(hv::kFirstFreePfn.raw()),
+                static_cast<unsigned>(l1_pfn.raw())}) {
+            add_mmu(t, slot, 0, "clear");
+            if (data) {
+              add_mmu(t, slot, pte(*data, kP | kW | kU), "rw data page");
+              add_mmu(t, slot, pte(*data, kP | kU), "ro data page");
+            }
+            add_mmu(t, slot, pte(t.mfn, kP | kW | kU), "rw map of this L1");
+            add_mmu(t, slot, pte(cr3, kP | kU), "ro map of own L4");
+            add_mmu(t, slot, pte(cr3, kP | kW | kU), "rw map of own L4");
+            add_mmu(t, slot, pte(sim::Mfn{0}, kP | kW | kU),
+                    "rw map of xen frame 0");
+          }
+          break;
+        case 2:
+          add_mmu(t, 0, 0, "clear kernel L1 link");
+          if (base) {
+            add_mmu(t, 0, pte(*base, kP | kW | kU | kS),
+                    "2MiB PSE superpage over own region");
+          }
+          if (data) {
+            add_mmu(t, 0, pte(*data, kP | kU), "link data page as L1");
+          }
+          break;
+        case 3:
+          add_mmu(t, 0, 0, "clear kernel L2 link");
+          if (data) {
+            add_mmu(t, 0, pte(*data, kP | kU), "link data page as L2");
+          }
+          if (base) {
+            add_mmu(t, 0, pte(*base, kP | kW | kU | kS), "1GiB PSE attempt");
+          }
+          break;
+        case 4: {
+          const unsigned kernel_slot = sim::level_index_of(
+              sim::Vaddr{hv::kGuestKernelBase}, sim::PtLevel::L4);
+          add_mmu(t, kernel_slot, 0, "clear kernel L3 link");
+          if (data) {
+            add_mmu(t, kernel_slot, pte(*data, kP | kU),
+                    "link data page as L3");
+          }
+          add_mmu(t, hv::kLinearPtSlot, 0, "clear linear slot");
+          add_mmu(t, hv::kLinearPtSlot, pte(cr3, kP | kU),
+                  "ro linear self map");
+          add_mmu(t, hv::kLinearPtSlot, pte(cr3, kP | kW | kU),
+                  "RW linear self map (XSA-182 flip)");
+          if (data) {
+            add_mmu(t, hv::kLinearPtSlot, pte(*data, kP | kU),
+                    "ro data page in linear slot");
+          }
+          add_mmu(t, hv::kXenFirstReservedSlot, pte(cr3, kP | kU),
+                  "ro self map in xen text slot");
+          break;
+        }
+        default: break;
+      }
+    }
+
+    // Pin / unpin / baseptr.
+    const auto add_ext = [&](Kind kind, sim::Mfn mfn, int level,
+                             const std::string& what) {
+      Op op;
+      op.kind = kind;
+      op.caller = id;
+      op.mfn = mfn;
+      op.level = level;
+      op.label = who + ": " + what;
+      ops.push_back(std::move(op));
+    };
+    if (data) {
+      add_ext(Kind::Pin, *data, 1, "pin data mfn " + hex(data->raw()) + " as L1");
+      add_ext(Kind::Pin, *data, 4, "pin data mfn " + hex(data->raw()) + " as L4");
+    }
+    for (const Table& t : tables) {
+      if (t.level == 1) {
+        add_ext(Kind::Pin, t.mfn, 1, "re-pin L1 mfn " + hex(t.mfn.raw()));
+        break;
+      }
+    }
+    std::set<std::uint64_t> pinned;
+    for (const sim::Mfn m : dom.pinned_tables()) pinned.insert(m.raw());
+    for (const std::uint64_t m : pinned) {
+      add_ext(Kind::Unpin, sim::Mfn{m}, 0, "unpin mfn " + hex(m));
+    }
+    for (const Table& t : tables) {
+      if (t.level == 4) {
+        add_ext(Kind::NewBaseptr, t.mfn, 4,
+                "new_baseptr mfn " + hex(t.mfn.raw()));
+      }
+    }
+
+    // memory_exchange with benign and hostile output pointers.
+    if (data) {
+      const auto add_exchange = [&](sim::Vaddr out, const std::string& what) {
+        Op op;
+        op.kind = Kind::Exchange;
+        op.caller = id;
+        op.pfn = hv::kFirstFreePfn;
+        op.out = out;
+        op.label = who + ": exchange pfn " +
+                   std::to_string(hv::kFirstFreePfn.raw()) + ", out = " + what;
+        ops.push_back(std::move(op));
+      };
+      add_exchange(hv::guest_directmap_vaddr(data2_pfn), "own data page");
+      add_exchange(hv::directmap_vaddr(vmm.idt_base()),
+                   "hypervisor IDT (XSA-212 target)");
+      add_exchange(sim::Vaddr{hv::kXenTextBase}, "xen text");
+      add_exchange(hv::guest_directmap_vaddr(l1_pfn), "own RO-mapped L1 page");
+    }
+
+    // Grant ops (gated: the v2->v1 downgrade leak is pre-4.13 by design).
+    if (config.include_grant_ops) {
+      const auto add_grant = [&](Kind kind, unsigned version, unsigned gref,
+                                 const std::string& what) {
+        Op op;
+        op.kind = kind;
+        op.caller = id;
+        op.version = version;
+        op.gref = gref;
+        op.peer = hv::kDom0;
+        op.pfn = hv::kFirstFreePfn;
+        op.label = who + ": " + what;
+        ops.push_back(std::move(op));
+      };
+      add_grant(Kind::GrantSetVersion, 2, 0, "grant set_version 2");
+      add_grant(Kind::GrantSetVersion, 1, 0, "grant set_version 1");
+      add_grant(Kind::GrantAccess, 0, 0, "grant ref 0 to dom0");
+      add_grant(Kind::GrantEndAccess, 0, 0, "grant end_access ref 0");
+    }
+  }
+  return ops;
+}
+
+long apply_op(hv::Hypervisor& vmm, const Op& op) {
+  using Kind = Op::Kind;
+  switch (op.kind) {
+    case Kind::MmuUpdate: {
+      const hv::MmuUpdate req{op.ptr | hv::kMmuNormalPtUpdate, op.val};
+      return vmm.hypercall_mmu_update(op.caller, std::span{&req, 1});
+    }
+    case Kind::Pin: {
+      const auto cmd = static_cast<hv::MmuExtCmd>(
+          static_cast<int>(hv::MmuExtCmd::PinL1Table) + op.level - 1);
+      return vmm.hypercall_mmuext_op(op.caller, hv::MmuExtOp{cmd, op.mfn});
+    }
+    case Kind::Unpin:
+      return vmm.hypercall_mmuext_op(
+          op.caller, hv::MmuExtOp{hv::MmuExtCmd::UnpinTable, op.mfn});
+    case Kind::NewBaseptr:
+      return vmm.hypercall_mmuext_op(
+          op.caller, hv::MmuExtOp{hv::MmuExtCmd::NewBaseptr, op.mfn});
+    case Kind::Exchange: {
+      hv::MemoryExchange exch{{op.pfn}, op.out, 0};
+      return vmm.hypercall_memory_exchange(op.caller, exch);
+    }
+    case Kind::GrantSetVersion:
+      return vmm.grants().set_version(op.caller, op.version);
+    case Kind::GrantAccess:
+      return vmm.grants().grant_access(op.caller, op.gref, op.peer, op.pfn,
+                                       /*readonly=*/false);
+    case Kind::GrantEndAccess:
+      return vmm.grants().end_access(op.caller, op.gref);
+  }
+  return hv::kEINVAL;
+}
+
+// --------------------------------------------------------------- state diff
+
+std::uint64_t snap_u64(const hv::HvSnapshot& snap, std::uint64_t frame,
+                       unsigned slot) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, snap.memory.data() + frame * sim::kPageSize + 8ULL * slot,
+              sizeof v);
+  return v;
+}
+
+/// Human-readable field-level differences between a parent state and its
+/// violating successor; capped so counterexamples stay printable.
+std::vector<std::string> diff_states(const hv::HvSnapshot& before,
+                                     const hv::HvSnapshot& after) {
+  constexpr std::size_t kMaxLines = 48;
+  std::vector<std::string> out;
+  std::uint64_t suppressed = 0;
+  const auto add = [&](std::string line) {
+    if (out.size() < kMaxLines) {
+      out.push_back(std::move(line));
+    } else {
+      ++suppressed;
+    }
+  };
+
+  if (before.crashed != after.crashed) {
+    add(std::string{"hypervisor: "} + (after.crashed ? "PANICKED" : "un-crashed"));
+  }
+  if (before.cpu_hung != after.cpu_hung) {
+    add(std::string{"cpu0: "} + (after.cpu_hung ? "WEDGED" : "released"));
+  }
+
+  const std::uint64_t frames = before.frames.size();
+  for (std::uint64_t m = 0; m < frames; ++m) {
+    const hv::PageInfo& a = before.frames[m];
+    const hv::PageInfo& b = after.frames[m];
+    std::string delta;
+    if (a.owner != b.owner) {
+      delta += " owner d" + std::to_string(a.owner) + " -> d" +
+               std::to_string(b.owner);
+    }
+    if (a.type != b.type) {
+      delta += " type " + hv::to_string(a.type) + " -> " + hv::to_string(b.type);
+    }
+    if (a.type_count != b.type_count) {
+      delta += " type_count " + std::to_string(a.type_count) + " -> " +
+               std::to_string(b.type_count);
+    }
+    if (a.ref_count != b.ref_count) {
+      delta += " ref_count " + std::to_string(a.ref_count) + " -> " +
+               std::to_string(b.ref_count);
+    }
+    if (a.validated != b.validated) {
+      delta += std::string{" validated "} + (a.validated ? "yes" : "no") +
+               " -> " + (b.validated ? "yes" : "no");
+    }
+    if (!delta.empty()) add("mfn " + hex(m) + ":" + delta);
+  }
+
+  // Memory content diffs: per-slot for frames that are (or were) page
+  // tables or Xen-owned (the IDT lives there), summarized otherwise.
+  for (std::uint64_t m = 0; m < frames; ++m) {
+    const std::uint8_t* pa = before.memory.data() + m * sim::kPageSize;
+    const std::uint8_t* pb = after.memory.data() + m * sim::kPageSize;
+    if (std::memcmp(pa, pb, sim::kPageSize) == 0) continue;
+    const bool decode = hv::is_pagetable_type(before.frames[m].type) ||
+                        hv::is_pagetable_type(after.frames[m].type) ||
+                        before.frames[m].owner == hv::kDomXen;
+    if (!decode) {
+      add("mfn " + hex(m) + ": data changed");
+      continue;
+    }
+    for (unsigned s = 0; s < sim::kPtEntries; ++s) {
+      const std::uint64_t va = snap_u64(before, m, s);
+      const std::uint64_t vb = snap_u64(after, m, s);
+      if (va != vb) {
+        add("mfn " + hex(m) + "[" + std::to_string(s) + "]: " + hex(va) +
+            " -> " + hex(vb));
+      }
+    }
+  }
+
+  // Domain bookkeeping, matched by id.
+  for (const hv::Domain& db : after.domains) {
+    const hv::Domain* da = nullptr;
+    for (const hv::Domain& d : before.domains) {
+      if (d.id() == db.id()) da = &d;
+    }
+    const std::string who = "d" + std::to_string(db.id());
+    if (da == nullptr) {
+      add(who + ": created");
+      continue;
+    }
+    if (da->cr3() != db.cr3()) {
+      add(who + ": cr3 " + hex(da->cr3().raw()) + " -> " + hex(db.cr3().raw()));
+    }
+    if (!da->crashed() && db.crashed()) add(who + ": crashed");
+    for (std::uint64_t p = 0; p < db.nr_pages(); ++p) {
+      const auto ma = da->p2m(sim::Pfn{p});
+      const auto mb = db.p2m(sim::Pfn{p});
+      if (ma != mb) {
+        add(who + ": p2m pfn " + std::to_string(p) + ": " +
+            (ma ? "mfn " + hex(ma->raw()) : "-") + " -> " +
+            (mb ? "mfn " + hex(mb->raw()) : "-"));
+      }
+    }
+    std::set<std::uint64_t> pa_set, pb_set;
+    for (const sim::Mfn m : da->pinned_tables()) pa_set.insert(m.raw());
+    for (const sim::Mfn m : db.pinned_tables()) pb_set.insert(m.raw());
+    for (const std::uint64_t m : pb_set) {
+      if (pa_set.count(m) == 0) add(who + ": pinned mfn " + hex(m));
+    }
+    for (const std::uint64_t m : pa_set) {
+      if (pb_set.count(m) == 0) add(who + ": unpinned mfn " + hex(m));
+    }
+  }
+
+  // Grant-table deltas (version switches and mapping counts).
+  for (const auto& [id, tb] : after.grants.tables) {
+    const auto it = before.grants.tables.find(id);
+    const unsigned va = it == before.grants.tables.end() ? 1 : it->second.version();
+    if (va != tb.version()) {
+      add("d" + std::to_string(id) + ": grant table v" + std::to_string(va) +
+          " -> v" + std::to_string(tb.version()));
+    }
+  }
+  if (before.grants.mappings.size() != after.grants.mappings.size()) {
+    add("grant mappings: " + std::to_string(before.grants.mappings.size()) +
+        " -> " + std::to_string(after.grants.mappings.size()));
+  }
+
+  if (suppressed != 0) {
+    out.push_back("... (+" + std::to_string(suppressed) + " more)");
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- classification
+
+/// Which of the paper's erroneous-state families a violating state belongs
+/// to, decided over the same SystemWalk the audit used.
+std::vector<ErroneousStateClass> classify(const hv::Hypervisor& vmm,
+                                          const hv::SystemWalk& walk,
+                                          const hv::InvariantReport& report) {
+  std::set<ErroneousStateClass> classes;
+  std::set<hv::Invariant> explained;
+
+  const auto violated = report.violated_set();
+  const auto is_violated = [&](hv::Invariant inv) {
+    for (const hv::Invariant v : violated)
+      if (v == inv) return true;
+    return false;
+  };
+
+  if (is_violated(hv::Invariant::IdtIntegrity)) {
+    classes.insert(ErroneousStateClass::Xsa212IdtClobber);
+    explained.insert(hv::Invariant::IdtIntegrity);
+  }
+  if (is_violated(hv::Invariant::GrantLifecycle)) {
+    classes.insert(ErroneousStateClass::Xsa387StaleGrantStatus);
+    explained.insert(hv::Invariant::GrantLifecycle);
+  }
+  if (is_violated(hv::Invariant::FrameTypeSafety)) {
+    for (const hv::DomainWalk& dw : walk) {
+      for (const hv::LeafMapping& m : dw.leaves) {
+        if (!m.user || !m.writable) continue;
+        const std::uint64_t n_frames = m.bytes / sim::kPageSize;
+        for (std::uint64_t k = 0; k < n_frames; ++k) {
+          const sim::Mfn f{m.mfn.raw() + k};
+          if (!vmm.memory().contains(f)) break;
+          if (hv::is_writable_pagetable_mapping(
+                  true, vmm.frames().info(f).type)) {
+            classes.insert(m.bytes > sim::kPageSize
+                               ? ErroneousStateClass::Xsa148SuperpageWindow
+                               : ErroneousStateClass::Xsa182WritableSelfMap);
+          }
+        }
+      }
+    }
+    explained.insert(hv::Invariant::FrameTypeSafety);
+    // A writable self map necessarily tampers the reserved slot too.
+    explained.insert(hv::Invariant::ReservedSlotIntegrity);
+  }
+
+  for (const hv::Invariant inv : violated) {
+    if (explained.count(inv) == 0) classes.insert(ErroneousStateClass::Other);
+  }
+  return {classes.begin(), classes.end()};
+}
+
+}  // namespace
+
+std::string to_string(ErroneousStateClass c) {
+  switch (c) {
+    case ErroneousStateClass::Xsa148SuperpageWindow:
+      return "XSA-148 superpage window";
+    case ErroneousStateClass::Xsa182WritableSelfMap:
+      return "XSA-182 writable self map";
+    case ErroneousStateClass::Xsa212IdtClobber:
+      return "XSA-212 IDT clobber";
+    case ErroneousStateClass::Xsa387StaleGrantStatus:
+      return "XSA-387 stale grant status";
+    case ErroneousStateClass::Other: return "other invariant violation";
+  }
+  return "unknown";
+}
+
+std::string Counterexample::trace_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i != 0) out += " ; ";
+    out += ops[i].label;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- BFS driver
+
+ModelCheckResult run_model_check(const ModelCheckConfig& config) {
+  ModelCheckResult result;
+  result.config = config;
+
+  Machine machine{config};
+  hv::Hypervisor& vmm = machine.vmm;
+
+  const hv::HvSnapshot root = vmm.snapshot();
+  std::unordered_set<std::uint64_t> visited{root.hash};
+  result.states_explored = 1;
+
+  const auto record_violation = [&](const hv::HvSnapshot& parent,
+                                    const std::vector<Op>& ops,
+                                    std::uint64_t state_hash,
+                                    const hv::SystemWalk& walk,
+                                    hv::InvariantReport report) {
+    ++result.violations_found;
+    const auto violated = report.violated_set();
+    for (const hv::Invariant inv : violated) {
+      ++result.invariant_hits[static_cast<std::size_t>(inv)];
+    }
+    const auto classes = classify(vmm, walk, report);
+    for (const ErroneousStateClass c : classes) {
+      ++result.class_hits[static_cast<std::size_t>(c)];
+    }
+    if (result.counterexamples.size() >= config.max_counterexamples) return;
+    Counterexample cx;
+    cx.ops = ops;
+    cx.depth = static_cast<unsigned>(ops.size());
+    cx.state_hash = state_hash;
+    cx.violated = violated;
+    cx.classes = classes;
+    cx.state_diff = diff_states(parent, vmm.snapshot());
+    cx.report = std::move(report);
+    result.counterexamples.push_back(std::move(cx));
+  };
+
+  // The boot state itself must satisfy every invariant; a dirty root makes
+  // everything downstream meaningless, so it is reported and terminal.
+  {
+    const hv::SystemWalk walk = hv::walk_system(vmm);
+    hv::InvariantReport report = hv::InvariantAuditor{vmm}.audit(walk);
+    if (!report.clean()) {
+      record_violation(root, {}, root.hash, walk, std::move(report));
+      return result;
+    }
+  }
+
+  struct WorkItem {
+    std::vector<Op> prefix;
+  };
+  std::deque<WorkItem> queue;
+  queue.push_back(WorkItem{});
+
+  bool stop = false;
+  while (!queue.empty() && !stop) {
+    const WorkItem item = std::move(queue.front());
+    queue.pop_front();
+    if (item.prefix.size() >= config.depth) continue;
+
+    // Re-derive the item's state: restore the root and replay the prefix
+    // (the engine is deterministic, and prefixes are at most `depth` ops,
+    // so replay is cheaper than keeping a snapshot per queued state).
+    vmm.restore(root);
+    for (const Op& op : item.prefix) (void)apply_op(vmm, op);
+    const hv::HvSnapshot parent = vmm.snapshot();
+
+    const std::vector<Op> alphabet =
+        enumerate_ops(vmm, config, machine.guests);
+    for (const Op& op : alphabet) {
+      ++result.ops_applied;
+      const long rc = apply_op(vmm, op);
+      const std::uint64_t h = vmm.state_hash();
+      if (h == parent.hash) {
+        if (rc != hv::kOk) ++result.failed_ops;
+        continue;  // nothing changed; nothing to restore
+      }
+      if (!visited.insert(h).second) {
+        ++result.states_deduped;
+        vmm.restore(parent);
+        continue;
+      }
+      ++result.states_explored;
+
+      std::vector<Op> trace = item.prefix;
+      trace.push_back(op);
+      const hv::SystemWalk walk = hv::walk_system(vmm);
+      hv::InvariantReport report = hv::InvariantAuditor{vmm}.audit(walk);
+      if (!report.clean()) {
+        // Violating states are terminal: the counterexample is minimal by
+        // BFS order, and exploring beyond a broken invariant only yields
+        // derivative noise.
+        record_violation(parent, trace, h, walk, std::move(report));
+      } else {
+        queue.push_back(WorkItem{std::move(trace)});
+      }
+      if (result.states_explored >= config.max_states) {
+        result.truncated = true;
+        stop = true;
+        break;
+      }
+      vmm.restore(parent);
+    }
+  }
+  return result;
+}
+
+// ------------------------------------------------------------------- report
+
+std::string render_report(const ModelCheckResult& r) {
+  std::string out;
+  out += "model check: xen " + r.config.version.to_string() + ", depth " +
+         std::to_string(r.config.depth) + ", " +
+         std::to_string(r.config.guest_domains) + " guest(s) of " +
+         std::to_string(r.config.domain_pages) + " pages, machine " +
+         std::to_string(r.config.machine_frames) + " frames" +
+         (r.config.include_grant_ops ? ", grant ops on" : "") + "\n";
+  out += "  states explored: " + std::to_string(r.states_explored) +
+         "  (ops applied " + std::to_string(r.ops_applied) + ", deduped " +
+         std::to_string(r.states_deduped) + ", refused " +
+         std::to_string(r.failed_ops) + ")" +
+         (r.truncated ? "  [TRUNCATED at max_states]" : "") + "\n";
+  out += "  violating states: " + std::to_string(r.violations_found) + "\n";
+  out += "  erroneous-state classes:\n";
+  for (std::size_t c = 0; c < kErroneousStateClassCount; ++c) {
+    out += "    " + to_string(static_cast<ErroneousStateClass>(c)) + ": ";
+    out += r.class_hits[c] != 0
+               ? "REACHED (" + std::to_string(r.class_hits[c]) + " state(s))"
+               : "not reached";
+    out += "\n";
+  }
+  for (std::size_t i = 0; i < r.counterexamples.size(); ++i) {
+    const Counterexample& cx = r.counterexamples[i];
+    out += "  counterexample #" + std::to_string(i + 1) + " (depth " +
+           std::to_string(cx.depth) + ", hash " + hex(cx.state_hash) + ")\n";
+    for (std::size_t s = 0; s < cx.ops.size(); ++s) {
+      out += "    " + std::to_string(s + 1) + ". " + cx.ops[s].label + "\n";
+    }
+    out += "    violates:";
+    for (const hv::Invariant inv : cx.violated) out += " " + hv::to_string(inv);
+    out += "\n";
+    out += "    classes:";
+    for (const ErroneousStateClass c : cx.classes) out += " [" + to_string(c) + "]";
+    out += "\n";
+    out += "    state diff vs parent:\n";
+    for (const std::string& line : cx.state_diff) {
+      out += "      " + line + "\n";
+    }
+    for (const hv::InvariantFinding& f : cx.report.findings) {
+      out += "    finding: " + hv::to_string(f.invariant) + ": " + f.detail +
+             "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ii::analysis

@@ -1,0 +1,149 @@
+// Bounded model checker for the hypervisor state machine.
+//
+// The paper's verdict logic (erroneous state either causes a security
+// violation or is handled) rests on the direct-paging invariants being
+// airtight; campaigns only exercise the handful of paths a use case
+// happens to drive. This checker closes that gap for small configurations:
+// starting from a freshly booted machine with one or two small PV domains,
+// it exhaustively enumerates guest-issuable operation sequences
+// (mmu_update / pin / unpin / new_baseptr / memory_exchange, optionally the
+// grant ops) up to a depth bound, driving the *real* validation engine —
+// Hypervisor::validate_and_write_entry, validate_table and the frame-table
+// type transitions — and audits every reachable state against all nine
+// InvariantAuditor invariants.
+//
+// Exploration is breadth-first over snapshot/restore (hv/snapshot.hpp)
+// with FNV-1a state hashing for dedup and a FIFO work queue, so runs are
+// deterministic and every counterexample trace is minimal (no shorter
+// operation sequence reaches that violating state). Violating states are
+// terminal: the checker reports the op sequence, the violated invariants,
+// and a state diff against the parent state, then does not expand further.
+//
+// The intended theorem, checked by tests and CI: under the 4.6 policy the
+// bounded space reaches the paper's XSA erroneous states (XSA-148 superpage
+// window at depth 1, XSA-182 writable self map and XSA-212 IDT clobber at
+// depth 2, XSA-387 stale grant status with grant ops enabled), while the
+// 4.8 and 4.13 policies admit NO invariant violation anywhere in the same
+// space.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hv/recovery.hpp"
+#include "hv/version.hpp"
+#include "sim/types.hpp"
+
+namespace ii::analysis {
+
+/// Shape of the bounded configuration and exploration limits.
+struct ModelCheckConfig {
+  hv::XenVersion version = hv::kXen46;
+  /// Maximum operation-sequence length explored.
+  unsigned depth = 2;
+  /// Whole-machine size. Must fit Xen (16 frames) + all domains + slack
+  /// for memory_exchange's fresh allocations.
+  std::uint64_t machine_frames = 64;
+  /// Unprivileged guests built next to dom0; ops are issued by guests.
+  unsigned guest_domains = 1;
+  std::uint64_t dom0_pages = 16;
+  std::uint64_t domain_pages = 16;
+  /// Include the grant-table ops (set_version / grant / map / unmap) in
+  /// the alphabet. Off by default: the v2→v1 downgrade leak (XSA-387) is
+  /// present on every pre-4.13 policy, so with grants enabled 4.8 is
+  /// *expected* to show GrantLifecycle violations.
+  bool include_grant_ops = false;
+  /// Safety valves.
+  std::uint64_t max_states = 100000;
+  std::size_t max_counterexamples = 32;
+};
+
+/// The erroneous-state families of the paper's use cases, recognized in
+/// violating states so the checker can *prove* which XSAs a version policy
+/// admits (classification uses the same shared SystemWalk as the audits).
+enum class ErroneousStateClass : std::uint8_t {
+  Xsa148SuperpageWindow,   ///< writable 2 MiB leaf covering page-table frames
+  Xsa182WritableSelfMap,   ///< writable 4 KiB leaf covering a table frame
+  Xsa212IdtClobber,        ///< IDT gate no longer matches boot state
+  Xsa387StaleGrantStatus,  ///< grant-status frame reachable after downgrade
+  Other,                   ///< any violation outside the four families
+};
+
+[[nodiscard]] std::string to_string(ErroneousStateClass c);
+inline constexpr std::size_t kErroneousStateClassCount = 5;
+
+/// One operation of the enumerated alphabet, self-contained so a trace can
+/// be replayed against a fresh machine of the same configuration.
+struct Op {
+  enum class Kind : std::uint8_t {
+    MmuUpdate,
+    Pin,
+    Unpin,
+    NewBaseptr,
+    Exchange,
+    GrantSetVersion,
+    GrantAccess,
+    GrantEndAccess,
+  };
+  Kind kind{};
+  hv::DomainId caller = 0;
+  // MmuUpdate: machine slot address and raw entry value.
+  std::uint64_t ptr = 0;
+  std::uint64_t val = 0;
+  // Pin (level 1..4) / Unpin / NewBaseptr.
+  sim::Mfn mfn{};
+  int level = 0;
+  // Exchange.
+  sim::Pfn pfn{};
+  sim::Vaddr out{};
+  // Grant.
+  unsigned gref = 0;
+  unsigned version = 0;
+  hv::DomainId peer = hv::kDomInvalid;
+  /// Human-readable form, e.g. "d1: mmu_update l2[0] <- 0x100e7 (PSE)".
+  std::string label;
+};
+
+/// A minimal trace into a violating state.
+struct Counterexample {
+  std::vector<Op> ops;             ///< root → violation, in order
+  unsigned depth = 0;              ///< == ops.size()
+  std::uint64_t state_hash = 0;    ///< hash of the violating state
+  hv::InvariantReport report;      ///< the failed audit, with details
+  std::vector<hv::Invariant> violated;          ///< deduplicated
+  std::vector<ErroneousStateClass> classes;     ///< recognized families
+  std::vector<std::string> state_diff;          ///< vs the parent state
+  [[nodiscard]] std::string trace_string() const;
+};
+
+struct ModelCheckResult {
+  ModelCheckConfig config;
+  std::uint64_t states_explored = 0;  ///< unique states audited (incl. root)
+  std::uint64_t ops_applied = 0;      ///< total operation applications
+  std::uint64_t states_deduped = 0;   ///< successors folded by hash
+  std::uint64_t failed_ops = 0;       ///< rc != 0 and state unchanged
+  std::uint64_t violations_found = 0; ///< violating states (all, incl. uncaptured)
+  bool truncated = false;             ///< hit max_states
+  std::vector<Counterexample> counterexamples;  ///< first max_counterexamples
+
+  /// Per-invariant violating-state counts, indexed by hv::Invariant.
+  std::array<std::uint64_t, hv::kInvariantCount> invariant_hits{};
+  /// Violating-state counts per recognized erroneous-state class.
+  std::array<std::uint64_t, kErroneousStateClassCount> class_hits{};
+
+  [[nodiscard]] bool clean() const { return violations_found == 0; }
+  [[nodiscard]] bool reached(ErroneousStateClass c) const {
+    return class_hits[static_cast<std::size_t>(c)] != 0;
+  }
+};
+
+/// Run the bounded check. Deterministic: identical config → identical
+/// result, including counterexample order.
+[[nodiscard]] ModelCheckResult run_model_check(const ModelCheckConfig& config);
+
+/// Multi-line human-readable summary (what analysis_cli prints).
+[[nodiscard]] std::string render_report(const ModelCheckResult& result);
+
+}  // namespace ii::analysis

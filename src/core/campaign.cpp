@@ -4,12 +4,44 @@
 #include <chrono>
 #include <thread>
 
+#include "analysis/model_checker.hpp"
 #include "hv/recovery.hpp"
 
 namespace ii::core {
 
 std::string to_string(Mode mode) {
   return mode == Mode::Exploit ? "exploit" : "injection";
+}
+
+PreflightReport Campaign::preflight(unsigned depth) const {
+  PreflightReport report;
+  report.depth = depth;
+  for (const hv::XenVersion version : config_.versions) {
+    const hv::VersionPolicy policy = hv::VersionPolicy::for_version(version);
+
+    analysis::ModelCheckConfig mc;
+    mc.version = version;
+    mc.depth = depth;
+    const analysis::ModelCheckResult result = analysis::run_model_check(mc);
+
+    PreflightVersionReport v;
+    v.version = version;
+    // The grant-downgrade leak is excluded: grant ops are not in the
+    // default alphabet (model_checker.hpp), so only the memory XSAs decide
+    // the expectation.
+    v.expected_vulnerable = policy.xsa148_l2_pse_unvalidated ||
+                            policy.xsa182_l4_fastpath_unvalidated ||
+                            policy.xsa212_unchecked_exchange_output;
+    v.states_explored = result.states_explored;
+    v.violations_found = result.violations_found;
+    v.reached_xsa =
+        result.reached(analysis::ErroneousStateClass::Xsa148SuperpageWindow) ||
+        result.reached(analysis::ErroneousStateClass::Xsa182WritableSelfMap) ||
+        result.reached(analysis::ErroneousStateClass::Xsa212IdtClobber) ||
+        result.reached(analysis::ErroneousStateClass::Xsa387StaleGrantStatus);
+    report.versions.push_back(v);
+  }
+  return report;
 }
 
 CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,

@@ -86,9 +86,46 @@ struct CampaignConfig {
   std::uint64_t max_cell_steps = 0;
 };
 
+/// What Campaign::preflight concluded for one configured version.
+struct PreflightVersionReport {
+  hv::XenVersion version{};
+  /// Policy carries at least one of the modelled XSA knobs, so the bounded
+  /// space is *expected* to reach an erroneous state.
+  bool expected_vulnerable = false;
+  /// States the bounded check actually reached / flagged.
+  std::uint64_t states_explored = 0;
+  std::uint64_t violations_found = 0;
+  bool reached_xsa = false;  ///< at least one recognized XSA class
+  /// The version matches its expectation: vulnerable versions reach an XSA
+  /// class, patched versions admit no violation at all.
+  [[nodiscard]] bool ok() const {
+    return expected_vulnerable ? reached_xsa : violations_found == 0;
+  }
+};
+
+/// Bounded model check of every configured version policy (src/analysis),
+/// run before any campaign cell executes.
+struct PreflightReport {
+  unsigned depth = 0;
+  std::vector<PreflightVersionReport> versions;
+  /// All versions matched expectations; campaign verdicts over these
+  /// policies are meaningful.
+  [[nodiscard]] bool ok() const {
+    for (const auto& v : versions)
+      if (!v.ok()) return false;
+    return !versions.empty();
+  }
+};
+
 class Campaign {
  public:
   explicit Campaign(CampaignConfig config) : config_{std::move(config)} {}
+
+  /// Model-check each configured version's policy up to `depth` before
+  /// running any cell: a patched policy that reaches an XSA erroneous state
+  /// (or a vulnerable one that cannot) means the campaign's spec and the
+  /// validation engine disagree, and every cell verdict would be suspect.
+  [[nodiscard]] PreflightReport preflight(unsigned depth = 2) const;
 
   /// Run every (use case × version × mode) cell.
   [[nodiscard]] std::vector<CellResult> run(

@@ -30,8 +30,14 @@ std::uint64_t sign_extend(std::uint64_t va) {
   return va;
 }
 
+// UserOnly prunes supervisor-only subtrees: the user flag can only be
+// cleared going down (hardware ANDs it along the path), so once an
+// intermediate entry drops it no descendant leaf can be user-reachable.
+// The hypervisor-private directmap alone is one leaf per machine frame per
+// domain, so the pruned walk skips the bulk of the tree.
+template <bool UserOnly, typename Fn>
 void walk_rec(const sim::PhysicalMemory& mem, const WalkFrame& frame,
-              const std::function<void(const LeafMapping&)>& fn) {
+              Fn&& fn) {
   for (unsigned i = 0; i < sim::kPtEntries; ++i) {
     const sim::Pte e{mem.read_slot(frame.table, i)};
     if (!e.present()) continue;
@@ -39,6 +45,7 @@ void walk_rec(const sim::PhysicalMemory& mem, const WalkFrame& frame,
         sign_extend(frame.va_base + i * level_span(frame.level));
     const bool writable = frame.writable && e.writable();
     const bool user = frame.user && e.user();
+    if (UserOnly && !user) continue;
     const bool leaf =
         frame.level == 1 || (e.large_page() && frame.level <= 3);
     if (leaf) {
@@ -52,8 +59,8 @@ void walk_rec(const sim::PhysicalMemory& mem, const WalkFrame& frame,
       continue;
     }
     if (!mem.contains(e.frame())) continue;
-    walk_rec(mem,
-             WalkFrame{e.frame(), frame.level - 1, va, writable, user}, fn);
+    walk_rec<UserOnly>(
+        mem, WalkFrame{e.frame(), frame.level - 1, va, writable, user}, fn);
   }
 }
 
@@ -61,7 +68,27 @@ void walk_rec(const sim::PhysicalMemory& mem, const WalkFrame& frame,
 
 void for_each_leaf(const Hypervisor& hv, sim::Mfn root,
                    const std::function<void(const LeafMapping&)>& fn) {
-  walk_rec(hv.memory(), WalkFrame{root, 4, 0, true, true}, fn);
+  walk_rec<false>(hv.memory(), WalkFrame{root, 4, 0, true, true}, fn);
+}
+
+std::vector<LeafMapping> collect_leaves(const Hypervisor& hv, sim::Mfn root) {
+  std::vector<LeafMapping> leaves;
+  walk_rec<false>(hv.memory(), WalkFrame{root, 4, 0, true, true},
+                  [&](const LeafMapping& m) { leaves.push_back(m); });
+  return leaves;
+}
+
+SystemWalk walk_system(const Hypervisor& hv) {
+  SystemWalk walk;
+  for (const DomainId id : hv.domain_ids()) {
+    DomainWalk dw{id, {}};
+    dw.leaves.reserve(hv.domain(id).nr_pages());
+    walk_rec<true>(hv.memory(),
+                   WalkFrame{hv.domain(id).cr3(), 4, 0, true, true},
+                   [&](const LeafMapping& m) { dw.leaves.push_back(m); });
+    walk.push_back(std::move(dw));
+  }
+  return walk;
 }
 
 std::string to_string(FindingKind kind) {
@@ -84,18 +111,22 @@ std::string to_string(FindingKind kind) {
 }
 
 AuditReport audit_system(const Hypervisor& hv) {
+  return audit_system(hv, walk_system(hv));
+}
+
+AuditReport audit_system(const Hypervisor& hv, const SystemWalk& walk) {
   AuditReport report;
   const sim::PhysicalMemory& mem = hv.memory();
   const FrameTable& frames = hv.frames();
 
-  // 1. Per-domain leaf-mapping invariants.
-  for (const DomainId id : hv.domain_ids()) {
-    const Domain& dom = hv.domain(id);
+  // 1. Per-domain leaf-mapping invariants, over the shared walk.
+  for (const DomainWalk& dw : walk) {
+    const DomainId id = dw.domain;
     const GrantTable* grant_table = hv.grants().find_table(id);
     const unsigned grant_version =
         grant_table != nullptr ? grant_table->version() : 1;
-    for_each_leaf(hv, dom.cr3(), [&](const LeafMapping& m) {
-      if (!m.user) return;  // supervisor-only mappings are Xen's business
+    for (const LeafMapping& m : dw.leaves) {
+      if (!m.user) continue;  // supervisor-only mappings are Xen's business
       const std::uint64_t n_frames = m.bytes / sim::kPageSize;
       for (std::uint64_t k = 0; k < n_frames; ++k) {
         const sim::Mfn f{m.mfn.raw() + k};
@@ -109,7 +140,7 @@ AuditReport audit_system(const Hypervisor& hv) {
           report.findings.push_back(
               {FindingKind::StaleGrantMapping, id, where});
         }
-        if (m.writable && is_pagetable_type(pi.type)) {
+        if (is_writable_pagetable_mapping(m.writable, pi.type)) {
           report.findings.push_back(
               {FindingKind::GuestWritablePageTable, id,
                where + " (" + to_string(pi.type) + ")"});
@@ -123,7 +154,7 @@ AuditReport audit_system(const Hypervisor& hv) {
                where + " (owner d" + std::to_string(pi.owner) + ")"});
         }
       }
-    });
+    }
   }
 
   // 2. IDT gates vs boot-time handlers.
@@ -163,6 +194,16 @@ AuditReport audit_system(const Hypervisor& hv) {
         ok = e.present() && e.frame() == hv.xen_l3();
       } else if (s == dm_slot) {
         ok = e.present();
+      } else if (s == kLinearPtSlot && e.present() &&
+                 !hv.policy().strict_reserved_slot_check) {
+        // Pre-4.9 linear-page-table facility: a READ-ONLY self map of the
+        // domain's own validated L4 is a legitimate resident of this slot —
+        // exactly what validate_and_write_entry accepts. Writable (the
+        // XSA-182 erroneous state), foreign or non-L4 entries are tampering.
+        const PageInfo* ti =
+            mem.contains(e.frame()) ? &frames.info(e.frame()) : nullptr;
+        ok = !e.writable() && ti != nullptr && ti->owner == id &&
+             ti->type == PageType::L4 && ti->validated;
       } else {
         ok = !e.present();
       }

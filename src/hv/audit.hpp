@@ -33,6 +33,27 @@ struct LeafMapping {
 void for_each_leaf(const Hypervisor& hv, sim::Mfn root,
                    const std::function<void(const LeafMapping&)>& fn);
 
+/// Materialized walk: every leaf reachable from `root`, in walk order.
+[[nodiscard]] std::vector<LeafMapping> collect_leaves(const Hypervisor& hv,
+                                                      sim::Mfn root);
+
+/// The user-reachable leaf mappings of one domain's current address space.
+/// Supervisor-only leaves (Xen text, the private directmap) are not
+/// materialized: every consumer filters them out, and the directmap alone
+/// contributes one leaf per machine frame.
+struct DomainWalk {
+  DomainId domain = kDomInvalid;
+  std::vector<LeafMapping> leaves;
+};
+
+/// One page-table walk over every live domain, materialized. Built once per
+/// audit and shared by every invariant check (and by the model checker's
+/// erroneous-state classifiers), so the tables are traversed exactly once
+/// and all consumers agree on what was reachable.
+using SystemWalk = std::vector<DomainWalk>;
+
+[[nodiscard]] SystemWalk walk_system(const Hypervisor& hv);
+
 /// Classes of invariant violations the auditor recognizes.
 enum class FindingKind {
   GuestWritablePageTable,  ///< a user-writable mapping covers a PT frame
@@ -62,7 +83,12 @@ struct AuditReport {
   }
 };
 
-/// Run every audit over the whole platform.
+/// Run every audit over the whole platform (walks the tables itself).
 [[nodiscard]] AuditReport audit_system(const Hypervisor& hv);
+
+/// Same audits over a walk the caller already materialized — the hoisted
+/// form every repeated consumer (InvariantAuditor, model checker) uses.
+[[nodiscard]] AuditReport audit_system(const Hypervisor& hv,
+                                       const SystemWalk& walk);
 
 }  // namespace ii::hv

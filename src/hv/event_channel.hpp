@@ -74,7 +74,7 @@ class EventChannelOps {
   /// Domain teardown: drop its ports and unbind any peers.
   void domain_destroyed(DomainId domain);
 
- private:
+  /// One event-channel port's hypervisor-side state.
   struct Port {
     bool allocated = false;
     DomainId remote = kDomInvalid;  ///< allowed binder while unbound
@@ -83,6 +83,25 @@ class EventChannelOps {
     unsigned peer_port = 0;
   };
 
+  /// Complete port/handler state for hv/snapshot.hpp (pending/mask bits
+  /// live in guest memory and are captured with the memory image).
+  struct State {
+    std::map<DomainId, std::map<unsigned, Port>> ports;
+    std::set<std::pair<DomainId, unsigned>> handlers;
+    std::map<DomainId, unsigned> next_port;
+    std::uint64_t total_sent = 0;
+  };
+  [[nodiscard]] State state() const {
+    return State{ports_, handlers_, next_port_, total_sent_};
+  }
+  void restore(State state) {
+    ports_ = std::move(state.ports);
+    handlers_ = std::move(state.handlers);
+    next_port_ = std::move(state.next_port);
+    total_sent_ = state.total_sent;
+  }
+
+ private:
   [[nodiscard]] sim::Paddr shared_info_of(DomainId domain) const;
   void set_pending_bit(DomainId domain, unsigned port);
 

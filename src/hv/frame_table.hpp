@@ -49,6 +49,26 @@ enum class PageType : std::uint8_t {
          t == PageType::L4;
 }
 
+/// Page-table type for a numeric walk level (1..4), None otherwise.
+[[nodiscard]] constexpr PageType pagetable_type_of_level(int level) {
+  switch (level) {
+    case 1: return PageType::L1;
+    case 2: return PageType::L2;
+    case 3: return PageType::L3;
+    case 4: return PageType::L4;
+    default: return PageType::None;
+  }
+}
+
+/// The direct-paging core invariant, in predicate form: a guest-reachable
+/// mapping with write rights must never cover a frame in page-table use.
+/// Shared by the auditor (audit.cpp), the recovery sanitizer (recovery.cpp)
+/// and the model checker (src/analysis) so all three agree by construction.
+[[nodiscard]] constexpr bool is_writable_pagetable_mapping(bool writable,
+                                                           PageType frame_type) {
+  return writable && is_pagetable_type(frame_type);
+}
+
 /// Book-keeping for one machine frame.
 struct PageInfo {
   DomainId owner = kDomInvalid;
@@ -102,6 +122,22 @@ class FrameTable {
   [[nodiscard]] std::vector<sim::Mfn> frames_of(DomainId owner) const;
 
   [[nodiscard]] std::uint64_t free_frames() const;
+
+  /// The allocator's complete hidden state. Snapshot/restore (see
+  /// hv/snapshot.hpp) must capture it because allocation order is
+  /// semantically observable: the XSA-212 grooming depends on it, and a
+  /// restored state must hand out the same frames as the original would.
+  struct AllocatorState {
+    std::deque<std::uint64_t> free_list;
+    std::uint64_t bump = 0;
+  };
+  [[nodiscard]] AllocatorState allocator_state() const {
+    return AllocatorState{free_list_, bump_};
+  }
+  void restore_allocator(AllocatorState state) {
+    free_list_ = std::move(state.free_list);
+    bump_ = state.bump;
+  }
 
  private:
   std::vector<PageInfo> info_;

@@ -119,6 +119,24 @@ class GrantOps {
     return tables_;
   }
 
+  /// Complete grant state for hv/snapshot.hpp. GrantTable, GrantEntry and
+  /// GrantMapping are plain values, so copying the maps captures everything
+  /// — including the handle counter, which is guest-visible (a restored
+  /// state must hand out the same handles the original would).
+  struct State {
+    std::map<DomainId, GrantTable> tables;
+    std::map<GrantHandle, GrantMapping> mappings;
+    GrantHandle next_handle = 1;
+  };
+  [[nodiscard]] State state() const {
+    return State{tables_, mappings_, next_handle_};
+  }
+  void restore(State state) {
+    tables_ = std::move(state.tables);
+    mappings_ = std::move(state.mappings);
+    next_handle_ = state.next_handle;
+  }
+
  private:
   Hypervisor* hv_;
   std::map<DomainId, GrantTable> tables_;

@@ -35,6 +35,7 @@
 namespace ii::hv {
 
 struct RecoveryReport;  // recovery.hpp
+struct HvSnapshot;      // snapshot.hpp
 
 /// Construction parameters.
 struct HvConfig {
@@ -183,6 +184,25 @@ class Hypervisor {
   /// Availability state: a wedged (livelocked) CPU, distinct from a panic.
   [[nodiscard]] bool cpu_hung() const { return cpu_hung_; }
   void report_cpu_hang(const std::string& reason);
+
+  // --------------------------------------------------------------- snapshot
+  /// Capture the complete mutable machine state — physical memory image,
+  /// frame table (incl. allocator), domains, grant and event-channel state,
+  /// liveness flags — as a value (snapshot.cpp). A snapshot is only valid
+  /// for restoring onto the *same* Hypervisor instance (boot-time layout —
+  /// xen tables, IDT base, policy — is not captured because it never
+  /// changes after construction). This is what lets the bounded model
+  /// checker (src/analysis) explore the hypercall state machine by
+  /// checkpoint/restore instead of replaying from boot.
+  [[nodiscard]] HvSnapshot snapshot() const;
+  void restore(const HvSnapshot& snap);
+
+  /// 64-bit FNV-1a digest of the semantically observable state (memory,
+  /// frame table + allocator, domains with canonicalized pin order, grant
+  /// and event-channel state, liveness flags; console excluded). Two states
+  /// with equal hashes behave identically under every further hypercall —
+  /// the model checker's dedup key.
+  [[nodiscard]] std::uint64_t state_hash() const;
 
   // ---------------------------------------------------------- observability
   /// Attach (or detach with nullptr) a trace sink. The same sink is wired

@@ -335,6 +335,11 @@ long Hypervisor::hypercall_mmuext_op(DomainId caller, const MmuExtOp& op) {
       return rc;
     }
     case MmuExtCmd::UnpinTable: {
+      // The loaded baseptr keeps its table in use: real Xen holds a
+      // separate type reference for cr3, which this model folds into the
+      // pin — so dropping the pin of the live root would cascade-invalidate
+      // the whole tree out from under the running domain.
+      if (op.mfn == dom.cr3()) return kEBUSY;
       if (!dom.remove_pinned(op.mfn)) return kEINVAL;
       put_page_type(op.mfn);
       return kOk;

@@ -72,6 +72,10 @@ std::vector<Invariant> RecoveryReport::restored() const {
 // ----------------------------------------------------------------- auditor
 
 InvariantReport InvariantAuditor::audit() const {
+  return audit(walk_system(*hv_));
+}
+
+InvariantReport InvariantAuditor::audit(const SystemWalk& walk) const {
   InvariantReport report;
   const Hypervisor& hv = *hv_;
 
@@ -93,8 +97,10 @@ InvariantReport InvariantAuditor::audit() const {
   if (hv.crashed()) add(Invariant::Liveness, kDomInvalid, "hypervisor panicked");
   if (hv.cpu_hung()) add(Invariant::Liveness, kDomInvalid, "CPU0 wedged");
 
-  // 2. Structural audits, grouped by the property they protect.
-  for (const AuditFinding& f : audit_system(hv).findings) {
+  // 2. Structural audits, grouped by the property they protect. The page
+  // tables were walked exactly once (walk_system) and the materialized walk
+  // is shared by every structural check instead of re-walking per invariant.
+  for (const AuditFinding& f : audit_system(hv, walk).findings) {
     if (dead(f.domain)) continue;
     Invariant inv{};
     switch (f.kind) {
@@ -235,8 +241,17 @@ std::uint64_t Hypervisor::recover_sanitize_tables(
         } else {
           self(self, e.frame(), level - 1);
         }
-      } else if (e.writable() && seen_level.count(e.frame().raw()) != 0) {
-        drop = true;  // writable window over a live page-table frame
+      } else {
+        // L1 leaf: the shared core-invariant predicate decides. During
+        // recovery a frame's "type" is the level the collect pass assigned
+        // it (the live types were wiped by the frame reset).
+        const auto it = seen_level.find(e.frame().raw());
+        const PageType in_use = it == seen_level.end()
+                                    ? PageType::None
+                                    : pagetable_type_of_level(it->second);
+        if (is_writable_pagetable_mapping(e.writable(), in_use)) {
+          drop = true;  // writable window over a live page-table frame
+        }
       }
       if (drop) {
         mem_->write_slot(table, s, 0);

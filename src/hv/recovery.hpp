@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "hv/audit.hpp"
 #include "hv/hypervisor.hpp"
 
 namespace ii::hv {
@@ -68,7 +69,14 @@ class InvariantAuditor {
  public:
   explicit InvariantAuditor(const Hypervisor& hv) : hv_{&hv} {}
 
+  /// Walks the page tables once (hv/audit.hpp walk_system) and runs every
+  /// invariant check over the shared walk.
   [[nodiscard]] InvariantReport audit() const;
+
+  /// Same checks over a walk the caller already materialized — what the
+  /// model checker uses so audit and erroneous-state classification see
+  /// the identical traversal.
+  [[nodiscard]] InvariantReport audit(const SystemWalk& walk) const;
 
  private:
   const Hypervisor* hv_;

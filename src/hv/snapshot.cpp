@@ -1,0 +1,180 @@
+// Hypervisor state capture/restore and the canonical state digest
+// (see snapshot.hpp for the model).
+#include "hv/snapshot.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ii::hv {
+
+namespace {
+
+/// 64-bit FNV-1a. Not cryptographic — a dedup key for the model checker's
+/// visited-state set, chosen for determinism across runs and platforms.
+class Fnv1a {
+ public:
+  void u8(std::uint8_t v) { hash_ = (hash_ ^ v) * kPrime; }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void bytes(std::span<const std::uint8_t> data) {
+    for (const std::uint8_t b : data) u8(b);
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+}  // namespace
+
+std::uint64_t Hypervisor::state_hash() const {
+  Fnv1a h;
+
+  // Physical memory image: page tables, the IDT, guest data.
+  for (std::uint64_t m = 0; m < mem_->frame_count(); ++m) {
+    h.bytes(mem_->frame_bytes(sim::Mfn{m}));
+  }
+
+  // Frame table and the allocator's observable hidden state (future
+  // allocations depend on it, so it is semantically part of the state).
+  for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
+    const PageInfo& pi = frames_.info(sim::Mfn{m});
+    h.u64(pi.owner);
+    h.u8(static_cast<std::uint8_t>(pi.type));
+    h.u64(pi.type_count);
+    h.u64(pi.ref_count);
+    h.boolean(pi.validated);
+  }
+  const FrameTable::AllocatorState alloc = frames_.allocator_state();
+  h.u64(alloc.bump);
+  for (const std::uint64_t f : alloc.free_list) h.u64(f);
+
+  // Domains (std::map iterates in id order). The pin list is canonicalized
+  // by sorting: pin order is an artifact of operation history, not state —
+  // unpin works per-mfn regardless of order.
+  for (const auto& [id, dom] : domains_) {
+    h.u64(id);
+    h.boolean(dom->crashed());
+    h.u64(dom->cr3().raw());
+    h.u64(dom->start_info_mfn().raw());
+    h.u64(dom->nr_pages());
+    for (std::uint64_t p = 0; p < dom->nr_pages(); ++p) {
+      const auto mfn = dom->p2m(sim::Pfn{p});
+      h.u64(mfn ? mfn->raw() + 1 : 0);
+    }
+    std::vector<std::uint64_t> pins;
+    for (const sim::Mfn m : dom->pinned_tables()) pins.push_back(m.raw());
+    std::sort(pins.begin(), pins.end());
+    for (const std::uint64_t p : pins) h.u64(p);
+    for (std::uint8_t v = 0;; ++v) {
+      if (const auto handler = dom->trap_handler(v)) {
+        h.u8(v);
+        h.u64(handler->raw());
+      }
+      if (v == 255) break;
+    }
+  }
+  h.u64(next_domid_);
+
+  // Grant state, including the guest-visible handle counter.
+  const GrantOps::State grants = grants_.state();
+  for (const auto& [id, table] : grants.tables) {
+    h.u64(id);
+    h.u64(table.version());
+    for (const GrantEntry& e : table.entries()) {
+      h.u64(e.peer);
+      h.u64(e.pfn.raw());
+      h.boolean(e.readonly);
+      h.boolean(e.in_use);
+      h.u64(e.maps);
+    }
+    for (const sim::Mfn f : table.status_frames()) h.u64(f.raw());
+  }
+  for (const auto& [handle, m] : grants.mappings) {
+    h.u64(handle);
+    h.u64(m.mapper);
+    h.u64(m.granter);
+    h.u64(m.ref);
+    h.u64(m.frame.raw());
+    h.boolean(m.readonly);
+  }
+  h.u64(grants.next_handle);
+
+  // Event channels (pending/mask bits are in the memory image already).
+  const EventChannelOps::State events = events_.state();
+  for (const auto& [id, ports] : events.ports) {
+    h.u64(id);
+    for (const auto& [port, p] : ports) {
+      h.u64(port);
+      h.boolean(p.allocated);
+      h.u64(p.remote);
+      h.boolean(p.bound);
+      h.u64(p.peer_domain);
+      h.u64(p.peer_port);
+    }
+  }
+  for (const auto& [id, port] : events.handlers) {
+    h.u64(id);
+    h.u64(port);
+  }
+
+  // Liveness flags; the console ring is log-only and excluded.
+  h.boolean(crashed_);
+  h.boolean(cpu_hung_);
+  return h.value();
+}
+
+HvSnapshot Hypervisor::snapshot() const {
+  HvSnapshot snap;
+  snap.memory.resize(mem_->byte_size());
+  mem_->read(sim::Paddr{0}, snap.memory);
+
+  snap.frames.reserve(frames_.frame_count());
+  for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
+    snap.frames.push_back(frames_.info(sim::Mfn{m}));
+  }
+  snap.allocator = frames_.allocator_state();
+
+  for (const auto& [id, dom] : domains_) snap.domains.push_back(*dom);
+  snap.next_domid = next_domid_;
+
+  snap.grants = grants_.state();
+  snap.events = events_.state();
+
+  snap.crashed = crashed_;
+  snap.cpu_hung = cpu_hung_;
+  snap.console = console_;
+  snap.hash = state_hash();
+  return snap;
+}
+
+void Hypervisor::restore(const HvSnapshot& snap) {
+  if (snap.memory.size() != mem_->byte_size() ||
+      snap.frames.size() != frames_.frame_count()) {
+    throw std::logic_error{
+        "HvSnapshot::restore: snapshot shape does not match this machine"};
+  }
+  mem_->write(sim::Paddr{0}, snap.memory);
+  for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
+    frames_.info(sim::Mfn{m}) = snap.frames[m];
+  }
+  frames_.restore_allocator(snap.allocator);
+
+  domains_.clear();
+  for (const Domain& dom : snap.domains) {
+    domains_.emplace(dom.id(), std::make_unique<Domain>(dom));
+  }
+  next_domid_ = snap.next_domid;
+
+  grants_.restore(snap.grants);
+  events_.restore(snap.events);
+
+  crashed_ = snap.crashed;
+  cpu_hung_ = snap.cpu_hung;
+  console_ = snap.console;
+}
+
+}  // namespace ii::hv

@@ -1,0 +1,50 @@
+// Cloneable, hashable hypervisor state snapshots.
+//
+// The Hypervisor itself is non-copyable (it owns callbacks and is wired
+// into shared PhysicalMemory), but everything an intrusion — or a hypercall
+// — can mutate is plain data: the memory image, the frame table, the
+// domains, grant and event-channel bookkeeping, and the liveness flags.
+// HvSnapshot captures exactly that set as a value, so the bounded model
+// checker (src/analysis) can push a state on its work queue, explore one
+// successor, and restore; and tests can assert byte-precise state
+// equivalence after restore.
+//
+// A snapshot does NOT capture boot-time constants (Xen's own tables, the
+// IDT base, default handlers, the version policy, registered sinks and
+// executors): those never change after construction, which is why a
+// snapshot may only be restored onto the Hypervisor it was taken from (or
+// one built with identical configuration).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hv/hypervisor.hpp"
+
+namespace ii::hv {
+
+struct HvSnapshot {
+  /// Full physical-memory image (page tables, IDT, guest data — everything).
+  std::vector<std::uint8_t> memory;
+
+  /// Per-frame PageInfo, index = MFN.
+  std::vector<PageInfo> frames;
+  FrameTable::AllocatorState allocator;
+
+  /// Value copies of every live domain, in DomainId order.
+  std::vector<Domain> domains;
+  DomainId next_domid = kDom0;
+
+  GrantOps::State grants;
+  EventChannelOps::State events;
+
+  bool crashed = false;
+  bool cpu_hung = false;
+  std::vector<std::string> console;
+
+  /// state_hash() at capture time.
+  std::uint64_t hash = 0;
+};
+
+}  // namespace ii::hv

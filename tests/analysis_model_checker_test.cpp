@@ -1,0 +1,124 @@
+// The bounded model checker's core theorem (model_checker.hpp): under the
+// 4.6 policy the depth-2 space reaches the paper's XSA erroneous states,
+// while 4.8 and 4.13 admit no invariant violation over the same space.
+// Plus the structural properties that make counterexamples trustworthy:
+// determinism, BFS minimality, and hash dedup actually firing.
+#include <gtest/gtest.h>
+
+#include "analysis/model_checker.hpp"
+
+namespace ii::analysis {
+namespace {
+
+ModelCheckConfig config_for(hv::XenVersion version, unsigned depth,
+                            bool grants = false) {
+  ModelCheckConfig config;
+  config.version = version;
+  config.depth = depth;
+  config.include_grant_ops = grants;
+  return config;
+}
+
+TEST(ModelChecker, Xen46Depth1ReachesXsa148) {
+  const auto result = run_model_check(config_for(hv::kXen46, 1));
+  EXPECT_TRUE(result.reached(ErroneousStateClass::Xsa148SuperpageWindow));
+  EXPECT_FALSE(result.reached(ErroneousStateClass::Xsa182WritableSelfMap));
+  EXPECT_FALSE(result.reached(ErroneousStateClass::Xsa212IdtClobber));
+  ASSERT_FALSE(result.counterexamples.empty());
+  // BFS minimality: the superpage window is one operation away from boot,
+  // so its counterexample must have depth exactly 1.
+  EXPECT_EQ(1u, result.counterexamples.front().depth);
+}
+
+TEST(ModelChecker, Xen46Depth2ReachesAllThreeMemoryXsas) {
+  const auto result = run_model_check(config_for(hv::kXen46, 2));
+  EXPECT_TRUE(result.reached(ErroneousStateClass::Xsa148SuperpageWindow));
+  EXPECT_TRUE(result.reached(ErroneousStateClass::Xsa182WritableSelfMap));
+  EXPECT_TRUE(result.reached(ErroneousStateClass::Xsa212IdtClobber));
+  EXPECT_FALSE(result.reached(ErroneousStateClass::Other));
+  EXPECT_FALSE(result.truncated);
+  // Every violating state is captured while under max_counterexamples.
+  EXPECT_EQ(result.violations_found, result.counterexamples.size());
+}
+
+TEST(ModelChecker, Xen48Depth2IsClean) {
+  const auto result = run_model_check(config_for(hv::kXen48, 2));
+  EXPECT_TRUE(result.clean()) << render_report(result);
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(ModelChecker, Xen413Depth2IsClean) {
+  const auto result = run_model_check(config_for(hv::kXen413, 2));
+  EXPECT_TRUE(result.clean()) << render_report(result);
+}
+
+TEST(ModelChecker, GrantOpsExposeXsa387OnPre413Only) {
+  const auto old46 = run_model_check(config_for(hv::kXen46, 2, true));
+  EXPECT_TRUE(old46.reached(ErroneousStateClass::Xsa387StaleGrantStatus));
+
+  // 4.8 fixed the memory XSAs but still carries the downgrade leak: with
+  // grant ops in the alphabet it must find exactly that class and nothing
+  // else.
+  const auto old48 = run_model_check(config_for(hv::kXen48, 2, true));
+  EXPECT_TRUE(old48.reached(ErroneousStateClass::Xsa387StaleGrantStatus));
+  EXPECT_FALSE(old48.reached(ErroneousStateClass::Xsa148SuperpageWindow));
+  EXPECT_FALSE(old48.reached(ErroneousStateClass::Xsa182WritableSelfMap));
+  EXPECT_FALSE(old48.reached(ErroneousStateClass::Xsa212IdtClobber));
+  EXPECT_FALSE(old48.reached(ErroneousStateClass::Other));
+
+  const auto fixed = run_model_check(config_for(hv::kXen413, 2, true));
+  EXPECT_TRUE(fixed.clean()) << render_report(fixed);
+}
+
+TEST(ModelChecker, RunsAreDeterministic) {
+  const auto a = run_model_check(config_for(hv::kXen46, 2));
+  const auto b = run_model_check(config_for(hv::kXen46, 2));
+  EXPECT_EQ(a.states_explored, b.states_explored);
+  EXPECT_EQ(a.ops_applied, b.ops_applied);
+  EXPECT_EQ(a.violations_found, b.violations_found);
+  ASSERT_EQ(a.counterexamples.size(), b.counterexamples.size());
+  for (std::size_t i = 0; i < a.counterexamples.size(); ++i) {
+    EXPECT_EQ(a.counterexamples[i].state_hash,
+              b.counterexamples[i].state_hash);
+    EXPECT_EQ(a.counterexamples[i].trace_string(),
+              b.counterexamples[i].trace_string());
+  }
+}
+
+TEST(ModelChecker, HashDedupFolds) {
+  // Depth 2 revisits states (e.g. write X then write Y == write Y then
+  // write X for independent slots), so dedup must fire.
+  const auto result = run_model_check(config_for(hv::kXen46, 2));
+  EXPECT_GT(result.states_deduped, 0u);
+}
+
+TEST(ModelChecker, CounterexamplesCarryDiffAndFindings) {
+  const auto result = run_model_check(config_for(hv::kXen46, 1));
+  ASSERT_FALSE(result.counterexamples.empty());
+  const Counterexample& cx = result.counterexamples.front();
+  EXPECT_FALSE(cx.ops.empty());
+  EXPECT_FALSE(cx.ops.front().label.empty());
+  EXPECT_FALSE(cx.state_diff.empty());
+  EXPECT_FALSE(cx.report.findings.empty());
+  EXPECT_FALSE(cx.violated.empty());
+}
+
+TEST(ModelChecker, MaxStatesTruncates) {
+  auto config = config_for(hv::kXen46, 3);
+  config.max_states = 20;
+  const auto result = run_model_check(config);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_LE(result.states_explored, 21u);  // may finish the expansion step
+}
+
+TEST(ModelChecker, RenderReportMentionsEveryClass) {
+  const auto result = run_model_check(config_for(hv::kXen46, 1));
+  const std::string report = render_report(result);
+  for (std::size_t c = 0; c < kErroneousStateClassCount; ++c) {
+    EXPECT_NE(std::string::npos,
+              report.find(to_string(static_cast<ErroneousStateClass>(c))));
+  }
+}
+
+}  // namespace
+}  // namespace ii::analysis

@@ -73,11 +73,35 @@ TEST(Audit, DetectsForeignXenL3Entry) {
 
 TEST(Audit, DetectsReservedSlotTampering) {
   Fixture f;
+  // A WRITABLE linear self map (the XSA-182 erroneous state) is tampering
+  // on every version, including the pre-4.9 policies that tolerate the
+  // read-only linear-page-table facility in this slot.
   f.mem.write_slot(f.hv.domain(f.guest).cr3(), kLinearPtSlot,
                    sim::Pte::make(f.hv.domain(f.guest).cr3(),
-                                  sim::Pte::kPresent | sim::Pte::kUser)
+                                  sim::Pte::kPresent | sim::Pte::kWritable |
+                                      sim::Pte::kUser)
                        .raw());
   EXPECT_TRUE(audit_system(f.hv).has(FindingKind::ReservedSlotTampered));
+}
+
+TEST(Audit, ReadOnlyLinearSelfMapLegalOnlyPre49) {
+  // The legitimate pre-4.9 linear-page-table shape: a read-only self map
+  // of the domain's own validated L4. validate_and_write_entry accepts it
+  // on 4.6/4.8, so the audit must not flag it there — but 4.9+ rejects any
+  // guest entry in the reserved slots, so on 4.13 the same PTE is tampering.
+  Fixture old{kXen48};
+  old.mem.write_slot(old.hv.domain(old.guest).cr3(), kLinearPtSlot,
+                     sim::Pte::make(old.hv.domain(old.guest).cr3(),
+                                    sim::Pte::kPresent | sim::Pte::kUser)
+                         .raw());
+  EXPECT_FALSE(audit_system(old.hv).has(FindingKind::ReservedSlotTampered));
+
+  Fixture strict{kXen413};
+  strict.mem.write_slot(strict.hv.domain(strict.guest).cr3(), kLinearPtSlot,
+                        sim::Pte::make(strict.hv.domain(strict.guest).cr3(),
+                                       sim::Pte::kPresent | sim::Pte::kUser)
+                            .raw());
+  EXPECT_TRUE(audit_system(strict.hv).has(FindingKind::ReservedSlotTampered));
 }
 
 TEST(Audit, FindingNamesAreStable) {

@@ -1,0 +1,160 @@
+// Regression tests seeded from depth-2 bounded model-check enumeration
+// (src/analysis): edge cases of memory_exchange, unpin and the grant-table
+// lifecycle that the hand-written use cases never drive.
+#include <gtest/gtest.h>
+
+#include "hv/audit.hpp"
+#include "hv/errors.hpp"
+#include "hv/hypervisor.hpp"
+#include "hv/layout.hpp"
+#include "hv/recovery.hpp"
+#include "hv/snapshot.hpp"
+
+namespace ii::hv {
+namespace {
+
+struct Fixture {
+  explicit Fixture(XenVersion version = kXen48)
+      : mem{256}, hv{mem, VersionPolicy::for_version(version)} {
+    dom0 = hv.create_domain("dom0", true, 16);
+    guest = hv.create_domain("guest01", false, 16);
+  }
+  sim::Mfn guest_mfn(std::uint64_t pfn) {
+    return *hv.domain(guest).p2m(sim::Pfn{pfn});
+  }
+  long mmu_update(sim::Mfn table, unsigned slot, std::uint64_t val) {
+    const MmuUpdate req{sim::mfn_to_paddr(table).raw() + 8ULL * slot, val};
+    return hv.hypercall_mmu_update(guest, std::span{&req, 1});
+  }
+  /// The guest-kernel L1 table (maps pfns 0..15 of the 16-page domain).
+  sim::Mfn l1() { return guest_mfn(12); }
+
+  sim::PhysicalMemory mem;
+  Hypervisor hv;
+  DomainId dom0{}, guest{};
+};
+
+// ------------------------------------------------------------------ exchange
+
+TEST(ExchangeEdge, StillMappedPageIsBusyAndStateUnchanged) {
+  Fixture f;
+  const HvSnapshot before = f.hv.snapshot();
+  MemoryExchange exch{{kFirstFreePfn},
+                      guest_directmap_vaddr(sim::Pfn{5}), 0};
+  EXPECT_EQ(kEBUSY, f.hv.hypercall_memory_exchange(f.guest, exch));
+  EXPECT_EQ(0u, exch.nr_exchanged);
+  EXPECT_EQ(before.hash, f.hv.state_hash());
+}
+
+TEST(ExchangeEdge, CheckedPathFaultsButAlreadyMutatedState) {
+  // Depth-2 enumeration surfaced this 4.8 wrinkle: exchange with a hostile
+  // output pointer is *refused* (the XSA-212 fix adds the range check), but
+  // the refusal happens after the frame swap and P2M update — exactly like
+  // real Xen, where the guest copy-back is the last step. The erroneous
+  // output write is prevented; the guest's own exchange still happened.
+  Fixture f{kXen48};
+  const sim::Mfn old_mfn = f.guest_mfn(kFirstFreePfn.raw());
+  ASSERT_EQ(kOk, f.mmu_update(f.l1(), kFirstFreePfn.raw(), 0));
+
+  MemoryExchange exch{{kFirstFreePfn}, directmap_vaddr(f.hv.idt_base()), 0};
+  EXPECT_EQ(kEFAULT, f.hv.hypercall_memory_exchange(f.guest, exch));
+
+  // The page was re-provisioned even though the hypercall failed...
+  const sim::Mfn new_mfn = f.guest_mfn(kFirstFreePfn.raw());
+  EXPECT_NE(old_mfn, new_mfn);
+  // ...but no invariant is violated: the IDT was never written.
+  EXPECT_TRUE(InvariantAuditor{f.hv}.audit().clean());
+}
+
+TEST(ExchangeEdge, UncheckedPathClobbersIdtOn46) {
+  Fixture f{kXen46};
+  ASSERT_EQ(kOk, f.mmu_update(f.l1(), kFirstFreePfn.raw(), 0));
+  MemoryExchange exch{{kFirstFreePfn}, directmap_vaddr(f.hv.idt_base()), 0};
+  EXPECT_EQ(kOk, f.hv.hypercall_memory_exchange(f.guest, exch));
+  EXPECT_EQ(1u, exch.nr_exchanged);
+  const auto report = InvariantAuditor{f.hv}.audit();
+  EXPECT_TRUE(report.violated(Invariant::IdtIntegrity));
+}
+
+TEST(ExchangeEdge, OutputOverOwnRoMappedTableIsRefusedEverywhere) {
+  // Output pointer aimed at the guest's own L1 page: the replacement-MFN
+  // write would go through a read-only mapping of a validated table, so
+  // even the unchecked 4.6 path must refuse at the write itself.
+  for (const XenVersion version : {kXen46, kXen48, kXen413}) {
+    Fixture f{version};
+    ASSERT_EQ(kOk, f.mmu_update(f.l1(), kFirstFreePfn.raw(), 0));
+    MemoryExchange exch{{kFirstFreePfn},
+                        guest_directmap_vaddr(sim::Pfn{12}), 0};
+    EXPECT_EQ(kEFAULT, f.hv.hypercall_memory_exchange(f.guest, exch))
+        << version.to_string();
+    EXPECT_TRUE(InvariantAuditor{f.hv}.audit().clean()) << version.to_string();
+  }
+}
+
+// ---------------------------------------------------------------- pin/unpin
+
+TEST(UnpinEdge, LoadedBaseptrCannotBeUnpinned) {
+  // The pin folds the CR3 type reference into itself (hypervisor.hpp), so
+  // unpinning the live root must refuse rather than cascade-invalidate the
+  // running domain's tree.
+  Fixture f;
+  const sim::Mfn cr3 = f.hv.domain(f.guest).cr3();
+  EXPECT_EQ(kEBUSY, f.hv.hypercall_mmuext_op(
+                        f.guest, MmuExtOp{MmuExtCmd::UnpinTable, cr3}));
+  // Still validated, still the loaded root.
+  EXPECT_TRUE(f.hv.frames().info(cr3).validated);
+  EXPECT_EQ(cr3, f.hv.domain(f.guest).cr3());
+  EXPECT_TRUE(InvariantAuditor{f.hv}.audit().clean());
+}
+
+TEST(UnpinEdge, UnpinnedNonRootTableIsReclaimable) {
+  Fixture f;
+  // Pin a zeroed data page as an L1, then unpin it again: the frame must
+  // return to writable-mappable (type-free) state.
+  ASSERT_EQ(kOk, f.mmu_update(f.l1(), kFirstFreePfn.raw(), 0));
+  const sim::Mfn mfn = f.guest_mfn(kFirstFreePfn.raw());
+  ASSERT_EQ(kOk, f.hv.hypercall_mmuext_op(
+                     f.guest, MmuExtOp{MmuExtCmd::PinL1Table, mfn}));
+  EXPECT_EQ(PageType::L1, f.hv.frames().info(mfn).type);
+  ASSERT_EQ(kOk, f.hv.hypercall_mmuext_op(
+                     f.guest, MmuExtOp{MmuExtCmd::UnpinTable, mfn}));
+  EXPECT_EQ(kOk,
+            f.mmu_update(f.l1(), kFirstFreePfn.raw(),
+                         sim::Pte::make(mfn, sim::Pte::kPresent |
+                                                 sim::Pte::kWritable |
+                                                 sim::Pte::kUser)
+                             .raw()));
+  EXPECT_TRUE(InvariantAuditor{f.hv}.audit().clean());
+}
+
+// -------------------------------------------------------------------- grants
+
+TEST(GrantEdge, DowngradeLeaksStatusFrameOn48ButNot413) {
+  Fixture old{kXen48};
+  ASSERT_EQ(kOk, old.hv.grants().set_version(old.guest, 2));
+  ASSERT_EQ(kOk, old.hv.grants().set_version(old.guest, 1));
+  const auto leaked = InvariantAuditor{old.hv}.audit();
+  EXPECT_TRUE(leaked.violated(Invariant::GrantLifecycle));
+
+  Fixture fixed{kXen413};
+  ASSERT_EQ(kOk, fixed.hv.grants().set_version(fixed.guest, 2));
+  ASSERT_EQ(kOk, fixed.hv.grants().set_version(fixed.guest, 1));
+  EXPECT_TRUE(InvariantAuditor{fixed.hv}.audit().clean());
+}
+
+TEST(GrantEdge, EndAccessWhileMappedIsBusy) {
+  Fixture f;
+  ASSERT_EQ(kOk, f.hv.grants().grant_access(f.guest, 0, f.dom0,
+                                            kFirstFreePfn, false));
+  GrantHandle handle{};
+  sim::Mfn frame{};
+  ASSERT_EQ(kOk,
+            f.hv.grants().map_grant(f.dom0, f.guest, 0, &handle, &frame));
+  EXPECT_EQ(frame, f.guest_mfn(kFirstFreePfn.raw()));
+  EXPECT_EQ(kEBUSY, f.hv.grants().end_access(f.guest, 0));
+  ASSERT_EQ(kOk, f.hv.grants().unmap_grant(f.dom0, handle));
+  EXPECT_EQ(kOk, f.hv.grants().end_access(f.guest, 0));
+}
+
+}  // namespace
+}  // namespace ii::hv

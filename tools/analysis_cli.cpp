@@ -1,0 +1,140 @@
+// Bounded model checker front end.
+//
+// Usage:
+//   analysis_cli [--version 4.6|4.8|4.13] [--depth N] [--domains N]
+//                [--domain-pages N] [--machine-frames N] [--grants]
+//                [--max-states N] [--max-counterexamples N]
+//                [--expect vulnerable|clean] [--quiet]
+//
+// Explores every guest-issuable operation sequence up to --depth against
+// the selected version policy and prints which of the paper's erroneous
+// states are reachable, with a minimal counterexample trace for each
+// violating state.
+//
+// --expect turns the run into a CI gate:
+//   --expect vulnerable  exit 0 iff at least one XSA class was reached
+//   --expect clean       exit 0 iff no invariant violation exists at all
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/model_checker.hpp"
+
+namespace {
+
+int usage() {
+  std::puts(
+      "usage: analysis_cli [--version 4.6|4.8|4.13] [--depth N] "
+      "[--domains N]\n"
+      "                    [--domain-pages N] [--machine-frames N] "
+      "[--grants]\n"
+      "                    [--max-states N] [--max-counterexamples N]\n"
+      "                    [--expect vulnerable|clean] [--quiet]");
+  return 2;
+}
+
+bool parse_unsigned(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ii;
+
+  analysis::ModelCheckConfig config;
+  std::string expect;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t n = 0;
+    if (arg == "--version") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      if (std::strcmp(v, "4.6") == 0) {
+        config.version = hv::kXen46;
+      } else if (std::strcmp(v, "4.8") == 0) {
+        config.version = hv::kXen48;
+      } else if (std::strcmp(v, "4.13") == 0) {
+        config.version = hv::kXen413;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--depth") {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, &n) || n == 0) return usage();
+      config.depth = static_cast<unsigned>(n);
+    } else if (arg == "--domains") {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, &n) || n == 0) return usage();
+      config.guest_domains = static_cast<unsigned>(n);
+    } else if (arg == "--domain-pages") {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, &n)) return usage();
+      config.domain_pages = n;
+    } else if (arg == "--machine-frames") {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, &n)) return usage();
+      config.machine_frames = n;
+    } else if (arg == "--max-states") {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, &n)) return usage();
+      config.max_states = n;
+    } else if (arg == "--max-counterexamples") {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, &n)) return usage();
+      config.max_counterexamples = n;
+    } else if (arg == "--grants") {
+      config.include_grant_ops = true;
+    } else if (arg == "--expect") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      expect = v;
+      if (expect != "vulnerable" && expect != "clean") return usage();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage();
+    }
+  }
+
+  const analysis::ModelCheckResult result = analysis::run_model_check(config);
+  if (!quiet) {
+    std::fputs(analysis::render_report(result).c_str(), stdout);
+  }
+
+  if (expect == "clean") {
+    if (!result.clean()) {
+      std::fprintf(stderr,
+                   "FAIL: expected clean, found %llu violating state(s)\n",
+                   static_cast<unsigned long long>(result.violations_found));
+      return 1;
+    }
+    std::printf("OK: no invariant violation in the bounded space (xen %s)\n",
+                config.version.to_string().c_str());
+    return 0;
+  }
+  if (expect == "vulnerable") {
+    bool any_xsa = false;
+    for (std::size_t c = 0; c + 1 < analysis::kErroneousStateClassCount; ++c) {
+      any_xsa |= result.reached(static_cast<analysis::ErroneousStateClass>(c));
+    }
+    if (!any_xsa) {
+      std::fprintf(stderr, "FAIL: expected an XSA erroneous state, none reached\n");
+      return 1;
+    }
+    std::printf("OK: XSA erroneous state(s) reachable (xen %s)\n",
+                config.version.to_string().c_str());
+    return 0;
+  }
+  return result.clean() ? 0 : 3;
+}
