@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/model_checker.hpp"
 #include "core/campaign.hpp"
 #include "core/injector.hpp"
+#include "hv/snapshot.hpp"
 #include "guest/platform.hpp"
 #include "hv/audit.hpp"
 #include "obs/metrics.hpp"
@@ -210,14 +212,121 @@ void bench_campaign_cell_injection() {
   core::CampaignConfig config{};
   config.platform = bench_config(hv::kXen413);
   const core::Campaign campaign{config};
+  core::PlatformPool pool;  // persistent: cells after the first lease warm
   run_bench(
       "campaign_cell_injection", 20,
       [&] {
         auto cell = campaign.run_cell(*cases[0], hv::kXen413,
-                                      core::Mode::Injection);
+                                      core::Mode::Injection, pool);
         do_not_optimize(cell);
       },
       /*warmup=*/2);
+}
+
+/// Warm vs cold cell setup (DESIGN.md §10): the same use-case cell leased
+/// from a persistent pool (delta-restored baseline) vs booted from scratch
+/// every iteration (reuse_platforms off). The ratio is the campaign-side
+/// payoff of dirty-frame tracking.
+void bench_campaign_cell_warm_vs_cold() {
+  const auto cases = xsa::make_paper_use_cases();
+  core::CampaignConfig config{};
+  config.platform = bench_config(hv::kXen413);
+  {
+    const core::Campaign campaign{config};
+    core::PlatformPool pool;
+    run_bench(
+        "campaign_cell_warm", 50,
+        [&] {
+          auto cell = campaign.run_cell(*cases[0], hv::kXen413,
+                                        core::Mode::Injection, pool);
+          do_not_optimize(cell);
+        },
+        /*warmup=*/2);
+  }
+  {
+    auto cold_config = config;
+    cold_config.reuse_platforms = false;
+    const core::Campaign campaign{cold_config};
+    run_bench(
+        "campaign_cell_cold", 20,
+        [&] {
+          auto cell = campaign.run_cell(*cases[0], hv::kXen413,
+                                        core::Mode::Injection);
+          do_not_optimize(cell);
+        },
+        /*warmup=*/2);
+  }
+}
+
+/// Incremental vs full state hashing over a lightly-dirtied machine: the
+/// steady-state of the model checker's dedup loop. Each iteration dirties
+/// one frame, so the incremental path rehashes O(1) frames while the full
+/// path walks all 16384.
+void bench_state_hash() {
+  auto pc = bench_config();
+  guest::VirtualPlatform p{pc};
+  guest::GuestKernel& g = p.guest(0);
+  const sim::Vaddr va = g.pfn_va(sim::Pfn{5});
+  std::uint64_t x = 0;
+  (void)p.hv().state_hash();  // populate the digest cache
+  run_bench("state_hash_incremental", 2000, [&] {
+    (void)g.write_u64(va, ++x);
+    do_not_optimize(p.hv().state_hash());
+  });
+  run_bench("state_hash_full", 200, [&] {
+    (void)g.write_u64(va, ++x);
+    do_not_optimize(p.hv().state_hash_full());
+  });
+}
+
+/// Snapshot and restore, full vs delta, with one dirty frame per
+/// iteration — the checker's per-state working set.
+void bench_snapshot_restore() {
+  auto pc = bench_config();
+  guest::VirtualPlatform p{pc};
+  guest::GuestKernel& g = p.guest(0);
+  const sim::Vaddr va = g.pfn_va(sim::Pfn{5});
+  std::uint64_t x = 0;
+  run_bench("snapshot_full", 200, [&] {
+    (void)g.write_u64(va, ++x);
+    do_not_optimize(p.hv().snapshot());
+  });
+  const hv::HvSnapshot base = p.hv().snapshot();
+  run_bench("snapshot_delta", 2000, [&] {
+    (void)g.write_u64(va, ++x);
+    do_not_optimize(p.hv().snapshot_delta(base));
+  });
+  run_bench("restore_full", 200, [&] {
+    (void)g.write_u64(va, ++x);
+    p.hv().restore(base);
+  });
+  run_bench("restore_delta", 2000, [&] {
+    (void)g.write_u64(va, ++x);
+    p.hv().restore_delta(base);
+  });
+}
+
+/// The whole depth-2 bounded check, delta exploration vs the
+/// restore-root-and-replay fallback — the end-to-end number behind the
+/// analysis_cli speedup gate.
+void bench_model_check_depth2() {
+  analysis::ModelCheckConfig mc;
+  mc.version = hv::kXen46;
+  mc.depth = 2;
+  run_bench(
+      "model_check_depth2", 10,
+      [&] {
+        mc.use_replay_fallback = false;
+        do_not_optimize(analysis::run_model_check(mc));
+      },
+      /*warmup=*/1);
+  run_bench(
+      "model_check_depth2_replay", 10,
+      [&] {
+        mc.use_replay_fallback = true;
+        do_not_optimize(analysis::run_model_check(mc));
+      },
+      /*warmup=*/1);
 }
 
 }  // namespace
@@ -233,5 +342,9 @@ int main() {
   bench_audit_system();
   bench_platform_boot();
   bench_campaign_cell_injection();
+  bench_state_hash();
+  bench_snapshot_restore();
+  bench_campaign_cell_warm_vs_cold();
+  bench_model_check_depth2();
   return 0;
 }

@@ -115,7 +115,8 @@ int main() {
   constexpr std::size_t kIters = 20;
 
   for (const hv::XenVersion version : {hv::kXen48, hv::kXen413}) {
-    const std::string suffix = "_" + version.to_string();
+    std::string suffix = "_";
+    suffix += version.to_string();
 
     bench_recovery("recover_clean" + suffix, version, kIters,
                    [](guest::VirtualPlatform&) {});

@@ -293,18 +293,81 @@ long apply_op(hv::Hypervisor& vmm, const Op& op) {
 
 // --------------------------------------------------------------- state diff
 
-std::uint64_t snap_u64(const hv::HvSnapshot& snap, std::uint64_t frame,
-                       unsigned slot) {
-  std::uint64_t v = 0;
-  std::memcpy(&v, snap.memory.data() + frame * sim::kPageSize + 8ULL * slot,
-              sizeof v);
-  return v;
+/// Read-only view of a machine state expressed as (root snapshot, delta
+/// against it): resolves frame bytes and PageInfo without materializing a
+/// full snapshot, and exposes the delta's dirty sets so two views over the
+/// same root can be diffed in O(changed) instead of O(machine).
+class StateView {
+ public:
+  StateView(const hv::HvSnapshot& base, const hv::HvDelta& delta)
+      : base_{&base}, delta_{&delta} {}
+
+  [[nodiscard]] const std::uint8_t* frame(std::uint64_t m) const {
+    const auto& fs = delta_->mem_frames;
+    const auto it = std::lower_bound(fs.begin(), fs.end(), m);
+    if (it != fs.end() && *it == m) {
+      return delta_->mem_bytes.data() +
+             std::size_t(it - fs.begin()) * sim::kPageSize;
+    }
+    return base_->memory.data() + m * sim::kPageSize;
+  }
+  [[nodiscard]] std::uint64_t frame_u64(std::uint64_t m, unsigned slot) const {
+    std::uint64_t v = 0;
+    std::memcpy(&v, frame(m) + 8ULL * slot, sizeof v);
+    return v;
+  }
+  [[nodiscard]] const hv::PageInfo& page_info(std::uint64_t m) const {
+    const auto& fs = delta_->frames;  // ascending by mfn (capture order)
+    const auto it = std::lower_bound(
+        fs.begin(), fs.end(), m,
+        [](const auto& entry, std::uint64_t mfn) { return entry.first < mfn; });
+    if (it != fs.end() && it->first == m) return it->second;
+    return base_->frames[m];
+  }
+
+  /// MFNs whose contents may differ from the shared root.
+  [[nodiscard]] const std::vector<std::uint64_t>& dirty_frames() const {
+    return delta_->mem_frames;
+  }
+  /// MFNs whose PageInfo differs from the shared root.
+  [[nodiscard]] std::vector<std::uint64_t> changed_page_infos() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(delta_->frames.size());
+    for (const auto& [m, pi] : delta_->frames) out.push_back(m);
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<hv::Domain>& domains() const {
+    return delta_->domains;
+  }
+  [[nodiscard]] const hv::GrantOps::State& grants() const {
+    return delta_->grants;
+  }
+  [[nodiscard]] bool crashed() const { return delta_->crashed; }
+  [[nodiscard]] bool cpu_hung() const { return delta_->cpu_hung; }
+
+ private:
+  const hv::HvSnapshot* base_;
+  const hv::HvDelta* delta_;
+};
+
+/// Ascending union of two sorted MFN lists.
+std::vector<std::uint64_t> merge_sorted(const std::vector<std::uint64_t>& a,
+                                        const std::vector<std::uint64_t>& b) {
+  std::vector<std::uint64_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
 }
 
 /// Human-readable field-level differences between a parent state and its
-/// violating successor; capped so counterexamples stay printable.
-std::vector<std::string> diff_states(const hv::HvSnapshot& before,
-                                     const hv::HvSnapshot& after) {
+/// violating successor, both expressed against the same root; capped so
+/// counterexamples stay printable. Only frames in either state's dirty set
+/// are examined — frames untouched by both resolve to the shared root and
+/// cannot differ.
+std::vector<std::string> diff_states(const StateView& before,
+                                     const StateView& after) {
   constexpr std::size_t kMaxLines = 48;
   std::vector<std::string> out;
   std::uint64_t suppressed = 0;
@@ -316,17 +379,18 @@ std::vector<std::string> diff_states(const hv::HvSnapshot& before,
     }
   };
 
-  if (before.crashed != after.crashed) {
-    add(std::string{"hypervisor: "} + (after.crashed ? "PANICKED" : "un-crashed"));
+  if (before.crashed() != after.crashed()) {
+    add(std::string{"hypervisor: "} +
+        (after.crashed() ? "PANICKED" : "un-crashed"));
   }
-  if (before.cpu_hung != after.cpu_hung) {
-    add(std::string{"cpu0: "} + (after.cpu_hung ? "WEDGED" : "released"));
+  if (before.cpu_hung() != after.cpu_hung()) {
+    add(std::string{"cpu0: "} + (after.cpu_hung() ? "WEDGED" : "released"));
   }
 
-  const std::uint64_t frames = before.frames.size();
-  for (std::uint64_t m = 0; m < frames; ++m) {
-    const hv::PageInfo& a = before.frames[m];
-    const hv::PageInfo& b = after.frames[m];
+  for (const std::uint64_t m :
+       merge_sorted(before.changed_page_infos(), after.changed_page_infos())) {
+    const hv::PageInfo& a = before.page_info(m);
+    const hv::PageInfo& b = after.page_info(m);
     std::string delta;
     if (a.owner != b.owner) {
       delta += " owner d" + std::to_string(a.owner) + " -> d" +
@@ -352,20 +416,21 @@ std::vector<std::string> diff_states(const hv::HvSnapshot& before,
 
   // Memory content diffs: per-slot for frames that are (or were) page
   // tables or Xen-owned (the IDT lives there), summarized otherwise.
-  for (std::uint64_t m = 0; m < frames; ++m) {
-    const std::uint8_t* pa = before.memory.data() + m * sim::kPageSize;
-    const std::uint8_t* pb = after.memory.data() + m * sim::kPageSize;
+  for (const std::uint64_t m :
+       merge_sorted(before.dirty_frames(), after.dirty_frames())) {
+    const std::uint8_t* pa = before.frame(m);
+    const std::uint8_t* pb = after.frame(m);
     if (std::memcmp(pa, pb, sim::kPageSize) == 0) continue;
-    const bool decode = hv::is_pagetable_type(before.frames[m].type) ||
-                        hv::is_pagetable_type(after.frames[m].type) ||
-                        before.frames[m].owner == hv::kDomXen;
+    const bool decode = hv::is_pagetable_type(before.page_info(m).type) ||
+                        hv::is_pagetable_type(after.page_info(m).type) ||
+                        before.page_info(m).owner == hv::kDomXen;
     if (!decode) {
       add("mfn " + hex(m) + ": data changed");
       continue;
     }
     for (unsigned s = 0; s < sim::kPtEntries; ++s) {
-      const std::uint64_t va = snap_u64(before, m, s);
-      const std::uint64_t vb = snap_u64(after, m, s);
+      const std::uint64_t va = before.frame_u64(m, s);
+      const std::uint64_t vb = after.frame_u64(m, s);
       if (va != vb) {
         add("mfn " + hex(m) + "[" + std::to_string(s) + "]: " + hex(va) +
             " -> " + hex(vb));
@@ -374,9 +439,9 @@ std::vector<std::string> diff_states(const hv::HvSnapshot& before,
   }
 
   // Domain bookkeeping, matched by id.
-  for (const hv::Domain& db : after.domains) {
+  for (const hv::Domain& db : after.domains()) {
     const hv::Domain* da = nullptr;
-    for (const hv::Domain& d : before.domains) {
+    for (const hv::Domain& d : before.domains()) {
       if (d.id() == db.id()) da = &d;
     }
     const std::string who = "d" + std::to_string(db.id());
@@ -409,17 +474,18 @@ std::vector<std::string> diff_states(const hv::HvSnapshot& before,
   }
 
   // Grant-table deltas (version switches and mapping counts).
-  for (const auto& [id, tb] : after.grants.tables) {
-    const auto it = before.grants.tables.find(id);
-    const unsigned va = it == before.grants.tables.end() ? 1 : it->second.version();
+  for (const auto& [id, tb] : after.grants().tables) {
+    const auto it = before.grants().tables.find(id);
+    const unsigned va =
+        it == before.grants().tables.end() ? 1 : it->second.version();
     if (va != tb.version()) {
       add("d" + std::to_string(id) + ": grant table v" + std::to_string(va) +
           " -> v" + std::to_string(tb.version()));
     }
   }
-  if (before.grants.mappings.size() != after.grants.mappings.size()) {
-    add("grant mappings: " + std::to_string(before.grants.mappings.size()) +
-        " -> " + std::to_string(after.grants.mappings.size()));
+  if (before.grants().mappings.size() != after.grants().mappings.size()) {
+    add("grant mappings: " + std::to_string(before.grants().mappings.size()) +
+        " -> " + std::to_string(after.grants().mappings.size()));
   }
 
   if (suppressed != 0) {
@@ -515,12 +581,15 @@ ModelCheckResult run_model_check(const ModelCheckConfig& config) {
 
   Machine machine{config};
   hv::Hypervisor& vmm = machine.vmm;
+  vmm.reset_snapshot_stats();
 
   const hv::HvSnapshot root = vmm.snapshot();
   std::unordered_set<std::uint64_t> visited{root.hash};
   result.states_explored = 1;
 
-  const auto record_violation = [&](const hv::HvSnapshot& parent,
+  // Violation records diff parent and child from their dirty sets against
+  // the shared root — no full snapshot is ever taken for a counterexample.
+  const auto record_violation = [&](const hv::HvDelta& parent_delta,
                                     const std::vector<Op>& ops,
                                     std::uint64_t state_hash,
                                     const hv::SystemWalk& walk,
@@ -541,7 +610,9 @@ ModelCheckResult run_model_check(const ModelCheckConfig& config) {
     cx.state_hash = state_hash;
     cx.violated = violated;
     cx.classes = classes;
-    cx.state_diff = diff_states(parent, vmm.snapshot());
+    const hv::HvDelta child_delta = vmm.snapshot_delta(root);
+    cx.state_diff = diff_states(StateView{root, parent_delta},
+                                StateView{root, child_delta});
     cx.report = std::move(report);
     result.counterexamples.push_back(std::move(cx));
   };
@@ -552,16 +623,22 @@ ModelCheckResult run_model_check(const ModelCheckConfig& config) {
     const hv::SystemWalk walk = hv::walk_system(vmm);
     hv::InvariantReport report = hv::InvariantAuditor{vmm}.audit(walk);
     if (!report.clean()) {
-      record_violation(root, {}, root.hash, walk, std::move(report));
+      record_violation(vmm.snapshot_delta(root), {}, root.hash, walk,
+                       std::move(report));
       return result;
     }
   }
 
+  // Each queued state carries its delta against the root, so expansion is
+  // one delta-restore (O(dirty frames)) instead of restore-root-and-replay
+  // (O(machine) + prefix re-execution). The replay fallback preserves the
+  // old scheme; both must produce identical results.
   struct WorkItem {
     std::vector<Op> prefix;
+    hv::HvDelta delta;  ///< state vs root (unused by the replay fallback)
   };
   std::deque<WorkItem> queue;
-  queue.push_back(WorkItem{});
+  queue.push_back(WorkItem{{}, vmm.snapshot_delta(root)});
 
   bool stop = false;
   while (!queue.empty() && !stop) {
@@ -569,12 +646,25 @@ ModelCheckResult run_model_check(const ModelCheckConfig& config) {
     queue.pop_front();
     if (item.prefix.size() >= config.depth) continue;
 
-    // Re-derive the item's state: restore the root and replay the prefix
-    // (the engine is deterministic, and prefixes are at most `depth` ops,
-    // so replay is cheaper than keeping a snapshot per queued state).
-    vmm.restore(root);
-    for (const Op& op : item.prefix) (void)apply_op(vmm, op);
-    const hv::HvSnapshot parent = vmm.snapshot();
+    hv::HvDelta parent_delta;
+    hv::HvSnapshot parent_full;  // replay fallback only
+    if (config.use_replay_fallback) {
+      vmm.restore(root);
+      for (const Op& op : item.prefix) (void)apply_op(vmm, op);
+      parent_full = vmm.snapshot();
+      parent_delta = vmm.snapshot_delta(root);
+    } else {
+      (void)vmm.restore_delta(root, item.delta);
+      parent_delta = item.delta;
+    }
+    const std::uint64_t parent_hash = parent_delta.hash;
+    const auto restore_parent = [&] {
+      if (config.use_replay_fallback) {
+        vmm.restore(parent_full);
+      } else {
+        (void)vmm.restore_delta(root, parent_delta);
+      }
+    };
 
     const std::vector<Op> alphabet =
         enumerate_ops(vmm, config, machine.guests);
@@ -582,13 +672,13 @@ ModelCheckResult run_model_check(const ModelCheckConfig& config) {
       ++result.ops_applied;
       const long rc = apply_op(vmm, op);
       const std::uint64_t h = vmm.state_hash();
-      if (h == parent.hash) {
+      if (h == parent_hash) {
         if (rc != hv::kOk) ++result.failed_ops;
         continue;  // nothing changed; nothing to restore
       }
       if (!visited.insert(h).second) {
         ++result.states_deduped;
-        vmm.restore(parent);
+        restore_parent();
         continue;
       }
       ++result.states_explored;
@@ -601,18 +691,26 @@ ModelCheckResult run_model_check(const ModelCheckConfig& config) {
         // Violating states are terminal: the counterexample is minimal by
         // BFS order, and exploring beyond a broken invariant only yields
         // derivative noise.
-        record_violation(parent, trace, h, walk, std::move(report));
+        record_violation(parent_delta, trace, h, walk, std::move(report));
+      } else if (config.use_replay_fallback) {
+        queue.push_back(WorkItem{std::move(trace), {}});
       } else {
-        queue.push_back(WorkItem{std::move(trace)});
+        queue.push_back(WorkItem{std::move(trace), vmm.snapshot_delta(root)});
       }
       if (result.states_explored >= config.max_states) {
         result.truncated = true;
         stop = true;
         break;
       }
-      vmm.restore(parent);
+      restore_parent();
     }
   }
+
+  const hv::SnapshotStats& stats = vmm.snapshot_stats();
+  result.snapshot_frames_copied = stats.frames_copied;
+  result.hash_frames_rehashed = stats.frames_rehashed;
+  result.delta_restores = stats.delta_restores;
+  result.full_restores = stats.full_restores;
   return result;
 }
 
@@ -631,6 +729,11 @@ std::string render_report(const ModelCheckResult& r) {
          std::to_string(r.states_deduped) + ", refused " +
          std::to_string(r.failed_ops) + ")" +
          (r.truncated ? "  [TRUNCATED at max_states]" : "") + "\n";
+  out += "  snapshot engine: " + std::to_string(r.delta_restores) +
+         " delta + " + std::to_string(r.full_restores) +
+         " full restores, frames copied " +
+         std::to_string(r.snapshot_frames_copied) + ", frame digests redone " +
+         std::to_string(r.hash_frames_rehashed) + "\n";
   out += "  violating states: " + std::to_string(r.violations_found) + "\n";
   out += "  erroneous-state classes:\n";
   for (std::size_t c = 0; c < kErroneousStateClassCount; ++c) {

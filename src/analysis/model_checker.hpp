@@ -58,6 +58,11 @@ struct ModelCheckConfig {
   /// Safety valves.
   std::uint64_t max_states = 100000;
   std::size_t max_counterexamples = 32;
+  /// Use the pre-delta exploration scheme (one full snapshot per expanded
+  /// state, re-derive queued states by restoring the root and replaying the
+  /// op prefix) instead of delta snapshot/restore. Kept for cross-checking:
+  /// both schemes must produce identical results — tests diff them.
+  bool use_replay_fallback = false;
 };
 
 /// The erroneous-state families of the paper's use cases, recognized in
@@ -127,6 +132,13 @@ struct ModelCheckResult {
   std::uint64_t violations_found = 0; ///< violating states (all, incl. uncaptured)
   bool truncated = false;             ///< hit max_states
   std::vector<Counterexample> counterexamples;  ///< first max_counterexamples
+
+  /// Snapshot-engine work done during the run (from the hypervisor's
+  /// SnapshotStats): proof the incremental paths skip what they should.
+  std::uint64_t snapshot_frames_copied = 0;  ///< frames written by restores
+  std::uint64_t hash_frames_rehashed = 0;    ///< frame digests recomputed
+  std::uint64_t delta_restores = 0;
+  std::uint64_t full_restores = 0;
 
   /// Per-invariant violating-state counts, indexed by hv::Invariant.
   std::array<std::uint64_t, hv::kInvariantCount> invariant_hits{};

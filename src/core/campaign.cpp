@@ -44,12 +44,83 @@ PreflightReport Campaign::preflight(unsigned depth) const {
   return report;
 }
 
+PlatformPool::Entry& PlatformPool::lease(const guest::PlatformConfig& config) {
+  const auto key = std::make_pair(config.version, config.injector_enabled);
+  auto it = pool_.find(key);
+  if (it == pool_.end()) {
+    // Build sink-less and capture the baseline before any cell touches the
+    // platform; a construction failure leaves no half-built pool entry.
+    Entry entry;
+    entry.platform = std::make_unique<guest::VirtualPlatform>(config);
+    entry.baseline = entry.platform->baseline();
+    it = pool_.emplace(key, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+/// Scope guard for one pooled cell: on exit — normal or unwinding — detach
+/// the cell's sink and rewind the platform to the pool baseline, so the
+/// pool never retains a dirty platform or a dangling sink pointer.
+struct Lease {
+  guest::VirtualPlatform& platform;
+  const guest::PlatformBaseline& baseline;
+  ~Lease() {
+    platform.hv().set_trace_sink(nullptr);
+    platform.restore(baseline);
+  }
+};
+
+}  // namespace
+
+void Campaign::run_attempt(CellResult& cell, UseCase& use_case,
+                           guest::VirtualPlatform& platform, Mode mode,
+                           obs::TraceSink& sink) const {
+  try {
+    cell.outcome = mode == Mode::Exploit ? use_case.run_exploit(platform)
+                                         : use_case.run_injection(platform);
+    cell.err_state = use_case.erroneous_state_present(platform);
+    cell.violation = use_case.security_violation(platform);
+  } catch (const std::exception& e) {
+    // Per-cell isolation: a throwing use case (or a tripped budget
+    // watchdog) fails this cell, never the campaign.
+    cell.failure = e.what();
+    cell.outcome.completed = false;
+    cell.outcome.notes.push_back("cell failed: " + cell.failure);
+  }
+  if (config_.attempt_recovery &&
+      (cell.failed() || platform.hv().crashed() || platform.hv().cpu_hung())) {
+    // Lift the budget before recovering: the watchdog's trip point is
+    // deterministic, so everything after it is too, and recovery must be
+    // able to emit its own events.
+    sink.set_budget(0, 0);
+    try {
+      const hv::RecoveryReport rec = platform.hv().recover();
+      cell.recovered = rec.succeeded();
+      // Re-audit on the recovered platform: the cell now measures whether
+      // the erroneous state survived the micro-reboot.
+      cell.err_state = use_case.erroneous_state_present(platform);
+      cell.violation = use_case.security_violation(platform);
+    } catch (const std::exception& e) {
+      cell.outcome.notes.push_back("recovery failed: " +
+                                   std::string{e.what()});
+    }
+  }
+}
+
 CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
                               Mode mode) const {
-  // One sink per cell: each platform is private to the cell, so the sink
-  // needs no locking, and seq numbers restart at 0 — traces are identical
-  // no matter which worker thread ran the cell. With capture_trace off the
-  // ring mask is 0: only the cheap aggregate counters advance.
+  PlatformPool pool;
+  return run_cell(use_case, version, mode, pool);
+}
+
+CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
+                              Mode mode, PlatformPool& pool) const {
+  // One sink per cell: the platform is private to the cell while it runs,
+  // so the sink needs no locking, and seq numbers restart at 0 — traces are
+  // identical no matter which worker thread ran the cell. With
+  // capture_trace off the ring mask is 0: only the cheap counters advance.
   obs::TraceSink sink{config_.trace_capacity,
                       config_.capture_trace ? obs::kAllCategories : 0u};
   sink.set_budget(config_.max_cell_hypercalls, config_.max_cell_steps);
@@ -59,45 +130,39 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
   // The exploit runs against a stock hypervisor; the injection against the
   // patched build — keeping each mode's environment honest.
   pc.injector_enabled = mode == Mode::Injection;
-  pc.trace_sink = &sink;
 
   CellResult cell;
   cell.use_case = use_case.name();
   cell.version = version;
   cell.mode = mode;
 
+  bool reused = false;
+  hv::SnapshotStats snap{};
   const auto start = std::chrono::steady_clock::now();
   try {
-    guest::VirtualPlatform platform{pc};
-    try {
-      cell.outcome = mode == Mode::Exploit ? use_case.run_exploit(platform)
-                                           : use_case.run_injection(platform);
-      cell.err_state = use_case.erroneous_state_present(platform);
-      cell.violation = use_case.security_violation(platform);
-    } catch (const std::exception& e) {
-      // Per-cell isolation: a throwing use case (or a tripped budget
-      // watchdog) fails this cell, never the campaign.
-      cell.failure = e.what();
-      cell.outcome.completed = false;
-      cell.outcome.notes.push_back("cell failed: " + cell.failure);
-    }
-    if (config_.attempt_recovery &&
-        (cell.failed() || platform.hv().crashed() || platform.hv().cpu_hung())) {
-      // Lift the budget before recovering: the watchdog's trip point is
-      // deterministic, so everything after it is too, and recovery must be
-      // able to emit its own events.
-      sink.set_budget(0, 0);
-      try {
-        const hv::RecoveryReport rec = platform.hv().recover();
-        cell.recovered = rec.succeeded();
-        // Re-audit on the recovered platform: the cell now measures whether
-        // the erroneous state survived the micro-reboot.
-        cell.err_state = use_case.erroneous_state_present(platform);
-        cell.violation = use_case.security_violation(platform);
-      } catch (const std::exception& e) {
-        cell.outcome.notes.push_back("recovery failed: " +
-                                     std::string{e.what()});
+    if (config_.reuse_platforms) {
+      // Lease a pooled platform parked at its boot baseline; the sink is
+      // attached only now, so the trace covers exactly the cell's own
+      // execution whether the platform is fresh or reused.
+      pc.trace_sink = nullptr;
+      PlatformPool::Entry& entry = pool.lease(pc);
+      reused = entry.warm;
+      entry.warm = true;
+      guest::VirtualPlatform& platform = *entry.platform;
+      platform.hv().reset_snapshot_stats();
+      platform.hv().set_trace_sink(&sink);
+      {
+        Lease lease{platform, entry.baseline};
+        run_attempt(cell, use_case, platform, mode, sink);
       }
+      // The release rewind runs inside the stats window: frames_copied is
+      // then the set of frames *this cell* dirtied, independent of which
+      // cells the worker ran before — serial and parallel runs agree.
+      snap = platform.hv().snapshot_stats();
+    } else {
+      pc.trace_sink = &sink;
+      guest::VirtualPlatform platform{pc};
+      run_attempt(cell, use_case, platform, mode, sink);
     }
   } catch (const std::exception& e) {
     // Platform construction itself failed; there is nothing to audit.
@@ -113,6 +178,11 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
                     .count());
   cell.hypercalls = sink.count(obs::TraceCategory::HypercallEnter);
   cell.metrics = obs::sink_metrics(sink);
+  if (config_.reuse_platforms) {
+    cell.metrics.counters["snapshot.frames_copied"] += snap.frames_copied;
+    cell.metrics.counters["hash.frames_rehashed"] += snap.frames_rehashed;
+    cell.metrics.counters["cell.reuse_hits"] += reused ? 1 : 0;
+  }
   if (config_.capture_trace) cell.trace = sink.ring().snapshot();
   return cell;
 }
@@ -120,10 +190,11 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
 std::vector<CellResult> Campaign::run(
     const std::vector<std::unique_ptr<UseCase>>& cases) const {
   std::vector<CellResult> results;
+  PlatformPool pool;  // shared across the whole matrix: one boot per cfg
   for (const auto& use_case : cases) {
     for (const hv::XenVersion version : config_.versions) {
       for (const Mode mode : config_.modes) {
-        results.push_back(run_cell(*use_case, version, mode));
+        results.push_back(run_cell(*use_case, version, mode, pool));
       }
     }
   }
@@ -157,13 +228,15 @@ std::vector<CellResult> Campaign::run_parallel(
   workers.reserve(n_workers);
   for (unsigned w = 0; w < n_workers; ++w) {
     workers.emplace_back([&] {
-      // Private UseCase instances: per-run state must not be shared.
+      // Private UseCase instances: per-run state must not be shared. The
+      // platform pool is per-worker too — platforms are not thread-safe.
       auto cases = factory();
+      PlatformPool pool;
       while (true) {
         const std::size_t i = next.fetch_add(1);
         if (i >= cells.size()) return;
         results[i] = run_cell(*cases[cells[i].case_index], cells[i].version,
-                              cells[i].mode);
+                              cells[i].mode, pool);
       }
     });
   }

@@ -1,15 +1,20 @@
 // Campaign engine: runs use cases across Xen versions and collects the
 // per-cell verdicts that make up the paper's tables.
 //
-// One cell = (use case, version, mode). Each cell gets a *fresh*
-// VirtualPlatform, the attempt is executed, and the monitor/auditor decide:
+// One cell = (use case, version, mode). Each cell runs on a platform at
+// its boot baseline — by default a pooled platform delta-restored there
+// (CampaignConfig::reuse_platforms), otherwise a freshly booted one — the
+// attempt is executed, and the monitor/auditor decide:
 //   err_state  — the erroneous state is observably present afterwards;
 //   violation  — the use case's security violation materialized;
 //   handled    — err_state && !violation (Table III's shield cells).
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/usecase.hpp"
@@ -79,11 +84,43 @@ struct CampaignConfig {
   /// post-recovery invariant audit came back clean (CellResult::recovered).
   bool attempt_recovery = false;
   /// Deterministic per-cell watchdog: fail the cell once it emits more than
-  /// this many HypercallEnter events (0 = unlimited). Counts the whole cell
-  /// including platform boot.
+  /// this many HypercallEnter events (0 = unlimited). With reuse_platforms
+  /// the budget covers exactly the cell's own execution; without it, the
+  /// whole cell including platform boot.
   std::uint64_t max_cell_hypercalls = 0;
   /// Same watchdog over total trace steps (0 = unlimited).
   std::uint64_t max_cell_steps = 0;
+  /// Keep one warm platform per (version, mode), snapshotted once and
+  /// delta-restored to its boot baseline before every cell instead of
+  /// re-booting from scratch. The per-cell trace sink is attached only
+  /// after the rewind, so a cell's trace, counters and budget accounting
+  /// cover exactly its own execution — identical whether the platform was
+  /// freshly built or reused, and identical under run() and run_parallel().
+  /// When false, every cell boots a private platform and the sink observes
+  /// the boot as well (the pre-reuse behaviour).
+  bool reuse_platforms = true;
+};
+
+/// One warm platform per (version, injector) pair, each parked at its
+/// captured boot baseline. Owned by a single worker (not thread-safe):
+/// Campaign::run keeps one for the whole matrix, run_parallel one per
+/// worker, and the supervisor one per retry worker. run_cell rewinds a
+/// leased platform back to the baseline when the cell finishes, so a
+/// pooled platform is always clean between cells.
+class PlatformPool {
+ public:
+  struct Entry {
+    std::unique_ptr<guest::VirtualPlatform> platform;
+    guest::PlatformBaseline baseline;
+    bool warm = false;  ///< a previous cell already ran on this platform
+  };
+
+  /// Return the pooled platform for `config`, building it (sink-less) and
+  /// capturing its baseline on first use. The entry stays pool-owned.
+  Entry& lease(const guest::PlatformConfig& config);
+
+ private:
+  std::map<std::pair<hv::XenVersion, bool>, Entry> pool_;
 };
 
 /// What Campaign::preflight concluded for one configured version.
@@ -140,11 +177,24 @@ class Campaign {
       const std::function<std::vector<std::unique_ptr<UseCase>>()>& factory,
       unsigned threads) const;
 
-  /// Run a single cell on a fresh platform.
+  /// Run a single cell on a fresh platform (a one-shot pool).
   [[nodiscard]] CellResult run_cell(UseCase& use_case, hv::XenVersion version,
                                     Mode mode) const;
 
+  /// Run a single cell, leasing the platform from `pool` when
+  /// reuse_platforms is set (the pool is untouched otherwise). Callers that
+  /// run many cells — run(), run_parallel() workers, the supervisor — pass
+  /// a long-lived pool so consecutive cells share warm platforms.
+  [[nodiscard]] CellResult run_cell(UseCase& use_case, hv::XenVersion version,
+                                    Mode mode, PlatformPool& pool) const;
+
  private:
+  /// The attempt + audit + optional recovery on an already-built platform.
+  /// Exception-contained: use-case failures land in `cell.failure`.
+  void run_attempt(CellResult& cell, UseCase& use_case,
+                   guest::VirtualPlatform& platform, Mode mode,
+                   obs::TraceSink& sink) const;
+
   CampaignConfig config_;
 };
 

@@ -71,6 +71,9 @@ std::vector<CellResult> CampaignSupervisor::run(
 
   auto worker_body = [&] {
     auto cases = factory();
+    // Warm platforms are per-worker (not thread-safe); retries of a cell
+    // lease the same platform again, rewound to its baseline in between.
+    PlatformPool pool;
     while (true) {
       const std::size_t c = next_case.fetch_add(1);
       if (c >= names.size()) return;
@@ -101,7 +104,7 @@ std::vector<CellResult> CampaignSupervisor::run(
             unsigned attempt = 0;
             do {
               ++attempt;
-              cell = campaign.run_cell(*cases[c], version, mode);
+              cell = campaign.run_cell(*cases[c], version, mode, pool);
             } while (cell.failed() && attempt < config_.max_attempts);
             cell.attempts = attempt;
           }

@@ -16,13 +16,17 @@ void put_cstr(std::span<std::uint8_t> field, const std::string& s) {
 
 }  // namespace
 
-GuestKernel::GuestKernel(hv::Hypervisor& hv, hv::DomainId id,
+GuestKernel::GuestKernel(AttachOnly, hv::Hypervisor& hv, hv::DomainId id,
                          std::string hostname)
     : hv_{&hv},
       id_{id},
       hostname_{std::move(hostname)},
       nr_pages_{hv.domain(id).nr_pages()},
-      l1_count_{(nr_pages_ + sim::kPtEntries - 1) / sim::kPtEntries} {
+      l1_count_{(nr_pages_ + sim::kPtEntries - 1) / sim::kPtEntries} {}
+
+GuestKernel::GuestKernel(hv::Hypervisor& hv, hv::DomainId id,
+                         std::string hostname)
+    : GuestKernel{AttachOnly{}, hv, id, std::move(hostname)} {
   // Publish start_info: the fingerprintable page the XSA-148 scan hunts.
   std::vector<std::uint8_t> page(sim::kPageSize, 0);
   put_cstr({page.data() + StartInfoLayout::kMagicOffset, 24},

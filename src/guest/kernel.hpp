@@ -65,6 +65,34 @@ class GuestKernel {
   /// and vDSO fingerprint pages.
   GuestKernel(hv::Hypervisor& hv, hv::DomainId id, std::string hostname);
 
+  /// Tag: re-attach to a domain whose memory a snapshot restore already
+  /// rebuilt — the fingerprint pages are in the restored image, so
+  /// publishing them again would only dirty frames.
+  struct AttachOnly {};
+  GuestKernel(AttachOnly, hv::Hypervisor& hv, hv::DomainId id,
+              std::string hostname);
+
+  /// The kernel's software state (everything outside hypervisor-managed
+  /// memory), captured for warm-platform reuse (guest/platform.cpp).
+  struct State {
+    std::uint64_t oops_count = 0;
+    sim::Pfn next_free{};
+    FileSystem fs;
+    std::vector<std::string> dmesg;
+  };
+  [[nodiscard]] State save_state() const {
+    return State{oops_count_, next_free_, fs_, dmesg_};
+  }
+  /// Rewind to a saved state. Live shell sessions are dropped — their
+  /// connections live in the network, which is reset alongside.
+  void restore_state(const State& state) {
+    oops_count_ = state.oops_count;
+    next_free_ = state.next_free;
+    fs_ = state.fs;
+    dmesg_ = state.dmesg;
+    shells_.clear();
+  }
+
   [[nodiscard]] hv::DomainId id() const { return id_; }
   [[nodiscard]] const std::string& hostname() const { return hostname_; }
   [[nodiscard]] hv::Hypervisor& hv() { return *hv_; }

@@ -74,6 +74,43 @@ void VirtualPlatform::pump() {
   for (auto& kernel : kernels_) kernel->pump_shells();
 }
 
+PlatformBaseline VirtualPlatform::baseline() const {
+  PlatformBaseline base;
+  base.hv = hv_->snapshot();
+  base.kernels.reserve(kernels_.size());
+  for (const auto& k : kernels_) {
+    base.kernels.push_back({k->id(), k->hostname(), k->save_state()});
+  }
+  return base;
+}
+
+std::uint64_t VirtualPlatform::restore(const PlatformBaseline& base) {
+  const std::uint64_t copied = hv_->restore_delta(base.hv);
+  network_.reset();  // hosts persist, so attacker_ stays valid
+  std::vector<std::unique_ptr<GuestKernel>> kernels;
+  kernels.reserve(base.kernels.size());
+  for (const auto& entry : base.kernels) {
+    std::unique_ptr<GuestKernel> kernel;
+    for (auto& k : kernels_) {
+      if (k != nullptr && k->id() == entry.id) {
+        kernel = std::move(k);
+        break;
+      }
+    }
+    if (kernel == nullptr) {
+      // The cell destroyed this guest; the hv restore rebuilt its domain
+      // (and its published pages), so only the kernel object is re-made.
+      kernel = std::make_unique<GuestKernel>(GuestKernel::AttachOnly{}, *hv_,
+                                             entry.id, entry.hostname);
+      kernel->set_network(&network_);
+    }
+    kernel->restore_state(entry.state);
+    kernels.push_back(std::move(kernel));
+  }
+  kernels_ = std::move(kernels);
+  return copied;
+}
+
 long VirtualPlatform::destroy_guest(std::size_t index) {
   GuestKernel& victim = guest(index);
   const long rc = dom0().domctl_destroy(victim.id());

@@ -19,6 +19,7 @@
 #include "guest/kernel.hpp"
 #include "guest/payload.hpp"
 #include "hv/hypervisor.hpp"
+#include "hv/snapshot.hpp"
 #include "hv/version.hpp"
 #include "net/network.hpp"
 #include "obs/trace.hpp"
@@ -41,6 +42,20 @@ struct PlatformConfig {
   /// built so boot-time page-type transitions are captured. Not owned; must
   /// outlive the platform.
   obs::TraceSink* trace_sink = nullptr;
+};
+
+/// Everything needed to rewind a platform to a captured moment: the full
+/// hypervisor snapshot plus each kernel's software state and identity.
+/// Captured once per configuration, restored per experiment cell — the
+/// campaign's warm-platform reuse (core/campaign.cpp).
+struct PlatformBaseline {
+  hv::HvSnapshot hv;
+  struct KernelEntry {
+    hv::DomainId id{};
+    std::string hostname;
+    GuestKernel::State state;
+  };
+  std::vector<KernelEntry> kernels;
 };
 
 class VirtualPlatform {
@@ -71,6 +86,15 @@ class VirtualPlatform {
   /// (dom0's XEN_DOMCTL_destroydomain) and drop its kernel object. Returns
   /// the hypercall status; on success later guest(i) indices shift down.
   long destroy_guest(std::size_t index);
+
+  /// Capture the platform's complete state for later rewinds.
+  [[nodiscard]] PlatformBaseline baseline() const;
+
+  /// Rewind to `base` (captured from this platform): delta-restores the
+  /// hypervisor (copying only frames dirtied since the capture), resets the
+  /// network, and rewinds or re-attaches every guest kernel — including
+  /// ones dropped by destroy_guest. Returns memory frames copied.
+  std::uint64_t restore(const PlatformBaseline& base);
 
  private:
   void execute_payload(const hv::ExecutionContext& ctx);

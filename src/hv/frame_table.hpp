@@ -81,6 +81,8 @@ struct PageInfo {
   std::uint32_t ref_count = 0;
   /// Set once the frame's contents passed validation for its type.
   bool validated = false;
+
+  friend bool operator==(const PageInfo&, const PageInfo&) = default;
 };
 
 /// The frame table plus a simple FIFO frame allocator.

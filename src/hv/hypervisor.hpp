@@ -36,6 +36,22 @@ namespace ii::hv {
 
 struct RecoveryReport;  // recovery.hpp
 struct HvSnapshot;      // snapshot.hpp
+struct HvDelta;         // snapshot.hpp
+
+/// Counters over the snapshot/hash/restore machinery since the last
+/// reset_snapshot_stats(). The campaign and the model checker surface these
+/// as obs metrics (snapshot.frames_copied, hash.frames_rehashed, ...) to
+/// prove the incremental paths actually skip work.
+struct SnapshotStats {
+  std::uint64_t hash_calls = 0;        ///< state_hash() invocations
+  std::uint64_t frames_rehashed = 0;   ///< frame digests recomputed
+  std::uint64_t frames_hash_cached = 0;  ///< frame digests reused
+  std::uint64_t full_restores = 0;
+  std::uint64_t delta_restores = 0;    ///< both restore_delta overloads
+  std::uint64_t frames_copied = 0;     ///< frames written by restores
+  std::uint64_t delta_snapshots = 0;
+  std::uint64_t frames_delta_captured = 0;  ///< frames copied into deltas
+};
 
 /// Construction parameters.
 struct HvConfig {
@@ -197,12 +213,40 @@ class Hypervisor {
   [[nodiscard]] HvSnapshot snapshot() const;
   void restore(const HvSnapshot& snap);
 
+  /// Capture the current state as a delta against `base` (a full snapshot
+  /// previously taken from this machine): only frames written since the
+  /// baseline, changed frame-table entries, and the small bookkeeping in
+  /// full. O(dirty frames + bookkeeping), no byte comparisons.
+  [[nodiscard]] HvDelta snapshot_delta(const HvSnapshot& base) const;
+
+  /// Restore back to `base`, copying only frames written since it was
+  /// taken. Byte-identical to restore(base). Returns frames copied.
+  std::uint64_t restore_delta(const HvSnapshot& base);
+
+  /// Restore to the state `delta` describes (captured against `base`),
+  /// from any current state: frames currently diverged from the baseline
+  /// are rewound, frames the delta carries are applied. Returns frames
+  /// copied.
+  std::uint64_t restore_delta(const HvSnapshot& base, const HvDelta& delta);
+
   /// 64-bit FNV-1a digest of the semantically observable state (memory,
   /// frame table + allocator, domains with canonicalized pin order, grant
   /// and event-channel state, liveness flags; console excluded). Two states
   /// with equal hashes behave identically under every further hypercall —
   /// the model checker's dedup key.
+  ///
+  /// Incremental: the memory contribution recombines cached per-frame
+  /// digests and only re-hashes frames whose write generation moved since
+  /// the digest was computed (PhysicalMemory's dirty tracking).
   [[nodiscard]] std::uint64_t state_hash() const;
+
+  /// Same digest computed from scratch, ignoring and not touching the
+  /// per-frame digest cache. Exists so tests can assert the incremental
+  /// path never drifts; always equals state_hash().
+  [[nodiscard]] std::uint64_t state_hash_full() const;
+
+  [[nodiscard]] const SnapshotStats& snapshot_stats() const { return snap_stats_; }
+  void reset_snapshot_stats() { snap_stats_ = SnapshotStats{}; }
 
   // ---------------------------------------------------------- observability
   /// Attach (or detach with nullptr) a trace sink. The same sink is wired
@@ -333,6 +377,19 @@ class Hypervisor {
   std::vector<std::string> console_;
   CodeExecutor executor_;
   obs::TraceSink* trace_ = nullptr;
+
+  // Per-frame digest cache for the incremental state_hash() (snapshot.cpp).
+  // digest_gen_[m] holds the PhysicalMemory generation the cached digest
+  // was computed at; 0 never matches a real generation. Mutable: the cache
+  // is an optimization of a const observation, not state.
+  mutable std::vector<std::uint64_t> frame_digest_;
+  mutable std::vector<std::uint64_t> frame_digest_gen_;
+  mutable SnapshotStats snap_stats_;
+
+  // state_hash / state_hash_full shared body (snapshot.cpp).
+  [[nodiscard]] std::uint64_t state_hash_impl(bool use_cache) const;
+  /// Hash of everything except the memory image (snapshot.cpp).
+  void hash_bookkeeping(class StateHasher& h) const;
 };
 
 }  // namespace ii::hv

@@ -1,8 +1,16 @@
 // Hypervisor state capture/restore and the canonical state digest
 // (see snapshot.hpp for the model).
+//
+// The memory contribution to state_hash() is incremental: each frame's
+// FNV-1a digest is cached against the frame's PhysicalMemory write
+// generation, and the machine hash recombines the per-frame digests (one
+// u64 each) — so a hash after k frame writes re-reads 4 KiB * k, not the
+// whole machine. Delta capture/restore use the same generations to decide
+// which frames to copy; no byte comparisons anywhere.
 #include "hv/snapshot.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace ii::hv {
@@ -19,7 +27,26 @@ class Fnv1a {
   }
   void boolean(bool v) { u8(v ? 1 : 0); }
   void bytes(std::span<const std::uint8_t> data) {
-    for (const std::uint8_t b : data) u8(b);
+    // Word-at-a-time: one 8-byte load feeding eight dependent FNV steps
+    // beats a byte load per step. The digest is byte-order-identical to the
+    // one-byte-per-iteration loop (the chunk is consumed LSB-first, i.e. in
+    // memory order on little-endian, and std::memcpy keeps it portable).
+    std::size_t i = 0;
+    std::uint64_t h = hash_;
+    for (; i + 8 <= data.size(); i += 8) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, data.data() + i, 8);
+      h = (h ^ (w & 0xFF)) * kPrime;
+      h = (h ^ ((w >> 8) & 0xFF)) * kPrime;
+      h = (h ^ ((w >> 16) & 0xFF)) * kPrime;
+      h = (h ^ ((w >> 24) & 0xFF)) * kPrime;
+      h = (h ^ ((w >> 32) & 0xFF)) * kPrime;
+      h = (h ^ ((w >> 40) & 0xFF)) * kPrime;
+      h = (h ^ ((w >> 48) & 0xFF)) * kPrime;
+      h = (h ^ (w >> 56)) * kPrime;
+    }
+    hash_ = h;
+    for (; i < data.size(); ++i) u8(data[i]);
   }
   [[nodiscard]] std::uint64_t value() const { return hash_; }
 
@@ -28,16 +55,19 @@ class Fnv1a {
   std::uint64_t hash_ = 14695981039346656037ULL;
 };
 
+std::uint64_t frame_digest(const sim::PhysicalMemory& mem, sim::Mfn mfn) {
+  Fnv1a h;
+  h.bytes(mem.frame_bytes(mfn));
+  return h.value();
+}
+
 }  // namespace
 
-std::uint64_t Hypervisor::state_hash() const {
-  Fnv1a h;
+/// Thin named wrapper so hypervisor.hpp can forward-declare the hasher the
+/// bookkeeping walk writes into without exposing the FNV internals.
+class StateHasher : public Fnv1a {};
 
-  // Physical memory image: page tables, the IDT, guest data.
-  for (std::uint64_t m = 0; m < mem_->frame_count(); ++m) {
-    h.bytes(mem_->frame_bytes(sim::Mfn{m}));
-  }
-
+void Hypervisor::hash_bookkeeping(StateHasher& h) const {
   // Frame table and the allocator's observable hidden state (future
   // allocations depend on it, so it is semantically part of the state).
   for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
@@ -124,13 +154,49 @@ std::uint64_t Hypervisor::state_hash() const {
   // Liveness flags; the console ring is log-only and excluded.
   h.boolean(crashed_);
   h.boolean(cpu_hung_);
+}
+
+std::uint64_t Hypervisor::state_hash_impl(bool use_cache) const {
+  ++snap_stats_.hash_calls;
+  StateHasher h;
+
+  // Physical memory image: one cached-or-recomputed digest per frame. The
+  // machine hash consumes the digests (not the raw bytes), so the combined
+  // value is identical whichever frames came from the cache.
+  const std::uint64_t n = mem_->frame_count();
+  if (frame_digest_.size() != n) {
+    frame_digest_.assign(n, 0);
+    frame_digest_gen_.assign(n, 0);  // 0 never matches a live generation
+  }
+  for (std::uint64_t m = 0; m < n; ++m) {
+    const std::uint64_t gen = mem_->frame_generation(sim::Mfn{m});
+    if (!use_cache || frame_digest_gen_[m] != gen) {
+      frame_digest_[m] = frame_digest(*mem_, sim::Mfn{m});
+      frame_digest_gen_[m] = gen;
+      ++snap_stats_.frames_rehashed;
+    } else {
+      ++snap_stats_.frames_hash_cached;
+    }
+    h.u64(frame_digest_[m]);
+  }
+
+  hash_bookkeeping(h);
   return h.value();
+}
+
+std::uint64_t Hypervisor::state_hash() const { return state_hash_impl(true); }
+
+std::uint64_t Hypervisor::state_hash_full() const {
+  return state_hash_impl(false);
 }
 
 HvSnapshot Hypervisor::snapshot() const {
   HvSnapshot snap;
   snap.memory.resize(mem_->byte_size());
   mem_->read(sim::Paddr{0}, snap.memory);
+  const auto gens = mem_->frame_generations();
+  snap.frame_gens.assign(gens.begin(), gens.end());
+  snap.mem_generation = mem_->generation();
 
   snap.frames.reserve(frames_.frame_count());
   for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
@@ -153,11 +219,16 @@ HvSnapshot Hypervisor::snapshot() const {
 
 void Hypervisor::restore(const HvSnapshot& snap) {
   if (snap.memory.size() != mem_->byte_size() ||
-      snap.frames.size() != frames_.frame_count()) {
+      snap.frames.size() != frames_.frame_count() ||
+      snap.frame_gens.size() != frames_.frame_count()) {
     throw std::logic_error{
         "HvSnapshot::restore: snapshot shape does not match this machine"};
   }
-  mem_->write(sim::Paddr{0}, snap.memory);
+  ++snap_stats_.full_restores;
+  snap_stats_.frames_copied += mem_->frame_count();
+  // Whole-image restore re-establishes the captured (generation, contents)
+  // pairs, so frame digests cached at those generations stay valid.
+  mem_->restore_image(snap.memory, snap.frame_gens, snap.mem_generation);
   for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
     frames_.info(sim::Mfn{m}) = snap.frames[m];
   }
@@ -175,6 +246,138 @@ void Hypervisor::restore(const HvSnapshot& snap) {
   crashed_ = snap.crashed;
   cpu_hung_ = snap.cpu_hung;
   console_ = snap.console;
+}
+
+HvDelta Hypervisor::snapshot_delta(const HvSnapshot& base) const {
+  if (base.frame_gens.size() != mem_->frame_count() ||
+      base.frames.size() != frames_.frame_count()) {
+    throw std::logic_error{
+        "snapshot_delta: baseline shape does not match this machine"};
+  }
+  ++snap_stats_.delta_snapshots;
+  HvDelta delta;
+  delta.base_generation = base.mem_generation;
+
+  for (std::uint64_t m = 0; m < mem_->frame_count(); ++m) {
+    const std::uint64_t gen = mem_->frame_generation(sim::Mfn{m});
+    if (gen == base.frame_gens[m]) continue;  // same generation => same bytes
+    delta.mem_frames.push_back(m);
+    delta.mem_frame_gens.push_back(gen);
+    const auto bytes = mem_->frame_bytes(sim::Mfn{m});
+    delta.mem_bytes.insert(delta.mem_bytes.end(), bytes.begin(), bytes.end());
+  }
+  snap_stats_.frames_delta_captured += delta.mem_frames.size();
+
+  for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
+    const PageInfo& pi = frames_.info(sim::Mfn{m});
+    if (!(pi == base.frames[m])) delta.frames.emplace_back(m, pi);
+  }
+  delta.allocator = frames_.allocator_state();
+
+  for (const auto& [id, dom] : domains_) delta.domains.push_back(*dom);
+  delta.next_domid = next_domid_;
+  delta.grants = grants_.state();
+  delta.events = events_.state();
+  delta.crashed = crashed_;
+  delta.cpu_hung = cpu_hung_;
+  delta.console = console_;
+  delta.hash = state_hash();
+  return delta;
+}
+
+std::uint64_t Hypervisor::restore_delta(const HvSnapshot& base) {
+  if (base.frame_gens.size() != mem_->frame_count() ||
+      base.frames.size() != frames_.frame_count()) {
+    throw std::logic_error{
+        "restore_delta: baseline shape does not match this machine"};
+  }
+  ++snap_stats_.delta_restores;
+  std::uint64_t copied = 0;
+  for (std::uint64_t m = 0; m < mem_->frame_count(); ++m) {
+    if (mem_->frame_generation(sim::Mfn{m}) == base.frame_gens[m]) continue;
+    mem_->restore_frame(
+        sim::Mfn{m},
+        std::span{base.memory.data() + m * sim::kPageSize, sim::kPageSize},
+        base.frame_gens[m]);
+    ++copied;
+  }
+  snap_stats_.frames_copied += copied;
+
+  for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
+    frames_.info(sim::Mfn{m}) = base.frames[m];
+  }
+  frames_.restore_allocator(base.allocator);
+  domains_.clear();
+  for (const Domain& dom : base.domains) {
+    domains_.emplace(dom.id(), std::make_unique<Domain>(dom));
+  }
+  next_domid_ = base.next_domid;
+  grants_.restore(base.grants);
+  events_.restore(base.events);
+  crashed_ = base.crashed;
+  cpu_hung_ = base.cpu_hung;
+  console_ = base.console;
+  return copied;
+}
+
+std::uint64_t Hypervisor::restore_delta(const HvSnapshot& base,
+                                        const HvDelta& delta) {
+  if (base.frame_gens.size() != mem_->frame_count() ||
+      base.frames.size() != frames_.frame_count()) {
+    throw std::logic_error{
+        "restore_delta: baseline shape does not match this machine"};
+  }
+  if (delta.base_generation != base.mem_generation) {
+    throw std::logic_error{
+        "restore_delta: delta was captured against a different baseline"};
+  }
+  ++snap_stats_.delta_restores;
+  std::uint64_t copied = 0;
+
+  // One ascending sweep: frames the delta carries get the delta's bytes and
+  // recorded generation; frames it does not carry are identical to the
+  // baseline in the target state, so any that have diverged here are
+  // rewound to the baseline.
+  std::size_t d = 0;
+  for (std::uint64_t m = 0; m < mem_->frame_count(); ++m) {
+    if (d < delta.mem_frames.size() && delta.mem_frames[d] == m) {
+      mem_->restore_frame(
+          sim::Mfn{m},
+          std::span{delta.mem_bytes.data() + d * sim::kPageSize,
+                    sim::kPageSize},
+          delta.mem_frame_gens[d]);
+      ++copied;
+      ++d;
+      continue;
+    }
+    if (mem_->frame_generation(sim::Mfn{m}) != base.frame_gens[m]) {
+      mem_->restore_frame(
+          sim::Mfn{m},
+          std::span{base.memory.data() + m * sim::kPageSize, sim::kPageSize},
+          base.frame_gens[m]);
+      ++copied;
+    }
+  }
+  snap_stats_.frames_copied += copied;
+
+  // Bookkeeping: baseline frame table with the delta's overrides, then the
+  // delta's full (small) state.
+  for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
+    frames_.info(sim::Mfn{m}) = base.frames[m];
+  }
+  for (const auto& [m, pi] : delta.frames) frames_.info(sim::Mfn{m}) = pi;
+  frames_.restore_allocator(delta.allocator);
+  domains_.clear();
+  for (const Domain& dom : delta.domains) {
+    domains_.emplace(dom.id(), std::make_unique<Domain>(dom));
+  }
+  next_domid_ = delta.next_domid;
+  grants_.restore(delta.grants);
+  events_.restore(delta.events);
+  crashed_ = delta.crashed;
+  cpu_hung_ = delta.cpu_hung;
+  console_ = delta.console;
+  return copied;
 }
 
 }  // namespace ii::hv

@@ -1,4 +1,4 @@
-// Cloneable, hashable hypervisor state snapshots.
+// Cloneable, hashable hypervisor state snapshots — full and delta.
 //
 // The Hypervisor itself is non-copyable (it owns callbacks and is wired
 // into shared PhysicalMemory), but everything an intrusion — or a hypercall
@@ -14,10 +14,25 @@
 // executors): those never change after construction, which is why a
 // snapshot may only be restored onto the Hypervisor it was taken from (or
 // one built with identical configuration).
+//
+// Incremental capture (DESIGN.md §10): a full snapshot also records the
+// physical memory's per-frame write generations at capture time. Relative
+// to such a baseline, HvDelta carries only the frames written since —
+// identified by generation mismatch, no byte comparison — plus the changed
+// frame-table entries and the (small) bookkeeping state in full. The pair
+// (baseline, delta) densely describes a machine state:
+//   Hypervisor::restore_delta(base)         — back to the baseline, copying
+//                                             only frames dirtied since;
+//   Hypervisor::snapshot_delta(base)        — capture the current state as
+//                                             a delta against the baseline;
+//   Hypervisor::restore_delta(base, delta)  — to the delta's state from
+//                                             *any* current state, copying
+//                                             only frames that can differ.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hv/hypervisor.hpp"
@@ -27,6 +42,12 @@ namespace ii::hv {
 struct HvSnapshot {
   /// Full physical-memory image (page tables, IDT, guest data — everything).
   std::vector<std::uint8_t> memory;
+  /// Per-frame PhysicalMemory write generation at capture time; together
+  /// with `memory` this makes "changed since this snapshot" an O(frames)
+  /// integer scan instead of an O(bytes) comparison.
+  std::vector<std::uint64_t> frame_gens;
+  /// Global PhysicalMemory generation at capture (>= every frame_gens[i]).
+  std::uint64_t mem_generation = 0;
 
   /// Per-frame PageInfo, index = MFN.
   std::vector<PageInfo> frames;
@@ -39,6 +60,38 @@ struct HvSnapshot {
   GrantOps::State grants;
   EventChannelOps::State events;
 
+  bool crashed = false;
+  bool cpu_hung = false;
+  std::vector<std::string> console;
+
+  /// state_hash() at capture time.
+  std::uint64_t hash = 0;
+};
+
+/// A machine state expressed against a baseline HvSnapshot: only the memory
+/// frames written since the baseline (conservatively, by generation — a
+/// rewrite of identical bytes is included), only the changed frame-table
+/// entries, and the small bookkeeping state in full. Meaningful only
+/// together with the baseline it was captured against.
+struct HvDelta {
+  /// The baseline's mem_generation, for shape/identity sanity checks.
+  std::uint64_t base_generation = 0;
+
+  /// MFNs whose contents may differ from the baseline, ascending.
+  std::vector<std::uint64_t> mem_frames;
+  /// mem_frames.size() * kPageSize bytes, frame-by-frame.
+  std::vector<std::uint8_t> mem_bytes;
+  /// The write generation of each listed frame at capture time.
+  std::vector<std::uint64_t> mem_frame_gens;
+
+  /// Frame-table entries differing from the baseline: (mfn, new PageInfo).
+  std::vector<std::pair<std::uint64_t, PageInfo>> frames;
+
+  FrameTable::AllocatorState allocator;
+  std::vector<Domain> domains;
+  DomainId next_domid = kDom0;
+  GrantOps::State grants;
+  EventChannelOps::State events;
   bool crashed = false;
   bool cpu_hung = false;
   std::vector<std::string> console;

@@ -112,6 +112,9 @@ class Host {
   [[nodiscard]] std::vector<std::shared_ptr<Connection>> accepted(
       std::uint16_t port) const;
 
+  /// Drop every listener and accepted connection (warm-platform reuse).
+  void reset() { ports_.clear(); }
+
  private:
   friend class Network;
   void deliver(std::uint16_t port, std::shared_ptr<Connection> conn);
@@ -135,6 +138,12 @@ class Network {
   std::shared_ptr<Connection> connect(const std::string& from,
                                       const std::string& to,
                                       std::uint16_t port);
+
+  /// Reset every host's ports and connections. Hosts themselves persist, so
+  /// Host pointers handed out by add_host stay valid across resets.
+  void reset() {
+    for (auto& [name, host] : hosts_) host->reset();
+  }
 
  private:
   std::map<std::string, std::unique_ptr<Host>> hosts_;

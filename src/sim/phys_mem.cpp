@@ -1,12 +1,15 @@
 #include "sim/phys_mem.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
 namespace ii::sim {
 
 PhysicalMemory::PhysicalMemory(std::uint64_t frames)
-    : frames_{frames}, bytes_(frames * kPageSize, 0) {
+    : frames_{frames},
+      bytes_(frames * kPageSize, 0),
+      frame_gen_(frames, 1) {  // generation 0 is reserved: "never observed"
   if (frames == 0) throw std::invalid_argument{"PhysicalMemory: zero frames"};
 }
 
@@ -21,6 +24,13 @@ void PhysicalMemory::check_range(Paddr pa, std::uint64_t len) const {
   }
 }
 
+void PhysicalMemory::mark_range_dirty(Paddr pa, std::uint64_t len) {
+  const std::uint64_t gen = ++generation_;
+  const std::uint64_t first = pa.raw() / kPageSize;
+  const std::uint64_t last = (pa.raw() + len - 1) / kPageSize;
+  for (std::uint64_t m = first; m <= last; ++m) frame_gen_[m] = gen;
+}
+
 void PhysicalMemory::read(Paddr pa, std::span<std::uint8_t> out) const {
   check_range(pa, out.size());
   std::memcpy(out.data(), bytes_.data() + pa.raw(), out.size());
@@ -28,6 +38,7 @@ void PhysicalMemory::read(Paddr pa, std::span<std::uint8_t> out) const {
 
 void PhysicalMemory::write(Paddr pa, std::span<const std::uint8_t> in) {
   check_range(pa, in.size());
+  mark_range_dirty(pa, in.size());
   std::memcpy(bytes_.data() + pa.raw(), in.data(), in.size());
 }
 
@@ -40,6 +51,7 @@ std::uint64_t PhysicalMemory::read_u64(Paddr pa) const {
 
 void PhysicalMemory::write_u64(Paddr pa, std::uint64_t value) {
   check_range(pa, sizeof value);
+  mark_range_dirty(pa, sizeof value);
   std::memcpy(bytes_.data() + pa.raw(), &value, sizeof value);
 }
 
@@ -56,17 +68,58 @@ void PhysicalMemory::write_slot(Mfn table, unsigned index,
 
 void PhysicalMemory::zero_frame(Mfn mfn) {
   check_range(mfn_to_paddr(mfn), kPageSize);
+  mark_dirty(mfn);
   std::memset(bytes_.data() + mfn_to_paddr(mfn).raw(), 0, kPageSize);
-}
-
-std::span<std::uint8_t> PhysicalMemory::frame_bytes(Mfn mfn) {
-  check_range(mfn_to_paddr(mfn), kPageSize);
-  return {bytes_.data() + mfn_to_paddr(mfn).raw(), kPageSize};
 }
 
 std::span<const std::uint8_t> PhysicalMemory::frame_bytes(Mfn mfn) const {
   check_range(mfn_to_paddr(mfn), kPageSize);
   return {bytes_.data() + mfn_to_paddr(mfn).raw(), kPageSize};
+}
+
+PhysicalMemory::FrameWriteGuard PhysicalMemory::writable_frame(Mfn mfn) {
+  check_range(mfn_to_paddr(mfn), kPageSize);
+  return FrameWriteGuard{*this, mfn};
+}
+
+void PhysicalMemory::mark_dirty(Mfn mfn) {
+  check_range(mfn_to_paddr(mfn), kPageSize);
+  frame_gen_[mfn.raw()] = ++generation_;
+}
+
+std::vector<std::uint64_t> PhysicalMemory::dirty_bitmap(
+    std::span<const std::uint64_t> since) const {
+  if (since.size() != frames_) {
+    throw std::logic_error{"dirty_bitmap: generation vector shape mismatch"};
+  }
+  std::vector<std::uint64_t> bits((frames_ + 63) / 64, 0);
+  for (std::uint64_t m = 0; m < frames_; ++m) {
+    if (frame_gen_[m] != since[m]) bits[m / 64] |= 1ULL << (m % 64);
+  }
+  return bits;
+}
+
+void PhysicalMemory::restore_frame(Mfn mfn, std::span<const std::uint8_t> bytes,
+                                   std::uint64_t gen) {
+  check_range(mfn_to_paddr(mfn), kPageSize);
+  if (bytes.size() != kPageSize) {
+    throw std::logic_error{"restore_frame: not a whole frame"};
+  }
+  std::memcpy(bytes_.data() + mfn_to_paddr(mfn).raw(), bytes.data(),
+              kPageSize);
+  frame_gen_[mfn.raw()] = gen;
+  generation_ = std::max(generation_, gen);
+}
+
+void PhysicalMemory::restore_image(std::span<const std::uint8_t> bytes,
+                                   std::span<const std::uint64_t> gens,
+                                   std::uint64_t generation) {
+  if (bytes.size() != byte_size() || gens.size() != frames_) {
+    throw std::logic_error{"restore_image: image shape mismatch"};
+  }
+  std::memcpy(bytes_.data(), bytes.data(), bytes.size());
+  std::copy(gens.begin(), gens.end(), frame_gen_.begin());
+  generation_ = std::max(generation_, generation);
 }
 
 }  // namespace ii::sim

@@ -5,6 +5,24 @@
 // hypervisor, the guests, the exploits and the injector all read and write
 // the same PhysicalMemory instance, which is what makes cross-privilege
 // memory corruption observable end to end.
+//
+// Write tracking: every mutation path stamps the covered frames with a
+// fresh value of a monotonically increasing generation counter. Because a
+// frame's generation changes on every write, the pair (generation,
+// contents) is unique per frame: two observations of a frame at the same
+// generation are guaranteed byte-identical. That single property is what
+// the incremental state hashing (hv/snapshot digest cache) and the delta
+// snapshot/restore machinery are built on — a "dirty bitmap since
+// generation G" is simply the set of frames whose generation exceeds the
+// per-frame generations recorded at G.
+//
+// Mutation paths that stamp generations (DESIGN.md §10 lists the full
+// invariant): write(), write_u64(), write_slot(), zero_frame(),
+// mark_dirty(), writable_frame() guards, and restore_frame() (which rolls
+// a frame's generation *back* to a recorded value together with the bytes
+// that were captured at that value — the only path allowed to do so).
+// frame_bytes() is const-only; there is deliberately no unguarded mutable
+// view.
 #pragma once
 
 #include <cstdint>
@@ -44,15 +62,84 @@ class PhysicalMemory {
   /// Zero an entire frame (what the hypervisor does when scrubbing).
   void zero_frame(Mfn mfn);
 
-  /// Mutable view of one frame's 4096 bytes.
-  [[nodiscard]] std::span<std::uint8_t> frame_bytes(Mfn mfn);
+  /// Read-only view of one frame's 4096 bytes. Mutation goes through
+  /// writable_frame() so the dirty tracking sees it.
   [[nodiscard]] std::span<const std::uint8_t> frame_bytes(Mfn mfn) const;
+
+  // ------------------------------------------------------- write tracking
+
+  /// RAII mutable view of one frame. Stamps the frame dirty on acquisition
+  /// and again on release, so writes performed through the span anywhere in
+  /// the guard's lifetime are covered even if a hash was taken in between.
+  class FrameWriteGuard {
+   public:
+    FrameWriteGuard(PhysicalMemory& mem, Mfn mfn)
+        : mem_{&mem}, mfn_{mfn} { mem.mark_dirty(mfn); }
+    ~FrameWriteGuard() { mem_->mark_dirty(mfn_); }
+    FrameWriteGuard(const FrameWriteGuard&) = delete;
+    FrameWriteGuard& operator=(const FrameWriteGuard&) = delete;
+
+    [[nodiscard]] std::span<std::uint8_t> bytes() {
+      return {mem_->bytes_.data() + mfn_.raw() * kPageSize, kPageSize};
+    }
+    std::uint8_t& operator[](std::uint64_t i) { return bytes()[i]; }
+
+   private:
+    PhysicalMemory* mem_;
+    Mfn mfn_;
+  };
+
+  /// Acquire a write guard for `mfn` (range-checked).
+  [[nodiscard]] FrameWriteGuard writable_frame(Mfn mfn);
+
+  /// Stamp `mfn` with a fresh generation without writing (for callers that
+  /// mutated — or are about to mutate — through a sanctioned view).
+  void mark_dirty(Mfn mfn);
+
+  /// Global write counter: increases on every mutation call, never
+  /// decreases. generation() >= frame_generation(m) for every frame.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Generation stamped on `mfn`'s last write.
+  [[nodiscard]] std::uint64_t frame_generation(Mfn mfn) const {
+    return frame_gen_[mfn.raw()];
+  }
+  [[nodiscard]] std::span<const std::uint64_t> frame_generations() const {
+    return frame_gen_;
+  }
+
+  /// Dirty bitmap relative to a recorded per-frame generation vector (one
+  /// bit per frame, 64 frames per word): bit set when the frame may have
+  /// changed since the recording. `since` must have frame_count() entries.
+  [[nodiscard]] std::vector<std::uint64_t> dirty_bitmap(
+      std::span<const std::uint64_t> since) const;
+
+  // ------------------------------------------------- snapshot-engine hooks
+  // The two generation-rolling entry points below are reserved for the
+  // snapshot/restore engine (hv/snapshot.cpp): they re-establish a
+  // previously observed (generation, contents) pair, which is only sound
+  // when bytes and generation were captured together. tools/ii-lint
+  // enforces the confinement.
+
+  /// Write `bytes` into `mfn` and roll its generation to `gen` (the value
+  /// recorded when `bytes` were captured).
+  void restore_frame(Mfn mfn, std::span<const std::uint8_t> bytes,
+                     std::uint64_t gen);
+
+  /// Whole-image restore: all frames plus their recorded generations.
+  void restore_image(std::span<const std::uint8_t> bytes,
+                     std::span<const std::uint64_t> gens,
+                     std::uint64_t generation);
 
  private:
   void check_range(Paddr pa, std::uint64_t len) const;
+  /// Stamp every frame overlapping [pa, pa+len) with one fresh generation.
+  void mark_range_dirty(Paddr pa, std::uint64_t len);
 
   std::uint64_t frames_;
   std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint64_t> frame_gen_;
+  std::uint64_t generation_ = 1;  // 0 is reserved as "never observed"
 };
 
 }  // namespace ii::sim

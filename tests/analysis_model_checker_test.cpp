@@ -111,6 +111,41 @@ TEST(ModelChecker, MaxStatesTruncates) {
   EXPECT_LE(result.states_explored, 21u);  // may finish the expansion step
 }
 
+TEST(ModelChecker, DeltaExplorationMatchesReplayFallbackExactly) {
+  // The delta-restore scheme is a pure optimization: against the
+  // snapshot-root-and-replay fallback it must agree on every externally
+  // visible result, down to counterexample traces, hashes and diffs.
+  for (const hv::XenVersion version : {hv::kXen46, hv::kXen48}) {
+    auto config = config_for(version, 2, /*grants=*/version == hv::kXen48);
+    config.use_replay_fallback = false;
+    const auto delta = run_model_check(config);
+    config.use_replay_fallback = true;
+    const auto replay = run_model_check(config);
+
+    EXPECT_EQ(delta.states_explored, replay.states_explored);
+    EXPECT_EQ(delta.ops_applied, replay.ops_applied);
+    EXPECT_EQ(delta.states_deduped, replay.states_deduped);
+    EXPECT_EQ(delta.failed_ops, replay.failed_ops);
+    EXPECT_EQ(delta.violations_found, replay.violations_found);
+    EXPECT_EQ(delta.invariant_hits, replay.invariant_hits);
+    EXPECT_EQ(delta.class_hits, replay.class_hits);
+    ASSERT_EQ(delta.counterexamples.size(), replay.counterexamples.size());
+    for (std::size_t i = 0; i < delta.counterexamples.size(); ++i) {
+      const auto& a = delta.counterexamples[i];
+      const auto& b = replay.counterexamples[i];
+      EXPECT_EQ(a.trace_string(), b.trace_string()) << i;
+      EXPECT_EQ(a.state_hash, b.state_hash) << i;
+      EXPECT_EQ(a.state_diff, b.state_diff) << i;
+      EXPECT_EQ(a.violated == b.violated, true) << i;
+    }
+    // The schemes differ exactly where they should: the delta run restores
+    // deltas, the fallback restores full snapshots.
+    EXPECT_GT(delta.delta_restores, 0u);
+    EXPECT_GT(replay.full_restores, 0u);
+    EXPECT_LT(delta.snapshot_frames_copied, replay.snapshot_frames_copied);
+  }
+}
+
 TEST(ModelChecker, RenderReportMentionsEveryClass) {
   const auto result = run_model_check(config_for(hv::kXen46, 1));
   const std::string report = render_report(result);

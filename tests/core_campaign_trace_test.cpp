@@ -185,5 +185,61 @@ TEST(CampaignTrace, MetricsSummaryRendersCounters) {
   EXPECT_NE(summary.find("Counter"), std::string::npos);
 }
 
+TEST(CampaignWarmReuse, WarmAndColdCellsAgreeOnEverythingObservable) {
+  // Warm platform reuse is a pure setup optimization: verdicts, hypercall
+  // counts and traces must match a campaign that boots every cell cold.
+  auto warm_config = small_config(/*capture=*/true);
+  warm_config.reuse_platforms = true;
+  auto cold_config = warm_config;
+  cold_config.reuse_platforms = false;
+
+  const auto warm = Campaign{warm_config}.run(probe_cases());
+  const auto cold = Campaign{cold_config}.run(probe_cases());
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(warm[i].err_state, cold[i].err_state) << i;
+    EXPECT_EQ(warm[i].violation, cold[i].violation) << i;
+    EXPECT_EQ(warm[i].outcome.completed, cold[i].outcome.completed) << i;
+    EXPECT_EQ(warm[i].outcome.rc, cold[i].outcome.rc) << i;
+    EXPECT_EQ(warm[i].failure, cold[i].failure) << i;
+    // Boot issues no hypercalls through the dispatch table, so the count
+    // matches even though the cold cell's sink observed the boot.
+    EXPECT_EQ(warm[i].hypercalls, cold[i].hypercalls) << i;
+  }
+}
+
+TEST(CampaignWarmReuse, SecondCellOnSameConfigIsAReuseHit) {
+  // Two probe cases × one version × one mode: the second cell leases the
+  // platform the first cell warmed up, and pays only a delta restore.
+  auto config = small_config(/*capture=*/false);
+  config.versions = {hv::kXen46};
+  config.modes = {Mode::Exploit};
+  const Campaign campaign{config};
+
+  std::vector<std::unique_ptr<UseCase>> cases;
+  cases.push_back(std::make_unique<TraceProbeCase>());
+  cases.push_back(std::make_unique<TraceProbeCase>());
+  const auto results = campaign.run(cases);
+  ASSERT_EQ(results.size(), 2u);
+
+  const auto counter = [](const CellResult& cell, const char* name) {
+    const auto it = cell.metrics.counters.find(name);
+    return it == cell.metrics.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  EXPECT_EQ(counter(results[0], "cell.reuse_hits"), 0u);
+  EXPECT_EQ(counter(results[1], "cell.reuse_hits"), 1u);
+  // The probe dirties frames (console ring, balloon churn), so the release
+  // rewind copies some — but far fewer than the whole 8192-frame machine.
+  for (const auto& cell : results) {
+    const std::uint64_t copied = counter(cell, "snapshot.frames_copied");
+    EXPECT_GT(copied, 0u);
+    EXPECT_LT(copied, config.platform.machine_frames / 4);
+  }
+  // Identical cells on the same pooled platform dirty the identical frame
+  // set: the rewind cost is a property of the cell, not of pool history.
+  EXPECT_EQ(counter(results[0], "snapshot.frames_copied"),
+            counter(results[1], "snapshot.frames_copied"));
+}
+
 }  // namespace
 }  // namespace ii::core

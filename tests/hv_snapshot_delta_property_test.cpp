@@ -1,0 +1,149 @@
+// Randomized properties of the incremental snapshot engine (DESIGN.md §10).
+//
+// Two invariants hold after *any* accepted-or-refused hypercall stream:
+//   1. The dirty-frame digest cache is transparent: state_hash() (cached)
+//      equals state_hash_full() (every frame rehashed).
+//   2. (baseline, delta) densely describes a state: restore_delta(base,
+//      delta) rebuilds it byte-identically — the full memory image, frame
+//      generations, frame table, console and hash all match a full
+//      snapshot taken at capture time — and restore_delta(base) rewinds
+//      byte-identically to the baseline.
+// Both are fuzzed with seeded generators across the three paper versions,
+// so any mutation path that skips dirty-marking shows up as a hash split.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "hv/hypervisor.hpp"
+#include "hv/snapshot.hpp"
+
+namespace ii::hv {
+namespace {
+
+struct Harness {
+  explicit Harness(XenVersion version, unsigned seed)
+      : mem{4096}, hv{mem, VersionPolicy::for_version(version)}, rng{seed} {
+    dom0 = hv.create_domain("dom0", true, 64);
+    guest = hv.create_domain("guest01", false, 128);
+  }
+
+  std::uint64_t rand_pfn() { return rng() % hv.domain(guest).nr_pages(); }
+
+  /// One random mutation through a public hypercall surface. Accepted and
+  /// refused requests are both interesting: refusals still write the
+  /// console and must not desynchronize the digest cache either way.
+  void random_op() {
+    switch (rng() % 5) {
+      case 0: {  // mmu_update on a random own-table slot
+        const Domain& dom = hv.domain(guest);
+        const std::uint64_t table_pfn = 124 + rng() % 4;
+        const unsigned index = static_cast<unsigned>(rng() % sim::kPtEntries);
+        std::uint64_t flags = sim::Pte::kPresent;
+        if (rng() % 2) flags |= sim::Pte::kWritable;
+        if (rng() % 2) flags |= sim::Pte::kUser;
+        if (rng() % 8 == 0) flags |= sim::Pte::kPageSize;
+        const sim::Pte entry =
+            sim::Pte::make(*dom.p2m(sim::Pfn{rand_pfn()}), flags);
+        const MmuUpdate req{
+            sim::mfn_to_paddr(*dom.p2m(sim::Pfn{table_pfn})).raw() +
+                index * 8,
+            entry.raw()};
+        (void)hv.hypercall_mmu_update(guest, {&req, 1});
+        break;
+      }
+      case 1: {  // memory_exchange, mostly invalid
+        MemoryExchange exch{};
+        exch.in_extents = {sim::Pfn{rand_pfn()}};
+        exch.out_extent_start =
+            sim::Vaddr{kGuestKernelBase + (rng() % 64) * sim::kPageSize};
+        (void)hv.hypercall_memory_exchange(guest, exch);
+        break;
+      }
+      case 2:
+        (void)hv.hypercall_console_io(
+            guest, "probe " + std::to_string(rng() % 1000));
+        break;
+      case 3:
+        (void)hv.hypercall_decrease_reservation(guest, sim::Pfn{rand_pfn()});
+        break;
+      default:
+        (void)hv.hypercall_populate_physmap(guest, sim::Pfn{rand_pfn()});
+        break;
+    }
+  }
+
+  sim::PhysicalMemory mem;
+  Hypervisor hv;
+  std::mt19937 rng;
+  DomainId dom0{}, guest{};
+};
+
+class SnapshotDeltaProperty
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(SnapshotDeltaProperty, IncrementalHashMatchesFullRehash) {
+  const auto [minor, seed] = GetParam();
+  Harness h{XenVersion{4, minor}, seed};
+  ASSERT_EQ(h.hv.state_hash(), h.hv.state_hash_full());
+  for (int batch = 0; batch < 12; ++batch) {
+    const int ops = 1 + static_cast<int>(h.rng() % 20);
+    for (int i = 0; i < ops; ++i) h.random_op();
+    const std::uint64_t cached = h.hv.state_hash();
+    ASSERT_EQ(cached, h.hv.state_hash_full()) << "batch " << batch;
+    // A second cached call must be a pure cache hit with the same value.
+    ASSERT_EQ(cached, h.hv.state_hash()) << "batch " << batch;
+  }
+}
+
+TEST_P(SnapshotDeltaProperty, DeltaRestoreIsByteIdenticalToFullSnapshot) {
+  const auto [minor, seed] = GetParam();
+  Harness h{XenVersion{4, minor}, seed + 1000};
+  const HvSnapshot base = h.hv.snapshot();
+
+  for (int round = 0; round < 4; ++round) {
+    const int ops = 1 + static_cast<int>(h.rng() % 30);
+    for (int i = 0; i < ops; ++i) h.random_op();
+
+    const HvDelta delta = h.hv.snapshot_delta(base);
+    const HvSnapshot full = h.hv.snapshot();
+    ASSERT_EQ(delta.hash, full.hash);
+
+    // Rewind to the baseline, then rebuild the captured state from the
+    // (baseline, delta) pair alone.
+    h.hv.restore_delta(base);
+    EXPECT_EQ(h.hv.state_hash(), base.hash) << "round " << round;
+    const HvSnapshot at_base = h.hv.snapshot();
+    EXPECT_EQ(at_base.memory, base.memory) << "round " << round;
+    EXPECT_EQ(at_base.frame_gens, base.frame_gens) << "round " << round;
+
+    h.hv.restore_delta(base, delta);
+    EXPECT_EQ(h.hv.state_hash(), full.hash) << "round " << round;
+    const HvSnapshot rebuilt = h.hv.snapshot();
+    EXPECT_EQ(rebuilt.memory, full.memory) << "round " << round;
+    EXPECT_EQ(rebuilt.frame_gens, full.frame_gens) << "round " << round;
+    EXPECT_EQ(rebuilt.frames == full.frames, true) << "round " << round;
+    EXPECT_EQ(rebuilt.console, full.console) << "round " << round;
+    // Continue mutating from the rebuilt state next round.
+  }
+}
+
+TEST_P(SnapshotDeltaProperty, DeltaAgainstWrongBaselineIsRefused) {
+  const auto [minor, seed] = GetParam();
+  Harness h{XenVersion{4, minor}, seed + 2000};
+  const HvSnapshot base = h.hv.snapshot();
+  for (int i = 0; i < 5; ++i) h.random_op();
+  const HvSnapshot other = h.hv.snapshot();
+  const HvDelta delta = h.hv.snapshot_delta(other);
+  if (other.mem_generation != base.mem_generation) {
+    EXPECT_THROW(h.hv.restore_delta(base, delta), std::logic_error);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Versions, SnapshotDeltaProperty,
+    ::testing::Combine(::testing::Values(6, 8, 13),
+                       ::testing::Values(1u, 7u, 42u)));
+
+}  // namespace
+}  // namespace ii::hv

@@ -82,12 +82,83 @@ TEST(PhysicalMemory, ZeroFrameClearsOnlyThatFrame) {
 
 TEST(PhysicalMemory, FrameBytesView) {
   PhysicalMemory mem{2};
-  auto view = mem.frame_bytes(Mfn{1});
-  ASSERT_EQ(view.size(), kPageSize);
-  view[0] = 0xAB;
+  {
+    auto view = mem.writable_frame(Mfn{1});
+    ASSERT_EQ(view.bytes().size(), kPageSize);
+    view[0] = 0xAB;
+  }
   EXPECT_EQ(mem.read_slot(Mfn{1}, 0) & 0xFF, 0xABu);
   const auto& cmem = mem;
   EXPECT_EQ(cmem.frame_bytes(Mfn{1})[0], 0xAB);
+}
+
+TEST(PhysicalMemory, EveryMutationPathBumpsFrameGeneration) {
+  PhysicalMemory mem{3};
+  const auto gen_of = [&](std::uint64_t m) {
+    return mem.frame_generation(Mfn{m});
+  };
+
+  std::uint64_t before = gen_of(0);
+  mem.write_u64(Paddr{8}, 1);
+  EXPECT_GT(gen_of(0), before);
+
+  before = gen_of(1);
+  mem.write_slot(Mfn{1}, 0, 0x77);
+  EXPECT_GT(gen_of(1), before);
+
+  before = gen_of(1);
+  mem.zero_frame(Mfn{1});
+  EXPECT_GT(gen_of(1), before);
+
+  before = gen_of(2);
+  mem.mark_dirty(Mfn{2});
+  EXPECT_GT(gen_of(2), before);
+
+  before = gen_of(2);
+  { auto guard = mem.writable_frame(Mfn{2}); guard[7] = 1; }
+  EXPECT_GT(gen_of(2), before);
+
+  // A straddling write stamps every covered frame with the same generation.
+  std::array<std::uint8_t, 16> buf{};
+  mem.write(Paddr{kPageSize - 8}, buf);
+  EXPECT_EQ(gen_of(0), gen_of(1));
+  EXPECT_GT(gen_of(0), before);
+
+  // Reads leave generations alone.
+  before = mem.generation();
+  (void)mem.read_u64(Paddr{0});
+  (void)mem.frame_bytes(Mfn{0});
+  std::array<std::uint8_t, 8> out{};
+  mem.read(Paddr{0}, out);
+  EXPECT_EQ(mem.generation(), before);
+}
+
+TEST(PhysicalMemory, DirtyBitmapAndRestoreFrameRollGenerationsBack) {
+  PhysicalMemory mem{130};  // >2 bitmap words
+  const std::vector<std::uint64_t> base{mem.frame_generations().begin(),
+                                        mem.frame_generations().end()};
+  std::vector<std::uint8_t> frame0{mem.frame_bytes(Mfn{0}).begin(),
+                                   mem.frame_bytes(Mfn{0}).end()};
+
+  mem.write_u64(Paddr{0}, 0xAA);            // frame 0
+  mem.write_u64(Paddr{129 * kPageSize}, 1); // frame 129
+
+  const auto bits = mem.dirty_bitmap(base);
+  ASSERT_EQ(bits.size(), 3u);
+  EXPECT_EQ(bits[0], 1u);                   // only frame 0 in word 0
+  EXPECT_EQ(bits[1], 0u);
+  EXPECT_EQ(bits[2], 1ULL << (129 - 128));  // only frame 129 in word 2
+
+  // Restoring captured bytes at the captured generation cleans the frame.
+  mem.restore_frame(Mfn{0}, frame0, base[0]);
+  const auto bits2 = mem.dirty_bitmap(base);
+  EXPECT_EQ(bits2[0], 0u);
+  EXPECT_EQ(mem.read_u64(Paddr{0}), 0u);
+  // The global counter never rolls back.
+  EXPECT_GE(mem.generation(), base[129]);
+
+  std::vector<std::uint64_t> wrong(4, 0);
+  EXPECT_THROW((void)mem.dirty_bitmap(wrong), std::logic_error);
 }
 
 }  // namespace

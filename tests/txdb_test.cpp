@@ -190,7 +190,7 @@ TEST(GuestStorage, HypervisorLevelCorruptionIsDetected) {
   ASSERT_TRUE(db.commit(tx));
 
   const sim::Mfn frame = *platform.guest(0).pfn_to_mfn(storage.pfns()[0]);
-  platform.memory().frame_bytes(frame)[64 + 20 + 2] ^= 0xFF;
+  platform.memory().writable_frame(frame)[64 + 20 + 2] ^= 0xFF;
 
   EXPECT_TRUE(db.verify().torn_record_found);
 }
