@@ -329,6 +329,23 @@ void bench_model_check_depth2() {
       /*warmup=*/1);
 }
 
+/// The depth-3 bounded check, serial vs sharded (DESIGN.md §12). One row
+/// per thread count; the speedup only materializes with real cores, but
+/// the rows also pin that sharding costs ~nothing when it cannot help
+/// (single-core hosts run the barrier-synchronized passes back to back).
+void bench_model_check_depth3() {
+  analysis::ModelCheckConfig mc;
+  mc.version = hv::kXen46;
+  mc.depth = 3;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    mc.threads = threads;
+    run_bench(
+        "model_check_depth3_t" + std::to_string(threads), 3,
+        [&] { do_not_optimize(analysis::run_model_check(mc)); },
+        /*warmup=*/1);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -346,5 +363,6 @@ int main() {
   bench_snapshot_restore();
   bench_campaign_cell_warm_vs_cold();
   bench_model_check_depth2();
+  bench_model_check_depth3();
   return 0;
 }

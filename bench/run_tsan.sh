@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# ThreadSanitizer gate for the parallel campaign engine and the per-cell
-# trace sinks: builds the tree with -DII_SANITIZE=thread and runs the
-# concurrency-sensitive test binaries under TSan.
+# ThreadSanitizer gate for the parallel campaign engine, the sharded
+# model checker and the per-cell trace sinks: builds the tree with
+# -DII_SANITIZE=thread and runs the concurrency-sensitive test binaries
+# under TSan.
 #
 # Usage: bench/run_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -14,11 +15,13 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
   -DII_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
   core_coverage_parallel_test obs_trace_test core_campaign_trace_test \
-  core_supervisor_test
+  core_supervisor_test analysis_model_checker_test \
+  campaign_integration_test
 
 status=0
 for test_bin in core_coverage_parallel_test obs_trace_test \
-                core_campaign_trace_test core_supervisor_test; do
+                core_campaign_trace_test core_supervisor_test \
+                analysis_model_checker_test campaign_integration_test; do
   echo "== TSan: $test_bin"
   if ! "$BUILD_DIR/tests/$test_bin"; then
     status=1

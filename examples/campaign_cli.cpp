@@ -167,14 +167,18 @@ int main(int argc, char** argv) {
   // time on cells: a policy that disagrees with its expectation makes the
   // campaign's verdicts meaningless, so refuse to start.
   if (preflight) {
-    const core::PreflightReport report = core::Campaign{config}.preflight();
+    // Shard the checker over the same worker count the campaign will use
+    // (0 = hardware concurrency); the verdict is thread-count independent.
+    const core::PreflightReport report =
+        core::Campaign{config}.preflight(/*depth=*/2, supervision.threads);
     for (const auto& v : report.versions) {
       std::printf(
-          "preflight xen %-5s depth %u: %llu states, %llu violation(s), "
+          "preflight xen %-5s depth %u: %llu states, %llu violation(s)%s, "
           "expected %s -> %s\n",
           v.version.to_string().c_str(), report.depth,
           static_cast<unsigned long long>(v.states_explored),
           static_cast<unsigned long long>(v.violations_found),
+          v.truncated ? " [TRUNCATED]" : "",
           v.expected_vulnerable ? "vulnerable" : "clean",
           v.ok() ? "ok" : "MISMATCH");
     }

@@ -10,12 +10,18 @@
 //   - the BFS driver
 #include "analysis/model_checker.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <unordered_set>
+#include <utility>
 
 #include "hv/audit.hpp"
 #include "hv/errors.hpp"
@@ -573,11 +579,14 @@ std::string Counterexample::trace_string() const {
   return out;
 }
 
-// ---------------------------------------------------------------- BFS driver
+// --------------------------------------------------------- serial BFS driver
 
-ModelCheckResult run_model_check(const ModelCheckConfig& config) {
+namespace {
+
+ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
   ModelCheckResult result;
   result.config = config;
+  result.threads_used = 1;
 
   Machine machine{config};
   hv::Hypervisor& vmm = machine.vmm;
@@ -714,6 +723,378 @@ ModelCheckResult run_model_check(const ModelCheckConfig& config) {
   return result;
 }
 
+// ------------------------------------------------- parallel sharded explorer
+//
+// Depth-synchronous frontier sharding (DESIGN.md §12). The BFS frontier of
+// one depth is split over N workers, each owning a private Machine plus its
+// own root snapshot (identical boots make the roots byte-equal, so deltas
+// are portable across workers via the foreign restore path). Each level
+// runs in two parallel passes with one serial merge between them:
+//
+//   pass 1 (parallel)  every worker pulls parents from an atomic cursor,
+//                      restores them, applies the whole alphabet, and
+//                      records (parent, op, child-hash, changed, failed)
+//                      outcomes into a private buffer. No audits, no
+//                      captures — this pass only discovers the level's
+//                      successor hashes.
+//   merge  (serial)    all outcomes, sorted into (parent, op) lexicographic
+//                      order, are replayed against the visited set with the
+//                      serial driver's exact semantics: dedup, failed-op
+//                      counting and the mid-level max_states truncation all
+//                      land on the same pairs the serial BFS would pick.
+//                      The survivors become claims.
+//   pass 2 (parallel)  claims are re-derived (restore parent, re-apply the
+//                      claimed op) and audited; violating states capture
+//                      their report/classification/diff, clean states their
+//                      next-depth delta — each into a pre-sized slot, so
+//                      the final serial assembly emits violations,
+//                      counterexamples and the next frontier in exactly the
+//                      serial order.
+//
+// Determinism rests on three properties: the merge is a pure function of
+// the (parent, op)-keyed outcome set; op application is a pure function of
+// the restored state; and a child delta's dirty-frame set is
+// parent-dirty ∪ op-writes on every machine (foreign restores stamp every
+// delta frame, rewinds return frames to root generations), so diffs and
+// reports never depend on which worker derived them.
+
+/// Visited-state set striped over 64 mutexes: pass-1 workers concurrently
+/// pre-classify hashes committed at earlier depths (contains), the serial
+/// merge is the only writer (insert).
+class VisitedSet {
+ public:
+  [[nodiscard]] bool contains(std::uint64_t h) const {
+    const Stripe& s = stripe(h);
+    const std::lock_guard<std::mutex> lock{s.mu};
+    return s.set.count(h) != 0;
+  }
+  /// True if newly inserted.
+  bool insert(std::uint64_t h) {
+    Stripe& s = stripe(h);
+    const std::lock_guard<std::mutex> lock{s.mu};
+    return s.set.insert(h).second;
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_set<std::uint64_t> set;
+  };
+  [[nodiscard]] const Stripe& stripe(std::uint64_t h) const {
+    return stripes_[h & (kStripes - 1)];
+  }
+  [[nodiscard]] Stripe& stripe(std::uint64_t h) {
+    return stripes_[h & (kStripes - 1)];
+  }
+  static constexpr std::size_t kStripes = 64;
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// One worker's private machine and root. All roots must hash identically
+/// (asserted at construction time by the driver) — that is what makes one
+/// worker's HvDelta meaningful on another worker's machine.
+struct ShardWorker {
+  Machine machine;
+  hv::HvSnapshot root;
+
+  explicit ShardWorker(const ModelCheckConfig& config) : machine{config} {
+    machine.vmm.reset_snapshot_stats();
+    root = machine.vmm.snapshot();
+  }
+};
+
+/// A queued state: its op prefix and its delta against the shared root.
+struct FrontierItem {
+  std::vector<Op> prefix;
+  hv::HvDelta delta;
+};
+
+/// Pass-1 record for one (parent, op) application.
+struct PairOutcome {
+  std::uint32_t parent = 0;  ///< index into the current frontier
+  std::uint32_t op = 0;      ///< index into the parent's alphabet
+  std::uint64_t hash = 0;    ///< child state hash
+  bool changed = false;      ///< hash != parent hash
+  bool failed = false;       ///< rc != 0
+  bool committed_dup = false;  ///< hash already visited at an earlier depth
+};
+
+/// A (parent, op) pair the merge admitted as a newly visited state.
+struct Claim {
+  std::uint32_t parent = 0;
+  std::uint32_t op = 0;
+  std::uint64_t hash = 0;
+};
+
+/// Pass-2 re-derivation of one claimed state.
+struct ChildCapture {
+  Op op;                 ///< the claimed op (labels the trace)
+  bool violating = false;
+  hv::HvDelta delta;     ///< clean states: next-depth frontier entry
+  hv::InvariantReport report;
+  std::vector<hv::Invariant> violated;
+  std::vector<ErroneousStateClass> classes;
+  std::vector<std::string> state_diff;
+};
+
+/// Run fn(w) for w in [0, threads), worker 0 on the calling thread. A
+/// worker's exception is captured and rethrown after every thread joined
+/// (the others drain the shared cursor and exit).
+void run_on_workers(unsigned threads, const std::function<void(unsigned)>& fn) {
+  std::mutex error_mu;
+  std::exception_ptr error;
+  const auto wrapped = [&](unsigned w) {
+    try {
+      fn(w);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock{error_mu};
+      if (!error) error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned w = 1; w < threads; ++w) pool.emplace_back(wrapped, w);
+  wrapped(0);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
+                                          unsigned threads) {
+  ModelCheckResult result;
+  result.config = config;
+  result.threads_used = threads;
+
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.push_back(std::make_unique<ShardWorker>(config));
+    if (workers[w]->root.hash != workers[0]->root.hash ||
+        workers[w]->root.mem_generation != workers[0]->root.mem_generation) {
+      throw std::logic_error{
+          "model checker: worker machines did not boot identically"};
+    }
+  }
+  hv::Hypervisor& vmm0 = workers[0]->machine.vmm;
+  const hv::HvSnapshot& root = workers[0]->root;
+  result.states_explored = 1;
+
+  // Root audit, identical to the serial driver: a dirty boot state is
+  // reported and terminal.
+  {
+    const hv::SystemWalk walk = hv::walk_system(vmm0);
+    hv::InvariantReport report = hv::InvariantAuditor{vmm0}.audit(walk);
+    if (!report.clean()) {
+      ++result.violations_found;
+      const auto violated = report.violated_set();
+      for (const hv::Invariant inv : violated) {
+        ++result.invariant_hits[static_cast<std::size_t>(inv)];
+      }
+      const auto classes = classify(vmm0, walk, report);
+      for (const ErroneousStateClass c : classes) {
+        ++result.class_hits[static_cast<std::size_t>(c)];
+      }
+      Counterexample cx;
+      cx.state_hash = root.hash;
+      cx.violated = violated;
+      cx.classes = classes;
+      const hv::HvDelta root_delta = vmm0.snapshot_delta(root);
+      cx.state_diff = diff_states(StateView{root, root_delta},
+                                  StateView{root, root_delta});
+      cx.report = std::move(report);
+      result.counterexamples.push_back(std::move(cx));
+      return result;
+    }
+  }
+
+  VisitedSet visited;
+  (void)visited.insert(root.hash);
+
+  std::vector<FrontierItem> frontier;
+  frontier.push_back(FrontierItem{{}, vmm0.snapshot_delta(root)});
+
+  bool stop = false;
+  while (!frontier.empty() && !stop &&
+         frontier.front().prefix.size() < config.depth) {
+    // -------- pass 1: apply every op of every parent, record outcomes.
+    const std::size_t n_parents = frontier.size();
+    std::vector<std::vector<PairOutcome>> outcomes(threads);
+    std::atomic<std::size_t> next_parent{0};
+    run_on_workers(threads, [&](unsigned w) {
+      ShardWorker& self = *workers[w];
+      hv::Hypervisor& vmm = self.machine.vmm;
+      std::vector<PairOutcome>& out = outcomes[w];
+      while (true) {
+        const std::size_t p = next_parent.fetch_add(1);
+        if (p >= n_parents) return;
+        const FrontierItem& item = frontier[p];
+        (void)vmm.restore_delta(self.root, item.delta, /*foreign=*/true);
+        const std::uint64_t parent_hash = item.delta.hash;
+        const std::vector<Op> alphabet =
+            enumerate_ops(vmm, config, self.machine.guests);
+        for (std::uint32_t o = 0; o < alphabet.size(); ++o) {
+          const long rc = apply_op(vmm, alphabet[o]);
+          const std::uint64_t h = vmm.state_hash();
+          PairOutcome po;
+          po.parent = static_cast<std::uint32_t>(p);
+          po.op = o;
+          po.hash = h;
+          po.changed = h != parent_hash;
+          po.failed = rc != hv::kOk;
+          po.committed_dup = po.changed && visited.contains(h);
+          out.push_back(po);
+          if (po.changed) {
+            (void)vmm.restore_delta(self.root, item.delta, /*foreign=*/true);
+          }
+        }
+      }
+    });
+
+    // -------- merge: replay the serial visit order over the outcome set.
+    std::vector<PairOutcome> all;
+    {
+      std::size_t total = 0;
+      for (const auto& buf : outcomes) total += buf.size();
+      all.reserve(total);
+      for (const auto& buf : outcomes) {
+        all.insert(all.end(), buf.begin(), buf.end());
+      }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const PairOutcome& a, const PairOutcome& b) {
+                return a.parent != b.parent ? a.parent < b.parent
+                                            : a.op < b.op;
+              });
+    std::vector<Claim> claims;
+    for (const PairOutcome& po : all) {
+      ++result.ops_applied;
+      if (!po.changed) {
+        if (po.failed) ++result.failed_ops;
+        continue;
+      }
+      if (po.committed_dup || !visited.insert(po.hash)) {
+        ++result.states_deduped;
+        continue;
+      }
+      ++result.states_explored;
+      claims.push_back(Claim{po.parent, po.op, po.hash});
+      if (result.states_explored >= config.max_states) {
+        // The serial BFS stops right after recording this state; every
+        // lexicographically later pair was never executed there and must
+        // not be counted here.
+        result.truncated = true;
+        stop = true;
+        break;
+      }
+    }
+
+    // -------- pass 2: re-derive and audit exactly the claimed states.
+    std::vector<std::pair<std::size_t, std::size_t>> groups;  // per parent
+    for (std::size_t i = 0; i < claims.size();) {
+      std::size_t j = i;
+      while (j < claims.size() && claims[j].parent == claims[i].parent) ++j;
+      groups.emplace_back(i, j);
+      i = j;
+    }
+    std::vector<ChildCapture> captures(claims.size());
+    std::atomic<std::size_t> next_group{0};
+    run_on_workers(threads, [&](unsigned w) {
+      ShardWorker& self = *workers[w];
+      hv::Hypervisor& vmm = self.machine.vmm;
+      while (true) {
+        const std::size_t g = next_group.fetch_add(1);
+        if (g >= groups.size()) return;
+        const auto [begin, end] = groups[g];
+        const FrontierItem& item = frontier[claims[begin].parent];
+        (void)vmm.restore_delta(self.root, item.delta, /*foreign=*/true);
+        const std::vector<Op> alphabet =
+            enumerate_ops(vmm, config, self.machine.guests);
+        for (std::size_t i = begin; i < end; ++i) {
+          const Claim& claim = claims[i];
+          (void)apply_op(vmm, alphabet[claim.op]);
+          if (vmm.state_hash() != claim.hash) {
+            throw std::logic_error{
+                "model checker: pass-2 re-derivation diverged from pass 1"};
+          }
+          ChildCapture& cap = captures[i];
+          cap.op = alphabet[claim.op];
+          const hv::SystemWalk walk = hv::walk_system(vmm);
+          hv::InvariantReport report = hv::InvariantAuditor{vmm}.audit(walk);
+          if (!report.clean()) {
+            cap.violating = true;
+            cap.violated = report.violated_set();
+            cap.classes = classify(vmm, walk, report);
+            const hv::HvDelta child = vmm.snapshot_delta(self.root);
+            cap.state_diff = diff_states(StateView{self.root, item.delta},
+                                         StateView{self.root, child});
+            cap.report = std::move(report);
+          } else {
+            cap.delta = vmm.snapshot_delta(self.root);
+          }
+          if (i + 1 < end) {
+            (void)vmm.restore_delta(self.root, item.delta, /*foreign=*/true);
+          }
+        }
+      }
+    });
+
+    // -------- assembly: violations and the next frontier, in claim order.
+    std::vector<FrontierItem> next_frontier;
+    for (std::size_t i = 0; i < claims.size(); ++i) {
+      ChildCapture& cap = captures[i];
+      std::vector<Op> trace = frontier[claims[i].parent].prefix;
+      trace.push_back(std::move(cap.op));
+      if (cap.violating) {
+        ++result.violations_found;
+        for (const hv::Invariant inv : cap.violated) {
+          ++result.invariant_hits[static_cast<std::size_t>(inv)];
+        }
+        for (const ErroneousStateClass c : cap.classes) {
+          ++result.class_hits[static_cast<std::size_t>(c)];
+        }
+        if (result.counterexamples.size() < config.max_counterexamples) {
+          Counterexample cx;
+          cx.ops = std::move(trace);
+          cx.depth = static_cast<unsigned>(cx.ops.size());
+          cx.state_hash = claims[i].hash;
+          cx.violated = std::move(cap.violated);
+          cx.classes = std::move(cap.classes);
+          cx.state_diff = std::move(cap.state_diff);
+          cx.report = std::move(cap.report);
+          result.counterexamples.push_back(std::move(cx));
+        }
+      } else if (!stop) {
+        next_frontier.push_back(
+            FrontierItem{std::move(trace), std::move(cap.delta)});
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  hv::SnapshotStats total{};
+  for (const auto& w : workers) total += w->machine.vmm.snapshot_stats();
+  result.snapshot_frames_copied = total.frames_copied;
+  result.hash_frames_rehashed = total.frames_rehashed;
+  result.delta_restores = total.delta_restores;
+  result.full_restores = total.full_restores;
+  return result;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- dispatcher
+
+ModelCheckResult run_model_check(const ModelCheckConfig& config) {
+  unsigned threads = config.threads != 0
+                         ? config.threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  // More workers than cores only adds machines to boot; cap generously.
+  threads = std::min(threads, 32u);
+  if (config.use_replay_fallback) threads = 1;
+  if (threads <= 1) return run_model_check_serial(config);
+  return run_model_check_parallel(config, threads);
+}
+
 // ------------------------------------------------------------------- report
 
 std::string render_report(const ModelCheckResult& r) {
@@ -729,11 +1110,6 @@ std::string render_report(const ModelCheckResult& r) {
          std::to_string(r.states_deduped) + ", refused " +
          std::to_string(r.failed_ops) + ")" +
          (r.truncated ? "  [TRUNCATED at max_states]" : "") + "\n";
-  out += "  snapshot engine: " + std::to_string(r.delta_restores) +
-         " delta + " + std::to_string(r.full_restores) +
-         " full restores, frames copied " +
-         std::to_string(r.snapshot_frames_copied) + ", frame digests redone " +
-         std::to_string(r.hash_frames_rehashed) + "\n";
   out += "  violating states: " + std::to_string(r.violations_found) + "\n";
   out += "  erroneous-state classes:\n";
   for (std::size_t c = 0; c < kErroneousStateClassCount; ++c) {
@@ -766,6 +1142,58 @@ std::string render_report(const ModelCheckResult& r) {
     }
   }
   return out;
+}
+
+std::string render_engine_stats(const ModelCheckResult& r) {
+  return "snapshot engine (" + std::to_string(r.threads_used) +
+         " worker(s)): " + std::to_string(r.delta_restores) + " delta + " +
+         std::to_string(r.full_restores) + " full restores, frames copied " +
+         std::to_string(r.snapshot_frames_copied) +
+         ", frame digests redone " + std::to_string(r.hash_frames_rehashed) +
+         "\n";
+}
+
+GateVerdict evaluate_expectation(const ModelCheckResult& result,
+                                 std::string_view expect,
+                                 bool allow_truncated) {
+  const std::string version = result.config.version.to_string();
+  GateVerdict v;
+  if (expect == "clean") {
+    if (!result.clean()) {
+      v.message = "FAIL: expected clean, found " +
+                  std::to_string(result.violations_found) +
+                  " violating state(s)";
+      return v;
+    }
+    if (result.truncated && !allow_truncated) {
+      // "No violation found" means nothing when the search never covered
+      // the bounded space: the clipped region could hold one.
+      v.message = "FAIL: expected clean, but the search was TRUNCATED at "
+                  "max_states (" +
+                  std::to_string(result.states_explored) +
+                  " states explored); the bounded space was not covered — "
+                  "raise --max-states or pass --allow-truncated";
+      return v;
+    }
+    v.pass = true;
+    v.message = result.truncated
+                    ? "OK: no invariant violation in the TRUNCATED space "
+                      "(xen " + version + "; coverage incomplete)"
+                    : "OK: no invariant violation in the bounded space (xen " +
+                          version + ")";
+    return v;
+  }
+  bool any_xsa = false;
+  for (std::size_t c = 0; c + 1 < kErroneousStateClassCount; ++c) {
+    any_xsa |= result.reached(static_cast<ErroneousStateClass>(c));
+  }
+  if (!any_xsa) {
+    v.message = "FAIL: expected an XSA erroneous state, none reached";
+    return v;
+  }
+  v.pass = true;
+  v.message = "OK: XSA erroneous state(s) reachable (xen " + version + ")";
+  return v;
 }
 
 }  // namespace ii::analysis

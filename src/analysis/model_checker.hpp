@@ -30,6 +30,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hv/recovery.hpp"
@@ -58,10 +59,16 @@ struct ModelCheckConfig {
   /// Safety valves.
   std::uint64_t max_states = 100000;
   std::size_t max_counterexamples = 32;
+  /// Worker threads for the depth-synchronous sharded exploration: 0 picks
+  /// hardware concurrency, 1 keeps the serial BFS. Any value produces
+  /// byte-identical violations, counterexamples and render_report() — the
+  /// per-depth merge replays the serial visit order (see DESIGN.md §12).
+  unsigned threads = 1;
   /// Use the pre-delta exploration scheme (one full snapshot per expanded
   /// state, re-derive queued states by restoring the root and replaying the
   /// op prefix) instead of delta snapshot/restore. Kept for cross-checking:
   /// both schemes must produce identical results — tests diff them.
+  /// Forces serial exploration.
   bool use_replay_fallback = false;
 };
 
@@ -131,6 +138,7 @@ struct ModelCheckResult {
   std::uint64_t failed_ops = 0;       ///< rc != 0 and state unchanged
   std::uint64_t violations_found = 0; ///< violating states (all, incl. uncaptured)
   bool truncated = false;             ///< hit max_states
+  unsigned threads_used = 1;          ///< workers the run actually used
   std::vector<Counterexample> counterexamples;  ///< first max_counterexamples
 
   /// Snapshot-engine work done during the run (from the hypervisor's
@@ -156,6 +164,27 @@ struct ModelCheckResult {
 [[nodiscard]] ModelCheckResult run_model_check(const ModelCheckConfig& config);
 
 /// Multi-line human-readable summary (what analysis_cli prints).
+/// Byte-identical at any thread count; snapshot-engine work counters are
+/// deliberately excluded (render_engine_stats) because per-worker restore
+/// costs depend on scheduling.
 [[nodiscard]] std::string render_report(const ModelCheckResult& result);
+
+/// One-line snapshot-engine work summary (restores, frames copied, digests
+/// redone). Kept out of render_report: with multiple workers each machine
+/// restores from whatever state it last held, so these counters — and only
+/// these — vary with scheduling.
+[[nodiscard]] std::string render_engine_stats(const ModelCheckResult& result);
+
+/// CI-gate verdict shared by analysis_cli --expect and the preflight tests.
+/// A truncated run never passes an `expect == "clean"` gate unless
+/// `allow_truncated` is set: "no violation found" is meaningless when the
+/// bounded space was not actually covered.
+struct GateVerdict {
+  bool pass = false;
+  std::string message;  ///< one line, no trailing newline
+};
+[[nodiscard]] GateVerdict evaluate_expectation(const ModelCheckResult& result,
+                                               std::string_view expect,
+                                               bool allow_truncated = false);
 
 }  // namespace ii::analysis

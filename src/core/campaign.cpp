@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 #include "analysis/model_checker.hpp"
@@ -13,7 +15,7 @@ std::string to_string(Mode mode) {
   return mode == Mode::Exploit ? "exploit" : "injection";
 }
 
-PreflightReport Campaign::preflight(unsigned depth) const {
+PreflightReport Campaign::preflight(unsigned depth, unsigned threads) const {
   PreflightReport report;
   report.depth = depth;
   for (const hv::XenVersion version : config_.versions) {
@@ -22,6 +24,7 @@ PreflightReport Campaign::preflight(unsigned depth) const {
     analysis::ModelCheckConfig mc;
     mc.version = version;
     mc.depth = depth;
+    mc.threads = threads;
     const analysis::ModelCheckResult result = analysis::run_model_check(mc);
 
     PreflightVersionReport v;
@@ -34,6 +37,7 @@ PreflightReport Campaign::preflight(unsigned depth) const {
                             policy.xsa212_unchecked_exchange_output;
     v.states_explored = result.states_explored;
     v.violations_found = result.violations_found;
+    v.truncated = result.truncated;
     v.reached_xsa =
         result.reached(analysis::ErroneousStateClass::Xsa148SuperpageWindow) ||
         result.reached(analysis::ErroneousStateClass::Xsa182WritableSelfMap) ||
@@ -86,6 +90,10 @@ void Campaign::run_attempt(CellResult& cell, UseCase& use_case,
     // Per-cell isolation: a throwing use case (or a tripped budget
     // watchdog) fails this cell, never the campaign.
     cell.failure = e.what();
+    cell.outcome.completed = false;
+    cell.outcome.notes.push_back("cell failed: " + cell.failure);
+  } catch (...) {
+    cell.failure = "non-standard exception";
     cell.outcome.completed = false;
     cell.outcome.notes.push_back("cell failed: " + cell.failure);
   }
@@ -168,6 +176,9 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
     // Platform construction itself failed; there is nothing to audit.
     cell.failure = e.what();
     cell.outcome.completed = false;
+  } catch (...) {
+    cell.failure = "non-standard exception";
+    cell.outcome.completed = false;
   }
   cell.wall_us =
       config_.logical_time
@@ -222,6 +233,9 @@ std::vector<CellResult> Campaign::run_parallel(
 
   std::vector<CellResult> results(cells.size());
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex error_mu;
+  std::exception_ptr factory_error;
   const unsigned n_workers =
       std::max(1u, std::min<unsigned>(threads, cells.size()));
   std::vector<std::thread> workers;
@@ -230,17 +244,58 @@ std::vector<CellResult> Campaign::run_parallel(
     workers.emplace_back([&] {
       // Private UseCase instances: per-run state must not be shared. The
       // platform pool is per-worker too — platforms are not thread-safe.
-      auto cases = factory();
+      //
+      // Nothing in this body may let an exception escape: an unhandled
+      // throw in a std::thread is std::terminate for the whole process,
+      // i.e. one bad factory or platform boot killing every sibling cell.
+      std::vector<std::unique_ptr<UseCase>> cases;
+      try {
+        cases = factory();
+      } catch (...) {
+        // This worker has no cases to run; siblings drain the cell queue.
+        // Remembered so the campaign can still fail loudly if *no* worker
+        // managed to construct its cases.
+        const std::lock_guard<std::mutex> lock{error_mu};
+        if (!factory_error) factory_error = std::current_exception();
+        return;
+      }
       PlatformPool pool;
       while (true) {
         const std::size_t i = next.fetch_add(1);
         if (i >= cells.size()) return;
-        results[i] = run_cell(*cases[cells[i].case_index], cells[i].version,
-                              cells[i].mode, pool);
+        try {
+          results[i] = run_cell(*cases[cells[i].case_index], cells[i].version,
+                                cells[i].mode, pool);
+        } catch (...) {
+          // run_cell already isolates use-case and platform failures; this
+          // is the backstop for anything else (e.g. a throwing name()).
+          // The failure lands on the owning cell, never on siblings.
+          CellResult& cell = results[i];
+          cell.version = cells[i].version;
+          cell.mode = cells[i].mode;
+          try {
+            cell.use_case = cases[cells[i].case_index]->name();
+          } catch (...) {
+          }
+          try {
+            throw;
+          } catch (const std::exception& e) {
+            cell.failure = e.what();
+          } catch (...) {
+            cell.failure = "non-standard exception";
+          }
+          cell.outcome.completed = false;
+        }
+        completed.fetch_add(1);
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
+  // Every worker's factory threw: no cell ever ran, and silently returning
+  // default-constructed results would look like a clean all-fail matrix.
+  if (factory_error && completed.load() < cells.size()) {
+    std::rethrow_exception(factory_error);
+  }
   return results;
 }
 

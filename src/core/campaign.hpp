@@ -133,10 +133,16 @@ struct PreflightVersionReport {
   std::uint64_t states_explored = 0;
   std::uint64_t violations_found = 0;
   bool reached_xsa = false;  ///< at least one recognized XSA class
+  /// The exploration hit max_states before covering the bounded space.
+  bool truncated = false;
   /// The version matches its expectation: vulnerable versions reach an XSA
-  /// class, patched versions admit no violation at all.
+  /// class, patched versions admit no violation at all. A truncated clean
+  /// run is NOT ok — "no violation found" proves nothing about the part of
+  /// the space the check never visited (same rule as analysis_cli
+  /// --expect clean).
   [[nodiscard]] bool ok() const {
-    return expected_vulnerable ? reached_xsa : violations_found == 0;
+    return expected_vulnerable ? reached_xsa
+                               : violations_found == 0 && !truncated;
   }
 };
 
@@ -162,7 +168,10 @@ class Campaign {
   /// running any cell: a patched policy that reaches an XSA erroneous state
   /// (or a vulnerable one that cannot) means the campaign's spec and the
   /// validation engine disagree, and every cell verdict would be suspect.
-  [[nodiscard]] PreflightReport preflight(unsigned depth = 2) const;
+  /// `threads` shards the checker's frontier (0 = hardware concurrency);
+  /// the verdict is identical at any count.
+  [[nodiscard]] PreflightReport preflight(unsigned depth = 2,
+                                          unsigned threads = 0) const;
 
   /// Run every (use case × version × mode) cell.
   [[nodiscard]] std::vector<CellResult> run(

@@ -1,5 +1,6 @@
 #include "core/fuzz.hpp"
 
+#include <memory>
 #include <random>
 #include <sstream>
 
@@ -54,14 +55,33 @@ std::uint64_t random_pte(std::mt19937& rng, std::uint64_t frames) {
   return sim::Pte::make(sim::Mfn{frame}, flags).raw();
 }
 
-/// One iteration: inject, activate, classify.
+/// splitmix64 finalizer: full-avalanche mix of a 64-bit value.
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-iteration engine over the full 64-bit campaign seed. The previous
+/// scheme — std::mt19937{seed * 2654435761u + iteration} — silently
+/// narrowed the product to the engine's 32-bit seed type, so seeds
+/// differing only in their high word collided and nearby seeds produced
+/// correlated streams. splitmix64 is the standard fix (it is what
+/// std::mt19937_64 seeding folklore and SplittableRandom use): decorrelate
+/// first, then feed both halves through a seed_seq.
+std::mt19937 rng_for(std::uint64_t seed, unsigned iteration) {
+  const std::uint64_t z = mix64(seed + 0x9E3779B97F4A7C15ULL * (iteration + 1));
+  std::seed_seq seq{static_cast<std::uint32_t>(z),
+                    static_cast<std::uint32_t>(z >> 32)};
+  return std::mt19937{seq};
+}
+
+/// One iteration: inject, activate, classify. The platform arrives at its
+/// boot baseline (fresh or rewound — byte-identical either way).
 FuzzOutcome run_one(const FuzzConfig& config, unsigned iteration,
-                    FuzzTarget* chosen, bool* refused) {
-  std::mt19937 rng{config.seed * 2654435761u + iteration};
-  guest::PlatformConfig pc = config.platform;
-  pc.version = config.version;
-  pc.injector_enabled = true;
-  guest::VirtualPlatform platform{pc};
+                    guest::VirtualPlatform& platform, FuzzTarget* chosen,
+                    bool* refused) {
+  std::mt19937 rng = rng_for(config.seed, iteration);
   guest::GuestKernel& attacker = platform.guest(0);
   ArbitraryAccessInjector injector{attacker};
   const std::uint64_t frames = platform.memory().frame_count();
@@ -143,10 +163,35 @@ std::string FuzzStats::render() const {
 FuzzStats run_random_injection_campaign(const FuzzConfig& config) {
   FuzzStats stats;
   stats.iterations = config.iterations;
+
+  guest::PlatformConfig pc = config.platform;
+  pc.version = config.version;
+  pc.injector_enabled = true;
+
+  // Warm path: one boot, then rewind to the baseline between iterations —
+  // the same delta-restore machinery the campaign pool uses. A rewound
+  // platform is byte-identical to a fresh boot, so outcome/refused/target
+  // counts match the cold path exactly (regression-tested).
+  std::unique_ptr<guest::VirtualPlatform> platform;
+  std::unique_ptr<guest::PlatformBaseline> baseline;
   for (unsigned i = 0; i < config.iterations; ++i) {
+    if (platform == nullptr) {
+      platform = std::make_unique<guest::VirtualPlatform>(pc);
+      ++stats.platform_boots;
+      if (config.reuse_platform) {
+        baseline = std::make_unique<guest::PlatformBaseline>(
+            platform->baseline());
+      }
+    } else if (config.reuse_platform) {
+      platform->restore(*baseline);
+    } else {
+      platform = std::make_unique<guest::VirtualPlatform>(pc);
+      ++stats.platform_boots;
+    }
     FuzzTarget target{};
     bool refused = false;
-    const FuzzOutcome outcome = run_one(config, i, &target, &refused);
+    const FuzzOutcome outcome =
+        run_one(config, i, *platform, &target, &refused);
     ++stats.outcomes[outcome];
     ++stats.targets[target];
     if (refused) ++stats.injections_refused;

@@ -45,7 +45,16 @@ enum class FuzzTarget {
 struct FuzzConfig {
   hv::XenVersion version = hv::kXen46;
   unsigned iterations = 50;
-  unsigned seed = 1;
+  /// Campaign seed, mixed per-iteration through splitmix64 into a
+  /// std::seed_seq — all 64 bits matter (seeds differing only in the high
+  /// word draw unrelated streams).
+  std::uint64_t seed = 1;
+  /// Boot one platform and rewind it to its baseline() between iterations
+  /// (delta restore, O(dirty frames)) instead of cold-booting every time.
+  /// Outcomes are identical either way — a restored platform is
+  /// byte-identical to a fresh boot — so this is purely a speed knob, kept
+  /// toggleable for the regression test that proves exactly that.
+  bool reuse_platform = true;
   /// Platform shape per iteration (version/injector overridden).
   guest::PlatformConfig platform{};
 };
@@ -55,6 +64,7 @@ struct FuzzStats {
   std::map<FuzzTarget, unsigned> targets;
   unsigned iterations = 0;
   unsigned injections_refused = 0;
+  unsigned platform_boots = 0;  ///< 1 with reuse_platform, else iterations
 
   [[nodiscard]] unsigned count(FuzzOutcome outcome) const {
     auto it = outcomes.find(outcome);

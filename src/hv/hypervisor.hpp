@@ -51,6 +51,20 @@ struct SnapshotStats {
   std::uint64_t frames_copied = 0;     ///< frames written by restores
   std::uint64_t delta_snapshots = 0;
   std::uint64_t frames_delta_captured = 0;  ///< frames copied into deltas
+
+  /// Fold another engine's counters in (the parallel model checker sums
+  /// per-worker machines into one result).
+  SnapshotStats& operator+=(const SnapshotStats& o) {
+    hash_calls += o.hash_calls;
+    frames_rehashed += o.frames_rehashed;
+    frames_hash_cached += o.frames_hash_cached;
+    full_restores += o.full_restores;
+    delta_restores += o.delta_restores;
+    frames_copied += o.frames_copied;
+    delta_snapshots += o.delta_snapshots;
+    frames_delta_captured += o.frames_delta_captured;
+    return *this;
+  }
 };
 
 /// Construction parameters.
@@ -227,7 +241,19 @@ class Hypervisor {
   /// from any current state: frames currently diverged from the baseline
   /// are rewound, frames the delta carries are applied. Returns frames
   /// copied.
-  std::uint64_t restore_delta(const HvSnapshot& base, const HvDelta& delta);
+  ///
+  /// `foreign` must be set when `delta` was captured on a *different*
+  /// Hypervisor instance (booted identically, so `base` — which must be
+  /// THIS machine's own root snapshot — matches the capturing machine's
+  /// root byte-for-byte). Write generations are per-machine: replaying the
+  /// capturer's recorded generations here could collide with a generation
+  /// this machine already handed to different bytes, leaving a stale entry
+  /// in the frame-digest cache. Foreign frames are therefore applied
+  /// through the ordinary write path, which stamps fresh generations;
+  /// rewinds to `base` keep the boot-time generations, which identically
+  /// booted machines share.
+  std::uint64_t restore_delta(const HvSnapshot& base, const HvDelta& delta,
+                              bool foreign = false);
 
   /// 64-bit FNV-1a digest of the semantically observable state (memory,
   /// frame table + allocator, domains with canonicalized pin order, grant

@@ -321,7 +321,7 @@ std::uint64_t Hypervisor::restore_delta(const HvSnapshot& base) {
 }
 
 std::uint64_t Hypervisor::restore_delta(const HvSnapshot& base,
-                                        const HvDelta& delta) {
+                                        const HvDelta& delta, bool foreign) {
   if (base.frame_gens.size() != mem_->frame_count() ||
       base.frames.size() != frames_.frame_count()) {
     throw std::logic_error{
@@ -337,15 +337,23 @@ std::uint64_t Hypervisor::restore_delta(const HvSnapshot& base,
   // One ascending sweep: frames the delta carries get the delta's bytes and
   // recorded generation; frames it does not carry are identical to the
   // baseline in the target state, so any that have diverged here are
-  // rewound to the baseline.
+  // rewound to the baseline. A foreign delta's generations belong to the
+  // machine that captured it and could collide with generations this
+  // machine already stamped on different bytes (poisoning the digest
+  // cache), so its frames go through write() — a fresh generation per
+  // frame. Rewinds always use the baseline's generations: `base` is this
+  // machine's own root, and an identically booted capturer shares its
+  // boot-time (generation, content) pairs.
   std::size_t d = 0;
   for (std::uint64_t m = 0; m < mem_->frame_count(); ++m) {
     if (d < delta.mem_frames.size() && delta.mem_frames[d] == m) {
-      mem_->restore_frame(
-          sim::Mfn{m},
-          std::span{delta.mem_bytes.data() + d * sim::kPageSize,
-                    sim::kPageSize},
-          delta.mem_frame_gens[d]);
+      const std::span bytes{delta.mem_bytes.data() + d * sim::kPageSize,
+                            sim::kPageSize};
+      if (foreign) {
+        mem_->write(sim::mfn_to_paddr(sim::Mfn{m}), bytes);
+      } else {
+        mem_->restore_frame(sim::Mfn{m}, bytes, delta.mem_frame_gens[d]);
+      }
       ++copied;
       ++d;
       continue;

@@ -155,5 +155,100 @@ TEST(ModelChecker, RenderReportMentionsEveryClass) {
   }
 }
 
+// Sharded exploration is a pure parallelization: at any thread count the
+// depth-barrier merge replays the serial visit order, so everything except
+// the scheduling-dependent snapshot-engine counters must be byte-identical.
+void expect_identical_runs(ModelCheckConfig config) {
+  config.threads = 1;
+  const auto serial = run_model_check(config);
+  const std::string serial_report = render_report(serial);
+  for (const unsigned threads : {2u, 4u}) {
+    config.threads = threads;
+    const auto parallel = run_model_check(config);
+    EXPECT_EQ(serial_report, render_report(parallel)) << threads;
+    EXPECT_EQ(serial.states_explored, parallel.states_explored) << threads;
+    EXPECT_EQ(serial.ops_applied, parallel.ops_applied) << threads;
+    EXPECT_EQ(serial.states_deduped, parallel.states_deduped) << threads;
+    EXPECT_EQ(serial.failed_ops, parallel.failed_ops) << threads;
+    EXPECT_EQ(serial.violations_found, parallel.violations_found) << threads;
+    EXPECT_EQ(serial.truncated, parallel.truncated) << threads;
+    EXPECT_EQ(serial.invariant_hits, parallel.invariant_hits) << threads;
+    EXPECT_EQ(serial.class_hits, parallel.class_hits) << threads;
+    ASSERT_EQ(serial.counterexamples.size(), parallel.counterexamples.size())
+        << threads;
+    for (std::size_t i = 0; i < serial.counterexamples.size(); ++i) {
+      const auto& a = serial.counterexamples[i];
+      const auto& b = parallel.counterexamples[i];
+      EXPECT_EQ(a.trace_string(), b.trace_string()) << threads << "#" << i;
+      EXPECT_EQ(a.state_hash, b.state_hash) << threads << "#" << i;
+      EXPECT_EQ(a.state_diff, b.state_diff) << threads << "#" << i;
+      EXPECT_TRUE(a.violated == b.violated) << threads << "#" << i;
+    }
+  }
+}
+
+TEST(ModelChecker, ParallelMatchesSerialAcrossVersions) {
+  for (const hv::XenVersion version : {hv::kXen46, hv::kXen48, hv::kXen413}) {
+    expect_identical_runs(config_for(version, 2));
+  }
+}
+
+TEST(ModelChecker, ParallelMatchesSerialWithGrantOps) {
+  for (const hv::XenVersion version : {hv::kXen46, hv::kXen48, hv::kXen413}) {
+    expect_identical_runs(config_for(version, 2, /*grants=*/true));
+  }
+}
+
+TEST(ModelChecker, ParallelMatchesSerialAtDepth3) {
+  // Deeper run: multiple levels of frontier sharding with violations,
+  // dedup and refused ops all live at once.
+  expect_identical_runs(config_for(hv::kXen46, 3));
+}
+
+TEST(ModelChecker, ParallelTruncationMatchesSerial) {
+  // max_states trips mid-level; the merge must cut the claim list at the
+  // same lexicographic pair the serial BFS stopped on.
+  auto config = config_for(hv::kXen46, 3);
+  config.max_states = 20;
+  expect_identical_runs(config);
+}
+
+TEST(ModelChecker, TruncatedCleanRunFailsTheExpectation) {
+  // A clean-but-truncated result must not pass an "expect clean" gate:
+  // the unexplored remainder could hold a violation.
+  auto config = config_for(hv::kXen413, 3);
+  config.max_states = 10;
+  const auto truncated = run_model_check(config);
+  ASSERT_TRUE(truncated.truncated);
+  ASSERT_TRUE(truncated.clean());
+  EXPECT_FALSE(evaluate_expectation(truncated, "clean").pass);
+  EXPECT_NE(std::string::npos,
+            evaluate_expectation(truncated, "clean").message.find("TRUNCATED"));
+  EXPECT_TRUE(
+      evaluate_expectation(truncated, "clean", /*allow_truncated=*/true).pass);
+
+  // Full-coverage runs keep their verdicts on both sides of the gate.
+  const auto clean = run_model_check(config_for(hv::kXen413, 2));
+  EXPECT_TRUE(evaluate_expectation(clean, "clean").pass);
+  const auto vulnerable = run_model_check(config_for(hv::kXen46, 2));
+  EXPECT_FALSE(evaluate_expectation(vulnerable, "clean").pass);
+  EXPECT_TRUE(evaluate_expectation(vulnerable, "vulnerable").pass);
+}
+
+TEST(ModelChecker, EngineStatsAreSeparateFromTheReport) {
+  auto config = config_for(hv::kXen46, 2);
+  config.threads = 2;
+  const auto result = run_model_check(config);
+  EXPECT_EQ(2u, result.threads_used);
+  // Work was done and summed from the per-worker machines...
+  EXPECT_GT(result.delta_restores, 0u);
+  EXPECT_GT(result.hash_frames_rehashed, 0u);
+  EXPECT_NE(std::string::npos,
+            render_engine_stats(result).find("snapshot engine"));
+  // ...but the report proper never mentions it (it is the one output that
+  // would differ between thread counts).
+  EXPECT_EQ(std::string::npos, render_report(result).find("snapshot engine"));
+}
+
 }  // namespace
 }  // namespace ii::analysis

@@ -9,6 +9,8 @@
 //        and XSA-182-test (the "shield" cells) but not the other two.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "core/campaign.hpp"
 #include "core/report.hpp"
 #include "xsa/usecases.hpp"
@@ -126,6 +128,118 @@ TEST_F(CampaignMatrix, ReportsRender) {
   const std::string t3 = core::render_table3(*results_);
   EXPECT_NE(rq1.find("XSA-212-crash"), std::string::npos);
   EXPECT_NE(t3.find("[shield]"), std::string::npos);
+}
+
+// --- run_parallel fault containment -------------------------------------
+//
+// A worker's factory or a use case throwing must never escape a worker
+// thread (std::terminate would take the whole campaign down); it fails
+// the owning worker/cell only, and siblings finish the matrix.
+
+/// Inert use case: completes without touching the platform.
+class BenignCase : public core::UseCase {
+ public:
+  explicit BenignCase(std::string name) : name_{std::move(name)} {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] core::IntrusionModel model() const override { return {}; }
+  core::CaseOutcome run_exploit(guest::VirtualPlatform&) override {
+    core::CaseOutcome outcome;
+    outcome.completed = true;
+    return outcome;
+  }
+  core::CaseOutcome run_injection(guest::VirtualPlatform& p) override {
+    return run_exploit(p);
+  }
+  [[nodiscard]] bool erroneous_state_present(
+      guest::VirtualPlatform&) const override {
+    return false;
+  }
+  [[nodiscard]] bool security_violation(
+      guest::VirtualPlatform&) const override {
+    return false;
+  }
+
+ private:
+  std::string name_;
+};
+
+/// Throws a non-std type from the attempt itself.
+class ThrowingCase : public BenignCase {
+ public:
+  ThrowingCase() : BenignCase{"thrower"} {}
+  core::CaseOutcome run_exploit(guest::VirtualPlatform&) override {
+    throw 42;  // deliberately not std::exception
+  }
+  core::CaseOutcome run_injection(guest::VirtualPlatform&) override {
+    throw 42;
+  }
+};
+
+core::CampaignConfig tiny_config() {
+  core::CampaignConfig config{};
+  config.versions = {hv::kXen46};
+  config.modes = {core::Mode::Exploit};
+  return config;
+}
+
+TEST(CampaignParallel, OneThrowingFactoryDoesNotSinkTheRun) {
+  // Call 1 materializes the cell list; among the per-worker calls, exactly
+  // one throws. The surviving worker must drain every cell.
+  std::atomic<unsigned> calls{0};
+  const auto factory = [&]() -> std::vector<std::unique_ptr<core::UseCase>> {
+    if (calls.fetch_add(1) == 1) {
+      throw std::runtime_error{"factory exploded"};
+    }
+    std::vector<std::unique_ptr<core::UseCase>> cases;
+    cases.push_back(std::make_unique<BenignCase>("alpha"));
+    cases.push_back(std::make_unique<BenignCase>("beta"));
+    cases.push_back(std::make_unique<BenignCase>("gamma"));
+    return cases;
+  };
+  const auto results = core::Campaign{tiny_config()}.run_parallel(factory, 2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].use_case, "alpha");
+  EXPECT_EQ(results[2].use_case, "gamma");
+  for (const auto& cell : results) {
+    EXPECT_TRUE(cell.outcome.completed) << cell.use_case;
+    EXPECT_FALSE(cell.failed()) << cell.use_case;
+  }
+}
+
+TEST(CampaignParallel, AllFactoriesThrowingIsReportedLoudly) {
+  // When no worker can construct its cases, no cell ever runs; returning a
+  // default-constructed matrix would masquerade as results.
+  std::atomic<unsigned> calls{0};
+  const auto factory = [&]() -> std::vector<std::unique_ptr<core::UseCase>> {
+    if (calls.fetch_add(1) == 0) {
+      std::vector<std::unique_ptr<core::UseCase>> cases;
+      cases.push_back(std::make_unique<BenignCase>("alpha"));
+      return cases;  // the cell-list materialization succeeds
+    }
+    throw std::runtime_error{"no cases for you"};
+  };
+  EXPECT_THROW(
+      (void)core::Campaign{tiny_config()}.run_parallel(factory, 2),
+      std::runtime_error);
+}
+
+TEST(CampaignParallel, NonStandardExceptionFailsOnlyItsCell) {
+  const auto factory = [] {
+    std::vector<std::unique_ptr<core::UseCase>> cases;
+    cases.push_back(std::make_unique<BenignCase>("alpha"));
+    cases.push_back(std::make_unique<ThrowingCase>());
+    cases.push_back(std::make_unique<BenignCase>("gamma"));
+    return cases;
+  };
+  const auto results = core::Campaign{tiny_config()}.run_parallel(factory, 2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].failed());
+  EXPECT_TRUE(results[0].outcome.completed);
+  EXPECT_TRUE(results[1].failed());
+  EXPECT_EQ(results[1].failure, "non-standard exception");
+  EXPECT_FALSE(results[1].outcome.completed);
+  EXPECT_FALSE(results[2].failed());
+  EXPECT_TRUE(results[2].outcome.completed);
 }
 
 }  // namespace

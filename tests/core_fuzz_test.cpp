@@ -7,7 +7,7 @@ namespace ii::core {
 namespace {
 
 FuzzConfig small_config(hv::XenVersion version, unsigned iterations,
-                        unsigned seed) {
+                        std::uint64_t seed) {
   FuzzConfig config{};
   config.version = version;
   config.iterations = iterations;
@@ -77,6 +77,36 @@ TEST(FuzzCampaign, OutcomeNames) {
   EXPECT_EQ(to_string(FuzzOutcome::HostCrash), "HOST CRASH");
   EXPECT_EQ(to_string(FuzzOutcome::NoObservableEffect),
             "no observable effect");
+}
+
+TEST(FuzzCampaign, WarmPlatformReuseMatchesColdBoots) {
+  // A rewound platform is byte-identical to a fresh boot, so the warm path
+  // (one boot + baseline restores) must classify every iteration exactly
+  // like the cold path (a boot per iteration).
+  auto warm = small_config(hv::kXen46, 25, 13);
+  auto cold = warm;
+  warm.reuse_platform = true;
+  cold.reuse_platform = false;
+  const FuzzStats a = run_random_injection_campaign(warm);
+  const FuzzStats b = run_random_injection_campaign(cold);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.targets, b.targets);
+  EXPECT_EQ(a.injections_refused, b.injections_refused);
+  EXPECT_EQ(a.platform_boots, 1u);
+  EXPECT_EQ(b.platform_boots, 25u);
+}
+
+TEST(FuzzCampaign, HighSeedBitsMatter) {
+  // Regression: the old mt19937{seed * 2654435761u + iteration} seeding
+  // truncated the product to 32 bits, so seeds differing only in the high
+  // word drew identical streams.
+  const std::uint64_t low = 9;
+  const std::uint64_t high = low | (1ULL << 32);
+  const FuzzStats a =
+      run_random_injection_campaign(small_config(hv::kXen46, 25, low));
+  const FuzzStats b =
+      run_random_injection_campaign(small_config(hv::kXen46, 25, high));
+  EXPECT_NE(a.targets, b.targets);
 }
 
 }  // namespace

@@ -3,20 +3,25 @@
 // Usage:
 //   analysis_cli [--version 4.6|4.8|4.13] [--depth N] [--domains N]
 //                [--domain-pages N] [--machine-frames N] [--grants]
-//                [--max-states N] [--max-counterexamples N]
-//                [--expect vulnerable|clean] [--quiet]
+//                [--max-states N] [--max-counterexamples N] [--threads N]
+//                [--expect vulnerable|clean] [--allow-truncated]
+//                [--stats] [--quiet]
 //
 // Explores every guest-issuable operation sequence up to --depth against
 // the selected version policy and prints which of the paper's erroneous
 // states are reachable, with a minimal counterexample trace for each
-// violating state.
+// violating state. --threads shards the frontier over N workers (default:
+// hardware concurrency); the report is byte-identical at any count.
 //
 // --expect turns the run into a CI gate:
 //   --expect vulnerable  exit 0 iff at least one XSA class was reached
 //   --expect clean       exit 0 iff no invariant violation exists at all
+//                        AND the space was fully covered (a run truncated
+//                        at --max-states fails unless --allow-truncated)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "analysis/model_checker.hpp"
@@ -29,8 +34,10 @@ int usage() {
       "[--domains N]\n"
       "                    [--domain-pages N] [--machine-frames N] "
       "[--grants]\n"
-      "                    [--max-states N] [--max-counterexamples N]\n"
-      "                    [--expect vulnerable|clean] [--quiet]");
+      "                    [--max-states N] [--max-counterexamples N] "
+      "[--threads N]\n"
+      "                    [--expect vulnerable|clean] [--allow-truncated]\n"
+      "                    [--stats] [--quiet]");
   return 2;
 }
 
@@ -48,8 +55,12 @@ int main(int argc, char** argv) {
   using namespace ii;
 
   analysis::ModelCheckConfig config;
+  config.threads = 0;  // hardware concurrency unless --threads says otherwise
   std::string expect;
   bool quiet = false;
+  bool allow_truncated = false;
+  bool show_stats = false;
+  bool machine_frames_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,6 +96,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr || !parse_unsigned(v, &n)) return usage();
       config.machine_frames = n;
+      machine_frames_set = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, &n)) return usage();
+      config.threads = static_cast<unsigned>(n);
     } else if (arg == "--max-states") {
       const char* v = next();
       if (v == nullptr || !parse_unsigned(v, &n)) return usage();
@@ -100,6 +116,10 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       expect = v;
       if (expect != "vulnerable" && expect != "clean") return usage();
+    } else if (arg == "--allow-truncated") {
+      allow_truncated = true;
+    } else if (arg == "--stats") {
+      show_stats = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -107,34 +127,38 @@ int main(int argc, char** argv) {
     }
   }
 
-  const analysis::ModelCheckResult result = analysis::run_model_check(config);
+  // Size the machine to the requested domains unless the user pinned it:
+  // the 64-frame default fits xen + dom0 + one guest + exchange slack, and
+  // a second guest would otherwise fail domain construction outright.
+  if (!machine_frames_set) {
+    const std::uint64_t need = 16 /*xen*/ + config.dom0_pages +
+                               config.guest_domains * config.domain_pages +
+                               16 /*exchange slack*/;
+    if (need > config.machine_frames) config.machine_frames = need;
+  }
+
+  analysis::ModelCheckResult result;
+  try {
+    result = analysis::run_model_check(config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "analysis_cli: error: %s\n", e.what());
+    return 4;
+  }
   if (!quiet) {
     std::fputs(analysis::render_report(result).c_str(), stdout);
   }
-
-  if (expect == "clean") {
-    if (!result.clean()) {
-      std::fprintf(stderr,
-                   "FAIL: expected clean, found %llu violating state(s)\n",
-                   static_cast<unsigned long long>(result.violations_found));
-      return 1;
-    }
-    std::printf("OK: no invariant violation in the bounded space (xen %s)\n",
-                config.version.to_string().c_str());
-    return 0;
+  if (show_stats) {
+    // Scheduling-dependent counters, kept off the default output so runs at
+    // different --threads stay byte-identical.
+    std::fputs(analysis::render_engine_stats(result).c_str(), stdout);
   }
-  if (expect == "vulnerable") {
-    bool any_xsa = false;
-    for (std::size_t c = 0; c + 1 < analysis::kErroneousStateClassCount; ++c) {
-      any_xsa |= result.reached(static_cast<analysis::ErroneousStateClass>(c));
-    }
-    if (!any_xsa) {
-      std::fprintf(stderr, "FAIL: expected an XSA erroneous state, none reached\n");
-      return 1;
-    }
-    std::printf("OK: XSA erroneous state(s) reachable (xen %s)\n",
-                config.version.to_string().c_str());
-    return 0;
+
+  if (!expect.empty()) {
+    const analysis::GateVerdict verdict =
+        analysis::evaluate_expectation(result, expect, allow_truncated);
+    std::fprintf(verdict.pass ? stdout : stderr, "%s\n",
+                 verdict.message.c_str());
+    return verdict.pass ? 0 : 1;
   }
   return result.clean() ? 0 : 3;
 }
