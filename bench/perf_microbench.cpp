@@ -25,6 +25,7 @@
 #include "guest/platform.hpp"
 #include "hv/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "xsa/exchange_primitive.hpp"
 #include "xsa/usecases.hpp"
 
@@ -346,6 +347,82 @@ void bench_model_check_depth3() {
   }
 }
 
+/// Span-profiler cost, both sides of the `if (profiler)` branch. The
+/// unprofiled rows are the existing campaign_cell_warm / model_check_depth2
+/// benches (every instrumentation site compiled in, no profiler attached) —
+/// the no-sink gate compares those against the pre-telemetry seed. These
+/// rows measure the *attached* cost: scoped spans, step accounting, and the
+/// per-depth tree updates.
+void bench_profiler_attached() {
+  {
+    const auto cases = xsa::make_paper_use_cases();
+    obs::SpanProfiler prof;
+    core::CampaignConfig config{};
+    config.platform = bench_config(hv::kXen413);
+    config.profiler = &prof;
+    const core::Campaign campaign{config};
+    core::PlatformPool pool;
+    run_bench(
+        "campaign_cell_warm_profiled", 50,
+        [&] {
+          auto cell = campaign.run_cell(*cases[0], hv::kXen413,
+                                        core::Mode::Injection, pool);
+          do_not_optimize(cell);
+        },
+        /*warmup=*/2);
+  }
+  {
+    obs::SpanProfiler prof;
+    analysis::ModelCheckConfig mc;
+    mc.version = hv::kXen46;
+    mc.depth = 2;
+    mc.profiler = &prof;
+    run_bench(
+        "model_check_depth2_profiled", 10,
+        [&] { do_not_optimize(analysis::run_model_check(mc)); },
+        /*warmup=*/1);
+  }
+}
+
+/// Where the parallel checker's wall time actually goes: one profiled
+/// depth-3 run at 4 workers, reported as one BENCH_JSON line per engine
+/// phase (classify / merge / re-derive, summed over depths). This is the
+/// attribution data behind the BENCH_PR5 observation that sharding costs
+/// more than it buys on a single-core host.
+void bench_checker_phase_breakdown() {
+  obs::SpanProfiler prof;
+  analysis::ModelCheckConfig mc;
+  mc.version = hv::kXen46;
+  mc.depth = 3;
+  mc.threads = 4;
+  mc.profiler = &prof;
+  do_not_optimize(analysis::run_model_check(mc));
+
+  std::uint64_t wall[3] = {0, 0, 0};
+  std::uint64_t steps[3] = {0, 0, 0};
+  static constexpr std::string_view names[3] = {
+      obs::kSpanClassify, obs::kSpanMerge, obs::kSpanRederive};
+  const auto check = prof.root().children.find(obs::kSpanCheck);
+  if (check != prof.root().children.end()) {
+    for (const auto& [depth_name, depth_node] : check->second->children) {
+      for (int p = 0; p < 3; ++p) {
+        const auto it = depth_node->children.find(names[p]);
+        if (it == depth_node->children.end()) continue;
+        wall[p] += it->second->wall_ns;
+        steps[p] += it->second->total_steps(true);
+      }
+    }
+  }
+  for (int p = 0; p < 3; ++p) {
+    std::printf(
+        "BENCH_JSON {\"name\":\"mc_depth3_t4_phase_%s\",\"wall_us\":%llu,"
+        "\"steps\":%llu}\n",
+        std::string{names[p]}.c_str(),
+        static_cast<unsigned long long>(wall[p] / 1000),
+        static_cast<unsigned long long>(steps[p]));
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -364,5 +441,7 @@ int main() {
   bench_campaign_cell_warm_vs_cold();
   bench_model_check_depth2();
   bench_model_check_depth3();
+  bench_profiler_attached();
+  bench_checker_phase_breakdown();
   return 0;
 }

@@ -8,6 +8,8 @@
 //                [--threads N] [--retries N] [--quarantine N]
 //                [--budget N] [--steps N] [--recover] [--deterministic]
 //                [--journal FILE.jsonl] [--resume]
+//                [--profile] [--profile-wall] [--metrics-out FILE]
+//                [--chrome-trace FILE] [--status-port N] [--status-hold SEC]
 //
 // With no arguments it runs the full paper matrix and prints the RQ1 and
 // Table III reports. --trace captures the full per-cell event stream and
@@ -21,15 +23,35 @@
 // failed cell, and --journal/--resume make the campaign resumable — a
 // killed run picks up where it left off and reproduces the identical
 // report (byte-identical CSV with --deterministic).
+//
+// Telemetry (DESIGN.md §13):
+//   --profile       print the deterministic span profile — per-cell
+//                   acquire/restore/inject/monitor/recover work plus the
+//                   supervisor's retry/quarantine/journal accounting;
+//                   byte-identical at any --threads
+//   --profile-wall  same tree with wall time and scheduling-dependent spans
+//   --metrics-out   append the campaign-wide metrics aggregate as JSONL
+//   --chrome-trace  write a Chrome trace-event JSON of every span instance
+//   --status-port   serve /status and /metrics over TCP while the campaign
+//                   runs (port 0 picks an ephemeral port, printed to stderr)
+//   --status-hold   keep the status server up SEC seconds after the run
+//                   finishes (CI smoke tests poll it)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/report.hpp"
 #include "core/supervisor.hpp"
+#include "net/status_server.hpp"
 #include "obs/jsonl.hpp"
+#include "obs/span.hpp"
+#include "obs/status.hpp"
 #include "xsa/usecases.hpp"
 
 namespace {
@@ -52,7 +74,10 @@ int usage() {
       "                    [--threads N] [--retries N] [--quarantine N] "
       "[--budget N] [--steps N]\n"
       "                    [--recover] [--deterministic] [--journal "
-      "FILE.jsonl] [--resume] [--preflight]");
+      "FILE.jsonl] [--resume] [--preflight]\n"
+      "                    [--profile] [--profile-wall] [--metrics-out FILE] "
+      "[--chrome-trace FILE]\n"
+      "                    [--status-port N] [--status-hold SEC]");
   return 2;
 }
 
@@ -79,6 +104,13 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool csv = false;
   bool preflight = false;
+  bool show_profile = false;
+  bool show_profile_wall = false;
+  std::string metrics_out;
+  std::string chrome_trace;
+  bool status_port_set = false;
+  unsigned long status_port = 0;
+  unsigned long status_hold = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -158,10 +190,70 @@ int main(int argc, char** argv) {
       supervision.resume = true;
     } else if (arg == "--preflight") {
       preflight = true;
+    } else if (arg == "--profile") {
+      show_profile = true;
+    } else if (arg == "--profile-wall") {
+      show_profile_wall = true;
+    } else if (arg == "--metrics-out") {
+      const char* m = next();
+      if (m == nullptr) return usage();
+      metrics_out = m;
+    } else if (arg == "--chrome-trace") {
+      const char* c = next();
+      if (c == nullptr) return usage();
+      chrome_trace = c;
+    } else if (arg == "--status-port") {
+      unsigned long n = 0;
+      if (!parse_unsigned(next(), n) || n > 65535) return usage();
+      status_port = n;
+      status_port_set = true;
+    } else if (arg == "--status-hold") {
+      unsigned long n = 0;
+      if (!parse_unsigned(next(), n)) return usage();
+      status_hold = n;
     } else {
       return usage();
     }
   }
+
+  // Telemetry plane: the profiler aggregates deterministic span trees, the
+  // status board feeds the live /status + /metrics endpoints. Both are
+  // opt-in; with the flags off every instrumentation site in the engine
+  // stays a single untaken branch.
+  obs::SpanProfiler profiler;
+  obs::StatusBoard board;
+  const bool want_profile = show_profile || show_profile_wall ||
+                            !chrome_trace.empty() || !trace_path.empty();
+  if (want_profile) {
+    profiler.set_record_events(!chrome_trace.empty());
+    config.profiler = &profiler;
+  }
+
+  // /metrics serves the campaign-wide aggregate once the run has finished
+  // (board gauges are live throughout); shared with the server thread.
+  auto metrics_mu = std::make_shared<std::mutex>();
+  auto final_metrics = std::make_shared<obs::MetricsSnapshot>();
+  std::unique_ptr<net::TcpStatusServer> server;
+  if (status_port_set) {
+    config.status = &board;
+    net::MetricsProvider provider = [metrics_mu, final_metrics] {
+      const std::lock_guard<std::mutex> lock{*metrics_mu};
+      return *final_metrics;
+    };
+    server = std::make_unique<net::TcpStatusServer>(
+        static_cast<std::uint16_t>(status_port), &board, std::move(provider));
+    if (!server->running()) {
+      std::fprintf(stderr, "cannot listen on status port %lu\n", status_port);
+      return 1;
+    }
+    std::fprintf(stderr, "campaign_cli: status server on port %u\n",
+                 server->port());
+  }
+  const auto hold_status = [&] {
+    if (server != nullptr && status_hold != 0) {
+      std::this_thread::sleep_for(std::chrono::seconds{status_hold});
+    }
+  };
 
   // Model-check every configured version policy (depth 2) before burning
   // time on cells: a policy that disagrees with its expectation makes the
@@ -208,14 +300,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Open the trace file up front so a bad path fails before the campaign
+  // Open the export files up front so a bad path fails before the campaign
   // burns minutes running every cell.
-  std::ofstream trace_out;
+  std::unique_ptr<obs::JsonlWriter> trace_writer;
   if (!trace_path.empty()) {
-    trace_out.open(trace_path);
-    if (!trace_out) {
+    trace_writer = std::make_unique<obs::JsonlWriter>(trace_path);
+    if (!trace_writer->ok()) {
       std::fprintf(stderr, "cannot open trace file '%s'\n",
                    trace_path.c_str());
+      return 1;
+    }
+  }
+  std::unique_ptr<obs::JsonlWriter> metrics_writer;
+  if (!metrics_out.empty()) {
+    metrics_writer = std::make_unique<obs::JsonlWriter>(metrics_out);
+    if (!metrics_writer->ok()) {
+      std::fprintf(stderr, "cannot open metrics file '%s'\n",
+                   metrics_out.c_str());
       return 1;
     }
   }
@@ -245,16 +346,41 @@ int main(int argc, char** argv) {
   // metrics snapshot, in cell order.
   obs::MetricsRegistry aggregate;
   for (const auto& cell : results) aggregate.merge(cell.metrics);
+  {
+    // Publish the final aggregate to the status server's /metrics (it keeps
+    // serving through --status-hold).
+    const std::lock_guard<std::mutex> lock{*metrics_mu};
+    *final_metrics = aggregate.snapshot();
+  }
 
-  if (trace_out.is_open()) {
+  if (trace_writer != nullptr) {
     for (const auto& cell : results) {
-      obs::write_events(trace_out, cell.trace, cell_tag(cell));
+      trace_writer->events(cell.trace, cell_tag(cell));
     }
-    obs::write_metrics(trace_out, aggregate.snapshot());
+    trace_writer->metrics(aggregate.snapshot());
+    // Span records ride along in the same export when profiling is on.
+    if (config.profiler != nullptr) trace_writer->spans(profiler);
+  }
+  if (metrics_writer != nullptr) metrics_writer->metrics(aggregate.snapshot());
+  if (!chrome_trace.empty()) {
+    std::ofstream os{chrome_trace, std::ios::trunc};
+    os << obs::chrome_trace_json(profiler) << '\n';
+    if (!os) {
+      std::fprintf(stderr, "cannot write chrome trace '%s'\n",
+                   chrome_trace.c_str());
+      return 1;
+    }
+  }
+  if (show_profile) {
+    std::fputs(obs::render_profile(profiler, false).c_str(), stdout);
+  }
+  if (show_profile_wall) {
+    std::fputs(obs::render_profile(profiler, true).c_str(), stdout);
   }
 
   if (csv) {
     std::fputs(core::render_csv(results).c_str(), stdout);
+    hold_status();
     return 0;
   }
   std::fputs(core::render_rq1_table(results).c_str(), stdout);
@@ -278,5 +404,7 @@ int main(int argc, char** argv) {
       std::printf("    | %s\n", note.c_str());
     }
   }
+  std::fflush(stdout);
+  hold_status();
   return 0;
 }

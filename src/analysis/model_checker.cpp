@@ -27,6 +27,8 @@
 #include "hv/errors.hpp"
 #include "hv/layout.hpp"
 #include "hv/snapshot.hpp"
+#include "obs/span.hpp"
+#include "obs/status.hpp"
 
 namespace ii::analysis {
 
@@ -649,11 +651,19 @@ ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
   std::deque<WorkItem> queue;
   queue.push_back(WorkItem{{}, vmm.snapshot_delta(root)});
 
+  obs::SpanProfiler* const prof = config.profiler;
   bool stop = false;
   while (!queue.empty() && !stop) {
     const WorkItem item = std::move(queue.front());
     queue.pop_front();
     if (item.prefix.size() >= config.depth) continue;
+    // Depth of the states this parent generates ("d1" = first op applied).
+    const unsigned depth = static_cast<unsigned>(item.prefix.size()) + 1;
+    if (config.status != nullptr) {
+      config.status->checker_depth(depth, queue.size() + 1);
+      config.status->checker_progress(result.states_explored,
+                                      result.violations_found);
+    }
 
     hv::HvDelta parent_delta;
     hv::HvSnapshot parent_full;  // replay fallback only
@@ -677,8 +687,11 @@ ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
 
     const std::vector<Op> alphabet =
         enumerate_ops(vmm, config, machine.guests);
+    std::uint64_t parent_applied = 0;  // deterministic expand/audit spans,
+    std::uint64_t parent_audited = 0;  // mirrored by the parallel merge
     for (const Op& op : alphabet) {
       ++result.ops_applied;
+      ++parent_applied;
       const long rc = apply_op(vmm, op);
       const std::uint64_t h = vmm.state_hash();
       if (h == parent_hash) {
@@ -691,6 +704,7 @@ ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
         continue;
       }
       ++result.states_explored;
+      ++parent_audited;
 
       std::vector<Op> trace = item.prefix;
       trace.push_back(op);
@@ -712,6 +726,14 @@ ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
         break;
       }
       restore_parent();
+    }
+    if (prof != nullptr && parent_applied != 0) {
+      const std::string dname = "d" + std::to_string(depth);
+      prof->add({obs::kSpanCheck, dname, obs::kSpanExpand}, 1, parent_applied);
+      if (parent_audited != 0) {
+        prof->add({obs::kSpanCheck, dname, obs::kSpanAudit}, parent_audited,
+                  parent_audited);
+      }
     }
   }
 
@@ -913,17 +935,48 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
   std::vector<FrontierItem> frontier;
   frontier.push_back(FrontierItem{{}, vmm0.snapshot_delta(root)});
 
+  // Per-worker profilers (shared epoch, worker-numbered lanes) hold the
+  // Sched-kind engine spans each worker records for itself; they merge
+  // into the main profiler — order-independently — after the run. The
+  // deterministic expand/audit spans are recorded by the serial-order
+  // merge below, never by workers.
+  obs::SpanProfiler* const prof = config.profiler;
+  std::vector<std::unique_ptr<obs::SpanProfiler>> wprofs;
+  if (prof != nullptr) {
+    for (unsigned w = 0; w < threads; ++w) {
+      wprofs.push_back(std::make_unique<obs::SpanProfiler>(prof->epoch()));
+      wprofs[w]->set_tid(w);
+      wprofs[w]->set_record_events(prof->record_events());
+    }
+  }
+
   bool stop = false;
   while (!frontier.empty() && !stop &&
          frontier.front().prefix.size() < config.depth) {
+    const unsigned depth =
+        static_cast<unsigned>(frontier.front().prefix.size()) + 1;
+    const std::string dname = "d" + std::to_string(depth);
+    if (config.status != nullptr) {
+      config.status->checker_depth(depth, frontier.size());
+      config.status->checker_progress(result.states_explored,
+                                      result.violations_found);
+    }
     // -------- pass 1: apply every op of every parent, record outcomes.
     const std::size_t n_parents = frontier.size();
     std::vector<std::vector<PairOutcome>> outcomes(threads);
     std::atomic<std::size_t> next_parent{0};
+    obs::ScopedSpan classify_span{
+        prof,
+        {obs::kSpanCheck, dname, obs::kSpanClassify},
+        obs::SpanKind::Sched};
     run_on_workers(threads, [&](unsigned w) {
       ShardWorker& self = *workers[w];
       hv::Hypervisor& vmm = self.machine.vmm;
       std::vector<PairOutcome>& out = outcomes[w];
+      obs::ScopedSpan lane{
+          prof != nullptr ? wprofs[w].get() : nullptr,
+          {obs::kSpanCheck, dname, obs::kSpanClassify, "w" + std::to_string(w)},
+          obs::SpanKind::Sched};
       while (true) {
         const std::size_t p = next_parent.fetch_add(1);
         if (p >= n_parents) return;
@@ -932,6 +985,7 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
         const std::uint64_t parent_hash = item.delta.hash;
         const std::vector<Op> alphabet =
             enumerate_ops(vmm, config, self.machine.guests);
+        lane.add_steps(alphabet.size());
         for (std::uint32_t o = 0; o < alphabet.size(); ++o) {
           const long rc = apply_op(vmm, alphabet[o]);
           const std::uint64_t h = vmm.state_hash();
@@ -950,7 +1004,12 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
       }
     });
 
+    classify_span.end();
+
     // -------- merge: replay the serial visit order over the outcome set.
+    obs::ScopedSpan merge_span{prof,
+                               {obs::kSpanCheck, dname, obs::kSpanMerge},
+                               obs::SpanKind::Sched};
     std::vector<PairOutcome> all;
     {
       std::size_t total = 0;
@@ -960,14 +1019,36 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
         all.insert(all.end(), buf.begin(), buf.end());
       }
     }
+    merge_span.add_steps(all.size());
     std::sort(all.begin(), all.end(),
               [](const PairOutcome& a, const PairOutcome& b) {
                 return a.parent != b.parent ? a.parent < b.parent
                                             : a.op < b.op;
               });
+    // Replaying serial order also lets the merge record the deterministic
+    // per-parent expand/audit spans with the serial driver's exact tallies
+    // (including the mid-parent cut on truncation).
+    std::uint64_t parent_applied = 0;
+    std::uint64_t parent_audited = 0;
+    std::uint32_t span_parent = 0;
+    const auto flush_parent_spans = [&] {
+      if (prof == nullptr || parent_applied == 0) return;
+      prof->add({obs::kSpanCheck, dname, obs::kSpanExpand}, 1, parent_applied);
+      if (parent_audited != 0) {
+        prof->add({obs::kSpanCheck, dname, obs::kSpanAudit}, parent_audited,
+                  parent_audited);
+      }
+      parent_applied = 0;
+      parent_audited = 0;
+    };
     std::vector<Claim> claims;
     for (const PairOutcome& po : all) {
+      if (po.parent != span_parent) {
+        flush_parent_spans();
+        span_parent = po.parent;
+      }
       ++result.ops_applied;
+      ++parent_applied;
       if (!po.changed) {
         if (po.failed) ++result.failed_ops;
         continue;
@@ -977,6 +1058,7 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
         continue;
       }
       ++result.states_explored;
+      ++parent_audited;
       claims.push_back(Claim{po.parent, po.op, po.hash});
       if (result.states_explored >= config.max_states) {
         // The serial BFS stops right after recording this state; every
@@ -987,6 +1069,8 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
         break;
       }
     }
+    flush_parent_spans();
+    merge_span.end();
 
     // -------- pass 2: re-derive and audit exactly the claimed states.
     std::vector<std::pair<std::size_t, std::size_t>> groups;  // per parent
@@ -998,13 +1082,21 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
     }
     std::vector<ChildCapture> captures(claims.size());
     std::atomic<std::size_t> next_group{0};
+    obs::ScopedSpan rederive_span{prof,
+                                  {obs::kSpanCheck, dname, obs::kSpanRederive},
+                                  obs::SpanKind::Sched};
     run_on_workers(threads, [&](unsigned w) {
       ShardWorker& self = *workers[w];
       hv::Hypervisor& vmm = self.machine.vmm;
+      obs::ScopedSpan lane{
+          prof != nullptr ? wprofs[w].get() : nullptr,
+          {obs::kSpanCheck, dname, obs::kSpanRederive, "w" + std::to_string(w)},
+          obs::SpanKind::Sched};
       while (true) {
         const std::size_t g = next_group.fetch_add(1);
         if (g >= groups.size()) return;
         const auto [begin, end] = groups[g];
+        lane.add_steps(end - begin);
         const FrontierItem& item = frontier[claims[begin].parent];
         (void)vmm.restore_delta(self.root, item.delta, /*foreign=*/true);
         const std::vector<Op> alphabet =
@@ -1037,6 +1129,8 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
         }
       }
     });
+
+    rederive_span.end();
 
     // -------- assembly: violations and the next frontier, in claim order.
     std::vector<FrontierItem> next_frontier;
@@ -1071,6 +1165,10 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
     frontier = std::move(next_frontier);
   }
 
+  if (prof != nullptr) {
+    for (const auto& wp : wprofs) prof->merge(*wp);
+  }
+
   hv::SnapshotStats total{};
   for (const auto& w : workers) total += w->machine.vmm.snapshot_stats();
   result.snapshot_frames_copied = total.frames_copied;
@@ -1091,8 +1189,20 @@ ModelCheckResult run_model_check(const ModelCheckConfig& config) {
   // More workers than cores only adds machines to boot; cap generously.
   threads = std::min(threads, 32u);
   if (config.use_replay_fallback) threads = 1;
-  if (threads <= 1) return run_model_check_serial(config);
-  return run_model_check_parallel(config, threads);
+  if (config.status != nullptr) config.status->checker_begin();
+  ModelCheckResult result;
+  {
+    // Root of the deterministic span tree; per-depth children hang off it.
+    obs::ScopedSpan check_span{config.profiler, obs::kSpanCheck};
+    result = threads <= 1 ? run_model_check_serial(config)
+                          : run_model_check_parallel(config, threads);
+  }
+  if (config.status != nullptr) {
+    config.status->checker_progress(result.states_explored,
+                                    result.violations_found);
+    config.status->checker_end();
+  }
+  return result;
 }
 
 // ------------------------------------------------------------------- report

@@ -37,6 +37,11 @@
 #include "hv/version.hpp"
 #include "sim/types.hpp"
 
+namespace ii::obs {
+class SpanProfiler;
+class StatusBoard;
+}  // namespace ii::obs
+
 namespace ii::analysis {
 
 /// Shape of the bounded configuration and exploration limits.
@@ -70,6 +75,16 @@ struct ModelCheckConfig {
   /// both schemes must produce identical results — tests diff them.
   /// Forces serial exploration.
   bool use_replay_fallback = false;
+  /// Optional telemetry, both null by default (instrumentation then costs
+  /// one branch per site). The profiler receives deterministic per-depth
+  /// check/dN/{expand,audit} spans whose counts and steps are identical at
+  /// any thread count — the serial driver records them directly, the
+  /// parallel driver from its serial-order merge — plus Sched-kind
+  /// classify/merge/rederive engine phases (wall-only, per worker). The
+  /// board receives live depth / frontier / states-explored updates for
+  /// the /status endpoint. Single run per profiler: spans accumulate.
+  obs::SpanProfiler* profiler = nullptr;
+  obs::StatusBoard* status = nullptr;
 };
 
 /// The erroneous-state families of the paper's use cases, recognized in

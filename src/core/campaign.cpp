@@ -25,6 +25,8 @@ PreflightReport Campaign::preflight(unsigned depth, unsigned threads) const {
     mc.version = version;
     mc.depth = depth;
     mc.threads = threads;
+    mc.profiler = config_.profiler;
+    mc.status = config_.status;
     const analysis::ModelCheckResult result = analysis::run_model_check(mc);
 
     PreflightVersionReport v;
@@ -65,13 +67,19 @@ PlatformPool::Entry& PlatformPool::lease(const guest::PlatformConfig& config) {
 namespace {
 
 /// Scope guard for one pooled cell: on exit — normal or unwinding — detach
-/// the cell's sink and rewind the platform to the pool baseline, so the
-/// pool never retains a dirty platform or a dangling sink pointer.
+/// the cell's sink and span profiler and rewind the platform to the pool
+/// baseline, so the pool never retains a dirty platform or a dangling
+/// observer pointer. The rewind is timed as the cell's restore span (its
+/// deterministic step count — frames copied — is added by run_cell from
+/// the snapshot stats afterwards).
 struct Lease {
   guest::VirtualPlatform& platform;
   const guest::PlatformBaseline& baseline;
+  obs::SpanProfiler* profiler;
   ~Lease() {
     platform.hv().set_trace_sink(nullptr);
+    platform.hv().set_span_profiler(nullptr);
+    const obs::ScopedSpan restore_span{profiler, obs::kSpanRestore};
     platform.restore(baseline);
   }
 };
@@ -80,10 +88,20 @@ struct Lease {
 
 void Campaign::run_attempt(CellResult& cell, UseCase& use_case,
                            guest::VirtualPlatform& platform, Mode mode,
-                           obs::TraceSink& sink) const {
+                           obs::TraceSink& sink,
+                           obs::SpanProfiler* profiler) const {
   try {
-    cell.outcome = mode == Mode::Exploit ? use_case.run_exploit(platform)
-                                         : use_case.run_injection(platform);
+    {
+      // Step source = the cell's sink, so inject/monitor steps are the
+      // trace events each phase emitted — deterministic, and credited even
+      // when the phase throws (the delta is read in the span destructor).
+      const obs::ScopedSpan inject_span{profiler, obs::kSpanInject,
+                                        obs::SpanKind::Det, &sink};
+      cell.outcome = mode == Mode::Exploit ? use_case.run_exploit(platform)
+                                           : use_case.run_injection(platform);
+    }
+    const obs::ScopedSpan monitor_span{profiler, obs::kSpanMonitor,
+                                       obs::SpanKind::Det, &sink};
     cell.err_state = use_case.erroneous_state_present(platform);
     cell.violation = use_case.security_violation(platform);
   } catch (const std::exception& e) {
@@ -103,6 +121,11 @@ void Campaign::run_attempt(CellResult& cell, UseCase& use_case,
     // deterministic, so everything after it is too, and recovery must be
     // able to emit its own events.
     sink.set_budget(0, 0);
+    // The hypervisor's own recovery phases (pre_audit, idt, frame_table,
+    // p2m, domains, grants, post_audit) nest under this span — the
+    // platform's profiler is this same instance.
+    const obs::ScopedSpan recover_span{profiler, obs::kSpanRecover,
+                                       obs::SpanKind::Det, &sink};
     try {
       const hv::RecoveryReport rec = platform.hv().recover();
       cell.recovered = rec.succeeded();
@@ -125,6 +148,12 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
 
 CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
                               Mode mode, PlatformPool& pool) const {
+  return run_cell(use_case, version, mode, pool, config_.profiler);
+}
+
+CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
+                              Mode mode, PlatformPool& pool,
+                              obs::SpanProfiler* prof) const {
   // One sink per cell: the platform is private to the cell while it runs,
   // so the sink needs no locking, and seq numbers restart at 0 — traces are
   // identical no matter which worker thread ran the cell. With
@@ -146,6 +175,7 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
 
   bool reused = false;
   hv::SnapshotStats snap{};
+  const obs::ScopedSpan cell_span{prof, obs::kSpanCell};
   const auto start = std::chrono::steady_clock::now();
   try {
     if (config_.reuse_platforms) {
@@ -153,24 +183,41 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
       // attached only now, so the trace covers exactly the cell's own
       // execution whether the platform is fresh or reused.
       pc.trace_sink = nullptr;
-      PlatformPool::Entry& entry = pool.lease(pc);
-      reused = entry.warm;
-      entry.warm = true;
-      guest::VirtualPlatform& platform = *entry.platform;
+      PlatformPool::Entry* entry = nullptr;
+      {
+        const obs::ScopedSpan acquire_span{prof, obs::kSpanAcquire};
+        entry = &pool.lease(pc);
+      }
+      reused = entry->warm;
+      entry->warm = true;
+      guest::VirtualPlatform& platform = *entry->platform;
       platform.hv().reset_snapshot_stats();
       platform.hv().set_trace_sink(&sink);
+      platform.hv().set_span_profiler(prof);
       {
-        Lease lease{platform, entry.baseline};
-        run_attempt(cell, use_case, platform, mode, sink);
+        Lease lease{platform, entry->baseline, prof};
+        run_attempt(cell, use_case, platform, mode, sink, prof);
       }
       // The release rewind runs inside the stats window: frames_copied is
       // then the set of frames *this cell* dirtied, independent of which
       // cells the worker ran before — serial and parallel runs agree.
       snap = platform.hv().snapshot_stats();
+      if (prof != nullptr) {
+        // The restore span's deterministic step count: the rewind copies
+        // exactly the frames this cell dirtied.
+        prof->add({obs::kSpanCell, obs::kSpanRestore}, 0, snap.frames_copied);
+      }
     } else {
-      pc.trace_sink = &sink;
-      guest::VirtualPlatform platform{pc};
-      run_attempt(cell, use_case, platform, mode, sink);
+      std::unique_ptr<guest::VirtualPlatform> owned;
+      {
+        const obs::ScopedSpan acquire_span{prof, obs::kSpanAcquire};
+        pc.trace_sink = &sink;
+        owned = std::make_unique<guest::VirtualPlatform>(pc);
+      }
+      guest::VirtualPlatform& platform = *owned;
+      platform.hv().set_span_profiler(prof);
+      run_attempt(cell, use_case, platform, mode, sink, prof);
+      platform.hv().set_span_profiler(nullptr);
     }
   } catch (const std::exception& e) {
     // Platform construction itself failed; there is nothing to audit.
@@ -202,13 +249,20 @@ std::vector<CellResult> Campaign::run(
     const std::vector<std::unique_ptr<UseCase>>& cases) const {
   std::vector<CellResult> results;
   PlatformPool pool;  // shared across the whole matrix: one boot per cfg
+  obs::StatusBoard* const status = config_.status;
+  if (status != nullptr) {
+    status->campaign_begin(
+        cases.size() * config_.versions.size() * config_.modes.size(), 1);
+  }
   for (const auto& use_case : cases) {
     for (const hv::XenVersion version : config_.versions) {
       for (const Mode mode : config_.modes) {
         results.push_back(run_cell(*use_case, version, mode, pool));
+        if (status != nullptr) status->cell_done(0, results.back().failed());
       }
     }
   }
+  if (status != nullptr) status->campaign_end();
   return results;
 }
 
@@ -238,10 +292,27 @@ std::vector<CellResult> Campaign::run_parallel(
   std::exception_ptr factory_error;
   const unsigned n_workers =
       std::max(1u, std::min<unsigned>(threads, cells.size()));
+  obs::StatusBoard* const status = config_.status;
+  if (status != nullptr) status->campaign_begin(cells.size(), n_workers);
+  // Per-worker span lanes: profilers are single-writer, so each worker
+  // records into its own instance (sharing the campaign profiler's epoch,
+  // for comparable Chrome-trace timestamps) and the lanes are merged after
+  // the join. Merging sums by path, so the aggregated tree is identical to
+  // a serial run's regardless of how the scheduler dealt the cells.
+  std::vector<std::unique_ptr<obs::SpanProfiler>> lanes;
+  if (config_.profiler != nullptr) {
+    lanes.reserve(n_workers);
+    for (unsigned w = 0; w < n_workers; ++w) {
+      lanes.push_back(
+          std::make_unique<obs::SpanProfiler>(config_.profiler->epoch()));
+      lanes.back()->set_tid(w);
+      lanes.back()->set_record_events(config_.profiler->record_events());
+    }
+  }
   std::vector<std::thread> workers;
   workers.reserve(n_workers);
   for (unsigned w = 0; w < n_workers; ++w) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, w] {
       // Private UseCase instances: per-run state must not be shared. The
       // platform pool is per-worker too — platforms are not thread-safe.
       //
@@ -260,12 +331,14 @@ std::vector<CellResult> Campaign::run_parallel(
         return;
       }
       PlatformPool pool;
+      obs::SpanProfiler* const lane =
+          lanes.empty() ? nullptr : lanes[w].get();
       while (true) {
         const std::size_t i = next.fetch_add(1);
         if (i >= cells.size()) return;
         try {
           results[i] = run_cell(*cases[cells[i].case_index], cells[i].version,
-                                cells[i].mode, pool);
+                                cells[i].mode, pool, lane);
         } catch (...) {
           // run_cell already isolates use-case and platform failures; this
           // is the backstop for anything else (e.g. a throwing name()).
@@ -287,10 +360,13 @@ std::vector<CellResult> Campaign::run_parallel(
           cell.outcome.completed = false;
         }
         completed.fetch_add(1);
+        if (status != nullptr) status->cell_done(w, results[i].failed());
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
+  if (status != nullptr) status->campaign_end();
+  for (const auto& lane : lanes) config_.profiler->merge(*lane);
   // Every worker's factory threw: no cell ever ran, and silently returning
   // default-constructed results would look like a clean all-fail matrix.
   if (factory_error && completed.load() < cells.size()) {

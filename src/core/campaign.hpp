@@ -21,6 +21,8 @@
 #include "guest/platform.hpp"
 #include "hv/version.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/status.hpp"
 #include "obs/trace.hpp"
 
 namespace ii::core {
@@ -99,6 +101,18 @@ struct CampaignConfig {
   /// When false, every cell boots a private platform and the sink observes
   /// the boot as well (the pre-reuse behaviour).
   bool reuse_platforms = true;
+  /// Optional span profiler (null = instrumentation costs one branch per
+  /// site). run_cell records cell/{acquire,restore,inject,monitor,recover}
+  /// spans whose counts and steps are deterministic per cell — trace-sink
+  /// step deltas and rewind frame counts, never wall time — so the
+  /// aggregated tree is identical under run() and run_parallel() at any
+  /// thread count (run_parallel gives each worker a private lane profiler
+  /// and merges them here after the join; the supervisor does the same).
+  obs::SpanProfiler* profiler = nullptr;
+  /// Optional live status board: run()/run_parallel() and the supervisor
+  /// publish cells done/total, per-worker heartbeats and retry/quarantine
+  /// counts; preflight forwards it to the model checker.
+  obs::StatusBoard* status = nullptr;
 };
 
 /// One warm platform per (version, injector) pair, each parked at its
@@ -197,12 +211,19 @@ class Campaign {
   [[nodiscard]] CellResult run_cell(UseCase& use_case, hv::XenVersion version,
                                     Mode mode, PlatformPool& pool) const;
 
+  /// Same, recording spans into `profiler` instead of config().profiler —
+  /// the per-worker-lane entry point used by run_parallel() and the
+  /// supervisor (profilers are single-writer, like trace sinks).
+  [[nodiscard]] CellResult run_cell(UseCase& use_case, hv::XenVersion version,
+                                    Mode mode, PlatformPool& pool,
+                                    obs::SpanProfiler* profiler) const;
+
  private:
   /// The attempt + audit + optional recovery on an already-built platform.
   /// Exception-contained: use-case failures land in `cell.failure`.
   void run_attempt(CellResult& cell, UseCase& use_case,
                    guest::VirtualPlatform& platform, Mode mode,
-                   obs::TraceSink& sink) const;
+                   obs::TraceSink& sink, obs::SpanProfiler* profiler) const;
 
   CampaignConfig config_;
 };

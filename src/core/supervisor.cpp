@@ -69,7 +69,25 @@ std::vector<CellResult> CampaignSupervisor::run(
       1u, std::min<unsigned>(config_.threads,
                              static_cast<unsigned>(names.size())));
 
-  auto worker_body = [&] {
+  obs::StatusBoard* const status = campaign_.status;
+  if (status != nullptr) status->campaign_begin(results.size(), n_workers);
+  // Per-worker span lanes (profilers are single-writer), merged after the
+  // join. Retry/quarantine decisions are per-use-case and workers claim
+  // whole use cases, so the merged supervisor spans are deterministic at
+  // any thread count — the same guarantee the result matrix itself has.
+  std::vector<std::unique_ptr<obs::SpanProfiler>> lanes;
+  if (campaign_.profiler != nullptr) {
+    lanes.reserve(n_workers);
+    for (unsigned w = 0; w < n_workers; ++w) {
+      lanes.push_back(
+          std::make_unique<obs::SpanProfiler>(campaign_.profiler->epoch()));
+      lanes.back()->set_tid(w);
+      lanes.back()->set_record_events(campaign_.profiler->record_events());
+    }
+  }
+
+  auto worker_body = [&](unsigned w) {
+    obs::SpanProfiler* const lane = lanes.empty() ? nullptr : lanes[w].get();
     auto cases = factory();
     // Warm platforms are per-worker (not thread-safe); retries of a cell
     // lease the same platform again, rewound to its baseline in between.
@@ -100,11 +118,21 @@ std::vector<CellResult> CampaignSupervisor::run(
                            std::to_string(failure_streak) +
                            " consecutive cell failures";
             cell.outcome.completed = false;
+            if (lane != nullptr) {
+              lane->add({obs::kSpanSupervisor, obs::kSpanQuarantine}, 1, 1);
+            }
           } else {
             unsigned attempt = 0;
             do {
               ++attempt;
-              cell = campaign.run_cell(*cases[c], version, mode, pool);
+              if (attempt > 1) {
+                // Each re-run beyond the first attempt is one retry.
+                if (lane != nullptr) {
+                  lane->add({obs::kSpanSupervisor, obs::kSpanRetry}, 1, 1);
+                }
+                if (status != nullptr) status->add_retry();
+              }
+              cell = campaign.run_cell(*cases[c], version, mode, pool, lane);
             } while (cell.failed() && attempt < config_.max_attempts);
             cell.attempts = attempt;
           }
@@ -123,6 +151,10 @@ std::vector<CellResult> CampaignSupervisor::run(
               quarantined = true;
             }
           }
+          if (status != nullptr) {
+            if (cell.quarantined) status->add_quarantine();
+            if (cell.recovered) status->add_recovered();
+          }
 
           // Surface the supervisor verdicts through the metrics snapshot so
           // merged campaign summaries report them alongside trace counters.
@@ -134,10 +166,14 @@ std::vector<CellResult> CampaignSupervisor::run(
               cell.quarantined ? 1 : 0;
 
           if (journal.is_open() && !from_journal) {
+            obs::ScopedSpan journal_span{
+                lane, {obs::kSpanSupervisor, obs::kSpanJournal}};
+            journal_span.add_steps(1);
             const std::lock_guard<std::mutex> lock{journal_mu};
             journal << journal_entry(cell) << '\n';
             journal.flush();  // each cell durable before the next one runs
           }
+          if (status != nullptr) status->cell_done(w, cell.failed());
           results[slot++] = std::move(cell);
         }
       }
@@ -145,13 +181,17 @@ std::vector<CellResult> CampaignSupervisor::run(
   };
 
   if (n_workers == 1) {
-    worker_body();
+    worker_body(0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(n_workers);
-    for (unsigned w = 0; w < n_workers; ++w) workers.emplace_back(worker_body);
+    for (unsigned w = 0; w < n_workers; ++w) {
+      workers.emplace_back(worker_body, w);
+    }
     for (std::thread& worker : workers) worker.join();
   }
+  if (status != nullptr) status->campaign_end();
+  for (const auto& lane : lanes) campaign_.profiler->merge(*lane);
   return results;
 }
 

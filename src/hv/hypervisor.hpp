@@ -32,6 +32,10 @@
 #include "sim/mmu.hpp"
 #include "sim/phys_mem.hpp"
 
+namespace ii::obs {
+class SpanProfiler;  // obs/span.hpp
+}  // namespace ii::obs
+
 namespace ii::hv {
 
 struct RecoveryReport;  // recovery.hpp
@@ -286,6 +290,15 @@ class Hypervisor {
   }
   [[nodiscard]] obs::TraceSink* trace_sink() const { return trace_; }
 
+  /// Attach (or detach with nullptr) a span profiler; same ownership and
+  /// cost model as the trace sink. Currently only recover() is phase-
+  /// instrumented: its pre_audit/idt/frame_table/p2m/domains/grants/
+  /// post_audit spans nest under whatever span the caller has open (the
+  /// campaign's cell/recover), with deterministic step counts taken from
+  /// the RecoveryReport counters.
+  void set_span_profiler(obs::SpanProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] obs::SpanProfiler* span_profiler() const { return profiler_; }
+
   // ----------------------------------------------------- guest memory access
   /// Perform a data access at guest virtual address `va` on behalf of
   /// domain `caller` (guest kernel or user code; both are "user" to the
@@ -403,6 +416,7 @@ class Hypervisor {
   std::vector<std::string> console_;
   CodeExecutor executor_;
   obs::TraceSink* trace_ = nullptr;
+  obs::SpanProfiler* profiler_ = nullptr;
 
   // Per-frame digest cache for the incremental state_hash() (snapshot.cpp).
   // digest_gen_[m] holds the PhysicalMemory generation the cached digest

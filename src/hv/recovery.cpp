@@ -20,6 +20,7 @@
 #include "hv/audit.hpp"
 #include "hv/errors.hpp"
 #include "hv/layout.hpp"
+#include "obs/span.hpp"
 
 namespace ii::hv {
 
@@ -279,11 +280,19 @@ std::uint64_t Hypervisor::recover_sanitize_tables(
 
 RecoveryReport Hypervisor::recover() {
   RecoveryReport report;
+  // Phase spans nest under whatever span the caller holds open (the
+  // campaign's cell/recover). Step counts are the report's own counters —
+  // deterministic functions of the corrupted state, never wall time.
+  obs::SpanProfiler* const prof = profiler_;
   if (trace_) {
     trace_->emit(obs::TraceCategory::RecoverEnter, obs::kNoDomain,
                  (crashed_ ? 1u : 0u) | (cpu_hung_ ? 2u : 0u));
   }
-  report.pre = InvariantAuditor{*this}.audit();
+  {
+    obs::ScopedSpan span{prof, obs::kSpanPreAudit};
+    report.pre = InvariantAuditor{*this}.audit();
+    span.add_steps(report.pre.findings.size());
+  }
 
   log("(XEN) ReHype: micro-rebooting hypervisor state in place");
 
@@ -310,6 +319,7 @@ RecoveryReport Hypervisor::recover() {
 
   // 2. IDT: every gate re-derives from the boot-time handler table.
   {
+    obs::ScopedSpan span{prof, obs::kSpanIdt};
     sim::Idt table = idt();
     for (unsigned v = 0; v < sim::kIdtVectors; ++v) {
       const sim::IdtGate gate = table.read(v);
@@ -318,6 +328,7 @@ RecoveryReport Hypervisor::recover() {
       }
     }
     install_default_idt();
+    span.add_steps(report.idt_gates_restored);
   }
 
   // 3. Shared Xen L3: only slot 0 (the text L2 link) is ever legitimate;
@@ -331,34 +342,43 @@ RecoveryReport Hypervisor::recover() {
 
   // 4. Frame-table rebuild: throw away every guest frame's derived state
   // (type, type refs, validation) and fall back to the allocation ref.
-  for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
-    PageInfo& pi = frames_.info(sim::Mfn{m});
-    if (pi.owner == kDomXen || pi.owner == kDomInvalid) continue;
-    if (pi.type != PageType::None || pi.type_count != 0 || pi.ref_count != 1 ||
-        pi.validated) {
-      pi.type = PageType::None;
-      pi.type_count = 0;
-      pi.ref_count = 1;
-      pi.validated = false;
-      ++report.frames_retyped;
+  {
+    obs::ScopedSpan span{prof, obs::kSpanFrameTable};
+    for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
+      PageInfo& pi = frames_.info(sim::Mfn{m});
+      if (pi.owner == kDomXen || pi.owner == kDomInvalid) continue;
+      if (pi.type != PageType::None || pi.type_count != 0 ||
+          pi.ref_count != 1 || pi.validated) {
+        pi.type = PageType::None;
+        pi.type_count = 0;
+        pi.ref_count = 1;
+        pi.validated = false;
+        ++report.frames_retyped;
+      }
     }
+    span.add_steps(report.frames_retyped);
   }
 
   // 5. P2M reconciliation against frame ownership (the M2P ground truth).
-  for (const auto& [id, dom] : domains_) {
-    for (std::uint64_t p = 0; p < dom->nr_pages(); ++p) {
-      const sim::Pfn pfn{p};
-      const auto mfn = dom->p2m(pfn);
-      if (!mfn) continue;
-      if (!mem_->contains(*mfn) || frames_.info(*mfn).owner != id) {
-        dom->set_p2m(pfn, std::nullopt);
-        ++report.p2m_entries_dropped;
+  {
+    obs::ScopedSpan span{prof, obs::kSpanP2m};
+    for (const auto& [id, dom] : domains_) {
+      for (std::uint64_t p = 0; p < dom->nr_pages(); ++p) {
+        const sim::Pfn pfn{p};
+        const auto mfn = dom->p2m(pfn);
+        if (!mfn) continue;
+        if (!mem_->contains(*mfn) || frames_.info(*mfn).owner != id) {
+          dom->set_p2m(pfn, std::nullopt);
+          ++report.p2m_entries_dropped;
+        }
       }
     }
+    span.add_steps(report.p2m_entries_dropped);
   }
 
   // 6. Per-domain: sanitize the tables, then re-derive types and refcounts
   // by re-running the normal validation engine over the cleaned trees.
+  obs::ScopedSpan domains_span{prof, obs::kSpanDomains};
   for (const auto& [id, dom] : domains_) {
     const auto& hints = pin_hints[id];
     report.ptes_scrubbed += recover_sanitize_tables(*dom, hints);
@@ -387,22 +407,33 @@ RecoveryReport Hypervisor::recover() {
     }
   }
 
+  domains_span.add_steps(report.ptes_scrubbed);
+  domains_span.end();
+
   // 7. Grant re-derivation: live mappings hold existence refs; active-v2
   // domains get their status window remapped (a downgraded-but-leaked
   // XSA-387 window stays gone — the sanitizer already dropped it).
-  for (const auto& [handle, mapping] : grants_.mappings()) {
-    if (mem_->contains(mapping.frame)) {
-      ++frames_.info(mapping.frame).ref_count;
+  {
+    obs::ScopedSpan span{prof, obs::kSpanGrants};
+    for (const auto& [handle, mapping] : grants_.mappings()) {
+      if (mem_->contains(mapping.frame)) {
+        ++frames_.info(mapping.frame).ref_count;
+        span.add_steps(1);
+      }
     }
-  }
-  for (const auto& [id, table] : grants_.tables()) {
-    if (domains_.find(id) == domains_.end()) continue;
-    if (table.version() == 2 && !table.status_frames().empty()) {
-      (void)map_grant_status_page(id, table.status_frames().front());
+    for (const auto& [id, table] : grants_.tables()) {
+      if (domains_.find(id) == domains_.end()) continue;
+      if (table.version() == 2 && !table.status_frames().empty()) {
+        (void)map_grant_status_page(id, table.status_frames().front());
+      }
     }
   }
 
-  report.post = InvariantAuditor{*this}.audit();
+  {
+    obs::ScopedSpan span{prof, obs::kSpanPostAudit};
+    report.post = InvariantAuditor{*this}.audit();
+    span.add_steps(report.post.findings.size());
+  }
   if (trace_) {
     trace_->emit(obs::TraceCategory::RecoverExit, obs::kNoDomain,
                  static_cast<std::uint32_t>(report.unrecovered_domains.size()),

@@ -1,0 +1,167 @@
+#include "net/status_server.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ii::net {
+
+namespace {
+
+// "GET /status HTTP/1.1" -> "/status"; "/status" -> "/status".
+std::string request_path(const std::string& request_line) {
+  std::istringstream is{request_line};
+  std::string first;
+  is >> first;
+  if (first == "GET" || first == "HEAD") {
+    std::string path;
+    is >> path;
+    return path;
+  }
+  return first;
+}
+
+std::string http_message(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << code << ' ' << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace
+
+std::string status_http_response(const std::string& request_line,
+                                 const obs::StatusBoard& board,
+                                 const MetricsProvider& metrics) {
+  const std::string path = request_path(request_line);
+  if (path == "/status") {
+    return http_message(200, "OK", "application/json",
+                        obs::render_status_json(board.snapshot()) + "\n");
+  }
+  if (path == "/metrics") {
+    obs::MetricsSnapshot snap;
+    const obs::MetricsSnapshot* snap_ptr = nullptr;
+    if (metrics) {
+      snap = metrics();
+      snap_ptr = &snap;
+    }
+    return http_message(200, "OK", "text/plain; version=0.0.4",
+                        obs::render_prometheus(board.snapshot(), snap_ptr));
+  }
+  return http_message(404, "Not Found", "text/plain",
+                      "unknown path; try /status or /metrics\n");
+}
+
+StatusServer::StatusServer(Network& net, std::string host, std::uint16_t port,
+                           const obs::StatusBoard* board,
+                           MetricsProvider metrics)
+    : net_{net},
+      host_name_{std::move(host)},
+      port_{port},
+      board_{board},
+      metrics_{std::move(metrics)} {
+  net_.add_host(host_name_).listen(port_);
+}
+
+std::size_t StatusServer::pump() {
+  Host* host = net_.find_host(host_name_);
+  if (host == nullptr || board_ == nullptr) return 0;
+  // A host reset (warm platform reuse) drops the listener; re-arm so the
+  // endpoint survives across cells.
+  if (!host->listening(port_)) host->listen(port_);
+  std::size_t served = 0;
+  for (const auto& conn : host->accepted(port_)) {
+    if (conn->closed()) continue;
+    const auto request = conn->poll(Endpoint::Server);
+    if (!request.has_value()) continue;
+    const std::string response =
+        status_http_response(*request, *board_, metrics_);
+    std::istringstream lines{response};
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      conn->send(Endpoint::Server, line);
+    }
+    conn->close();
+    ++served;
+  }
+  return served;
+}
+
+// ---------------------------------------------------------- TcpStatusServer
+
+TcpStatusServer::TcpStatusServer(std::uint16_t port,
+                                 const obs::StatusBoard* board,
+                                 MetricsProvider metrics)
+    : board_{board}, metrics_{std::move(metrics)} {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 8) < 0) {
+    ::close(fd);
+    return;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  thread_ = std::thread{[this] { serve(); }};
+}
+
+TcpStatusServer::~TcpStatusServer() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpStatusServer::serve() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100 /*ms; bounds shutdown latency*/);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    char buf[1024];
+    std::string request;
+    // Read until the first newline; one request per connection.
+    while (request.find('\n') == std::string::npos) {
+      const ssize_t n = ::read(client, buf, sizeof buf);
+      if (n <= 0) break;
+      request.append(buf, static_cast<std::size_t>(n));
+      if (request.size() > 8192) break;
+    }
+    const std::size_t eol = request.find('\n');
+    std::string line =
+        eol == std::string::npos ? request : request.substr(0, eol);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string response =
+        board_ != nullptr ? status_http_response(line, *board_, metrics_)
+                          : std::string{"HTTP/1.0 500 No Board\r\n\r\n"};
+    std::size_t off = 0;
+    while (off < response.size()) {
+      const ssize_t n =
+          ::write(client, response.data() + off, response.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace ii::net

@@ -1,0 +1,92 @@
+// Live /status + /metrics endpoint, in two transports.
+//
+// StatusServer speaks over the in-process network simulator: a Host
+// listens on a port, clients connect() and send a request line, pump()
+// answers. That keeps the protocol fully testable (and usable from
+// simulated guests) with zero platform dependencies — the same
+// synchronous, line-oriented discipline as the reverse-shell model.
+//
+// TcpStatusServer binds a real POSIX socket and serves the identical
+// payloads to curl/Prometheus on a background thread, for watching a long
+// campaign or checker run from outside the process. Both transports render
+// from the same StatusBoard snapshot, so they can never disagree.
+//
+// Protocol (both transports): the request is the first line — either a
+// bare path ("/status") or an HTTP request line ("GET /status HTTP/1.1");
+// header lines are ignored. The response is a minimal HTTP/1.0 message and
+// the connection closes after one exchange.
+//   /status   application/json   (render_status_json)
+//   /metrics  text/plain; version=0.0.4   (render_prometheus)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/network.hpp"
+#include "obs/status.hpp"
+
+namespace ii::net {
+
+/// Optional provider of a metrics snapshot appended to /metrics. Called on
+/// every request; must be safe to call from the serving thread.
+using MetricsProvider = std::function<obs::MetricsSnapshot()>;
+
+/// Build the full HTTP/1.0 response for one request line (shared by both
+/// transports; exposed for tests).
+[[nodiscard]] std::string status_http_response(
+    const std::string& request_line, const obs::StatusBoard& board,
+    const MetricsProvider& metrics);
+
+/// Simulator-backed endpoint: listens on `host`:`port` within `net`.
+class StatusServer {
+ public:
+  StatusServer(Network& net, std::string host, std::uint16_t port,
+               const obs::StatusBoard* board, MetricsProvider metrics = {});
+
+  /// Answer every connection that has a request line queued; returns the
+  /// number of requests served. Synchronous, like the rest of the sim.
+  std::size_t pump();
+
+  [[nodiscard]] const std::string& host() const { return host_name_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  Network& net_;
+  std::string host_name_;
+  std::uint16_t port_;
+  const obs::StatusBoard* board_;
+  MetricsProvider metrics_;
+};
+
+/// Real-socket endpoint: accepts TCP connections on 127.0.0.1:`port` and
+/// serves each with one response on a background thread. Pass port 0 for
+/// an ephemeral port (read it back with port()).
+class TcpStatusServer {
+ public:
+  TcpStatusServer(std::uint16_t port, const obs::StatusBoard* board,
+                  MetricsProvider metrics = {});
+  ~TcpStatusServer();
+
+  TcpStatusServer(const TcpStatusServer&) = delete;
+  TcpStatusServer& operator=(const TcpStatusServer&) = delete;
+
+  /// False when the socket could not be bound (the campaign still runs;
+  /// the endpoint is just absent).
+  [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void serve();
+
+  const obs::StatusBoard* board_;
+  MetricsProvider metrics_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace ii::net

@@ -70,6 +70,16 @@ std::string metrics_jsonl(const MetricsSnapshot& snapshot) {
   return os.str();
 }
 
+std::string span_jsonl(const std::string& path, const SpanNode& node) {
+  std::ostringstream os;
+  os << "{\"type\":\"span\",\"path\":\"" << json_escape(path) << "\",\"kind\":\""
+     << (node.kind == SpanKind::Sched ? "sched" : "det")
+     << "\",\"count\":" << node.count << ",\"steps\":" << node.steps
+     << ",\"total_steps\":" << node.total_steps()
+     << ",\"wall_us\":" << node.wall_ns / 1000 << '}';
+  return os.str();
+}
+
 void write_event(std::ostream& os, const TraceEvent& event,
                  const std::string& cell) {
   os << event_jsonl(event, cell) << '\n';
@@ -82,6 +92,44 @@ void write_events(std::ostream& os, std::span<const TraceEvent> events,
 
 void write_metrics(std::ostream& os, const MetricsSnapshot& snapshot) {
   os << metrics_jsonl(snapshot) << '\n';
+}
+
+namespace {
+
+void write_span_tree(std::ostream& os, const std::string& path,
+                     const SpanNode& node) {
+  os << span_jsonl(path, node) << '\n';
+  for (const auto& [name, child] : node.children) {
+    write_span_tree(os, path.empty() ? name : path + '/' + name, *child);
+  }
+}
+
+}  // namespace
+
+void write_spans(std::ostream& os, const SpanProfiler& profiler) {
+  for (const auto& [name, child] : profiler.root().children) {
+    write_span_tree(os, name, *child);
+  }
+}
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : path_{path}, os_{path, std::ios::trunc} {}
+
+void JsonlWriter::event(const TraceEvent& ev, const std::string& cell) {
+  write_event(os_, ev, cell);
+}
+
+void JsonlWriter::events(std::span<const TraceEvent> evs,
+                         const std::string& cell) {
+  write_events(os_, evs, cell);
+}
+
+void JsonlWriter::metrics(const MetricsSnapshot& snapshot) {
+  write_metrics(os_, snapshot);
+}
+
+void JsonlWriter::spans(const SpanProfiler& profiler) {
+  write_spans(os_, profiler);
 }
 
 }  // namespace ii::obs

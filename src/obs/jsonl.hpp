@@ -1,16 +1,19 @@
 // JSONL export of traces and metric snapshots.
 //
 // One JSON object per line, so downstream analysis can stream a campaign
-// trace with `jq`/pandas without loading it whole. Two record types:
+// trace with `jq`/pandas without loading it whole. Three record types:
 //   {"type":"trace", ...}    one per TraceEvent (optionally cell-tagged)
 //   {"type":"metrics", ...}  one per MetricsSnapshot
+//   {"type":"span", ...}     one per aggregated SpanProfiler tree node
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
 #include <span>
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace ii::obs {
@@ -26,11 +29,40 @@ namespace ii::obs {
 /// One metrics snapshot as a single JSON line (no trailing newline).
 [[nodiscard]] std::string metrics_jsonl(const MetricsSnapshot& snapshot);
 
+/// One span-tree node as a single JSON line (no trailing newline).
+/// `path` is the slash-joined location of `node` in its profiler's tree.
+/// Wall time rides along (this is a data export, not a cmp-gated render).
+[[nodiscard]] std::string span_jsonl(const std::string& path,
+                                     const SpanNode& node);
+
 /// Stream helpers: newline-terminated record(s).
 void write_event(std::ostream& os, const TraceEvent& event,
                  const std::string& cell = {});
 void write_events(std::ostream& os, std::span<const TraceEvent> events,
                   const std::string& cell = {});
 void write_metrics(std::ostream& os, const MetricsSnapshot& snapshot);
+/// Every node of the profiler's tree, preorder, one line each.
+void write_spans(std::ostream& os, const SpanProfiler& profiler);
+
+/// Owning JSONL file writer shared by the CLIs (campaign --trace,
+/// analysis --trace-out/--metrics-out): opens the file eagerly so flag
+/// typos fail before a long run, then appends typed records.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(const std::string& path);
+
+  /// False when the file could not be opened (or a write failed).
+  [[nodiscard]] bool ok() const { return static_cast<bool>(os_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void event(const TraceEvent& ev, const std::string& cell = {});
+  void events(std::span<const TraceEvent> evs, const std::string& cell = {});
+  void metrics(const MetricsSnapshot& snapshot);
+  void spans(const SpanProfiler& profiler);
+
+ private:
+  std::string path_;
+  std::ofstream os_;
+};
 
 }  // namespace ii::obs

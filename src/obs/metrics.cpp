@@ -35,6 +35,28 @@ void Histogram::record(std::uint64_t value) {
   if (value > max_) max_ = value;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument{"Histogram::merge bounds mismatch"};
+  }
+  merge_parts(other.buckets_, other.count_, other.sum_, other.min(),
+              other.max());
+}
+
+void Histogram::merge_parts(const std::vector<std::uint64_t>& buckets,
+                            std::uint64_t count, std::uint64_t sum,
+                            std::uint64_t min, std::uint64_t max) {
+  if (buckets.size() != buckets_.size()) {
+    throw std::invalid_argument{"Histogram::merge_parts bucket count mismatch"};
+  }
+  if (count == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += buckets[i];
+  if (count_ == 0 || min < min_) min_ = min;
+  if (max > max_) max_ = max;
+  count_ += count;
+  sum_ += sum;
+}
+
 double Histogram::percentile(double p) const {
   if (count_ == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
@@ -101,16 +123,11 @@ void MetricsRegistry::merge(const MetricsSnapshot& other) {
   for (const auto& [name, data] : other.histograms) {
     Histogram& h = histogram(name, data.bounds);
     if (h.bounds() == data.bounds) {
-      // Replay bucket midpoints so counts, sums and percentile estimates
-      // stay faithful to the source histogram's resolution.
-      for (std::size_t i = 0; i < data.buckets.size(); ++i) {
-        if (data.buckets[i] == 0) continue;
-        const std::uint64_t lo = i == 0 ? data.min : data.bounds[i - 1];
-        const std::uint64_t hi =
-            i < data.bounds.size() ? data.bounds[i] : data.max;
-        const std::uint64_t mid = lo + (hi - lo) / 2;
-        for (std::uint64_t n = 0; n < data.buckets[i]; ++n) h.record(mid);
-      }
+      // Exact bucket-wise fold: O(buckets) regardless of sample count, and
+      // count/sum/min/max/percentile inputs are preserved precisely, so
+      // merging per-worker histograms in any order yields one deterministic
+      // aggregate.
+      h.merge_parts(data.buckets, data.count, data.sum, data.min, data.max);
     } else {
       // Bounds mismatch: fold everything into the mean as a best effort.
       for (std::uint64_t n = 0; n < data.count; ++n) {

@@ -41,6 +41,18 @@ class Histogram {
 
   void record(std::uint64_t value);
 
+  /// Exact bucket-wise fold of another histogram with identical bounds:
+  /// buckets, count and sum add, min/max take the extremes. O(buckets),
+  /// independent of how many samples `other` holds, and deterministic under
+  /// any merge order — the per-worker aggregation path. Throws
+  /// std::invalid_argument on a bounds mismatch.
+  void merge(const Histogram& other);
+  /// Same fold from snapshot parts (the registry merge path). `buckets`
+  /// must have bounds().size() + 1 entries.
+  void merge_parts(const std::vector<std::uint64_t>& buckets,
+                   std::uint64_t count, std::uint64_t sum, std::uint64_t min,
+                   std::uint64_t max);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] std::uint64_t sum() const { return sum_; }
   [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }

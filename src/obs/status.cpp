@@ -1,0 +1,179 @@
+#include "obs/status.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ii::obs {
+
+void StatusBoard::campaign_begin(std::uint64_t cells_total, unsigned workers) {
+  cells_total_.store(cells_total, relaxed);
+  cells_done_.store(0, relaxed);
+  cells_failed_.store(0, relaxed);
+  retries_.store(0, relaxed);
+  quarantined_.store(0, relaxed);
+  recovered_.store(0, relaxed);
+  const std::uint64_t n =
+      std::min<std::uint64_t>(workers == 0 ? 1 : workers, kMaxWorkers);
+  workers_.store(n, relaxed);
+  for (std::uint64_t w = 0; w < n; ++w) heartbeat_[w].store(0, relaxed);
+  campaign_active_.store(true, relaxed);
+}
+
+void StatusBoard::cell_done(unsigned worker, bool failed) {
+  cells_done_.fetch_add(1, relaxed);
+  if (failed) cells_failed_.fetch_add(1, relaxed);
+  if (worker < kMaxWorkers) heartbeat_[worker].fetch_add(1, relaxed);
+}
+
+void StatusBoard::checker_begin() {
+  checker_depth_.store(0, relaxed);
+  checker_frontier_.store(0, relaxed);
+  checker_states_.store(0, relaxed);
+  checker_violations_.store(0, relaxed);
+  checker_active_.store(true, relaxed);
+}
+
+void StatusBoard::checker_depth(std::uint64_t depth, std::uint64_t frontier) {
+  checker_depth_.store(depth, relaxed);
+  checker_frontier_.store(frontier, relaxed);
+}
+
+void StatusBoard::checker_progress(std::uint64_t states,
+                                   std::uint64_t violations) {
+  checker_states_.store(states, relaxed);
+  checker_violations_.store(violations, relaxed);
+}
+
+StatusSnapshot StatusBoard::snapshot() const {
+  StatusSnapshot s;
+  s.campaign_active = campaign_active_.load(relaxed);
+  s.cells_total = cells_total_.load(relaxed);
+  s.cells_done = cells_done_.load(relaxed);
+  s.cells_failed = cells_failed_.load(relaxed);
+  s.retries = retries_.load(relaxed);
+  s.quarantined = quarantined_.load(relaxed);
+  s.recovered = recovered_.load(relaxed);
+  const std::uint64_t workers = workers_.load(relaxed);
+  s.worker_heartbeat.reserve(workers);
+  for (std::uint64_t w = 0; w < workers && w < kMaxWorkers; ++w) {
+    s.worker_heartbeat.push_back(heartbeat_[w].load(relaxed));
+  }
+  s.checker_active = checker_active_.load(relaxed);
+  s.checker_depth = checker_depth_.load(relaxed);
+  s.checker_frontier = checker_frontier_.load(relaxed);
+  s.checker_states = checker_states_.load(relaxed);
+  s.checker_violations = checker_violations_.load(relaxed);
+  return s;
+}
+
+std::string render_status_json(const StatusSnapshot& status) {
+  std::ostringstream os;
+  os << "{\"campaign\":{\"active\":"
+     << (status.campaign_active ? "true" : "false")
+     << ",\"cells_total\":" << status.cells_total
+     << ",\"cells_done\":" << status.cells_done
+     << ",\"cells_failed\":" << status.cells_failed
+     << ",\"retries\":" << status.retries
+     << ",\"quarantined\":" << status.quarantined
+     << ",\"recovered\":" << status.recovered << ",\"workers\":[";
+  for (std::size_t w = 0; w < status.worker_heartbeat.size(); ++w) {
+    if (w != 0) os << ',';
+    os << "{\"worker\":" << w
+       << ",\"cells_done\":" << status.worker_heartbeat[w] << '}';
+  }
+  os << "]},\"checker\":{\"active\":"
+     << (status.checker_active ? "true" : "false")
+     << ",\"depth\":" << status.checker_depth
+     << ",\"frontier\":" << status.checker_frontier
+     << ",\"states_explored\":" << status.checker_states
+     << ",\"violations\":" << status.checker_violations << "}}";
+  return os.str();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9' && !out.empty()) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string{"_"} : out;
+}
+
+void gauge(std::ostringstream& os, const char* name, const char* help,
+           std::uint64_t value, const char* type = "gauge") {
+  os << "# HELP " << name << ' ' << help << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+  os << name << ' ' << value << '\n';
+}
+
+}  // namespace
+
+std::string render_prometheus(const StatusSnapshot& status,
+                              const MetricsSnapshot* metrics) {
+  std::ostringstream os;
+  gauge(os, "ii_campaign_active", "1 while a campaign run is in progress",
+        status.campaign_active ? 1 : 0);
+  gauge(os, "ii_campaign_cells_total", "cells in the campaign matrix",
+        status.cells_total);
+  gauge(os, "ii_campaign_cells_done", "cells finished so far",
+        status.cells_done);
+  gauge(os, "ii_campaign_cells_failed", "cells that ended in failure",
+        status.cells_failed);
+  gauge(os, "ii_campaign_retries_total", "cell attempts beyond the first",
+        status.retries, "counter");
+  gauge(os, "ii_campaign_quarantined_total", "cells quarantined",
+        status.quarantined, "counter");
+  gauge(os, "ii_campaign_recovered_total", "cells recovered by ReHype",
+        status.recovered, "counter");
+  if (!status.worker_heartbeat.empty()) {
+    os << "# HELP ii_worker_cells_done cells finished per worker\n";
+    os << "# TYPE ii_worker_cells_done counter\n";
+    for (std::size_t w = 0; w < status.worker_heartbeat.size(); ++w) {
+      os << "ii_worker_cells_done{worker=\"" << w << "\"} "
+         << status.worker_heartbeat[w] << '\n';
+    }
+  }
+  gauge(os, "ii_checker_active", "1 while a model check is in progress",
+        status.checker_active ? 1 : 0);
+  gauge(os, "ii_checker_depth", "current exploration depth",
+        status.checker_depth);
+  gauge(os, "ii_checker_frontier", "states in the current frontier",
+        status.checker_frontier);
+  gauge(os, "ii_checker_states_explored", "unique states explored",
+        status.checker_states);
+  gauge(os, "ii_checker_violations", "invariant violations found",
+        status.checker_violations);
+
+  if (metrics != nullptr) {
+    for (const auto& [name, value] : metrics->counters) {
+      const std::string n = "ii_" + sanitize_metric_name(name);
+      os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+    }
+    for (const auto& [name, data] : metrics->histograms) {
+      const std::string n = "ii_" + sanitize_metric_name(name);
+      os << "# TYPE " << n << " histogram\n";
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+        cum += data.buckets[i];
+        os << n << "_bucket{le=\"";
+        if (i < data.bounds.size()) {
+          os << data.bounds[i];
+        } else {
+          os << "+Inf";
+        }
+        os << "\"} " << cum << '\n';
+      }
+      os << n << "_sum " << data.sum << '\n';
+      os << n << "_count " << data.count << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ii::obs

@@ -1,0 +1,92 @@
+// Live status board: lock-free progress counters shared between the
+// campaign/checker worker threads (writers) and a status endpoint reader.
+//
+// The board is the one deliberately *non*-deterministic piece of the
+// observability layer: it exists to answer "how far along is this run
+// right now", so a snapshot taken mid-run depends on scheduling. Nothing
+// rendered from it feeds a cmp-gated artifact. All fields are relaxed
+// atomics — readers tolerate slightly stale, torn-across-fields views in
+// exchange for writers paying a single uncontended store per update.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ii::obs {
+
+/// Value-type copy of a StatusBoard at one instant.
+struct StatusSnapshot {
+  bool campaign_active = false;
+  std::uint64_t cells_total = 0;
+  std::uint64_t cells_done = 0;
+  std::uint64_t cells_failed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t recovered = 0;
+  /// Per-worker heartbeat: monotonic count of cells the worker finished.
+  std::vector<std::uint64_t> worker_heartbeat;
+
+  bool checker_active = false;
+  std::uint64_t checker_depth = 0;
+  std::uint64_t checker_frontier = 0;
+  std::uint64_t checker_states = 0;
+  std::uint64_t checker_violations = 0;
+};
+
+class StatusBoard {
+ public:
+  static constexpr std::size_t kMaxWorkers = 64;
+
+  // -- campaign writers ----------------------------------------------------
+  void campaign_begin(std::uint64_t cells_total, unsigned workers);
+  void campaign_end() { campaign_active_.store(false, relaxed); }
+  void cell_done(unsigned worker, bool failed);
+  void add_retry() { retries_.fetch_add(1, relaxed); }
+  void add_quarantine() { quarantined_.fetch_add(1, relaxed); }
+  void add_recovered() { recovered_.fetch_add(1, relaxed); }
+
+  // -- checker writers -----------------------------------------------------
+  void checker_begin();
+  void checker_depth(std::uint64_t depth, std::uint64_t frontier);
+  void checker_progress(std::uint64_t states, std::uint64_t violations);
+  void checker_end() { checker_active_.store(false, relaxed); }
+
+  // -- reader --------------------------------------------------------------
+  [[nodiscard]] StatusSnapshot snapshot() const;
+
+ private:
+  static constexpr std::memory_order relaxed = std::memory_order_relaxed;
+
+  std::atomic<bool> campaign_active_{false};
+  std::atomic<std::uint64_t> cells_total_{0};
+  std::atomic<std::uint64_t> cells_done_{0};
+  std::atomic<std::uint64_t> cells_failed_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> recovered_{0};
+  std::atomic<std::uint64_t> workers_{0};
+  std::atomic<std::uint64_t> heartbeat_[kMaxWorkers]{};
+
+  std::atomic<bool> checker_active_{false};
+  std::atomic<std::uint64_t> checker_depth_{0};
+  std::atomic<std::uint64_t> checker_frontier_{0};
+  std::atomic<std::uint64_t> checker_states_{0};
+  std::atomic<std::uint64_t> checker_violations_{0};
+};
+
+/// /status payload: one JSON object (sorted, stable key order).
+[[nodiscard]] std::string render_status_json(const StatusSnapshot& status);
+
+/// /metrics payload: Prometheus text exposition format, version 0.0.4.
+/// Board gauges/counters first, then — when a metrics snapshot is supplied —
+/// every counter as `ii_<name>` and every histogram as the canonical
+/// _bucket/_sum/_count triple with cumulative le labels. Metric names are
+/// sanitized to [a-zA-Z0-9_:].
+[[nodiscard]] std::string render_prometheus(
+    const StatusSnapshot& status, const MetricsSnapshot* metrics = nullptr);
+
+}  // namespace ii::obs

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "analysis/model_checker.hpp"
+#include "obs/span.hpp"
+#include "obs/status.hpp"
 
 namespace ii::analysis {
 namespace {
@@ -248,6 +250,49 @@ TEST(ModelChecker, EngineStatsAreSeparateFromTheReport) {
   // ...but the report proper never mentions it (it is the one output that
   // would differ between thread counts).
   EXPECT_EQ(std::string::npos, render_report(result).find("snapshot engine"));
+}
+
+TEST(ModelChecker, DeterministicProfileIsIdenticalAcrossThreadCounts) {
+  // The dual-clock contract: the deterministic render (logical counts only)
+  // must be byte-identical at any --threads; scheduling-dependent phases
+  // appear only in the wall render, flagged with '*'.
+  std::string baseline;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    auto config = config_for(hv::kXen46, 2, /*grants=*/true);
+    config.threads = threads;
+    obs::SpanProfiler prof;
+    config.profiler = &prof;
+    (void)run_model_check(config);
+    const std::string det = render_profile(prof, /*include_wall=*/false);
+    if (baseline.empty()) {
+      baseline = det;
+      EXPECT_NE(det.find("check"), std::string::npos);
+      EXPECT_NE(det.find("expand"), std::string::npos);
+      EXPECT_NE(det.find("audit"), std::string::npos);
+    } else {
+      EXPECT_EQ(baseline, det) << "threads=" << threads;
+    }
+    if (threads > 1) {
+      const std::string wall = render_profile(prof, /*include_wall=*/true);
+      EXPECT_NE(wall.find("classify *"), std::string::npos);
+      EXPECT_NE(wall.find("merge *"), std::string::npos);
+      EXPECT_NE(wall.find("rederive *"), std::string::npos);
+      // None of those may leak into the cmp-gated deterministic render.
+      EXPECT_EQ(det.find("classify"), std::string::npos);
+    }
+  }
+}
+
+TEST(ModelChecker, StatusBoardTracksCheckerProgress) {
+  auto config = config_for(hv::kXen46, 2);
+  obs::StatusBoard board;
+  config.status = &board;
+  const auto result = run_model_check(config);
+  const obs::StatusSnapshot s = board.snapshot();
+  EXPECT_FALSE(s.checker_active);  // checker_end() ran
+  EXPECT_EQ(s.checker_states, result.states_explored);
+  EXPECT_EQ(s.checker_violations, result.violations_found);
+  EXPECT_EQ(s.checker_depth, 2u);
 }
 
 }  // namespace

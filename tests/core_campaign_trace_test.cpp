@@ -7,6 +7,8 @@
 
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "obs/span.hpp"
+#include "obs/status.hpp"
 
 namespace ii::core {
 namespace {
@@ -239,6 +241,58 @@ TEST(CampaignWarmReuse, SecondCellOnSameConfigIsAReuseHit) {
   // set: the rewind cost is a property of the cell, not of pool history.
   EXPECT_EQ(counter(results[0], "snapshot.frames_copied"),
             counter(results[1], "snapshot.frames_copied"));
+}
+
+TEST(CampaignProfile, SpanTreeCoversTheCellLifecycle) {
+  auto config = small_config(/*capture=*/false);
+  obs::SpanProfiler prof;
+  config.profiler = &prof;
+  const auto results = Campaign{config}.run(probe_cases());
+  ASSERT_EQ(results.size(), 4u);
+  const obs::SpanNode& root = prof.root();
+  ASSERT_NE(root.children.find("cell"), root.children.end());
+  const obs::SpanNode& cell = *root.children.at("cell");
+  EXPECT_EQ(cell.count, results.size());
+  for (const char* phase : {"acquire", "restore", "inject", "monitor"}) {
+    ASSERT_NE(cell.children.find(phase), cell.children.end()) << phase;
+  }
+  // Injection drove real hypercalls; their deterministic step counts land
+  // on the inject span via the trace-sink delta.
+  EXPECT_GT(cell.children.at("inject")->steps, 0u);
+  EXPECT_EQ(cell.children.at("inject")->count, results.size());
+}
+
+TEST(CampaignProfile, MergedParallelProfileMatchesSerial) {
+  // run_parallel records into per-worker lane profilers and merges after
+  // join; the aggregated deterministic render must equal a serial run's,
+  // at any worker count.
+  auto serial_config = small_config(/*capture=*/false);
+  obs::SpanProfiler serial_prof;
+  serial_config.profiler = &serial_prof;
+  (void)Campaign{serial_config}.run(probe_cases());
+  const std::string baseline = render_profile(serial_prof);
+  for (const unsigned workers : {1u, 3u}) {
+    auto config = small_config(/*capture=*/false);
+    obs::SpanProfiler prof;
+    config.profiler = &prof;
+    (void)Campaign{config}.run_parallel(probe_cases, workers);
+    EXPECT_EQ(baseline, render_profile(prof)) << "workers=" << workers;
+  }
+}
+
+TEST(CampaignProfile, StatusBoardSeesTheWholeMatrix) {
+  auto config = small_config(/*capture=*/false);
+  obs::StatusBoard board;
+  config.status = &board;
+  const auto results = Campaign{config}.run_parallel(probe_cases, 2);
+  const obs::StatusSnapshot s = board.snapshot();
+  EXPECT_FALSE(s.campaign_active);  // campaign_end() ran
+  EXPECT_EQ(s.cells_total, results.size());
+  EXPECT_EQ(s.cells_done, results.size());
+  ASSERT_EQ(s.worker_heartbeat.size(), 2u);
+  std::uint64_t heartbeat_sum = 0;
+  for (const std::uint64_t h : s.worker_heartbeat) heartbeat_sum += h;
+  EXPECT_EQ(heartbeat_sum, results.size());
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+// Status endpoint: JSON/Prometheus payloads, the sim-transport server, and
+// the real-socket transport.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/status_server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/status.hpp"
+
+namespace ii {
+namespace {
+
+/// Drain every line queued towards the client into one blob.
+std::string client_drain(net::Connection& conn) {
+  std::string out;
+  while (const auto line = conn.poll(net::Endpoint::Client)) {
+    out += *line;
+    out += '\n';
+  }
+  return out;
+}
+
+// StatusBoard holds atomics, so tests fill one in place.
+void make_busy(obs::StatusBoard& board) {
+  board.campaign_begin(48, 2);
+  board.cell_done(0, false);
+  board.cell_done(1, true);
+  board.cell_done(1, false);
+  board.add_retry();
+  board.add_quarantine();
+  board.checker_begin();
+  board.checker_depth(2, 13);
+  board.checker_progress(120, 4);
+}
+
+TEST(StatusJson, ReflectsBoardCounters) {
+  obs::StatusBoard board;
+  make_busy(board);
+  const std::string json = obs::render_status_json(board.snapshot());
+  EXPECT_NE(json.find("\"cells_total\":48"), std::string::npos);
+  EXPECT_NE(json.find("\"cells_done\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"cells_failed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"retries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"worker\":1,\"cells_done\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"frontier\":13"), std::string::npos);
+  EXPECT_NE(json.find("\"states_explored\":120"), std::string::npos);
+}
+
+TEST(Prometheus, ExpositionFormatIsValid) {
+  obs::StatusBoard board;
+  make_busy(board);
+  obs::MetricsRegistry reg;
+  reg.counter("trace.hypercall_enter").inc(7);
+  reg.histogram("cell.wall_us", {10, 100}).record(42);
+  const obs::MetricsSnapshot metrics = reg.snapshot();
+  const std::string text = obs::render_prometheus(board.snapshot(), &metrics);
+
+  // Every non-comment line must match the exposition grammar:
+  //   name{labels}? value
+  const std::regex line_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? [0-9][0-9.e+-]*$)");
+  std::istringstream is{text};
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_TRUE(std::regex_match(line, line_re)) << "bad line: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 10u);
+
+  // Every metric has HELP and TYPE headers before its first sample.
+  EXPECT_LT(text.find("# HELP ii_campaign_cells_done"),
+            text.find("\nii_campaign_cells_done"));
+  EXPECT_NE(text.find("# TYPE ii_campaign_retries_total counter"),
+            std::string::npos);
+
+  // Registry counters are sanitized (dots → underscores) and exported.
+  EXPECT_NE(text.find("ii_trace_hypercall_enter 7"), std::string::npos);
+
+  // Histograms: cumulative buckets ending in +Inf, plus _sum and _count.
+  EXPECT_NE(text.find("ii_cell_wall_us_bucket{le=\"10\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("ii_cell_wall_us_bucket{le=\"100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ii_cell_wall_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ii_cell_wall_us_sum 42"), std::string::npos);
+  EXPECT_NE(text.find("ii_cell_wall_us_count 1"), std::string::npos);
+}
+
+TEST(StatusServer, ServesSimClientsOnePerConnection) {
+  net::Network net;
+  obs::StatusBoard board;
+  board.campaign_begin(6, 1);
+  net::StatusServer server{net, "telemetry", 9090, &board};
+
+  net.add_host("operator");
+  const auto conn = net.connect("operator", "telemetry", 9090);
+  ASSERT_NE(conn, nullptr);
+  conn->send(net::Endpoint::Client, "GET /status HTTP/1.1");
+  EXPECT_EQ(server.pump(), 1u);
+  const std::string response = client_drain(*conn);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(response.find("\"cells_total\":6"), std::string::npos);
+  EXPECT_TRUE(conn->closed());  // one exchange per connection
+  EXPECT_EQ(server.pump(), 0u);  // nothing pending
+
+  // Bare-path request form and 404 handling.
+  const auto conn2 = net.connect("operator", "telemetry", 9090);
+  ASSERT_NE(conn2, nullptr);
+  conn2->send(net::Endpoint::Client, "/nope");
+  EXPECT_EQ(server.pump(), 1u);
+  EXPECT_NE(client_drain(*conn2).find("HTTP/1.0 404"), std::string::npos);
+}
+
+TEST(StatusServer, SurvivesHostResetAndServesMetrics) {
+  net::Network net;
+  obs::StatusBoard board;
+  net::StatusServer server{net, "telemetry", 9090, &board, [] {
+    obs::MetricsRegistry reg;
+    reg.counter("cells").inc(5);
+    return reg.snapshot();
+  }};
+  net.reset();  // warm-platform reuse drops all listeners
+  EXPECT_EQ(server.pump(), 0u);  // pump re-arms the listener
+
+  net.add_host("prom");
+  const auto conn = net.connect("prom", "telemetry", 9090);
+  ASSERT_NE(conn, nullptr);
+  conn->send(net::Endpoint::Client, "GET /metrics HTTP/1.0");
+  EXPECT_EQ(server.pump(), 1u);
+  const std::string response = client_drain(*conn);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("ii_cells 5"), std::string::npos);
+}
+
+/// Raw-socket round trip against the TCP transport (no curl dependency).
+std::string tcp_get(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = request + "\r\n\r\n";
+  (void)::write(fd, req.data(), req.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(TcpStatusServer, ServesOverRealSockets) {
+  obs::StatusBoard board;
+  board.campaign_begin(12, 3);
+  board.cell_done(2, false);
+  net::TcpStatusServer server{0 /*ephemeral*/, &board};
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string status = tcp_get(server.port(), "GET /status HTTP/1.1");
+  EXPECT_NE(status.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(status.find("\"cells_total\":12"), std::string::npos);
+  EXPECT_NE(status.find("\"worker\":2,\"cells_done\":1"), std::string::npos);
+
+  const std::string metrics = tcp_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("ii_campaign_cells_total 12"), std::string::npos);
+
+  const std::string missing = tcp_get(server.port(), "GET /x HTTP/1.1");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ii

@@ -2,10 +2,13 @@
 // export formats.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace ii::obs {
 namespace {
@@ -51,6 +54,96 @@ TEST(Histogram, PercentilesAreMonotonicAndBounded) {
   EXPECT_LE(p99, 1000.0);
   // Bucketed estimate: p50 of 1..1000 must land in the right ballpark.
   EXPECT_NEAR(p50, 500.0, 260.0);
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  // p=0 pins to the observed minimum, p=1 to the observed maximum, and
+  // out-of-range p clamps instead of extrapolating.
+  Histogram single{{10}};
+  for (int i = 0; i < 3; ++i) single.record(5);
+  EXPECT_DOUBLE_EQ(single.percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(single.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(single.percentile(-0.5), 5.0);
+  EXPECT_DOUBLE_EQ(single.percentile(1.5), 5.0);
+
+  // Values beyond the last bound land in the overflow bucket, whose upper
+  // edge is the observed max — estimates never leave [min, max].
+  Histogram overflow{{10}};
+  overflow.record(100);
+  overflow.record(200);
+  EXPECT_DOUBLE_EQ(overflow.percentile(0.5), 150.0);
+  EXPECT_GE(overflow.percentile(0.0), 100.0);
+  EXPECT_LE(overflow.percentile(1.0), 200.0);
+
+  // Empty histogram: every percentile is 0 (no samples to bound it).
+  Histogram empty{{10}};
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, MergeFoldsBucketsExactly) {
+  const std::vector<std::uint64_t> bounds{10, 100, 1000};
+  Histogram a{bounds};
+  Histogram b{bounds};
+  Histogram reference{bounds};
+  for (const std::uint64_t v : {5u, 50u, 500u}) {
+    a.record(v);
+    reference.record(v);
+  }
+  for (const std::uint64_t v : {7u, 70u, 7000u}) {
+    b.record(v);
+    reference.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), reference.count());
+  EXPECT_EQ(a.sum(), reference.sum());
+  EXPECT_EQ(a.min(), reference.min());
+  EXPECT_EQ(a.max(), reference.max());
+  EXPECT_EQ(a.buckets(), reference.buckets());
+  // Bucket-exact fold ⇒ identical percentile estimates, not just counts.
+  EXPECT_DOUBLE_EQ(a.percentile(0.95), reference.percentile(0.95));
+}
+
+TEST(Histogram, MergeRejectsMismatchedBounds) {
+  Histogram a{{10, 100}};
+  Histogram b{{10, 200}};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, MergeOfEmptyIsIdentityBothWays) {
+  Histogram a{{10}};
+  a.record(5);
+  Histogram empty{{10}};
+  a.merge(empty);  // empty rhs: nothing changes (min must not become 0)
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5u);
+  empty.merge(a);  // empty lhs adopts rhs extremes
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 5u);
+  EXPECT_EQ(empty.max(), 5u);
+}
+
+TEST(MetricsRegistry, MergedPercentilesMatchSingleRegistry) {
+  // Worker registries merged into a total must report the same histogram
+  // shape a single-threaded run records — the property the campaign's
+  // per-worker aggregation depends on.
+  MetricsRegistry w1;
+  MetricsRegistry w2;
+  MetricsRegistry serial;
+  const auto bounds = Histogram::exponential_bounds(16, 2, 10);
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    (v % 2 == 0 ? w1 : w2).histogram("ns", bounds).record(v * 7);
+    serial.histogram("ns", bounds).record(v * 7);
+  }
+  MetricsRegistry total;
+  total.merge(w1.snapshot());
+  total.merge(w2.snapshot());
+  const auto merged = total.snapshot().histograms.at("ns");
+  const auto expected = serial.snapshot().histograms.at("ns");
+  EXPECT_EQ(merged.buckets, expected.buckets);
+  EXPECT_DOUBLE_EQ(merged.p50, expected.p50);
+  EXPECT_DOUBLE_EQ(merged.p95, expected.p95);
+  EXPECT_DOUBLE_EQ(merged.p99, expected.p99);
 }
 
 TEST(Histogram, RejectsUnsortedBounds) {
@@ -169,6 +262,45 @@ TEST(Jsonl, StreamHelpersAreNewlineTerminated) {
   const std::string out = os.str();
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
   EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Jsonl, SpanLineFormat) {
+  SpanProfiler prof;
+  prof.add({kSpanCell, kSpanInject}, 2, 79);
+  const SpanNode& cell = *prof.root().children.at("cell");
+  const std::string line = span_jsonl("cell/inject",
+                                      *cell.children.at("inject"));
+  EXPECT_EQ(line.rfind("{\"type\":\"span\",\"path\":\"cell/inject\","
+                       "\"kind\":\"det\",\"count\":2,\"steps\":79,"
+                       "\"total_steps\":79,",
+                       0),
+            0u);
+}
+
+TEST(Jsonl, WriterAppendsTypedRecords) {
+  const std::string path = ::testing::TempDir() + "jsonl_writer_test.jsonl";
+  {
+    JsonlWriter writer{path};
+    ASSERT_TRUE(writer.ok());
+    writer.event(TraceEvent{}, "cell");
+    MetricsRegistry reg;
+    reg.counter("c").inc();
+    writer.metrics(reg.snapshot());
+    SpanProfiler prof;
+    prof.add({kSpanCell}, 1, 3);
+    writer.spans(prof);
+  }
+  std::ifstream in{path};
+  std::string line;
+  std::vector<std::string> kinds;
+  while (std::getline(in, line)) {
+    kinds.push_back(line.substr(0, line.find(',')));
+  }
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], "{\"type\":\"trace\"");
+  EXPECT_EQ(kinds[1], "{\"type\":\"metrics\"");
+  EXPECT_EQ(kinds[2], "{\"type\":\"span\"");
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,242 @@
+// Deterministic span profiler: tree aggregation, Det/Sched separation,
+// per-worker merge, renders, and the zero-instrumentation null path.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace ii::obs {
+namespace {
+
+TEST(SpanProfiler, NestedScopesBuildATree) {
+  SpanProfiler prof;
+  {
+    ScopedSpan cell{&prof, kSpanCell};
+    {
+      ScopedSpan inject{&prof, kSpanInject};
+      inject.add_steps(7);
+    }
+    { ScopedSpan monitor{&prof, kSpanMonitor}; }
+    { ScopedSpan inject{&prof, kSpanInject}; }
+  }
+  const SpanNode& root = prof.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const SpanNode& cell = *root.children.at("cell");
+  EXPECT_EQ(cell.count, 1u);
+  ASSERT_EQ(cell.children.size(), 2u);
+  EXPECT_EQ(cell.children.at("inject")->count, 2u);
+  EXPECT_EQ(cell.children.at("inject")->steps, 7u);
+  EXPECT_EQ(cell.children.at("monitor")->count, 1u);
+  EXPECT_EQ(cell.total_steps(), 7u);
+}
+
+TEST(SpanProfiler, AddRecordsAtAbsolutePathWithoutMovingCursor) {
+  SpanProfiler prof;
+  ScopedSpan cell{&prof, kSpanCell};
+  prof.add({kSpanCheck, "d1", kSpanExpand}, 1, 36);
+  EXPECT_EQ(prof.current_path(), "cell");
+  const SpanNode& expand =
+      *prof.root().children.at("check")->children.at("d1")->children.at(
+          "expand");
+  EXPECT_EQ(expand.count, 1u);
+  EXPECT_EQ(expand.steps, 36u);
+}
+
+TEST(SpanProfiler, StepSourceCreditsSinkDeltaEvenOnThrow) {
+  SpanProfiler prof;
+  TraceSink sink{16, 0};
+  sink.emit(TraceCategory::Injection, 1);  // pre-span noise, not credited
+  try {
+    ScopedSpan span{&prof, kSpanInject, SpanKind::Det, &sink};
+    sink.emit(TraceCategory::Injection, 1);
+    sink.emit(TraceCategory::Injection, 1);
+    throw std::runtime_error{"attempt failed"};
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(prof.root().children.at("inject")->steps, 2u);
+}
+
+TEST(SpanProfiler, SchedExcludedFromDeterministicTotals) {
+  SpanProfiler prof;
+  prof.add({kSpanCheck, "d1", kSpanExpand}, 1, 36);
+  prof.add({kSpanCheck, "d1", kSpanClassify}, 1, 999, SpanKind::Sched);
+  const SpanNode& check = *prof.root().children.at("check");
+  // Det roll-up skips the Sched classify subtree; the full roll-up keeps it.
+  EXPECT_EQ(check.total_steps(false), 36u);
+  EXPECT_EQ(check.total_steps(true), 36u + 999u);
+  // A Sched leaf must not taint its Det ancestors out of the det render.
+  EXPECT_EQ(check.kind, SpanKind::Det);
+  EXPECT_EQ(check.children.at("d1")->kind, SpanKind::Det);
+  EXPECT_EQ(check.children.at("d1")->children.at("classify")->kind,
+            SpanKind::Sched);
+}
+
+TEST(SpanProfiler, SchedKindIsStickyPerNode) {
+  SpanProfiler prof;
+  prof.add({kSpanMerge}, 1, 1, SpanKind::Sched);
+  prof.add({kSpanMerge}, 1, 1, SpanKind::Det);  // same node, Det site
+  EXPECT_EQ(prof.root().children.at("merge")->kind, SpanKind::Sched);
+}
+
+TEST(SpanProfiler, MergeIsOrderIndependent) {
+  const auto fill_a = [](SpanProfiler& p) {
+    p.add({kSpanCell, kSpanInject}, 1, 10);
+    p.add({kSpanCell, kSpanRestore}, 1, 3);
+  };
+  const auto fill_b = [](SpanProfiler& p) {
+    p.add({kSpanCell, kSpanInject}, 2, 20);
+    p.add({kSpanCell, kSpanRecover}, 1, 5);
+  };
+  SpanProfiler ab;
+  SpanProfiler ba;
+  {
+    SpanProfiler a;
+    SpanProfiler b;
+    fill_a(a);
+    fill_b(b);
+    ab.merge(a);
+    ab.merge(b);
+    ba.merge(b);
+    ba.merge(a);
+  }
+  EXPECT_EQ(render_profile(ab), render_profile(ba));
+  const SpanNode& cell = *ab.root().children.at("cell");
+  EXPECT_EQ(cell.children.at("inject")->count, 3u);
+  EXPECT_EQ(cell.children.at("inject")->steps, 30u);
+  EXPECT_EQ(cell.total_steps(), 38u);
+}
+
+TEST(SpanProfiler, DeterministicRenderOmitsWallAndSched) {
+  SpanProfiler prof;
+  {
+    ScopedSpan cell{&prof, kSpanCell};
+    cell.add_steps(4);
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  prof.add({kSpanClassify}, 1, 9, SpanKind::Sched);
+  const std::string det = render_profile(prof, false);
+  EXPECT_NE(det.find("cell"), std::string::npos);
+  EXPECT_EQ(det.find("classify"), std::string::npos);
+  EXPECT_EQ(det.find("wall"), std::string::npos);
+  const std::string wall = render_profile(prof, true);
+  EXPECT_NE(wall.find("classify *"), std::string::npos);
+  EXPECT_NE(wall.find("wall us"), std::string::npos);
+  // The slept span accumulated real wall time, visible only in wall mode.
+  EXPECT_GE(prof.root().children.at("cell")->wall_ns, 1000000u);
+}
+
+TEST(SpanProfiler, RenderIsIndependentOfInsertionOrder) {
+  SpanProfiler first;
+  first.add({kSpanCell, kSpanInject}, 1, 1);
+  first.add({kSpanCell, kSpanAcquire}, 1, 1);
+  SpanProfiler second;
+  second.add({kSpanCell, kSpanAcquire}, 1, 1);
+  second.add({kSpanCell, kSpanInject}, 1, 1);
+  EXPECT_EQ(render_profile(first), render_profile(second));
+}
+
+TEST(SpanProfiler, ChromeTraceRecordsCompleteEvents) {
+  SpanProfiler prof;
+  prof.set_record_events(true);
+  prof.set_tid(3);
+  {
+    ScopedSpan cell{&prof, kSpanCell};
+    ScopedSpan inject{&prof, kSpanInject};
+    inject.add_steps(5);
+  }
+  ASSERT_EQ(prof.events().size(), 2u);  // inject closes before cell
+  EXPECT_EQ(prof.events()[0].path, "cell/inject");
+  EXPECT_EQ(prof.events()[1].path, "cell");
+  EXPECT_EQ(prof.events()[0].tid, 3u);
+  const std::string json = chrome_trace_json(prof);
+  EXPECT_NE(json.find("\"name\":\"cell/inject\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"steps\":5}"), std::string::npos);
+  // Events off (the default): the export degrades to an empty array.
+  SpanProfiler quiet;
+  { ScopedSpan cell{&quiet, kSpanCell}; }
+  EXPECT_EQ(chrome_trace_json(quiet), "{\"traceEvents\":[]}");
+}
+
+TEST(ScopedSpan, AbsolutePathEventInsideAnOpenSpanIsNotPrefixed) {
+  // The checker's main profiler opens "check" and then records absolute
+  // {check, d1, classify} spans inside it; the event path must be the
+  // node's root path, not the cursor stack ("check/check/d1/classify").
+  SpanProfiler prof;
+  prof.set_record_events(true);
+  {
+    ScopedSpan check{&prof, kSpanCheck};
+    ScopedSpan classify{&prof, {kSpanCheck, "d1", kSpanClassify},
+                        SpanKind::Sched};
+  }
+  ASSERT_EQ(prof.events().size(), 2u);
+  EXPECT_EQ(prof.events()[0].path, "check/d1/classify");
+  EXPECT_EQ(prof.events()[1].path, "check");
+}
+
+TEST(ScopedSpan, NullProfilerIsANoOp) {
+  ScopedSpan span{nullptr, kSpanCell};
+  span.add_steps(100);
+  span.end();  // must not crash
+  ScopedSpan path_span{nullptr, {kSpanCheck, "d1", kSpanExpand}};
+  SUCCEED();
+}
+
+TEST(ScopedSpan, EndIsIdempotentAndClosesEarly) {
+  SpanProfiler prof;
+  ScopedSpan outer{&prof, kSpanCheck};
+  {
+    ScopedSpan inner{&prof, kSpanClassify, SpanKind::Sched};
+    inner.end();
+    EXPECT_EQ(prof.current_path(), "check");  // closed before scope exit
+    inner.end();  // second end: no double-exit
+    inner.add_steps(9);  // after end: dropped, not misattributed
+  }
+  EXPECT_EQ(prof.root().children.at("check")->children.at("classify")->steps,
+            0u);
+  EXPECT_EQ(prof.current_path(), "check");
+}
+
+TEST(ScopedSpan, PathConstructorUnwindsAllLevels) {
+  SpanProfiler prof;
+  {
+    ScopedSpan span{&prof, {kSpanCheck, "d2", kSpanAudit}};
+    EXPECT_EQ(prof.current_path(), "check/d2/audit");
+  }
+  EXPECT_EQ(prof.current_path(), "");
+  // Only the leaf's count increments; intermediates are containers.
+  EXPECT_EQ(prof.root().children.at("check")->count, 0u);
+  EXPECT_EQ(prof.root().children.at("check")->children.at("d2")->count, 0u);
+  EXPECT_EQ(prof.root()
+                .children.at("check")
+                ->children.at("d2")
+                ->children.at("audit")
+                ->count,
+            1u);
+}
+
+TEST(SpanProfiler, ResetRequiresClosedCursorAndClearsState) {
+  SpanProfiler prof;
+  prof.add({kSpanCell}, 1, 1);
+  prof.enter(kSpanCell);
+  EXPECT_THROW(prof.reset(), std::logic_error);
+  prof.exit();
+  prof.reset();
+  EXPECT_TRUE(prof.root().children.empty());
+}
+
+TEST(SpanNames, EveryRegisteredNameHasADescription) {
+  const auto names = registered_span_names();
+  EXPECT_GE(names.size(), 20u);
+  for (const std::string_view name : names) {
+    EXPECT_FALSE(span_name_description(name).empty())
+        << "span name without a render-name table row: " << name;
+  }
+  EXPECT_TRUE(span_name_description("d1").empty());  // dynamic segment
+}
+
+}  // namespace
+}  // namespace ii::obs

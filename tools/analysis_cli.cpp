@@ -6,6 +6,8 @@
 //                [--max-states N] [--max-counterexamples N] [--threads N]
 //                [--expect vulnerable|clean] [--allow-truncated]
 //                [--stats] [--quiet]
+//                [--profile] [--profile-wall] [--metrics-out FILE]
+//                [--trace-out FILE] [--chrome-trace FILE] [--status-port N]
 //
 // Explores every guest-issuable operation sequence up to --depth against
 // the selected version policy and prints which of the paper's erroneous
@@ -18,13 +20,31 @@
 //   --expect clean       exit 0 iff no invariant violation exists at all
 //                        AND the space was fully covered (a run truncated
 //                        at --max-states fails unless --allow-truncated)
+//
+// Telemetry:
+//   --profile       print the deterministic span profile (per-depth
+//                   expand/audit work; byte-identical at any --threads)
+//   --profile-wall  print the full profile with wall time and the
+//                   scheduling-dependent classify/merge/re-derive spans
+//   --metrics-out   append one {"type":"metrics"} JSONL record of the
+//                   checker counters
+//   --trace-out     append {"type":"span"} JSONL records (tree + wall)
+//   --chrome-trace  write a Chrome trace-event JSON (chrome://tracing)
+//   --status-port   serve /status and /metrics over TCP while running
+//                   (port 0 picks an ephemeral port, printed to stderr)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "analysis/model_checker.hpp"
+#include "net/status_server.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/span.hpp"
+#include "obs/status.hpp"
 
 namespace {
 
@@ -37,7 +57,10 @@ int usage() {
       "                    [--max-states N] [--max-counterexamples N] "
       "[--threads N]\n"
       "                    [--expect vulnerable|clean] [--allow-truncated]\n"
-      "                    [--stats] [--quiet]");
+      "                    [--stats] [--quiet]\n"
+      "                    [--profile] [--profile-wall] [--metrics-out FILE]\n"
+      "                    [--trace-out FILE] [--chrome-trace FILE]\n"
+      "                    [--status-port N]");
   return 2;
 }
 
@@ -61,6 +84,13 @@ int main(int argc, char** argv) {
   bool allow_truncated = false;
   bool show_stats = false;
   bool machine_frames_set = false;
+  bool show_profile = false;
+  bool show_profile_wall = false;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string chrome_trace;
+  bool status_port_set = false;
+  std::uint64_t status_port = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -122,6 +152,27 @@ int main(int argc, char** argv) {
       show_stats = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--profile") {
+      show_profile = true;
+    } else if (arg == "--profile-wall") {
+      show_profile_wall = true;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      trace_out = v;
+    } else if (arg == "--chrome-trace") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      chrome_trace = v;
+    } else if (arg == "--status-port") {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, &n) || n > 65535) return usage();
+      status_port = n;
+      status_port_set = true;
     } else {
       return usage();
     }
@@ -135,6 +186,30 @@ int main(int argc, char** argv) {
                                config.guest_domains * config.domain_pages +
                                16 /*exchange slack*/;
     if (need > config.machine_frames) config.machine_frames = need;
+  }
+
+  const bool want_profile = show_profile || show_profile_wall ||
+                            !trace_out.empty() || !chrome_trace.empty();
+  obs::SpanProfiler profiler;
+  obs::StatusBoard board;
+  if (want_profile) {
+    profiler.set_record_events(!chrome_trace.empty());
+    config.profiler = &profiler;
+  }
+
+  std::unique_ptr<net::TcpStatusServer> server;
+  if (status_port_set) {
+    config.status = &board;
+    server = std::make_unique<net::TcpStatusServer>(
+        static_cast<std::uint16_t>(status_port), &board,
+        net::MetricsProvider{});
+    if (!server->running()) {
+      std::fprintf(stderr, "analysis_cli: cannot listen on port %llu\n",
+                   static_cast<unsigned long long>(status_port));
+      return 4;
+    }
+    std::fprintf(stderr, "analysis_cli: status server on port %u\n",
+                 server->port());
   }
 
   analysis::ModelCheckResult result;
@@ -151,6 +226,50 @@ int main(int argc, char** argv) {
     // Scheduling-dependent counters, kept off the default output so runs at
     // different --threads stay byte-identical.
     std::fputs(analysis::render_engine_stats(result).c_str(), stdout);
+  }
+  if (show_profile) {
+    // Deterministic render only: safe next to render_report in cmp gates.
+    std::fputs(obs::render_profile(profiler, false).c_str(), stdout);
+  }
+  if (show_profile_wall) {
+    std::fputs(obs::render_profile(profiler, true).c_str(), stdout);
+  }
+
+  if (!metrics_out.empty()) {
+    obs::JsonlWriter writer{metrics_out};
+    if (!writer.ok()) {
+      std::fprintf(stderr, "analysis_cli: cannot write %s\n",
+                   metrics_out.c_str());
+      return 4;
+    }
+    obs::MetricsSnapshot snapshot;
+    snapshot.counters["check.states_explored"] = result.states_explored;
+    snapshot.counters["check.ops_applied"] = result.ops_applied;
+    snapshot.counters["check.states_deduped"] = result.states_deduped;
+    snapshot.counters["check.failed_ops"] = result.failed_ops;
+    snapshot.counters["check.violations_found"] = result.violations_found;
+    snapshot.counters["check.truncated"] = result.truncated ? 1 : 0;
+    snapshot.counters["snapshot.frames_copied"] = result.snapshot_frames_copied;
+    snapshot.counters["hash.frames_rehashed"] = result.hash_frames_rehashed;
+    writer.metrics(snapshot);
+  }
+  if (!trace_out.empty()) {
+    obs::JsonlWriter writer{trace_out};
+    if (!writer.ok()) {
+      std::fprintf(stderr, "analysis_cli: cannot write %s\n",
+                   trace_out.c_str());
+      return 4;
+    }
+    writer.spans(profiler);
+  }
+  if (!chrome_trace.empty()) {
+    std::ofstream os{chrome_trace, std::ios::trunc};
+    os << obs::chrome_trace_json(profiler) << '\n';
+    if (!os) {
+      std::fprintf(stderr, "analysis_cli: cannot write %s\n",
+                   chrome_trace.c_str());
+      return 4;
+    }
   }
 
   if (!expect.empty()) {
