@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Chaos soak: drive campaign_cli through seeded fault plans and gate on
+# the robustness contract (DESIGN.md §14):
+#
+#   1. determinism — the same --chaos-seed/--chaos-plan twice produces a
+#      byte-identical fault schedule log (cmp);
+#   2. absorption  — a campaign under journal/worker/recovery faults still
+#      terminates and its CSV report is byte-identical (cmp) to the
+#      fault-free baseline;
+#   3. resume      — a campaign killed by a supervisor.kill fault exits 3
+#      with an intact journal, and resuming (repeatedly, if the plan kills
+#      a resume too) converges to the byte-identical baseline CSV;
+#   4. degradation — a status server whose sends all fail never takes the
+#      campaign down.
+#
+# Everything runs --threads 1 --deterministic: the fault *decisions* are
+# thread-count independent, but attributing occurrence indices to threads
+# is not, and the schedule log itself is a cmp gate here (see chaos.hpp).
+#
+# Usage: bench/chaos_soak.sh [build-dir] [n-seeds]
+set -u
+
+build="${1:-build}"
+nseeds="${2:-8}"
+cli="$build/examples/campaign_cli"
+[ -x "$cli" ] || { echo "chaos_soak: $cli not built" >&2; exit 2; }
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+fail=0
+note() { echo "chaos_soak: $*"; }
+bad() { echo "chaos_soak: FAIL: $*" >&2; fail=1; }
+
+# Small matrix, fixed shape: every run below must render this exact CSV.
+common=(--case XSA-212-priv --threads 1 --deterministic --retries 2 --recover --csv)
+
+note "baseline (fault-free)"
+"$cli" "${common[@]}" > "$work/baseline.csv" || { bad "baseline run failed"; exit 1; }
+
+# Faults the harness must absorb without changing the report: lost/torn
+# journal lines, flush errors, worker crashes and stalls. These are
+# invisible to cell results by design — a crashed worker's use case re-runs
+# to the identical values. cell.alloc_fail and recover.abort are *not* in
+# this plan: they legitimately change the report (attempts/recovered
+# columns record that the retry ladder ran), so they get a containment
+# gate below instead. net.drop is absent for the same reason (dropping
+# attack-sim traffic changes use-case verdicts; unit tests cover it), and
+# status.send_fail is gated separately at the end.
+plan='journal.write_fail=100,journal.torn=100,journal.fsync_fail=100'
+plan="$plan,worker.crash=200,worker.stall=50"
+
+# Faults whose effect is *visible* in the report but must stay contained:
+# the campaign exits 0, every fault lands in the schedule log, and the
+# schedule is reproducible.
+contain_plan='cell.alloc_fail=150,recover.abort=300'
+
+for seed in $(seq 1 "$nseeds"); do
+  j="$work/j$seed.jsonl"
+
+  # Gate 2: faults absorbed, report identical.
+  "$cli" "${common[@]}" --journal "$j" \
+         --chaos-seed "$seed" --chaos-plan "$plan" \
+         --chaos-log "$work/logA$seed" > "$work/runA$seed.csv"
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    bad "seed $seed: chaos run exited $rc"
+    continue
+  fi
+  cmp -s "$work/runA$seed.csv" "$work/baseline.csv" \
+    || bad "seed $seed: chaos CSV differs from baseline"
+
+  # Gate 1: same seed + same plan => byte-identical schedule.
+  rm -f "$j"
+  "$cli" "${common[@]}" --journal "$j" \
+         --chaos-seed "$seed" --chaos-plan "$plan" \
+         --chaos-log "$work/logB$seed" > /dev/null \
+    || bad "seed $seed: repeat chaos run failed"
+  cmp -s "$work/logA$seed" "$work/logB$seed" \
+    || bad "seed $seed: fault schedule not reproducible"
+
+  # Containment gate: visible faults retry/degrade but never take the
+  # campaign down, and their schedule is reproducible too.
+  "$cli" "${common[@]}" \
+         --chaos-seed "$seed" --chaos-plan "$contain_plan" \
+         --chaos-log "$work/logC$seed" > /dev/null \
+    || bad "seed $seed: containment run failed"
+  "$cli" "${common[@]}" \
+         --chaos-seed "$seed" --chaos-plan "$contain_plan" \
+         --chaos-log "$work/logD$seed" > /dev/null \
+    || bad "seed $seed: repeat containment run failed"
+  cmp -s "$work/logC$seed" "$work/logD$seed" \
+    || bad "seed $seed: containment schedule not reproducible"
+
+  # Gate 3: kill mid-campaign (after the seed-th journal append), resume
+  # until done, converge to the baseline CSV. Resumes append fewer fresh
+  # cells each round, so a kill-looping plan still converges; cap the
+  # rounds anyway.
+  # The matrix has 6 cells, so the kill occurrence must stay in 1..6 (a
+  # later occurrence never fires). Each CLI invocation is a fresh engine,
+  # so the same occurrence re-fires on every resume round — convergence
+  # still holds because each round journals kill_occ more cells.
+  kill_occ=$(( (seed - 1) % 6 + 1 ))
+  k="$work/k$seed.jsonl"
+  rm -f "$k"
+  "$cli" "${common[@]}" --journal "$k" \
+         --chaos-seed "$seed" --chaos-plan "supervisor.kill@$kill_occ" \
+         > /dev/null 2>&1
+  rc=$?
+  if [ "$rc" -ne 3 ]; then
+    bad "seed $seed: kill run exited $rc, want 3"
+    continue
+  fi
+  rounds=0 rc=3
+  while [ "$rc" -eq 3 ] && [ "$rounds" -lt 15 ]; do
+    "$cli" "${common[@]}" --journal "$k" --resume \
+           --chaos-seed "$seed" --chaos-plan "supervisor.kill@$kill_occ" \
+           > "$work/resumed$seed.csv" 2>/dev/null
+    rc=$?
+    rounds=$((rounds + 1))
+  done
+  if [ "$rc" -ne 0 ]; then
+    bad "seed $seed: resume never completed (rc=$rc after $rounds rounds)"
+    continue
+  fi
+  cmp -s "$work/resumed$seed.csv" "$work/baseline.csv" \
+    || bad "seed $seed: resumed CSV differs from baseline"
+  note "seed $seed ok (resume converged in $rounds round(s))"
+done
+
+# Gate 4: telemetry degradation. Every response send fails; the campaign
+# must still exit 0 with the baseline report while the server soaks up the
+# errors. The poller's request count is nondeterministic, so no cmp on the
+# schedule here — the gate is campaign survival + report identity.
+note "status.send_fail degradation"
+"$cli" "${common[@]}" --status-port 0 \
+       --chaos-seed 99 --chaos-plan 'status.send_fail=1000' \
+       > "$work/status.csv" 2>"$work/status.err" &
+cli_pid=$!
+port=''
+for _ in $(seq 1 50); do
+  port=$(sed -n 's/.*status server on port \([0-9]*\).*/\1/p' "$work/status.err")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -n "$port" ]; then
+  # Poke the endpoint while the campaign runs; failures are the point.
+  curl -s -m 2 "http://127.0.0.1:$port/status" > /dev/null 2>&1 || true
+  curl -s -m 2 "http://127.0.0.1:$port/metrics" > /dev/null 2>&1 || true
+fi
+wait "$cli_pid"
+rc=$?
+[ "$rc" -eq 0 ] || bad "status degradation run exited $rc"
+cmp -s "$work/status.csv" "$work/baseline.csv" \
+  || bad "status degradation run changed the report"
+
+if [ "$fail" -ne 0 ]; then
+  echo "chaos_soak: FAILED"
+  exit 1
+fi
+note "OK ($nseeds seeds)"

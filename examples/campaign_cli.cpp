@@ -10,6 +10,8 @@
 //                [--journal FILE.jsonl] [--resume]
 //                [--profile] [--profile-wall] [--metrics-out FILE]
 //                [--chrome-trace FILE] [--status-port N] [--status-hold SEC]
+//                [--chaos-seed N] [--chaos-plan SPEC] [--chaos-log FILE]
+//                [--backoff-us N]
 //
 // With no arguments it runs the full paper matrix and prints the RQ1 and
 // Table III reports. --trace captures the full per-cell event stream and
@@ -36,6 +38,15 @@
 //                   runs (port 0 picks an ephemeral port, printed to stderr)
 //   --status-hold   keep the status server up SEC seconds after the run
 //                   finishes (CI smoke tests poll it)
+//
+// Chaos (DESIGN.md §14): --chaos-seed + --chaos-plan arm the deterministic
+// fault-injection engine against the harness itself. A plan is a comma
+// list of "point=permille" rates and "point@occurrence" single shots over
+// the registered chaos points (see chaos.cpp). Same seed + same plan =>
+// byte-identical fault schedule; --chaos-log writes that schedule after
+// the run (including a killed one). A supervisor.kill fault exits with
+// status 3 — the journal is intact and --resume continues the campaign.
+// --backoff-us sets the supervisor's retry backoff base delay.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +57,7 @@
 #include <string>
 #include <thread>
 
+#include "core/chaos.hpp"
 #include "core/report.hpp"
 #include "core/supervisor.hpp"
 #include "net/status_server.hpp"
@@ -77,7 +89,9 @@ int usage() {
       "FILE.jsonl] [--resume] [--preflight]\n"
       "                    [--profile] [--profile-wall] [--metrics-out FILE] "
       "[--chrome-trace FILE]\n"
-      "                    [--status-port N] [--status-hold SEC]");
+      "                    [--status-port N] [--status-hold SEC]\n"
+      "                    [--chaos-seed N] [--chaos-plan SPEC] [--chaos-log "
+      "FILE] [--backoff-us N]");
   return 2;
 }
 
@@ -111,6 +125,10 @@ int main(int argc, char** argv) {
   bool status_port_set = false;
   unsigned long status_port = 0;
   unsigned long status_hold = 0;
+  bool chaos_armed = false;
+  unsigned long chaos_seed = 0;
+  std::string chaos_plan_spec;
+  std::string chaos_log_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -211,6 +229,22 @@ int main(int argc, char** argv) {
       unsigned long n = 0;
       if (!parse_unsigned(next(), n)) return usage();
       status_hold = n;
+    } else if (arg == "--chaos-seed") {
+      if (!parse_unsigned(next(), chaos_seed)) return usage();
+      chaos_armed = true;
+    } else if (arg == "--chaos-plan") {
+      const char* c = next();
+      if (c == nullptr) return usage();
+      chaos_plan_spec = c;
+      chaos_armed = true;
+    } else if (arg == "--chaos-log") {
+      const char* c = next();
+      if (c == nullptr) return usage();
+      chaos_log_path = c;
+    } else if (arg == "--backoff-us") {
+      unsigned long n = 0;
+      if (!parse_unsigned(next(), n)) return usage();
+      supervision.retry_backoff_us = n;
     } else {
       return usage();
     }
@@ -333,14 +367,52 @@ int main(int argc, char** argv) {
     return filtered;
   };
 
+  // Arm the chaos engine for the whole run. The engine outlives the
+  // supervisor call so the schedule log can be written even when a
+  // supervisor.kill fault aborts the campaign.
+  std::unique_ptr<core::ChaosEngine> chaos;
+  if (chaos_armed) {
+    try {
+      chaos = std::make_unique<core::ChaosEngine>(
+          static_cast<std::uint64_t>(chaos_seed),
+          core::parse_chaos_plan(chaos_plan_spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --chaos-plan: %s\n", e.what());
+      return 2;
+    }
+    core::ChaosEngine::install(chaos.get());
+  }
+  const auto write_chaos_log = [&] {
+    if (chaos == nullptr || chaos_log_path.empty()) return true;
+    std::ofstream os{chaos_log_path, std::ios::trunc};
+    os << chaos->schedule_log();
+    if (!os) {
+      std::fprintf(stderr, "cannot write chaos log '%s'\n",
+                   chaos_log_path.c_str());
+      return false;
+    }
+    return true;
+  };
+
   const core::CampaignSupervisor supervisor{config, supervision};
   std::vector<core::CellResult> results;
   try {
     results = supervisor.run(factory);
+  } catch (const core::CampaignKilled&) {
+    // A supervisor.kill chaos fault: the journal holds every finished
+    // cell, so a --resume run completes the campaign and reproduces the
+    // fault-free report. Exit 3 tells harnesses (chaos_soak.sh) apart
+    // from real failures.
+    std::fprintf(stderr,
+                 "campaign killed by chaos fault (resume with --journal + "
+                 "--resume)\n");
+    write_chaos_log();
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign failed: %s\n", e.what());
     return 1;
   }
+  if (!write_chaos_log()) return 1;
 
   // Campaign-wide aggregate: the deterministic merge of every cell's
   // metrics snapshot, in cell order.

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <new>
 #include <thread>
 
 #include "analysis/model_checker.hpp"
+#include "core/chaos.hpp"
 #include "hv/recovery.hpp"
 
 namespace ii::core {
@@ -178,6 +180,11 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
   const obs::ScopedSpan cell_span{prof, obs::kSpanCell};
   const auto start = std::chrono::steady_clock::now();
   try {
+    // Chaos cell.alloc_fail: platform/guest allocation fails during cell
+    // setup. Thrown before any platform is touched, so it exercises the
+    // same containment path as a real bad_alloc out of lease(): the catch
+    // below turns it into a failed cell for the supervisor's retry ladder.
+    if (chaos_fire("cell.alloc_fail")) throw std::bad_alloc{};
     if (config_.reuse_platforms) {
       // Lease a pooled platform parked at its boot baseline; the sink is
       // attached only now, so the trace covers exactly the cell's own

@@ -133,6 +133,12 @@ class PlatformPool {
   /// capturing its baseline on first use. The entry stays pool-owned.
   Entry& lease(const guest::PlatformConfig& config);
 
+  /// Drop every pooled platform so the next lease boots fresh — the last
+  /// rung of the supervisor's escalation ladder (a use case that failed
+  /// its way into quarantine may have poisoned the warm platforms it ran
+  /// on; later use cases must not inherit them).
+  void clear() { pool_.clear(); }
+
  private:
   std::map<std::pair<hv::XenVersion, bool>, Entry> pool_;
 };

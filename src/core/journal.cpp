@@ -1,14 +1,30 @@
 #include "core/journal.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/chaos.hpp"
 #include "obs/jsonl.hpp"
 
 namespace ii::core {
 
 namespace {
+
+/// The checksum field's framing: line = <entry minus '}'> + kCrcKey +
+/// <16 hex digits> + "\"}", checksummed over the plain entry. The raw
+/// sequence `,"crc":"` cannot appear inside any serialized value (quotes
+/// in free text are escaped to \"), so scanning for the *last* occurrence
+/// is unambiguous.
+constexpr std::string_view kCrcKey = ",\"crc\":\"";
+constexpr std::size_t kCrcHexDigits = 16;
+
+std::string crc_hex(std::uint64_t h) {
+  char buf[kCrcHexDigits + 1];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
 
 /// Strictly left-to-right field scanner over one JSON line. Each lookup
 /// advances the cursor past the value it consumed, so a free-text value can
@@ -136,11 +152,32 @@ std::string journal_entry(const CellResult& cell) {
   return os.str();
 }
 
+std::string journal_line(const CellResult& cell) {
+  const std::string entry = journal_entry(cell);
+  std::string line = entry.substr(0, entry.size() - 1);  // drop '}'
+  line += kCrcKey;
+  line += crc_hex(fnv1a64(entry));
+  line += "\"}";
+  return line;
+}
+
 std::optional<CellResult> parse_journal_entry(const std::string& line) {
   if (line.empty() || line.front() != '{' || line.back() != '}') {
     return std::nullopt;  // torn write or foreign content
   }
-  FieldScanner scan{line};
+  std::string base = line;
+  if (const std::size_t at = line.rfind(kCrcKey); at != std::string::npos) {
+    // Checksummed form: the framing must be exact and the digest must
+    // match, else the line is corrupt (short write inside the file, bit
+    // rot) rather than merely torn.
+    if (line.size() != at + kCrcKey.size() + kCrcHexDigits + 2) {
+      return std::nullopt;
+    }
+    const std::string hex = line.substr(at + kCrcKey.size(), kCrcHexDigits);
+    base = line.substr(0, at) + "}";
+    if (hex != crc_hex(fnv1a64(base))) return std::nullopt;
+  }
+  FieldScanner scan{base};
   CellResult cell;
 
   const auto use_case = scan.str("use_case");
@@ -182,8 +219,8 @@ std::optional<CellResult> parse_journal_entry(const std::string& line) {
   return cell;
 }
 
-std::vector<CellResult> load_journal(const std::string& path,
-                                     const std::string& expected_header) {
+JournalLoad load_journal(const std::string& path,
+                         const std::string& expected_header) {
   std::ifstream in{path};
   if (!in) return {};
   std::string line;
@@ -194,13 +231,49 @@ std::vector<CellResult> load_journal(const std::string& path,
         " was recorded under a different campaign configuration; refusing "
         "to resume from it"};
   }
-  std::vector<CellResult> cells;
+  JournalLoad load;
   while (std::getline(in, line)) {
+    if (line.empty()) continue;
     if (auto cell = parse_journal_entry(line)) {
-      cells.push_back(std::move(*cell));
+      load.cells.push_back(std::move(*cell));
+    } else {
+      ++load.skipped;  // torn or checksum-failed: the cell re-runs
     }
   }
-  return cells;
+  return load;
+}
+
+// ----------------------------------------------------------- JournalWriter
+
+void JournalWriter::open(const std::string& path, const std::string& header) {
+  out_.open(path, std::ios::trunc);
+  if (!out_) return;
+  out_ << header << '\n';
+  out_.flush();
+}
+
+bool JournalWriter::append(const CellResult& cell) {
+  if (!out_.is_open()) return false;
+  const std::string line = journal_line(cell);
+  bool ok = true;
+  if (chaos_fire("journal.write_fail")) {
+    ok = false;  // the line never reaches the file
+  } else if (chaos_fire("journal.torn")) {
+    // Short write: a prefix lands in the file. The newline keeps the
+    // *next* append parseable — the damage is confined to this line,
+    // which the checksum catches at load time.
+    out_ << line.substr(0, line.size() / 2) << '\n';
+    ok = false;
+  } else {
+    out_ << line << '\n';
+  }
+  out_.flush();  // each cell durable before the next one runs
+  if (chaos_fire("journal.fsync_fail") || !out_.good()) {
+    out_.clear();  // keep the stream usable; later appends may succeed
+    ok = false;
+  }
+  if (!ok) ++errors_;
+  return ok;
 }
 
 }  // namespace ii::core

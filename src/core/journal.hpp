@@ -10,11 +10,18 @@
 //
 // Robustness contract: a campaign killed mid-write leaves a torn final
 // line; parsing skips it, and the supervisor rewrites the journal on resume
-// so the torn tail never accumulates. Free-text fields (failure) are
+// so the torn tail never accumulates. Every written line additionally
+// carries a per-line FNV-1a checksum ("crc" field), so a *corrupt* line —
+// a short write inside the file, bit rot, a concurrent writer — is
+// detected and skipped too, and load_journal reports how many lines it
+// had to skip instead of silently dropping them (the supervisor surfaces
+// the count as supervisor.journal_skipped). Free-text fields (failure) are
 // serialized last in each record, and parsing is a strictly left-to-right
 // field scan, so no value can masquerade as a later key.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,14 +41,59 @@ namespace ii::core {
 /// One completed cell as a single JSON line (no trailing newline).
 [[nodiscard]] std::string journal_entry(const CellResult& cell);
 
-/// Parse one journal line; nullopt for a torn/foreign line.
+/// journal_entry plus the trailing per-line checksum field: the form
+/// JournalWriter appends and load_journal verifies.
+[[nodiscard]] std::string journal_line(const CellResult& cell);
+
+/// Parse one journal line; nullopt for a torn/corrupt/foreign line. Lines
+/// carrying a "crc" field are verified against it; checksum-less lines
+/// (pre-checksum journals) still parse.
 [[nodiscard]] std::optional<CellResult> parse_journal_entry(
     const std::string& line);
 
-/// Load a journal for resume. Returns the parsed cells; torn lines are
-/// skipped. Throws std::runtime_error when the file exists but its header
-/// does not equal `expected_header`. A missing file yields an empty vector.
-[[nodiscard]] std::vector<CellResult> load_journal(
-    const std::string& path, const std::string& expected_header);
+/// What load_journal recovered from a journal file.
+struct JournalLoad {
+  std::vector<CellResult> cells;
+  /// Torn or checksum-failed lines that were skipped. Non-zero means the
+  /// journal lost data (a killed writer, an injected write fault, disk
+  /// corruption); the skipped cells simply re-run on resume.
+  std::uint64_t skipped = 0;
+};
+
+/// Load a journal for resume. Torn and corrupt lines are skipped and
+/// counted. Throws std::runtime_error when the file exists but its header
+/// does not equal `expected_header`. A missing file yields an empty load.
+[[nodiscard]] JournalLoad load_journal(const std::string& path,
+                                       const std::string& expected_header);
+
+/// Append-side of the journal: opens with truncation, writes the header,
+/// then appends one checksummed line per cell with flush-on-append (each
+/// cell is durable before the next one runs). All chaos faults on the
+/// write path live here — journal.write_fail drops the line,
+/// journal.torn writes a prefix only, journal.fsync_fail fails the flush —
+/// so the supervisor's error accounting sees exactly what a faulty disk
+/// would produce.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+
+  /// Truncate-open `path` and write `header`. ok() reports open failure.
+  void open(const std::string& path, const std::string& header);
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+
+  /// Append one cell. Returns false when the line was lost or damaged
+  /// (chaos fault or real stream error); the campaign continues either
+  /// way — a lost journal line only costs a re-run on resume.
+  bool append(const CellResult& cell);
+
+  /// Lines that failed to append plus flush errors, for
+  /// supervisor.journal_errors.
+  [[nodiscard]] std::uint64_t errors() const { return errors_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t errors_ = 0;
+};
 
 }  // namespace ii::core

@@ -17,6 +17,7 @@
 #include <set>
 #include <utility>
 
+#include "core/chaos.hpp"
 #include "hv/audit.hpp"
 #include "hv/errors.hpp"
 #include "hv/layout.hpp"
@@ -278,6 +279,23 @@ std::uint64_t Hypervisor::recover_sanitize_tables(
 
 // ---------------------------------------------------------------- recover()
 
+namespace {
+
+/// Chaos recover.abort: recovery itself dies at a phase boundary (the
+/// micro-reboot machinery is not immune to the corruption it repairs).
+/// Occurrence N of the point is the N-th boundary crossed, so a plan like
+/// recover.abort@3 deterministically kills recovery between named phases.
+/// The throw propagates to the campaign's recover try-block, which records
+/// the cell as unrecovered — the same containment as a real recovery bug.
+void chaos_phase_boundary(const char* next_phase) {
+  if (core::chaos_fire("recover.abort")) {
+    throw std::runtime_error{std::string{"chaos: recovery aborted before "} +
+                             next_phase};
+  }
+}
+
+}  // namespace
+
 RecoveryReport Hypervisor::recover() {
   RecoveryReport report;
   // Phase spans nest under whatever span the caller holds open (the
@@ -294,6 +312,7 @@ RecoveryReport Hypervisor::recover() {
     span.add_steps(report.pre.findings.size());
   }
 
+  chaos_phase_boundary("idt");
   log("(XEN) ReHype: micro-rebooting hypervisor state in place");
 
   // Capture pin hints (mfn, pre-crash type) per domain before the frame
@@ -340,6 +359,7 @@ RecoveryReport Hypervisor::recover() {
     }
   }
 
+  chaos_phase_boundary("frame_table");
   // 4. Frame-table rebuild: throw away every guest frame's derived state
   // (type, type refs, validation) and fall back to the allocation ref.
   {
@@ -359,6 +379,7 @@ RecoveryReport Hypervisor::recover() {
     span.add_steps(report.frames_retyped);
   }
 
+  chaos_phase_boundary("p2m");
   // 5. P2M reconciliation against frame ownership (the M2P ground truth).
   {
     obs::ScopedSpan span{prof, obs::kSpanP2m};
@@ -376,6 +397,7 @@ RecoveryReport Hypervisor::recover() {
     span.add_steps(report.p2m_entries_dropped);
   }
 
+  chaos_phase_boundary("domains");
   // 6. Per-domain: sanitize the tables, then re-derive types and refcounts
   // by re-running the normal validation engine over the cleaned trees.
   obs::ScopedSpan domains_span{prof, obs::kSpanDomains};
@@ -410,6 +432,7 @@ RecoveryReport Hypervisor::recover() {
   domains_span.add_steps(report.ptes_scrubbed);
   domains_span.end();
 
+  chaos_phase_boundary("grants");
   // 7. Grant re-derivation: live mappings hold existence refs; active-v2
   // domains get their status window remapped (a downgraded-but-leaked
   // XSA-387 window stays gone — the sanitizer already dropped it).
@@ -429,6 +452,7 @@ RecoveryReport Hypervisor::recover() {
     }
   }
 
+  chaos_phase_boundary("post_audit");
   {
     obs::ScopedSpan span{prof, obs::kSpanPostAudit};
     report.post = InvariantAuditor{*this}.audit();

@@ -1,9 +1,18 @@
 #include "net/network.hpp"
 
+#include "core/chaos.hpp"
+
 namespace ii::net {
 
 void Connection::send(Endpoint from, std::string line) {
   if (closed_) return;
+  // Chaos net.drop: the line is lost in flight — the sender believes it
+  // went out, the peer never sees it. Matches what a lossy link does to a
+  // line-oriented protocol with no acks: the session silently stalls.
+  if (core::chaos_fire("net.drop")) {
+    ++dropped_;
+    return;
+  }
   inbox(peer_of(from)).push_back(std::move(line));
 }
 
@@ -65,6 +74,9 @@ std::shared_ptr<Connection> Network::connect(const std::string& from,
                                              std::uint16_t port) {
   Host* target = find_host(to);
   if (target == nullptr || !target->listening(port)) return nullptr;
+  // Chaos net.partition: the SYN never arrives. Indistinguishable from a
+  // down listener, which is exactly how a partition presents to a client.
+  if (core::chaos_fire("net.partition")) return nullptr;
   auto conn = std::make_shared<Connection>(from, to, port);
   target->deliver(port, conn);
   return conn;

@@ -57,6 +57,9 @@ class Connection {
 
   void close() { closed_ = true; }
 
+  /// Lines lost to the chaos engine's net.drop fault on this connection.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
  private:
   std::deque<std::string>& inbox(Endpoint to) {
     return to == Endpoint::Client ? to_client_ : to_server_;
@@ -67,6 +70,7 @@ class Connection {
   std::uint16_t port_;
   std::deque<std::string> to_client_;
   std::deque<std::string> to_server_;
+  std::uint64_t dropped_ = 0;
   bool closed_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "net/status_server.hpp"
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -8,6 +9,8 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "core/chaos.hpp"
 
 namespace ii::net {
 
@@ -133,15 +136,19 @@ TcpStatusServer::~TcpStatusServer() {
 void TcpStatusServer::serve() {
   while (!stop_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
+    // EINTR from poll/accept/read/write is routine under signals (a child
+    // reaper, a profiler tick) — always retry, never treat it as an error.
     const int ready = ::poll(&pfd, 1, 100 /*ms; bounds shutdown latency*/);
+    if (ready < 0 && errno == EINTR) continue;
     if (ready <= 0) continue;
     const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
+    if (client < 0) continue;  // EINTR/ECONNABORTED: next loop re-polls
     char buf[1024];
     std::string request;
     // Read until the first newline; one request per connection.
     while (request.find('\n') == std::string::npos) {
       const ssize_t n = ::read(client, buf, sizeof buf);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       request.append(buf, static_cast<std::size_t>(n));
       if (request.size() > 8192) break;
@@ -153,12 +160,30 @@ void TcpStatusServer::serve() {
     const std::string response =
         board_ != nullptr ? status_http_response(line, *board_, metrics_)
                           : std::string{"HTTP/1.0 500 No Board\r\n\r\n"};
-    std::size_t off = 0;
-    while (off < response.size()) {
-      const ssize_t n =
-          ::write(client, response.data() + off, response.size() - off);
-      if (n <= 0) break;
-      off += static_cast<std::size_t>(n);
+    // Short writes resume from the written offset; a write error (or a
+    // chaos status.send_fail, standing in for ECONNRESET/EPIPE from a
+    // vanished poller) abandons only this client. The serve loop must
+    // outlive any individual client.
+    bool sent = true;
+    if (core::chaos_fire("status.send_fail")) {
+      sent = false;
+    } else {
+      std::size_t off = 0;
+      while (off < response.size()) {
+        const ssize_t n =
+            ::write(client, response.data() + off, response.size() - off);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          sent = false;
+          break;
+        }
+        off += static_cast<std::size_t>(n);
+      }
+    }
+    if (sent) {
+      served_.fetch_add(1);
+    } else {
+      send_errors_.fetch_add(1);
     }
     ::close(client);
   }

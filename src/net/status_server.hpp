@@ -64,6 +64,13 @@ class StatusServer {
 /// Real-socket endpoint: accepts TCP connections on 127.0.0.1:`port` and
 /// serves each with one response on a background thread. Pass port 0 for
 /// an ephemeral port (read it back with port()).
+///
+/// Degradation contract: telemetry must never take the campaign down, and
+/// a sick client must never take telemetry down. accept/read/write retry
+/// on EINTR, short write()s resume from the written offset, and any send
+/// failure (real error or chaos status.send_fail) closes that client,
+/// bumps send_errors(), and returns to the accept loop — the endpoint
+/// keeps serving the next poller.
 class TcpStatusServer {
  public:
   TcpStatusServer(std::uint16_t port, const obs::StatusBoard* board,
@@ -78,6 +85,15 @@ class TcpStatusServer {
   [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
+  /// Requests fully served (response written to completion).
+  [[nodiscard]] std::uint64_t served() const { return served_.load(); }
+  /// Responses abandoned mid-send: real write errors plus chaos
+  /// status.send_fail faults. Each one cost the poller a response, never
+  /// the campaign anything.
+  [[nodiscard]] std::uint64_t send_errors() const {
+    return send_errors_.load();
+  }
+
  private:
   void serve();
 
@@ -86,6 +102,8 @@ class TcpStatusServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> send_errors_{0};
   std::thread thread_;
 };
 

@@ -36,6 +36,7 @@ constexpr std::array kSpanNameTable{
     SpanNameEntry{kSpanRetry, "re-run of a failed cell attempt"},
     SpanNameEntry{kSpanQuarantine, "cell retired after repeated failures"},
     SpanNameEntry{kSpanJournal, "resume-journal rewrite and append"},
+    SpanNameEntry{kSpanChaos, "chaos-engine fault absorbed by the worker"},
     SpanNameEntry{kSpanPreAudit, "invariant audit before recovery"},
     SpanNameEntry{kSpanIdt, "restore corrupted IDT gates"},
     SpanNameEntry{kSpanFrameTable, "rebuild frame types and refcounts"},

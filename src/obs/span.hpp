@@ -77,6 +77,10 @@ inline constexpr std::string_view kSpanSupervisor = "supervisor";
 inline constexpr std::string_view kSpanRetry = "retry";
 inline constexpr std::string_view kSpanQuarantine = "quarantine";
 inline constexpr std::string_view kSpanJournal = "journal";
+/// Chaos-engine fault handling (worker crash re-claims, stall spins).
+/// Always SpanKind::Sched: which worker absorbs a fault is scheduling,
+/// so these must stay out of the deterministic render.
+inline constexpr std::string_view kSpanChaos = "chaos";
 
 // ReHype recovery phases (src/hv/recovery.cpp), nested under cell/recover
 // when the campaign drives recovery.

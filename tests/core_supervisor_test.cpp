@@ -7,6 +7,7 @@
 #include <map>
 #include <sstream>
 
+#include "core/chaos.hpp"
 #include "core/journal.hpp"
 #include "core/report.hpp"
 #include "core/supervisor.hpp"
@@ -366,6 +367,104 @@ TEST(Supervisor, ResumeRefusesAForeignJournalHeader) {
   }),
                std::runtime_error);
   std::remove(path.c_str());
+}
+
+TEST(Supervisor, JournalSkippedCountSurfacesInTheMetrics) {
+  const std::string path = temp_journal("skipped");
+  std::remove(path.c_str());
+
+  auto config = small_config();
+  core::SupervisorConfig supervision{};
+  supervision.journal_path = path;
+
+  unsigned runs = 0;
+  const auto factory = [&runs] {
+    std::vector<std::unique_ptr<core::UseCase>> cases;
+    cases.push_back(std::make_unique<CountingCase>(&runs));
+    return cases;
+  };
+  (void)core::CampaignSupervisor{config, supervision}.run(factory);
+
+  // Corrupt two journaled lines in place (bit rot, not a torn tail).
+  std::vector<std::string> lines;
+  {
+    std::ifstream in{path};
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 7u);  // header + 6 cells
+  lines[2][lines[2].find("COUNTING")] = 'X';
+  lines[4][lines[4].find("COUNTING")] = 'X';
+  {
+    std::ofstream out{path, std::ios::trunc};
+    for (const auto& line : lines) out << line << '\n';
+  }
+
+  supervision.resume = true;
+  runs = 0;
+  const auto resumed =
+      core::CampaignSupervisor{config, supervision}.run(factory);
+  ASSERT_FALSE(resumed.empty());
+  EXPECT_EQ(resumed.front().metrics.counters.at("supervisor.journal_skipped"),
+            2u);
+  EXPECT_EQ(runs, 2u);  // only the corrupted cells re-ran
+  std::remove(path.c_str());
+}
+
+// The crash-resume property: kill the campaign at a chaos-chosen journal
+// append, resume, and the final report must be byte-identical to the
+// uninterrupted run's — at several kill points, including one deep enough
+// that a second kill hits the resumed run.
+TEST(Supervisor, KilledCampaignResumesToTheIdenticalReport) {
+  auto config = small_config();
+  core::SupervisorConfig supervision{};
+
+  const auto factory = [] {
+    auto cases = xsa::make_paper_use_cases();
+    cases.resize(2);  // 12 cells
+    return cases;
+  };
+
+  // Fault-free baseline (no engine installed).
+  const std::string baseline = core::render_csv(
+      core::CampaignSupervisor{config, supervision}.run(factory));
+
+  for (const std::uint64_t kill_at : {1u, 5u, 11u}) {
+    const std::string path = temp_journal("kill" + std::to_string(kill_at));
+    std::remove(path.c_str());
+    supervision.journal_path = path;
+    supervision.resume = false;
+
+    // supervisor.kill occurrence N = the N-th fresh journal append; the
+    // plan kills the first run there and, because resumed runs append
+    // fewer fresh cells, later resumes run kill-free to completion.
+    core::ChaosEngine engine{
+        31, core::parse_chaos_plan("supervisor.kill@" +
+                                   std::to_string(kill_at))};
+    const core::ChaosScope scope{engine};
+
+    EXPECT_THROW((void)(core::CampaignSupervisor{config, supervision}.run(
+                     factory)),
+                 core::CampaignKilled);
+    EXPECT_EQ(engine.fired("supervisor.kill"), 1u);
+
+    // Resume until the campaign gets all the way through (the kill point
+    // cannot re-fire: each resume appends fewer fresh cells than the last
+    // needed, and occurrence counting continues from the first run).
+    supervision.resume = true;
+    std::vector<core::CellResult> resumed;
+    for (int tries = 0; tries < 15; ++tries) {
+      try {
+        resumed = core::CampaignSupervisor{config, supervision}.run(factory);
+        break;
+      } catch (const core::CampaignKilled&) {
+        continue;
+      }
+    }
+    ASSERT_FALSE(resumed.empty()) << "kill_at=" << kill_at;
+    EXPECT_EQ(core::render_csv(resumed), baseline) << "kill_at=" << kill_at;
+    std::remove(path.c_str());
+  }
 }
 
 TEST(Supervisor, SupervisorCountersLandInTheMetricsSnapshot) {

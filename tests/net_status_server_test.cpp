@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/chaos.hpp"
 #include "net/status_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/status.hpp"
@@ -189,6 +190,27 @@ TEST(TcpStatusServer, ServesOverRealSockets) {
 
   const std::string missing = tcp_get(server.port(), "GET /x HTTP/1.1");
   EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+}
+
+TEST(TcpStatusServer, SendFailureDegradesGracefully) {
+  obs::StatusBoard board;
+  board.campaign_begin(6, 1);
+  net::TcpStatusServer server{0 /*ephemeral*/, &board};
+  ASSERT_TRUE(server.running());
+
+  // The first response send fails (a poller that vanished mid-reply);
+  // the serve loop must close that client, count the error, and keep
+  // serving the next one — telemetry degrades, the endpoint survives.
+  core::ChaosEngine engine{37,
+                           core::parse_chaos_plan("status.send_fail@1")};
+  const core::ChaosScope scope{engine};
+
+  const std::string dropped = tcp_get(server.port(), "GET /status HTTP/1.1");
+  EXPECT_TRUE(dropped.empty());
+  const std::string answered = tcp_get(server.port(), "GET /status HTTP/1.1");
+  EXPECT_NE(answered.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_EQ(server.send_errors(), 1u);
+  EXPECT_EQ(server.served(), 1u);
 }
 
 }  // namespace
