@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Static-analysis gate: project lint (tools/ii-lint), clang-tidy over src/
-# with the curated .clang-tidy profile, and cppcheck. Mirrors the CI lint
-# jobs so the gate is reproducible locally.
+# Static-analysis gate: the project's own analyzer (ii_analyze, src/lint/),
+# clang-tidy over src/ with the curated .clang-tidy profile, and cppcheck.
+# Mirrors the CI lint jobs so the gate is reproducible locally.
 #
 # clang-tidy/cppcheck are optional locally (the dev container may not ship
 # them) — missing tools are reported and skipped, never failed. CI installs
-# both, so the real gate always runs there. ii-lint is plain grep and
-# always runs.
+# both, so the real gate always runs there. ii_analyze is built from this
+# repo and always runs.
 #
 # Usage: bench/run_tidy.sh [build-dir]   (default: build)
 set -uo pipefail
@@ -16,16 +16,20 @@ BUILD_DIR="${1:-$REPO_ROOT/build}"
 
 status=0
 
-echo "== ii-lint"
-if ! "$REPO_ROOT/tools/ii-lint" "$REPO_ROOT"; then
-  status=1
-fi
-
-# clang-tidy needs the exported compile database (CMAKE_EXPORT_COMPILE_COMMANDS
-# is ON in the top-level CMakeLists).
+# The compile database is needed by clang-tidy, and configuring also sets
+# up the ii_analyze target (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the
+# top-level CMakeLists).
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   echo "== configuring $BUILD_DIR for compile_commands.json"
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null
+fi
+
+echo "== ii_analyze"
+if [ ! -x "$BUILD_DIR/tools/ii_analyze" ]; then
+  cmake --build "$BUILD_DIR" --target ii_analyze -j > /dev/null
+fi
+if ! "$BUILD_DIR/tools/ii_analyze" "$REPO_ROOT"; then
+  status=1
 fi
 
 echo "== clang-tidy"
@@ -44,7 +48,7 @@ if command -v cppcheck > /dev/null 2>&1; then
   # --error-exitcode makes findings fail the gate; the suppressions mirror
   # what the compile database can't tell cppcheck (system headers, gtest).
   if ! cppcheck --enable=warning,performance,portability \
-       --inline-suppr --error-exitcode=1 --quiet \
+       --std=c++20 --inline-suppr --error-exitcode=1 --quiet \
        --suppress=missingIncludeSystem \
        -I "$REPO_ROOT/src" "$REPO_ROOT/src"; then
     status=1

@@ -178,6 +178,8 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
   bool reused = false;
   hv::SnapshotStats snap{};
   const obs::ScopedSpan cell_span{prof, obs::kSpanCell};
+  // ii-analyze:allow(determinism): wall_us is wall-clock by contract; the
+  // deterministic runs use --logical-time, which bypasses this reading.
   const auto start = std::chrono::steady_clock::now();
   try {
     // Chaos cell.alloc_fail: platform/guest allocation fails during cell
@@ -239,6 +241,8 @@ CellResult Campaign::run_cell(UseCase& use_case, hv::XenVersion version,
           ? sink.emitted()
           : static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::microseconds>(
+                    // ii-analyze:allow(determinism): the non-logical-time
+                    // branch is wall-clock by contract.
                     std::chrono::steady_clock::now() - start)
                     .count());
   cell.hypercalls = sink.count(obs::TraceCategory::HypercallEnter);

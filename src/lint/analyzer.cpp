@@ -1,0 +1,145 @@
+#include "lint/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace ii::lint {
+
+namespace {
+
+[[nodiscard]] bool finding_less(const Finding& a, const Finding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.col != b.col) return a.col < b.col;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+[[nodiscard]] bool finding_eq(const Finding& a, const Finding& b) {
+  return a.file == b.file && a.line == b.line && a.col == b.col &&
+         a.rule == b.rule && a.message == b.message;
+}
+
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AnalysisResult analyze(const SourceModel& model, const Policy& policy,
+                       const std::vector<std::string>& only_rules) {
+  AnalysisResult result;
+  result.files_scanned = model.files().size();
+  const CheckContext ctx{model, policy};
+
+  std::vector<Finding> raw;
+  for (const CheckEntry& check : check_registry()) {
+    if (!only_rules.empty() &&
+        std::find(only_rules.begin(), only_rules.end(), check.name) ==
+            only_rules.end()) {
+      continue;
+    }
+    std::vector<Finding> found = check.run(ctx);
+    raw.insert(raw.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+
+  // Suppression pass: a finding is dropped when its line carries an
+  // ii-analyze:allow for its rule (or for '*').
+  std::map<std::string, const LexedFile*, std::less<>> by_path;
+  for (const SourceFile& f : model.files()) by_path.emplace(f.path, &f.lex);
+  for (Finding& f : raw) {
+    bool drop = false;
+    const auto file_it = by_path.find(f.file);
+    if (file_it != by_path.end()) {
+      const auto line_it = file_it->second->allows.find(f.line);
+      if (line_it != file_it->second->allows.end()) {
+        drop = line_it->second.count(f.rule) != 0 ||
+               line_it->second.count("*") != 0;
+      }
+    }
+    if (drop) {
+      ++result.suppressed;
+    } else {
+      result.findings.push_back(std::move(f));
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(), finding_less);
+  result.findings.erase(std::unique(result.findings.begin(),
+                                    result.findings.end(), finding_eq),
+                        result.findings.end());
+  return result;
+}
+
+std::string render_text(const AnalysisResult& result) {
+  std::ostringstream os;
+  for (const Finding& f : result.findings) {
+    os << f.file << ':' << f.line << ':' << f.col << ": [" << f.rule << "] "
+       << f.message << '\n';
+  }
+  if (result.findings.empty()) {
+    os << "ii-analyze: OK (" << result.files_scanned << " files, 0 findings";
+    if (result.suppressed != 0) {
+      os << ", " << result.suppressed << " suppressed";
+    }
+    os << ")\n";
+  } else {
+    os << "ii-analyze: FAILED — " << result.findings.size() << " finding"
+       << (result.findings.size() == 1 ? "" : "s") << " across "
+       << result.files_scanned << " files";
+    if (result.suppressed != 0) {
+      os << " (" << result.suppressed << " suppressed)";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_json(const AnalysisResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"ii-analyze\",\n  \"schema\": 1,\n"
+     << "  \"files_scanned\": " << result.files_scanned << ",\n"
+     << "  \"suppressed\": " << result.suppressed << ",\n"
+     << "  \"rules\": [\n";
+  const auto& checks = check_registry();
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    os << "    {\"id\": \"" << checks[i].name << "\", \"what\": \""
+       << json_escape(checks[i].what) << "\"}"
+       << (i + 1 < checks.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    os << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+       << json_escape(f.file) << "\", \"line\": " << f.line
+       << ", \"col\": " << f.col << ", \"message\": \""
+       << json_escape(f.message) << "\"}"
+       << (i + 1 < result.findings.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace ii::lint

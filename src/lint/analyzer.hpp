@@ -1,0 +1,35 @@
+// ii-analyze driver: run the check registry over a SourceModel, apply
+// suppressions, and render findings as human text or machine-readable
+// JSON (DESIGN.md §15). Both renders are deterministic: findings are
+// sorted, nothing reads a clock, and repeated runs over the same tree are
+// byte-identical (CI cmp-gates this).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/check.hpp"
+
+namespace ii::lint {
+
+struct AnalysisResult {
+  std::vector<Finding> findings;  ///< sorted by (file, line, col, rule)
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;  ///< findings dropped by ii-analyze:allow
+};
+
+/// Run checks over the model. `only_rules` restricts to the named rules
+/// (empty = all). Findings on lines carrying a matching
+/// `// ii-analyze:allow(rule)` comment are counted in `suppressed` and
+/// dropped.
+[[nodiscard]] AnalysisResult analyze(
+    const SourceModel& model, const Policy& policy,
+    const std::vector<std::string>& only_rules = {});
+
+[[nodiscard]] std::string render_text(const AnalysisResult& result);
+
+/// SARIF-lite JSON: tool header, rule table, findings array. Stable field
+/// order and sorted findings make two runs byte-comparable.
+[[nodiscard]] std::string render_json(const AnalysisResult& result);
+
+}  // namespace ii::lint

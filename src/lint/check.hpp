@@ -1,0 +1,39 @@
+// Check registry for ii-analyze (DESIGN.md §15). Each check is a pure
+// function over the SourceModel + Policy; adding a rule is one entry in
+// check_registry() plus a bad/clean fixture pair under
+// tests/lint_fixtures/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/model.hpp"
+#include "lint/policy.hpp"
+
+namespace ii::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+  std::string message;
+};
+
+struct CheckContext {
+  const SourceModel& model;
+  const Policy& policy;
+};
+
+struct CheckEntry {
+  std::string_view name;
+  std::string_view what;
+  std::vector<Finding> (*run)(const CheckContext&);
+};
+
+/// Every registered check, in stable (documentation) order.
+[[nodiscard]] const std::vector<CheckEntry>& check_registry();
+
+}  // namespace ii::lint

@@ -1,0 +1,627 @@
+// The ii-analyze rule set (DESIGN.md §15): the seven rules ported from the
+// retired grep-based tools/ii-lint, re-expressed over tokens, plus the
+// three checks a regex cannot express — determinism (D1), registry
+// closure (R1), and policy-driven frame-state writes (S1).
+#include "lint/check.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+namespace ii::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == TokKind::Ident && t.text == s;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == TokKind::Punct && t.text == s;
+}
+
+[[nodiscard]] bool ident_contains_ci(const Token& t, std::string_view needle) {
+  if (t.kind != TokKind::Ident) return false;
+  std::string lower = t.text;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  return lower.find(needle) != std::string::npos;
+}
+
+/// Numeric value of a number token (handles 0x prefixes and digit
+/// separators); 0 if unparseable.
+[[nodiscard]] unsigned long long number_value(const Token& t) {
+  std::string digits;
+  for (const char c : t.text) {
+    if (c != '\'') digits += c;
+  }
+  return std::strtoull(digits.c_str(), nullptr, 0);
+}
+
+[[nodiscard]] bool hex_number(const Token& t) {
+  return t.kind == TokKind::Number && t.text.size() > 2 &&
+         t.text[0] == '0' && (t.text[1] == 'x' || t.text[1] == 'X');
+}
+
+void add(std::vector<Finding>& out, std::string_view rule,
+         const SourceFile& file, const Token& at, std::string message) {
+  out.push_back(
+      {std::string{rule}, file.path, at.line, at.col, std::move(message)});
+}
+
+// Frame-state members whose writes are confined by policy.
+const std::set<std::string, std::less<>> kStateMembers = {"type", "validated"};
+const std::set<std::string, std::less<>> kCountMembers = {"type_count",
+                                                          "ref_count"};
+
+[[nodiscard]] bool count_write_op(const Token& t) {
+  return is_punct(t, "=") || is_punct(t, "+=") || is_punct(t, "-=") ||
+         is_punct(t, "++") || is_punct(t, "--");
+}
+
+[[nodiscard]] bool any_write_op(const Token& t) {
+  return count_write_op(t) || is_punct(t, "*=") || is_punct(t, "/=") ||
+         is_punct(t, "%=") || is_punct(t, "&=") || is_punct(t, "|=") ||
+         is_punct(t, "^=") || is_punct(t, "<<=") || is_punct(t, ">>=");
+}
+
+/// Walk a `++`/`--` operand chain (identifiers, `.`, `->`, index groups)
+/// starting after the operator; returns the terminal member name and the
+/// separator that reached it ("." / "->"), or empty.
+struct ChainEnd {
+  std::string member;
+  std::string sep;
+};
+[[nodiscard]] ChainEnd prefix_chain_end(const std::vector<Token>& toks,
+                                        std::size_t after_op) {
+  ChainEnd end;
+  std::string pending_sep;
+  std::size_t j = after_op;
+  while (j < toks.size()) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::Ident) {
+      if (!pending_sep.empty()) {
+        end.member = t.text;
+        end.sep = pending_sep;
+      }
+      ++j;
+    } else if (is_punct(t, ".") || is_punct(t, "->")) {
+      pending_sep = t.text;
+      ++j;
+    } else if (is_punct(t, "[")) {
+      j = match_close(toks, j) + 1;
+    } else {
+      break;
+    }
+  }
+  return end;
+}
+
+// ---------------------------------------------------- 1. frame-bookkeeping
+
+std::vector<Finding> check_frame_bookkeeping(const CheckContext& ctx) {
+  constexpr std::string_view kRule = "frame-bookkeeping";
+  std::vector<Finding> out;
+  for (const SourceFile& file : ctx.model.files()) {
+    if (ctx.policy.allowed(kRule, file.path)) continue;
+    const auto& toks = file.lex.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (is_punct(toks[i], ".") && toks[i + 1].kind == TokKind::Ident) {
+        const std::string& m = toks[i + 1].text;
+        const Token& op = toks[i + 2];
+        if (kStateMembers.count(m) != 0 && is_punct(op, "=")) {
+          add(out, kRule, file, toks[i + 1],
+              "direct write to PageInfo state member '." + m +
+                  "' outside the frame-table allowlist (policy "
+                  "[allow frame-bookkeeping])");
+        } else if (kCountMembers.count(m) != 0 && count_write_op(op)) {
+          add(out, kRule, file, toks[i + 1],
+              "direct mutation of PageInfo counter '." + m +
+                  "' outside the frame-table allowlist (policy "
+                  "[allow frame-bookkeeping])");
+        }
+      }
+      if (is_punct(toks[i], "++") || is_punct(toks[i], "--")) {
+        const ChainEnd end = prefix_chain_end(toks, i + 1);
+        if (end.sep == "." && kCountMembers.count(end.member) != 0) {
+          add(out, kRule, file, toks[i],
+              "prefix " + toks[i].text + " on PageInfo counter '." +
+                  end.member + "' outside the frame-table allowlist");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------ 2. trace-category
+
+std::vector<Finding> check_trace_category(const CheckContext& ctx) {
+  constexpr std::string_view kRule = "trace-category";
+  std::vector<Finding> out;
+  for (const SourceFile& file : ctx.model.files()) {
+    const auto& toks = file.lex.tokens;
+    for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+      if (!is_ident(toks[i], "emit")) continue;
+      if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) {
+        continue;
+      }
+      bool sinkish = ident_contains_ci(toks[i - 2], "sink") ||
+                     ident_contains_ci(toks[i - 2], "trace");
+      if (!sinkish && i >= 4 && is_punct(toks[i - 2], ")") &&
+          is_punct(toks[i - 3], "(")) {
+        sinkish = ident_contains_ci(toks[i - 4], "sink") ||
+                  ident_contains_ci(toks[i - 4], "trace");
+      }
+      if (!sinkish || !is_punct(toks[i + 1], "(")) continue;
+      const std::size_t close = match_close(toks, i + 1);
+      bool named = false;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (is_ident(toks[j], "TraceCategory")) {
+          named = true;
+          break;
+        }
+      }
+      if (!named) {
+        add(out, kRule, file, toks[i],
+            "TraceSink emission without a TraceCategory enumerator in the "
+            "call — raw integer categories defeat the registry");
+      }
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------- 3. pte-bit-twiddling
+
+std::vector<Finding> check_pte_bits(const CheckContext& ctx) {
+  constexpr std::string_view kRule = "pte-bit-twiddling";
+  std::vector<Finding> out;
+  for (const SourceFile& file : ctx.model.files()) {
+    if (ctx.policy.allowed(kRule, file.path)) continue;
+    const auto& toks = file.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (i + 4 < toks.size() && is_ident(toks[i], "raw") &&
+          is_punct(toks[i + 1], "(") && is_punct(toks[i + 2], ")") &&
+          (is_punct(toks[i + 3], "&") || is_punct(toks[i + 3], "|")) &&
+          hex_number(toks[i + 4])) {
+        add(out, kRule, file, toks[i + 3],
+            "raw PTE bit arithmetic outside the Pte codec (src/sim/pte.*)");
+      }
+      if (is_punct(toks[i], "&")) {
+        std::size_t j = i + 1;
+        if (j < toks.size() && is_punct(toks[j], "~")) ++j;
+        if (j < toks.size() && hex_number(toks[j]) &&
+            number_value(toks[j]) == 0xFFFULL) {
+          add(out, kRule, file, toks[j],
+              "page-offset mask 0xFFF outside the Pte codec — use the "
+              "codec's accessors");
+        }
+      }
+      // The rule's own reference constant — the one place the mask may be
+      // spelled outside the codec.
+      constexpr unsigned long long kPteFrameMask =
+          0x000FFFFFFFFFF000ULL;  // ii-analyze:allow(pte-bit-twiddling)
+      if (hex_number(toks[i]) && number_value(toks[i]) == kPteFrameMask) {
+        add(out, kRule, file, toks[i],
+            "PTE frame mask literal outside the Pte codec");
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------ 4. dirty-tracking
+
+std::vector<Finding> check_dirty_tracking(const CheckContext& ctx) {
+  constexpr std::string_view kRule = "dirty-tracking";
+  std::vector<Finding> out;
+  for (const SourceFile& file : ctx.model.files()) {
+    if (ctx.policy.allowed(kRule, file.path)) continue;
+    const auto& toks = file.lex.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if ((is_ident(toks[i], "restore_frame") ||
+           is_ident(toks[i], "restore_image")) &&
+          is_punct(toks[i + 1], "(")) {
+        add(out, kRule, file, toks[i],
+            toks[i].text +
+                " rolls write generations and belongs to the snapshot "
+                "engine alone (policy [allow dirty-tracking])");
+      }
+      if (is_ident(toks[i], "const_cast")) {
+        std::size_t open = i + 1;
+        while (open < toks.size() && !is_punct(toks[open], "(")) ++open;
+        const std::size_t close = match_close(toks, open);
+        for (std::size_t j = open + 1; j < close; ++j) {
+          if (is_ident(toks[j], "frame_bytes")) {
+            add(out, kRule, file, toks[i],
+                "const_cast of the read-only frame_bytes view is an "
+                "unmarked mutation — no write generation is bumped");
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------- 5. rng-seed-truncation
+
+std::vector<Finding> check_rng_seed(const CheckContext& ctx) {
+  constexpr std::string_view kRule = "rng-seed-truncation";
+  std::vector<Finding> out;
+  for (const SourceFile& file : ctx.model.files()) {
+    const auto& toks = file.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i], "mt19937")) continue;
+      std::size_t j = i + 1;
+      bool named = false;
+      if (j < toks.size() && toks[j].kind == TokKind::Ident) {
+        named = true;
+        ++j;
+      }
+      if (j >= toks.size()) continue;
+      // A named declaration with parens is indistinguishable from a
+      // function declaration at token level; like the retired lint, only
+      // brace-init is checked for named engines.
+      const bool opens = is_punct(toks[j], "{") ||
+                         (!named && is_punct(toks[j], "("));
+      if (!opens) continue;
+      const std::size_t close = match_close(toks, j);
+      if (close == j + 1) continue;  // value-init, no seed expression
+      const bool lone_seq =
+          close == j + 2 && toks[j + 1].kind == TokKind::Ident &&
+          toks[j + 1].text.size() >= 3 &&
+          toks[j + 1].text.compare(toks[j + 1].text.size() - 3, 3, "seq") == 0;
+      if (lone_seq) continue;
+      add(out, kRule, file, toks[i],
+          "std::mt19937 seeded with an expression truncates a 64-bit seed "
+          "to 32 bits — construct from a std::seed_seq over both halves");
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------- 6. span-render-name
+
+std::vector<Finding> check_span_render_name(const CheckContext& ctx) {
+  constexpr std::string_view kRule = "span-render-name";
+  std::vector<Finding> out;
+  const Registries& reg = ctx.model.registries();
+
+  if (!reg.span_rows.empty()) {
+    std::set<std::string, std::less<>> rows;
+    for (const RegistryRow& r : reg.span_rows) rows.insert(r.name);
+    for (const std::string& name : ctx.model.idents_with_prefix("kSpan")) {
+      if (name == "kSpanNameTable" || rows.count(name) != 0) continue;
+      const std::vector<IdentUse>* uses = ctx.model.uses(name);
+      const IdentUse& first = uses->front();
+      const SourceFile& file = ctx.model.files()[first.file];
+      out.push_back({std::string{kRule}, file.path, first.line,
+                     file.lex.tokens[first.tok].col,
+                     name + " has no SpanNameEntry row in the span "
+                            "render-name table — the rendered profile "
+                            "cannot describe this phase"});
+    }
+  }
+
+  if (!reg.trace_categories.empty() && !reg.trace_cases.empty()) {
+    std::set<std::string, std::less<>> cases;
+    for (const RegistryRow& r : reg.trace_cases) cases.insert(r.name);
+    for (const RegistryRow& cat : reg.trace_categories) {
+      if (cases.count(cat.name) != 0) continue;
+      out.push_back({std::string{kRule}, reg.trace_hpp_file, cat.line, 1,
+                     "TraceCategory::" + cat.name +
+                         " has no to_string case — traces in this category "
+                         "render unreadably"});
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------- 7. chaos-point-registry
+
+std::vector<Finding> check_chaos_registry(const CheckContext& ctx) {
+  constexpr std::string_view kRule = "chaos-point-registry";
+  std::vector<Finding> out;
+  const Registries& reg = ctx.model.registries();
+  if (reg.chaos_points.empty()) return out;
+  std::set<std::string, std::less<>> rows;
+  for (const RegistryRow& r : reg.chaos_points) rows.insert(r.name);
+  for (const ChaosFireSite& site : ctx.model.chaos_fire_sites()) {
+    if (rows.count(site.point) != 0) continue;
+    const SourceFile& file = ctx.model.files()[site.file];
+    out.push_back({std::string{kRule}, file.path, site.line, 1,
+                   "chaos_fire(\"" + site.point +
+                       "\") names no row of the chaos-point table — the "
+                       "plan parser rejects it, so this point can never "
+                       "fire"});
+  }
+  return out;
+}
+
+// ------------------------------------------------------ 8. determinism D1
+
+std::vector<Finding> check_determinism(const CheckContext& ctx) {
+  constexpr std::string_view kRule = "determinism";
+  std::vector<Finding> out;
+  const std::set<std::string, std::less<>> kClocks = {
+      "system_clock", "steady_clock", "high_resolution_clock"};
+  for (std::uint32_t fi = 0; fi < ctx.model.files().size(); ++fi) {
+    const SourceFile& file = ctx.model.files()[fi];
+    if (!ctx.policy.in_scope(kRule, file.path)) continue;
+    const auto& toks = file.lex.tokens;
+    const auto& unordered = ctx.model.unordered_decls(fi);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::Ident && kClocks.count(t.text) != 0) {
+        add(out, kRule, file, t,
+            "wall-clock source std::chrono::" + t.text +
+                " in a translation unit that feeds deterministic output "
+                "(reports/journals/profiles must be byte-identical at any "
+                "--threads)");
+      }
+      if (is_ident(t, "random_device")) {
+        add(out, kRule, file, t,
+            "std::random_device is nondeterministic entropy in a "
+            "deterministic-output translation unit");
+      }
+      if ((is_ident(t, "rand") || is_ident(t, "srand")) &&
+          i + 1 < toks.size() && is_punct(toks[i + 1], "(") &&
+          (i == 0 || (!is_punct(toks[i - 1], ".") &&
+                      !is_punct(toks[i - 1], "->")))) {
+        add(out, kRule, file, t,
+            t.text + "() draws from hidden global state — use the seeded "
+                     "engines the fuzz plane provides");
+      }
+      // Range-for over a container declared unordered in this TU.
+      if (is_ident(t, "for") && i + 1 < toks.size() &&
+          is_punct(toks[i + 1], "(")) {
+        const std::size_t close = match_close(toks, i + 1);
+        std::size_t colon = 0;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < close && colon == 0; ++j) {
+          if (is_punct(toks[j], "(") || is_punct(toks[j], "[") ||
+              is_punct(toks[j], "{")) {
+            ++depth;
+          } else if (is_punct(toks[j], ")") || is_punct(toks[j], "]") ||
+                     is_punct(toks[j], "}")) {
+            --depth;
+          } else if (depth == 1 && is_punct(toks[j], ":")) {
+            colon = j;
+          }
+        }
+        for (std::size_t j = colon; colon != 0 && j < close; ++j) {
+          if (toks[j].kind == TokKind::Ident &&
+              unordered.count(toks[j].text) != 0) {
+            add(out, kRule, file, toks[j],
+                "iteration over unordered container '" + toks[j].text +
+                    "' — bucket order is implementation-defined, so any "
+                    "derived output diverges across runs and platforms");
+            break;
+          }
+        }
+      }
+      // Explicit iterator walks: x.begin() / x->cbegin() / ...
+      if (t.kind == TokKind::Ident && unordered.count(t.text) != 0 &&
+          i + 3 < toks.size() &&
+          (is_punct(toks[i + 1], ".") || is_punct(toks[i + 1], "->")) &&
+          (is_ident(toks[i + 2], "begin") || is_ident(toks[i + 2], "cbegin") ||
+           is_ident(toks[i + 2], "rbegin") ||
+           is_ident(toks[i + 2], "crbegin")) &&
+          is_punct(toks[i + 3], "(")) {
+        add(out, kRule, file, t,
+            "iterator walk over unordered container '" + t.text +
+                "' — bucket order is implementation-defined");
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------- 9. registry-closure R1
+
+std::vector<Finding> check_registry_closure(const CheckContext& ctx) {
+  constexpr std::string_view kRule = "registry-closure";
+  std::vector<Finding> out;
+  const Registries& reg = ctx.model.registries();
+
+  // Chaos: every registered point must have a live call site, and rows
+  // must be unique.
+  if (!reg.chaos_points.empty()) {
+    std::set<std::string, std::less<>> fired;
+    for (const ChaosFireSite& s : ctx.model.chaos_fire_sites()) {
+      fired.insert(s.point);
+    }
+    std::set<std::string, std::less<>> seen;
+    for (const RegistryRow& row : reg.chaos_points) {
+      if (!seen.insert(row.name).second) {
+        out.push_back({std::string{kRule}, reg.chaos_file, row.line, 1,
+                       "duplicate chaos-point row '" + row.name + "'"});
+      }
+      if (fired.count(row.name) == 0) {
+        out.push_back({std::string{kRule}, reg.chaos_file, row.line, 1,
+                       "chaos point '" + row.name +
+                           "' has no chaos_fire call site in src/ — dead "
+                           "vocabulary that plans can name but never "
+                           "exercise"});
+      }
+    }
+  }
+
+  // Spans: every render-name row must be a declared constant with at least
+  // one instrumentation site outside the table itself.
+  if (!reg.span_rows.empty()) {
+    std::set<std::string, std::less<>> seen;
+    for (const RegistryRow& row : reg.span_rows) {
+      if (!seen.insert(row.name).second) {
+        out.push_back({std::string{kRule}, reg.span_cpp_file, row.line, 1,
+                       "duplicate span render-name row for " + row.name});
+        continue;
+      }
+      const auto decl = reg.span_constants.find(row.name);
+      if (decl == reg.span_constants.end()) {
+        out.push_back({std::string{kRule}, reg.span_cpp_file, row.line, 1,
+                       "span render-name row references undeclared "
+                       "constant " +
+                           row.name});
+        continue;
+      }
+      // Instrumented = referenced somewhere that is neither the table row
+      // nor the constant's own declaration.
+      bool instrumented = false;
+      if (const std::vector<IdentUse>* uses = ctx.model.uses(row.name)) {
+        for (const IdentUse& use : *uses) {
+          const std::string& path = ctx.model.files()[use.file].path;
+          if (path == reg.span_cpp_file) continue;
+          if (path == decl->second.file && use.line == decl->second.line) {
+            continue;
+          }
+          instrumented = true;
+          break;
+        }
+      }
+      if (!instrumented) {
+        out.push_back({std::string{kRule}, reg.span_cpp_file, row.line, 1,
+                       "span render-name row for " + row.name +
+                           " has no instrumentation site"});
+      }
+    }
+  }
+
+  // Trace categories: to_string cases must be unique, and kCategoryCount
+  // must equal the enumerator count (the category mask math depends on
+  // it).
+  if (!reg.trace_cases.empty()) {
+    std::set<std::string, std::less<>> seen;
+    for (const RegistryRow& row : reg.trace_cases) {
+      if (!seen.insert(row.name).second) {
+        out.push_back({std::string{kRule}, reg.trace_cpp_file, row.line, 1,
+                       "duplicate to_string case for TraceCategory::" +
+                           row.name});
+      }
+    }
+  }
+  if (reg.category_count >= 0 && !reg.trace_categories.empty() &&
+      reg.category_count !=
+          static_cast<long long>(reg.trace_categories.size())) {
+    out.push_back({std::string{kRule}, reg.trace_hpp_file,
+                   reg.category_count_line, 1,
+                   "kCategoryCount (" + std::to_string(reg.category_count) +
+                       ") does not match the TraceCategory enumerator "
+                       "count (" +
+                       std::to_string(reg.trace_categories.size()) +
+                       ") — category masks will silently drop events"});
+  }
+  return out;
+}
+
+// ---------------------------------------------- 10. frame-state-writes S1
+
+std::vector<Finding> check_frame_state_writes(const CheckContext& ctx) {
+  constexpr std::string_view kRule = "frame-state-writes";
+  const auto member = [](const std::string& m) {
+    return kStateMembers.count(m) != 0 || kCountMembers.count(m) != 0;
+  };
+  std::vector<Finding> out;
+  for (const SourceFile& file : ctx.model.files()) {
+    if (ctx.policy.allowed(kRule, file.path)) continue;
+    const auto& toks = file.lex.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      // Arrow-access writes — the surface the regex rules never saw.
+      if (is_punct(t, "->") && toks[i + 1].kind == TokKind::Ident &&
+          member(toks[i + 1].text) && any_write_op(toks[i + 2])) {
+        add(out, kRule, file, toks[i + 1],
+            "frame-state member '->" + toks[i + 1].text +
+                "' written outside the policy allowlist "
+                "([allow frame-state-writes])");
+      }
+      // Dot-access compound ops beyond the ported rule's operator set.
+      if (is_punct(t, ".") && toks[i + 1].kind == TokKind::Ident &&
+          member(toks[i + 1].text) && any_write_op(toks[i + 2])) {
+        const std::string& m = toks[i + 1].text;
+        const bool ported =
+            (kStateMembers.count(m) != 0 && is_punct(toks[i + 2], "=")) ||
+            (kCountMembers.count(m) != 0 && count_write_op(toks[i + 2]));
+        if (!ported) {
+          add(out, kRule, file, toks[i + 1],
+              "frame-state member '." + m +
+                  "' written via compound assignment outside the policy "
+                  "allowlist");
+        }
+      }
+      // Prefix ++/-- reaching a member through ->.
+      if (is_punct(t, "++") || is_punct(t, "--")) {
+        const ChainEnd end = prefix_chain_end(toks, i + 1);
+        if (end.sep == "->" && kCountMembers.count(end.member) != 0) {
+          add(out, kRule, file, t,
+              "prefix " + t.text + " on frame-state member '->" +
+                  end.member + "' outside the policy allowlist");
+        }
+      }
+      // std::exchange / std::swap smuggling a write past the state machine.
+      if ((is_ident(t, "exchange") || is_ident(t, "swap")) &&
+          is_punct(toks[i + 1], "(")) {
+        const std::size_t close = match_close(toks, i + 1);
+        for (std::size_t j = i + 2; j + 1 < close; ++j) {
+          if ((is_punct(toks[j], ".") || is_punct(toks[j], "->")) &&
+              toks[j + 1].kind == TokKind::Ident &&
+              member(toks[j + 1].text)) {
+            add(out, kRule, file, t,
+                "std::" + t.text + " writes frame-state member '" +
+                    toks[j + 1].text + "' without a state-machine "
+                                       "transition");
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CheckEntry>& check_registry() {
+  static const std::vector<CheckEntry> kChecks = {
+      {"frame-bookkeeping",
+       "PageInfo type/refcount writes confined to the frame-table core",
+       &check_frame_bookkeeping},
+      {"trace-category",
+       "every TraceSink emission names a TraceCategory enumerator",
+       &check_trace_category},
+      {"pte-bit-twiddling",
+       "PTE encoding knowledge confined to the Pte codec (src/sim/pte.*)",
+       &check_pte_bits},
+      {"dirty-tracking",
+       "frame mutations go through generation-marking snapshot paths",
+       &check_dirty_tracking},
+      {"rng-seed-truncation",
+       "std::mt19937 must be seeded through a std::seed_seq",
+       &check_rng_seed},
+      {"span-render-name",
+       "every span constant and trace category renders by name",
+       &check_span_render_name},
+      {"chaos-point-registry",
+       "every chaos_fire site names a registered chaos point",
+       &check_chaos_registry},
+      {"determinism",
+       "no wall clocks, hidden RNG state, or unordered iteration in "
+       "deterministic-output translation units (D1)",
+       &check_determinism},
+      {"registry-closure",
+       "registry tables are duplicate-free, fully declared, and fully "
+       "used (R1)",
+       &check_registry_closure},
+      {"frame-state-writes",
+       "policy-driven frame-state write containment incl. arrow access, "
+       "compound ops, exchange/swap (S1)",
+       &check_frame_state_writes},
+  };
+  return kChecks;
+}
+
+}  // namespace ii::lint

@@ -1,0 +1,306 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace ii::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character punctuators, longest first within each length class.
+/// Maximal munch here is what makes the checks sound: `==` must never lex
+/// as two `=` tokens, or every equality test would look like a write.
+constexpr std::array<std::string_view, 4> kPunct3 = {"<<=", ">>=", "...",
+                                                     "->*"};
+constexpr std::array<std::string_view, 19> kPunct2 = {
+    "::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "==", "!=", "<=", ">=", "&&", "||", "##"};
+// `<<` / `>>` are intentionally absent: template argument lists close with
+// `>` tokens (`map<string, vector<int>>`), and the declaration scanner in
+// model.cpp balances single angle tokens. Shift expressions still lex fine
+// as two tokens — no check cares about shifts as a unit.
+
+/// Cursor over the source with line/column accounting.
+struct Cursor {
+  std::string_view src;
+  std::size_t pos = 0;
+  std::uint32_t line = 1;
+  std::uint32_t col = 1;
+
+  [[nodiscard]] bool done() const { return pos >= src.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  void advance() {
+    if (done()) return;
+    if (src[pos] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++pos;
+  }
+  void advance_n(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) advance();
+  }
+};
+
+/// Is `prefix` a valid string-literal encoding prefix (with or without the
+/// raw-string R)?
+[[nodiscard]] bool string_prefix(std::string_view prefix, bool& raw) {
+  raw = !prefix.empty() && prefix.back() == 'R';
+  if (raw) prefix.remove_suffix(1);
+  return prefix.empty() || prefix == "u8" || prefix == "u" || prefix == "U" ||
+         prefix == "L";
+}
+
+struct Suppression {
+  std::uint32_t first_line = 0;
+  std::uint32_t last_line = 0;
+  bool own_line = false;  ///< nothing but whitespace before the comment
+  std::set<std::string, std::less<>> rules;
+};
+
+/// Scan a comment body for `ii-analyze:allow(rule, rule, ...)` and collect
+/// the rule names. Returns false if the marker is absent.
+bool parse_allow(std::string_view comment,
+                 std::set<std::string, std::less<>>& rules) {
+  constexpr std::string_view kMarker = "ii-analyze:allow(";
+  const std::size_t at = comment.find(kMarker);
+  if (at == std::string_view::npos) return false;
+  std::size_t i = at + kMarker.size();
+  std::string name;
+  for (; i < comment.size() && comment[i] != ')'; ++i) {
+    const char c = comment[i];
+    if (c == ',') {
+      if (!name.empty()) rules.insert(name);
+      name.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      name += c;
+    }
+  }
+  if (!name.empty()) rules.insert(name);
+  return !rules.empty();
+}
+
+}  // namespace
+
+LexedFile lex(std::string_view source) {
+  LexedFile out;
+  Cursor cur{source};
+  std::vector<Suppression> suppressions;
+  // Whether anything other than whitespace has appeared on the current
+  // line before the cursor — decides if a comment "owns" its line.
+  bool line_has_code = false;
+
+  const auto note_comment = [&](std::string_view body, std::uint32_t first,
+                                std::uint32_t last, bool own_line) {
+    Suppression s;
+    if (parse_allow(body, s.rules)) {
+      s.first_line = first;
+      s.last_line = last;
+      s.own_line = own_line;
+      suppressions.push_back(std::move(s));
+    }
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+
+    if (c == '\n') {
+      line_has_code = false;
+      cur.advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      cur.advance();
+      continue;
+    }
+
+    // ---- comments ------------------------------------------------------
+    if (c == '/' && cur.peek(1) == '/') {
+      const std::uint32_t first = cur.line;
+      const bool own_line = !line_has_code;
+      const std::size_t start = cur.pos;
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      note_comment(source.substr(start, cur.pos - start), first, first,
+                   own_line);
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      const std::uint32_t first = cur.line;
+      const bool own_line = !line_has_code;
+      const std::size_t start = cur.pos;
+      cur.advance_n(2);
+      while (!cur.done() && !(cur.peek() == '*' && cur.peek(1) == '/')) {
+        cur.advance();
+      }
+      cur.advance_n(2);  // closing */
+      note_comment(source.substr(start, cur.pos - start), first, cur.line,
+                   own_line);
+      continue;
+    }
+
+    line_has_code = true;
+    const std::uint32_t tok_line = cur.line;
+    const std::uint32_t tok_col = cur.col;
+
+    // ---- identifiers (and string-literal encoding prefixes) ------------
+    if (ident_start(c)) {
+      const std::size_t start = cur.pos;
+      while (!cur.done() && ident_char(cur.peek())) cur.advance();
+      const std::string_view word = source.substr(start, cur.pos - start);
+      bool raw = false;
+      if (cur.peek() == '"' && string_prefix(word, raw)) {
+        // u8"...", LR"(...)": the prefix belongs to the literal, not the
+        // token stream.
+        cur.advance();  // opening quote
+        const std::size_t body = cur.pos;
+        if (raw) {
+          // R"delim( ... )delim"
+          std::string delim;
+          while (!cur.done() && cur.peek() != '(') {
+            delim += cur.peek();
+            cur.advance();
+          }
+          cur.advance();  // '('
+          const std::size_t inner = cur.pos;
+          const std::string close = ")" + delim + "\"";
+          const std::size_t end = source.find(close, cur.pos);
+          const std::size_t stop = end == std::string_view::npos
+                                       ? source.size()
+                                       : end;
+          while (cur.pos < stop) cur.advance();
+          out.tokens.push_back({TokKind::Str,
+                                std::string{source.substr(inner,
+                                                          stop - inner)},
+                                tok_line, tok_col});
+          cur.advance_n(close.size());
+        } else {
+          while (!cur.done() && cur.peek() != '"' && cur.peek() != '\n') {
+            if (cur.peek() == '\\') cur.advance();
+            cur.advance();
+          }
+          out.tokens.push_back({TokKind::Str,
+                                std::string{source.substr(body,
+                                                          cur.pos - body)},
+                                tok_line, tok_col});
+          cur.advance();  // closing quote
+        }
+        continue;
+      }
+      out.tokens.push_back(
+          {TokKind::Ident, std::string{word}, tok_line, tok_col});
+      continue;
+    }
+
+    // ---- plain string literal ------------------------------------------
+    if (c == '"') {
+      cur.advance();
+      const std::size_t body = cur.pos;
+      while (!cur.done() && cur.peek() != '"' && cur.peek() != '\n') {
+        if (cur.peek() == '\\') cur.advance();
+        cur.advance();
+      }
+      out.tokens.push_back(
+          {TokKind::Str, std::string{source.substr(body, cur.pos - body)},
+           tok_line, tok_col});
+      cur.advance();
+      continue;
+    }
+
+    // ---- char literal ---------------------------------------------------
+    if (c == '\'') {
+      cur.advance();
+      const std::size_t body = cur.pos;
+      while (!cur.done() && cur.peek() != '\'' && cur.peek() != '\n') {
+        if (cur.peek() == '\\') cur.advance();
+        cur.advance();
+      }
+      out.tokens.push_back(
+          {TokKind::CharLit,
+           std::string{source.substr(body, cur.pos - body)}, tok_line,
+           tok_col});
+      cur.advance();
+      continue;
+    }
+
+    // ---- numbers --------------------------------------------------------
+    if (digit(c) || (c == '.' && digit(cur.peek(1)))) {
+      const std::size_t start = cur.pos;
+      while (!cur.done()) {
+        const char n = cur.peek();
+        if (ident_char(n) || n == '.' || n == '\'') {
+          cur.advance();
+          continue;
+        }
+        // Exponent signs: 1e+5, 0x1p-3.
+        if ((n == '+' || n == '-') && cur.pos > start) {
+          const char prev = source[cur.pos - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            cur.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      out.tokens.push_back(
+          {TokKind::Number, std::string{source.substr(start, cur.pos - start)},
+           tok_line, tok_col});
+      continue;
+    }
+
+    // ---- punctuators ----------------------------------------------------
+    const std::string_view rest = source.substr(cur.pos);
+    std::size_t len = 1;
+    for (const std::string_view p : kPunct3) {
+      if (rest.substr(0, 3) == p) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (const std::string_view p : kPunct2) {
+        if (rest.substr(0, 2) == p) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    out.tokens.push_back(
+        {TokKind::Punct, std::string{rest.substr(0, len)}, tok_line, tok_col});
+    cur.advance_n(len);
+  }
+
+  out.lines = cur.line;
+  std::set<std::uint32_t> code_lines;
+  for (const Token& t : out.tokens) code_lines.insert(t.line);
+  for (const Suppression& s : suppressions) {
+    for (std::uint32_t l = s.first_line; l <= s.last_line; ++l) {
+      out.allows[l].insert(s.rules.begin(), s.rules.end());
+    }
+    if (s.own_line) {
+      // Cover the next line that carries code, so a suppression at the top
+      // of a comment block reaches the statement below the block.
+      std::uint32_t l = s.last_line + 1;
+      while (l <= out.lines && code_lines.count(l) == 0) ++l;
+      out.allows[l].insert(s.rules.begin(), s.rules.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace ii::lint

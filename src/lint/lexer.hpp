@@ -1,0 +1,44 @@
+// C++ lexer for ii-analyze: tokens with file positions, comments stripped,
+// suppression comments collected (DESIGN.md §15).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace ii::lint {
+
+/// One lexed translation unit (or header).
+struct LexedFile {
+  std::vector<Token> tokens;
+
+  /// Suppressions harvested from `// ii-analyze:allow(rule, ...)` comments:
+  /// line number -> rule names allowed on that line ("*" allows every
+  /// rule). A suppression covers every line its comment touches; a comment
+  /// with no code before it on its line also covers the next line that
+  /// carries code (blank lines and the rest of a comment block don't break
+  /// the chain), so
+  ///   // ii-analyze:allow(determinism): wall_us is wall-clock by design,
+  ///   // and the deterministic runs use --logical-time instead.
+  ///   const auto start = std::chrono::steady_clock::now();
+  /// works the way a reader expects. A finding on a multi-line statement
+  /// is anchored to the offending token's line — suppress there, inline if
+  /// necessary.
+  std::map<std::uint32_t, std::set<std::string, std::less<>>> allows;
+
+  /// Total source lines (for bookkeeping / renderers).
+  std::uint32_t lines = 0;
+};
+
+/// Lex `source`. Handles line/block comments, string and char literals
+/// (escapes honoured), raw strings with custom delimiters, and encoding
+/// prefixes (u8"", L"", UR"", ...). Never throws on malformed input — an
+/// unterminated literal is closed at end of file so analysis of a broken
+/// tree still reports something useful.
+[[nodiscard]] LexedFile lex(std::string_view source);
+
+}  // namespace ii::lint

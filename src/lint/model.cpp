@@ -1,0 +1,282 @@
+#include "lint/model.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ii::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == TokKind::Ident && t.text == s;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == TokKind::Punct && t.text == s;
+}
+
+/// Locate the first file whose path ends with `suffix`.
+[[nodiscard]] const SourceFile* find_file(const std::vector<SourceFile>& files,
+                                          std::string_view suffix) {
+  for (const SourceFile& f : files) {
+    if (f.path.size() >= suffix.size() &&
+        f.path.compare(f.path.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::size_t match_close(const std::vector<Token>& toks,
+                        std::size_t open_idx) {
+  if (open_idx >= toks.size()) return toks.size();
+  const std::string& open = toks[open_idx].text;
+  std::string close;
+  if (open == "(") {
+    close = ")";
+  } else if (open == "[") {
+    close = "]";
+  } else if (open == "{") {
+    close = "}";
+  } else {
+    return toks.size();
+  }
+  int depth = 0;
+  for (std::size_t i = open_idx; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open)) ++depth;
+    if (is_punct(toks[i], close)) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+void SourceModel::add_file(std::string path, std::string_view content) {
+  if (finalized_) {
+    throw std::logic_error{"SourceModel::add_file after finalize"};
+  }
+  SourceFile f;
+  f.path = std::move(path);
+  f.lex = lex(content);
+  files_.push_back(std::move(f));
+}
+
+SourceModel SourceModel::load_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  SourceModel model;
+  const fs::path base{root};
+  const fs::path src = base / "src";
+  if (fs::exists(src)) {
+    for (const auto& entry : fs::recursive_directory_iterator{src}) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      std::ifstream in{entry.path(), std::ios::binary};
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      model.add_file(fs::relative(entry.path(), base).generic_string(),
+                     buf.str());
+    }
+  }
+  model.finalize();
+  return model;
+}
+
+void SourceModel::finalize() {
+  if (finalized_) return;
+  std::sort(files_.begin(), files_.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  finalized_ = true;
+  build_registries();
+  build_indexes();
+}
+
+const std::vector<IdentUse>* SourceModel::uses(std::string_view name) const {
+  const auto it = uses_.find(name);
+  return it == uses_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SourceModel::idents_with_prefix(
+    std::string_view prefix) const {
+  std::vector<std::string> names;
+  for (auto it = uses_.lower_bound(prefix); it != uses_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    names.push_back(it->first);
+  }
+  return names;
+}
+
+const std::set<std::string, std::less<>>& SourceModel::unordered_decls(
+    std::uint32_t file) const {
+  static const std::set<std::string, std::less<>> kEmpty;
+  return file < unordered_decls_.size() ? unordered_decls_[file] : kEmpty;
+}
+
+// ------------------------------------------------------ registry parsing
+
+void SourceModel::build_registries() {
+  // Chaos-point table: kChaosPointTable rows are `{ "name", "desc" }`; the
+  // first string literal after each row-opening brace is the point name.
+  if (const SourceFile* f = find_file(files_, "core/chaos.cpp")) {
+    registries_.chaos_file = f->path;
+    const auto& toks = f->lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i], "kChaosPointTable")) continue;
+      std::size_t open = i + 1;
+      while (open < toks.size() && !is_punct(toks[open], "{")) ++open;
+      const std::size_t close = match_close(toks, open);
+      for (std::size_t j = open + 1; j < close; ++j) {
+        if (!is_punct(toks[j], "{")) continue;
+        const std::size_t row_close = match_close(toks, j);
+        if (j + 1 < row_close && toks[j + 1].kind == TokKind::Str) {
+          registries_.chaos_points.push_back(
+              {toks[j + 1].text, toks[j + 1].line, f->path});
+        }
+        j = row_close;
+      }
+      break;
+    }
+  }
+
+  // Span render-name table: rows are `SpanNameEntry{kSpanX, "what"}`.
+  if (const SourceFile* f = find_file(files_, "obs/span.cpp")) {
+    registries_.span_cpp_file = f->path;
+    const auto& toks = f->lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i], "kSpanNameTable")) continue;
+      std::size_t open = i + 1;
+      while (open < toks.size() && !is_punct(toks[open], "{")) ++open;
+      const std::size_t close = match_close(toks, open);
+      for (std::size_t j = open + 1; j + 2 < close; ++j) {
+        if (is_ident(toks[j], "SpanNameEntry") && is_punct(toks[j + 1], "{") &&
+            toks[j + 2].kind == TokKind::Ident) {
+          registries_.span_rows.push_back(
+              {toks[j + 2].text, toks[j + 2].line, f->path});
+          j = match_close(toks, j + 1);
+        }
+      }
+      break;
+    }
+  }
+
+  // Span constants: `kSpanX = "name"` declarations, wherever they live.
+  for (const SourceFile& f : files_) {
+    const auto& toks = f.lex.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind == TokKind::Ident &&
+          toks[i].text.compare(0, 5, "kSpan") == 0 &&
+          is_punct(toks[i + 1], "=") && toks[i + 2].kind == TokKind::Str) {
+        registries_.span_constants.emplace(
+            toks[i].text,
+            RegistryRow{toks[i + 2].text, toks[i].line, f.path});
+      }
+    }
+  }
+
+  if (const SourceFile* f = find_file(files_, "obs/trace.hpp")) {
+    registries_.trace_hpp_file = f->path;
+    const auto& toks = f->lex.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      // enum class TraceCategory [: base] { A, B = 1, ... };
+      if (is_ident(toks[i], "enum") && is_ident(toks[i + 1], "class") &&
+          is_ident(toks[i + 2], "TraceCategory")) {
+        std::size_t open = i + 3;
+        while (open < toks.size() && !is_punct(toks[open], "{")) ++open;
+        const std::size_t close = match_close(toks, open);
+        for (std::size_t j = open + 1; j < close; ++j) {
+          if (toks[j].kind == TokKind::Ident &&
+              (is_punct(toks[j - 1], "{") || is_punct(toks[j - 1], ","))) {
+            registries_.trace_categories.push_back(
+                {toks[j].text, toks[j].line, f->path});
+          }
+        }
+      }
+      // inline constexpr std::size_t kCategoryCount = 14;
+      if (is_ident(toks[i], "kCategoryCount") && is_punct(toks[i + 1], "=") &&
+          toks[i + 2].kind == TokKind::Number) {
+        registries_.category_count =
+            std::strtoll(toks[i + 2].text.c_str(), nullptr, 0);
+        registries_.category_count_line = toks[i].line;
+      }
+    }
+  }
+
+  if (const SourceFile* f = find_file(files_, "obs/trace.cpp")) {
+    registries_.trace_cpp_file = f->path;
+    const auto& toks = f->lex.tokens;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (is_ident(toks[i], "case") && is_ident(toks[i + 1], "TraceCategory") &&
+          is_punct(toks[i + 2], "::") &&
+          toks[i + 3].kind == TokKind::Ident) {
+        registries_.trace_cases.push_back(
+            {toks[i + 3].text, toks[i + 3].line, f->path});
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- indexes
+
+void SourceModel::build_indexes() {
+  unordered_decls_.assign(files_.size(), {});
+  for (std::uint32_t fi = 0; fi < files_.size(); ++fi) {
+    const auto& toks = files_[fi].lex.tokens;
+    for (std::uint32_t ti = 0; ti < toks.size(); ++ti) {
+      const Token& t = toks[ti];
+      if (t.kind != TokKind::Ident) continue;
+      uses_[t.text].push_back({fi, ti, t.line});
+
+      // chaos_fire("point") call sites (string-literal argument only; a
+      // non-literal argument is the chaos_fire declaration itself or a
+      // forwarding wrapper, which the registry check has no opinion on).
+      if (t.text == "chaos_fire" && ti + 2 < toks.size() &&
+          is_punct(toks[ti + 1], "(") &&
+          toks[ti + 2].kind == TokKind::Str) {
+        chaos_sites_.push_back({toks[ti + 2].text, fi, toks[ti + 2].line});
+      }
+
+      // Declarations with an unordered container type. The lexer never
+      // munches `>>`, so template argument lists balance on single angle
+      // tokens.
+      if (t.text == "unordered_map" || t.text == "unordered_set" ||
+          t.text == "unordered_multimap" || t.text == "unordered_multiset") {
+        std::size_t j = ti + 1;
+        if (j >= toks.size() || !is_punct(toks[j], "<")) continue;
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+          if (is_punct(toks[j], "<")) ++depth;
+          if (is_punct(toks[j], ">")) {
+            --depth;
+            if (depth == 0) break;
+          }
+        }
+        ++j;  // past the closing '>'
+        while (j < toks.size() &&
+               (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+                is_ident(toks[j], "const"))) {
+          ++j;
+        }
+        if (j + 1 < toks.size() && toks[j].kind == TokKind::Ident) {
+          const Token& next = toks[j + 1];
+          if (is_punct(next, ";") || is_punct(next, "=") ||
+              is_punct(next, "{") || is_punct(next, "(") ||
+              is_punct(next, ",") || is_punct(next, ")")) {
+            unordered_decls_[fi].insert(toks[j].text);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ii::lint

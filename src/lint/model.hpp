@@ -1,0 +1,121 @@
+// Source model for ii-analyze: the lexed tree plus the cross-file indexes
+// the checks consume (DESIGN.md §15).
+//
+// Everything here is deterministic by construction: files are ordered by
+// repo-relative path, indexes are std::map, and nothing reads a clock —
+// the analyzer is itself held to the determinism rule it enforces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace ii::lint {
+
+struct SourceFile {
+  std::string path;  ///< repo-relative, forward slashes ("src/hv/...")
+  LexedFile lex;
+};
+
+/// One row of a parsed registry table (or enum), with the line it sits on
+/// so closure findings can point at the row itself.
+struct RegistryRow {
+  std::string name;
+  std::uint32_t line = 0;
+  std::string file;  ///< path of the file the row was parsed from
+};
+
+/// The closed vocabularies ii-analyze cross-checks call sites against.
+/// Parsed from the registry translation units' token streams — not
+/// pattern-matched near them — so a reformatted or multi-line table row
+/// still parses. Missing registry files leave the vectors empty and the
+/// dependent checks quietly skip (the fixture trees rely on this).
+struct Registries {
+  std::vector<RegistryRow> chaos_points;  ///< kChaosPointTable rows
+  std::vector<RegistryRow> span_rows;     ///< kSpanNameTable row constants
+  std::map<std::string, RegistryRow, std::less<>>
+      span_constants;                        ///< kSpan* decls -> value row
+  std::vector<RegistryRow> trace_categories; ///< enum class TraceCategory
+  std::vector<RegistryRow> trace_cases;      ///< case TraceCategory::X:
+  long long category_count = -1;  ///< kCategoryCount literal, -1 if absent
+  std::uint32_t category_count_line = 0;
+
+  std::string chaos_file;      ///< where the chaos table was parsed from
+  std::string span_cpp_file;   ///< where the span render-name table lives
+  std::string trace_hpp_file;  ///< where the TraceCategory enum lives
+  std::string trace_cpp_file;  ///< where the to_string cases live
+};
+
+/// One identifier occurrence.
+struct IdentUse {
+  std::uint32_t file = 0;  ///< index into SourceModel::files()
+  std::uint32_t tok = 0;   ///< index into that file's token stream
+  std::uint32_t line = 0;
+};
+
+/// A chaos_fire("name") call site.
+struct ChaosFireSite {
+  std::string point;
+  std::uint32_t file = 0;
+  std::uint32_t line = 0;
+};
+
+class SourceModel {
+ public:
+  /// Add one file. `path` must be repo-relative. Call finalize() after the
+  /// last add; add_file afterwards throws.
+  void add_file(std::string path, std::string_view content);
+
+  /// Lex every *.cpp / *.hpp under `root`/src, ordered by relative path.
+  /// Returns a finalized model.
+  [[nodiscard]] static SourceModel load_tree(const std::string& root);
+
+  /// Sort files, build the registries and the identifier-use index.
+  void finalize();
+
+  [[nodiscard]] const std::vector<SourceFile>& files() const {
+    return files_;
+  }
+  [[nodiscard]] const Registries& registries() const { return registries_; }
+
+  /// Every occurrence of `name` across the tree, in (file, token) order.
+  [[nodiscard]] const std::vector<IdentUse>* uses(std::string_view name) const;
+
+  /// All identifiers with at least one use whose name starts with `prefix`.
+  [[nodiscard]] std::vector<std::string> idents_with_prefix(
+      std::string_view prefix) const;
+
+  /// All chaos_fire sites whose argument is a string literal.
+  [[nodiscard]] const std::vector<ChaosFireSite>& chaos_fire_sites() const {
+    return chaos_sites_;
+  }
+
+  /// Names declared in `file` with an unordered container type
+  /// (std::unordered_map / set / multimap / multiset). Per-file — the
+  /// index is declaration-scoped, not a full type system (DESIGN.md §15).
+  [[nodiscard]] const std::set<std::string, std::less<>>&
+  unordered_decls(std::uint32_t file) const;
+
+ private:
+  void build_registries();
+  void build_indexes();
+
+  std::vector<SourceFile> files_;
+  Registries registries_;
+  std::map<std::string, std::vector<IdentUse>, std::less<>> uses_;
+  std::vector<ChaosFireSite> chaos_sites_;
+  std::vector<std::set<std::string, std::less<>>> unordered_decls_;
+  bool finalized_ = false;
+};
+
+/// Index of the matching closer for `open` ("(", "[", "{") at `open_idx`,
+/// or the stream size if unbalanced.
+[[nodiscard]] std::size_t match_close(const std::vector<Token>& toks,
+                                      std::size_t open_idx);
+
+}  // namespace ii::lint

@@ -1,0 +1,116 @@
+#include "lint/policy.hpp"
+
+#include <sstream>
+
+namespace ii::lint {
+
+namespace {
+
+[[nodiscard]] std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string{s.substr(b, e - b)};
+}
+
+[[nodiscard]] bool has_prefix(std::string_view path,
+                              const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (path.size() >= p.size() && path.compare(0, p.size(), p) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Mirrors tools/ii_analyze.policy; keep the two in sync (the
+// policy-roundtrip test in lint_analyzer_test compares them).
+constexpr std::string_view kBuiltinPolicy = R"(
+[allow frame-bookkeeping]
+src/hv/frame_table.cpp
+src/hv/memory.cpp
+src/hv/hypervisor.cpp
+src/hv/recovery.cpp
+src/hv/grant_table.cpp
+src/hv/frame_table.hpp
+src/hv/snapshot.hpp
+
+[allow frame-state-writes]
+src/hv/frame_table.cpp
+src/hv/memory.cpp
+src/hv/hypervisor.cpp
+src/hv/recovery.cpp
+src/hv/grant_table.cpp
+src/hv/frame_table.hpp
+src/hv/snapshot.hpp
+
+[allow pte-bit-twiddling]
+src/sim/pte.
+
+[allow dirty-tracking]
+src/sim/phys_mem.
+src/hv/snapshot.
+
+[scope determinism]
+src/core/report.
+src/core/journal.
+src/core/campaign.
+src/core/supervisor.
+src/obs/
+src/analysis/
+src/lint/
+)";
+
+}  // namespace
+
+Policy Policy::parse(std::string_view text) {
+  Policy policy;
+  std::istringstream in{std::string{text}};
+  std::string line;
+  std::string section;  // "allow" or "scope"
+  std::string rule;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string entry = trim(line);
+    if (entry.empty()) continue;
+    if (entry.front() == '[' && entry.back() == ']') {
+      const std::string header = trim(entry.substr(1, entry.size() - 2));
+      const std::size_t space = header.find(' ');
+      section = space == std::string::npos ? header : header.substr(0, space);
+      rule = space == std::string::npos ? std::string{}
+                                        : trim(header.substr(space + 1));
+      continue;
+    }
+    if (rule.empty()) continue;
+    if (section == "allow") {
+      policy.add_allow(rule, entry);
+    } else if (section == "scope") {
+      policy.add_scope(rule, entry);
+    }
+  }
+  return policy;
+}
+
+Policy Policy::builtin() { return parse(kBuiltinPolicy); }
+
+bool Policy::allowed(std::string_view rule, std::string_view path) const {
+  const auto it = allow_.find(rule);
+  return it != allow_.end() && has_prefix(path, it->second);
+}
+
+bool Policy::in_scope(std::string_view rule, std::string_view path) const {
+  const auto it = scope_.find(rule);
+  return it == scope_.end() || has_prefix(path, it->second);
+}
+
+void Policy::add_allow(std::string rule, std::string prefix) {
+  allow_[std::move(rule)].push_back(std::move(prefix));
+}
+
+void Policy::add_scope(std::string rule, std::string prefix) {
+  scope_[std::move(rule)].push_back(std::move(prefix));
+}
+
+}  // namespace ii::lint

@@ -1,0 +1,44 @@
+// Checked-in analysis policy: per-rule path allowlists and scopes
+// (DESIGN.md §15). The frame-state ownership story, the pte codec
+// boundary, and the determinism perimeter are repo policy, not analyzer
+// code — they live in tools/ii_analyze.policy so a reviewer can see (and
+// a PR can change) who may touch what without rebuilding the tool.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ii::lint {
+
+class Policy {
+ public:
+  /// Parse policy text. Grammar (one entry per line, '#' comments):
+  ///   [allow <rule>]   — path prefixes exempt from <rule>
+  ///   [scope <rule>]   — path prefixes <rule> is confined to; a rule with
+  ///                      no scope section applies everywhere
+  [[nodiscard]] static Policy parse(std::string_view text);
+
+  /// The defaults this repo ships (mirrors tools/ii_analyze.policy), used
+  /// when no policy file is present.
+  [[nodiscard]] static Policy builtin();
+
+  /// True if `path` starts with one of `rule`'s allow prefixes.
+  [[nodiscard]] bool allowed(std::string_view rule,
+                             std::string_view path) const;
+
+  /// True if `rule` has no scope section or `path` starts with one of its
+  /// scope prefixes.
+  [[nodiscard]] bool in_scope(std::string_view rule,
+                              std::string_view path) const;
+
+  void add_allow(std::string rule, std::string prefix);
+  void add_scope(std::string rule, std::string prefix);
+
+ private:
+  std::map<std::string, std::vector<std::string>, std::less<>> allow_;
+  std::map<std::string, std::vector<std::string>, std::less<>> scope_;
+};
+
+}  // namespace ii::lint

@@ -1,0 +1,31 @@
+// Token model for the ii-analyze lexer (DESIGN.md §15).
+//
+// The analyzer never sees raw source text: every check walks a token
+// stream in which comments are gone and string/char literals are single
+// opaque tokens. That is what retires the grep-based ii-lint's entire
+// false-positive class — a forbidden pattern inside a comment or a string
+// literal simply does not exist at this layer — and what lets checks match
+// constructs that span lines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ii::lint {
+
+enum class TokKind : std::uint8_t {
+  Ident,    ///< identifier or keyword
+  Number,   ///< integer / floating literal, prefix and suffix included
+  Str,      ///< string literal; `text` is the uninterpreted inner text
+  CharLit,  ///< character literal; `text` is the inner text
+  Punct,    ///< operator / punctuator, maximal-munch (`==` is one token)
+};
+
+struct Token {
+  TokKind kind{};
+  std::string text;
+  std::uint32_t line = 0;  ///< 1-based line of the token's first character
+  std::uint32_t col = 0;   ///< 1-based column of the token's first character
+};
+
+}  // namespace ii::lint

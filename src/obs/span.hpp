@@ -132,6 +132,9 @@ struct SpanEvent {
 
 class SpanProfiler {
  public:
+  // ii-analyze:allow(determinism): the wall-clock columns this clock feeds
+  // are SpanKind::Sched-gated and excluded from the deterministic render
+  // (DESIGN.md §13); the byte-identical profile counts steps, not time.
   using Clock = std::chrono::steady_clock;
 
   /// Profilers that will be merged (per-worker instances) should share one

@@ -1,0 +1,333 @@
+// Fixture-driven tests for the ii-analyze static analyzer (DESIGN.md §15).
+//
+// Each rule has a known-bad fixture whose violating lines carry an
+// `EXPECT[<rule>]` marker comment and a known-clean fixture with no
+// markers; the harness mounts the fixtures into an in-memory SourceModel
+// and asserts the analyzer flags exactly the marked (file, line) pairs —
+// nothing more, nothing less. Registry-backed rules mount stub registry
+// files at the canonical src/{core,obs}/ paths. The tree-level tests run
+// the real analyzer over the real repo: the tree must be clean, the
+// builtin policy must match tools/ii_analyze.policy, and the JSON render
+// must be byte-identical across runs.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/analyzer.hpp"
+
+namespace {
+
+using ii::lint::analyze;
+using ii::lint::AnalysisResult;
+using ii::lint::Policy;
+using ii::lint::render_json;
+using ii::lint::render_text;
+using ii::lint::SourceModel;
+
+std::string fixture_file(const std::string& name) {
+  return std::string{II_LINT_FIXTURE_DIR} + "/" + name;
+}
+
+std::string repo_root() { return II_LINT_REPO_ROOT; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The policy the fixture tree runs under: allowlists point at fixture
+/// paths, mirroring the shape (not the content) of tools/ii_analyze.policy.
+Policy fixture_policy() {
+  Policy p;
+  p.add_allow("frame-bookkeeping", "src/allowlisted/");
+  p.add_allow("frame-state-writes", "src/allowlisted/");
+  p.add_allow("pte-bit-twiddling", "src/sim/pte.");
+  p.add_allow("dirty-tracking", "src/sim/phys_mem.");
+  return p;
+}
+
+struct Mount {
+  std::string path;     ///< repo-relative path the content is mounted at
+  std::string fixture;  ///< file name under tests/lint_fixtures/
+};
+
+struct CaseResult {
+  AnalysisResult analysis;
+  std::set<std::pair<std::string, std::uint32_t>> flagged;
+  std::set<std::pair<std::string, std::uint32_t>> expected;
+  std::size_t expected_count = 0;
+};
+
+/// Mount the fixtures, run the named rules (all rules when empty), and
+/// collect both the flagged (file, line) pairs and the EXPECT[<rule>]
+/// markers harvested from the mounted sources.
+CaseResult run_case(const std::vector<Mount>& mounts,
+                    const std::vector<std::string>& rules) {
+  CaseResult r;
+  SourceModel model;
+  std::map<std::string, std::string> contents;
+  for (const Mount& m : mounts) {
+    std::string text = slurp(fixture_file(m.fixture));
+    model.add_file(m.path, text);
+    contents.emplace(m.path, std::move(text));
+  }
+  model.finalize();
+  r.analysis = analyze(model, fixture_policy(), rules);
+  for (const auto& f : r.analysis.findings) {
+    r.flagged.insert({f.file, f.line});
+  }
+  for (const std::string& rule : rules) {
+    const std::string marker = "EXPECT[" + rule + "]";
+    for (const auto& [path, text] : contents) {
+      std::istringstream lines{text};
+      std::string line;
+      for (std::uint32_t n = 1; std::getline(lines, line); ++n) {
+        if (line.find(marker) != std::string::npos) {
+          r.expected.insert({path, n});
+          ++r.expected_count;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+/// Flagged lines must equal marked lines, one finding per marked line.
+void expect_exact(const CaseResult& r) {
+  EXPECT_EQ(r.flagged, r.expected) << render_text(r.analysis);
+  EXPECT_EQ(r.analysis.findings.size(), r.expected_count)
+      << render_text(r.analysis);
+}
+
+/// Run one bad/clean fixture pair mounted at src/fixture.cpp. Fixture
+/// file names spell the rule with underscores.
+void expect_pair(const std::string& rule) {
+  std::string stem = rule;
+  for (char& c : stem) {
+    if (c == '-') c = '_';
+  }
+  expect_exact(run_case({{"src/fixture.cpp", stem + "_bad.cpp"}}, {rule}));
+  const CaseResult clean =
+      run_case({{"src/fixture.cpp", stem + "_clean.cpp"}}, {rule});
+  EXPECT_TRUE(clean.analysis.findings.empty())
+      << render_text(clean.analysis);
+}
+
+/// The complete, defect-free registry stub set plus an instrumentation
+/// site that exercises every registered name.
+std::vector<Mount> registry_stubs() {
+  return {{"src/core/chaos.cpp", "stubs/chaos.cpp"},
+          {"src/obs/span.hpp", "stubs/span.hpp"},
+          {"src/obs/span.cpp", "stubs/span.cpp"},
+          {"src/obs/trace.hpp", "stubs/trace.hpp"},
+          {"src/obs/trace.cpp", "stubs/trace.cpp"},
+          {"src/instrumented.cpp", "registry_closure_fixture.cpp"}};
+}
+
+// ------------------------------------------------- ported rules (1..5, S1)
+
+TEST(LintFixtures, FrameBookkeeping) { expect_pair("frame-bookkeeping"); }
+
+TEST(LintFixtures, TraceCategory) { expect_pair("trace-category"); }
+
+TEST(LintFixtures, PteBitTwiddling) { expect_pair("pte-bit-twiddling"); }
+
+TEST(LintFixtures, DirtyTracking) { expect_pair("dirty-tracking"); }
+
+TEST(LintFixtures, RngSeedTruncation) { expect_pair("rng-seed-truncation"); }
+
+TEST(LintFixtures, FrameStateWrites) { expect_pair("frame-state-writes"); }
+
+TEST(LintFixtures, Determinism) { expect_pair("determinism"); }
+
+// ------------------------------------------------------- policy behaviour
+
+TEST(LintFixtures, AllowlistedPathsAreExempt) {
+  // The same bad fixtures mounted on allowlisted paths produce nothing.
+  const CaseResult r = run_case(
+      {{"src/allowlisted/writes.cpp", "frame_state_writes_bad.cpp"},
+       {"src/allowlisted/pages.cpp", "frame_bookkeeping_bad.cpp"},
+       {"src/sim/pte.cpp", "pte_bit_twiddling_bad.cpp"},
+       {"src/sim/phys_mem.cpp", "dirty_tracking_bad.cpp"}},
+      {"frame-state-writes", "frame-bookkeeping", "pte-bit-twiddling",
+       "dirty-tracking"});
+  EXPECT_TRUE(r.analysis.findings.empty()) << render_text(r.analysis);
+}
+
+TEST(LintFixtures, DeterminismScopeConfinesTheRule) {
+  SourceModel model;
+  model.add_file("src/util/helper.cpp",
+                 slurp(fixture_file("determinism_bad.cpp")));
+  model.finalize();
+  Policy p;
+  p.add_scope("determinism", "src/core/");
+  const AnalysisResult res = analyze(model, p, {"determinism"});
+  EXPECT_TRUE(res.findings.empty()) << render_text(res);
+}
+
+// ------------------------------------------------------- registry rules
+
+TEST(LintFixtures, SpanRenderNameBad) {
+  expect_exact(run_case(
+      {{"src/core/chaos.cpp", "stubs/chaos.cpp"},
+       {"src/obs/span.hpp", "stubs/span.hpp"},
+       {"src/obs/span.cpp", "stubs/span.cpp"},
+       {"src/obs/trace.hpp", "stubs/trace_missing_panic.hpp"},
+       {"src/obs/trace.cpp", "stubs/trace_missing_panic.cpp"},
+       {"src/instrumented.cpp", "registry_closure_fixture.cpp"},
+       {"src/fixture.cpp", "span_render_name_bad.cpp"}},
+      {"span-render-name"}));
+}
+
+TEST(LintFixtures, SpanRenderNameClean) {
+  auto mounts = registry_stubs();
+  mounts.push_back({"src/fixture.cpp", "span_render_name_clean.cpp"});
+  const CaseResult r = run_case(mounts, {"span-render-name"});
+  EXPECT_TRUE(r.analysis.findings.empty()) << render_text(r.analysis);
+}
+
+TEST(LintFixtures, ChaosPointRegistryBad) {
+  expect_exact(run_case(
+      {{"src/core/chaos.cpp", "stubs/chaos.cpp"},
+       {"src/fixture.cpp", "chaos_point_registry_bad.cpp"}},
+      {"chaos-point-registry"}));
+}
+
+TEST(LintFixtures, ChaosPointRegistryClean) {
+  const CaseResult r = run_case(
+      {{"src/core/chaos.cpp", "stubs/chaos.cpp"},
+       {"src/fixture.cpp", "chaos_point_registry_clean.cpp"}},
+      {"chaos-point-registry"});
+  EXPECT_TRUE(r.analysis.findings.empty()) << render_text(r.analysis);
+}
+
+TEST(LintFixtures, RegistryClosureBad) {
+  expect_exact(run_case(
+      {{"src/core/chaos.cpp", "stubs/chaos_closure_bad.cpp"},
+       {"src/obs/span.hpp", "stubs/span_closure_bad.hpp"},
+       {"src/obs/span.cpp", "stubs/span_closure_bad.cpp"},
+       {"src/obs/trace.hpp", "stubs/trace_badcount.hpp"},
+       {"src/obs/trace.cpp", "stubs/trace_dup_case.cpp"},
+       {"src/instrumented.cpp", "registry_closure_fixture.cpp"}},
+      {"registry-closure"}));
+}
+
+TEST(LintFixtures, RegistryClosureClean) {
+  const CaseResult r = run_case(registry_stubs(), {"registry-closure"});
+  EXPECT_TRUE(r.analysis.findings.empty()) << render_text(r.analysis);
+}
+
+// ------------------------------------- false positives and suppressions
+
+TEST(LintFixtures, CommentAndStringPatternsStaySilent) {
+  // All rules at once over the grep-bait fixture: the patterns live only
+  // in comments and string literals, so the analyzer must report nothing
+  // (the old grep fired on several of these lines).
+  auto mounts = registry_stubs();
+  mounts.push_back({"src/fp.cpp", "comment_string_fp.cpp"});
+  const CaseResult r = run_case(mounts, {});
+  EXPECT_TRUE(r.analysis.findings.empty()) << render_text(r.analysis);
+  EXPECT_EQ(r.analysis.suppressed, 0u);
+}
+
+TEST(LintFixtures, SuppressionCoversOwnLineAndNextCodeLine) {
+  const CaseResult r =
+      run_case({{"src/fixture.cpp", "suppressed.cpp"}}, {"determinism"});
+  expect_exact(r);  // only the unsuppressed line remains flagged
+  EXPECT_EQ(r.analysis.suppressed, 2u);
+}
+
+// ------------------------------------------------------------ lexer unit
+
+TEST(LintLexer, EqualityNeverSplitsIntoAssignments) {
+  const auto lf = ii::lint::lex("if (a == b) c += d; e = f;");
+  std::size_t eq = 0;
+  std::size_t plain = 0;
+  for (const auto& t : lf.tokens) {
+    if (t.text == "==") ++eq;
+    if (t.text == "=") ++plain;
+  }
+  EXPECT_EQ(eq, 1u);
+  EXPECT_EQ(plain, 1u);
+}
+
+TEST(LintLexer, RawStringBodyIsOneStringToken) {
+  const auto lf = ii::lint::lex("auto s = R\"x(pi.type = 3)x\"; int y;");
+  std::size_t strs = 0;
+  for (const auto& t : lf.tokens) {
+    if (t.kind == ii::lint::TokKind::Str) {
+      ++strs;
+      EXPECT_EQ(t.text, "pi.type = 3");
+    }
+    EXPECT_NE(t.text, "type");  // the body never reaches the ident stream
+  }
+  EXPECT_EQ(strs, 1u);
+}
+
+TEST(LintLexer, TokensCarryLineAndColumn) {
+  const auto lf = ii::lint::lex("int a;\n  b = 2;\n");
+  ASSERT_GE(lf.tokens.size(), 4u);
+  EXPECT_EQ(lf.tokens[0].line, 1u);
+  EXPECT_EQ(lf.tokens[0].col, 1u);
+  EXPECT_EQ(lf.tokens[3].text, "b");
+  EXPECT_EQ(lf.tokens[3].line, 2u);
+  EXPECT_EQ(lf.tokens[3].col, 3u);
+}
+
+// ----------------------------------------------------------- policy unit
+
+TEST(LintPolicy, ParseSectionsAndPrefixes) {
+  const Policy p = Policy::parse(
+      "# comment\n"
+      "[allow frame-bookkeeping]\n"
+      "src/hv/\n"
+      "\n"
+      "[scope determinism]\n"
+      "src/core/\n");
+  EXPECT_TRUE(p.allowed("frame-bookkeeping", "src/hv/memory.cpp"));
+  EXPECT_FALSE(p.allowed("frame-bookkeeping", "src/sim/pte.cpp"));
+  EXPECT_TRUE(p.in_scope("determinism", "src/core/report.cpp"));
+  EXPECT_FALSE(p.in_scope("determinism", "src/sim/pte.cpp"));
+  // A rule with no scope section applies everywhere.
+  EXPECT_TRUE(p.in_scope("frame-bookkeeping", "src/anything.cpp"));
+}
+
+// ------------------------------------------------------ whole-tree gates
+
+TEST(LintTree, RepoIsCleanUnderCheckedInPolicy) {
+  const SourceModel model = SourceModel::load_tree(repo_root());
+  const Policy policy =
+      Policy::parse(slurp(repo_root() + "/tools/ii_analyze.policy"));
+  const AnalysisResult res = analyze(model, policy);
+  EXPECT_TRUE(res.findings.empty()) << render_text(res);
+  EXPECT_GT(res.files_scanned, 50u);
+}
+
+TEST(LintTree, BuiltinPolicyStaysInSyncWithCheckedInFile) {
+  const SourceModel model = SourceModel::load_tree(repo_root());
+  const AnalysisResult from_file = analyze(
+      model, Policy::parse(slurp(repo_root() + "/tools/ii_analyze.policy")));
+  const AnalysisResult builtin = analyze(model, Policy::builtin());
+  EXPECT_EQ(render_json(from_file), render_json(builtin))
+      << "tools/ii_analyze.policy and Policy::builtin() have drifted";
+}
+
+TEST(LintTree, JsonRenderIsByteIdenticalAcrossRuns) {
+  const std::string a = render_json(
+      analyze(SourceModel::load_tree(repo_root()), Policy::builtin()));
+  const std::string b = render_json(
+      analyze(SourceModel::load_tree(repo_root()), Policy::builtin()));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

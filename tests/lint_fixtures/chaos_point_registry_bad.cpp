@@ -1,0 +1,12 @@
+// Known-bad fixture: chaos_fire sites naming points that have no row in
+// the chaos-point table. The finding anchors at the string literal's
+// line, so the split call is flagged where the name actually sits.
+namespace bad {
+
+bool tick() {
+  if (chaos_fire("not.registered")) return true;  // EXPECT[chaos-point-registry]
+  return chaos_fire(
+      "also.unregistered");  // EXPECT[chaos-point-registry]
+}
+
+}  // namespace bad

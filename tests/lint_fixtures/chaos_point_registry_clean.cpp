@@ -1,0 +1,10 @@
+// Known-clean fixture: the fired point is a registered table row, and a
+// forwarding wrapper passing a non-literal is not a site.
+namespace clean {
+
+bool tick(const char* dynamic_point) {
+  if (chaos_fire(dynamic_point)) return true;  // forwarder, not a site
+  return chaos_fire("cell.alloc_fail");
+}
+
+}  // namespace clean

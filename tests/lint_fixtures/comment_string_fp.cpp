@@ -1,0 +1,29 @@
+// False-positive regression fixture: every forbidden pattern below sits
+// inside a comment or a string literal. The retired grep-based ii-lint
+// flagged several of these shapes; the token-level analyzer must stay
+// silent on all of them, under every rule at once.
+//
+// Line-comment bait, straight from docs that used to trip the grep:
+//   pi.type = PageType::Writable;  ++pages[0].ref_count;
+//   trace_->emit(3, domain);       std::mt19937 rng{seed * 31};
+//   restore_frame(mfn);            auto m = pte.raw() & 0xFFF;
+//   chaos_fire("never.registered") std::random_device entropy;
+/*
+ * Block-comment bait: pi->validated = true; srand(42); rand();
+ * const_cast<std::uint8_t*>(mem.frame_bytes(mfn).data());
+ * for (auto& kv : some_unordered_map) {}
+ */
+#include <string_view>
+
+namespace fp {
+
+inline constexpr std::string_view kGrepBait =
+    "pi.type = PageType::Writable; std::mt19937 rng{seed}; "
+    "x.raw() | 0x4; va & 0xFFF; restore_image(img); "
+    "chaos_fire(\"ghost.point\"); std::random_device rd; "
+    "std::chrono::steady_clock::now(); ++pi.ref_count;";
+
+inline constexpr std::string_view kRawBait =
+    R"(pi.ref_count += 1; system_clock::now(); rand(); 0x000FFFFFFFFFF000ULL)";
+
+}  // namespace fp

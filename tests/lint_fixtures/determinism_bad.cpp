@@ -1,0 +1,36 @@
+// Known-bad fixture: wall clocks, hidden RNG state, and unordered
+// iteration in a translation unit inside the determinism perimeter.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+namespace bad {
+
+std::uint64_t stamp() {
+  const auto t0 = std::chrono::steady_clock::now();           // EXPECT[determinism]
+  const auto t1 = std::chrono::system_clock::now();           // EXPECT[determinism]
+  const auto t2 = std::chrono::high_resolution_clock::now();  // EXPECT[determinism]
+  (void)t0;
+  (void)t1;
+  (void)t2;
+  return 0;
+}
+
+int entropy() {
+  std::random_device rd;  // EXPECT[determinism]
+  std::srand(rd());       // EXPECT[determinism]
+  return rand();          // EXPECT[determinism]
+}
+
+void render(const std::unordered_map<std::string, int>& counters) {
+  for (const auto& [name, n] : counters) {  // EXPECT[determinism]
+    (void)name;
+    (void)n;
+  }
+  auto it = counters.begin();  // EXPECT[determinism]
+  (void)it;
+}
+
+}  // namespace bad

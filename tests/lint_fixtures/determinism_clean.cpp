@@ -1,0 +1,19 @@
+// Known-clean fixture: ordered-container iteration, keyed access into an
+// unordered container, and order-free queries never trip the rule — the
+// point is iteration order, not the container itself.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace clean {
+
+std::uint64_t render(const std::map<std::string, std::uint64_t>& counters,
+                     std::unordered_map<std::string, int>& scratch) {
+  std::uint64_t total = 0;
+  for (const auto& [name, n] : counters) total += n + name.size();
+  scratch["hits"] += 1;           // keyed access is order-free
+  return total + scratch.size();  // size() is order-free
+}
+
+}  // namespace clean

@@ -1,0 +1,17 @@
+// Known-bad fixture: frame mutations that bypass write-generation
+// marking — snapshot restore entry points called outside the snapshot
+// engine, and a const_cast of the read-only frame view.
+#include <cstdint>
+
+namespace bad {
+
+void clobber(PhysMem& mem, const Image& img, std::uint64_t mfn) {
+  mem.restore_frame(mfn);               // EXPECT[dirty-tracking]
+  restore_image(                        // EXPECT[dirty-tracking]
+      img);
+  auto* p = const_cast<std::uint8_t*>(  // EXPECT[dirty-tracking]
+      mem.frame_bytes(mfn).data());
+  p[0] = 1;
+}
+
+}  // namespace bad

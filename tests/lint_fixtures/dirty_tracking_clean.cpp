@@ -1,0 +1,14 @@
+// Known-clean fixture: reading the frame view, similarly-named helpers,
+// and const_cast of unrelated data are all fine.
+#include <cstdint>
+
+namespace clean {
+
+std::uint8_t peek(const PhysMem& mem, std::uint64_t mfn) {
+  const auto view = mem.frame_bytes(mfn);       // read-only view
+  restore();                                    // unrelated helper
+  auto* q = const_cast<char*>(label().data());  // const_cast of other data
+  return view.empty() ? *q : view[0];
+}
+
+}  // namespace clean

@@ -1,0 +1,19 @@
+// Known-bad fixture: PageInfo state-machine bookkeeping outside the
+// frame-table core. Every marked line must be flagged by the
+// frame-bookkeeping rule, including the cross-line write and the prefix
+// increment through an index chain — both invisible to the retired grep.
+#include "hv/frame_table.hpp"
+
+namespace bad {
+
+void poke(ii::hv::PageInfo& pi, std::vector<ii::hv::PageInfo>& pages) {
+  pi.type = ii::hv::PageType::Writable;  // EXPECT[frame-bookkeeping]
+  pi.validated = true;                   // EXPECT[frame-bookkeeping]
+  pi.ref_count += 1;                     // EXPECT[frame-bookkeeping]
+  pi.type_count--;                       // EXPECT[frame-bookkeeping]
+  ++pages[3].ref_count;                  // EXPECT[frame-bookkeeping]
+  pi.type =                              // EXPECT[frame-bookkeeping]
+      ii::hv::PageType::Invalid;
+}
+
+}  // namespace bad

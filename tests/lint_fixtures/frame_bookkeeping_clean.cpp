@@ -1,0 +1,17 @@
+// Known-clean fixture: reads and comparisons of PageInfo members are fine
+// anywhere, and a local that happens to share a member's name is not a
+// member write.
+#include "hv/frame_table.hpp"
+
+namespace clean {
+
+bool inspect(const ii::hv::PageInfo& pi) {
+  if (pi.type == ii::hv::PageType::Writable) return pi.validated;
+  const auto refs = pi.ref_count;
+  const bool balanced = pi.type_count == 0 && refs != 0;
+  int type = 0;
+  type = 3;  // local variable, not a member access
+  return balanced && type == 3 && pi.ref_count >= 0;
+}
+
+}  // namespace clean

@@ -1,0 +1,19 @@
+// Known-bad fixture for the S1 policy check: frame-state writes through
+// the surfaces the old grep never saw — arrow access, compound
+// assignment operators outside the ported set, prefix increments through
+// ->, and exchange/swap smuggling a write past the state machine.
+#include <utility>
+
+namespace bad {
+
+void smuggle(PageInfo* pi, PageInfo& a, PageInfo& b, Frames& frames) {
+  pi->type = PageType::Writable;               // EXPECT[frame-state-writes]
+  pi->validated = true;                        // EXPECT[frame-state-writes]
+  pi->ref_count -= 1;                          // EXPECT[frame-state-writes]
+  frames[2].ref_count |= 1;                    // EXPECT[frame-state-writes]
+  ++pi->type_count;                            // EXPECT[frame-state-writes]
+  std::exchange(pi->type, PageType::Invalid);  // EXPECT[frame-state-writes]
+  std::swap(a.ref_count, b.ref_count);         // EXPECT[frame-state-writes]
+}
+
+}  // namespace bad

@@ -1,0 +1,15 @@
+// Known-clean fixture: reads through arrows, comparisons, and
+// exchange/swap on members outside the frame-state vocabulary.
+#include <utility>
+
+namespace clean {
+
+bool audit(const PageInfo* pi, Entry& a, Entry& b) {
+  const bool writable = pi->type == PageType::Writable;
+  const auto refs = pi->ref_count;
+  std::swap(a.payload, b.payload);
+  const auto prev = std::exchange(a.cursor, b.cursor);
+  return writable && refs + prev >= 0 && pi->validated;
+}
+
+}  // namespace clean

@@ -1,0 +1,18 @@
+// Known-bad fixture: PTE encoding knowledge leaking out of the codec —
+// raw() bit arithmetic, the 0xFFF page-offset mask (with and without ~,
+// and with a digit separator the grep's literal pattern missed), and the
+// frame-mask literal.
+#include <cstdint>
+
+namespace bad {
+
+std::uint64_t leak(const Pte& pte, std::uint64_t va, std::uint64_t bits) {
+  const auto low = pte.raw() | 0x4;                 // EXPECT[pte-bit-twiddling]
+  const auto off = va & 0xFFF;                      // EXPECT[pte-bit-twiddling]
+  const auto base = bits & ~0xFFF;                  // EXPECT[pte-bit-twiddling]
+  const auto sep = va & 0xF'FF;                     // EXPECT[pte-bit-twiddling]
+  const auto frame = bits & 0x000FFFFFFFFFF000ULL;  // EXPECT[pte-bit-twiddling]
+  return low + off + base + sep + frame;
+}
+
+}  // namespace bad

@@ -1,0 +1,15 @@
+// Known-clean fixture: named masks, different literal values, and the
+// codec's own accessors do not trip the rule.
+#include <cstdint>
+
+namespace clean {
+
+std::uint64_t fine(const Pte& pte, std::uint64_t va, std::uint64_t bits) {
+  const auto flags = pte.flags();            // accessor, not raw arithmetic
+  const auto masked = va & kPageOffsetMask;  // named constant
+  const auto other = bits & 0xFF0;           // different literal value
+  const auto near_miss = bits & 0x000FFFFFFFFFF0ULL;  // not the frame mask
+  return flags + masked + other + near_miss;
+}
+
+}  // namespace clean

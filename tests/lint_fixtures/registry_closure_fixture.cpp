@@ -1,0 +1,13 @@
+// Instrumentation-site fixture for the registry stubs: fires the
+// registered chaos point and uses the registered span constant, so the
+// closure rule sees live vocabulary.
+#include "obs/span.hpp"
+
+namespace fix {
+
+bool exercise(ii::obs::SpanProfiler* prof) {
+  const ii::obs::ScopedSpan span{prof, kSpanCell};
+  return chaos_fire("cell.alloc_fail");
+}
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// Known-bad fixture: std::mt19937 seeded with expressions — each one
+// truncates a 64-bit campaign seed to the engine's 32-bit result_type.
+#include <random>
+
+namespace bad {
+
+std::uint32_t draw(std::uint64_t seed) {
+  std::mt19937 rng{seed};                                // EXPECT[rng-seed-truncation]
+  std::mt19937 mixed{seed * 0x9E3779B9u + 1};            // EXPECT[rng-seed-truncation]
+  auto tmp = std::mt19937{static_cast<unsigned>(seed)};  // EXPECT[rng-seed-truncation]
+  auto tmp2 = std::mt19937(seed);                        // EXPECT[rng-seed-truncation]
+  return rng() + mixed() + tmp() + tmp2();
+}
+
+}  // namespace bad

@@ -1,0 +1,22 @@
+// Known-clean fixture: seed_seq construction over both seed halves,
+// default/value initialization, and the named-parenthesis form — which
+// the token stream cannot distinguish from a function declaration, the
+// same deliberate gap the retired grep documented.
+#include <random>
+
+namespace clean {
+
+std::mt19937 make(std::uint64_t seed) {
+  std::seed_seq seq{static_cast<std::uint32_t>(seed),
+                    static_cast<std::uint32_t>(seed >> 32)};
+  std::mt19937 rng{seq};  // lone seed_seq is the blessed form
+  std::mt19937 fresh;     // default-constructed
+  std::mt19937 empty{};   // value-init, no seed expression
+  (void)fresh;
+  (void)empty;
+  return rng;
+}
+
+std::mt19937 declare(std::uint64_t raw_seed);  // named + parens: a decl
+
+}  // namespace clean

@@ -1,0 +1,15 @@
+// Known-bad fixture: an instrumentation site using a span constant with
+// no render-name table row. The finding anchors at the constant's first
+// use in path order — its declaration line here.
+#include "obs/span.hpp"
+
+namespace bad {
+
+inline constexpr std::string_view kSpanRogue = "rogue";  // EXPECT[span-render-name]
+
+void instrument(ii::obs::SpanProfiler* prof) {
+  const ii::obs::ScopedSpan registered{prof, kSpanCell};
+  const ii::obs::ScopedSpan unregistered{prof, kSpanRogue};
+}
+
+}  // namespace bad

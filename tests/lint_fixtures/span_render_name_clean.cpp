@@ -1,0 +1,10 @@
+// Known-clean fixture: only registered span constants are used.
+#include "obs/span.hpp"
+
+namespace clean {
+
+void instrument(ii::obs::SpanProfiler* prof) {
+  const ii::obs::ScopedSpan span{prof, kSpanCell};
+}
+
+}  // namespace clean

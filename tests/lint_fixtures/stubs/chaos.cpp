@@ -1,0 +1,15 @@
+// Chaos-point registry stub, mounted at src/core/chaos.cpp by the lint
+// fixture harness. One registered point; the instrumentation fixture
+// fires it.
+namespace ii::core {
+
+struct ChaosPointEntry {
+  const char* name;
+  const char* what;
+};
+
+constexpr ChaosPointEntry kChaosPointTable[] = {
+    {"cell.alloc_fail", "fail the next cell allocation"},
+};
+
+}  // namespace ii::core

@@ -1,0 +1,16 @@
+// Chaos registry stub (closure-bad variant): one live row, one row no
+// call site ever fires, and one duplicate row.
+namespace ii::core {
+
+struct ChaosPointEntry {
+  const char* name;
+  const char* what;
+};
+
+constexpr ChaosPointEntry kChaosPointTable[] = {
+    {"cell.alloc_fail", "fail the next cell allocation"},
+    {"dead.point", "registered but never fired"},       // EXPECT[registry-closure]
+    {"cell.alloc_fail", "duplicate of the first row"},  // EXPECT[registry-closure]
+};
+
+}  // namespace ii::core

@@ -1,0 +1,16 @@
+// Render-name table stub, mounted at src/obs/span.cpp by the lint
+// fixture harness.
+#include "obs/span.hpp"
+
+namespace ii::obs {
+
+struct SpanNameEntry {
+  std::string_view name;
+  std::string_view what;
+};
+
+constexpr SpanNameEntry kSpanNameTable[] = {
+    SpanNameEntry{kSpanCell, "one campaign cell"},
+};
+
+}  // namespace ii::obs

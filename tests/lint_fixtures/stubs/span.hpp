@@ -1,0 +1,10 @@
+// Span-name constants stub, mounted at src/obs/span.hpp by the lint
+// fixture harness.
+#pragma once
+#include <string_view>
+
+namespace ii::obs {
+
+inline constexpr std::string_view kSpanCell = "cell";
+
+}  // namespace ii::obs

@@ -1,0 +1,20 @@
+// Render-name table stub (closure-bad variant): a row with no
+// instrumentation site, a row for an undeclared constant, and a
+// duplicate row.
+#include "obs/span.hpp"
+
+namespace ii::obs {
+
+struct SpanNameEntry {
+  std::string_view name;
+  std::string_view what;
+};
+
+constexpr SpanNameEntry kSpanNameTable[] = {
+    SpanNameEntry{kSpanCell, "one campaign cell"},
+    SpanNameEntry{kSpanDead, "declared but never instrumented"},  // EXPECT[registry-closure]
+    SpanNameEntry{kSpanGhost, "row for an undeclared constant"},  // EXPECT[registry-closure]
+    SpanNameEntry{kSpanCell, "duplicate of the first row"},       // EXPECT[registry-closure]
+};
+
+}  // namespace ii::obs

@@ -1,0 +1,11 @@
+// Span-name constants stub (closure-bad variant): kSpanDead is declared
+// and registered but no instrumentation site ever uses it.
+#pragma once
+#include <string_view>
+
+namespace ii::obs {
+
+inline constexpr std::string_view kSpanCell = "cell";
+inline constexpr std::string_view kSpanDead = "dead";
+
+}  // namespace ii::obs

@@ -1,0 +1,17 @@
+// to_string stub, mounted at src/obs/trace.cpp by the lint fixture
+// harness. Every enumerator has exactly one case.
+#include "obs/trace.hpp"
+
+namespace ii::obs {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::HypercallEnter:
+      return "hypercall_enter";
+    case TraceCategory::Panic:
+      return "panic";
+  }
+  return "?";
+}
+
+}  // namespace ii::obs

@@ -1,0 +1,15 @@
+// TraceCategory registry stub, mounted at src/obs/trace.hpp by the lint
+// fixture harness. The enumerator count matches kCategoryCount.
+#pragma once
+#include <cstddef>
+
+namespace ii::obs {
+
+enum class TraceCategory : unsigned char {
+  HypercallEnter,
+  Panic,
+};
+
+inline constexpr std::size_t kCategoryCount = 2;
+
+}  // namespace ii::obs

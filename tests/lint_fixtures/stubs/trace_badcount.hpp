@@ -1,0 +1,16 @@
+// TraceCategory registry stub (closure-bad variant): kCategoryCount
+// disagrees with the enumerator count, so category-mask math would
+// silently drop events.
+#pragma once
+#include <cstddef>
+
+namespace ii::obs {
+
+enum class TraceCategory : unsigned char {
+  HypercallEnter,
+  Panic,
+};
+
+inline constexpr std::size_t kCategoryCount = 3;  // EXPECT[registry-closure]
+
+}  // namespace ii::obs

@@ -1,0 +1,18 @@
+// to_string stub (closure-bad variant): one case is duplicated.
+#include "obs/trace.hpp"
+
+namespace ii::obs {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::HypercallEnter:
+      return "hypercall_enter";
+    case TraceCategory::Panic:
+      return "panic";
+    case TraceCategory::HypercallEnter:  // EXPECT[registry-closure]
+      return "dup";
+  }
+  return "?";
+}
+
+}  // namespace ii::obs

@@ -1,0 +1,15 @@
+// to_string stub (bad variant): the Panic case is missing.
+#include "obs/trace.hpp"
+
+namespace ii::obs {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::HypercallEnter:
+      return "hypercall_enter";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace ii::obs

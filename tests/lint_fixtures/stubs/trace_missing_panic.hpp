@@ -1,0 +1,16 @@
+// TraceCategory registry stub (bad variant): Panic has no to_string case
+// in the paired trace_missing_panic.cpp, so the span-render-name rule
+// must flag the enumerator here.
+#pragma once
+#include <cstddef>
+
+namespace ii::obs {
+
+enum class TraceCategory : unsigned char {
+  HypercallEnter,
+  Panic,  // EXPECT[span-render-name]
+};
+
+inline constexpr std::size_t kCategoryCount = 2;
+
+}  // namespace ii::obs

@@ -1,0 +1,21 @@
+// Suppression-semantics fixture: an own-line ii-analyze:allow comment
+// covers the next code line (even across the rest of its comment block),
+// an inline allow covers its own line, and an unsuppressed finding still
+// fires.
+#include <chrono>
+
+namespace sup {
+
+// ii-analyze:allow(determinism): the wall clock below is this fixture's
+// subject; the own-line comment must reach past this second comment line.
+inline auto block_suppressed() { return std::chrono::steady_clock::now(); }
+
+inline auto inline_suppressed() {
+  return std::chrono::system_clock::now();  // ii-analyze:allow(*)
+}
+
+inline auto unsuppressed() {
+  return std::chrono::high_resolution_clock::now();  // EXPECT[determinism]
+}
+
+}  // namespace sup

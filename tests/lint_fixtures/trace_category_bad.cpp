@@ -1,0 +1,16 @@
+// Known-bad fixture: TraceSink emissions whose argument list never names
+// a TraceCategory enumerator — raw integer categories defeat the
+// registry. The second call spreads its arguments across lines; the old
+// single-line grep missed that shape entirely.
+#include "obs/trace.hpp"
+
+namespace bad {
+
+void emit_raw(ii::obs::TraceSink* sink, ii::obs::TraceSink* trace_) {
+  sink->emit(3, 0, 7);  // EXPECT[trace-category]
+  trace_->emit(         // EXPECT[trace-category]
+      4, 0, 9);
+  trace()->emit(11);    // EXPECT[trace-category]
+}
+
+}  // namespace bad

@@ -1,0 +1,17 @@
+// Known-clean fixture: every sink emission names its TraceCategory (even
+// when the enumerator sits on its own continuation line), and emitters
+// that are not trace sinks stay out of scope.
+#include "obs/trace.hpp"
+
+namespace clean {
+
+void emit_named(ii::obs::TraceSink* sink, ii::obs::TraceSink* trace_,
+                Queue& queue) {
+  sink->emit(ii::obs::TraceCategory::Panic, 0, 1);
+  trace_->emit(
+      ii::obs::TraceCategory::HypercallEnter,  // category on its own line
+      0, 2);
+  queue.emit(5);  // receiver is not a trace sink
+}
+
+}  // namespace clean

@@ -1,0 +1,109 @@
+// ii_analyze — token-level static analyzer for the repo's own invariants
+// (DESIGN.md §15). Successor to the retired grep-based tools/ii-lint:
+// comments and string literals are stripped by a real lexer, rules match
+// across lines, registry tables are parsed rather than pattern-matched,
+// and policy (who may write frame state, which TUs must stay
+// deterministic) lives in a checked-in file.
+//
+// Usage:
+//   ii_analyze [root] [--format=text|json] [--out FILE] [--policy FILE]
+//              [--rule NAME]... [--list-rules]
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: ii_analyze [root] [--format=text|json] [--out FILE]\n"
+         "                  [--policy FILE] [--rule NAME]... [--list-rules]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string format = "text";
+  std::string out_path;
+  std::string policy_path;
+  std::vector<std::string> only_rules;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--policy" && i + 1 < argc) {
+      policy_path = argv[++i];
+    } else if (arg == "--rule" && i + 1 < argc) {
+      only_rules.emplace_back(argv[++i]);
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      root = arg;
+    }
+  }
+  if (format != "text" && format != "json") return usage();
+
+  if (list_rules) {
+    for (const ii::lint::CheckEntry& check : ii::lint::check_registry()) {
+      std::cout << check.name << "\n    " << check.what << '\n';
+    }
+    return 0;
+  }
+
+  // Policy: explicit flag, else the checked-in tools/ii_analyze.policy,
+  // else the built-in mirror of it.
+  ii::lint::Policy policy;
+  if (policy_path.empty()) policy_path = root + "/tools/ii_analyze.policy";
+  if (std::ifstream in{policy_path}; in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    policy = ii::lint::Policy::parse(buf.str());
+  } else {
+    policy = ii::lint::Policy::builtin();
+  }
+
+  const ii::lint::SourceModel model = ii::lint::SourceModel::load_tree(root);
+  if (model.files().empty()) {
+    std::cerr << "ii_analyze: no sources under " << root << "/src\n";
+    return 2;
+  }
+  const ii::lint::AnalysisResult result =
+      ii::lint::analyze(model, policy, only_rules);
+
+  const std::string rendered = format == "json"
+                                   ? ii::lint::render_json(result)
+                                   : ii::lint::render_text(result);
+  if (out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out{out_path, std::ios::binary};
+    if (!out) {
+      std::cerr << "ii_analyze: cannot write " << out_path << '\n';
+      return 2;
+    }
+    out << rendered;
+    // Keep the human a one-line verdict even when JSON goes to a file.
+    std::cerr << (result.findings.empty() ? "ii-analyze: OK ("
+                                          : "ii-analyze: FAILED (")
+              << result.findings.size() << " findings, "
+              << result.files_scanned << " files)\n";
+  }
+  return result.findings.empty() ? 0 : 1;
+}
