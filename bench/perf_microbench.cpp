@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/model_checker.hpp"
@@ -80,11 +81,12 @@ void run_bench(const std::string& name, std::size_t iters,
               static_cast<unsigned long long>(histo.max()));
   std::printf("BENCH_JSON {\"name\":\"%s\",\"iters\":%zu,\"ns_mean\":%.1f,"
               "\"ns_p50\":%.1f,\"ns_p95\":%.1f,\"ns_p99\":%.1f,"
-              "\"ns_min\":%llu,\"ns_max\":%llu}\n",
+              "\"ns_min\":%llu,\"ns_max\":%llu,\"host_cores\":%u}\n",
               name.c_str(), iters, histo.mean(), histo.percentile(0.50),
               histo.percentile(0.95), histo.percentile(0.99),
               static_cast<unsigned long long>(histo.min()),
-              static_cast<unsigned long long>(histo.max()));
+              static_cast<unsigned long long>(histo.max()),
+              std::thread::hardware_concurrency());
 }
 
 void bench_mmu_walk() {
@@ -384,11 +386,12 @@ void bench_profiler_attached() {
   }
 }
 
-/// Where the parallel checker's wall time actually goes: one profiled
+/// Where the sharded checker's wall time actually goes: one profiled
 /// depth-3 run at 4 workers, reported as one BENCH_JSON line per engine
-/// phase (classify / merge / re-derive, summed over depths). This is the
-/// attribution data behind the BENCH_PR5 observation that sharding costs
-/// more than it buys on a single-core host.
+/// phase (produce / admit / settle / spill, summed over depths). The
+/// BENCH_PR5 numbers attributed the old two-pass engine's overhead to its
+/// re-derive pass; this breakdown shows what the single-pass owner-computes
+/// engine spends instead.
 void bench_checker_phase_breakdown() {
   obs::SpanProfiler prof;
   analysis::ModelCheckConfig mc;
@@ -398,14 +401,15 @@ void bench_checker_phase_breakdown() {
   mc.profiler = &prof;
   do_not_optimize(analysis::run_model_check(mc));
 
-  std::uint64_t wall[3] = {0, 0, 0};
-  std::uint64_t steps[3] = {0, 0, 0};
-  static constexpr std::string_view names[3] = {
-      obs::kSpanClassify, obs::kSpanMerge, obs::kSpanRederive};
+  constexpr int kPhases = 4;
+  std::uint64_t wall[kPhases] = {0, 0, 0, 0};
+  std::uint64_t steps[kPhases] = {0, 0, 0, 0};
+  static constexpr std::string_view names[kPhases] = {
+      obs::kSpanProduce, obs::kSpanAdmit, obs::kSpanSettle, obs::kSpanSpill};
   const auto check = prof.root().children.find(obs::kSpanCheck);
   if (check != prof.root().children.end()) {
     for (const auto& [depth_name, depth_node] : check->second->children) {
-      for (int p = 0; p < 3; ++p) {
+      for (int p = 0; p < kPhases; ++p) {
         const auto it = depth_node->children.find(names[p]);
         if (it == depth_node->children.end()) continue;
         wall[p] += it->second->wall_ns;
@@ -413,13 +417,14 @@ void bench_checker_phase_breakdown() {
       }
     }
   }
-  for (int p = 0; p < 3; ++p) {
+  for (int p = 0; p < kPhases; ++p) {
     std::printf(
         "BENCH_JSON {\"name\":\"mc_depth3_t4_phase_%s\",\"wall_us\":%llu,"
-        "\"steps\":%llu}\n",
+        "\"steps\":%llu,\"host_cores\":%u}\n",
         std::string{names[p]}.c_str(),
         static_cast<unsigned long long>(wall[p] / 1000),
-        static_cast<unsigned long long>(steps[p]));
+        static_cast<unsigned long long>(steps[p]),
+        std::thread::hardware_concurrency());
   }
 }
 

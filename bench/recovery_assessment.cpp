@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "guest/platform.hpp"
 #include "hv/recovery.hpp"
@@ -96,11 +97,12 @@ void bench_recovery(
   std::printf(
       "BENCH_JSON {\"name\":\"%s\",\"iters\":%zu,\"ns_mean\":%.1f,"
       "\"ns_p50\":%.1f,\"ns_p95\":%.1f,\"ns_max\":%llu,\"succeeded\":%zu,"
-      "\"pre_violated\":\"%s\",\"restored\":\"%s\"}\n",
+      "\"pre_violated\":\"%s\",\"restored\":\"%s\",\"host_cores\":%u}\n",
       name.c_str(), iters, histo.mean(), histo.percentile(0.50),
       histo.percentile(0.95), static_cast<unsigned long long>(histo.max()),
       succeeded, join_invariants(last.pre.violated_set()).c_str(),
-      join_invariants(last.restored()).c_str());
+      join_invariants(last.restored()).c_str(),
+      std::thread::hardware_concurrency());
 }
 
 /// Inject one use case's erroneous state (ignoring its outcome: a partial

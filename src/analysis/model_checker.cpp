@@ -15,14 +15,16 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
-#include <unordered_set>
 #include <utility>
 
+#include "analysis/visited.hpp"
 #include "hv/audit.hpp"
 #include "hv/errors.hpp"
 #include "hv/layout.hpp"
@@ -301,21 +303,49 @@ long apply_op(hv::Hypervisor& vmm, const Op& op) {
 
 // --------------------------------------------------------------- state diff
 
-/// Read-only view of a machine state expressed as (root snapshot, delta
-/// against it): resolves frame bytes and PageInfo without materializing a
-/// full snapshot, and exposes the delta's dirty sets so two views over the
-/// same root can be diffed in O(changed) instead of O(machine).
+/// Read-only view of a machine state expressed against a shared root
+/// snapshot, sourced from either an HvDelta or a CoW forest node: resolves
+/// frame bytes and PageInfo without materializing a full snapshot, and
+/// exposes the state's dirty sets so two views over the same root can be
+/// diffed in O(changed) instead of O(machine). Diff lines are emitted only
+/// where *contents* differ, so the two sources — whose dirty lists are both
+/// conservative supersets of the content-diverged frames — yield identical
+/// diffs for the same logical state.
 class StateView {
  public:
   StateView(const hv::HvSnapshot& base, const hv::HvDelta& delta)
-      : base_{&base}, delta_{&delta} {}
+      : base_{&base},
+        dirty_{&delta.mem_frames},
+        frames_{&delta.frames},
+        domains_{&delta.domains},
+        grants_{&delta.grants},
+        crashed_{delta.crashed},
+        cpu_hung_{delta.cpu_hung} {
+    ptrs_.reserve(delta.mem_frames.size());
+    for (std::size_t i = 0; i < delta.mem_frames.size(); ++i) {
+      ptrs_.push_back(delta.mem_bytes.data() + i * sim::kPageSize);
+    }
+  }
+  StateView(const hv::HvSnapshot& base, const hv::HvCowState& cow)
+      : base_{&base},
+        frames_{&cow.frames},
+        domains_{&cow.domains},
+        grants_{&cow.grants},
+        crashed_{cow.crashed},
+        cpu_hung_{cow.cpu_hung} {
+    dirty_storage_.reserve(cow.mem_frames.size());
+    ptrs_.reserve(cow.mem_frames.size());
+    for (const auto& [m, block] : cow.mem_frames) {
+      dirty_storage_.push_back(m);
+      ptrs_.push_back(block->bytes.data());
+    }
+    dirty_ = &dirty_storage_;
+  }
 
   [[nodiscard]] const std::uint8_t* frame(std::uint64_t m) const {
-    const auto& fs = delta_->mem_frames;
-    const auto it = std::lower_bound(fs.begin(), fs.end(), m);
-    if (it != fs.end() && *it == m) {
-      return delta_->mem_bytes.data() +
-             std::size_t(it - fs.begin()) * sim::kPageSize;
+    const auto it = std::lower_bound(dirty_->begin(), dirty_->end(), m);
+    if (it != dirty_->end() && *it == m) {
+      return ptrs_[std::size_t(it - dirty_->begin())];
     }
     return base_->memory.data() + m * sim::kPageSize;
   }
@@ -325,7 +355,7 @@ class StateView {
     return v;
   }
   [[nodiscard]] const hv::PageInfo& page_info(std::uint64_t m) const {
-    const auto& fs = delta_->frames;  // ascending by mfn (capture order)
+    const auto& fs = *frames_;  // ascending by mfn (capture order)
     const auto it = std::lower_bound(
         fs.begin(), fs.end(), m,
         [](const auto& entry, std::uint64_t mfn) { return entry.first < mfn; });
@@ -335,28 +365,33 @@ class StateView {
 
   /// MFNs whose contents may differ from the shared root.
   [[nodiscard]] const std::vector<std::uint64_t>& dirty_frames() const {
-    return delta_->mem_frames;
+    return *dirty_;
   }
   /// MFNs whose PageInfo differs from the shared root.
   [[nodiscard]] std::vector<std::uint64_t> changed_page_infos() const {
     std::vector<std::uint64_t> out;
-    out.reserve(delta_->frames.size());
-    for (const auto& [m, pi] : delta_->frames) out.push_back(m);
+    out.reserve(frames_->size());
+    for (const auto& [m, pi] : *frames_) out.push_back(m);
     return out;
   }
 
   [[nodiscard]] const std::vector<hv::Domain>& domains() const {
-    return delta_->domains;
+    return *domains_;
   }
-  [[nodiscard]] const hv::GrantOps::State& grants() const {
-    return delta_->grants;
-  }
-  [[nodiscard]] bool crashed() const { return delta_->crashed; }
-  [[nodiscard]] bool cpu_hung() const { return delta_->cpu_hung; }
+  [[nodiscard]] const hv::GrantOps::State& grants() const { return *grants_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] bool cpu_hung() const { return cpu_hung_; }
 
  private:
   const hv::HvSnapshot* base_;
-  const hv::HvDelta* delta_;
+  const std::vector<std::uint64_t>* dirty_ = nullptr;
+  std::vector<std::uint64_t> dirty_storage_;      ///< CoW source only
+  std::vector<const std::uint8_t*> ptrs_;         ///< parallel to *dirty_
+  const std::vector<std::pair<std::uint64_t, hv::PageInfo>>* frames_;
+  const std::vector<hv::Domain>* domains_;
+  const hv::GrantOps::State* grants_;
+  bool crashed_ = false;
+  bool cpu_hung_ = false;
 };
 
 /// Ascending union of two sorted MFN lists.
@@ -581,6 +616,163 @@ std::string Counterexample::trace_string() const {
   return out;
 }
 
+// ----------------------------------------------------- engine-shared helpers
+
+namespace {
+
+/// Deterministic byte accounting for one queued frontier state: a pure
+/// function of the item (label bytes, resident frame count, bookkeeping
+/// overrides), never of allocator or scheduling behavior — so chunking and
+/// spill decisions are identical at any thread count, and peak_frontier_bytes
+/// is a cmp-stable statistic. `resident_frames` is the delta dirty count for
+/// the serial queue and the owned-block count for a CoW node.
+std::uint64_t frontier_item_cost(const std::vector<Op>& prefix,
+                                 std::uint64_t resident_frames,
+                                 std::uint64_t page_infos) {
+  std::uint64_t bytes = 512;
+  for (const Op& op : prefix) bytes += 128 + op.label.size();
+  return bytes + resident_frames * (sim::kPageSize + 64) + page_infos * 48;
+}
+
+// Spill records are self-delimiting little-endian blobs: the op prefix that
+// re-derives the state by replay from the root, plus the expected state
+// hash (reloads self-verify). Bookkeeping like GrantTable is deliberately
+// not serialized — replay through the public hypercall surface is the only
+// portable encoding of hypervisor-private state (DESIGN.md §16).
+
+void put_u8(std::string& buf, std::uint8_t v) {
+  buf.push_back(static_cast<char>(v));
+}
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(buf, (v >> (8 * i)) & 0xff);
+}
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(buf, (v >> (8 * i)) & 0xff);
+}
+
+void read_exact(std::istream& in, char* dst, std::size_t n) {
+  in.read(dst, static_cast<std::streamsize>(n));
+  if (in.gcount() != static_cast<std::streamsize>(n)) {
+    throw std::runtime_error{"model checker: truncated spill record"};
+  }
+}
+std::uint8_t get_u8(std::istream& in) {
+  char c = 0;
+  read_exact(in, &c, 1);
+  return static_cast<std::uint8_t>(c);
+}
+std::uint32_t get_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{get_u8(in)} << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{get_u8(in)} << (8 * i);
+  return v;
+}
+
+void put_op(std::string& buf, const Op& op) {
+  put_u8(buf, static_cast<std::uint8_t>(op.kind));
+  put_u8(buf, static_cast<std::uint8_t>(op.level));
+  put_u64(buf, static_cast<std::uint64_t>(op.caller));
+  put_u64(buf, op.ptr);
+  put_u64(buf, op.val);
+  put_u64(buf, op.mfn.raw());
+  put_u64(buf, op.pfn.raw());
+  put_u64(buf, op.out.raw());
+  put_u32(buf, op.gref);
+  put_u32(buf, op.version);
+  put_u64(buf, static_cast<std::uint64_t>(op.peer));
+  put_u32(buf, static_cast<std::uint32_t>(op.label.size()));
+  buf.append(op.label);
+}
+
+Op get_op(std::istream& in) {
+  Op op;
+  op.kind = static_cast<Op::Kind>(get_u8(in));
+  op.level = static_cast<int>(get_u8(in));
+  op.caller = static_cast<hv::DomainId>(get_u64(in));
+  op.ptr = get_u64(in);
+  op.val = get_u64(in);
+  op.mfn = sim::Mfn{get_u64(in)};
+  op.pfn = sim::Pfn{get_u64(in)};
+  op.out = sim::Vaddr{get_u64(in)};
+  op.gref = get_u32(in);
+  op.version = get_u32(in);
+  op.peer = static_cast<hv::DomainId>(get_u64(in));
+  const std::uint32_t label_len = get_u32(in);
+  op.label.resize(label_len);
+  if (label_len != 0) read_exact(in, op.label.data(), label_len);
+  return op;
+}
+
+/// Append-only frontier spill file. The serial assembly stage is the only
+/// writer (and flushes before workers read); workers reload through their
+/// own read handles, so no stream is ever shared across threads.
+class SpillFile {
+ public:
+  explicit SpillFile(std::string path) : path_{std::move(path)} {}
+
+  /// Serialize one spilled state; returns its byte offset in the file.
+  std::uint64_t append(const std::vector<Op>& prefix, std::uint64_t hash) {
+    if (!out_.is_open()) {
+      out_.open(path_, std::ios::binary | std::ios::trunc);
+      if (!out_) {
+        throw std::runtime_error{"model checker: cannot open spill file " +
+                                 path_};
+      }
+    }
+    std::string rec;
+    put_u32(rec, static_cast<std::uint32_t>(prefix.size()));
+    for (const Op& op : prefix) put_op(rec, op);
+    put_u64(rec, hash);
+    out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+    if (!out_) {
+      throw std::runtime_error{"model checker: spill write failed: " + path_};
+    }
+    const std::uint64_t offset = bytes_;
+    bytes_ += rec.size();
+    return offset;
+  }
+  void flush() {
+    if (out_.is_open()) out_.flush();
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t bytes_ = 0;
+};
+
+struct SpillRecord {
+  std::vector<Op> prefix;
+  std::uint64_t hash = 0;
+};
+
+SpillRecord read_spill_record(std::ifstream& in, const std::string& path,
+                              std::uint64_t offset) {
+  if (!in.is_open()) {
+    in.open(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error{"model checker: cannot open spill file " +
+                               path};
+    }
+  }
+  in.clear();  // a prior read may have left eof set
+  in.seekg(static_cast<std::streamoff>(offset));
+  SpillRecord rec;
+  const std::uint32_t n_ops = get_u32(in);
+  rec.prefix.reserve(n_ops);
+  for (std::uint32_t i = 0; i < n_ops; ++i) rec.prefix.push_back(get_op(in));
+  rec.hash = get_u64(in);
+  return rec;
+}
+
+}  // namespace
+
 // --------------------------------------------------------- serial BFS driver
 
 namespace {
@@ -595,7 +787,12 @@ ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
   vmm.reset_snapshot_stats();
 
   const hv::HvSnapshot root = vmm.snapshot();
-  std::unordered_set<std::uint64_t> visited{root.hash};
+  // The serial driver commits through the same owner API and shard layout
+  // as the sharded engine (it owns every shard), so shard_occupancy is
+  // identical at any thread count and the visited-ownership lint rule has
+  // no serial-path exception to carry.
+  ShardedVisited visited;
+  visited.owner_insert(visited.shard_of(root.hash), root.hash);
   result.states_explored = 1;
 
   // Violation records diff parent and child from their dirty sets against
@@ -647,15 +844,22 @@ ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
   struct WorkItem {
     std::vector<Op> prefix;
     hv::HvDelta delta;  ///< state vs root (unused by the replay fallback)
+    std::uint64_t cost = 0;  ///< frontier_item_cost at admission
   };
   std::deque<WorkItem> queue;
-  queue.push_back(WorkItem{{}, vmm.snapshot_delta(root)});
+  queue.push_back(WorkItem{{}, vmm.snapshot_delta(root), 0});
+  queue.back().cost = frontier_item_cost(queue.back().prefix,
+                                         queue.back().delta.mem_frames.size(),
+                                         queue.back().delta.frames.size());
+  std::uint64_t frontier_bytes = queue.back().cost;
+  result.peak_frontier_bytes = frontier_bytes;
 
   obs::SpanProfiler* const prof = config.profiler;
   bool stop = false;
   while (!queue.empty() && !stop) {
     const WorkItem item = std::move(queue.front());
     queue.pop_front();
+    frontier_bytes -= item.cost;
     if (item.prefix.size() >= config.depth) continue;
     // Depth of the states this parent generates ("d1" = first op applied).
     const unsigned depth = static_cast<unsigned>(item.prefix.size()) + 1;
@@ -698,7 +902,7 @@ ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
         if (rc != hv::kOk) ++result.failed_ops;
         continue;  // nothing changed; nothing to restore
       }
-      if (!visited.insert(h).second) {
+      if (!visited.owner_insert(visited.shard_of(h), h)) {
         ++result.states_deduped;
         restore_parent();
         continue;
@@ -715,10 +919,18 @@ ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
         // BFS order, and exploring beyond a broken invariant only yields
         // derivative noise.
         record_violation(parent_delta, trace, h, walk, std::move(report));
-      } else if (config.use_replay_fallback) {
-        queue.push_back(WorkItem{std::move(trace), {}});
       } else {
-        queue.push_back(WorkItem{std::move(trace), vmm.snapshot_delta(root)});
+        WorkItem child{std::move(trace),
+                       config.use_replay_fallback ? hv::HvDelta{}
+                                                  : vmm.snapshot_delta(root),
+                       0};
+        child.cost = frontier_item_cost(child.prefix,
+                                        child.delta.mem_frames.size(),
+                                        child.delta.frames.size());
+        frontier_bytes += child.cost;
+        result.peak_frontier_bytes =
+            std::max(result.peak_frontier_bytes, frontier_bytes);
+        queue.push_back(std::move(child));
       }
       if (result.states_explored >= config.max_states) {
         result.truncated = true;
@@ -742,75 +954,54 @@ ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
   result.hash_frames_rehashed = stats.frames_rehashed;
   result.delta_restores = stats.delta_restores;
   result.full_restores = stats.full_restores;
+  result.cow_captures = stats.cow_captures;
+  result.cow_frames_copied = stats.cow_frames_copied;
+  result.cow_frames_shared = stats.cow_frames_shared;
+  result.ops_executed = result.ops_applied;
+  result.shard_occupancy = visited.occupancy();
   return result;
 }
 
-// ------------------------------------------------- parallel sharded explorer
+// ------------------------------------------ single-pass owner-computes engine
 //
-// Depth-synchronous frontier sharding (DESIGN.md §12). The BFS frontier of
-// one depth is split over N workers, each owning a private Machine plus its
-// own root snapshot (identical boots make the roots byte-equal, so deltas
-// are portable across workers via the foreign restore path). Each level
-// runs in two parallel passes with one serial merge between them:
+// Ownership-partitioned exploration (DESIGN.md §16). The BFS frontier of
+// one depth (or one budget-sized chunk of it) runs in a single expansion
+// pass — every operation is applied exactly once, the serial engine's op
+// count — followed by a parallel owner-shard admission and a parallel
+// audit of the admitted states:
 //
-//   pass 1 (parallel)  every worker pulls parents from an atomic cursor,
-//                      restores them, applies the whole alphabet, and
-//                      records (parent, op, child-hash, changed, failed)
-//                      outcomes into a private buffer. No audits, no
-//                      captures — this pass only discovers the level's
-//                      successor hashes.
-//   merge  (serial)    all outcomes, sorted into (parent, op) lexicographic
-//                      order, are replayed against the visited set with the
-//                      serial driver's exact semantics: dedup, failed-op
-//                      counting and the mid-level max_states truncation all
-//                      land on the same pairs the serial BFS would pick.
-//                      The survivors become claims.
-//   pass 2 (parallel)  claims are re-derived (restore parent, re-apply the
-//                      claimed op) and audited; violating states capture
-//                      their report/classification/diff, clean states their
-//                      next-depth delta — each into a pre-sized slot, so
-//                      the final serial assembly emits violations,
-//                      counterexamples and the next frontier in exactly the
-//                      serial order.
+//   produce (parallel)  workers pull parents from an atomic cursor, restore
+//                       them (CoW restore, or replay for spilled parents),
+//                       apply the whole alphabet, and record a per-parent
+//                       op-outcome byte (unchanged-ok / unchanged-failed /
+//                       changed). Each changed successor not already in the
+//                       frozen pre-chunk visited set is speculatively
+//                       captured as a CoW forest node and posted to
+//                       inbox[shard][worker] — the single-writer cell of
+//                       the shard that owns its hash.
+//   admit  (parallel)   after the barrier each worker walks the shards it
+//                       owns (shard % threads == worker). The owner alone
+//                       decides admission: candidates sort by (hash,
+//                       parent, op) and the first (parent, op) pair of each
+//                       new hash — exactly the pair the serial BFS would
+//                       have encountered first — is committed. No global
+//                       merge, no replay of the visit order.
+//   settle (parallel)   admitted claims, sorted into serial (parent, op)
+//                       order with the serial max_states cut applied, are
+//                       restored from their captured CoW node — no op
+//                       re-application — and walked/audited/classified.
+//                       A serial assembly then emits violations,
+//                       counterexamples and the next frontier in claim
+//                       order, spilling states past the frontier budget.
 //
-// Determinism rests on three properties: the merge is a pure function of
-// the (parent, op)-keyed outcome set; op application is a pure function of
-// the restored state; and a child delta's dirty-frame set is
-// parent-dirty ∪ op-writes on every machine (foreign restores stamp every
-// delta frame, rewinds return frames to root generations), so diffs and
-// reports never depend on which worker derived them.
-
-/// Visited-state set striped over 64 mutexes: pass-1 workers concurrently
-/// pre-classify hashes committed at earlier depths (contains), the serial
-/// merge is the only writer (insert).
-class VisitedSet {
- public:
-  [[nodiscard]] bool contains(std::uint64_t h) const {
-    const Stripe& s = stripe(h);
-    const std::lock_guard<std::mutex> lock{s.mu};
-    return s.set.count(h) != 0;
-  }
-  /// True if newly inserted.
-  bool insert(std::uint64_t h) {
-    Stripe& s = stripe(h);
-    const std::lock_guard<std::mutex> lock{s.mu};
-    return s.set.insert(h).second;
-  }
-
- private:
-  struct Stripe {
-    mutable std::mutex mu;
-    std::unordered_set<std::uint64_t> set;
-  };
-  [[nodiscard]] const Stripe& stripe(std::uint64_t h) const {
-    return stripes_[h & (kStripes - 1)];
-  }
-  [[nodiscard]] Stripe& stripe(std::uint64_t h) {
-    return stripes_[h & (kStripes - 1)];
-  }
-  static constexpr std::size_t kStripes = 64;
-  std::array<Stripe, kStripes> stripes_;
-};
+// Determinism rests on: admission is a pure function of the candidate set
+// (owner order can't matter — candidates carry their serial coordinates);
+// op application is a pure function of the restored state; counters and
+// the deterministic expand/audit spans are recomputed from the op-outcome
+// arrays in serial parent order; and diff lines depend only on contents,
+// for which every dirty list is a conservative superset. The visited
+// partition is `hash % kDefaultShards` with a fixed shard count, so the
+// committed set — and shard_occupancy — never depends on --threads.
 
 /// One worker's private machine and root. All roots must hash identically
 /// (asserted at construction time by the driver) — that is what makes one
@@ -825,38 +1016,47 @@ struct ShardWorker {
   }
 };
 
-/// A queued state: its op prefix and its delta against the shared root.
-struct FrontierItem {
+/// A queued state of the sharded engine: its op prefix and its CoW forest
+/// node. A spilled item drops both and keeps only its spill-file offset
+/// (plus its admission-time cost, which still drives chunking); reloads
+/// re-derive the state by replaying the serialized prefix from the root.
+struct CowFrontierItem {
   std::vector<Op> prefix;
-  hv::HvDelta delta;
+  hv::HvCowState cow;
+  std::uint64_t hash = 0;
+  std::uint64_t cost = 0;  ///< frontier_item_cost at admission
+  bool spilled = false;
+  std::uint64_t spill_offset = 0;
 };
 
-/// Pass-1 record for one (parent, op) application.
-struct PairOutcome {
-  std::uint32_t parent = 0;  ///< index into the current frontier
-  std::uint32_t op = 0;      ///< index into the parent's alphabet
-  std::uint64_t hash = 0;    ///< child state hash
-  bool changed = false;      ///< hash != parent hash
-  bool failed = false;       ///< rc != 0
-  bool committed_dup = false;  ///< hash already visited at an earlier depth
-};
-
-/// A (parent, op) pair the merge admitted as a newly visited state.
-struct Claim {
+/// A speculatively captured successor, posted by its producing worker to
+/// the owning shard's inbox. Carries its serial coordinates (chunk-local
+/// parent index, alphabet index) so admission order is scheduling-free.
+struct Candidate {
   std::uint32_t parent = 0;
   std::uint32_t op = 0;
   std::uint64_t hash = 0;
+  Op op_obj;               ///< the producing op (labels the trace)
+  hv::HvCowState cow;      ///< captured child — settle never re-applies ops
 };
 
-/// Pass-2 re-derivation of one claimed state.
-struct ChildCapture {
-  Op op;                 ///< the claimed op (labels the trace)
+/// Settle-phase audit result for one admitted claim (violating only;
+/// clean claims just become next-frontier items).
+struct Settled {
   bool violating = false;
-  hv::HvDelta delta;     ///< clean states: next-depth frontier entry
   hv::InvariantReport report;
   std::vector<hv::Invariant> violated;
   std::vector<ErroneousStateClass> classes;
   std::vector<std::string> state_diff;
+};
+
+/// Per-parent produce-phase outcome byte, the raw material from which the
+/// serial counters and the deterministic expand/audit spans are recomputed
+/// — uniformly for full and truncated runs.
+enum : std::uint8_t {
+  kOpUnchangedOk = 0,
+  kOpUnchangedFailed = 1,
+  kOpChanged = 2,
 };
 
 /// Run fn(w) for w in [0, threads), worker 0 on the calling thread. A
@@ -881,8 +1081,8 @@ void run_on_workers(unsigned threads, const std::function<void(unsigned)>& fn) {
   if (error) std::rethrow_exception(error);
 }
 
-ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
-                                          unsigned threads) {
+ModelCheckResult run_model_check_sharded(const ModelCheckConfig& config,
+                                         unsigned threads) {
   ModelCheckResult result;
   result.config = config;
   result.threads_used = threads;
@@ -929,17 +1129,40 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
     }
   }
 
-  VisitedSet visited;
-  (void)visited.insert(root.hash);
+  // Owner-partitioned visited set: frozen for probes during produce,
+  // owner-written during admit, barrier-separated — no locks anywhere.
+  ShardedVisited visited;
+  const std::size_t n_shards = visited.shard_count();
+  visited.owner_insert(visited.shard_of(root.hash), root.hash);
 
-  std::vector<FrontierItem> frontier;
-  frontier.push_back(FrontierItem{{}, vmm0.snapshot_delta(root)});
+  SpillFile spill{config.spill_dir.empty()
+                      ? std::string{}
+                      : config.spill_dir + "/frontier.spill"};
+  const std::uint64_t budget = config.max_frontier_bytes;
+  const bool can_spill = !config.spill_dir.empty() && budget != 0;
+  std::vector<std::ifstream> spill_readers(threads);
+
+  std::vector<CowFrontierItem> frontier;
+  {
+    CowFrontierItem root_item;
+    root_item.cow = vmm0.snapshot_cow(root, nullptr, root.mem_generation);
+    root_item.hash = root.hash;
+    root_item.cost = frontier_item_cost(root_item.prefix, 0, 0);
+    frontier.push_back(std::move(root_item));
+  }
+  std::uint64_t resident = frontier[0].cost;
+  result.peak_frontier_bytes = resident;
+
+  // Per-worker scheduling-dependent tallies, folded after the run. Their
+  // sums are deterministic (which worker did the work is not).
+  std::vector<std::uint64_t> ops_executed_w(threads, 0);
+  std::vector<std::uint64_t> spill_reloads_w(threads, 0);
 
   // Per-worker profilers (shared epoch, worker-numbered lanes) hold the
   // Sched-kind engine spans each worker records for itself; they merge
   // into the main profiler — order-independently — after the run. The
-  // deterministic expand/audit spans are recorded by the serial-order
-  // merge below, never by workers.
+  // deterministic expand/audit spans are recomputed by the serial
+  // assembly from the op-outcome arrays, never recorded by workers.
   obs::SpanProfiler* const prof = config.profiler;
   std::vector<std::unique_ptr<obs::SpanProfiler>> wprofs;
   if (prof != nullptr) {
@@ -951,218 +1174,335 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
   }
 
   bool stop = false;
-  while (!frontier.empty() && !stop &&
-         frontier.front().prefix.size() < config.depth) {
-    const unsigned depth =
-        static_cast<unsigned>(frontier.front().prefix.size()) + 1;
+  unsigned level = 0;  // op-prefix length of the current frontier
+  while (!frontier.empty() && !stop && level < config.depth) {
+    const unsigned depth = level + 1;
     const std::string dname = "d" + std::to_string(depth);
     if (config.status != nullptr) {
       config.status->checker_depth(depth, frontier.size());
       config.status->checker_progress(result.states_explored,
                                       result.violations_found);
     }
-    // -------- pass 1: apply every op of every parent, record outcomes.
+
+    std::vector<CowFrontierItem> next_frontier;
+    std::uint64_t next_resident = 0;
+
     const std::size_t n_parents = frontier.size();
-    std::vector<std::vector<PairOutcome>> outcomes(threads);
-    std::atomic<std::size_t> next_parent{0};
-    obs::ScopedSpan classify_span{
-        prof,
-        {obs::kSpanCheck, dname, obs::kSpanClassify},
-        obs::SpanKind::Sched};
-    run_on_workers(threads, [&](unsigned w) {
-      ShardWorker& self = *workers[w];
-      hv::Hypervisor& vmm = self.machine.vmm;
-      std::vector<PairOutcome>& out = outcomes[w];
-      obs::ScopedSpan lane{
-          prof != nullptr ? wprofs[w].get() : nullptr,
-          {obs::kSpanCheck, dname, obs::kSpanClassify, "w" + std::to_string(w)},
-          obs::SpanKind::Sched};
-      while (true) {
-        const std::size_t p = next_parent.fetch_add(1);
-        if (p >= n_parents) return;
-        const FrontierItem& item = frontier[p];
-        (void)vmm.restore_delta(self.root, item.delta, /*foreign=*/true);
-        const std::uint64_t parent_hash = item.delta.hash;
-        const std::vector<Op> alphabet =
-            enumerate_ops(vmm, config, self.machine.guests);
-        lane.add_steps(alphabet.size());
-        for (std::uint32_t o = 0; o < alphabet.size(); ++o) {
-          const long rc = apply_op(vmm, alphabet[o]);
-          const std::uint64_t h = vmm.state_hash();
-          PairOutcome po;
-          po.parent = static_cast<std::uint32_t>(p);
-          po.op = o;
-          po.hash = h;
-          po.changed = h != parent_hash;
-          po.failed = rc != hv::kOk;
-          po.committed_dup = po.changed && visited.contains(h);
-          out.push_back(po);
-          if (po.changed) {
-            (void)vmm.restore_delta(self.root, item.delta, /*foreign=*/true);
-          }
+    std::size_t chunk_begin = 0;
+    while (chunk_begin < n_parents && !stop) {
+      // ---- chunk boundary: fill up to the frontier budget, min one
+      // parent. Chunk edges respect serial parent order, so per-chunk
+      // admission commits are exactly the serial prefix of the depth.
+      std::size_t chunk_end = n_parents;
+      if (budget != 0) {
+        chunk_end = chunk_begin + 1;
+        std::uint64_t chunk_bytes = frontier[chunk_begin].cost;
+        while (chunk_end < n_parents &&
+               chunk_bytes + frontier[chunk_end].cost <= budget) {
+          chunk_bytes += frontier[chunk_end].cost;
+          ++chunk_end;
         }
       }
-    });
+      const std::size_t chunk_n = chunk_end - chunk_begin;
 
-    classify_span.end();
+      // ---- produce: apply every op of every chunk parent exactly once.
+      std::vector<const hv::HvCowState*> parent_cow(chunk_n, nullptr);
+      std::vector<const std::vector<Op>*> parent_prefix(chunk_n, nullptr);
+      std::vector<hv::HvCowState> reloaded_cow(chunk_n);
+      std::vector<std::vector<Op>> reloaded_prefix(chunk_n);
+      std::vector<std::vector<std::uint8_t>> op_outcome(chunk_n);
+      // inbox[shard][producer]: each producer appends only to its own
+      // cell, each cell is read only after the barrier — race-free by
+      // layout, no locks.
+      std::vector<std::vector<std::vector<Candidate>>> inbox(
+          n_shards, std::vector<std::vector<Candidate>>(threads));
+      std::atomic<std::size_t> next_parent{0};
+      obs::ScopedSpan produce_span{prof,
+                                   {obs::kSpanCheck, dname, obs::kSpanProduce},
+                                   obs::SpanKind::Sched};
+      run_on_workers(threads, [&](unsigned w) {
+        ShardWorker& self = *workers[w];
+        hv::Hypervisor& vmm = self.machine.vmm;
+        obs::ScopedSpan lane{
+            prof != nullptr ? wprofs[w].get() : nullptr,
+            {obs::kSpanCheck, dname, obs::kSpanProduce,
+             "w" + std::to_string(w)},
+            obs::SpanKind::Sched};
+        while (true) {
+          const std::size_t idx = next_parent.fetch_add(1);
+          if (idx >= chunk_n) return;
+          const CowFrontierItem& item = frontier[chunk_begin + idx];
+          if (item.spilled) {
+            // Reload: rewind to the root, replay the serialized prefix,
+            // verify the expected hash, re-capture as a parentless node.
+            (void)vmm.restore_delta(self.root);
+            const std::uint64_t replay_marker = vmm.memory().generation();
+            SpillRecord rec = read_spill_record(spill_readers[w], spill.path(),
+                                                item.spill_offset);
+            for (const Op& op : rec.prefix) (void)apply_op(vmm, op);
+            ops_executed_w[w] += rec.prefix.size();
+            ++spill_reloads_w[w];
+            if (vmm.state_hash() != rec.hash) {
+              throw std::logic_error{
+                  "model checker: spill replay diverged from its capture"};
+            }
+            reloaded_cow[idx] =
+                vmm.snapshot_cow(self.root, nullptr, replay_marker);
+            reloaded_prefix[idx] = std::move(rec.prefix);
+            parent_cow[idx] = &reloaded_cow[idx];
+            parent_prefix[idx] = &reloaded_prefix[idx];
+          } else {
+            parent_cow[idx] = &item.cow;
+            parent_prefix[idx] = &item.prefix;
+            (void)vmm.restore_cow(self.root, item.cow);
+          }
+          const std::uint64_t parent_hash = item.hash;
+          // The capture marker is re-taken after every restore: restores
+          // stamp fresh generations, so "written after the marker" is
+          // exactly "diverged from the restored parent".
+          std::uint64_t marker = vmm.memory().generation();
+          const std::vector<Op> alphabet =
+              enumerate_ops(vmm, config, self.machine.guests);
+          lane.add_steps(alphabet.size());
+          ops_executed_w[w] += alphabet.size();
+          std::vector<std::uint8_t>& outcome = op_outcome[idx];
+          outcome.assign(alphabet.size(), kOpUnchangedOk);
+          for (std::uint32_t o = 0; o < alphabet.size(); ++o) {
+            const long rc = apply_op(vmm, alphabet[o]);
+            const std::uint64_t h = vmm.state_hash();
+            if (h == parent_hash) {
+              if (rc != hv::kOk) outcome[o] = kOpUnchangedFailed;
+              continue;  // nothing changed; nothing to restore
+            }
+            outcome[o] = kOpChanged;
+            // Probe the frozen pre-chunk set: a hash committed at an
+            // earlier depth or chunk can never be admitted, so skip its
+            // capture. Same-chunk collisions are the owner's call.
+            if (!visited.probe(h)) {
+              Candidate c;
+              c.parent = static_cast<std::uint32_t>(idx);
+              c.op = o;
+              c.hash = h;
+              c.op_obj = alphabet[o];
+              c.cow = vmm.snapshot_cow(self.root, parent_cow[idx], marker);
+              inbox[visited.shard_of(h)][w].push_back(std::move(c));
+            }
+            (void)vmm.restore_cow(self.root, *parent_cow[idx]);
+            marker = vmm.memory().generation();
+          }
+        }
+      });
+      produce_span.end();
 
-    // -------- merge: replay the serial visit order over the outcome set.
-    obs::ScopedSpan merge_span{prof,
-                               {obs::kSpanCheck, dname, obs::kSpanMerge},
-                               obs::SpanKind::Sched};
-    std::vector<PairOutcome> all;
-    {
-      std::size_t total = 0;
-      for (const auto& buf : outcomes) total += buf.size();
-      all.reserve(total);
-      for (const auto& buf : outcomes) {
-        all.insert(all.end(), buf.begin(), buf.end());
+      // ---- admit: each owner decides its shards, no cross-shard state.
+      std::vector<std::vector<Candidate>> admitted(n_shards);
+      obs::ScopedSpan admit_span{prof,
+                                 {obs::kSpanCheck, dname, obs::kSpanAdmit},
+                                 obs::SpanKind::Sched};
+      run_on_workers(threads, [&](unsigned w) {
+        obs::ScopedSpan lane{
+            prof != nullptr ? wprofs[w].get() : nullptr,
+            {obs::kSpanCheck, dname, obs::kSpanAdmit, "w" + std::to_string(w)},
+            obs::SpanKind::Sched};
+        for (std::size_t s = w; s < n_shards; s += threads) {
+          std::size_t total = 0;
+          for (unsigned pw = 0; pw < threads; ++pw) {
+            total += inbox[s][pw].size();
+          }
+          if (total == 0) continue;
+          lane.add_steps(total);
+          std::vector<Candidate> cands;
+          cands.reserve(total);
+          for (unsigned pw = 0; pw < threads; ++pw) {
+            for (Candidate& c : inbox[s][pw]) cands.push_back(std::move(c));
+          }
+          std::sort(cands.begin(), cands.end(),
+                    [](const Candidate& a, const Candidate& b) {
+                      if (a.hash != b.hash) return a.hash < b.hash;
+                      if (a.parent != b.parent) return a.parent < b.parent;
+                      return a.op < b.op;
+                    });
+          for (std::size_t i = 0; i < cands.size();) {
+            std::size_t j = i;
+            while (j < cands.size() && cands[j].hash == cands[i].hash) ++j;
+            // The owner alone admits: the first (parent, op) pair of a
+            // new hash is the pair the serial BFS encounters first.
+            if (visited.owner_insert(s, cands[i].hash)) {
+              admitted[s].push_back(std::move(cands[i]));
+            }
+            i = j;
+          }
+        }
+      });
+      admit_span.end();
+
+      // ---- assembly 1 (serial): serial claim order, truncation cut,
+      // counters and the deterministic expand/audit spans.
+      std::vector<Candidate> claims;
+      {
+        std::size_t total = 0;
+        for (std::size_t s = 0; s < n_shards; ++s) total += admitted[s].size();
+        claims.reserve(total);
+        for (std::size_t s = 0; s < n_shards; ++s) {
+          for (Candidate& c : admitted[s]) claims.push_back(std::move(c));
+        }
       }
-    }
-    merge_span.add_steps(all.size());
-    std::sort(all.begin(), all.end(),
-              [](const PairOutcome& a, const PairOutcome& b) {
-                return a.parent != b.parent ? a.parent < b.parent
-                                            : a.op < b.op;
-              });
-    // Replaying serial order also lets the merge record the deterministic
-    // per-parent expand/audit spans with the serial driver's exact tallies
-    // (including the mid-parent cut on truncation).
-    std::uint64_t parent_applied = 0;
-    std::uint64_t parent_audited = 0;
-    std::uint32_t span_parent = 0;
-    const auto flush_parent_spans = [&] {
-      if (prof == nullptr || parent_applied == 0) return;
-      prof->add({obs::kSpanCheck, dname, obs::kSpanExpand}, 1, parent_applied);
-      if (parent_audited != 0) {
-        prof->add({obs::kSpanCheck, dname, obs::kSpanAudit}, parent_audited,
-                  parent_audited);
-      }
-      parent_applied = 0;
-      parent_audited = 0;
-    };
-    std::vector<Claim> claims;
-    for (const PairOutcome& po : all) {
-      if (po.parent != span_parent) {
-        flush_parent_spans();
-        span_parent = po.parent;
-      }
-      ++result.ops_applied;
-      ++parent_applied;
-      if (!po.changed) {
-        if (po.failed) ++result.failed_ops;
-        continue;
-      }
-      if (po.committed_dup || !visited.insert(po.hash)) {
-        ++result.states_deduped;
-        continue;
-      }
-      ++result.states_explored;
-      ++parent_audited;
-      claims.push_back(Claim{po.parent, po.op, po.hash});
-      if (result.states_explored >= config.max_states) {
-        // The serial BFS stops right after recording this state; every
-        // lexicographically later pair was never executed there and must
-        // not be counted here.
+      std::sort(claims.begin(), claims.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.parent != b.parent ? a.parent < b.parent
+                                              : a.op < b.op;
+                });
+      // The serial BFS stops right after the admission that reaches
+      // max_states; later pairs were never executed there and must not be
+      // counted, audited or queued here. (Hashes past the cut stay in the
+      // visited set — visible only through shard_occupancy on truncated
+      // runs, never in the report.)
+      const std::uint64_t allowed = config.max_states - result.states_explored;
+      if (claims.size() >= allowed) {
+        claims.resize(static_cast<std::size_t>(allowed));
         result.truncated = true;
         stop = true;
-        break;
       }
-    }
-    flush_parent_spans();
-    merge_span.end();
-
-    // -------- pass 2: re-derive and audit exactly the claimed states.
-    std::vector<std::pair<std::size_t, std::size_t>> groups;  // per parent
-    for (std::size_t i = 0; i < claims.size();) {
-      std::size_t j = i;
-      while (j < claims.size() && claims[j].parent == claims[i].parent) ++j;
-      groups.emplace_back(i, j);
-      i = j;
-    }
-    std::vector<ChildCapture> captures(claims.size());
-    std::atomic<std::size_t> next_group{0};
-    obs::ScopedSpan rederive_span{prof,
-                                  {obs::kSpanCheck, dname, obs::kSpanRederive},
-                                  obs::SpanKind::Sched};
-    run_on_workers(threads, [&](unsigned w) {
-      ShardWorker& self = *workers[w];
-      hv::Hypervisor& vmm = self.machine.vmm;
-      obs::ScopedSpan lane{
-          prof != nullptr ? wprofs[w].get() : nullptr,
-          {obs::kSpanCheck, dname, obs::kSpanRederive, "w" + std::to_string(w)},
-          obs::SpanKind::Sched};
-      while (true) {
-        const std::size_t g = next_group.fetch_add(1);
-        if (g >= groups.size()) return;
-        const auto [begin, end] = groups[g];
-        lane.add_steps(end - begin);
-        const FrontierItem& item = frontier[claims[begin].parent];
-        (void)vmm.restore_delta(self.root, item.delta, /*foreign=*/true);
-        const std::vector<Op> alphabet =
-            enumerate_ops(vmm, config, self.machine.guests);
-        for (std::size_t i = begin; i < end; ++i) {
-          const Claim& claim = claims[i];
-          (void)apply_op(vmm, alphabet[claim.op]);
-          if (vmm.state_hash() != claim.hash) {
-            throw std::logic_error{
-                "model checker: pass-2 re-derivation diverged from pass 1"};
+      const bool cut = stop;
+      const std::uint32_t cut_parent = cut ? claims.back().parent : 0;
+      const std::uint32_t cut_op = cut ? claims.back().op : 0;
+      std::vector<std::uint64_t> audited(chunk_n, 0);
+      for (const Candidate& c : claims) ++audited[c.parent];
+      std::uint64_t changed_total = 0;
+      for (std::size_t idx = 0; idx < chunk_n; ++idx) {
+        if (cut && idx > cut_parent) break;
+        const std::vector<std::uint8_t>& outcome = op_outcome[idx];
+        const std::size_t n_ops = cut && idx == cut_parent
+                                      ? std::size_t{cut_op} + 1
+                                      : outcome.size();
+        for (std::size_t o = 0; o < n_ops; ++o) {
+          if (outcome[o] == kOpUnchangedFailed) ++result.failed_ops;
+          if (outcome[o] == kOpChanged) ++changed_total;
+        }
+        result.ops_applied += n_ops;
+        if (prof != nullptr && n_ops != 0) {
+          prof->add({obs::kSpanCheck, dname, obs::kSpanExpand}, 1, n_ops);
+          if (audited[idx] != 0) {
+            prof->add({obs::kSpanCheck, dname, obs::kSpanAudit}, audited[idx],
+                      audited[idx]);
           }
-          ChildCapture& cap = captures[i];
-          cap.op = alphabet[claim.op];
+        }
+      }
+      result.states_explored += claims.size();
+      result.states_deduped += changed_total - claims.size();
+
+      // ---- settle: audit the admitted states from their captures — the
+      // single-pass payoff: no op is ever applied a second time.
+      std::vector<Settled> settled(claims.size());
+      std::atomic<std::size_t> next_claim{0};
+      obs::ScopedSpan settle_span{prof,
+                                  {obs::kSpanCheck, dname, obs::kSpanSettle},
+                                  obs::SpanKind::Sched};
+      run_on_workers(threads, [&](unsigned w) {
+        ShardWorker& self = *workers[w];
+        hv::Hypervisor& vmm = self.machine.vmm;
+        obs::ScopedSpan lane{
+            prof != nullptr ? wprofs[w].get() : nullptr,
+            {obs::kSpanCheck, dname, obs::kSpanSettle,
+             "w" + std::to_string(w)},
+            obs::SpanKind::Sched};
+        while (true) {
+          const std::size_t i = next_claim.fetch_add(1);
+          if (i >= claims.size()) return;
+          lane.add_steps(1);
+          const Candidate& c = claims[i];
+          (void)vmm.restore_cow(self.root, c.cow);
+          if (vmm.state_hash() != c.hash) {
+            throw std::logic_error{
+                "model checker: settled state diverged from its capture"};
+          }
           const hv::SystemWalk walk = hv::walk_system(vmm);
           hv::InvariantReport report = hv::InvariantAuditor{vmm}.audit(walk);
-          if (!report.clean()) {
-            cap.violating = true;
-            cap.violated = report.violated_set();
-            cap.classes = classify(vmm, walk, report);
-            const hv::HvDelta child = vmm.snapshot_delta(self.root);
-            cap.state_diff = diff_states(StateView{self.root, item.delta},
-                                         StateView{self.root, child});
-            cap.report = std::move(report);
+          if (report.clean()) continue;
+          Settled& s = settled[i];
+          s.violating = true;
+          s.violated = report.violated_set();
+          s.classes = classify(vmm, walk, report);
+          s.state_diff =
+              diff_states(StateView{self.root, *parent_cow[c.parent]},
+                          StateView{self.root, c.cow});
+          s.report = std::move(report);
+        }
+      });
+      settle_span.end();
+
+      // ---- assembly 2 (serial): violations and the next frontier, in
+      // claim order; states past the frontier budget spill to disk.
+      std::unique_ptr<obs::ScopedSpan> spill_span;
+      for (std::size_t i = 0; i < claims.size(); ++i) {
+        Candidate& c = claims[i];
+        std::vector<Op> trace = *parent_prefix[c.parent];
+        trace.push_back(std::move(c.op_obj));
+        Settled& s = settled[i];
+        if (s.violating) {
+          ++result.violations_found;
+          for (const hv::Invariant inv : s.violated) {
+            ++result.invariant_hits[static_cast<std::size_t>(inv)];
+          }
+          for (const ErroneousStateClass cls : s.classes) {
+            ++result.class_hits[static_cast<std::size_t>(cls)];
+          }
+          if (result.counterexamples.size() < config.max_counterexamples) {
+            Counterexample cx;
+            cx.ops = std::move(trace);
+            cx.depth = static_cast<unsigned>(cx.ops.size());
+            cx.state_hash = c.hash;
+            cx.violated = std::move(s.violated);
+            cx.classes = std::move(s.classes);
+            cx.state_diff = std::move(s.state_diff);
+            cx.report = std::move(s.report);
+            result.counterexamples.push_back(std::move(cx));
+          }
+        } else if (!stop) {
+          CowFrontierItem child;
+          child.hash = c.hash;
+          child.cost = frontier_item_cost(trace, c.cow.owned_frames,
+                                          c.cow.frames.size());
+          if (can_spill && next_resident + child.cost > budget) {
+            if (spill_span == nullptr) {
+              spill_span = std::make_unique<obs::ScopedSpan>(
+                  prof,
+                  std::initializer_list<std::string_view>{
+                      obs::kSpanCheck, dname, obs::kSpanSpill},
+                  obs::SpanKind::Sched);
+            }
+            child.spilled = true;
+            child.spill_offset = spill.append(trace, c.hash);
+            ++result.frontier_spilled_items;
           } else {
-            cap.delta = vmm.snapshot_delta(self.root);
+            child.prefix = std::move(trace);
+            child.cow = std::move(c.cow);
+            next_resident += child.cost;
           }
-          if (i + 1 < end) {
-            (void)vmm.restore_delta(self.root, item.delta, /*foreign=*/true);
-          }
+          next_frontier.push_back(std::move(child));
         }
       }
-    });
+      spill.flush();  // workers read these records next depth
+      result.frontier_spill_bytes = spill.bytes_written();
+      spill_span.reset();
 
-    rederive_span.end();
-
-    // -------- assembly: violations and the next frontier, in claim order.
-    std::vector<FrontierItem> next_frontier;
-    for (std::size_t i = 0; i < claims.size(); ++i) {
-      ChildCapture& cap = captures[i];
-      std::vector<Op> trace = frontier[claims[i].parent].prefix;
-      trace.push_back(std::move(cap.op));
-      if (cap.violating) {
-        ++result.violations_found;
-        for (const hv::Invariant inv : cap.violated) {
-          ++result.invariant_hits[static_cast<std::size_t>(inv)];
-        }
-        for (const ErroneousStateClass c : cap.classes) {
-          ++result.class_hits[static_cast<std::size_t>(c)];
-        }
-        if (result.counterexamples.size() < config.max_counterexamples) {
-          Counterexample cx;
-          cx.ops = std::move(trace);
-          cx.depth = static_cast<unsigned>(cx.ops.size());
-          cx.state_hash = claims[i].hash;
-          cx.violated = std::move(cap.violated);
-          cx.classes = std::move(cap.classes);
-          cx.state_diff = std::move(cap.state_diff);
-          cx.report = std::move(cap.report);
-          result.counterexamples.push_back(std::move(cx));
-        }
-      } else if (!stop) {
-        next_frontier.push_back(
-            FrontierItem{std::move(trace), std::move(cap.delta)});
+      result.peak_frontier_bytes =
+          std::max(result.peak_frontier_bytes, resident + next_resident);
+      // ---- release the processed chunk: children alias the frame blocks
+      // they still share; everything else frees now, so the resident
+      // working set stays bounded by the budget (plus the chunk in
+      // flight), not by the depth's full frontier.
+      for (std::size_t idx = 0; idx < chunk_n; ++idx) {
+        CowFrontierItem& item = frontier[chunk_begin + idx];
+        if (!item.spilled) resident -= item.cost;
+        item = CowFrontierItem{};
       }
+      chunk_begin = chunk_end;
     }
+
     frontier = std::move(next_frontier);
+    resident = next_resident;
+    ++level;
   }
 
   if (prof != nullptr) {
@@ -1175,6 +1515,14 @@ ModelCheckResult run_model_check_parallel(const ModelCheckConfig& config,
   result.hash_frames_rehashed = total.frames_rehashed;
   result.delta_restores = total.delta_restores;
   result.full_restores = total.full_restores;
+  result.cow_captures = total.cow_captures;
+  result.cow_frames_copied = total.cow_frames_copied;
+  result.cow_frames_shared = total.cow_frames_shared;
+  for (unsigned w = 0; w < threads; ++w) {
+    result.ops_executed += ops_executed_w[w];
+    result.frontier_spill_reloads += spill_reloads_w[w];
+  }
+  result.shard_occupancy = visited.occupancy();
   return result;
 }
 
@@ -1189,13 +1537,20 @@ ModelCheckResult run_model_check(const ModelCheckConfig& config) {
   // More workers than cores only adds machines to boot; cap generously.
   threads = std::min(threads, 32u);
   if (config.use_replay_fallback) threads = 1;
+  // Spilling lives in the sharded engine only; a single-worker spilling run
+  // goes through it too (the reports are byte-identical either way). The
+  // replay fallback keeps the plain serial BFS and never spills.
+  const bool wants_spill = !config.use_replay_fallback &&
+                           !config.spill_dir.empty() &&
+                           config.max_frontier_bytes != 0;
   if (config.status != nullptr) config.status->checker_begin();
   ModelCheckResult result;
   {
     // Root of the deterministic span tree; per-depth children hang off it.
     obs::ScopedSpan check_span{config.profiler, obs::kSpanCheck};
-    result = threads <= 1 ? run_model_check_serial(config)
-                          : run_model_check_parallel(config, threads);
+    result = threads <= 1 && !wants_spill
+                 ? run_model_check_serial(config)
+                 : run_model_check_sharded(config, std::max(threads, 1u));
   }
   if (config.status != nullptr) {
     config.status->checker_progress(result.states_explored,
@@ -1255,12 +1610,35 @@ std::string render_report(const ModelCheckResult& r) {
 }
 
 std::string render_engine_stats(const ModelCheckResult& r) {
-  return "snapshot engine (" + std::to_string(r.threads_used) +
-         " worker(s)): " + std::to_string(r.delta_restores) + " delta + " +
-         std::to_string(r.full_restores) + " full restores, frames copied " +
-         std::to_string(r.snapshot_frames_copied) +
-         ", frame digests redone " + std::to_string(r.hash_frames_rehashed) +
-         "\n";
+  std::string out =
+      "snapshot engine (" + std::to_string(r.threads_used) +
+      " worker(s)): " + std::to_string(r.delta_restores) + " delta + " +
+      std::to_string(r.full_restores) + " full restores, frames copied " +
+      std::to_string(r.snapshot_frames_copied) + ", frame digests redone " +
+      std::to_string(r.hash_frames_rehashed) + "\n";
+  out += "cow forest: " + std::to_string(r.cow_captures) + " captures, " +
+         std::to_string(r.cow_frames_copied) + " frames owned, " +
+         std::to_string(r.cow_frames_shared) + " frames shared\n";
+  out += "frontier: peak " + std::to_string(r.peak_frontier_bytes) +
+         " bytes, " + std::to_string(r.frontier_spilled_items) +
+         " spilled (" + std::to_string(r.frontier_spill_bytes) + " bytes, " +
+         std::to_string(r.frontier_spill_reloads) + " reloads), ops executed " +
+         std::to_string(r.ops_executed) + "\n";
+  if (!r.shard_occupancy.empty()) {
+    std::uint64_t min_occ = r.shard_occupancy[0];
+    std::uint64_t max_occ = r.shard_occupancy[0];
+    std::uint64_t total_occ = 0;
+    for (const std::uint64_t n : r.shard_occupancy) {
+      min_occ = std::min(min_occ, n);
+      max_occ = std::max(max_occ, n);
+      total_occ += n;
+    }
+    out += "visited shards: " + std::to_string(r.shard_occupancy.size()) +
+           ", occupancy min " + std::to_string(min_occ) + " / max " +
+           std::to_string(max_occ) + " / total " + std::to_string(total_occ) +
+           "\n";
+  }
+  return out;
 }
 
 GateVerdict evaluate_expectation(const ModelCheckResult& result,

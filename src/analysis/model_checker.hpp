@@ -64,11 +64,25 @@ struct ModelCheckConfig {
   /// Safety valves.
   std::uint64_t max_states = 100000;
   std::size_t max_counterexamples = 32;
-  /// Worker threads for the depth-synchronous sharded exploration: 0 picks
+  /// Worker threads for the single-pass owner-computes exploration: 0 picks
   /// hardware concurrency, 1 keeps the serial BFS. Any value produces
-  /// byte-identical violations, counterexamples and render_report() — the
-  /// per-depth merge replays the serial visit order (see DESIGN.md §12).
+  /// byte-identical violations, counterexamples and render_report() —
+  /// dedup admission is partitioned by state hash over fixed shards, and
+  /// each shard owner independently reproduces the serial first-encounter
+  /// decision (see DESIGN.md §16).
   unsigned threads = 1;
+  /// Bound on resident frontier bytes (deterministic accounting: op-prefix
+  /// labels + owned CoW frames + fixed per-item overhead). 0 = unbounded.
+  /// When set, the frontier of a depth is also processed in chunks sized to
+  /// the budget, so the expansion working set is bounded too. States past
+  /// the budget spill to disk when spill_dir is set; with no spill_dir the
+  /// budget only drives chunking and the frontier stays resident.
+  std::uint64_t max_frontier_bytes = 0;
+  /// Directory for the frontier spill file (created by the caller). Spilled
+  /// states store their op prefix + expected hash and are re-derived by
+  /// replay on reload — reports are byte-identical with or without
+  /// spilling; only the extra replay applications differ (ops_executed).
+  std::string spill_dir;
   /// Use the pre-delta exploration scheme (one full snapshot per expanded
   /// state, re-derive queued states by restoring the root and replaying the
   /// op prefix) instead of delta snapshot/restore. Kept for cross-checking:
@@ -79,10 +93,11 @@ struct ModelCheckConfig {
   /// one branch per site). The profiler receives deterministic per-depth
   /// check/dN/{expand,audit} spans whose counts and steps are identical at
   /// any thread count — the serial driver records them directly, the
-  /// parallel driver from its serial-order merge — plus Sched-kind
-  /// classify/merge/rederive engine phases (wall-only, per worker). The
-  /// board receives live depth / frontier / states-explored updates for
-  /// the /status endpoint. Single run per profiler: spans accumulate.
+  /// sharded driver recomputes the serial tallies from its per-parent scan
+  /// records — plus Sched-kind produce/admit/settle/spill engine phases
+  /// (wall-only, per worker). The board receives live depth / frontier /
+  /// states-explored updates for the /status endpoint. Single run per
+  /// profiler: spans accumulate.
   obs::SpanProfiler* profiler = nullptr;
   obs::StatusBoard* status = nullptr;
 };
@@ -162,6 +177,24 @@ struct ModelCheckResult {
   std::uint64_t hash_frames_rehashed = 0;    ///< frame digests recomputed
   std::uint64_t delta_restores = 0;
   std::uint64_t full_restores = 0;
+  std::uint64_t cow_captures = 0;            ///< CoW forest nodes captured
+  std::uint64_t cow_frames_copied = 0;       ///< frames materialized as blocks
+  std::uint64_t cow_frames_shared = 0;       ///< frames aliased from a parent
+
+  /// Single-pass engine accounting. `ops_executed` counts actual op
+  /// applications on any machine — enumeration plus spill-replay reloads —
+  /// and equals ops_applied exactly when nothing spills and the run is not
+  /// truncated. Kept out of render_report so reports stay byte-identical
+  /// with or without spilling.
+  std::uint64_t ops_executed = 0;
+  std::uint64_t peak_frontier_bytes = 0;     ///< deterministic accounting
+  std::uint64_t frontier_spilled_items = 0;  ///< states written to the spill
+  std::uint64_t frontier_spill_reloads = 0;  ///< states replayed back in
+  std::uint64_t frontier_spill_bytes = 0;    ///< bytes appended to the spill
+  /// Visited-set occupancy per hash shard at the end of the run (identical
+  /// at any thread count for non-truncated runs: the committed set is the
+  /// reachable bounded space regardless of scheduling).
+  std::vector<std::uint64_t> shard_occupancy;
 
   /// Per-invariant violating-state counts, indexed by hv::Invariant.
   std::array<std::uint64_t, hv::kInvariantCount> invariant_hits{};
@@ -184,10 +217,11 @@ struct ModelCheckResult {
 /// costs depend on scheduling.
 [[nodiscard]] std::string render_report(const ModelCheckResult& result);
 
-/// One-line snapshot-engine work summary (restores, frames copied, digests
-/// redone). Kept out of render_report: with multiple workers each machine
-/// restores from whatever state it last held, so these counters — and only
-/// these — vary with scheduling.
+/// Engine work summary (restores, frames copied, digests redone, CoW
+/// forest sharing, frontier peak/spill, shard occupancy). Kept out of
+/// render_report: with multiple workers each machine restores from
+/// whatever state it last held, and spilling changes replay work, so these
+/// counters — and only these — vary with configuration and scheduling.
 [[nodiscard]] std::string render_engine_stats(const ModelCheckResult& result);
 
 /// CI-gate verdict shared by analysis_cli --expect and the preflight tests.

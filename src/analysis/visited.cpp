@@ -1,0 +1,41 @@
+// The one place visited-state sets may be mutated (see visited.hpp for the
+// ownership protocol; ii_analyze rule `visited-ownership` holds every other
+// file under src/analysis to the owner_* API).
+#include "analysis/visited.hpp"
+
+namespace ii::analysis {
+
+ShardedVisited::ShardedVisited(std::size_t shards)
+    : shards_{shards == 0 ? 1 : shards} {}
+
+bool ShardedVisited::probe(std::uint64_t hash) const {
+  return owner_contains(shard_of(hash), hash);
+}
+
+bool ShardedVisited::owner_contains(std::size_t shard,
+                                    std::uint64_t hash) const {
+  return shards_[shard].hashes.count(hash) != 0;
+}
+
+bool ShardedVisited::owner_insert(std::size_t shard, std::uint64_t hash) {
+  return shards_[shard].hashes.insert(hash).second;
+}
+
+std::vector<std::uint64_t> ShardedVisited::occupancy() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    out.push_back(shards_[s].hashes.size());
+  }
+  return out;
+}
+
+std::uint64_t ShardedVisited::total() const {
+  std::uint64_t n = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    n += shards_[s].hashes.size();
+  }
+  return n;
+}
+
+}  // namespace ii::analysis

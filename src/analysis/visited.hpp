@@ -1,0 +1,65 @@
+// Hash-sharded visited-state set with owner-computes admission
+// (DESIGN.md §16).
+//
+// The single-pass parallel checker partitions dedup by state hash:
+// shard = hash % shard_count(), and each worker OWNS the shards with
+// shard % threads == worker. The protocol is phase-based and lock-free:
+//
+//   expand phase    every worker may call probe() — the set is frozen
+//                   (no writer exists), so concurrent reads are safe;
+//   admission phase every worker calls owner_contains()/owner_insert()
+//                   ONLY on shards it owns — disjoint writers, no races;
+//   (a barrier separates the phases.)
+//
+// All mutation lives in visited.cpp behind the owner_* API. The ii_analyze
+// rule `visited-ownership` statically rejects direct container mutation or
+// iteration of visited sets anywhere else under src/analysis, so the
+// protocol cannot silently regress. The sets are never iterated at all —
+// unordered-container iteration order is banned from every deterministic
+// path (rule D1) — only probed, inserted into, and sized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace ii::analysis {
+
+class ShardedVisited {
+ public:
+  /// 64 shards regardless of thread count: admission decisions are per-hash
+  /// and shard-local, so the partition — and with it every report byte —
+  /// is independent of how shards map onto workers.
+  static constexpr std::size_t kDefaultShards = 64;
+
+  explicit ShardedVisited(std::size_t shards = kDefaultShards);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(std::uint64_t hash) const {
+    return hash % shards_.size();
+  }
+
+  /// Frozen-phase read, any thread: true if the hash was committed by a
+  /// finished admission phase. Must not run concurrently with owner_insert.
+  [[nodiscard]] bool probe(std::uint64_t hash) const;
+
+  /// Admission-phase read, owning worker only.
+  [[nodiscard]] bool owner_contains(std::size_t shard,
+                                    std::uint64_t hash) const;
+
+  /// Admission-phase write, owning worker only. True if newly inserted.
+  bool owner_insert(std::size_t shard, std::uint64_t hash);
+
+  /// Per-shard committed-hash counts (the --stats occupancy line).
+  [[nodiscard]] std::vector<std::uint64_t> occupancy() const;
+  [[nodiscard]] std::uint64_t total() const;
+
+ private:
+  struct Shard {
+    std::unordered_set<std::uint64_t> hashes;
+  };
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ii::analysis

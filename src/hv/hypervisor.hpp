@@ -41,6 +41,7 @@ namespace ii::hv {
 struct RecoveryReport;  // recovery.hpp
 struct HvSnapshot;      // snapshot.hpp
 struct HvDelta;         // snapshot.hpp
+struct HvCowState;      // snapshot.hpp
 
 /// Counters over the snapshot/hash/restore machinery since the last
 /// reset_snapshot_stats(). The campaign and the model checker surface these
@@ -55,6 +56,10 @@ struct SnapshotStats {
   std::uint64_t frames_copied = 0;     ///< frames written by restores
   std::uint64_t delta_snapshots = 0;
   std::uint64_t frames_delta_captured = 0;  ///< frames copied into deltas
+  std::uint64_t cow_captures = 0;      ///< snapshot_cow() invocations
+  std::uint64_t cow_restores = 0;      ///< restore_cow() invocations
+  std::uint64_t cow_frames_copied = 0;  ///< frames materialized into new blocks
+  std::uint64_t cow_frames_shared = 0;  ///< frames aliased from the parent
 
   /// Fold another engine's counters in (the parallel model checker sums
   /// per-worker machines into one result).
@@ -67,6 +72,10 @@ struct SnapshotStats {
     frames_copied += o.frames_copied;
     delta_snapshots += o.delta_snapshots;
     frames_delta_captured += o.frames_delta_captured;
+    cow_captures += o.cow_captures;
+    cow_restores += o.cow_restores;
+    cow_frames_copied += o.cow_frames_copied;
+    cow_frames_shared += o.cow_frames_shared;
     return *this;
   }
 };
@@ -258,6 +267,27 @@ class Hypervisor {
   /// booted machines share.
   std::uint64_t restore_delta(const HvSnapshot& base, const HvDelta& delta,
                               bool foreign = false);
+
+  /// Capture the current state as a node of the copy-on-write snapshot
+  /// forest (snapshot.hpp): frames diverged from `base` either alias the
+  /// parent node's refcounted blocks (unchanged since the parent) or are
+  /// materialized into fresh blocks. `gen_marker` must be the memory
+  /// generation observed immediately after the parent state was restored
+  /// onto this machine — every frame written since then (generation >
+  /// marker) gets a new block, every other diverged frame must be present
+  /// in `parent`. Pass parent == nullptr when the machine was last rewound
+  /// to `base` itself (all diverged frames are then fresh). O(dirty).
+  [[nodiscard]] HvCowState snapshot_cow(const HvSnapshot& base,
+                                        const HvCowState* parent,
+                                        std::uint64_t gen_marker) const;
+
+  /// Restore to the state a CoW node describes, from any current state.
+  /// CoW nodes are machine-portable (they carry bytes, not generations):
+  /// node frames go through the ordinary write path — fresh generations,
+  /// same reasoning as a foreign delta — and frames diverged from `base`
+  /// that the node does not carry are rewound to the baseline. Returns
+  /// frames copied.
+  std::uint64_t restore_cow(const HvSnapshot& base, const HvCowState& cow);
 
   /// 64-bit FNV-1a digest of the semantically observable state (memory,
   /// frame table + allocator, domains with canonicalized pin order, grant

@@ -320,6 +320,119 @@ std::uint64_t Hypervisor::restore_delta(const HvSnapshot& base) {
   return copied;
 }
 
+HvCowState Hypervisor::snapshot_cow(const HvSnapshot& base,
+                                    const HvCowState* parent,
+                                    std::uint64_t gen_marker) const {
+  if (base.frame_gens.size() != mem_->frame_count() ||
+      base.frames.size() != frames_.frame_count()) {
+    throw std::logic_error{
+        "snapshot_cow: baseline shape does not match this machine"};
+  }
+  ++snap_stats_.cow_captures;
+  HvCowState cow;
+
+  // One ascending sweep, O(dirty) allocation: frames at their root
+  // generation resolve to the shared root; frames written after the marker
+  // (the op's own writes) are materialized into fresh blocks; everything
+  // else diverged from the root but untouched since the parent was restored,
+  // so it must be — and is — aliased from the parent node. The marker must
+  // have been read right after the parent restore, before any mutation.
+  std::size_t p = 0;  // cursor into parent->mem_frames, ascending
+  for (std::uint64_t m = 0; m < mem_->frame_count(); ++m) {
+    const std::uint64_t gen = mem_->frame_generation(sim::Mfn{m});
+    if (gen == base.frame_gens[m]) continue;  // same generation => same bytes
+    if (gen > gen_marker) {
+      auto block = std::make_shared<HvFrameBlock>();
+      const auto bytes = mem_->frame_bytes(sim::Mfn{m});
+      std::copy(bytes.begin(), bytes.end(), block->bytes.begin());
+      cow.mem_frames.emplace_back(m, std::move(block));
+      ++cow.owned_frames;
+      ++snap_stats_.cow_frames_copied;
+      continue;
+    }
+    if (parent != nullptr) {
+      while (p < parent->mem_frames.size() &&
+             parent->mem_frames[p].first < m) {
+        ++p;
+      }
+      if (p < parent->mem_frames.size() && parent->mem_frames[p].first == m) {
+        cow.mem_frames.emplace_back(m, parent->mem_frames[p].second);
+        ++snap_stats_.cow_frames_shared;
+        continue;
+      }
+    }
+    throw std::logic_error{
+        "snapshot_cow: frame diverged before the capture marker but is "
+        "absent from the parent node"};
+  }
+
+  for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
+    const PageInfo& pi = frames_.info(sim::Mfn{m});
+    if (!(pi == base.frames[m])) cow.frames.emplace_back(m, pi);
+  }
+  cow.allocator = frames_.allocator_state();
+  for (const auto& [id, dom] : domains_) cow.domains.push_back(*dom);
+  cow.next_domid = next_domid_;
+  cow.grants = grants_.state();
+  cow.events = events_.state();
+  cow.crashed = crashed_;
+  cow.cpu_hung = cpu_hung_;
+  cow.console = console_;
+  cow.hash = state_hash();
+  return cow;
+}
+
+std::uint64_t Hypervisor::restore_cow(const HvSnapshot& base,
+                                      const HvCowState& cow) {
+  if (base.frame_gens.size() != mem_->frame_count() ||
+      base.frames.size() != frames_.frame_count()) {
+    throw std::logic_error{
+        "restore_cow: baseline shape does not match this machine"};
+  }
+  ++snap_stats_.cow_restores;
+  std::uint64_t copied = 0;
+
+  // Same sweep as a foreign delta restore: node frames go through write()
+  // (CoW nodes carry no generations — they may have been captured on any
+  // identically booted machine), frames diverged from the root that the
+  // node does not carry are rewound to the root's boot-time generations.
+  std::size_t d = 0;
+  for (std::uint64_t m = 0; m < mem_->frame_count(); ++m) {
+    if (d < cow.mem_frames.size() && cow.mem_frames[d].first == m) {
+      mem_->write(sim::mfn_to_paddr(sim::Mfn{m}),
+                  std::span<const std::uint8_t>{cow.mem_frames[d].second->bytes});
+      ++copied;
+      ++d;
+      continue;
+    }
+    if (mem_->frame_generation(sim::Mfn{m}) != base.frame_gens[m]) {
+      mem_->restore_frame(
+          sim::Mfn{m},
+          std::span{base.memory.data() + m * sim::kPageSize, sim::kPageSize},
+          base.frame_gens[m]);
+      ++copied;
+    }
+  }
+  snap_stats_.frames_copied += copied;
+
+  for (std::uint64_t m = 0; m < frames_.frame_count(); ++m) {
+    frames_.info(sim::Mfn{m}) = base.frames[m];
+  }
+  for (const auto& [m, pi] : cow.frames) frames_.info(sim::Mfn{m}) = pi;
+  frames_.restore_allocator(cow.allocator);
+  domains_.clear();
+  for (const Domain& dom : cow.domains) {
+    domains_.emplace(dom.id(), std::make_unique<Domain>(dom));
+  }
+  next_domid_ = cow.next_domid;
+  grants_.restore(cow.grants);
+  events_.restore(cow.events);
+  crashed_ = cow.crashed;
+  cpu_hung_ = cow.cpu_hung;
+  console_ = cow.console;
+  return copied;
+}
+
 std::uint64_t Hypervisor::restore_delta(const HvSnapshot& base,
                                         const HvDelta& delta, bool foreign) {
   if (base.frame_gens.size() != mem_->frame_count() ||

@@ -1,4 +1,5 @@
-// Cloneable, hashable hypervisor state snapshots — full and delta.
+// Cloneable, hashable hypervisor state snapshots — full, delta, and
+// copy-on-write forest nodes (HvCowState, below).
 //
 // The Hypervisor itself is non-copyable (it owns callbacks and is wired
 // into shared PhysicalMemory), but everything an intrusion — or a hypercall
@@ -30,7 +31,9 @@
 //                                             only frames that can differ.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -98,6 +101,51 @@ struct HvDelta {
 
   /// state_hash() at capture time.
   std::uint64_t hash = 0;
+};
+
+/// One immutable 4 KiB frame image, shared between every CoW node whose
+/// state contains it. Nodes hold shared_ptr<const HvFrameBlock>; the last
+/// node referencing a block frees it — no explicit forest bookkeeping.
+struct HvFrameBlock {
+  std::array<std::uint8_t, sim::kPageSize> bytes;
+};
+
+using HvFrameBlockRef = std::shared_ptr<const HvFrameBlock>;
+
+/// A node of the copy-on-write snapshot *forest*: a machine state expressed
+/// against a shared root HvSnapshot, like HvDelta, but with the frame
+/// payloads factored into refcounted blocks so sibling states (children of
+/// one parent that an op left mostly untouched) share the frames the op
+/// did not write instead of each carrying a private copy. Unlike HvDelta a
+/// CoW node records no write generations: it is machine-portable by
+/// construction and always restored through the foreign-safe write path.
+struct HvCowState {
+  /// Frames whose contents may differ from the root, ascending by MFN.
+  /// Blocks are shared with the parent node where the capture proved the
+  /// frame unchanged since the parent (write generation <= the capture
+  /// marker), freshly materialized otherwise.
+  std::vector<std::pair<std::uint64_t, HvFrameBlockRef>> mem_frames;
+
+  /// Frame-table entries differing from the root: (mfn, new PageInfo).
+  std::vector<std::pair<std::uint64_t, PageInfo>> frames;
+
+  FrameTable::AllocatorState allocator;
+  std::vector<Domain> domains;
+  DomainId next_domid = kDom0;
+  GrantOps::State grants;
+  EventChannelOps::State events;
+  bool crashed = false;
+  bool cpu_hung = false;
+  std::vector<std::string> console;
+
+  /// state_hash() at capture time.
+  std::uint64_t hash = 0;
+
+  /// Frames this node materialized itself (mem_frames entries not aliased
+  /// from the parent). Deterministic — a function of (parent, op), not of
+  /// which machine captured the node — so the checker's frontier byte
+  /// accounting can budget on it.
+  std::uint64_t owned_frames = 0;
 };
 
 }  // namespace ii::hv

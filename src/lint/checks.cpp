@@ -583,6 +583,74 @@ std::vector<Finding> check_frame_state_writes(const CheckContext& ctx) {
   return out;
 }
 
+// --------------------------------------------- 11. visited-ownership V1
+
+std::vector<Finding> check_visited_ownership(const CheckContext& ctx) {
+  // The sharded checker's dedup protocol (DESIGN.md §16) is safe only
+  // while every visited-set write goes through ShardedVisited's owner API
+  // and the sets are never iterated: a direct insert from a non-owner is a
+  // data race, and any walk leaks unordered bucket order into output.
+  constexpr std::string_view kRule = "visited-ownership";
+  const std::set<std::string, std::less<>> kMutators = {
+      "insert", "emplace", "erase", "clear", "extract", "merge"};
+  const std::set<std::string, std::less<>> kWalks = {"begin", "cbegin",
+                                                     "rbegin", "crbegin"};
+  std::vector<Finding> out;
+  for (const SourceFile& file : ctx.model.files()) {
+    if (!ctx.policy.in_scope(kRule, file.path)) continue;
+    if (ctx.policy.allowed(kRule, file.path)) continue;
+    const auto& toks = file.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (ident_contains_ci(t, "visited") && i + 3 < toks.size() &&
+          (is_punct(toks[i + 1], ".") || is_punct(toks[i + 1], "->")) &&
+          toks[i + 2].kind == TokKind::Ident && is_punct(toks[i + 3], "(")) {
+        const std::string& call = toks[i + 2].text;
+        if (kMutators.count(call) != 0) {
+          add(out, kRule, file, toks[i + 2],
+              "direct container mutation '" + t.text + "." + call +
+                  "' outside the visited-set owner (ShardedVisited's "
+                  "owner_* API in src/analysis/visited.cpp is the only "
+                  "sanctioned writer)");
+        } else if (kWalks.count(call) != 0) {
+          add(out, kRule, file, toks[i + 2],
+              "iterator walk over visited set '" + t.text +
+                  "' — bucket order is scheduling- and platform-dependent; "
+                  "visited sets are probed and sized, never iterated");
+        }
+      }
+      // Range-for whose range expression names a visited set.
+      if (is_ident(t, "for") && i + 1 < toks.size() &&
+          is_punct(toks[i + 1], "(")) {
+        const std::size_t close = match_close(toks, i + 1);
+        std::size_t colon = 0;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < close && colon == 0; ++j) {
+          if (is_punct(toks[j], "(") || is_punct(toks[j], "[") ||
+              is_punct(toks[j], "{")) {
+            ++depth;
+          } else if (is_punct(toks[j], ")") || is_punct(toks[j], "]") ||
+                     is_punct(toks[j], "}")) {
+            --depth;
+          } else if (depth == 1 && is_punct(toks[j], ":")) {
+            colon = j;
+          }
+        }
+        for (std::size_t j = colon; colon != 0 && j < close; ++j) {
+          if (ident_contains_ci(toks[j], "visited")) {
+            add(out, kRule, file, toks[j],
+                "range-for over visited set '" + toks[j].text +
+                    "' — visited sets are never iterated (owner-computes "
+                    "protocol, DESIGN.md §16)");
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<CheckEntry>& check_registry() {
@@ -620,6 +688,10 @@ const std::vector<CheckEntry>& check_registry() {
        "policy-driven frame-state write containment incl. arrow access, "
        "compound ops, exchange/swap (S1)",
        &check_frame_state_writes},
+      {"visited-ownership",
+       "visited-set mutation and iteration confined to ShardedVisited's "
+       "owner API (V1)",
+       &check_visited_ownership},
   };
   return kChecks;
 }

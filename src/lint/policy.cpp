@@ -52,6 +52,12 @@ src/sim/pte.
 src/sim/phys_mem.
 src/hv/snapshot.
 
+[allow visited-ownership]
+src/analysis/visited.
+
+[scope visited-ownership]
+src/analysis/
+
 [scope determinism]
 src/core/report.
 src/core/journal.

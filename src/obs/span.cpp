@@ -23,9 +23,10 @@ constexpr std::array kSpanNameTable{
     SpanNameEntry{kSpanCheck, "bounded model check run"},
     SpanNameEntry{kSpanExpand, "apply every enabled op to a parent state"},
     SpanNameEntry{kSpanAudit, "invariant audit of a newly discovered state"},
-    SpanNameEntry{kSpanClassify, "parallel pass 1: shard-local op outcomes"},
-    SpanNameEntry{kSpanMerge, "serial-order dedup merge of shard outcomes"},
-    SpanNameEntry{kSpanRederive, "parallel pass 2: re-derive claimed states"},
+    SpanNameEntry{kSpanProduce, "parallel expand: apply ops, capture CoW children"},
+    SpanNameEntry{kSpanAdmit, "owner-shard admission over candidate inboxes"},
+    SpanNameEntry{kSpanSettle, "parallel audit of admitted states + assembly"},
+    SpanNameEntry{kSpanSpill, "frontier spill writes and replay reloads"},
     SpanNameEntry{kSpanCell, "one campaign cell (use case x version x mode)"},
     SpanNameEntry{kSpanAcquire, "platform acquisition (pool lease or boot)"},
     SpanNameEntry{kSpanRestore, "rewind platform to the boot baseline"},

@@ -19,8 +19,8 @@
 // Spans are Det or Sched. Det spans live on the logical execution path and
 // carry thread-count-independent counts/steps (the serial checker and the
 // sharded checker account the same expand/audit work). Sched spans are
-// engine mechanics — the parallel checker's classify/merge/re-derive
-// passes, per-worker drains — whose very existence depends on --threads;
+// engine mechanics — the sharded checker's produce/admit/settle/spill
+// phases, per-worker drains — whose very existence depends on --threads;
 // they are excluded from the deterministic render and shown only with wall
 // data (the same split as render_report vs render_engine_stats).
 //
@@ -56,13 +56,16 @@ enum class SpanKind : std::uint8_t { Det, Sched };
 // Dynamic segments (the checker's per-depth "d1", "d2", ... nodes) are the
 // deliberate exception: they are data, not vocabulary.
 
-// Model checker (src/analysis).
+// Model checker (src/analysis). expand/audit are the deterministic
+// logical-work spans; produce/admit/settle/spill are the single-pass
+// owner-computes engine's Sched-kind phases (DESIGN.md §16).
 inline constexpr std::string_view kSpanCheck = "check";
 inline constexpr std::string_view kSpanExpand = "expand";
 inline constexpr std::string_view kSpanAudit = "audit";
-inline constexpr std::string_view kSpanClassify = "classify";
-inline constexpr std::string_view kSpanMerge = "merge";
-inline constexpr std::string_view kSpanRederive = "rederive";
+inline constexpr std::string_view kSpanProduce = "produce";
+inline constexpr std::string_view kSpanAdmit = "admit";
+inline constexpr std::string_view kSpanSettle = "settle";
+inline constexpr std::string_view kSpanSpill = "spill";
 
 // Campaign cell lifecycle (src/core/campaign.cpp).
 inline constexpr std::string_view kSpanCell = "cell";

@@ -150,6 +150,8 @@ TEST(LintFixtures, FrameStateWrites) { expect_pair("frame-state-writes"); }
 
 TEST(LintFixtures, Determinism) { expect_pair("determinism"); }
 
+TEST(LintFixtures, VisitedOwnership) { expect_pair("visited-ownership"); }
+
 // ------------------------------------------------------- policy behaviour
 
 TEST(LintFixtures, AllowlistedPathsAreExempt) {
@@ -173,6 +175,29 @@ TEST(LintFixtures, DeterminismScopeConfinesTheRule) {
   p.add_scope("determinism", "src/core/");
   const AnalysisResult res = analyze(model, p, {"determinism"});
   EXPECT_TRUE(res.findings.empty()) << render_text(res);
+}
+
+TEST(LintFixtures, VisitedOwnershipScopeAndOwnerExemption) {
+  // Under the checked-in shape of the policy the rule is confined to
+  // src/analysis/ with the ShardedVisited implementation allowlisted:
+  // the bad fixture is silent both outside the scope and inside the owner.
+  Policy p;
+  p.add_scope("visited-ownership", "src/analysis/");
+  p.add_allow("visited-ownership", "src/analysis/visited.");
+  const std::string bad = slurp(fixture_file("visited_ownership_bad.cpp"));
+  for (const char* path : {"src/hv/helper.cpp", "src/analysis/visited.cpp"}) {
+    SourceModel model;
+    model.add_file(path, bad);
+    model.finalize();
+    const AnalysisResult res = analyze(model, p, {"visited-ownership"});
+    EXPECT_TRUE(res.findings.empty()) << path << "\n" << render_text(res);
+  }
+  // ...and loud on any other analysis translation unit.
+  SourceModel model;
+  model.add_file("src/analysis/model_checker.cpp", bad);
+  model.finalize();
+  const AnalysisResult res = analyze(model, p, {"visited-ownership"});
+  EXPECT_EQ(res.findings.size(), 6u) << render_text(res);
 }
 
 // ------------------------------------------------------- registry rules

@@ -8,10 +8,12 @@
 //   trace_->emit(3, domain);       std::mt19937 rng{seed * 31};
 //   restore_frame(mfn);            auto m = pte.raw() & 0xFFF;
 //   chaos_fire("never.registered") std::random_device entropy;
+//   g_visited.insert(h);           for (auto h : shard_visited) {}
 /*
  * Block-comment bait: pi->validated = true; srand(42); rand();
  * const_cast<std::uint8_t*>(mem.frame_bytes(mfn).data());
  * for (auto& kv : some_unordered_map) {}
+ * visited.erase(hash); *visited.begin();
  */
 #include <string_view>
 
@@ -25,5 +27,8 @@ inline constexpr std::string_view kGrepBait =
 
 inline constexpr std::string_view kRawBait =
     R"(pi.ref_count += 1; system_clock::now(); rand(); 0x000FFFFFFFFFF000ULL)";
+
+inline constexpr std::string_view kVisitedBait =
+    "visited.clear(); visited_set.emplace(h); for (auto h : g_visited) {}";
 
 }  // namespace fp

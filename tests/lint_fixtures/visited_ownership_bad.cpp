@@ -1,0 +1,40 @@
+// Known-bad fixture for the visited-ownership rule: raw container
+// mutation of visited sets outside their owner, and walks that leak
+// unordered bucket order. Every violating line carries an EXPECT marker.
+#include <cstdint>
+#include <unordered_set>
+
+namespace bad {
+
+std::unordered_set<std::uint64_t> g_visited;
+
+void sneak_insert(std::uint64_t h) {
+  g_visited.insert(h);  // EXPECT[visited-ownership]
+}
+
+void sneak_erase(std::uint64_t h) {
+  g_visited.erase(h);  // EXPECT[visited-ownership]
+}
+
+void sneak_clear() {
+  g_visited.clear();  // EXPECT[visited-ownership]
+}
+
+std::uint64_t walk_sum() {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t h : g_visited) sum += h;  // EXPECT[visited-ownership]
+  return sum;
+}
+
+std::uint64_t first_hash() {
+  return *g_visited.begin();  // EXPECT[visited-ownership]
+}
+
+struct Worker {
+  std::unordered_set<std::uint64_t>* visited_shard;
+  void push(std::uint64_t h) {
+    visited_shard->emplace(h);  // EXPECT[visited-ownership]
+  }
+};
+
+}  // namespace bad

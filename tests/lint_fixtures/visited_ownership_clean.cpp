@@ -1,0 +1,30 @@
+// Known-clean fixture for the visited-ownership rule: the sanctioned
+// surface — owner API calls, frozen-phase probes, and sizing — none of
+// which may fire.
+#include <cstddef>
+#include <cstdint>
+
+namespace clean {
+
+struct ShardedVisited {
+  [[nodiscard]] bool probe(std::uint64_t) const { return false; }
+  [[nodiscard]] bool owner_contains(std::size_t, std::uint64_t) const {
+    return false;
+  }
+  bool owner_insert(std::size_t, std::uint64_t) { return true; }
+  [[nodiscard]] std::uint64_t total() const { return 0; }
+};
+
+std::uint64_t drive(ShardedVisited& visited) {
+  if (!visited.probe(42) && !visited.owner_contains(0, 42)) {
+    (void)visited.owner_insert(0, 42);
+  }
+  return visited.total();
+}
+
+// A non-visited container keeps its ordinary surface.
+void unrelated(int* frontier, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) frontier[i] = 0;
+}
+
+}  // namespace clean

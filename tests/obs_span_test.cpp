@@ -61,23 +61,23 @@ TEST(SpanProfiler, StepSourceCreditsSinkDeltaEvenOnThrow) {
 TEST(SpanProfiler, SchedExcludedFromDeterministicTotals) {
   SpanProfiler prof;
   prof.add({kSpanCheck, "d1", kSpanExpand}, 1, 36);
-  prof.add({kSpanCheck, "d1", kSpanClassify}, 1, 999, SpanKind::Sched);
+  prof.add({kSpanCheck, "d1", kSpanProduce}, 1, 999, SpanKind::Sched);
   const SpanNode& check = *prof.root().children.at("check");
-  // Det roll-up skips the Sched classify subtree; the full roll-up keeps it.
+  // Det roll-up skips the Sched produce subtree; the full roll-up keeps it.
   EXPECT_EQ(check.total_steps(false), 36u);
   EXPECT_EQ(check.total_steps(true), 36u + 999u);
   // A Sched leaf must not taint its Det ancestors out of the det render.
   EXPECT_EQ(check.kind, SpanKind::Det);
   EXPECT_EQ(check.children.at("d1")->kind, SpanKind::Det);
-  EXPECT_EQ(check.children.at("d1")->children.at("classify")->kind,
+  EXPECT_EQ(check.children.at("d1")->children.at("produce")->kind,
             SpanKind::Sched);
 }
 
 TEST(SpanProfiler, SchedKindIsStickyPerNode) {
   SpanProfiler prof;
-  prof.add({kSpanMerge}, 1, 1, SpanKind::Sched);
-  prof.add({kSpanMerge}, 1, 1, SpanKind::Det);  // same node, Det site
-  EXPECT_EQ(prof.root().children.at("merge")->kind, SpanKind::Sched);
+  prof.add({kSpanAdmit}, 1, 1, SpanKind::Sched);
+  prof.add({kSpanAdmit}, 1, 1, SpanKind::Det);  // same node, Det site
+  EXPECT_EQ(prof.root().children.at("admit")->kind, SpanKind::Sched);
 }
 
 TEST(SpanProfiler, MergeIsOrderIndependent) {
@@ -115,13 +115,13 @@ TEST(SpanProfiler, DeterministicRenderOmitsWallAndSched) {
     cell.add_steps(4);
     std::this_thread::sleep_for(std::chrono::milliseconds{1});
   }
-  prof.add({kSpanClassify}, 1, 9, SpanKind::Sched);
+  prof.add({kSpanProduce}, 1, 9, SpanKind::Sched);
   const std::string det = render_profile(prof, false);
   EXPECT_NE(det.find("cell"), std::string::npos);
-  EXPECT_EQ(det.find("classify"), std::string::npos);
+  EXPECT_EQ(det.find("produce"), std::string::npos);
   EXPECT_EQ(det.find("wall"), std::string::npos);
   const std::string wall = render_profile(prof, true);
-  EXPECT_NE(wall.find("classify *"), std::string::npos);
+  EXPECT_NE(wall.find("produce *"), std::string::npos);
   EXPECT_NE(wall.find("wall us"), std::string::npos);
   // The slept span accumulated real wall time, visible only in wall mode.
   EXPECT_GE(prof.root().children.at("cell")->wall_ns, 1000000u);
@@ -163,17 +163,17 @@ TEST(SpanProfiler, ChromeTraceRecordsCompleteEvents) {
 
 TEST(ScopedSpan, AbsolutePathEventInsideAnOpenSpanIsNotPrefixed) {
   // The checker's main profiler opens "check" and then records absolute
-  // {check, d1, classify} spans inside it; the event path must be the
-  // node's root path, not the cursor stack ("check/check/d1/classify").
+  // {check, d1, produce} spans inside it; the event path must be the
+  // node's root path, not the cursor stack ("check/check/d1/produce").
   SpanProfiler prof;
   prof.set_record_events(true);
   {
     ScopedSpan check{&prof, kSpanCheck};
-    ScopedSpan classify{&prof, {kSpanCheck, "d1", kSpanClassify},
+    ScopedSpan produce{&prof, {kSpanCheck, "d1", kSpanProduce},
                         SpanKind::Sched};
   }
   ASSERT_EQ(prof.events().size(), 2u);
-  EXPECT_EQ(prof.events()[0].path, "check/d1/classify");
+  EXPECT_EQ(prof.events()[0].path, "check/d1/produce");
   EXPECT_EQ(prof.events()[1].path, "check");
 }
 
@@ -189,13 +189,13 @@ TEST(ScopedSpan, EndIsIdempotentAndClosesEarly) {
   SpanProfiler prof;
   ScopedSpan outer{&prof, kSpanCheck};
   {
-    ScopedSpan inner{&prof, kSpanClassify, SpanKind::Sched};
+    ScopedSpan inner{&prof, kSpanProduce, SpanKind::Sched};
     inner.end();
     EXPECT_EQ(prof.current_path(), "check");  // closed before scope exit
     inner.end();  // second end: no double-exit
     inner.add_steps(9);  // after end: dropped, not misattributed
   }
-  EXPECT_EQ(prof.root().children.at("check")->children.at("classify")->steps,
+  EXPECT_EQ(prof.root().children.at("check")->children.at("produce")->steps,
             0u);
   EXPECT_EQ(prof.current_path(), "check");
 }

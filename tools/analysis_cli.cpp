@@ -4,6 +4,7 @@
 //   analysis_cli [--version 4.6|4.8|4.13] [--depth N] [--domains N]
 //                [--domain-pages N] [--machine-frames N] [--grants]
 //                [--max-states N] [--max-counterexamples N] [--threads N]
+//                [--max-frontier-mb N] [--spill-dir DIR]
 //                [--expect vulnerable|clean] [--allow-truncated]
 //                [--stats] [--quiet]
 //                [--profile] [--profile-wall] [--metrics-out FILE]
@@ -12,8 +13,12 @@
 // Explores every guest-issuable operation sequence up to --depth against
 // the selected version policy and prints which of the paper's erroneous
 // states are reachable, with a minimal counterexample trace for each
-// violating state. --threads shards the frontier over N workers (default:
-// hardware concurrency); the report is byte-identical at any count.
+// violating state. --threads partitions dedup admission over hash-owned
+// shards (default: hardware concurrency); the report is byte-identical at
+// any count. --max-frontier-mb bounds the resident frontier (deterministic
+// accounting); with --spill-dir set, states past the budget spill to
+// <dir>/frontier.spill and replay back in — reports stay byte-identical
+// with or without spilling, which is what makes depth-4 runs fit in RAM.
 //
 // --expect turns the run into a CI gate:
 //   --expect vulnerable  exit 0 iff at least one XSA class was reached
@@ -25,7 +30,7 @@
 //   --profile       print the deterministic span profile (per-depth
 //                   expand/audit work; byte-identical at any --threads)
 //   --profile-wall  print the full profile with wall time and the
-//                   scheduling-dependent classify/merge/re-derive spans
+//                   scheduling-dependent produce/admit/settle/spill spans
 //   --metrics-out   append one {"type":"metrics"} JSONL record of the
 //                   checker counters
 //   --trace-out     append {"type":"span"} JSONL records (tree + wall)
@@ -56,6 +61,7 @@ int usage() {
       "[--grants]\n"
       "                    [--max-states N] [--max-counterexamples N] "
       "[--threads N]\n"
+      "                    [--max-frontier-mb N] [--spill-dir DIR]\n"
       "                    [--expect vulnerable|clean] [--allow-truncated]\n"
       "                    [--stats] [--quiet]\n"
       "                    [--profile] [--profile-wall] [--metrics-out FILE]\n"
@@ -139,6 +145,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr || !parse_unsigned(v, &n)) return usage();
       config.max_counterexamples = n;
+    } else if (arg == "--max-frontier-mb") {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, &n) || n == 0) return usage();
+      config.max_frontier_bytes = n * 1024 * 1024;
+    } else if (arg == "--spill-dir") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.spill_dir = v;
     } else if (arg == "--grants") {
       config.include_grant_ops = true;
     } else if (arg == "--expect") {
@@ -251,6 +265,19 @@ int main(int argc, char** argv) {
     snapshot.counters["check.truncated"] = result.truncated ? 1 : 0;
     snapshot.counters["snapshot.frames_copied"] = result.snapshot_frames_copied;
     snapshot.counters["hash.frames_rehashed"] = result.hash_frames_rehashed;
+    snapshot.counters["checker.ops_executed"] = result.ops_executed;
+    snapshot.counters["checker.peak_frontier_bytes"] =
+        result.peak_frontier_bytes;
+    snapshot.counters["checker.spilled_items"] = result.frontier_spilled_items;
+    snapshot.counters["checker.spill_reloads"] = result.frontier_spill_reloads;
+    snapshot.counters["checker.spill_bytes"] = result.frontier_spill_bytes;
+    snapshot.counters["checker.cow_captures"] = result.cow_captures;
+    snapshot.counters["checker.cow_frames_owned"] = result.cow_frames_copied;
+    snapshot.counters["checker.cow_frames_shared"] = result.cow_frames_shared;
+    for (std::size_t s = 0; s < result.shard_occupancy.size(); ++s) {
+      snapshot.counters["checker.shard." + std::to_string(s) + ".visited"] =
+          result.shard_occupancy[s];
+    }
     writer.metrics(snapshot);
   }
   if (!trace_out.empty()) {
