@@ -1,19 +1,64 @@
 // Randomized injection campaign (paper §IV-C's fuzz-style suggestion,
-// implemented as an extension experiment).
+// implemented as an extension experiment) plus the coverage-guided
+// sequence fuzzer's performance evidence (DESIGN.md §17, BENCH_PR10.json):
 //
-// Runs the same seeded random write-what-where injections against the three
-// releases and prints the outcome distributions. Expected shape: the
-// hardened release converts part of the crash/violation mass into
-// handled/no-effect outcomes (the reserved-slot and event-loop checks), but
-// wild physical writes remain dangerous everywhere — no version re-validates
-// state that was corrupted behind its back, which is exactly why the paper
-// wants intrusion *handling* assessed, not just bug presence.
+//  1. the original blind write-what-where campaign across the three
+//     releases (outcome distributions);
+//  2. warm-vs-cold throughput of the blind campaign — one boot plus
+//     delta rewinds vs a cold boot per iteration;
+//  3. guided-vs-blind coverage at equal iteration budgets across seeds
+//     (the acceptance claim: guided must reach strictly more);
+//  4. the guided run's coverage growth curve per 1k iterations.
+//
+// Emits BENCH_JSON lines like perf_microbench so CI can collect them.
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "core/fuzz.hpp"
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ii::core::SeqFuzzConfig seq_config(std::uint64_t seed, unsigned iterations,
+                                   bool guided) {
+  ii::core::SeqFuzzConfig config;
+  config.version = ii::hv::kXen46;
+  config.seed = seed;
+  config.iterations = iterations;
+  config.guided = guided;
+  config.minimize = false;  // coverage comparison, not survivor triage
+  config.platform.machine_frames = 8192;
+  config.platform.dom0_pages = 128;
+  config.platform.guest_pages = 64;
+  return config;
+}
+
+double run_blind_campaign_ms(bool warm) {
+  ii::core::FuzzConfig config{};
+  config.version = ii::hv::kXen46;
+  config.iterations = 200;
+  config.seed = 7;
+  config.reuse_platform = warm;
+  config.platform.machine_frames = 8192;
+  config.platform.dom0_pages = 128;
+  config.platform.guest_pages = 64;
+  const auto t0 = Clock::now();
+  const ii::core::FuzzStats stats =
+      ii::core::run_random_injection_campaign(config);
+  const auto t1 = Clock::now();
+  (void)stats;
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
 int main() {
   using namespace ii;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  // 1. Blind campaign across releases (the original experiment).
   for (const hv::XenVersion version : {hv::kXen46, hv::kXen48, hv::kXen413}) {
     core::FuzzConfig config{};
     config.version = version;
@@ -26,5 +71,61 @@ int main() {
     std::printf("== Xen %s ==\n%s\n", version.to_string().c_str(),
                 stats.render().c_str());
   }
-  return 0;
+
+  // 2. Warm (delta rewind) vs cold (boot per iteration) throughput.
+  for (const bool warm : {true, false}) {
+    const double ms = run_blind_campaign_ms(warm);
+    const double iters_per_sec = 200.0 / (ms / 1000.0);
+    std::printf("blind campaign %s: 200 iterations in %.1f ms "
+                "(%.0f iterations/sec)\n",
+                warm ? "warm" : "cold", ms, iters_per_sec);
+    std::printf("BENCH_JSON {\"name\":\"fuzz_blind_%s_200\","
+                "\"wall_ms\":%.1f,\"iters_per_sec\":%.1f,"
+                "\"host_cores\":%u}\n",
+                warm ? "warm" : "cold", ms, iters_per_sec, cores);
+  }
+
+  // 3. Guided vs blind coverage at equal budgets. The strictly-more gate
+  // applies at 1500 iterations, where the feedback loop has had time to
+  // pay for its corpus warm-up; the 400-iteration cells are recorded as
+  // the honest short-budget picture (guided usually ahead, not always).
+  bool guided_always_ahead = true;
+  for (const unsigned budget : {400u, 1500u}) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+      const auto t0 = Clock::now();
+      const core::SeqFuzzStats g =
+          core::run_sequence_fuzzer(seq_config(seed, budget, true));
+      const auto t1 = Clock::now();
+      const core::SeqFuzzStats b =
+          core::run_sequence_fuzzer(seq_config(seed, budget, false));
+      const double guided_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      const bool ahead = g.coverage_points > b.coverage_points;
+      if (budget >= 1500) guided_always_ahead = guided_always_ahead && ahead;
+      std::printf("seq fuzzer seed %llu @%u: guided %zu vs blind %zu "
+                  "points %s(guided: %.1f ms, %.0f iterations/sec)\n",
+                  static_cast<unsigned long long>(seed), budget,
+                  g.coverage_points, b.coverage_points,
+                  ahead ? "" : "[GUIDED BEHIND] ", guided_ms,
+                  budget / (guided_ms / 1000.0));
+      std::printf("BENCH_JSON {\"name\":\"fuzz_guided_vs_blind_s%llu_i%u\","
+                  "\"guided_points\":%zu,\"blind_points\":%zu,"
+                  "\"guided_wall_ms\":%.1f,\"host_cores\":%u}\n",
+                  static_cast<unsigned long long>(seed), budget,
+                  g.coverage_points, b.coverage_points, guided_ms, cores);
+    }
+  }
+  std::printf("guided strictly ahead on all 1500-iteration cells: %s\n",
+              guided_always_ahead ? "yes" : "NO");
+
+  // 4. Coverage growth per 1k iterations of one longer guided run.
+  const core::SeqFuzzStats curve =
+      core::run_sequence_fuzzer(seq_config(7, 3000, true));
+  std::printf("coverage curve (seed 7, per 1k iterations):");
+  for (const std::size_t points : curve.coverage_curve) {
+    std::printf(" %zu", points);
+  }
+  std::printf(" / %zu total\n", core::CoverageMap::total_points());
+
+  return guided_always_ahead ? 0 : 1;
 }

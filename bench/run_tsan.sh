@@ -16,13 +16,13 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
   core_coverage_parallel_test obs_trace_test core_campaign_trace_test \
   core_supervisor_test analysis_model_checker_test net_status_server_test \
-  campaign_integration_test core_chaos_test
+  campaign_integration_test core_chaos_test core_fuzz_seq_test
 
 status=0
 for test_bin in core_coverage_parallel_test obs_trace_test \
                 core_campaign_trace_test core_supervisor_test net_status_server_test \
                 analysis_model_checker_test campaign_integration_test \
-                core_chaos_test; do
+                core_chaos_test core_fuzz_seq_test; do
   echo "== TSan: $test_bin"
   if ! "$BUILD_DIR/tests/$test_bin"; then
     status=1

@@ -537,13 +537,16 @@ std::vector<std::string> diff_states(const StateView& before,
   return out;
 }
 
+}  // namespace
+
 // ----------------------------------------------------------- classification
 
 /// Which of the paper's erroneous-state families a violating state belongs
-/// to, decided over the same SystemWalk the audit used.
-std::vector<ErroneousStateClass> classify(const hv::Hypervisor& vmm,
-                                          const hv::SystemWalk& walk,
-                                          const hv::InvariantReport& report) {
+/// to, decided over the same SystemWalk the audit used. Public so the
+/// coverage-guided fuzzer shares the checker's recognizers.
+std::vector<ErroneousStateClass> classify_erroneous_state(
+    const hv::Hypervisor& vmm, const hv::SystemWalk& walk,
+    const hv::InvariantReport& report) {
   std::set<ErroneousStateClass> classes;
   std::set<hv::Invariant> explained;
 
@@ -589,8 +592,6 @@ std::vector<ErroneousStateClass> classify(const hv::Hypervisor& vmm,
   }
   return {classes.begin(), classes.end()};
 }
-
-}  // namespace
 
 std::string to_string(ErroneousStateClass c) {
   switch (c) {
@@ -807,7 +808,7 @@ ModelCheckResult run_model_check_serial(const ModelCheckConfig& config) {
     for (const hv::Invariant inv : violated) {
       ++result.invariant_hits[static_cast<std::size_t>(inv)];
     }
-    const auto classes = classify(vmm, walk, report);
+    const auto classes = classify_erroneous_state(vmm, walk, report);
     for (const ErroneousStateClass c : classes) {
       ++result.class_hits[static_cast<std::size_t>(c)];
     }
@@ -1112,7 +1113,7 @@ ModelCheckResult run_model_check_sharded(const ModelCheckConfig& config,
       for (const hv::Invariant inv : violated) {
         ++result.invariant_hits[static_cast<std::size_t>(inv)];
       }
-      const auto classes = classify(vmm0, walk, report);
+      const auto classes = classify_erroneous_state(vmm0, walk, report);
       for (const ErroneousStateClass c : classes) {
         ++result.class_hits[static_cast<std::size_t>(c)];
       }
@@ -1422,7 +1423,7 @@ ModelCheckResult run_model_check_sharded(const ModelCheckConfig& config,
           Settled& s = settled[i];
           s.violating = true;
           s.violated = report.violated_set();
-          s.classes = classify(vmm, walk, report);
+          s.classes = classify_erroneous_state(vmm, walk, report);
           s.state_diff =
               diff_states(StateView{self.root, *parent_cow[c.parent]},
                           StateView{self.root, c.cow});

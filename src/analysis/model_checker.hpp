@@ -116,6 +116,15 @@ enum class ErroneousStateClass : std::uint8_t {
 [[nodiscard]] std::string to_string(ErroneousStateClass c);
 inline constexpr std::size_t kErroneousStateClassCount = 5;
 
+/// Classify a violating state against the paper's erroneous-state families,
+/// over the same SystemWalk the invariant audit used. Sorted, deduplicated.
+/// Public because the coverage-guided fuzzer (core/fuzz.hpp) reuses the
+/// checker's recognizers to flag surviving states the four XSA scenarios do
+/// not cover (those classify as ErroneousStateClass::Other).
+[[nodiscard]] std::vector<ErroneousStateClass> classify_erroneous_state(
+    const hv::Hypervisor& vmm, const hv::SystemWalk& walk,
+    const hv::InvariantReport& report);
+
 /// One operation of the enumerated alphabet, self-contained so a trace can
 /// be replayed against a fresh machine of the same configuration.
 struct Op {

@@ -26,6 +26,9 @@ constexpr ChaosPointEntry kChaosPointTable[] = {
     {"net.drop", "simulated network drops a sent line"},
     {"net.partition", "simulated network refuses a connection"},
     {"status.send_fail", "real-socket status response send fails"},
+    {"fuzz.corpus_write_fail",
+     "fuzzer corpus trace-file write refused (survivor/corpus persistence)"},
+    {"fuzz.corpus_read_fail", "fuzzer corpus trace-file read refused"},
 };
 
 std::atomic<ChaosEngine*> g_engine{nullptr};

@@ -245,6 +245,25 @@ const std::vector<AdvisoryRecord>& study_records() {
   return records;
 }
 
+const AdvisoryRecord* find_by_xsa(const std::string& xsa_id) {
+  for (const AdvisoryRecord& r : study_records()) {
+    if (r.xsa_id == xsa_id) return &r;
+  }
+  return nullptr;
+}
+
+const AdvisoryRecord* advisory_for_class(analysis::ErroneousStateClass c) {
+  using ESC = analysis::ErroneousStateClass;
+  switch (c) {
+    case ESC::Xsa148SuperpageWindow: return find_by_xsa("XSA-148");
+    case ESC::Xsa182WritableSelfMap: return find_by_xsa("XSA-182");
+    case ESC::Xsa212IdtClobber: return find_by_xsa("XSA-212");
+    case ESC::Xsa387StaleGrantStatus: return find_by_xsa("XSA-387");
+    case ESC::Other: return nullptr;
+  }
+  return nullptr;
+}
+
 int TableOne::class_total(FunctionalityClass fc) const {
   int total = 0;
   for (const auto& row : rows) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/model_checker.hpp"
 #include "core/abusive_functionality.hpp"
 #include "core/intrusion_model.hpp"
 
@@ -34,6 +35,18 @@ struct AdvisoryRecord {
 
 /// The 100 records of the study.
 [[nodiscard]] const std::vector<AdvisoryRecord>& study_records();
+
+/// The study record anchoring `xsa_id` ("XSA-148"); nullptr when the study
+/// has no such record. Stable pointer into study_records().
+[[nodiscard]] const AdvisoryRecord* find_by_xsa(const std::string& xsa_id);
+
+/// The anchor advisory behind one of the model checker's erroneous-state
+/// families, resolved against the study records — how the fuzzer ties a
+/// surviving state back to the §IV-D taxonomy. Returns nullptr for
+/// ErroneousStateClass::Other: that is the interesting case, a surviving
+/// state no advisory in the study covers (a candidate new intrusion model).
+[[nodiscard]] const AdvisoryRecord* advisory_for_class(
+    analysis::ErroneousStateClass c);
 
 /// Aggregated classification (Table I's content).
 struct FunctionalityCount {

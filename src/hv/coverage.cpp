@@ -1,0 +1,49 @@
+#include "hv/coverage.hpp"
+
+namespace ii::hv {
+
+std::string to_string(ValidationBranch b) {
+  switch (b) {
+    case ValidationBranch::EntryNonPresent: return "entry_non_present";
+    case ValidationBranch::EntryReservedBits: return "entry_reserved_bits";
+    case ValidationBranch::EntryBadFrame: return "entry_bad_frame";
+    case ValidationBranch::Xsa148PseAccepted: return "xsa148_pse_accepted";
+    case ValidationBranch::PseRejected: return "pse_rejected";
+    case ValidationBranch::EntryForeignFrame: return "entry_foreign_frame";
+    case ValidationBranch::L1Writable: return "l1_writable";
+    case ValidationBranch::L1ReadOnlyRef: return "l1_readonly_ref";
+    case ValidationBranch::IntermediateLink: return "intermediate_link";
+    case ValidationBranch::TypeWritableOk: return "type_writable_ok";
+    case ValidationBranch::TypeWritableBusy: return "type_writable_busy";
+    case ValidationBranch::TypeTableRef: return "type_table_ref";
+    case ValidationBranch::TypeTableBusy: return "type_table_busy";
+    case ValidationBranch::TypeTableValidated: return "type_table_validated";
+    case ValidationBranch::TypeTableRejected: return "type_table_rejected";
+    case ValidationBranch::ReservedSlotStrict: return "reserved_slot_strict";
+    case ValidationBranch::ReservedSlotNonLinear:
+      return "reserved_slot_non_linear";
+    case ValidationBranch::LinearSlotCleared: return "linear_slot_cleared";
+    case ValidationBranch::LinearRoSelfMap: return "linear_ro_self_map";
+    case ValidationBranch::Xsa182FastpathTaken: return "xsa182_fastpath_taken";
+    case ValidationBranch::LinearRwRefused: return "linear_rw_refused";
+    case ValidationBranch::ExchangeOutputChecked:
+      return "exchange_output_checked";
+    case ValidationBranch::ExchangeOutputUnchecked:
+      return "exchange_output_unchecked";
+    case ValidationBranch::ExchangeBusy: return "exchange_busy";
+    case ValidationBranch::PinOk: return "pin_ok";
+    case ValidationBranch::PinRefused: return "pin_refused";
+    case ValidationBranch::UnpinOk: return "unpin_ok";
+    case ValidationBranch::UnpinRefused: return "unpin_refused";
+    case ValidationBranch::BaseptrOk: return "baseptr_ok";
+    case ValidationBranch::BaseptrRefused: return "baseptr_refused";
+    case ValidationBranch::GrantStatusMapped: return "grant_status_mapped";
+    case ValidationBranch::GrantDowngradeLeak: return "grant_downgrade_leak";
+    case ValidationBranch::GrantDowngradeClean: return "grant_downgrade_clean";
+    case ValidationBranch::InjectorServed: return "injector_served";
+    case ValidationBranch::InjectorRefused: return "injector_refused";
+  }
+  return "unknown";
+}
+
+}  // namespace ii::hv

@@ -97,6 +97,10 @@ long GrantOps::set_version(DomainId caller, unsigned version) {
                                                table.status_frames_[0]);
     if (rc != kOk) return rc;
     table.version_ = 2;
+    if (CoverageHook* cov = hv_->coverage_hook()) {
+      cov->on_branch(ValidationBranch::GrantStatusMapped,
+                     PageType::GrantStatus);
+    }
     return kOk;
   }
 
@@ -106,7 +110,15 @@ long GrantOps::set_version(DomainId caller, unsigned version) {
   if (hv_->policy().grant_v2_status_leak) {
     // The modelled bug: skip the release; the guest keeps its mapping of a
     // Xen-owned page (abusive functionality: Keep Page Access).
+    if (CoverageHook* cov = hv_->coverage_hook()) {
+      cov->on_branch(ValidationBranch::GrantDowngradeLeak,
+                     PageType::GrantStatus);
+    }
     return kOk;
+  }
+  if (CoverageHook* cov = hv_->coverage_hook()) {
+    cov->on_branch(ValidationBranch::GrantDowngradeClean,
+                   PageType::GrantStatus);
   }
   return hv_->unmap_grant_status_page(caller);
 }

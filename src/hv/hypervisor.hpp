@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hv/abi.hpp"
+#include "hv/coverage.hpp"
 #include "hv/domain.hpp"
 #include "hv/errors.hpp"
 #include "hv/event_channel.hpp"
@@ -329,6 +330,14 @@ class Hypervisor {
   void set_span_profiler(obs::SpanProfiler* profiler) { profiler_ = profiler; }
   [[nodiscard]] obs::SpanProfiler* span_profiler() const { return profiler_; }
 
+  /// Attach (or detach with nullptr) a validation-branch coverage hook
+  /// (hv/coverage.hpp); same ownership and cost model as the trace sink.
+  /// The coverage-guided fuzzer is the intended consumer: every accept/
+  /// reject decision in the validation engine reports which branch it took
+  /// and what kind of frame it was deciding about.
+  void set_coverage_hook(CoverageHook* hook) { cov_ = hook; }
+  [[nodiscard]] CoverageHook* coverage_hook() const { return cov_; }
+
   // ----------------------------------------------------- guest memory access
   /// Perform a data access at guest virtual address `va` on behalf of
   /// domain `caller` (guest kernel or user code; both are "user" to the
@@ -447,6 +456,12 @@ class Hypervisor {
   CodeExecutor executor_;
   obs::TraceSink* trace_ = nullptr;
   obs::SpanProfiler* profiler_ = nullptr;
+  CoverageHook* cov_ = nullptr;
+
+  /// Instrumentation shorthand for the validation engine (memory.cpp).
+  void cover(ValidationBranch b, PageType t = PageType::None) const {
+    if (cov_ != nullptr) cov_->on_branch(b, t);
+  }
 
   // Per-frame digest cache for the incremental state_hash() (snapshot.cpp).
   // digest_gen_[m] holds the PhysicalMemory generation the cached digest

@@ -67,30 +67,41 @@ long Hypervisor::get_page_type_impl(Domain& caller, sim::Mfn mfn,
   if (wanted == PageType::Writable) {
     if (pi.type == PageType::Writable) {
       ++pi.type_count;
+      cover(ValidationBranch::TypeWritableOk, PageType::Writable);
       return kOk;
     }
     if (pi.type == PageType::None) {
       pi.type = PageType::Writable;
       pi.type_count = 1;
       pi.validated = true;
+      cover(ValidationBranch::TypeWritableOk, PageType::None);
       return kOk;
     }
     // The core protection: page-table (and descriptor) pages must never
     // become guest-writable.
+    cover(ValidationBranch::TypeWritableBusy, pi.type);
     return kEBUSY;
   }
 
   if (is_pagetable_type(wanted)) {
     if (pi.type == wanted && pi.validated) {
       ++pi.type_count;
+      cover(ValidationBranch::TypeTableRef, pi.type);
       return kOk;
     }
-    if (pi.type != PageType::None) return kEBUSY;
+    if (pi.type != PageType::None) {
+      cover(ValidationBranch::TypeTableBusy, pi.type);
+      return kEBUSY;
+    }
     const long rc = validate_table(caller, mfn, *level_of_type(wanted));
-    if (rc != kOk) return rc;
+    if (rc != kOk) {
+      cover(ValidationBranch::TypeTableRejected, wanted);
+      return rc;
+    }
     pi.type = wanted;
     pi.type_count = 1;
     pi.validated = true;
+    cover(ValidationBranch::TypeTableValidated, wanted);
     return kOk;
   }
   return kEINVAL;
@@ -136,34 +147,56 @@ void Hypervisor::invalidate_table(sim::Mfn mfn) {
 
 long Hypervisor::validate_entry_target(Domain& caller, sim::PtLevel level,
                                        sim::Pte entry) {
-  if (!entry.present()) return kOk;
-  if (entry.has_reserved_bits()) return kEINVAL;
+  if (!entry.present()) {
+    cover(ValidationBranch::EntryNonPresent);
+    return kOk;
+  }
+  if (entry.has_reserved_bits()) {
+    cover(ValidationBranch::EntryReservedBits);
+    return kEINVAL;
+  }
   const sim::Mfn target = entry.frame();
-  if (!mem_->contains(target)) return kEINVAL;
+  if (!mem_->contains(target)) {
+    cover(ValidationBranch::EntryBadFrame);
+    return kEINVAL;
+  }
 
   if (entry.large_page() && level != sim::PtLevel::L1) {
     if (level == sim::PtLevel::L2) {
       // XSA-148: the vulnerable L2 validation ignores the PSE bit, so the
       // entry is accepted as-is — handing the guest a writable 2 MiB
       // machine-contiguous window with no ownership or type checks at all.
-      if (policy_.xsa148_l2_pse_unvalidated) return kOk;
+      if (policy_.xsa148_l2_pse_unvalidated) {
+        cover(ValidationBranch::Xsa148PseAccepted, frames_.info(target).type);
+        return kOk;
+      }
+      cover(ValidationBranch::PseRejected);
       return kEINVAL;  // fixed versions: PV guests may not create superpages
     }
+    cover(ValidationBranch::PseRejected);
     return kEINVAL;  // no 1 GiB guest pages at L3, PSE invalid at L4
   }
 
   const PageInfo& ti = frames_.info(target);
-  if (ti.owner != caller.id()) return kEPERM;
+  if (ti.owner != caller.id()) {
+    cover(ValidationBranch::EntryForeignFrame, ti.type);
+    return kEPERM;
+  }
 
   if (level == sim::PtLevel::L1) {
-    if (entry.writable()) return get_page_type(caller, target, PageType::Writable);
+    if (entry.writable()) {
+      cover(ValidationBranch::L1Writable, ti.type);
+      return get_page_type(caller, target, PageType::Writable);
+    }
     // Read-only mappings of anything the caller owns (including its own
     // page tables) are legitimate; take a plain existence reference.
+    cover(ValidationBranch::L1ReadOnlyRef, ti.type);
     ++frames_.info(target).ref_count;
     return kOk;
   }
 
   // Intermediate entries link child tables; the child must validate.
+  cover(ValidationBranch::IntermediateLink, ti.type);
   const sim::PtLevel child =
       static_cast<sim::PtLevel>(level_index(level) - 1);
   return get_page_type(caller, target, table_type_of(child));
@@ -225,22 +258,41 @@ long Hypervisor::validate_and_write_entry(Domain& caller, sim::Mfn table,
 
   if (*level == sim::PtLevel::L4 && !guest_l4_slot(index)) {
     // Guest writes into the Xen-reserved window of its own L4.
-    if (policy_.strict_reserved_slot_check) return kEPERM;
-    if (index != kLinearPtSlot) return kEPERM;
+    if (policy_.strict_reserved_slot_check) {
+      cover(ValidationBranch::ReservedSlotStrict, pi.type);
+      return kEPERM;
+    }
+    if (index != kLinearPtSlot) {
+      cover(ValidationBranch::ReservedSlotNonLinear, pi.type);
+      return kEPERM;
+    }
     // Pre-4.9 linear-page-table support: a READ-ONLY same-level self map.
     if (!entry.present()) {
+      cover(ValidationBranch::LinearSlotCleared, pi.type);
       mem_->write_slot(table, index, entry.raw());
       return kOk;
     }
-    if (!mem_->contains(entry.frame())) return kEINVAL;
+    if (!mem_->contains(entry.frame())) {
+      cover(ValidationBranch::EntryBadFrame, pi.type);
+      return kEINVAL;
+    }
     const PageInfo& ti = frames_.info(entry.frame());
-    if (ti.owner != caller.id() || ti.type != PageType::L4) return kEPERM;
+    if (ti.owner != caller.id() || ti.type != PageType::L4) {
+      cover(ValidationBranch::EntryForeignFrame, ti.type);
+      return kEPERM;
+    }
     if (entry.writable()) {
       // XSA-182: the fast path skips re-validation when an update keeps the
       // frame and only flips flag bits — letting RW onto a linear mapping.
       const bool fastpath = policy_.xsa182_l4_fastpath_unvalidated &&
                             old.present() && old.frame() == entry.frame();
-      if (!fastpath) return kEPERM;  // the fix: writable linear maps refused
+      if (!fastpath) {
+        cover(ValidationBranch::LinearRwRefused, ti.type);
+        return kEPERM;  // the fix: writable linear maps refused
+      }
+      cover(ValidationBranch::Xsa182FastpathTaken, ti.type);
+    } else {
+      cover(ValidationBranch::LinearRoSelfMap, ti.type);
     }
     mem_->write_slot(table, index, entry.raw());
     return kOk;
@@ -332,6 +384,9 @@ long Hypervisor::hypercall_mmuext_op(DomainId caller, const MmuExtOp& op) {
           1);
       const long rc = get_page_type(dom, op.mfn, table_type_of(level));
       if (rc == kOk) dom.add_pinned(op.mfn);
+      cover(rc == kOk ? ValidationBranch::PinOk : ValidationBranch::PinRefused,
+            mem_->contains(op.mfn) ? frames_.info(op.mfn).type
+                                   : PageType::None);
       return rc;
     }
     case MmuExtCmd::UnpinTable: {
@@ -339,18 +394,32 @@ long Hypervisor::hypercall_mmuext_op(DomainId caller, const MmuExtOp& op) {
       // separate type reference for cr3, which this model folds into the
       // pin — so dropping the pin of the live root would cascade-invalidate
       // the whole tree out from under the running domain.
-      if (op.mfn == dom.cr3()) return kEBUSY;
-      if (!dom.remove_pinned(op.mfn)) return kEINVAL;
+      const PageType t =
+          mem_->contains(op.mfn) ? frames_.info(op.mfn).type : PageType::None;
+      if (op.mfn == dom.cr3()) {
+        cover(ValidationBranch::UnpinRefused, t);
+        return kEBUSY;
+      }
+      if (!dom.remove_pinned(op.mfn)) {
+        cover(ValidationBranch::UnpinRefused, t);
+        return kEINVAL;
+      }
       put_page_type(op.mfn);
+      cover(ValidationBranch::UnpinOk, t);
       return kOk;
     }
     case MmuExtCmd::NewBaseptr: {
-      if (!mem_->contains(op.mfn)) return kEINVAL;
+      if (!mem_->contains(op.mfn)) {
+        cover(ValidationBranch::BaseptrRefused);
+        return kEINVAL;
+      }
       const PageInfo& pi = frames_.info(op.mfn);
       if (pi.owner != caller || pi.type != PageType::L4 || !pi.validated) {
+        cover(ValidationBranch::BaseptrRefused, pi.type);
         return kEINVAL;
       }
       dom.set_cr3(op.mfn);
+      cover(ValidationBranch::BaseptrOk, pi.type);
       return kOk;
     }
     case MmuExtCmd::TlbFlushLocal:
@@ -365,6 +434,8 @@ long Hypervisor::hypercall_mmuext_op(DomainId caller, const MmuExtOp& op) {
 long Hypervisor::copy_to_guest(Domain& caller, sim::Vaddr va,
                                std::span<const std::uint8_t> bytes,
                                bool checked) {
+  cover(checked ? ValidationBranch::ExchangeOutputChecked
+                : ValidationBranch::ExchangeOutputUnchecked);
   std::uint64_t done = 0;
   while (done < bytes.size()) {
     const sim::Vaddr cur = va + done;
@@ -405,6 +476,7 @@ long Hypervisor::hypercall_memory_exchange(DomainId caller,
     PageInfo& pi = frames_.info(*old);
     if (pi.owner != caller) return kEPERM;
     if (pi.type != PageType::None || pi.type_count != 0 || pi.ref_count != 1) {
+      cover(ValidationBranch::ExchangeBusy, pi.type);
       return kEBUSY;  // page still mapped or typed; unmap it first
     }
 
@@ -467,7 +539,10 @@ long Hypervisor::hypercall_populate_physmap(DomainId caller, sim::Pfn pfn) {
 long Hypervisor::hypercall_arbitrary_access(DomainId caller,
                                             const ArbitraryAccess& req) {
   if (crashed_) return kEINVAL;
-  if (!config_.injector_enabled) return kENOSYS;
+  if (!config_.injector_enabled) {
+    cover(ValidationBranch::InjectorRefused);
+    return kENOSYS;
+  }
   Domain& dom = domain(caller);
   if (trace_) {
     trace_->emit(obs::TraceCategory::Injection, caller,
@@ -480,6 +555,7 @@ long Hypervisor::hypercall_arbitrary_access(DomainId caller,
     // directly (paper §V-B): supervisor rights on the current page tables,
     // which contain both the guest's and every Xen mapping.
     std::uint64_t done = 0;
+    PageType first_type = PageType::None;
     while (done < req.buffer.size()) {
       const sim::Vaddr cur{req.addr + done};
       const std::uint64_t chunk =
@@ -489,7 +565,14 @@ long Hypervisor::hypercall_arbitrary_access(DomainId caller,
                                  is_write(req.action) ? sim::AccessType::Write
                                                       : sim::AccessType::Read,
                                  sim::AccessMode::Supervisor);
-      if (!walk) return kEFAULT;
+      if (!walk) {
+        cover(ValidationBranch::InjectorRefused);
+        return kEFAULT;
+      }
+      if (done == 0) {
+        first_type =
+            frames_.info(sim::paddr_to_mfn(walk.value().physical)).type;
+      }
       if (is_write(req.action)) {
         mem_->write(walk.value().physical, req.buffer.subspan(done, chunk));
       } else {
@@ -497,13 +580,19 @@ long Hypervisor::hypercall_arbitrary_access(DomainId caller,
       }
       done += chunk;
     }
+    cover(ValidationBranch::InjectorServed, first_type);
     return kOk;
   }
 
   // Physical addresses are mapped into the hypervisor address space first
   // (our directmap stands in for map_domain_page()).
   const sim::Paddr pa{req.addr};
-  if (!mem_->contains(pa, req.buffer.size())) return kEFAULT;
+  if (!mem_->contains(pa, req.buffer.size())) {
+    cover(ValidationBranch::InjectorRefused);
+    return kEFAULT;
+  }
+  cover(ValidationBranch::InjectorServed,
+        frames_.info(sim::paddr_to_mfn(pa)).type);
   if (is_write(req.action)) {
     mem_->write(pa, req.buffer);
   } else {

@@ -515,6 +515,21 @@ std::vector<Finding> check_registry_closure(const CheckContext& ctx) {
                        std::to_string(reg.trace_categories.size()) +
                        ") — category masks will silently drop events"});
   }
+
+  // Fuzz targets: kFuzzTargetCount bounds the uniform target draw; drift
+  // either skips the newest target forever or draws out of range.
+  if (reg.fuzz_target_count >= 0 && !reg.fuzz_targets.empty() &&
+      reg.fuzz_target_count !=
+          static_cast<long long>(reg.fuzz_targets.size())) {
+    out.push_back({std::string{kRule}, reg.fuzz_hpp_file,
+                   reg.fuzz_target_count_line, 1,
+                   "kFuzzTargetCount (" +
+                       std::to_string(reg.fuzz_target_count) +
+                       ") does not match the FuzzTarget enumerator count (" +
+                       std::to_string(reg.fuzz_targets.size()) +
+                       ") — uniform target draws will skip or repeat "
+                       "targets"});
+  }
   return out;
 }
 

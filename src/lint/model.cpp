@@ -211,6 +211,36 @@ void SourceModel::build_registries() {
     }
   }
 
+  // Fuzz targets: the uniform draw in the blind fuzzer divides by
+  // kFuzzTargetCount, so the constant must track the enumerator count.
+  if (const SourceFile* f = find_file(files_, "core/fuzz.hpp")) {
+    registries_.fuzz_hpp_file = f->path;
+    const auto& toks = f->lex.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      // enum class FuzzTarget [: base] { A, B, ... };
+      if (is_ident(toks[i], "enum") && is_ident(toks[i + 1], "class") &&
+          is_ident(toks[i + 2], "FuzzTarget")) {
+        std::size_t open = i + 3;
+        while (open < toks.size() && !is_punct(toks[open], "{")) ++open;
+        const std::size_t close = match_close(toks, open);
+        for (std::size_t j = open + 1; j < close; ++j) {
+          if (toks[j].kind == TokKind::Ident &&
+              (is_punct(toks[j - 1], "{") || is_punct(toks[j - 1], ","))) {
+            registries_.fuzz_targets.push_back(
+                {toks[j].text, toks[j].line, f->path});
+          }
+        }
+      }
+      // inline constexpr std::size_t kFuzzTargetCount = 5;
+      if (is_ident(toks[i], "kFuzzTargetCount") &&
+          is_punct(toks[i + 1], "=") && toks[i + 2].kind == TokKind::Number) {
+        registries_.fuzz_target_count =
+            std::strtoll(toks[i + 2].text.c_str(), nullptr, 0);
+        registries_.fuzz_target_count_line = toks[i].line;
+      }
+    }
+  }
+
   if (const SourceFile* f = find_file(files_, "obs/trace.cpp")) {
     registries_.trace_cpp_file = f->path;
     const auto& toks = f->lex.tokens;

@@ -44,11 +44,15 @@ struct Registries {
   std::vector<RegistryRow> trace_cases;      ///< case TraceCategory::X:
   long long category_count = -1;  ///< kCategoryCount literal, -1 if absent
   std::uint32_t category_count_line = 0;
+  std::vector<RegistryRow> fuzz_targets;     ///< enum class FuzzTarget
+  long long fuzz_target_count = -1;  ///< kFuzzTargetCount, -1 if absent
+  std::uint32_t fuzz_target_count_line = 0;
 
   std::string chaos_file;      ///< where the chaos table was parsed from
   std::string span_cpp_file;   ///< where the span render-name table lives
   std::string trace_hpp_file;  ///< where the TraceCategory enum lives
   std::string trace_cpp_file;  ///< where the to_string cases live
+  std::string fuzz_hpp_file;   ///< where the FuzzTarget enum lives
 };
 
 /// One identifier occurrence.

@@ -45,6 +45,10 @@ constexpr std::array kSpanNameTable{
     SpanNameEntry{kSpanDomains, "scrub and re-pin per-domain page tables"},
     SpanNameEntry{kSpanGrants, "re-derive grant mapping bookkeeping"},
     SpanNameEntry{kSpanPostAudit, "invariant audit after recovery"},
+    SpanNameEntry{kSpanFuzz, "coverage-guided sequence-fuzzer run"},
+    SpanNameEntry{kSpanFuzzExec, "execute one fuzz trace on a rewound platform"},
+    SpanNameEntry{kSpanFuzzMinimize, "delta-debug shrink of a surviving trace"},
+    SpanNameEntry{kSpanFuzzCorpus, "corpus trace-file reads and writes"},
 };
 
 }  // namespace

@@ -95,6 +95,14 @@ inline constexpr std::string_view kSpanDomains = "domains";
 inline constexpr std::string_view kSpanGrants = "grants";
 inline constexpr std::string_view kSpanPostAudit = "post_audit";
 
+// Coverage-guided sequence fuzzer (src/core/fuzz.cpp). exec/minimize carry
+// deterministic step counts (ops applied); corpus_io wraps trace-file
+// persistence.
+inline constexpr std::string_view kSpanFuzz = "fuzz";
+inline constexpr std::string_view kSpanFuzzExec = "exec";
+inline constexpr std::string_view kSpanFuzzMinimize = "minimize";
+inline constexpr std::string_view kSpanFuzzCorpus = "corpus_io";
+
 /// One-line description of a registered span name (the render-name table);
 /// empty for unregistered/dynamic names.
 [[nodiscard]] std::string_view span_name_description(std::string_view name);

@@ -96,6 +96,20 @@ TEST(FuzzCampaign, WarmPlatformReuseMatchesColdBoots) {
   EXPECT_EQ(b.platform_boots, 25u);
 }
 
+TEST(FuzzCampaign, RefusedIsItsOwnOutcomeCountedOnce) {
+  // Regression: refused injections used to increment injections_refused
+  // AND fall through to NoObservableEffect, so the outcome histogram
+  // summed past the iteration count whenever the injector pushed back.
+  const FuzzStats stats =
+      run_random_injection_campaign(small_config(hv::kXen46, 60, 7));
+  EXPECT_EQ(total_outcomes(stats), 60u);
+  EXPECT_EQ(stats.injections_refused, stats.count(FuzzOutcome::Refused));
+  const std::string out = stats.render();
+  if (stats.injections_refused > 0) {
+    EXPECT_NE(out.find("refused"), std::string::npos);
+  }
+}
+
 TEST(FuzzCampaign, HighSeedBitsMatter) {
   // Regression: the old mt19937{seed * 2654435761u + iteration} seeding
   // truncated the product to 32 bits, so seeds differing only in the high

@@ -131,6 +131,7 @@ std::vector<Mount> registry_stubs() {
           {"src/obs/span.cpp", "stubs/span.cpp"},
           {"src/obs/trace.hpp", "stubs/trace.hpp"},
           {"src/obs/trace.cpp", "stubs/trace.cpp"},
+          {"src/core/fuzz.hpp", "stubs/fuzz.hpp"},
           {"src/instrumented.cpp", "registry_closure_fixture.cpp"}};
 }
 
@@ -243,6 +244,7 @@ TEST(LintFixtures, RegistryClosureBad) {
        {"src/obs/span.cpp", "stubs/span_closure_bad.cpp"},
        {"src/obs/trace.hpp", "stubs/trace_badcount.hpp"},
        {"src/obs/trace.cpp", "stubs/trace_dup_case.cpp"},
+       {"src/core/fuzz.hpp", "stubs/fuzz_badcount.hpp"},
        {"src/instrumented.cpp", "registry_closure_fixture.cpp"}},
       {"registry-closure"}));
 }

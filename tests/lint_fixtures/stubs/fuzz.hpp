@@ -1,0 +1,18 @@
+// FuzzTarget registry stub (clean variant): kFuzzTargetCount matches the
+// enumerator count, so the uniform target draw covers every target.
+#pragma once
+#include <cstddef>
+
+namespace ii::core {
+
+enum class FuzzTarget {
+  GuestPageTable,
+  FrameTableEntry,
+  GrantTable,
+  HypervisorText,
+  IdtFrame,
+};
+
+inline constexpr std::size_t kFuzzTargetCount = 5;
+
+}  // namespace ii::core

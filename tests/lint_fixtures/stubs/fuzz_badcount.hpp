@@ -1,0 +1,18 @@
+// FuzzTarget registry stub (closure-bad variant): kFuzzTargetCount trails
+// the enumerator list — a newly added target would never be drawn.
+#pragma once
+#include <cstddef>
+
+namespace ii::core {
+
+enum class FuzzTarget {
+  GuestPageTable,
+  FrameTableEntry,
+  GrantTable,
+  HypervisorText,
+  IdtFrame,
+};
+
+inline constexpr std::size_t kFuzzTargetCount = 4;  // EXPECT[registry-closure]
+
+}  // namespace ii::core
